@@ -1,0 +1,142 @@
+//! The repository catalog: named annotation repositories a quality process
+//! reads from and writes to.
+//!
+//! QV specifications reference repositories by name
+//! (`repositoryRef="cache"`); the catalog resolves those names at
+//! compile/execution time and clears all cache (non-persistent)
+//! repositories between process executions (paper §4: "the scope of
+//! annotations is a single process execution" for on-the-fly evidence).
+
+use crate::repository::AnnotationRepository;
+use crate::{AnnotationError, Result};
+use parking_lot::RwLock;
+use qurator_ontology::iq::IqModel;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A named collection of annotation repositories.
+pub struct RepositoryCatalog {
+    iq: Arc<IqModel>,
+    repositories: RwLock<BTreeMap<String, Arc<AnnotationRepository>>>,
+}
+
+impl RepositoryCatalog {
+    /// An empty catalog over the given IQ model.
+    pub fn new(iq: Arc<IqModel>) -> Self {
+        RepositoryCatalog { iq, repositories: RwLock::new(BTreeMap::new()) }
+    }
+
+    /// The IQ model shared by all repositories.
+    pub fn iq(&self) -> &Arc<IqModel> {
+        &self.iq
+    }
+
+    /// Creates a repository; errors if the name is taken.
+    pub fn create(&self, name: &str, persistent: bool) -> Result<Arc<AnnotationRepository>> {
+        let mut repos = self.repositories.write();
+        if repos.contains_key(name) {
+            return Err(AnnotationError::DuplicateRepository(name.to_string()));
+        }
+        let repo = Arc::new(AnnotationRepository::new(name, persistent, self.iq.clone()));
+        repos.insert(name.to_string(), repo.clone());
+        Ok(repo)
+    }
+
+    /// Gets a repository, creating a cache repository on first reference
+    /// (QV specs may name fresh caches without prior setup).
+    pub fn get_or_create_cache(&self, name: &str) -> Arc<AnnotationRepository> {
+        if let Some(repo) = self.get(name) {
+            return repo;
+        }
+        self.create(name, false).expect("checked absence under race-free write lock")
+    }
+
+    /// Looks a repository up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<AnnotationRepository>> {
+        self.repositories.read().get(name).cloned()
+    }
+
+    /// Looks a repository up, erroring with the QV-validation message.
+    pub fn require(&self, name: &str) -> Result<Arc<AnnotationRepository>> {
+        self.get(name)
+            .ok_or_else(|| AnnotationError::UnknownRepository(name.to_string()))
+    }
+
+    /// Clears every non-persistent repository; returns how many were
+    /// cleared. Called between quality-process executions.
+    pub fn clear_caches(&self) -> usize {
+        let repos = self.repositories.read();
+        let mut cleared = 0;
+        for repo in repos.values() {
+            if !repo.is_persistent() {
+                repo.clear();
+                cleared += 1;
+            }
+        }
+        cleared
+    }
+
+    /// Names of all repositories, in order.
+    pub fn names(&self) -> Vec<String> {
+        self.repositories.read().keys().cloned().collect()
+    }
+}
+
+impl std::fmt::Debug for RepositoryCatalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RepositoryCatalog")
+            .field("repositories", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qurator_rdf::namespace::q;
+    use qurator_rdf::term::Term;
+
+    fn catalog() -> RepositoryCatalog {
+        RepositoryCatalog::new(Arc::new(IqModel::with_proteomics_extension().unwrap()))
+    }
+
+    #[test]
+    fn create_get_require() {
+        let c = catalog();
+        c.create("cache", false).unwrap();
+        c.create("uniprot", true).unwrap();
+        assert!(c.get("cache").is_some());
+        assert!(c.require("uniprot").is_ok());
+        assert!(matches!(
+            c.require("nope"),
+            Err(AnnotationError::UnknownRepository(_))
+        ));
+        assert!(matches!(
+            c.create("cache", true),
+            Err(AnnotationError::DuplicateRepository(_))
+        ));
+        assert_eq!(c.names(), vec!["cache", "uniprot"]);
+    }
+
+    #[test]
+    fn get_or_create_cache_is_idempotent() {
+        let c = catalog();
+        let a = c.get_or_create_cache("scratch");
+        let b = c.get_or_create_cache("scratch");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!a.is_persistent());
+    }
+
+    #[test]
+    fn clear_caches_spares_persistent() {
+        let c = catalog();
+        let cache = c.create("cache", false).unwrap();
+        let durable = c.create("uniprot", true).unwrap();
+        let item = Term::iri("urn:lsid:t:h:1");
+        cache.annotate(&item, &q::iri("HitRatio"), 1.0.into()).unwrap();
+        durable.annotate(&item, &q::iri("HitRatio"), 1.0.into()).unwrap();
+        assert_eq!(c.clear_caches(), 1);
+        assert_eq!(cache.triple_count(), 0);
+        assert_eq!(durable.triple_count(), 3);
+    }
+}

@@ -1,0 +1,447 @@
+//! Annotation repositories: RDF-graph stores of quality annotations with
+//! ontology-validated writes and SPARQL-based retrieval.
+//!
+//! The encoding follows the paper's Figure 2 exactly: a data item (an
+//! LSID-wrapped IRI) carries `q:contains-evidence` links to evidence nodes;
+//! each evidence node is typed with its `q:QualityEvidence` subclass and
+//! carries a `q:value` literal.
+//!
+//! ```text
+//! <urn:lsid:uniprot.org:uniprot:P30089>
+//!     a q:ImprintHitEntry ;
+//!     q:contains-evidence _:e1 .
+//! _:e1 a q:HitRatio ; q:value 0.82 .
+//! ```
+
+use crate::map::AnnotationMap;
+use crate::value::EvidenceValue;
+use crate::{AnnotationError, Result};
+use parking_lot::RwLock;
+use qurator_ontology::iq::{vocab, IqModel};
+use qurator_rdf::namespace::{rdf, PrefixMap};
+use qurator_rdf::sparql;
+use qurator_rdf::store::GraphStore;
+use qurator_rdf::term::{Iri, Term};
+use qurator_rdf::triple::{Triple, TriplePattern};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How a repository answers `(data item, evidence type)` lookups — §5 uses
+/// SPARQL; the direct index path is the E3 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LookupMode {
+    /// Generate and evaluate a SPARQL SELECT per lookup (paper-faithful).
+    #[default]
+    Sparql,
+    /// Walk the triple indexes directly.
+    Direct,
+}
+
+/// A quality-annotation repository.
+///
+/// Thread-safe: processors executing in parallel waves may annotate and
+/// enrich concurrently. Writes validate the evidence class against the IQ
+/// model ("guarantees that the metadata complies with the ontology model",
+/// §5).
+pub struct AnnotationRepository {
+    name: String,
+    persistent: bool,
+    iq: Arc<IqModel>,
+    store: RwLock<GraphStore>,
+    lookup_mode: LookupMode,
+    blank_counter: AtomicU64,
+}
+
+impl AnnotationRepository {
+    /// Creates a repository. `persistent = false` marks a per-execution
+    /// cache whose contents are dropped by
+    /// [`AnnotationRepository::clear`] between process executions (§4).
+    pub fn new(name: impl Into<String>, persistent: bool, iq: Arc<IqModel>) -> Self {
+        AnnotationRepository {
+            name: name.into(),
+            persistent,
+            iq,
+            store: RwLock::new(GraphStore::new()),
+            lookup_mode: LookupMode::default(),
+            blank_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Switches the lookup implementation (E3 ablation).
+    pub fn with_lookup_mode(mut self, mode: LookupMode) -> Self {
+        self.lookup_mode = mode;
+        self
+    }
+
+    /// The repository name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether annotations here outlive a single process execution.
+    pub fn is_persistent(&self) -> bool {
+        self.persistent
+    }
+
+    /// Number of stored triples (diagnostics).
+    pub fn triple_count(&self) -> usize {
+        self.store.read().len()
+    }
+
+    /// Writes one annotation: `item --evidence_type--> value`.
+    ///
+    /// Returns an error when `evidence_type` is not a registered subclass of
+    /// `q:QualityEvidence`. A repeated write for the same `(item, type)`
+    /// replaces the previous value (latest annotation wins).
+    pub fn annotate(
+        &self,
+        item: &Term,
+        evidence_type: &Iri,
+        value: EvidenceValue,
+    ) -> Result<()> {
+        if !self.iq.is_evidence_type(evidence_type) {
+            return Err(AnnotationError::NotEvidence(format!(
+                "<{evidence_type}> (annotating {item})"
+            )));
+        }
+        let Some(value_term) = value.to_term() else {
+            // Null: record nothing; absence is the null.
+            return Ok(());
+        };
+        let a = Term::iri(rdf::TYPE);
+        let contains = Term::Iri(vocab::contains_evidence());
+        let value_prop = Term::Iri(vocab::value());
+
+        let mut store = self.store.write();
+        // Replace any previous evidence node of this type for this item.
+        let old_nodes: Vec<Term> = store
+            .matching(&TriplePattern::new(item.clone(), contains.clone(), None))
+            .map(|t| t.object)
+            .filter(|node| {
+                store.contains(&Triple::new(
+                    node.clone(),
+                    a.clone(),
+                    Term::Iri(evidence_type.clone()),
+                ))
+            })
+            .collect();
+        for node in old_nodes {
+            store.remove_matching(&TriplePattern::new(node.clone(), None, None));
+            store.remove(&Triple::new(item.clone(), contains.clone(), node));
+        }
+        let node = Term::blank(format!(
+            "{}-e{}",
+            self.name,
+            self.blank_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        store.insert(Triple::new(item.clone(), contains.clone(), node.clone()));
+        store.insert(Triple::new(
+            node.clone(),
+            a,
+            Term::Iri(evidence_type.clone()),
+        ));
+        store.insert(Triple::new(node, value_prop, value_term));
+        Ok(())
+    }
+
+    /// Records the data-entity type of an item (`rdf:type` triple).
+    pub fn record_item_type(&self, item: &Term, entity_type: &Iri) -> Result<()> {
+        if !self.iq.is_data_entity_type(entity_type) {
+            return Err(AnnotationError::NotEvidence(format!(
+                "<{entity_type}> is not a DataEntity class"
+            )));
+        }
+        self.store.write().insert(Triple::new(
+            item.clone(),
+            Term::iri(rdf::TYPE),
+            Term::Iri(entity_type.clone()),
+        ));
+        Ok(())
+    }
+
+    /// The `(item, evidence type)` lookup of §5.
+    pub fn lookup(&self, item: &Term, evidence_type: &Iri) -> Result<EvidenceValue> {
+        match self.lookup_mode {
+            LookupMode::Sparql => self.lookup_sparql(item, evidence_type),
+            LookupMode::Direct => Ok(self.lookup_direct(item, evidence_type)),
+        }
+    }
+
+    /// SPARQL-based lookup — generates the query shape of §5.
+    pub fn lookup_sparql(&self, item: &Term, evidence_type: &Iri) -> Result<EvidenceValue> {
+        let Term::Iri(item_iri) = item else {
+            return Ok(EvidenceValue::Null);
+        };
+        let query = format!(
+            "PREFIX q: <http://qurator.org/iq#>\n\
+             SELECT ?v WHERE {{\n\
+               <{item_iri}> q:contains-evidence ?e .\n\
+               ?e a <{evidence_type}> ; q:value ?v .\n\
+             }}"
+        );
+        let store = self.store.read();
+        let rows = sparql::select(&store, &query)
+            .map_err(|e| AnnotationError::Rdf(e.to_string()))?;
+        Ok(rows
+            .first()
+            .and_then(|r| r.get("v"))
+            .map(EvidenceValue::from_term)
+            .unwrap_or(EvidenceValue::Null))
+    }
+
+    /// Index-walking lookup (E3 ablation baseline).
+    pub fn lookup_direct(&self, item: &Term, evidence_type: &Iri) -> EvidenceValue {
+        let store = self.store.read();
+        let contains = Term::Iri(vocab::contains_evidence());
+        let a = Term::iri(rdf::TYPE);
+        let value_prop = Term::Iri(vocab::value());
+        for node in store
+            .matching(&TriplePattern::new(item.clone(), contains.clone(), None))
+            .map(|t| t.object)
+        {
+            if store.contains(&Triple::new(
+                node.clone(),
+                a.clone(),
+                Term::Iri(evidence_type.clone()),
+            )) {
+                if let Some(v) = store.object(&node, &value_prop) {
+                    return EvidenceValue::from_term(&v);
+                }
+            }
+        }
+        EvidenceValue::Null
+    }
+
+    /// The Data-Enrichment primitive: fetches the given evidence types for
+    /// every item, producing an annotation map (nulls where absent).
+    pub fn enrich(
+        &self,
+        items: &[Term],
+        evidence_types: &[Iri],
+    ) -> Result<AnnotationMap> {
+        let mut map = AnnotationMap::for_items(items.iter().cloned());
+        for item in items {
+            for evidence_type in evidence_types {
+                let value = self.lookup(item, evidence_type)?;
+                if !value.is_null() {
+                    map.set_evidence(item, evidence_type.clone(), value);
+                }
+            }
+        }
+        Ok(map)
+    }
+
+    /// Bulk-writes every evidence entry of an annotation map.
+    pub fn store_map(&self, map: &AnnotationMap) -> Result<usize> {
+        let mut written = 0;
+        for item in map.items() {
+            let row = map.item(item).expect("listed");
+            for (evidence_type, value) in row.evidence_entries() {
+                self.annotate(item, evidence_type, value.clone())?;
+                written += 1;
+            }
+        }
+        Ok(written)
+    }
+
+    /// Drops all annotations (cache repositories are cleared between
+    /// process executions; calling this on a persistent repository is
+    /// allowed but unusual and returns `false` to flag it).
+    pub fn clear(&self) -> bool {
+        self.store.write().clear();
+        !self.persistent
+    }
+
+    /// Serializes the annotation graph as Turtle (persistence format).
+    pub fn export_turtle(&self) -> String {
+        qurator_rdf::turtle::serialize(&self.store.read(), &PrefixMap::with_defaults())
+    }
+
+    /// Loads annotations from Turtle produced by [`Self::export_turtle`]
+    /// (contents are added to whatever is already stored).
+    pub fn import_turtle(&self, text: &str) -> Result<usize> {
+        let (triples, _) = qurator_rdf::turtle::parse(text)
+            .map_err(|e| AnnotationError::Rdf(e.to_string()))?;
+        let mut store = self.store.write();
+        Ok(store.extend(triples))
+    }
+
+    /// Runs an arbitrary SPARQL SELECT against the annotation graph.
+    pub fn query(&self, query: &str) -> Result<Vec<sparql::Row>> {
+        let store = self.store.read();
+        sparql::select(&store, query).map_err(|e| AnnotationError::Rdf(e.to_string()))
+    }
+}
+
+impl std::fmt::Debug for AnnotationRepository {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnnotationRepository")
+            .field("name", &self.name)
+            .field("persistent", &self.persistent)
+            .field("triples", &self.triple_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qurator_rdf::namespace::q;
+
+    fn repo() -> AnnotationRepository {
+        let iq = Arc::new(IqModel::with_proteomics_extension().unwrap());
+        AnnotationRepository::new("cache", false, iq)
+    }
+
+    fn item(n: u32) -> Term {
+        Term::iri(format!("urn:lsid:uniprot.org:uniprot:P{n:05}"))
+    }
+
+    #[test]
+    fn annotate_and_lookup_both_modes() {
+        let r = repo();
+        r.annotate(&item(30089), &q::iri("HitRatio"), 0.82.into()).unwrap();
+        r.annotate(&item(30089), &q::iri("MassCoverage"), 31.into()).unwrap();
+        assert_eq!(
+            r.lookup_sparql(&item(30089), &q::iri("HitRatio")).unwrap(),
+            EvidenceValue::Number(0.82)
+        );
+        assert_eq!(
+            r.lookup_direct(&item(30089), &q::iri("HitRatio")),
+            EvidenceValue::Number(0.82)
+        );
+        assert_eq!(
+            r.lookup(&item(30089), &q::iri("MassCoverage")).unwrap(),
+            EvidenceValue::Number(31.0)
+        );
+        assert_eq!(
+            r.lookup(&item(30089), &q::iri("PeptidesCount")).unwrap(),
+            EvidenceValue::Null
+        );
+        assert_eq!(
+            r.lookup(&item(99999), &q::iri("HitRatio")).unwrap(),
+            EvidenceValue::Null
+        );
+    }
+
+    #[test]
+    fn rewrite_replaces_value() {
+        let r = repo();
+        r.annotate(&item(1), &q::iri("HitRatio"), 0.1.into()).unwrap();
+        r.annotate(&item(1), &q::iri("HitRatio"), 0.9.into()).unwrap();
+        assert_eq!(
+            r.lookup(&item(1), &q::iri("HitRatio")).unwrap(),
+            EvidenceValue::Number(0.9)
+        );
+        // exactly one evidence node of that type remains
+        assert_eq!(r.triple_count(), 3);
+    }
+
+    #[test]
+    fn ontology_validation_rejects_non_evidence() {
+        let r = repo();
+        let err = r
+            .annotate(&item(1), &q::iri("UniversalPIScore2"), 1.0.into())
+            .unwrap_err();
+        assert!(matches!(err, AnnotationError::NotEvidence(_)));
+        let err = r
+            .annotate(&item(1), &Iri::new("http://random/thing"), 1.0.into())
+            .unwrap_err();
+        assert!(matches!(err, AnnotationError::NotEvidence(_)));
+    }
+
+    #[test]
+    fn null_values_are_not_stored() {
+        let r = repo();
+        r.annotate(&item(1), &q::iri("HitRatio"), EvidenceValue::Null).unwrap();
+        assert_eq!(r.triple_count(), 0);
+    }
+
+    #[test]
+    fn enrich_builds_annotation_map() {
+        let r = repo();
+        for i in 1..=3 {
+            r.annotate(&item(i), &q::iri("HitRatio"), (0.1 * i as f64).into()).unwrap();
+        }
+        r.annotate(&item(2), &q::iri("MassCoverage"), 25.into()).unwrap();
+        let items: Vec<Term> = (1..=3).map(item).collect();
+        let map = r
+            .enrich(&items, &[q::iri("HitRatio"), q::iri("MassCoverage")])
+            .unwrap();
+        assert_eq!(map.len(), 3);
+        assert_eq!(
+            map.item(&item(2)).unwrap().evidence(&q::iri("MassCoverage")),
+            EvidenceValue::Number(25.0)
+        );
+        assert_eq!(
+            map.item(&item(1)).unwrap().evidence(&q::iri("MassCoverage")),
+            EvidenceValue::Null
+        );
+    }
+
+    #[test]
+    fn store_map_roundtrip() {
+        let r = repo();
+        let mut map = AnnotationMap::new();
+        map.set_evidence(&item(1), q::iri("HitRatio"), 0.7.into());
+        map.set_evidence(&item(1), q::iri("Coverage"), 12.into());
+        let written = r.store_map(&map).unwrap();
+        assert_eq!(written, 2);
+        let back = r.enrich(&[item(1)], &[q::iri("HitRatio"), q::iri("Coverage")]).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn turtle_persistence_roundtrip() {
+        let r = repo();
+        r.record_item_type(&item(1), &q::iri("ImprintHitEntry")).unwrap();
+        r.annotate(&item(1), &q::iri("HitRatio"), 0.5.into()).unwrap();
+        let text = r.export_turtle();
+        let fresh = repo();
+        fresh.import_turtle(&text).unwrap();
+        assert_eq!(
+            fresh.lookup(&item(1), &q::iri("HitRatio")).unwrap(),
+            EvidenceValue::Number(0.5)
+        );
+    }
+
+    #[test]
+    fn clear_flags_persistence() {
+        let iq = Arc::new(IqModel::with_proteomics_extension().unwrap());
+        let cache = AnnotationRepository::new("cache", false, iq.clone());
+        let durable = AnnotationRepository::new("uniprot", true, iq);
+        cache.annotate(&item(1), &q::iri("HitRatio"), 1.0.into()).unwrap();
+        assert!(cache.clear());
+        assert_eq!(cache.triple_count(), 0);
+        assert!(!durable.clear());
+    }
+
+    #[test]
+    fn record_item_type_validates() {
+        let r = repo();
+        r.record_item_type(&item(1), &q::iri("ImprintHitEntry")).unwrap();
+        assert!(r.record_item_type(&item(1), &q::iri("HitRatio")).is_err());
+    }
+
+    #[test]
+    fn concurrent_annotation() {
+        let r = Arc::new(repo());
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let r = r.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let id = worker * 100 + i;
+                        r.annotate(&item(id), &q::iri("HitRatio"), (id as f64).into())
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(r.triple_count(), 3 * 200);
+        assert_eq!(
+            r.lookup(&item(307), &q::iri("HitRatio")).unwrap(),
+            EvidenceValue::Number(307.0)
+        );
+    }
+}

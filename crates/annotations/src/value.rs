@@ -1,0 +1,166 @@
+//! The value space of quality evidence.
+
+use qurator_rdf::term::{Iri, Literal, Term};
+
+/// A quality-evidence value attached to a data item.
+///
+/// `Class` carries classification labels (IQ-model individuals such as
+/// `q:high`); `Null` is an explicitly recorded missing value — the paper's
+/// annotation maps associate "an evidence value v (possibly null)" with
+/// each item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvidenceValue {
+    Number(f64),
+    Text(String),
+    Bool(bool),
+    Class(Iri),
+    Null,
+}
+
+impl EvidenceValue {
+    /// Numeric accessor.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            EvidenceValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Text accessor.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            EvidenceValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Classification-label accessor.
+    pub fn as_class(&self) -> Option<&Iri> {
+        match self {
+            EvidenceValue::Class(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// True when the value is the explicit null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, EvidenceValue::Null)
+    }
+
+    /// Renders as an RDF term for the annotation graph encoding. `Null`
+    /// values are not stored (absence in the graph *is* the null), so this
+    /// returns `None` for them.
+    pub fn to_term(&self) -> Option<Term> {
+        match self {
+            EvidenceValue::Number(n) => Some(Term::Literal(Literal::double(*n))),
+            EvidenceValue::Text(s) => Some(Term::Literal(Literal::string(s))),
+            EvidenceValue::Bool(b) => Some(Term::Literal(Literal::boolean(*b))),
+            EvidenceValue::Class(c) => Some(Term::Iri(c.clone())),
+            EvidenceValue::Null => None,
+        }
+    }
+
+    /// Reads back from an RDF term stored by [`EvidenceValue::to_term`].
+    pub fn from_term(term: &Term) -> Self {
+        match term {
+            Term::Iri(iri) => EvidenceValue::Class(iri.clone()),
+            Term::Blank(b) => EvidenceValue::Text(b.label().to_string()),
+            Term::Literal(l) => {
+                if let Some(n) = l.as_f64() {
+                    EvidenceValue::Number(n)
+                } else if let Some(b) = l.as_bool() {
+                    EvidenceValue::Bool(b)
+                } else {
+                    EvidenceValue::Text(l.lexical().to_string())
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for EvidenceValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvidenceValue::Number(n) => write!(f, "{n}"),
+            EvidenceValue::Text(s) => write!(f, "{s:?}"),
+            EvidenceValue::Bool(b) => write!(f, "{b}"),
+            EvidenceValue::Class(c) => write!(f, "{}", c.local_name()),
+            EvidenceValue::Null => write!(f, "null"),
+        }
+    }
+}
+
+impl From<f64> for EvidenceValue {
+    fn from(n: f64) -> Self {
+        EvidenceValue::Number(n)
+    }
+}
+
+impl From<i64> for EvidenceValue {
+    fn from(n: i64) -> Self {
+        EvidenceValue::Number(n as f64)
+    }
+}
+
+impl From<&str> for EvidenceValue {
+    fn from(s: &str) -> Self {
+        EvidenceValue::Text(s.to_string())
+    }
+}
+
+impl From<bool> for EvidenceValue {
+    fn from(b: bool) -> Self {
+        EvidenceValue::Bool(b)
+    }
+}
+
+impl From<Iri> for EvidenceValue {
+    fn from(iri: Iri) -> Self {
+        EvidenceValue::Class(iri)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qurator_rdf::namespace::q;
+
+    #[test]
+    fn term_roundtrip() {
+        for v in [
+            EvidenceValue::Number(0.82),
+            EvidenceValue::Text("lab-A".into()),
+            EvidenceValue::Bool(true),
+            EvidenceValue::Class(q::iri("high")),
+        ] {
+            let t = v.to_term().unwrap();
+            assert_eq!(EvidenceValue::from_term(&t), v);
+        }
+        assert_eq!(EvidenceValue::Null.to_term(), None);
+    }
+
+    #[test]
+    fn integer_literals_read_as_numbers() {
+        let t = Term::integer(31);
+        assert_eq!(EvidenceValue::from_term(&t), EvidenceValue::Number(31.0));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(EvidenceValue::from(0.5).as_number(), Some(0.5));
+        assert_eq!(EvidenceValue::from("x").as_text(), Some("x"));
+        assert_eq!(
+            EvidenceValue::Class(q::iri("mid")).as_class(),
+            Some(&q::iri("mid"))
+        );
+        assert!(EvidenceValue::Null.is_null());
+        assert_eq!(EvidenceValue::from(1.0).as_text(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(EvidenceValue::Class(q::iri("high")).to_string(), "high");
+        assert_eq!(EvidenceValue::Number(2.5).to_string(), "2.5");
+        assert_eq!(EvidenceValue::Null.to_string(), "null");
+    }
+}

@@ -1,0 +1,128 @@
+//! E6 — action throughput (paper §4.1): filter and splitter cost against
+//! collection size and condition complexity, plus the price of the
+//! edit-between-runs semantics (conditions are re-parsed from source).
+
+use bench::synthetic_hits;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qurator::operators::{ActionProcessor, CompiledAction};
+use qurator_annotations::{AnnotationMap, EvidenceValue};
+use qurator_ontology::IqModel;
+use qurator_rdf::namespace::q;
+use qurator_services::DataSet;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Dataset + matching annotation map with score/class tags.
+fn fixtures(items: usize) -> (DataSet, AnnotationMap) {
+    let dataset = synthetic_hits(items);
+    let mut map = AnnotationMap::new();
+    for (index, item) in dataset.items().iter().enumerate() {
+        map.set_evidence(&item.clone(), q::iri("HitRatio"), dataset.field(item, "hitRatio"));
+        map.set_evidence(
+            &item.clone(),
+            q::iri("MassCoverage"),
+            dataset.field(item, "massCoverage"),
+        );
+        map.set_tag(item, "HR_MC", ((items / 2) as f64 - index as f64).into());
+        let label = match index * 3 / items.max(1) {
+            0 => "high",
+            1 => "mid",
+            _ => "low",
+        };
+        map.set_tag(item, "ScoreClass", EvidenceValue::Class(q::iri(label)));
+    }
+    (dataset, map)
+}
+
+fn iq() -> Arc<IqModel> {
+    Arc::new(IqModel::with_proteomics_extension().expect("iq"))
+}
+
+fn bench_filter_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_throughput");
+    let iq = iq();
+    for &items in &[100usize, 1_000, 10_000] {
+        let (dataset, map) = fixtures(items);
+        let action = ActionProcessor::new(
+            "keep",
+            CompiledAction::Filter {
+                condition: "ScoreClass in q:high, q:mid and HR_MC > 0".into(),
+            },
+            iq.clone(),
+        );
+        group.throughput(Throughput::Elements(items as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(items), &items, |b, _| {
+            b.iter(|| black_box(action.apply(&dataset, &map).expect("applies")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_condition_complexity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("condition_complexity");
+    let iq = iq();
+    let (dataset, map) = fixtures(1_000);
+    for (label, condition) in [
+        ("trivial", "HR_MC > 0"),
+        ("membership", "ScoreClass in q:high, q:mid"),
+        (
+            "paper",
+            "ScoreClass in q:high, q:mid and HR_MC > 0",
+        ),
+        (
+            "heavy",
+            "(ScoreClass in q:high, q:mid or HitRatio * 100 + MassCoverage / 2 > 40) \
+             and not (HR_MC < -250) and (HitRatio > 0.1 or MassCoverage > 5)",
+        ),
+    ] {
+        let action = ActionProcessor::new(
+            "keep",
+            CompiledAction::Filter { condition: condition.into() },
+            iq.clone(),
+        );
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(action.apply(&dataset, &map).expect("applies")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_splitter(c: &mut Criterion) {
+    let iq = iq();
+    let (dataset, map) = fixtures(1_000);
+    let action = ActionProcessor::new(
+        "triage",
+        CompiledAction::Split {
+            groups: vec![
+                ("high".into(), "ScoreClass in q:high".into()),
+                ("mid".into(), "ScoreClass in q:mid".into()),
+                ("salvage".into(), "HR_MC > 100".into()),
+            ],
+        },
+        iq,
+    );
+    c.bench_function("splitter_3_groups_1000", |b| {
+        b.iter(|| black_box(action.apply(&dataset, &map).expect("applies")))
+    });
+}
+
+fn bench_condition_parse(c: &mut Criterion) {
+    // the re-parse that edit-between-runs semantics costs per action run
+    let source = "ScoreClass in q:high, q:mid and HR_MC > 20";
+    c.bench_function("condition_parse", |b| {
+        b.iter(|| black_box(qurator_expr::parse(black_box(source)).expect("parses")))
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(15);
+    targets = bench_filter_sizes,
+    bench_condition_complexity,
+    bench_splitter,
+    bench_condition_parse
+}
+criterion_main!(benches);

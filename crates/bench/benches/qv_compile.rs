@@ -1,0 +1,61 @@
+//! E4 — quality-view compilation latency (paper §6.1): XML parse,
+//! semantic validation, and compilation to a workflow, swept over the
+//! number of quality-assertion operators in the view.
+
+use bench::{bench_engine, bench_view, scaled_view};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_parse(c: &mut Criterion) {
+    let xml = qurator::xmlio::spec_to_xml(&bench_view());
+    c.bench_function("qv_parse_xml", |b| {
+        b.iter(|| black_box(qurator::xmlio::parse_quality_view(black_box(&xml)).expect("parses")))
+    });
+}
+
+fn bench_validate(c: &mut Criterion) {
+    let engine = bench_engine();
+    let spec = bench_view();
+    c.bench_function("qv_validate", |b| {
+        b.iter(|| black_box(engine.validate(black_box(&spec)).expect("validates")))
+    });
+}
+
+fn bench_compile_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qv_compile");
+    for &assertions in &[1usize, 2, 4, 8, 16] {
+        let engine = bench_engine();
+        let spec = scaled_view(assertions, 2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(assertions),
+            &assertions,
+            |b, _| b.iter(|| black_box(engine.compile(black_box(&spec)).expect("compiles"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_end_to_end_compile(c: &mut Criterion) {
+    // parse + validate + compile, the full §6.1 path from XML text
+    let engine = bench_engine();
+    let xml = qurator::xmlio::spec_to_xml(&bench_view());
+    c.bench_function("qv_xml_to_workflow", |b| {
+        b.iter(|| {
+            let spec = qurator::xmlio::parse_quality_view(black_box(&xml)).expect("parses");
+            black_box(engine.compile(&spec).expect("compiles"))
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(15);
+    targets = bench_parse,
+    bench_validate,
+    bench_compile_sweep,
+    bench_end_to_end_compile
+}
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Experiment E7 (extension) — learned quality functions vs hand-crafted
+//! ones (paper §7 future work (ii)).
+//!
+//! Protocol: run the ISPIDER pipeline on *training* worlds (seeds where
+//! the simulator's ground truth labels every Imprint hit as true/false),
+//! train a decision stump and a logistic model on the hit evidence, then
+//! deploy each as a quality assertion on a held-out *test* world and
+//! compare with the paper's hand-crafted z-score + avg±σ classifier.
+//!
+//! ```sh
+//! cargo run -p bench --bin learned_qa
+//! ```
+
+use qurator::prelude::*;
+use qurator::spec::{ActionDecl, ActionKind, AssertionDecl, TagKind, VarDecl};
+use qurator_proteomics::{World, WorldConfig};
+use qurator_repro::ispider::{figure7_view, FIGURE7_GROUP};
+use qurator_repro::IspiderPipeline;
+use qurator_rdf::namespace::q;
+use qurator_services::learning::{
+    DecisionStump, LabelledExample, LearnedAssertion, LogisticConfig, LogisticModel,
+};
+use std::sync::Arc;
+
+/// Extracts labelled examples (hit evidence, is-true-protein) from a world.
+fn harvest_examples(world: &World) -> Vec<LabelledExample> {
+    let mut examples = Vec::new();
+    for peak_list in world.peak_lists() {
+        for hit in world.imprint.search(peak_list) {
+            examples.push(LabelledExample::new(
+                [
+                    ("hitratio", hit.hit_ratio),
+                    ("coverage", hit.mass_coverage),
+                    ("peptidescount", hit.peptides_count as f64),
+                ],
+                peak_list.true_proteins.contains(&hit.accession),
+            ));
+        }
+    }
+    examples
+}
+
+/// A view using a learned QA registered as `q:LearnedPIScore`.
+fn learned_view(threshold: f64) -> QualityViewSpec {
+    let mut spec = QualityViewSpec::new("learned");
+    spec.annotators = QualityViewSpec::paper_example().annotators;
+    spec.assertions.push(AssertionDecl {
+        service_name: "learned".into(),
+        service_type: "q:LearnedPIScore".into(),
+        tag_name: "P".into(),
+        tag_kind: TagKind::Score,
+        tag_sem_type: None,
+        repository_ref: "cache".into(),
+        variables: vec![
+            VarDecl::named("hitratio", "q:HitRatio"),
+            VarDecl::named("coverage", "q:MassCoverage"),
+            VarDecl::named("peptidescount", "q:PeptidesCount"),
+        ],
+    });
+    spec.actions.push(ActionDecl {
+        name: FIGURE7_GROUP.into(),
+        kind: ActionKind::Filter { condition: format!("P > {threshold}") },
+    });
+    spec
+}
+
+fn engine_with_learned(model: Box<dyn qurator_services::learning::DecisionModel>) -> QualityEngine {
+    let mut iq = qurator_ontology::IqModel::with_proteomics_extension().expect("iq");
+    iq.register_assertion_type("LearnedPIScore").expect("register");
+    let engine = QualityEngine::new(iq);
+    engine
+        .register_annotation_service(Arc::new(
+            qurator_services::stdlib::FieldCaptureAnnotator::new(
+                q::iri("ImprintOutputAnnotation"),
+                &[
+                    ("hitRatio", q::iri("HitRatio")),
+                    ("massCoverage", q::iri("MassCoverage")),
+                    ("peptidesCount", q::iri("PeptidesCount")),
+                ],
+            ),
+        ))
+        .expect("annotator");
+    engine
+        .register_assertion_service(Arc::new(LearnedAssertion::new(
+            q::iri("LearnedPIScore"),
+            model,
+        )))
+        .expect("assertion");
+    engine
+}
+
+fn main() {
+    // --- training data from three worlds
+    let mut training = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let world = World::generate(&WorldConfig::paper_scale(seed)).expect("world");
+        training.extend(harvest_examples(&world));
+    }
+    let positives = training.iter().filter(|e| e.label).count();
+    println!(
+        "training set: {} hits, {} true ({:.1}%)",
+        training.len(),
+        positives,
+        100.0 * positives as f64 / training.len() as f64
+    );
+
+    let stump = DecisionStump::train(&training).expect("stump");
+    println!(
+        "\ndecision stump: {} {} {:.3}  (training accuracy {:.3})",
+        stump.feature,
+        if stump.above_is_positive { ">" } else { "<" },
+        stump.threshold,
+        stump.training_accuracy
+    );
+    let logistic = LogisticModel::train(&training, &LogisticConfig::default()).expect("logistic");
+    println!("logistic model: training accuracy {:.3}", logistic.accuracy(&training));
+
+    // --- held-out evaluation
+    let test_world = World::generate(&WorldConfig::paper_scale(42)).expect("world");
+    println!("\n== held-out world (seed 42): filter comparison ==\n");
+    println!("{:<28} {:>6} {:>7} {:>7}", "quality function", "kept", "prec.", "recall");
+
+    // hand-crafted baseline (paper §5.1/§6.3)
+    let engine = QualityEngine::with_proteomics_defaults().expect("engine");
+    let out = IspiderPipeline::new(&test_world, &engine)
+        .run_filtered(&figure7_view(), FIGURE7_GROUP)
+        .expect("runs");
+    println!(
+        "{:<28} {:>6} {:>7.2} {:>7.2}",
+        "hand-crafted z + avg±σ",
+        out.spots.iter().map(|s| s.identified.len()).sum::<usize>(),
+        out.precision(),
+        out.recall()
+    );
+
+    // learned stump (threshold 0 on the margin score)
+    let engine = engine_with_learned(Box::new(stump));
+    let out = IspiderPipeline::new(&test_world, &engine)
+        .run_filtered(&learned_view(0.0), FIGURE7_GROUP)
+        .expect("runs");
+    println!(
+        "{:<28} {:>6} {:>7.2} {:>7.2}",
+        "learned decision stump",
+        out.spots.iter().map(|s| s.identified.len()).sum::<usize>(),
+        out.precision(),
+        out.recall()
+    );
+
+    // learned logistic (threshold 0.5 on probability)
+    let engine = engine_with_learned(Box::new(logistic));
+    let out = IspiderPipeline::new(&test_world, &engine)
+        .run_filtered(&learned_view(0.5), FIGURE7_GROUP)
+        .expect("runs");
+    println!(
+        "{:<28} {:>6} {:>7.2} {:>7.2}",
+        "learned logistic regression",
+        out.spots.iter().map(|s| s.identified.len()).sum::<usize>(),
+        out.precision(),
+        out.recall()
+    );
+}

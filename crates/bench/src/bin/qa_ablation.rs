@@ -1,0 +1,129 @@
+//! Experiment E2 — ablation over the §5.1 quality assertions: how do the
+//! alternative QAs compare, and how does the classifier threshold width
+//! (k in avg ± k·σ) trade identification precision against recall?
+//!
+//! The paper lets users "compare their relative effects by editing the
+//! selection criteria … at process execution time" but cannot score them
+//! without ground truth; our simulator can.
+//!
+//! ```sh
+//! cargo run -p bench --bin qa_ablation [seed]
+//! ```
+
+use qurator::prelude::*;
+use qurator::spec::ActionKind;
+use qurator_proteomics::{World, WorldConfig};
+use qurator_repro::IspiderPipeline;
+use qurator_rdf::namespace::q;
+use qurator_services::stdlib::StatClassifierAssertion;
+use std::sync::Arc;
+
+fn view_with_condition(condition: &str) -> QualityViewSpec {
+    let mut spec = QualityViewSpec::paper_example();
+    spec.actions[0].kind = ActionKind::Filter { condition: condition.to_string() };
+    spec
+}
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let world = World::generate(&WorldConfig::paper_scale(seed)).expect("testbed");
+    let group = "filter top k score";
+
+    println!("== E2a: alternative acceptability criteria (seed {seed}) ==\n");
+    println!("{:<46} {:>6} {:>10} {:>7} {:>7}", "criterion", "kept", "GO occs", "prec.", "recall");
+
+    let engine = QualityEngine::with_proteomics_defaults().expect("engine");
+    let pipeline = IspiderPipeline::new(&world, &engine);
+    let baseline = pipeline.run_unfiltered();
+    println!(
+        "{:<46} {:>6} {:>10} {:>7.2} {:>7.2}",
+        "(no filtering)",
+        baseline.spots.iter().map(|s| s.identified.len()).sum::<usize>(),
+        baseline.total_go_occurrences(),
+        baseline.precision(),
+        baseline.recall()
+    );
+
+    for condition in [
+        "ScoreClass in q:high",                       // §6.3's filter
+        "ScoreClass in q:high, q:mid",                // lenient classifier
+        "ScoreClass in q:high, q:mid and HR_MC > 0",  // §5.1's combined filter
+        "HR_MC > 1.5",                                // score-only (HR+MC+PC z)
+        "HR > 1.5",                                   // HR-only score
+        "HitRatio > 0.25",                            // raw evidence threshold
+        "HitRatio > 0.25 and MassCoverage > 10",      // raw evidence pair
+    ] {
+        let spec = view_with_condition(condition);
+        let out = pipeline.run_filtered(&spec, group).expect("runs");
+        println!(
+            "{:<46} {:>6} {:>10} {:>7.2} {:>7.2}",
+            condition,
+            out.spots.iter().map(|s| s.identified.len()).sum::<usize>(),
+            out.total_go_occurrences(),
+            out.precision(),
+            out.recall()
+        );
+    }
+
+    println!("\n== E2b: classifier threshold sweep (avg ± k·σ, keep q:high) ==\n");
+    println!("{:<8} {:>6} {:>7} {:>7}", "k", "kept", "prec.", "recall");
+    for k in [0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0] {
+        // an engine whose classifier uses this k
+        let engine = QualityEngine::with_proteomics_defaults().expect("engine");
+        // replace the classifier binding by registering under a fresh model
+        let mut iq = (**engine.iq()).clone();
+        iq.register_assertion_type("SweptClassifier").unwrap();
+        let engine = QualityEngine::new(iq);
+        // re-register stock services
+        engine
+            .register_annotation_service(Arc::new(
+                qurator_services::stdlib::FieldCaptureAnnotator::new(
+                    q::iri("ImprintOutputAnnotation"),
+                    &[
+                        ("hitRatio", q::iri("HitRatio")),
+                        ("massCoverage", q::iri("MassCoverage")),
+                        ("peptidesCount", q::iri("PeptidesCount")),
+                    ],
+                ),
+            ))
+            .unwrap();
+        engine
+            .register_assertion_service(Arc::new(qurator_services::stdlib::ZScoreAssertion::new(
+                q::iri("UniversalPIScore2"),
+                &["coverage", "hitratio", "peptidescount"],
+            )))
+            .unwrap();
+        engine
+            .register_assertion_service(Arc::new(qurator_services::stdlib::ZScoreAssertion::new(
+                q::iri("UniversalPIScore"),
+                &["hitratio"],
+            )))
+            .unwrap();
+        engine
+            .register_assertion_service(Arc::new(
+                StatClassifierAssertion::new(
+                    q::iri("PIScoreClassifier"),
+                    "score",
+                    q::iri("PIScoreClassification"),
+                    (q::iri("low"), q::iri("mid"), q::iri("high")),
+                )
+                .with_k(k),
+            ))
+            .unwrap();
+
+        let pipeline = IspiderPipeline::new(&world, &engine);
+        let spec = view_with_condition("ScoreClass in q:high");
+        let out = pipeline.run_filtered(&spec, group).expect("runs");
+        println!(
+            "{:<8} {:>6} {:>7.2} {:>7.2}",
+            k,
+            out.spots.iter().map(|s| s.identified.len()).sum::<usize>(),
+            out.precision(),
+            out.recall()
+        );
+    }
+    println!(
+        "\nreading: small k widens the q:high band (keeps every true hit); large k keeps only \
+         extreme outliers and starts costing recall (DESIGN.md E2)"
+    );
+}

@@ -1,0 +1,238 @@
+//! `qv` — the Quality Views command line.
+//!
+//! ```text
+//! qv validate <view.xml>                         check a view against the stock IQ model
+//! qv compile  <view.xml> [--dot]                 show the compiled workflow (§6.1)
+//! qv fmt      <view.xml>                         canonical pretty-print
+//! qv run      <view.xml> --data <hits.tsv>       execute over a TSV data set
+//!             [--group NAME] [--explain]
+//! qv library  <catalog.xml> [--search TEXT]      browse a shared view catalog (§7 iv)
+//! ```
+//!
+//! The TSV data format: a header row starting with `id`, one data row per
+//! item. Numeric-looking cells become numbers, everything else text:
+//!
+//! ```text
+//! id\thitRatio\tmassCoverage\tpeptidesCount
+//! urn:lsid:uniprot.org:uniprot:P30089\t0.82\t31\t9
+//! ```
+
+mod tsv;
+
+use qurator::library::ViewLibrary;
+use qurator::operators::ConditionOutcome;
+use qurator::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("qv: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    match command.as_str() {
+        "validate" => cmd_validate(args.get(1).ok_or_else(usage)?),
+        "compile" => cmd_compile(args.get(1).ok_or_else(usage)?, args.contains(&"--dot".into())),
+        "fmt" => cmd_fmt(args.get(1).ok_or_else(usage)?),
+        "run" => cmd_run(args),
+        "library" => cmd_library(args),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  qv validate <view.xml>\n  qv compile <view.xml> [--dot]\n  qv fmt <view.xml>\n  qv run <view.xml> --data <hits.tsv> [--group NAME] [--explain]\n  qv library <catalog.xml> [--search TEXT]"
+        .to_string()
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))
+}
+
+fn load_view(path: &str) -> Result<QualityViewSpec, String> {
+    qurator::xmlio::parse_quality_view(&read_file(path)?).map_err(|e| e.to_string())
+}
+
+fn stock_engine() -> Result<QualityEngine, String> {
+    QualityEngine::with_proteomics_defaults().map_err(|e| e.to_string())
+}
+
+fn cmd_validate(path: &str) -> Result<(), String> {
+    let spec = load_view(path)?;
+    let engine = stock_engine()?;
+    let view = engine.validate(&spec).map_err(|e| e.to_string())?;
+    println!("view {:?} is valid", spec.name);
+    println!("  annotators: {}", spec.annotators.len());
+    println!("  assertions: {} (tags: {})", spec.assertions.len(), spec.tag_names().join(", "));
+    println!("  actions:    {}", spec.actions.len());
+    println!("  enrichment plan:");
+    for (evidence, repo) in &view.enrichment_plan {
+        println!("    {} <- repository {:?}", engine.iq().compact(evidence), repo);
+    }
+    Ok(())
+}
+
+fn cmd_compile(path: &str, dot: bool) -> Result<(), String> {
+    let spec = load_view(path)?;
+    let engine = stock_engine()?;
+    let workflow = engine.compile(&spec).map_err(|e| e.to_string())?;
+    if dot {
+        print!("{}", workflow.to_dot());
+        return Ok(());
+    }
+    println!("compiled workflow {:?}", workflow.name());
+    println!(
+        "  {} processors, {} data links, {} control links",
+        workflow.len(),
+        workflow.data_links().len(),
+        workflow.control_links().len()
+    );
+    println!("  topological order: {:?}", workflow.topological_order().map_err(|e| e.to_string())?);
+    println!(
+        "  outputs: {:?}",
+        workflow.outputs().map(|(n, _)| n).collect::<Vec<_>>()
+    );
+    Ok(())
+}
+
+fn cmd_fmt(path: &str) -> Result<(), String> {
+    let spec = load_view(path)?;
+    print!("{}", qurator::xmlio::spec_to_xml(&spec));
+    Ok(())
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let view_path = args.get(1).ok_or_else(usage)?;
+    let data_path = flag_value(args, "--data").ok_or_else(usage)?;
+    let explain = args.contains(&"--explain".into());
+
+    let spec = load_view(view_path)?;
+    let dataset = tsv::read_dataset(&read_file(data_path)?)?;
+    let engine = stock_engine()?;
+    let outcome = engine.execute_view(&spec, &dataset).map_err(|e| e.to_string())?;
+
+    println!("input items: {}", dataset.len());
+    for group in &outcome.groups {
+        println!("\ngroup {:?}: {} item(s)", group.name, group.dataset.len());
+        for item in group.dataset.items() {
+            let tags: Vec<String> = group
+                .map
+                .item(item)
+                .map(|row| {
+                    row.tag_entries()
+                        .map(|(t, v)| format!("{t}={v}"))
+                        .collect()
+                })
+                .unwrap_or_default();
+            println!("  {}  [{}]", item, tags.join(", "));
+        }
+    }
+
+    if explain {
+        println!("\n== per-item explanations ==");
+        let requested = flag_value(args, "--group");
+        for action in &spec.actions {
+            if let Some(name) = requested {
+                if action.name != name {
+                    continue;
+                }
+            }
+            let compiled = match &action.kind {
+                qurator::spec::ActionKind::Filter { condition } => {
+                    qurator::operators::CompiledAction::Filter { condition: condition.clone() }
+                }
+                qurator::spec::ActionKind::Split { groups } => {
+                    qurator::operators::CompiledAction::Split { groups: groups.clone() }
+                }
+            };
+            // rebuild the consolidated map by re-running up to the actions
+            let view = engine.validate(&spec).map_err(|e| e.to_string())?;
+            let processor = qurator::operators::ActionProcessor::new(
+                action.name.clone(),
+                compiled,
+                engine.iq().clone(),
+            );
+            // the outcome's groups do not retain rejected rows, so
+            // recompute the full consolidated map with a pass-through probe
+            let map = rebuild_map(&engine, &view, &dataset)?;
+            for explanation in processor.explain(&dataset, &map).map_err(|e| e.to_string())? {
+                let outcomes: Vec<String> = explanation
+                    .outcomes
+                    .iter()
+                    .map(|(name, outcome)| {
+                        format!(
+                            "{name}:{}",
+                            match outcome {
+                                ConditionOutcome::Accepted => "accept",
+                                ConditionOutcome::Rejected => "reject",
+                                ConditionOutcome::Unknown => "null",
+                            }
+                        )
+                    })
+                    .collect();
+                println!("  {}  {}", explanation.item, outcomes.join(" "));
+            }
+        }
+    }
+    engine.finish_execution();
+    Ok(())
+}
+
+/// Re-runs annotation + enrichment + assertions to obtain the consolidated
+/// map the actions saw (for explanations).
+fn rebuild_map(
+    engine: &QualityEngine,
+    view: &qurator::validate::ValidatedView,
+    dataset: &DataSet,
+) -> Result<AnnotationMap, String> {
+    // run the interpreter with a pass-through action to capture the map
+    let mut probe = view.spec.clone();
+    probe.actions = vec![qurator::spec::ActionDecl {
+        name: "__all__".into(),
+        kind: qurator::spec::ActionKind::Filter { condition: "true".into() },
+    }];
+    let outcome = engine.execute_view(&probe, dataset).map_err(|e| e.to_string())?;
+    Ok(outcome.groups[0].map.clone())
+}
+
+fn cmd_library(args: &[String]) -> Result<(), String> {
+    let path = args.get(1).ok_or_else(usage)?;
+    let library = ViewLibrary::from_xml(&read_file(path)?).map_err(|e| e.to_string())?;
+    let entries: Vec<_> = match flag_value(args, "--search") {
+        Some(text) => library.search(text),
+        None => library.iter().collect(),
+    };
+    println!("{} view(s)", entries.len());
+    for entry in entries {
+        println!(
+            "\n{}  (by {})\n  {}\n  evidence: {} | tags: {} | keywords: {}",
+            entry.spec.name,
+            entry.metadata.author,
+            entry.metadata.description,
+            entry.spec.referenced_evidence().join(", "),
+            entry.spec.tag_names().join(", "),
+            entry.metadata.keywords.join(", "),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! Tab-separated data sets for the CLI.
+//!
+//! First row: header, first column must be `id`. Cells parse as numbers
+//! when they look numeric, `true`/`false` as booleans, empty as null
+//! (omitted), everything else as text.
+
+use qurator::prelude::*;
+use qurator_rdf::term::{Iri, Term};
+
+/// Parses the TSV text into a data set.
+pub fn read_dataset(text: &str) -> Result<DataSet, String> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let Some((_, header)) = lines.next() else {
+        return Err("empty data file".into());
+    };
+    let columns: Vec<&str> = header.split('\t').map(str::trim).collect();
+    if columns.first() != Some(&"id") {
+        return Err(format!(
+            "first header column must be 'id', found {:?}",
+            columns.first().unwrap_or(&"")
+        ));
+    }
+    let mut dataset = DataSet::new();
+    for (line_no, line) in lines {
+        let cells: Vec<&str> = line.split('\t').map(str::trim).collect();
+        if cells.len() != columns.len() {
+            return Err(format!(
+                "line {}: expected {} columns, found {}",
+                line_no + 1,
+                columns.len(),
+                cells.len()
+            ));
+        }
+        let id = cells[0];
+        let item = Iri::try_new(id)
+            .map(Term::Iri)
+            .map_err(|_| format!("line {}: invalid item IRI {id:?}", line_no + 1))?;
+        let mut fields: Vec<(String, EvidenceValue)> = Vec::new();
+        for (column, cell) in columns.iter().zip(&cells).skip(1) {
+            if cell.is_empty() {
+                continue;
+            }
+            fields.push((column.to_string(), parse_cell(cell)));
+        }
+        dataset.push(item, fields);
+    }
+    Ok(dataset)
+}
+
+fn parse_cell(cell: &str) -> EvidenceValue {
+    if let Ok(n) = cell.parse::<f64>() {
+        return EvidenceValue::Number(n);
+    }
+    match cell {
+        "true" => EvidenceValue::Bool(true),
+        "false" => EvidenceValue::Bool(false),
+        other => EvidenceValue::Text(other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "id\thitRatio\tmassCoverage\tlab\n\
+        urn:lsid:t:h:1\t0.82\t31\taberdeen\n\
+        urn:lsid:t:h:2\t0.4\t\tfalse\n";
+
+    #[test]
+    fn parses_sample() {
+        let ds = read_dataset(SAMPLE).unwrap();
+        assert_eq!(ds.len(), 2);
+        let item1 = Term::iri("urn:lsid:t:h:1");
+        assert_eq!(ds.field(&item1, "hitRatio"), EvidenceValue::Number(0.82));
+        assert_eq!(ds.field(&item1, "lab"), EvidenceValue::Text("aberdeen".into()));
+        let item2 = Term::iri("urn:lsid:t:h:2");
+        assert_eq!(ds.field(&item2, "massCoverage"), EvidenceValue::Null, "empty cell omitted");
+        assert_eq!(ds.field(&item2, "lab"), EvidenceValue::Bool(false));
+    }
+
+    #[test]
+    fn rejects_bad_headers_and_rows() {
+        assert!(read_dataset("").is_err());
+        assert!(read_dataset("name\tx\nfoo\t1\n").is_err());
+        assert!(read_dataset("id\tx\nurn:lsid:t:h:1\t1\t2\n").is_err());
+        assert!(read_dataset("id\tx\nnot an iri\t1\n").is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let ds = read_dataset("id\tx\n\nurn:lsid:t:h:1\t5\n\n").unwrap();
+        assert_eq!(ds.len(), 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end tests of the `qv` binary (spawned as a real process).
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn qv(args: &[&str]) -> (bool, String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_qv"))
+        .args(args)
+        .output()
+        .expect("spawn qv");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("qv-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create");
+    f.write_all(contents.as_bytes()).expect("write");
+    path
+}
+
+const VIEW: &str = r#"
+<QualityView name="cli-test">
+  <Annotator serviceName="imprint" serviceType="q:ImprintOutputAnnotation">
+    <variables repositoryRef="cache" persistent="false">
+      <var evidence="q:HitRatio"/>
+      <var evidence="q:MassCoverage"/>
+      <var evidence="q:PeptidesCount"/>
+    </variables>
+  </Annotator>
+  <QualityAssertion serviceName="score" serviceType="q:UniversalPIScore2"
+                    tagName="HR_MC" tagSynType="q:score">
+    <variables repositoryRef="cache">
+      <var variableName="coverage" evidence="q:MassCoverage"/>
+      <var variableName="hitratio" evidence="q:HitRatio"/>
+      <var variableName="peptidescount" evidence="q:PeptidesCount"/>
+    </variables>
+  </QualityAssertion>
+  <action name="keep">
+    <filter><condition>HR_MC &gt; 0</condition></filter>
+  </action>
+</QualityView>"#;
+
+const DATA: &str = "id\thitRatio\tmassCoverage\tpeptidesCount\n\
+urn:lsid:t:h:good\t0.9\t40\t12\n\
+urn:lsid:t:h:bad\t0.1\t3\t1\n";
+
+#[test]
+fn validate_accepts_good_view() {
+    let view = write_temp("good.xml", VIEW);
+    let (ok, stdout, stderr) = qv(&["validate", view.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("is valid"));
+    assert!(stdout.contains("q:HitRatio"));
+}
+
+#[test]
+fn validate_rejects_bad_view() {
+    let view = write_temp("bad.xml", "<QualityView name='x'><junk/></QualityView>");
+    let (ok, _, stderr) = qv(&["validate", view.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("junk"), "stderr: {stderr}");
+}
+
+#[test]
+fn compile_prints_structure_and_dot() {
+    let view = write_temp("good2.xml", VIEW);
+    let (ok, stdout, _) = qv(&["compile", view.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("processors"));
+    let (ok, dot, _) = qv(&["compile", view.to_str().unwrap(), "--dot"]);
+    assert!(ok);
+    assert!(dot.contains("digraph"));
+    assert!(dot.contains("DataEnrichment"));
+}
+
+#[test]
+fn run_filters_and_explains() {
+    let view = write_temp("good3.xml", VIEW);
+    let data = write_temp("hits.tsv", DATA);
+    let (ok, stdout, stderr) = qv(&[
+        "run",
+        view.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+        "--explain",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("group \"keep\": 1 item(s)"), "{stdout}");
+    assert!(stdout.contains("urn:lsid:t:h:good"));
+    assert!(stdout.contains("keep:accept"));
+    assert!(stdout.contains("keep:reject"));
+}
+
+#[test]
+fn fmt_is_canonical() {
+    let view = write_temp("good4.xml", VIEW);
+    let (ok, once, _) = qv(&["fmt", view.to_str().unwrap()]);
+    assert!(ok);
+    let reformatted = write_temp("good4b.xml", &once);
+    let (ok, twice, _) = qv(&["fmt", reformatted.to_str().unwrap()]);
+    assert!(ok);
+    assert_eq!(once, twice);
+}
+
+#[test]
+fn library_lists_and_searches() {
+    // build a catalog via the library API to guarantee a valid document
+    let mut library = qurator::library::ViewLibrary::new();
+    library
+        .publish(
+            qurator::spec::QualityViewSpec::paper_example(),
+            qurator::library::ViewMetadata {
+                author: "tester".into(),
+                description: "the paper's running example".into(),
+                keywords: vec!["accuracy".into()],
+            },
+        )
+        .unwrap();
+    let catalog = write_temp("catalog.xml", &library.to_xml());
+    let (ok, stdout, _) = qv(&["library", catalog.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("1 view(s)"));
+    assert!(stdout.contains("ispider-pmf-quality"));
+    let (ok, stdout, _) = qv(&["library", catalog.to_str().unwrap(), "--search", "nothing-here"]);
+    assert!(ok);
+    assert!(stdout.contains("0 view(s)"));
+}
+
+#[test]
+fn usage_on_bad_invocations() {
+    let (ok, _, stderr) = qv(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+    let (ok, _, stderr) = qv(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    let (ok, stdout, _) = qv(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("usage"));
+}

@@ -1,0 +1,409 @@
+//! The quality-view compiler (§6.1).
+//!
+//! Compilation rules, as stated in the paper:
+//!
+//! 1. annotators are added first; their inputs are initially unbound and
+//!    they only write to repositories;
+//! 2. the compiler determines the association between each evidence type
+//!    and the repository holding its value, and adds **one single** Data
+//!    Enrichment operator configured with that association; a control link
+//!    runs from each annotator to the DE;
+//! 3. the DE output (an annotation map) feeds all QA processors through
+//!    their common interface;
+//! 4. a `ConsolidateAssertions` task merges the assertions into a
+//!    consistent view;
+//! 5. action processors are added last, fed by the consolidated map; their
+//!    output ports become the workflow outputs bound back to the embedding
+//!    workflow at deployment time.
+//!
+//! One extension beyond the paper's sketch: QAs may reference tags of
+//! earlier QAs (`tag:HR_MC` — the §5.1 classifier consumes the score QA's
+//! output). Such QAs are chained behind their producers; when a QA needs
+//! tags from several producers, a dedicated consolidation node merges them
+//! first.
+
+use crate::operators::{
+    ActionProcessor, AnnotatorProcessor, AssertionProcessor, CompiledAction,
+    ConsolidateProcessor, DataEnrichmentProcessor,
+};
+use crate::spec::ActionKind;
+use crate::validate::{BindingTarget, ValidatedView};
+use crate::{QuratorError, Result};
+use qurator_annotations::RepositoryCatalog;
+use qurator_ontology::IqModel;
+use qurator_services::{ServiceRegistry, VariableBindings};
+use qurator_workflow::{PortRef, Workflow};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Node name of the single Data-Enrichment operator.
+pub const DATA_ENRICHMENT: &str = "DataEnrichment";
+/// Node name of the final consolidation task.
+pub const CONSOLIDATE: &str = "ConsolidateAssertions";
+/// Name of the workflow input carrying the data set.
+pub const DATASET_INPUT: &str = "dataset";
+
+/// Compiles a validated view into an executable workflow.
+pub fn compile(
+    view: &ValidatedView,
+    iq: &Arc<IqModel>,
+    registry: &ServiceRegistry,
+    catalog: &RepositoryCatalog,
+) -> Result<Workflow> {
+    let spec = &view.spec;
+    let compile_err = |m: String| QuratorError::Compile(m);
+    let mut workflow = Workflow::new(format!("qv:{}", spec.name));
+
+    // repository resolution honouring declared persistence
+    let mut persistence: BTreeMap<&str, bool> = BTreeMap::new();
+    for a in &spec.annotators {
+        persistence.insert(&a.repository_ref, a.persistent);
+    }
+    let resolve_repo = |name: &str| -> Arc<qurator_annotations::AnnotationRepository> {
+        if let Some(repo) = catalog.get(name) {
+            return repo;
+        }
+        let persistent = persistence.get(name).copied().unwrap_or(false);
+        catalog
+            .create(name, persistent)
+            .unwrap_or_else(|_| catalog.get(name).expect("created concurrently"))
+    };
+
+    // ---- rule 1: annotators first
+    for (decl, service_type) in spec.annotators.iter().zip(&view.annotator_types) {
+        let service = registry
+            .annotator(service_type)
+            .map_err(|e| compile_err(e.to_string()))?;
+        let repo = resolve_repo(&decl.repository_ref);
+        workflow
+            .add(
+                decl.service_name.clone(),
+                Arc::new(AnnotatorProcessor::new(
+                    decl.service_name.clone(),
+                    service,
+                    repo,
+                )),
+            )
+            .map_err(|e| compile_err(e.to_string()))?;
+        workflow
+            .declare_input(DATASET_INPUT, PortRef::new(&decl.service_name, "dataset"))
+            .map_err(|e| compile_err(e.to_string()))?;
+    }
+
+    // ---- rule 2: one DE with the evidence→repository association
+    let plan = view
+        .enrichment_plan
+        .iter()
+        .map(|(evidence, repo)| (evidence.clone(), resolve_repo(repo)))
+        .collect();
+    workflow
+        .add(
+            DATA_ENRICHMENT,
+            Arc::new(DataEnrichmentProcessor::new(DATA_ENRICHMENT, plan)),
+        )
+        .map_err(|e| compile_err(e.to_string()))?;
+    workflow
+        .declare_input(DATASET_INPUT, PortRef::new(DATA_ENRICHMENT, "dataset"))
+        .map_err(|e| compile_err(e.to_string()))?;
+    for decl in &spec.annotators {
+        workflow
+            .control_link(&decl.service_name, DATA_ENRICHMENT)
+            .map_err(|e| compile_err(e.to_string()))?;
+    }
+
+    // ---- rule 3 (+ tag-dependency chaining): QAs
+    // tag name → producing QA node
+    let mut tag_producer: BTreeMap<&str, &str> = BTreeMap::new();
+    for (index, decl) in spec.assertions.iter().enumerate() {
+        let service = registry
+            .assertion(&view.assertion_types[index])
+            .map_err(|e| compile_err(e.to_string()))?;
+        let mut bindings = VariableBindings::new();
+        let mut dependencies: Vec<&str> = Vec::new();
+        for (variable, target) in &view.assertion_bindings[index] {
+            match target {
+                BindingTarget::Evidence(e) => {
+                    bindings = bindings.bind_evidence(variable.clone(), e.clone());
+                }
+                BindingTarget::Tag(tag) => {
+                    bindings = bindings.bind_tag(variable.clone(), tag.clone());
+                    let producer = tag_producer.get(tag.as_str()).ok_or_else(|| {
+                        compile_err(format!("tag {tag:?} has no producer (validation gap)"))
+                    })?;
+                    if !dependencies.contains(producer) {
+                        dependencies.push(producer);
+                    }
+                }
+            }
+        }
+        workflow
+            .add(
+                decl.service_name.clone(),
+                Arc::new(AssertionProcessor::new(
+                    decl.service_name.clone(),
+                    service,
+                    bindings,
+                    decl.tag_name.clone(),
+                )),
+            )
+            .map_err(|e| compile_err(e.to_string()))?;
+
+        // wire the map input
+        match dependencies.len() {
+            0 => {
+                workflow
+                    .link(DATA_ENRICHMENT, "map", &decl.service_name, "map")
+                    .map_err(|e| compile_err(e.to_string()))?;
+            }
+            1 => {
+                workflow
+                    .link(dependencies[0], "map", &decl.service_name, "map")
+                    .map_err(|e| compile_err(e.to_string()))?;
+            }
+            n => {
+                let merge_node = format!("consolidate-for-{}", decl.service_name);
+                workflow
+                    .add(
+                        merge_node.clone(),
+                        Arc::new(ConsolidateProcessor::new(merge_node.clone(), n)),
+                    )
+                    .map_err(|e| compile_err(e.to_string()))?;
+                for (slot, producer) in dependencies.iter().enumerate() {
+                    workflow
+                        .link(producer, "map", &merge_node, &format!("map{slot}"))
+                        .map_err(|e| compile_err(e.to_string()))?;
+                }
+                workflow
+                    .link(&merge_node, "map", &decl.service_name, "map")
+                    .map_err(|e| compile_err(e.to_string()))?;
+            }
+        }
+        tag_producer.insert(&decl.tag_name, &decl.service_name);
+    }
+
+    // ---- rule 4: ConsolidateAssertions over every QA output (or the DE
+    // map when the view declares no QAs)
+    let consolidate_inputs = spec.assertions.len().max(1);
+    workflow
+        .add(
+            CONSOLIDATE,
+            Arc::new(ConsolidateProcessor::new(CONSOLIDATE, consolidate_inputs)),
+        )
+        .map_err(|e| compile_err(e.to_string()))?;
+    if spec.assertions.is_empty() {
+        workflow
+            .link(DATA_ENRICHMENT, "map", CONSOLIDATE, "map0")
+            .map_err(|e| compile_err(e.to_string()))?;
+    } else {
+        for (slot, decl) in spec.assertions.iter().enumerate() {
+            workflow
+                .link(&decl.service_name, "map", CONSOLIDATE, &format!("map{slot}"))
+                .map_err(|e| compile_err(e.to_string()))?;
+        }
+    }
+
+    // ---- rule 5: actions
+    for action in &spec.actions {
+        let compiled = match &action.kind {
+            ActionKind::Filter { condition } => {
+                CompiledAction::Filter { condition: condition.clone() }
+            }
+            ActionKind::Split { groups } => CompiledAction::Split { groups: groups.clone() },
+        };
+        let processor = ActionProcessor::new(action.name.clone(), compiled, iq.clone());
+        let group_names = processor.group_names();
+        workflow
+            .add(action.name.clone(), Arc::new(processor))
+            .map_err(|e| compile_err(e.to_string()))?;
+        workflow
+            .declare_input(DATASET_INPUT, PortRef::new(&action.name, "dataset"))
+            .map_err(|e| compile_err(e.to_string()))?;
+        workflow
+            .link(CONSOLIDATE, "map", &action.name, "map")
+            .map_err(|e| compile_err(e.to_string()))?;
+        for group in group_names {
+            workflow
+                .declare_output(group.clone(), PortRef::new(&action.name, group.clone()))
+                .map_err(|e| compile_err(e.to_string()))?;
+        }
+    }
+
+    workflow
+        .validate()
+        .map_err(|e| compile_err(format!("compiled workflow is invalid: {e}")))?;
+    Ok(workflow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::QualityViewSpec;
+    use crate::validate::validate;
+    use qurator_rdf::namespace::q;
+    use qurator_services::stdlib::{
+        FieldCaptureAnnotator, StatClassifierAssertion, ZScoreAssertion,
+    };
+
+    fn setup() -> (Arc<IqModel>, ServiceRegistry, RepositoryCatalog) {
+        let iq = Arc::new(IqModel::with_proteomics_extension().unwrap());
+        let registry = ServiceRegistry::new();
+        registry
+            .register_annotator(Arc::new(FieldCaptureAnnotator::new(
+                q::iri("ImprintOutputAnnotation"),
+                &[
+                    ("hitRatio", q::iri("HitRatio")),
+                    ("massCoverage", q::iri("MassCoverage")),
+                    ("peptidesCount", q::iri("PeptidesCount")),
+                ],
+            )))
+            .unwrap();
+        registry
+            .register_assertion(Arc::new(ZScoreAssertion::new(
+                q::iri("UniversalPIScore2"),
+                &["coverage", "hitratio", "peptidescount"],
+            )))
+            .unwrap();
+        registry
+            .register_assertion(Arc::new(ZScoreAssertion::new(
+                q::iri("UniversalPIScore"),
+                &["hitratio"],
+            )))
+            .unwrap();
+        registry
+            .register_assertion(Arc::new(StatClassifierAssertion::new(
+                q::iri("PIScoreClassifier"),
+                "score",
+                q::iri("PIScoreClassification"),
+                (q::iri("low"), q::iri("mid"), q::iri("high")),
+            )))
+            .unwrap();
+        let catalog = RepositoryCatalog::new(iq.clone());
+        (iq, registry, catalog)
+    }
+
+    #[test]
+    fn paper_view_compiles_with_figure6_structure() {
+        let (iq, registry, catalog) = setup();
+        let view = validate(&QualityViewSpec::paper_example(), &iq, &registry).unwrap();
+        let wf = compile(&view, &iq, &registry, &catalog).unwrap();
+
+        // nodes: 1 annotator + DE + 3 QAs + consolidate + 1 action
+        assert_eq!(wf.len(), 7);
+        assert!(wf.nodes().any(|n| n == "ImprintOutputAnnotator"));
+        assert!(wf.nodes().any(|n| n == DATA_ENRICHMENT));
+        assert!(wf.nodes().any(|n| n == CONSOLIDATE));
+
+        // control link annotator -> DE (rule 2)
+        assert!(wf
+            .control_links()
+            .iter()
+            .any(|(a, b)| a == "ImprintOutputAnnotator" && b == DATA_ENRICHMENT));
+
+        // DE feeds the two score QAs, the classifier chains behind HR_MC
+        let de_feeds: Vec<&str> = wf
+            .data_links()
+            .iter()
+            .filter(|l| l.from.processor == DATA_ENRICHMENT)
+            .map(|l| l.to.processor.as_str())
+            .collect();
+        assert!(de_feeds.contains(&"HR_MC_score"));
+        assert!(de_feeds.contains(&"HR_score"));
+        assert!(!de_feeds.contains(&"PIScoreClassifier"));
+        assert!(wf
+            .data_links()
+            .iter()
+            .any(|l| l.from.processor == "HR_MC_score" && l.to.processor == "PIScoreClassifier"));
+
+        // every QA feeds the consolidator, which feeds the action
+        for qa in ["HR_MC_score", "HR_score", "PIScoreClassifier"] {
+            assert!(wf
+                .data_links()
+                .iter()
+                .any(|l| l.from.processor == qa && l.to.processor == CONSOLIDATE));
+        }
+        assert!(wf
+            .data_links()
+            .iter()
+            .any(|l| l.from.processor == CONSOLIDATE
+                && l.to.processor == "filter top k score"));
+
+        // outputs: one group for the filter
+        let outputs: Vec<&str> = wf.outputs().map(|(n, _)| n).collect();
+        assert_eq!(outputs, vec!["filter top k score"]);
+
+        // repositories were created
+        assert!(catalog.get("cache").is_some());
+        assert!(!catalog.get("cache").unwrap().is_persistent());
+    }
+
+    #[test]
+    fn multi_tag_dependency_gets_a_merge_node() {
+        let (mut_iq, registry, catalog) = setup();
+        let mut iq = (*mut_iq).clone();
+        iq.register_assertion_type("Combiner").unwrap();
+        let iq = Arc::new(iq);
+        registry
+            .register_assertion(Arc::new(ZScoreAssertion::new(q::iri("Combiner"), &["a", "b"])))
+            .unwrap();
+
+        let mut spec = QualityViewSpec::paper_example();
+        spec.assertions.push(crate::spec::AssertionDecl {
+            service_name: "combined".into(),
+            service_type: "q:Combiner".into(),
+            tag_name: "COMBO".into(),
+            tag_kind: crate::spec::TagKind::Score,
+            tag_sem_type: None,
+            repository_ref: "cache".into(),
+            variables: vec![
+                crate::spec::VarDecl::named("a", "tag:HR_MC"),
+                crate::spec::VarDecl::named("b", "tag:HR"),
+            ],
+        });
+        let view = validate(&spec, &iq, &registry).unwrap();
+        let wf = compile(&view, &iq, &registry, &catalog).unwrap();
+        assert!(wf.nodes().any(|n| n == "consolidate-for-combined"));
+        assert!(wf
+            .data_links()
+            .iter()
+            .any(|l| l.from.processor == "consolidate-for-combined"
+                && l.to.processor == "combined"));
+    }
+
+    #[test]
+    fn splitter_outputs_one_port_per_group_plus_default() {
+        let (iq, registry, catalog) = setup();
+        let mut spec = QualityViewSpec::paper_example();
+        spec.actions[0].kind = ActionKind::Split {
+            groups: vec![
+                ("strong".into(), "ScoreClass in q:high".into()),
+                ("weak".into(), "ScoreClass in q:low".into()),
+            ],
+        };
+        let view = validate(&spec, &iq, &registry).unwrap();
+        let wf = compile(&view, &iq, &registry, &catalog).unwrap();
+        let mut outputs: Vec<&str> = wf.outputs().map(|(n, _)| n).collect();
+        outputs.sort();
+        assert_eq!(
+            outputs,
+            vec![
+                "filter top k score/default",
+                "filter top k score/strong",
+                "filter top k score/weak"
+            ]
+        );
+    }
+
+    #[test]
+    fn view_without_assertions_compiles() {
+        let (iq, registry, catalog) = setup();
+        let mut spec = QualityViewSpec::new("raw");
+        spec.actions.push(crate::spec::ActionDecl {
+            name: "keep".into(),
+            kind: ActionKind::Filter { condition: "HitRatio > 0.5".into() },
+        });
+        let view = validate(&spec, &iq, &registry).unwrap();
+        let wf = compile(&view, &iq, &registry, &catalog).unwrap();
+        // DE -> consolidate -> action
+        assert_eq!(wf.len(), 3);
+    }
+}

@@ -1,0 +1,218 @@
+//! Encodings of the service message model onto the workflow data model.
+//!
+//! Compiled quality workflows ship [`DataSet`]s and [`AnnotationMap`]s over
+//! data links; the workflow engine only knows its own [`Data`] values, so
+//! the operators (de)serialize through the record encoding defined here.
+
+use crate::{QuratorError, Result};
+use qurator_annotations::{AnnotationMap, EvidenceValue};
+use qurator_rdf::term::{Iri, Term};
+use qurator_services::DataSet;
+use qurator_workflow::Data;
+use std::collections::BTreeMap;
+
+/// Encodes one evidence value. `Class` labels are wrapped in a one-field
+/// record so they stay distinguishable from plain text.
+pub fn evidence_to_data(value: &EvidenceValue) -> Data {
+    match value {
+        EvidenceValue::Number(n) => Data::Number(*n),
+        EvidenceValue::Text(s) => Data::Text(s.clone()),
+        EvidenceValue::Bool(b) => Data::Bool(*b),
+        EvidenceValue::Class(iri) => Data::record([("class", Data::Text(iri.as_str().into()))]),
+        EvidenceValue::Null => Data::Null,
+    }
+}
+
+/// Decodes an evidence value.
+pub fn data_to_evidence(data: &Data) -> Result<EvidenceValue> {
+    Ok(match data {
+        Data::Number(n) => EvidenceValue::Number(*n),
+        Data::Text(s) => EvidenceValue::Text(s.clone()),
+        Data::Bool(b) => EvidenceValue::Bool(*b),
+        Data::Null => EvidenceValue::Null,
+        Data::Record(fields) if fields.len() == 1 && fields.contains_key("class") => {
+            let Some(Data::Text(iri)) = fields.get("class") else {
+                return Err(QuratorError::Execution("malformed class value".into()));
+            };
+            EvidenceValue::Class(
+                Iri::try_new(iri)
+                    .map_err(|e| QuratorError::Execution(format!("bad class IRI: {e}")))?,
+            )
+        }
+        other => {
+            return Err(QuratorError::Execution(format!(
+                "cannot decode evidence value from {other}"
+            )))
+        }
+    })
+}
+
+/// Encodes a data set: `{items: [{id, fields: {…}}]}`.
+pub fn dataset_to_data(dataset: &DataSet) -> Data {
+    let items: Vec<Data> = dataset
+        .items()
+        .iter()
+        .map(|item| {
+            let fields: BTreeMap<String, Data> = dataset
+                .fields(item)
+                .map(|(k, v)| (k.to_string(), evidence_to_data(v)))
+                .collect();
+            Data::record([
+                ("id", Data::Text(term_to_text(item))),
+                ("fields", Data::Record(fields)),
+            ])
+        })
+        .collect();
+    Data::record([("items", Data::List(items))])
+}
+
+/// Decodes a data set.
+pub fn data_to_dataset(data: &Data) -> Result<DataSet> {
+    let items = data
+        .field("items")
+        .and_then(Data::as_list)
+        .ok_or_else(|| QuratorError::Execution("dataset encoding lacks items".into()))?;
+    let mut dataset = DataSet::new();
+    for entry in items {
+        let id = entry
+            .field("id")
+            .and_then(Data::as_text)
+            .ok_or_else(|| QuratorError::Execution("dataset item lacks id".into()))?;
+        let item = text_to_term(id)?;
+        let mut fields: Vec<(String, EvidenceValue)> = Vec::new();
+        if let Some(Data::Record(map)) = entry.field("fields") {
+            for (k, v) in map {
+                fields.push((k.clone(), data_to_evidence(v)?));
+            }
+        }
+        dataset.push(item, fields);
+    }
+    Ok(dataset)
+}
+
+/// Encodes an annotation map:
+/// `{items: [{id, evidence: {iri: value}, tags: {name: value}}]}`.
+pub fn map_to_data(map: &AnnotationMap) -> Data {
+    let items: Vec<Data> = map
+        .items()
+        .iter()
+        .map(|item| {
+            let row = map.item(item).expect("listed");
+            let evidence: BTreeMap<String, Data> = row
+                .evidence_entries()
+                .map(|(e, v)| (e.as_str().to_string(), evidence_to_data(v)))
+                .collect();
+            let tags: BTreeMap<String, Data> = row
+                .tag_entries()
+                .map(|(t, v)| (t.to_string(), evidence_to_data(v)))
+                .collect();
+            Data::record([
+                ("id", Data::Text(term_to_text(item))),
+                ("evidence", Data::Record(evidence)),
+                ("tags", Data::Record(tags)),
+            ])
+        })
+        .collect();
+    Data::record([("items", Data::List(items))])
+}
+
+/// Decodes an annotation map.
+pub fn data_to_map(data: &Data) -> Result<AnnotationMap> {
+    let items = data
+        .field("items")
+        .and_then(Data::as_list)
+        .ok_or_else(|| QuratorError::Execution("map encoding lacks items".into()))?;
+    let mut map = AnnotationMap::new();
+    for entry in items {
+        let id = entry
+            .field("id")
+            .and_then(Data::as_text)
+            .ok_or_else(|| QuratorError::Execution("map item lacks id".into()))?;
+        let item = text_to_term(id)?;
+        map.ensure_item(item.clone());
+        if let Some(Data::Record(evidence)) = entry.field("evidence") {
+            for (e, v) in evidence {
+                let iri = Iri::try_new(e)
+                    .map_err(|err| QuratorError::Execution(format!("bad evidence IRI: {err}")))?;
+                map.set_evidence(&item, iri, data_to_evidence(v)?);
+            }
+        }
+        if let Some(Data::Record(tags)) = entry.field("tags") {
+            for (t, v) in tags {
+                map.set_tag(&item, t.clone(), data_to_evidence(v)?);
+            }
+        }
+    }
+    Ok(map)
+}
+
+fn term_to_text(term: &Term) -> String {
+    match term {
+        Term::Iri(iri) => iri.as_str().to_string(),
+        other => other.to_string(),
+    }
+}
+
+fn text_to_term(text: &str) -> Result<Term> {
+    Iri::try_new(text)
+        .map(Term::Iri)
+        .map_err(|e| QuratorError::Execution(format!("bad item IRI {text:?}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qurator_rdf::namespace::q;
+
+    fn item(n: u32) -> Term {
+        Term::iri(format!("urn:lsid:t:h:{n}"))
+    }
+
+    #[test]
+    fn evidence_roundtrip() {
+        for v in [
+            EvidenceValue::Number(1.5),
+            EvidenceValue::Text("x".into()),
+            EvidenceValue::Bool(true),
+            EvidenceValue::Class(q::iri("high")),
+            EvidenceValue::Null,
+        ] {
+            assert_eq!(data_to_evidence(&evidence_to_data(&v)).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn class_distinguishable_from_text() {
+        let class = evidence_to_data(&EvidenceValue::Class(q::iri("high")));
+        let text = evidence_to_data(&EvidenceValue::Text(q::iri("high").as_str().into()));
+        assert_ne!(class, text);
+    }
+
+    #[test]
+    fn dataset_roundtrip() {
+        let mut ds = DataSet::new();
+        ds.push(item(1), [("hitRatio", 0.8.into()), ("lab", "aberdeen".into())]);
+        ds.push(item(2), [("hitRatio", 0.2.into())]);
+        let encoded = dataset_to_data(&ds);
+        let back = data_to_dataset(&encoded).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut map = AnnotationMap::new();
+        map.set_evidence(&item(1), q::iri("HitRatio"), 0.9.into());
+        map.set_tag(&item(1), "ScoreClass", EvidenceValue::Class(q::iri("high")));
+        map.ensure_item(item(2)); // bare item
+        let encoded = map_to_data(&map);
+        let back = data_to_map(&encoded).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert!(data_to_dataset(&Data::Null).is_err());
+        assert!(data_to_map(&Data::record([("items", Data::list([Data::Null]))])).is_err());
+        assert!(data_to_evidence(&Data::list([])).is_err());
+    }
+}

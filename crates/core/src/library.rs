@@ -1,0 +1,242 @@
+//! A shareable library of quality views — the paper's future-work item
+//! (iv): "providing user-friendly interfaces for the reuse of quality
+//! components \[and\] views defined by peers within a scientific community".
+//!
+//! Views are stored with authorship/description metadata, can be searched
+//! by the evidence types they consume, the tags they produce, or free
+//! text, and the whole library round-trips through one XML catalog
+//! document (`<QualityViewLibrary>`), so communities can exchange it as a
+//! single file.
+
+use crate::spec::QualityViewSpec;
+use crate::xmlio;
+use crate::{QuratorError, Result};
+use qurator_xml::Element;
+use std::collections::BTreeMap;
+
+/// Authorship and discovery metadata for a shared view.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ViewMetadata {
+    pub author: String,
+    pub description: String,
+    /// Free-form keywords (e.g. quality dimensions: "accuracy").
+    pub keywords: Vec<String>,
+}
+
+/// One library entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibraryEntry {
+    pub spec: QualityViewSpec,
+    pub metadata: ViewMetadata,
+}
+
+/// The view library, keyed by view name.
+#[derive(Debug, Clone, Default)]
+pub struct ViewLibrary {
+    entries: BTreeMap<String, LibraryEntry>,
+}
+
+impl ViewLibrary {
+    /// An empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a view; re-publishing under the same name replaces it.
+    pub fn publish(&mut self, spec: QualityViewSpec, metadata: ViewMetadata) -> Result<()> {
+        if spec.name.trim().is_empty() {
+            return Err(QuratorError::Spec("cannot publish a nameless view".into()));
+        }
+        self.entries
+            .insert(spec.name.clone(), LibraryEntry { spec, metadata });
+        Ok(())
+    }
+
+    /// Fetches a view by name.
+    pub fn get(&self, name: &str) -> Option<&LibraryEntry> {
+        self.entries.get(name)
+    }
+
+    /// Removes a view; returns whether it existed.
+    pub fn retract(&mut self, name: &str) -> bool {
+        self.entries.remove(name).is_some()
+    }
+
+    /// Number of published views.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no views are published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &LibraryEntry> {
+        self.entries.values()
+    }
+
+    /// Views consuming the given evidence reference (e.g. `q:HitRatio`) —
+    /// the run-time model makes such views applicable to any data set
+    /// annotated with those types.
+    pub fn find_by_evidence(&self, evidence: &str) -> Vec<&LibraryEntry> {
+        self.entries
+            .values()
+            .filter(|e| e.spec.referenced_evidence().contains(&evidence))
+            .collect()
+    }
+
+    /// Views producing the given tag.
+    pub fn find_by_tag(&self, tag: &str) -> Vec<&LibraryEntry> {
+        self.entries
+            .values()
+            .filter(|e| e.spec.tag_names().contains(&tag))
+            .collect()
+    }
+
+    /// Case-insensitive free-text search over name, description, author
+    /// and keywords.
+    pub fn search(&self, text: &str) -> Vec<&LibraryEntry> {
+        let needle = text.to_lowercase();
+        self.entries
+            .values()
+            .filter(|e| {
+                e.spec.name.to_lowercase().contains(&needle)
+                    || e.metadata.description.to_lowercase().contains(&needle)
+                    || e.metadata.author.to_lowercase().contains(&needle)
+                    || e.metadata
+                        .keywords
+                        .iter()
+                        .any(|k| k.to_lowercase().contains(&needle))
+            })
+            .collect()
+    }
+
+    /// Serializes the whole library as one XML catalog document.
+    pub fn to_xml(&self) -> String {
+        let mut root = Element::new("QualityViewLibrary");
+        for entry in self.entries.values() {
+            let mut meta = Element::new("metadata")
+                .with_attr("author", &entry.metadata.author)
+                .with_child(
+                    Element::new("description").with_text(&entry.metadata.description),
+                );
+            for keyword in &entry.metadata.keywords {
+                meta = meta.with_child(Element::new("keyword").with_text(keyword));
+            }
+            root = root.with_child(
+                Element::new("entry")
+                    .with_child(meta)
+                    .with_child(xmlio::spec_to_element(&entry.spec)),
+            );
+        }
+        qurator_xml::write_document(&root)
+    }
+
+    /// Loads a library from its XML catalog form.
+    pub fn from_xml(text: &str) -> Result<Self> {
+        let root = qurator_xml::parse(text)?;
+        if root.name() != "QualityViewLibrary" {
+            return Err(QuratorError::Spec(format!(
+                "expected <QualityViewLibrary>, found <{}>",
+                root.name()
+            )));
+        }
+        let mut library = ViewLibrary::new();
+        for entry in root.children_named("entry") {
+            let view_el = entry
+                .required_child("QualityView")
+                .map_err(QuratorError::Spec)?;
+            let spec = xmlio::element_to_spec(view_el)?;
+            let metadata = match entry.child("metadata") {
+                None => ViewMetadata::default(),
+                Some(m) => ViewMetadata {
+                    author: m.attr("author").unwrap_or_default().to_string(),
+                    description: m
+                        .child("description")
+                        .map(|d| d.text())
+                        .unwrap_or_default(),
+                    keywords: m.children_named("keyword").map(|k| k.text()).collect(),
+                },
+            };
+            library.publish(spec, metadata)?;
+        }
+        Ok(library)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_library() -> ViewLibrary {
+        let mut library = ViewLibrary::new();
+        library
+            .publish(
+                QualityViewSpec::paper_example(),
+                ViewMetadata {
+                    author: "aberdeen-mcb".into(),
+                    description: "PMF identification filtering via universal metrics".into(),
+                    keywords: vec!["accuracy".into(), "proteomics".into()],
+                },
+            )
+            .unwrap();
+        let mut other = QualityViewSpec::paper_example();
+        other.name = "lenient-variant".into();
+        library
+            .publish(
+                other,
+                ViewMetadata {
+                    author: "manchester-cs".into(),
+                    description: "keeps mid-class identifications too".into(),
+                    keywords: vec!["recall".into()],
+                },
+            )
+            .unwrap();
+        library
+    }
+
+    #[test]
+    fn publish_get_retract() {
+        let mut library = sample_library();
+        assert_eq!(library.len(), 2);
+        assert!(library.get("ispider-pmf-quality").is_some());
+        assert!(library.retract("lenient-variant"));
+        assert!(!library.retract("lenient-variant"));
+        assert_eq!(library.len(), 1);
+        assert!(library
+            .publish(QualityViewSpec::new("  "), ViewMetadata::default())
+            .is_err());
+    }
+
+    #[test]
+    fn discovery_queries() {
+        let library = sample_library();
+        assert_eq!(library.find_by_evidence("q:HitRatio").len(), 2);
+        assert_eq!(library.find_by_evidence("q:Nothing").len(), 0);
+        assert_eq!(library.find_by_tag("ScoreClass").len(), 2);
+        assert_eq!(library.search("universal").len(), 1);
+        assert_eq!(library.search("MANCHESTER").len(), 1);
+        assert_eq!(library.search("accuracy").len(), 1);
+    }
+
+    #[test]
+    fn xml_catalog_roundtrip() {
+        let library = sample_library();
+        let xml = library.to_xml();
+        let back = ViewLibrary::from_xml(&xml).unwrap();
+        assert_eq!(back.len(), library.len());
+        for entry in library.iter() {
+            let restored = back.get(&entry.spec.name).unwrap();
+            assert_eq!(restored.spec, entry.spec);
+            assert_eq!(restored.metadata, entry.metadata);
+        }
+    }
+
+    #[test]
+    fn malformed_catalogs_rejected() {
+        assert!(ViewLibrary::from_xml("<NotALibrary/>").is_err());
+        assert!(ViewLibrary::from_xml("<QualityViewLibrary><entry/></QualityViewLibrary>").is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! The abstract quality-view model.
+//!
+//! A spec is "defined purely in terms of our abstract model … not tied to
+//! any implementation of the operator set" (§5.1). Input data sets are
+//! deliberately absent: "view specifications do not include any reference
+//! to input data sets … a view is applicable to any data set for which
+//! evidence values are available for the required evidence types".
+
+/// One variable declaration inside an annotator or QA block.
+///
+/// For annotators, `evidence` names the evidence type the operator writes;
+/// `variable_name` is unused. For QAs, `variable_name` is the name the
+/// decision model expects and `evidence` the evidence type it binds to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Model-facing variable name (QAs only).
+    pub variable_name: Option<String>,
+    /// Evidence-type reference (`q:coverage`) — or, when prefixed with
+    /// `tag:`, a reference to an earlier QA's tag.
+    pub evidence: String,
+}
+
+impl VarDecl {
+    /// Declares an annotator-provided evidence type.
+    pub fn evidence(evidence: impl Into<String>) -> Self {
+        VarDecl { variable_name: None, evidence: evidence.into() }
+    }
+
+    /// Declares a named QA input variable.
+    pub fn named(variable_name: impl Into<String>, evidence: impl Into<String>) -> Self {
+        VarDecl {
+            variable_name: Some(variable_name.into()),
+            evidence: evidence.into(),
+        }
+    }
+
+    /// The effective variable name (defaults to the evidence local name:
+    /// the segment after the last `#`, `/` or `:`, so both `q:coverage`
+    /// and `http://example.org/ont#Coverage` yield a usable name).
+    pub fn effective_name(&self) -> &str {
+        match &self.variable_name {
+            Some(name) => name,
+            None => match self.evidence.rfind(['#', '/', ':']) {
+                Some(i) => &self.evidence[i + 1..],
+                None => &self.evidence,
+            },
+        }
+    }
+
+    /// When the declaration references an earlier QA's tag (`tag:HR_MC`),
+    /// the tag name.
+    pub fn tag_reference(&self) -> Option<&str> {
+        self.evidence.strip_prefix("tag:")
+    }
+}
+
+/// An annotator declaration (§5.1 `<Annotator>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnotatorDecl {
+    /// Local service name (instance label within the view).
+    pub service_name: String,
+    /// The `q:AnnotationFunction` subclass to bind.
+    pub service_type: String,
+    /// Repository the computed evidence is written to.
+    pub repository_ref: String,
+    /// Whether those annotations outlive one process execution.
+    pub persistent: bool,
+    /// Evidence types this annotator provides values for.
+    pub variables: Vec<VarDecl>,
+}
+
+/// Whether a QA emits a numeric score or a classification label
+/// (`tagSynType` in the XML: `q:score` / `q:class`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagKind {
+    Score,
+    Class,
+}
+
+/// A quality-assertion declaration (§5.1 `<QualityAssertion>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssertionDecl {
+    /// Local service name.
+    pub service_name: String,
+    /// The `q:QualityAssertion` subclass to bind.
+    pub service_type: String,
+    /// Tag variable the QA writes (usable in action conditions).
+    pub tag_name: String,
+    /// Score vs classification output.
+    pub tag_kind: TagKind,
+    /// For classifications: the `q:ClassificationModel` subclass
+    /// (`tagSemType`).
+    pub tag_sem_type: Option<String>,
+    /// Repository the input evidence is fetched from.
+    pub repository_ref: String,
+    /// Input variable bindings.
+    pub variables: Vec<VarDecl>,
+}
+
+/// What an action does with the items satisfying its condition(s).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActionKind {
+    /// Keep items satisfying the condition, drop the rest (§4.1 data
+    /// filtering action).
+    Filter { condition: String },
+    /// Partition into named groups — first matching condition wins the
+    /// item for ordering purposes but groups are "not necessarily
+    /// disjoint" (§4.1), so an item joins *every* group whose condition it
+    /// satisfies, plus the default group when it satisfies none.
+    Split { groups: Vec<(String, String)> },
+}
+
+/// An action declaration (§5.1 `<action>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionDecl {
+    /// Action (and output group) name.
+    pub name: String,
+    /// Filter or splitter.
+    pub kind: ActionKind,
+}
+
+/// A complete quality view.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QualityViewSpec {
+    /// View name.
+    pub name: String,
+    /// Annotation operators, in declaration order.
+    pub annotators: Vec<AnnotatorDecl>,
+    /// Quality assertions, in declaration order.
+    pub assertions: Vec<AssertionDecl>,
+    /// Actions, in declaration order.
+    pub actions: Vec<ActionDecl>,
+}
+
+impl QualityViewSpec {
+    /// An empty view with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        QualityViewSpec { name: name.into(), ..Default::default() }
+    }
+
+    /// All evidence-type references mentioned anywhere (deduplicated).
+    pub fn referenced_evidence(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        let annotator_vars = self.annotators.iter().flat_map(|a| a.variables.iter());
+        let qa_vars = self
+            .assertions
+            .iter()
+            .flat_map(|qa| qa.variables.iter())
+            .filter(|v| v.tag_reference().is_none());
+        for v in annotator_vars.chain(qa_vars) {
+            if !out.contains(&v.evidence.as_str()) {
+                out.push(&v.evidence);
+            }
+        }
+        out
+    }
+
+    /// All repository names referenced (deduplicated, declaration order).
+    pub fn referenced_repositories(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for r in self
+            .annotators
+            .iter()
+            .map(|a| a.repository_ref.as_str())
+            .chain(self.assertions.iter().map(|q| q.repository_ref.as_str()))
+        {
+            if !out.contains(&r) {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// All tag names produced by QAs, in declaration order.
+    pub fn tag_names(&self) -> Vec<&str> {
+        self.assertions.iter().map(|q| q.tag_name.as_str()).collect()
+    }
+
+    /// Builds the §5.1 example view programmatically (the same view
+    /// shipped as XML in the docs/tests): two score QAs, a three-way
+    /// classifier, and the `filter top k score` action.
+    pub fn paper_example() -> Self {
+        QualityViewSpec {
+            name: "ispider-pmf-quality".to_string(),
+            annotators: vec![AnnotatorDecl {
+                service_name: "ImprintOutputAnnotator".to_string(),
+                service_type: "q:ImprintOutputAnnotation".to_string(),
+                repository_ref: "cache".to_string(),
+                persistent: false,
+                variables: vec![
+                    VarDecl::evidence("q:HitRatio"),
+                    VarDecl::evidence("q:MassCoverage"),
+                    VarDecl::evidence("q:PeptidesCount"),
+                ],
+            }],
+            assertions: vec![
+                AssertionDecl {
+                    service_name: "HR_MC_score".to_string(),
+                    service_type: "q:UniversalPIScore2".to_string(),
+                    tag_name: "HR_MC".to_string(),
+                    tag_kind: TagKind::Score,
+                    tag_sem_type: None,
+                    repository_ref: "cache".to_string(),
+                    variables: vec![
+                        VarDecl::named("coverage", "q:MassCoverage"),
+                        VarDecl::named("hitratio", "q:HitRatio"),
+                        VarDecl::named("peptidescount", "q:PeptidesCount"),
+                    ],
+                },
+                AssertionDecl {
+                    service_name: "HR_score".to_string(),
+                    service_type: "q:UniversalPIScore".to_string(),
+                    tag_name: "HR".to_string(),
+                    tag_kind: TagKind::Score,
+                    tag_sem_type: None,
+                    repository_ref: "cache".to_string(),
+                    variables: vec![VarDecl::named("hitratio", "q:HitRatio")],
+                },
+                AssertionDecl {
+                    service_name: "PIScoreClassifier".to_string(),
+                    service_type: "q:PIScoreClassifier".to_string(),
+                    tag_name: "ScoreClass".to_string(),
+                    tag_kind: TagKind::Class,
+                    tag_sem_type: Some("q:PIScoreClassification".to_string()),
+                    repository_ref: "cache".to_string(),
+                    variables: vec![VarDecl::named("score", "tag:HR_MC")],
+                },
+            ],
+            actions: vec![ActionDecl {
+                name: "filter top k score".to_string(),
+                kind: ActionKind::Filter {
+                    condition: "ScoreClass in q:high, q:mid and HR_MC > 20".to_string(),
+                },
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_decl_names() {
+        assert_eq!(VarDecl::evidence("q:coverage").effective_name(), "coverage");
+        assert_eq!(VarDecl::named("mc", "q:coverage").effective_name(), "mc");
+        assert_eq!(VarDecl::named("s", "tag:HR_MC").tag_reference(), Some("HR_MC"));
+        assert_eq!(VarDecl::evidence("q:coverage").tag_reference(), None);
+    }
+
+    #[test]
+    fn paper_example_shape() {
+        let spec = QualityViewSpec::paper_example();
+        assert_eq!(spec.annotators.len(), 1);
+        assert_eq!(spec.assertions.len(), 3);
+        assert_eq!(spec.actions.len(), 1);
+        assert_eq!(spec.tag_names(), vec!["HR_MC", "HR", "ScoreClass"]);
+        let evidence = spec.referenced_evidence();
+        assert!(evidence.contains(&"q:HitRatio"));
+        assert!(evidence.contains(&"q:MassCoverage"));
+        assert!(!evidence.contains(&"tag:HR_MC"), "tag refs are not evidence");
+        assert_eq!(spec.referenced_repositories(), vec!["cache"]);
+    }
+
+    #[test]
+    fn referenced_evidence_dedups() {
+        let mut spec = QualityViewSpec::new("t");
+        spec.annotators.push(AnnotatorDecl {
+            service_name: "a".into(),
+            service_type: "q:A".into(),
+            repository_ref: "cache".into(),
+            persistent: false,
+            variables: vec![VarDecl::evidence("q:X"), VarDecl::evidence("q:X")],
+        });
+        assert_eq!(spec.referenced_evidence(), vec!["q:X"]);
+    }
+}

@@ -1,0 +1,558 @@
+//! Semantic validation of quality views against the IQ model, the service
+//! registry and the condition type checker.
+//!
+//! Validation happens at composition time, before compilation: the paper's
+//! cost-effectiveness argument rests on users being told about unknown
+//! concepts, unbound variables and ill-typed conditions *before* anything
+//! is deployed.
+
+use crate::spec::*;
+use crate::{QuratorError, Result};
+use qurator_expr::{check, ExprType, TypeEnv};
+use qurator_ontology::IqModel;
+use qurator_rdf::term::Iri;
+use qurator_services::ServiceRegistry;
+use std::collections::BTreeMap;
+
+/// The resolved, validated form of a view (what the compiler consumes).
+#[derive(Debug, Clone)]
+pub struct ValidatedView {
+    pub spec: QualityViewSpec,
+    /// Annotator service-type IRIs, by declaration order.
+    pub annotator_types: Vec<Iri>,
+    /// QA service-type IRIs, by declaration order.
+    pub assertion_types: Vec<Iri>,
+    /// evidence type → repository name (the §6.1 association used to
+    /// configure the single Data-Enrichment operator).
+    pub enrichment_plan: Vec<(Iri, String)>,
+    /// For each QA (by index): resolved evidence IRIs per variable name.
+    pub assertion_bindings: Vec<Vec<(String, BindingTarget)>>,
+}
+
+/// Where a validated QA variable gets its value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindingTarget {
+    Evidence(Iri),
+    Tag(String),
+}
+
+/// Validates a spec. On success, returns the resolved view.
+pub fn validate(
+    spec: &QualityViewSpec,
+    iq: &IqModel,
+    registry: &ServiceRegistry,
+) -> Result<ValidatedView> {
+    let err = |m: String| QuratorError::Validation(m);
+
+    if spec.name.trim().is_empty() {
+        return Err(err("quality view has an empty name".into()));
+    }
+    if spec.actions.is_empty() {
+        return Err(err(format!(
+            "view {:?} declares no actions — it would have no observable effect",
+            spec.name
+        )));
+    }
+
+    // ---- repositories: consistent persistence flags
+    let mut persistence: BTreeMap<&str, bool> = BTreeMap::new();
+    for a in &spec.annotators {
+        if let Some(previous) = persistence.insert(&a.repository_ref, a.persistent) {
+            if previous != a.persistent {
+                return Err(err(format!(
+                    "repository {:?} declared both persistent and non-persistent",
+                    a.repository_ref
+                )));
+            }
+        }
+    }
+
+    // ---- annotators
+    let mut annotator_types = Vec::with_capacity(spec.annotators.len());
+    let mut provided_evidence: Vec<Iri> = Vec::new();
+    // evidence type -> repository its annotator writes to (used to route
+    // condition-only evidence to the right store)
+    let mut provider_repo: BTreeMap<Iri, String> = BTreeMap::new();
+    for a in &spec.annotators {
+        let service_type = iq
+            .resolve(&a.service_type)
+            .map_err(|e| err(e.to_string()))?;
+        if !iq.is_annotation_function(&service_type) {
+            return Err(err(format!(
+                "annotator {:?}: <{service_type}> is not an AnnotationFunction class",
+                a.service_name
+            )));
+        }
+        let service = registry
+            .annotator(&service_type)
+            .map_err(|e| err(e.to_string()))?;
+        let provides = service.provides();
+        for v in &a.variables {
+            if v.tag_reference().is_some() {
+                return Err(err(format!(
+                    "annotator {:?} cannot declare tag references",
+                    a.service_name
+                )));
+            }
+            let evidence = iq.resolve(&v.evidence).map_err(|e| err(e.to_string()))?;
+            if !iq.is_evidence_type(&evidence) {
+                return Err(err(format!(
+                    "annotator {:?}: <{evidence}> is not a QualityEvidence class",
+                    a.service_name
+                )));
+            }
+            if !provides.contains(&evidence) {
+                return Err(err(format!(
+                    "annotator {:?}: bound service does not provide <{evidence}>",
+                    a.service_name
+                )));
+            }
+            provider_repo.insert(evidence.clone(), a.repository_ref.clone());
+            provided_evidence.push(evidence);
+        }
+        annotator_types.push(service_type);
+    }
+
+    // ---- assertions
+    let mut assertion_types = Vec::with_capacity(spec.assertions.len());
+    let mut assertion_bindings = Vec::with_capacity(spec.assertions.len());
+    let mut enrichment_plan: Vec<(Iri, String)> = Vec::new();
+    let mut known_tags: Vec<&str> = Vec::new();
+    let mut type_env = TypeEnv::new().strict();
+
+    for qa in &spec.assertions {
+        let service_type = iq
+            .resolve(&qa.service_type)
+            .map_err(|e| err(e.to_string()))?;
+        if !iq.is_assertion_type(&service_type) {
+            return Err(err(format!(
+                "assertion {:?}: <{service_type}> is not a QualityAssertion class",
+                qa.service_name
+            )));
+        }
+        let service = registry
+            .assertion(&service_type)
+            .map_err(|e| err(e.to_string()))?;
+
+        if known_tags.contains(&qa.tag_name.as_str()) {
+            return Err(err(format!("duplicate tag name {:?}", qa.tag_name)));
+        }
+
+        // classification metadata
+        if qa.tag_kind == TagKind::Class {
+            let sem = qa.tag_sem_type.as_deref().ok_or_else(|| {
+                err(format!(
+                    "assertion {:?} produces a class but declares no tagSemType",
+                    qa.service_name
+                ))
+            })?;
+            let model = iq.resolve(sem).map_err(|e| err(e.to_string()))?;
+            if iq.classification_labels(&model).is_empty() {
+                return Err(err(format!(
+                    "assertion {:?}: <{model}> is not a ClassificationModel with labels",
+                    qa.service_name
+                )));
+            }
+        }
+
+        // variable bindings
+        let mut bindings: Vec<(String, BindingTarget)> = Vec::new();
+        for v in &qa.variables {
+            let variable = v.effective_name().to_string();
+            if let Some(tag) = v.tag_reference() {
+                if !known_tags.contains(&tag) {
+                    return Err(err(format!(
+                        "assertion {:?}: variable {variable:?} references tag {tag:?}, \
+                         which no earlier assertion produces",
+                        qa.service_name
+                    )));
+                }
+                bindings.push((variable, BindingTarget::Tag(tag.to_string())));
+            } else {
+                let evidence = iq.resolve(&v.evidence).map_err(|e| err(e.to_string()))?;
+                if !iq.is_evidence_type(&evidence) {
+                    return Err(err(format!(
+                        "assertion {:?}: <{evidence}> is not a QualityEvidence class",
+                        qa.service_name
+                    )));
+                }
+                if !enrichment_plan
+                    .iter()
+                    .any(|(e, r)| *e == evidence && *r == qa.repository_ref)
+                {
+                    enrichment_plan.push((evidence.clone(), qa.repository_ref.clone()));
+                }
+                bindings.push((variable, BindingTarget::Evidence(evidence)));
+            }
+        }
+
+        // every variable the service expects must be bound
+        let bound: Vec<&str> = bindings.iter().map(|(v, _)| v.as_str()).collect();
+        for expected in service.expected_variables() {
+            if !bound.contains(&expected.as_str()) {
+                return Err(err(format!(
+                    "assertion {:?}: service expects variable {expected:?}, not bound \
+                     (bound: {bound:?})",
+                    qa.service_name
+                )));
+            }
+        }
+
+        // condition-language type of the produced tag
+        type_env.declare(
+            qa.tag_name.clone(),
+            match qa.tag_kind {
+                TagKind::Score => ExprType::Number,
+                TagKind::Class => ExprType::Symbol,
+            },
+        );
+        known_tags.push(&qa.tag_name);
+        assertion_types.push(service_type);
+        assertion_bindings.push(bindings);
+    }
+
+    // Every registered evidence type is visible to conditions under its
+    // local name (the paper's filters mix tags with raw evidence:
+    // "select the high and mid IDs for which the Mass Coverage is also
+    // greater than X"). Evidence referenced *only* by a condition is added
+    // to the enrichment plan against the view's default repository.
+    let evidence_root = qurator_ontology::iq::vocab::quality_evidence();
+    let mut evidence_locals: BTreeMap<String, Iri> = BTreeMap::new();
+    for class in iq.ontology().subclasses_of(&evidence_root) {
+        if class != evidence_root {
+            type_env.declare(class.local_name().to_string(), ExprType::Unknown);
+            evidence_locals.insert(class.local_name().to_string(), class);
+        }
+    }
+    let default_repository = spec
+        .referenced_repositories()
+        .first()
+        .map(|r| r.to_string())
+        .unwrap_or_else(|| "cache".to_string());
+
+    // ---- actions
+    let mut action_names: Vec<&str> = Vec::new();
+    for action in &spec.actions {
+        if action_names.contains(&action.name.as_str()) {
+            return Err(err(format!("duplicate action name {:?}", action.name)));
+        }
+        action_names.push(&action.name);
+        let conditions: Vec<&str> = match &action.kind {
+            ActionKind::Filter { condition } => vec![condition.as_str()],
+            ActionKind::Split { groups } => {
+                let mut group_names: Vec<&str> = Vec::new();
+                for (group, _) in groups {
+                    if group == "default" {
+                        return Err(err(format!(
+                            "action {:?}: group name \"default\" is reserved for the \
+                             implicit k+1-th output (§4.1)",
+                            action.name
+                        )));
+                    }
+                    if group_names.contains(&group.as_str()) {
+                        return Err(err(format!(
+                            "action {:?}: duplicate group {group:?}",
+                            action.name
+                        )));
+                    }
+                    group_names.push(group);
+                }
+                groups.iter().map(|(_, c)| c.as_str()).collect()
+            }
+        };
+        for condition in conditions {
+            let expr = qurator_expr::parse(condition).map_err(|e| {
+                err(format!("action {:?}: {e} (in {condition:?})", action.name))
+            })?;
+            check(&expr, &type_env).map_err(|e| {
+                err(format!("action {:?}: {e} (in {condition:?})", action.name))
+            })?;
+            // condition-only evidence joins the enrichment plan
+            for variable in expr.variables() {
+                if known_tags.contains(&variable.as_str()) {
+                    continue;
+                }
+                if let Some(evidence) = evidence_locals.get(&variable) {
+                    if !enrichment_plan.iter().any(|(e, _)| e == evidence) {
+                        // fetch from the repository whose annotator provides
+                        // this evidence; fall back to the view's default
+                        let repo = provider_repo
+                            .get(evidence)
+                            .cloned()
+                            .unwrap_or_else(|| default_repository.clone());
+                        enrichment_plan.push((evidence.clone(), repo));
+                    }
+                }
+            }
+        }
+    }
+
+    // evidence consumed but not provided by any annotator: allowed (it may
+    // pre-exist in a persistent repository), but evidence provided and
+    // never consumed deserves an error — the annotator is dead weight.
+    for provided in &provided_evidence {
+        let consumed = enrichment_plan.iter().any(|(e, _)| e == provided);
+        if !consumed {
+            return Err(err(format!(
+                "evidence <{provided}> is provided by an annotator but consumed by no assertion"
+            )));
+        }
+    }
+
+    Ok(ValidatedView {
+        spec: spec.clone(),
+        annotator_types,
+        assertion_types,
+        enrichment_plan,
+        assertion_bindings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qurator_rdf::namespace::q;
+    use qurator_services::stdlib::{
+        FieldCaptureAnnotator, StatClassifierAssertion, ZScoreAssertion,
+    };
+    use std::sync::Arc;
+
+    fn setup() -> (IqModel, ServiceRegistry) {
+        let iq = IqModel::with_proteomics_extension().unwrap();
+        let registry = ServiceRegistry::new();
+        registry
+            .register_annotator(Arc::new(FieldCaptureAnnotator::new(
+                q::iri("ImprintOutputAnnotation"),
+                &[
+                    ("hitRatio", q::iri("HitRatio")),
+                    ("massCoverage", q::iri("MassCoverage")),
+                    ("peptidesCount", q::iri("PeptidesCount")),
+                ],
+            )))
+            .unwrap();
+        registry
+            .register_assertion(Arc::new(ZScoreAssertion::new(
+                q::iri("UniversalPIScore2"),
+                &["coverage", "hitratio", "peptidescount"],
+            )))
+            .unwrap();
+        registry
+            .register_assertion(Arc::new(ZScoreAssertion::new(
+                q::iri("UniversalPIScore"),
+                &["hitratio"],
+            )))
+            .unwrap();
+        registry
+            .register_assertion(Arc::new(StatClassifierAssertion::new(
+                q::iri("PIScoreClassifier"),
+                "score",
+                q::iri("PIScoreClassification"),
+                (q::iri("low"), q::iri("mid"), q::iri("high")),
+            )))
+            .unwrap();
+        (iq, registry)
+    }
+
+    #[test]
+    fn paper_view_validates() {
+        let (iq, registry) = setup();
+        let view = validate(&QualityViewSpec::paper_example(), &iq, &registry).unwrap();
+        assert_eq!(view.annotator_types, vec![q::iri("ImprintOutputAnnotation")]);
+        assert_eq!(view.assertion_types.len(), 3);
+        // all three evidence types fetched from the cache
+        assert_eq!(view.enrichment_plan.len(), 3);
+        assert!(view
+            .enrichment_plan
+            .iter()
+            .all(|(_, repo)| repo == "cache"));
+        // classifier bound to the HR_MC tag
+        assert_eq!(
+            view.assertion_bindings[2],
+            vec![("score".to_string(), BindingTarget::Tag("HR_MC".into()))]
+        );
+    }
+
+    fn break_spec(mutate: impl FnOnce(&mut QualityViewSpec)) -> QuratorError {
+        let (iq, registry) = setup();
+        let mut spec = QualityViewSpec::paper_example();
+        mutate(&mut spec);
+        validate(&spec, &iq, &registry).unwrap_err()
+    }
+
+    #[test]
+    fn rejects_unknown_service_type() {
+        let e = break_spec(|s| s.annotators[0].service_type = "q:NoSuchAnnotator".into());
+        assert!(e.to_string().contains("not an AnnotationFunction"));
+    }
+
+    #[test]
+    fn rejects_unregistered_service() {
+        let (iq, registry) = setup();
+        let mut spec = QualityViewSpec::paper_example();
+        // a valid IQ concept with no registered implementation
+        spec.assertions[1].service_type = "q:SomeNewQA".into();
+        let mut iq = iq;
+        iq.register_assertion_type("SomeNewQA").unwrap();
+        let e = validate(&spec, &iq, &registry).unwrap_err();
+        assert!(e.to_string().contains("no service registered"));
+    }
+
+    #[test]
+    fn rejects_non_evidence_variable() {
+        let e = break_spec(|s| s.annotators[0].variables[0].evidence = "q:UniversalPIScore".into());
+        assert!(e.to_string().contains("not a QualityEvidence"));
+    }
+
+    #[test]
+    fn rejects_unprovided_evidence() {
+        let e = break_spec(|s| {
+            s.annotators[0]
+                .variables
+                .push(VarDecl::evidence("q:Masses"))
+        });
+        // the Imprint capture service does not provide q:Masses
+        assert!(e.to_string().contains("does not provide"));
+    }
+
+    #[test]
+    fn rejects_forward_tag_reference() {
+        let e = break_spec(|s| {
+            s.assertions[0].variables[0] = VarDecl::named("coverage", "tag:ScoreClass")
+        });
+        assert!(e.to_string().contains("no earlier assertion"));
+    }
+
+    #[test]
+    fn rejects_missing_expected_variable() {
+        let e = break_spec(|s| {
+            s.assertions[0].variables.remove(0); // drop "coverage"
+        });
+        assert!(e.to_string().contains("expects variable"));
+    }
+
+    #[test]
+    fn rejects_duplicate_tags_and_actions() {
+        let e = break_spec(|s| s.assertions[1].tag_name = "HR_MC".into());
+        assert!(e.to_string().contains("duplicate tag"));
+        let e = break_spec(|s| {
+            let a = s.actions[0].clone();
+            s.actions.push(a);
+        });
+        assert!(e.to_string().contains("duplicate action"));
+    }
+
+    #[test]
+    fn rejects_bad_conditions() {
+        // syntax
+        let e = break_spec(|s| {
+            s.actions[0].kind = ActionKind::Filter { condition: ")".into() }
+        });
+        assert!(e.to_string().contains("syntax"));
+        // undeclared variable (typo in tag)
+        let e = break_spec(|s| {
+            s.actions[0].kind = ActionKind::Filter { condition: "ScoerClass in q:high".into() }
+        });
+        assert!(e.to_string().contains("ScoerClass"));
+        // type error: ordering a classification
+        let e = break_spec(|s| {
+            s.actions[0].kind = ActionKind::Filter { condition: "ScoreClass > 3".into() }
+        });
+        assert!(e.to_string().contains("type error"));
+    }
+
+    #[test]
+    fn rejects_class_qa_without_model() {
+        let e = break_spec(|s| s.assertions[2].tag_sem_type = None);
+        assert!(e.to_string().contains("tagSemType"));
+    }
+
+    #[test]
+    fn rejects_actionless_view() {
+        let e = break_spec(|s| s.actions.clear());
+        assert!(e.to_string().contains("no actions"));
+    }
+
+    #[test]
+    fn rejects_conflicting_persistence() {
+        let e = break_spec(|s| {
+            let mut second = s.annotators[0].clone();
+            second.service_name = "again".into();
+            second.persistent = true;
+            s.annotators.push(second);
+        });
+        assert!(e.to_string().contains("persistent"));
+    }
+
+    #[test]
+    fn rejects_unconsumed_annotator_evidence() {
+        let (iq, registry) = setup();
+        let mut spec = QualityViewSpec::paper_example();
+        // consume only HitRatio: drop the HR_MC QA and classifier
+        spec.assertions.truncate(2);
+        spec.assertions.remove(0);
+        spec.actions[0].kind = ActionKind::Filter { condition: "HR > 0".into() };
+        let e = validate(&spec, &iq, &registry).unwrap_err();
+        assert!(e.to_string().contains("consumed by no assertion"), "{e}");
+    }
+
+    #[test]
+    fn evidence_may_come_from_persistent_repositories() {
+        // a view with no annotators at all is fine: evidence pre-exists
+        let (iq, registry) = setup();
+        let mut spec = QualityViewSpec::paper_example();
+        spec.annotators.clear();
+        validate(&spec, &iq, &registry).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod provider_routing_tests {
+    use super::*;
+    use crate::spec::{ActionDecl, ActionKind, AnnotatorDecl, QualityViewSpec, VarDecl};
+    use qurator_rdf::namespace::q;
+    use qurator_services::stdlib::FieldCaptureAnnotator;
+    use qurator_services::ServiceRegistry;
+    use std::sync::Arc;
+
+    /// Condition-only evidence must be fetched from the repository of the
+    /// annotator that provides it, not the first repository mentioned.
+    #[test]
+    fn condition_evidence_routes_to_providing_repository() {
+        let iq = IqModel::with_proteomics_extension().unwrap();
+        let registry = ServiceRegistry::new();
+        registry
+            .register_annotator(Arc::new(FieldCaptureAnnotator::new(
+                q::iri("ImprintOutputAnnotation"),
+                &[("hitRatio", q::iri("HitRatio")), ("massCoverage", q::iri("MassCoverage"))],
+            )))
+            .unwrap();
+
+        let mut spec = QualityViewSpec::new("routing");
+        // annotator 1 writes HitRatio into "alpha"
+        spec.annotators.push(AnnotatorDecl {
+            service_name: "a1".into(),
+            service_type: "q:ImprintOutputAnnotation".into(),
+            repository_ref: "alpha".into(),
+            persistent: false,
+            variables: vec![VarDecl::evidence("q:HitRatio")],
+        });
+        // the condition references both HitRatio (provided into "alpha")
+        // and PeptidesCount (provided by no annotator -> default repo).
+        spec.actions.push(ActionDecl {
+            name: "keep".into(),
+            kind: ActionKind::Filter {
+                condition: "HitRatio > 0.5 or PeptidesCount > 3".into(),
+            },
+        });
+        let view = validate(&spec, &iq, &registry).unwrap();
+        let repo_of = |local: &str| {
+            view.enrichment_plan
+                .iter()
+                .find(|(e, _)| e.local_name() == local)
+                .map(|(_, r)| r.clone())
+                .unwrap()
+        };
+        assert_eq!(repo_of("HitRatio"), "alpha");
+        assert_eq!(repo_of("PeptidesCount"), "alpha", "falls back to the view default");
+    }
+}

@@ -1,0 +1,397 @@
+//! The concrete XML syntax of quality views (§5.1), bidirectional.
+//!
+//! Grammar (element names follow the paper's fragments):
+//!
+//! ```xml
+//! <QualityView name="…">
+//!   <Annotator serviceName="…" serviceType="q:…">
+//!     <variables repositoryRef="cache" persistent="false">
+//!       <var evidence="q:coverage"/> …
+//!     </variables>
+//!   </Annotator>
+//!   <QualityAssertion serviceName="…" serviceType="q:…"
+//!                     tagName="HR_MC" tagSynType="q:score"
+//!                     tagSemType="q:PIScoreClassification">
+//!     <variables repositoryRef="cache">
+//!       <var variableName="coverage" evidence="q:coverage"/> …
+//!     </variables>
+//!   </QualityAssertion>
+//!   <action name="filter top k score">
+//!     <filter><condition>ScoreClass in q:high, q:mid and HR_MC &gt; 20</condition></filter>
+//!     <!-- or -->
+//!     <splitter>
+//!       <group name="strong"><condition>…</condition></group> …
+//!     </splitter>
+//!   </action>
+//! </QualityView>
+//! ```
+
+use crate::spec::*;
+use crate::{QuratorError, Result};
+use qurator_xml::{parse as parse_xml, Element};
+
+/// Parses a QV document.
+pub fn parse_quality_view(xml: &str) -> Result<QualityViewSpec> {
+    let root = parse_xml(xml)?;
+    element_to_spec(&root)
+}
+
+/// Converts a parsed root element into a spec.
+pub fn element_to_spec(root: &Element) -> Result<QualityViewSpec> {
+    if root.name() != "QualityView" {
+        return Err(QuratorError::Spec(format!(
+            "expected <QualityView>, found <{}>",
+            root.name()
+        )));
+    }
+    let mut spec = QualityViewSpec::new(
+        root.attr("name")
+            .ok_or_else(|| QuratorError::Spec("<QualityView> needs a name".into()))?,
+    );
+    for child in root.elements() {
+        match child.name() {
+            "Annotator" => spec.annotators.push(parse_annotator(child)?),
+            "QualityAssertion" => spec.assertions.push(parse_assertion(child)?),
+            "action" => spec.actions.push(parse_action(child)?),
+            other => {
+                return Err(QuratorError::Spec(format!(
+                    "unexpected element <{other}> in <QualityView>"
+                )))
+            }
+        }
+    }
+    Ok(spec)
+}
+
+fn req<'a>(e: &'a Element, attr: &str) -> Result<&'a str> {
+    e.required_attr(attr).map_err(QuratorError::Spec)
+}
+
+fn parse_variables(e: &Element) -> Result<(String, bool, Vec<VarDecl>)> {
+    let vars_el = e
+        .required_child("variables")
+        .map_err(QuratorError::Spec)?;
+    let repository = req(vars_el, "repositoryRef")?.to_string();
+    let persistent = match vars_el.attr("persistent") {
+        None => false,
+        Some("true") => true,
+        Some("false") => false,
+        Some(other) => {
+            return Err(QuratorError::Spec(format!(
+                "persistent must be true/false, found {other:?}"
+            )))
+        }
+    };
+    let mut variables = Vec::new();
+    for var in vars_el.children_named("var") {
+        variables.push(VarDecl {
+            variable_name: var.attr("variableName").map(str::to_string),
+            evidence: req(var, "evidence")?.to_string(),
+        });
+    }
+    if variables.is_empty() {
+        return Err(QuratorError::Spec(format!(
+            "<{}> declares no <var> entries",
+            e.name()
+        )));
+    }
+    Ok((repository, persistent, variables))
+}
+
+fn parse_annotator(e: &Element) -> Result<AnnotatorDecl> {
+    let (repository_ref, persistent, variables) = parse_variables(e)?;
+    Ok(AnnotatorDecl {
+        service_name: req(e, "serviceName")?.to_string(),
+        service_type: req(e, "serviceType")?.to_string(),
+        repository_ref,
+        persistent,
+        variables,
+    })
+}
+
+fn parse_assertion(e: &Element) -> Result<AssertionDecl> {
+    let (repository_ref, _, variables) = parse_variables(e)?;
+    let tag_kind = match req(e, "tagSynType")? {
+        "q:score" | "score" => TagKind::Score,
+        "q:class" | "class" => TagKind::Class,
+        other => {
+            return Err(QuratorError::Spec(format!(
+                "tagSynType must be q:score or q:class, found {other:?}"
+            )))
+        }
+    };
+    Ok(AssertionDecl {
+        service_name: req(e, "serviceName")?.to_string(),
+        service_type: req(e, "serviceType")?.to_string(),
+        tag_name: req(e, "tagName")?.to_string(),
+        tag_kind,
+        tag_sem_type: e.attr("tagSemType").map(str::to_string),
+        repository_ref,
+        variables,
+    })
+}
+
+fn parse_action(e: &Element) -> Result<ActionDecl> {
+    let name = req(e, "name")?.to_string();
+    if e.child("filter").is_some() && e.child("splitter").is_some() {
+        return Err(QuratorError::Spec(format!(
+            "action {name:?} declares both <filter> and <splitter>; pick one"
+        )));
+    }
+    if let Some(filter) = e.child("filter") {
+        let condition = filter
+            .required_child("condition")
+            .map_err(QuratorError::Spec)?
+            .text();
+        if condition.is_empty() {
+            return Err(QuratorError::Spec(format!(
+                "action {name:?} has an empty condition"
+            )));
+        }
+        return Ok(ActionDecl { name, kind: ActionKind::Filter { condition } });
+    }
+    if let Some(splitter) = e.child("splitter") {
+        let mut groups = Vec::new();
+        for group in splitter.children_named("group") {
+            let group_name = req(group, "name")?.to_string();
+            let condition = group
+                .required_child("condition")
+                .map_err(QuratorError::Spec)?
+                .text();
+            groups.push((group_name, condition));
+        }
+        if groups.is_empty() {
+            return Err(QuratorError::Spec(format!(
+                "splitter action {name:?} declares no groups"
+            )));
+        }
+        return Ok(ActionDecl { name, kind: ActionKind::Split { groups } });
+    }
+    Err(QuratorError::Spec(format!(
+        "action {name:?} needs a <filter> or <splitter>"
+    )))
+}
+
+/// Serializes a spec back to the XML syntax (canonical form).
+pub fn spec_to_xml(spec: &QualityViewSpec) -> String {
+    qurator_xml::write_element(&spec_to_element(spec))
+}
+
+/// Builds the DOM for a spec.
+pub fn spec_to_element(spec: &QualityViewSpec) -> Element {
+    let mut root = Element::new("QualityView").with_attr("name", &spec.name);
+    for a in &spec.annotators {
+        let mut vars = Element::new("variables")
+            .with_attr("repositoryRef", &a.repository_ref)
+            .with_attr("persistent", if a.persistent { "true" } else { "false" });
+        for v in &a.variables {
+            vars = vars.with_child(var_element(v));
+        }
+        root = root.with_child(
+            Element::new("Annotator")
+                .with_attr("serviceName", &a.service_name)
+                .with_attr("serviceType", &a.service_type)
+                .with_child(vars),
+        );
+    }
+    for qa in &spec.assertions {
+        let mut vars = Element::new("variables").with_attr("repositoryRef", &qa.repository_ref);
+        for v in &qa.variables {
+            vars = vars.with_child(var_element(v));
+        }
+        let mut el = Element::new("QualityAssertion")
+            .with_attr("serviceName", &qa.service_name)
+            .with_attr("serviceType", &qa.service_type)
+            .with_attr("tagName", &qa.tag_name)
+            .with_attr(
+                "tagSynType",
+                match qa.tag_kind {
+                    TagKind::Score => "q:score",
+                    TagKind::Class => "q:class",
+                },
+            );
+        if let Some(sem) = &qa.tag_sem_type {
+            el = el.with_attr("tagSemType", sem);
+        }
+        root = root.with_child(el.with_child(vars));
+    }
+    for action in &spec.actions {
+        let body = match &action.kind {
+            ActionKind::Filter { condition } => Element::new("filter")
+                .with_child(Element::new("condition").with_text(condition)),
+            ActionKind::Split { groups } => {
+                let mut splitter = Element::new("splitter");
+                for (group_name, condition) in groups {
+                    splitter = splitter.with_child(
+                        Element::new("group")
+                            .with_attr("name", group_name)
+                            .with_child(Element::new("condition").with_text(condition)),
+                    );
+                }
+                splitter
+            }
+        };
+        root = root.with_child(
+            Element::new("action")
+                .with_attr("name", &action.name)
+                .with_child(body),
+        );
+    }
+    root
+}
+
+fn var_element(v: &VarDecl) -> Element {
+    let mut el = Element::new("var");
+    if let Some(name) = &v.variable_name {
+        el = el.with_attr("variableName", name);
+    }
+    el.with_attr("evidence", &v.evidence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §5.1 example as one full document.
+    pub(crate) const PAPER_VIEW_XML: &str = r#"
+<QualityView name="ispider-pmf-quality">
+  <Annotator serviceName="ImprintOutputAnnotator"
+             serviceType="q:ImprintOutputAnnotation">
+    <variables repositoryRef="cache" persistent="false">
+      <var evidence="q:HitRatio"/>
+      <var evidence="q:MassCoverage"/>
+      <var evidence="q:PeptidesCount"/>
+    </variables>
+  </Annotator>
+  <QualityAssertion serviceName="HR_MC_score" serviceType="q:UniversalPIScore2"
+                    tagName="HR_MC" tagSynType="q:score">
+    <variables repositoryRef="cache">
+      <var variableName="coverage" evidence="q:MassCoverage"/>
+      <var variableName="hitratio" evidence="q:HitRatio"/>
+      <var variableName="peptidescount" evidence="q:PeptidesCount"/>
+    </variables>
+  </QualityAssertion>
+  <QualityAssertion serviceName="HR_score" serviceType="q:UniversalPIScore"
+                    tagName="HR" tagSynType="q:score">
+    <variables repositoryRef="cache">
+      <var variableName="hitratio" evidence="q:HitRatio"/>
+    </variables>
+  </QualityAssertion>
+  <QualityAssertion serviceName="PIScoreClassifier" serviceType="q:PIScoreClassifier"
+                    tagName="ScoreClass" tagSynType="q:class"
+                    tagSemType="q:PIScoreClassification">
+    <variables repositoryRef="cache">
+      <var variableName="score" evidence="tag:HR_MC"/>
+    </variables>
+  </QualityAssertion>
+  <action name="filter top k score">
+    <filter>
+      <condition>ScoreClass in q:high, q:mid and HR_MC &gt; 20</condition>
+    </filter>
+  </action>
+</QualityView>
+"#;
+
+    #[test]
+    fn parses_the_paper_view() {
+        let spec = parse_quality_view(PAPER_VIEW_XML).unwrap();
+        assert_eq!(spec, QualityViewSpec::paper_example());
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let spec = QualityViewSpec::paper_example();
+        let xml = spec_to_xml(&spec);
+        let back = parse_quality_view(&xml).unwrap();
+        assert_eq!(back, spec, "xml was:\n{xml}");
+    }
+
+    #[test]
+    fn splitter_actions() {
+        let xml = r#"
+          <QualityView name="split">
+            <action name="triage">
+              <splitter>
+                <group name="strong"><condition>score &gt; 10</condition></group>
+                <group name="weak"><condition>score &lt;= 10</condition></group>
+              </splitter>
+            </action>
+          </QualityView>"#;
+        let spec = parse_quality_view(xml).unwrap();
+        match &spec.actions[0].kind {
+            ActionKind::Split { groups } => {
+                assert_eq!(groups.len(), 2);
+                assert_eq!(groups[0].0, "strong");
+                assert_eq!(groups[1].1, "score <= 10");
+            }
+            other => panic!("{other:?}"),
+        }
+        // and it roundtrips
+        let back = parse_quality_view(&spec_to_xml(&spec)).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        // wrong root
+        assert!(parse_quality_view("<NotAView name='x'/>").is_err());
+        // nameless view
+        assert!(parse_quality_view("<QualityView/>").is_err());
+        // unknown child
+        assert!(parse_quality_view("<QualityView name='v'><junk/></QualityView>").is_err());
+        // annotator without variables
+        assert!(parse_quality_view(
+            r#"<QualityView name="v"><Annotator serviceName="a" serviceType="q:A"/></QualityView>"#
+        )
+        .is_err());
+        // variables without vars
+        assert!(parse_quality_view(
+            r#"<QualityView name="v"><Annotator serviceName="a" serviceType="q:A">
+               <variables repositoryRef="c"/></Annotator></QualityView>"#
+        )
+        .is_err());
+        // bad tagSynType
+        assert!(parse_quality_view(
+            r#"<QualityView name="v">
+               <QualityAssertion serviceName="s" serviceType="q:S" tagName="t" tagSynType="q:banana">
+                 <variables repositoryRef="c"><var evidence="q:X"/></variables>
+               </QualityAssertion></QualityView>"#
+        )
+        .is_err());
+        // action without body
+        assert!(parse_quality_view(
+            r#"<QualityView name="v"><action name="a"/></QualityView>"#
+        )
+        .is_err());
+        // action with both bodies
+        assert!(parse_quality_view(
+            r#"<QualityView name="v"><action name="a">
+               <filter><condition>x &gt; 1</condition></filter>
+               <splitter><group name="g"><condition>x &gt; 1</condition></group></splitter>
+               </action></QualityView>"#
+        )
+        .is_err());
+        // empty condition
+        assert!(parse_quality_view(
+            r#"<QualityView name="v"><action name="a"><filter><condition></condition></filter></action></QualityView>"#
+        )
+        .is_err());
+        // splitter with no groups
+        assert!(parse_quality_view(
+            r#"<QualityView name="v"><action name="a"><splitter/></action></QualityView>"#
+        )
+        .is_err());
+        // bad persistent flag
+        assert!(parse_quality_view(
+            r#"<QualityView name="v"><Annotator serviceName="a" serviceType="q:A">
+               <variables repositoryRef="c" persistent="maybe"><var evidence="q:X"/></variables>
+               </Annotator></QualityView>"#
+        )
+        .is_err());
+        // XML-level error propagates
+        assert!(matches!(
+            parse_quality_view("<QualityView name='v'>"),
+            Err(QuratorError::Xml(_))
+        ));
+    }
+}

@@ -1,0 +1,195 @@
+//! Typed AST of the condition language.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    And,
+    Or,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinaryOp {
+    /// The surface spelling used by [`Expr::to_source`].
+    pub fn spelling(self) -> &'static str {
+        match self {
+            BinaryOp::And => "and",
+            BinaryOp::Or => "or",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::Eq => "=",
+            BinaryOp::Ne => "!=",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal constant.
+    Const(Value),
+    /// A variable reference (evidence value or QA tag).
+    Var(String),
+    /// Unary application.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary application.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Set membership: `lhs in {items…}`.
+    In(Box<Expr>, Vec<Expr>),
+}
+
+impl Expr {
+    /// All variable names referenced by the expression, deduplicated, in
+    /// first-occurrence order. QV validation uses this to check that every
+    /// referenced variable is declared by some annotator or QA.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Unary(_, inner) => inner.collect_vars(out),
+            Expr::Binary(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::In(lhs, items) => {
+                lhs.collect_vars(out);
+                for item in items {
+                    item.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Renders the expression back to (normalized) surface syntax.
+    pub fn to_source(&self) -> String {
+        format!("{self}")
+    }
+
+    /// Structural size (number of AST nodes) — used by the E6 ablation to
+    /// bucket expressions by complexity.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 1,
+            Expr::Unary(_, inner) => 1 + inner.size(),
+            Expr::Binary(_, a, b) => 1 + a.size() + b.size(),
+            Expr::In(lhs, items) => {
+                1 + lhs.size() + items.iter().map(Expr::size).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// Escapes a string constant using only the escapes the condition-language
+/// lexer understands (`\n`, `\t`, `\\`, `\"`); other characters —
+/// including raw control bytes the lexer accepts verbatim — pass through.
+fn escape_condition_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => match v {
+                Value::Str(s) => write!(f, "{}", escape_condition_string(s)),
+                other => write!(f, "{other}"),
+            },
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Unary(UnaryOp::Not, inner) => write!(f, "(not {inner})"),
+            Expr::Unary(UnaryOp::Neg, inner) => write!(f, "(-({inner}))"),
+            Expr::Binary(op, a, b) => write!(f, "({a} {} {b})", op.spelling()),
+            Expr::In(lhs, items) => {
+                write!(f, "({lhs} in {{")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "}})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variable_collection_dedups_in_order() {
+        let e = Expr::Binary(
+            BinaryOp::And,
+            Box::new(Expr::Binary(
+                BinaryOp::Gt,
+                Box::new(Expr::Var("hr".into())),
+                Box::new(Expr::Var("mc".into())),
+            )),
+            Box::new(Expr::In(
+                Box::new(Expr::Var("hr".into())),
+                vec![Expr::Const(Value::symbol("q:high"))],
+            )),
+        );
+        assert_eq!(e.variables(), vec!["hr", "mc"]);
+        assert_eq!(e.size(), 7);
+    }
+
+    #[test]
+    fn display_is_parseable() {
+        let e = Expr::In(
+            Box::new(Expr::Var("ScoreClass".into())),
+            vec![
+                Expr::Const(Value::symbol("q:high")),
+                Expr::Const(Value::symbol("q:mid")),
+            ],
+        );
+        let src = e.to_source();
+        let back = crate::parse(&src).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -1,0 +1,323 @@
+//! Tokenizer for the condition language.
+
+use crate::{ExprError, Result};
+
+/// Tokens of the condition language.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Token {
+    Num(f64),
+    Str(String),
+    /// Bare identifier: a variable name (`HR_MC`, `score`).
+    Ident(String),
+    /// Prefixed name: an ontology term (`q:high`).
+    Symbol(String),
+    True,
+    False,
+    And,
+    Or,
+    Not,
+    In,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Eof,
+}
+
+/// A token plus the byte offset where it starts (for error messages).
+pub(crate) type Spanned = (Token, usize);
+
+/// Tokenizes the whole input.
+pub(crate) fn tokenize(src: &str) -> Result<Vec<Spanned>> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    let err = |pos: usize, m: String| ExprError::Syntax { pos, message: m };
+
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        if c.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        let start = pos;
+        let token = match c {
+            b'(' => {
+                pos += 1;
+                Token::LParen
+            }
+            b')' => {
+                pos += 1;
+                Token::RParen
+            }
+            b'{' => {
+                pos += 1;
+                Token::LBrace
+            }
+            b'}' => {
+                pos += 1;
+                Token::RBrace
+            }
+            b',' => {
+                pos += 1;
+                Token::Comma
+            }
+            b'+' => {
+                pos += 1;
+                Token::Plus
+            }
+            b'-' => {
+                pos += 1;
+                Token::Minus
+            }
+            b'*' => {
+                pos += 1;
+                Token::Star
+            }
+            b'/' => {
+                pos += 1;
+                Token::Slash
+            }
+            b'<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    pos += 2;
+                    Token::Le
+                } else if bytes.get(pos + 1) == Some(&b'>') {
+                    pos += 2;
+                    Token::Ne
+                } else {
+                    pos += 1;
+                    Token::Lt
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    pos += 2;
+                    Token::Ge
+                } else {
+                    pos += 1;
+                    Token::Gt
+                }
+            }
+            b'=' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    pos += 2;
+                } else {
+                    pos += 1;
+                }
+                Token::Eq
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    pos += 2;
+                    Token::Ne
+                } else {
+                    pos += 1;
+                    Token::Not
+                }
+            }
+            b'&' => {
+                if bytes.get(pos + 1) == Some(&b'&') {
+                    pos += 2;
+                    Token::And
+                } else {
+                    return Err(err(pos, "single '&' (use 'and' or '&&')".into()));
+                }
+            }
+            b'|' => {
+                if bytes.get(pos + 1) == Some(&b'|') {
+                    pos += 2;
+                    Token::Or
+                } else {
+                    return Err(err(pos, "single '|' (use 'or' or '||')".into()));
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                pos += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(pos) {
+                        Some(&b) if b == quote => {
+                            pos += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            match bytes.get(pos + 1) {
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(&q) if q == quote => s.push(q as char),
+                                _ => return Err(err(pos, "bad string escape".into())),
+                            }
+                            pos += 2;
+                        }
+                        Some(&b) if b < 0x80 => {
+                            s.push(b as char);
+                            pos += 1;
+                        }
+                        Some(_) => {
+                            let cs = pos;
+                            pos += 1;
+                            while pos < bytes.len() && (bytes[pos] & 0xC0) == 0x80 {
+                                pos += 1;
+                            }
+                            s.push_str(&src[cs..pos]);
+                        }
+                        None => return Err(err(start, "unterminated string".into())),
+                    }
+                }
+                Token::Str(s)
+            }
+            b'0'..=b'9' => {
+                let mut saw_dot = false;
+                let mut saw_exp = false;
+                while pos < bytes.len() {
+                    match bytes[pos] {
+                        b'0'..=b'9' => pos += 1,
+                        b'.' if !saw_dot && !saw_exp => {
+                            saw_dot = true;
+                            pos += 1;
+                        }
+                        b'e' | b'E' if !saw_exp => {
+                            saw_exp = true;
+                            pos += 1;
+                            if matches!(bytes.get(pos), Some(b'+') | Some(b'-')) {
+                                pos += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &src[start..pos];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| err(start, format!("bad number {text:?}")))?;
+                Token::Num(n)
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                while pos < bytes.len() {
+                    let d = bytes[pos];
+                    if d.is_ascii_alphanumeric() || matches!(d, b'_' | b':' | b'-' | b'.') {
+                        // Names must not end in punctuation runs; stop ':' only
+                        // when followed by a name char (allows `q:high`).
+                        if matches!(d, b':' | b'-' | b'.')
+                            && !bytes
+                                .get(pos + 1)
+                                .is_some_and(|n| n.is_ascii_alphanumeric() || *n == b'_')
+                        {
+                            break;
+                        }
+                        pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[start..pos];
+                match word.to_ascii_lowercase().as_str() {
+                    "and" => Token::And,
+                    "or" => Token::Or,
+                    "not" => Token::Not,
+                    "in" => Token::In,
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    _ if word.contains(':') => Token::Symbol(word.to_string()),
+                    _ => Token::Ident(word.to_string()),
+                }
+            }
+            other => {
+                return Err(err(pos, format!("unexpected character {:?}", other as char)));
+            }
+        };
+        out.push((token, start));
+    }
+    out.push((Token::Eof, src.len()));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn paper_filter_condition() {
+        let t = toks("ScoreClass in q:high, q:mid and HR_MC > 20");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("ScoreClass".into()),
+                Token::In,
+                Token::Symbol("q:high".into()),
+                Token::Comma,
+                Token::Symbol("q:mid".into()),
+                Token::And,
+                Token::Ident("HR_MC".into()),
+                Token::Gt,
+                Token::Num(20.0),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_keywords_case_insensitive() {
+        let t = toks("NOT a AND b OR c IN d");
+        assert!(matches!(t[0], Token::Not));
+        assert!(matches!(t[2], Token::And));
+        assert!(matches!(t[4], Token::Or));
+        assert!(matches!(t[6], Token::In));
+    }
+
+    #[test]
+    fn all_comparison_spellings() {
+        assert_eq!(toks("a = b")[1], Token::Eq);
+        assert_eq!(toks("a == b")[1], Token::Eq);
+        assert_eq!(toks("a != b")[1], Token::Ne);
+        assert_eq!(toks("a <> b")[1], Token::Ne);
+        assert_eq!(toks("a <= b")[1], Token::Le);
+        assert_eq!(toks("a >= b")[1], Token::Ge);
+    }
+
+    #[test]
+    fn strings_both_quotes() {
+        assert_eq!(toks("'high'")[0], Token::Str("high".into()));
+        assert_eq!(toks("\"mi\\\"d\"")[0], Token::Str("mi\"d".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("3.2")[0], Token::Num(3.2));
+        assert_eq!(toks("1e-3")[0], Token::Num(0.001));
+        assert!(tokenize("3.2.1").is_err() || !toks("3.2").is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("a # b").is_err());
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("a & b").is_err());
+    }
+
+    #[test]
+    fn symbol_vs_ident() {
+        assert_eq!(toks("q:high")[0], Token::Symbol("q:high".into()));
+        assert_eq!(toks("score")[0], Token::Ident("score".into()));
+        // a trailing colon does not glue onto the name (and is then invalid)
+        assert!(tokenize("score:").is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! Recursive-descent parser for the condition language.
+//!
+//! Precedence (loosest to tightest):
+//! `or` < `and` < `not` < comparison/`in` < `+ -` < `* /` < unary `-` < primary.
+
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+use crate::lexer::{tokenize, Spanned, Token};
+use crate::value::Value;
+use crate::{ExprError, Result};
+
+/// Parses one condition expression.
+pub fn parse(src: &str) -> Result<Expr> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, index: 0 };
+    let expr = p.parse_or()?;
+    p.expect_eof()?;
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    index: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.index].0
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens[self.index].1
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.index].0.clone();
+        if self.index + 1 < self.tokens.len() {
+            self.index += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ExprError {
+        ExprError::Syntax { pos: self.pos(), message: message.into() }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if *self.peek() == Token::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing input {:?}", self.peek())))
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_and()?;
+        while *self.peek() == Token::Or {
+            self.bump();
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary(BinaryOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_not()?;
+        while *self.peek() == Token::And {
+            self.bump();
+            let rhs = self.parse_not()?;
+            lhs = Expr::Binary(BinaryOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if *self.peek() == Token::Not {
+            self.bump();
+            let inner = self.parse_not()?;
+            return Ok(Expr::Unary(UnaryOp::Not, Box::new(inner)));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let lhs = self.parse_additive()?;
+        let op = match self.peek() {
+            Token::Lt => BinaryOp::Lt,
+            Token::Le => BinaryOp::Le,
+            Token::Gt => BinaryOp::Gt,
+            Token::Ge => BinaryOp::Ge,
+            Token::Eq => BinaryOp::Eq,
+            Token::Ne => BinaryOp::Ne,
+            Token::In => {
+                self.bump();
+                let items = self.parse_set_items()?;
+                return Ok(Expr::In(Box::new(lhs), items));
+            }
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_additive()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    /// Set items: `{ a, b, c }` or a bare comma-list `a, b, c` that extends
+    /// until a token that cannot start another item (paper §5.1 writes
+    /// `ScoreClass in q:high, q:mid and …` without braces).
+    fn parse_set_items(&mut self) -> Result<Vec<Expr>> {
+        let braced = *self.peek() == Token::LBrace;
+        if braced {
+            self.bump();
+        }
+        let mut items = vec![self.parse_additive()?];
+        while *self.peek() == Token::Comma {
+            self.bump();
+            items.push(self.parse_additive()?);
+        }
+        if braced {
+            if *self.peek() != Token::RBrace {
+                return Err(self.err("expected '}' to close membership set"));
+            }
+            self.bump();
+        }
+        Ok(items)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinaryOp::Add,
+                Token::Minus => BinaryOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinaryOp::Mul,
+                Token::Slash => BinaryOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if *self.peek() == Token::Minus {
+            self.bump();
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Unary(UnaryOp::Neg, Box::new(inner)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.bump() {
+            Token::Num(n) => Ok(Expr::Const(Value::Num(n))),
+            Token::Str(s) => Ok(Expr::Const(Value::Str(s))),
+            Token::True => Ok(Expr::Const(Value::Bool(true))),
+            Token::False => Ok(Expr::Const(Value::Bool(false))),
+            Token::Ident(name) => Ok(Expr::Var(name)),
+            Token::Symbol(name) => Ok(Expr::Const(Value::Symbol(name))),
+            Token::LParen => {
+                let inner = self.parse_or()?;
+                if self.bump() != Token::RParen {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(inner)
+            }
+            other => Err(self.err(format!("expected a value, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples_parse() {
+        // §4.1
+        assert!(parse("score < 3.2").is_ok());
+        assert!(parse("PIScoreClassification IN { 'high', 'mid' }").is_ok());
+        // §5.1 (underscored tag name)
+        let e = parse("ScoreClass in q:high, q:mid and HR_MC > 20").unwrap();
+        // `in` binds tighter than `and`: (in …) and (HR_MC > 20)
+        match e {
+            Expr::Binary(BinaryOp::And, lhs, rhs) => {
+                assert!(matches!(*lhs, Expr::In(..)));
+                assert!(matches!(*rhs, Expr::Binary(BinaryOp::Gt, ..)));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_arithmetic() {
+        let e = parse("a + b * c < 10").unwrap();
+        // ((a + (b*c)) < 10)
+        match e {
+            Expr::Binary(BinaryOp::Lt, lhs, _) => match *lhs {
+                Expr::Binary(BinaryOp::Add, _, rhs) => {
+                    assert!(matches!(*rhs, Expr::Binary(BinaryOp::Mul, ..)))
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_boolean() {
+        let e = parse("a = 1 or b = 2 and c = 3").unwrap();
+        // or(eq, and(eq, eq))
+        assert!(matches!(e, Expr::Binary(BinaryOp::Or, ..)));
+    }
+
+    #[test]
+    fn not_and_negation() {
+        assert!(matches!(
+            parse("not x = 1").unwrap(),
+            Expr::Unary(UnaryOp::Not, _)
+        ));
+        assert!(matches!(
+            parse("-x < 0").unwrap(),
+            Expr::Binary(BinaryOp::Lt, ..)
+        ));
+    }
+
+    #[test]
+    fn parenthesized_grouping() {
+        let e = parse("(a or b) and c").unwrap();
+        assert!(matches!(e, Expr::Binary(BinaryOp::And, ..)));
+    }
+
+    #[test]
+    fn braced_and_unbraced_sets_agree() {
+        let a = parse("x in { q:a, q:b }").unwrap();
+        let b = parse("x in q:a, q:b").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("a <").is_err());
+        assert!(parse("a in {").is_err());
+        assert!(parse("a in { b").is_err());
+        assert!(parse("(a").is_err());
+        assert!(parse("a b").is_err());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+        let leaf = prop_oneof![
+            // Non-negative only: `-5` deliberately parses as Neg(Const(5)).
+            (0f64..1e6).prop_map(|n| Expr::Const(Value::Num(n))),
+            "[a-zA-Z][a-zA-Z0-9_]{0,6}"
+                .prop_filter("reserved word", |s| {
+                    !matches!(
+                        s.to_ascii_lowercase().as_str(),
+                        "and" | "or" | "not" | "in" | "true" | "false"
+                    )
+                })
+                .prop_map(Expr::Var),
+            "[a-z]{1,3}:[a-zA-Z][a-zA-Z0-9]{0,6}"
+                .prop_map(|s| Expr::Const(Value::Symbol(s))),
+            any::<bool>().prop_map(|b| Expr::Const(Value::Bool(b))),
+            "[a-zA-Z0-9 ]{0,10}".prop_map(|s| Expr::Const(Value::Str(s))),
+        ];
+        if depth == 0 {
+            return leaf.boxed();
+        }
+        let sub = arb_expr(depth - 1);
+        prop_oneof![
+            leaf,
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| Expr::Binary(
+                BinaryOp::And,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| Expr::Binary(
+                BinaryOp::Lt,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (sub.clone(), sub.clone()).prop_map(|(a, b)| Expr::Binary(
+                BinaryOp::Add,
+                Box::new(a),
+                Box::new(b)
+            )),
+            sub.clone().prop_map(|a| Expr::Unary(UnaryOp::Not, Box::new(a))),
+            (sub.clone(), proptest::collection::vec(sub, 1..4))
+                .prop_map(|(l, items)| Expr::In(Box::new(l), items)),
+        ]
+        .boxed()
+    }
+
+    proptest! {
+        /// to_source ∘ parse is the identity on ASTs.
+        #[test]
+        fn source_roundtrip(e in arb_expr(3)) {
+            let src = e.to_source();
+            let back = parse(&src).unwrap();
+            prop_assert_eq!(back, e, "source was {}", src);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Static type checking of condition expressions.
+//!
+//! Quality-view validation wants to reject ill-typed conditions *before*
+//! the process is compiled and deployed (the paper's QVs are validated
+//! against evidence/tag declarations at composition time). The checker is
+//! deliberately permissive where the declaration gives no information
+//! ([`ExprType::Unknown`] unifies with everything).
+
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+use crate::value::Value;
+use crate::{ExprError, Result};
+use std::collections::BTreeMap;
+
+/// Static types of the condition language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExprType {
+    Number,
+    Text,
+    Boolean,
+    /// Ontology-term values (classification labels).
+    Symbol,
+    /// No static information; unifies with anything.
+    Unknown,
+}
+
+impl ExprType {
+    fn unifies(self, other: ExprType) -> bool {
+        use ExprType::*;
+        match (self, other) {
+            (Unknown, _) | (_, Unknown) => true,
+            // symbols and text are interchangeable in equality contexts
+            (Symbol, Text) | (Text, Symbol) => true,
+            (a, b) => a == b,
+        }
+    }
+}
+
+/// Declared variable types for the checker.
+#[derive(Debug, Clone, Default)]
+pub struct TypeEnv {
+    types: BTreeMap<String, ExprType>,
+    /// When true, referencing an undeclared variable is an error; QV
+    /// validation enables this so typos in evidence names are caught.
+    strict: bool,
+}
+
+impl TypeEnv {
+    /// An empty, lenient type environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Makes undeclared variables an error.
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// Declares a variable's type.
+    pub fn declare(&mut self, name: impl Into<String>, ty: ExprType) -> &mut Self {
+        self.types.insert(name.into(), ty);
+        self
+    }
+
+    fn lookup(&self, name: &str) -> Result<ExprType> {
+        match self.types.get(name) {
+            Some(t) => Ok(*t),
+            None if self.strict => Err(ExprError::Type(format!(
+                "variable {name:?} is not declared by any annotator or quality assertion"
+            ))),
+            None => Ok(ExprType::Unknown),
+        }
+    }
+}
+
+/// Checks an expression; returns its type or the first type error.
+pub fn check(expr: &Expr, env: &TypeEnv) -> Result<ExprType> {
+    use ExprType::*;
+    match expr {
+        Expr::Const(v) => Ok(match v {
+            Value::Num(_) => Number,
+            Value::Str(_) => Text,
+            Value::Bool(_) => Boolean,
+            Value::Symbol(_) => Symbol,
+            Value::Null => Unknown,
+        }),
+        Expr::Var(name) => env.lookup(name),
+        Expr::Unary(UnaryOp::Not, inner) => {
+            let t = check(inner, env)?;
+            if t.unifies(Boolean) {
+                Ok(Boolean)
+            } else {
+                Err(ExprError::Type(format!("'not' applied to {t:?}")))
+            }
+        }
+        Expr::Unary(UnaryOp::Neg, inner) => {
+            let t = check(inner, env)?;
+            if t.unifies(Number) {
+                Ok(Number)
+            } else {
+                Err(ExprError::Type(format!("'-' applied to {t:?}")))
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let ta = check(a, env)?;
+            let tb = check(b, env)?;
+            match op {
+                BinaryOp::And | BinaryOp::Or => {
+                    if ta.unifies(Boolean) && tb.unifies(Boolean) {
+                        Ok(Boolean)
+                    } else {
+                        Err(ExprError::Type(format!(
+                            "'{}' needs booleans, got {ta:?} and {tb:?}",
+                            op.spelling()
+                        )))
+                    }
+                }
+                BinaryOp::Eq | BinaryOp::Ne => {
+                    if ta.unifies(tb) {
+                        Ok(Boolean)
+                    } else {
+                        Err(ExprError::Type(format!(
+                            "cannot compare {ta:?} with {tb:?}"
+                        )))
+                    }
+                }
+                BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => {
+                    let orderable = (ta.unifies(Number) && tb.unifies(Number))
+                        || (ta.unifies(Text) && tb.unifies(Text));
+                    if orderable {
+                        Ok(Boolean)
+                    } else {
+                        Err(ExprError::Type(format!(
+                            "cannot order {ta:?} and {tb:?}"
+                        )))
+                    }
+                }
+                BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div => {
+                    if ta.unifies(Number) && tb.unifies(Number) {
+                        Ok(Number)
+                    } else {
+                        Err(ExprError::Type(format!(
+                            "arithmetic needs numbers, got {ta:?} and {tb:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        Expr::In(lhs, items) => {
+            let tl = check(lhs, env)?;
+            for item in items {
+                let ti = check(item, env)?;
+                if !tl.unifies(ti) {
+                    return Err(ExprError::Type(format!(
+                        "membership set mixes {tl:?} with {ti:?}"
+                    )));
+                }
+            }
+            Ok(Boolean)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn tenv(pairs: &[(&str, ExprType)]) -> TypeEnv {
+        let mut env = TypeEnv::new().strict();
+        for (k, t) in pairs {
+            env.declare(*k, *t);
+        }
+        env
+    }
+
+    #[test]
+    fn paper_condition_typechecks() {
+        let e = parse("ScoreClass in q:high, q:mid and HR_MC > 20").unwrap();
+        let env = tenv(&[
+            ("ScoreClass", ExprType::Symbol),
+            ("HR_MC", ExprType::Number),
+        ]);
+        assert_eq!(check(&e, &env).unwrap(), ExprType::Boolean);
+    }
+
+    #[test]
+    fn strict_mode_catches_typos() {
+        let e = parse("ScoerClass in q:high").unwrap();
+        let env = tenv(&[("ScoreClass", ExprType::Symbol)]);
+        let err = check(&e, &env).unwrap_err();
+        assert!(err.to_string().contains("ScoerClass"));
+    }
+
+    #[test]
+    fn lenient_mode_allows_unknowns() {
+        let e = parse("mystery > 3").unwrap();
+        assert_eq!(check(&e, &TypeEnv::new()).unwrap(), ExprType::Boolean);
+    }
+
+    #[test]
+    fn type_conflicts() {
+        let env = tenv(&[("cls", ExprType::Symbol), ("score", ExprType::Number)]);
+        assert!(check(&parse("cls > 3").unwrap(), &env).is_err());
+        assert!(check(&parse("score and true").unwrap(), &env).is_err());
+        assert!(check(&parse("score in q:a, q:b").unwrap(), &env).is_err());
+        assert!(check(&parse("cls = score").unwrap(), &env).is_err());
+        assert!(check(&parse("not score").unwrap(), &env).is_err());
+        assert!(check(&parse("-cls < 1").unwrap(), &env).is_err());
+    }
+
+    #[test]
+    fn symbol_text_interchange() {
+        let env = tenv(&[("cls", ExprType::Symbol)]);
+        assert!(check(&parse("cls in 'high', 'mid'").unwrap(), &env).is_ok());
+        assert!(check(&parse("cls = 'high'").unwrap(), &env).is_ok());
+    }
+
+    #[test]
+    fn expression_type_is_propagated() {
+        let env = tenv(&[("a", ExprType::Number), ("b", ExprType::Number)]);
+        assert_eq!(check(&parse("a + b * 2").unwrap(), &env).unwrap(), ExprType::Number);
+        assert_eq!(check(&parse("a + b < 3").unwrap(), &env).unwrap(), ExprType::Boolean);
+    }
+}

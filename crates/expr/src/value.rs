@@ -1,0 +1,174 @@
+//! Runtime values of the condition language.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A runtime value.
+///
+/// `Symbol` carries ontology-term references (e.g. `q:high`, the enumerated
+/// individuals of a classification model); `Null` represents missing
+/// evidence in an annotation map.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+    Symbol(String),
+    Null,
+}
+
+impl Value {
+    /// A symbol value (ontology term reference such as `q:high`).
+    pub fn symbol(s: impl Into<String>) -> Self {
+        Value::Symbol(s.into())
+    }
+
+    /// A string value.
+    pub fn string(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// The numeric value, if numeric.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True when the value is `Null` (missing evidence).
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Action semantics: a condition outcome *accepts* a data item only when
+    /// it is `Bool(true)`; `Null` and everything else reject (paper §4.1:
+    /// an item joins a split group iff its condition evaluates to true).
+    pub fn as_accepted(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// Value equality used by `=`/`!=`/`in`: `Null` is equal to nothing
+    /// (returns `None`), numbers compare numerically, symbols and strings
+    /// compare with each other by text (so `ScoreClass in q:high` works
+    /// whether the tag carries a symbol or its textual form).
+    pub fn value_eq(&self, other: &Value) -> Option<bool> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Num(a), Value::Num(b)) => Some(a == b),
+            (Value::Bool(a), Value::Bool(b)) => Some(a == b),
+            (Value::Str(a), Value::Str(b))
+            | (Value::Symbol(a), Value::Symbol(b))
+            | (Value::Str(a), Value::Symbol(b))
+            | (Value::Symbol(a), Value::Str(b)) => Some(symbol_text_eq(a, b)),
+            _ => Some(false),
+        }
+    }
+
+    /// Ordering used by the relational operators. `None` when incomparable
+    /// (including any `Null` operand).
+    pub fn value_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Num(a), Value::Num(b)) => a.partial_cmp(b),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+/// Symbols compare with optional-namespace leniency: `q:high` equals
+/// `q:high`, and a plain `high` matches the local part of `q:high`. The
+/// paper's classifications are IQ-ontology individuals, but users type bare
+/// labels in hand-edited conditions.
+fn symbol_text_eq(a: &str, b: &str) -> bool {
+    if a == b {
+        return true;
+    }
+    fn local(s: &str) -> &str {
+        s.rsplit(':').next().unwrap_or(s)
+    }
+    (a.contains(':') != b.contains(':')) && local(a) == local(b)
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Symbol(s) => write!(f, "{s}"),
+            Value::Null => write!(f, "null"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Num(n as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_never_equals() {
+        assert_eq!(Value::Null.value_eq(&Value::Null), None);
+        assert_eq!(Value::Null.value_eq(&Value::Num(1.0)), None);
+    }
+
+    #[test]
+    fn symbol_string_leniency() {
+        let sym = Value::symbol("q:high");
+        assert_eq!(sym.value_eq(&Value::symbol("q:high")), Some(true));
+        assert_eq!(sym.value_eq(&Value::string("high")), Some(true));
+        assert_eq!(sym.value_eq(&Value::symbol("high")), Some(true));
+        assert_eq!(sym.value_eq(&Value::symbol("p:high")), Some(false));
+        assert_eq!(sym.value_eq(&Value::symbol("q:low")), Some(false));
+    }
+
+    #[test]
+    fn numeric_comparison() {
+        assert_eq!(
+            Value::Num(1.0).value_cmp(&Value::Num(2.0)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Num(1.0).value_cmp(&Value::string("x")), None);
+        assert_eq!(Value::Null.value_cmp(&Value::Num(1.0)), None);
+    }
+
+    #[test]
+    fn acceptance_is_strict_true() {
+        assert!(Value::Bool(true).as_accepted());
+        assert!(!Value::Bool(false).as_accepted());
+        assert!(!Value::Null.as_accepted());
+        assert!(!Value::Num(1.0).as_accepted());
+    }
+}

@@ -1,0 +1,162 @@
+//! The binding model (paper §3 and §6): associates IQ concepts with
+//! concrete `ServiceResource` / `DataResource` objects through `Binding`
+//! objects, each carrying a locator.
+//!
+//! The QV compiler uses this registry to map abstract operator types
+//! (`q:ImprintOutputAnnotation`, `q:UniversalPIScore2`, …) to executable
+//! services, and data-entity concepts to retrieval locators (XPath, SQL,
+//! LSID resolver endpoints).
+
+use crate::{OntologyError, Result};
+use qurator_rdf::term::Iri;
+use std::collections::BTreeMap;
+
+/// The two resource kinds of the binding ontology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// An executable service (the paper: a Web-service endpoint).
+    Service,
+    /// A data source (the paper: a resource locator such as an XPath
+    /// expression or an SQL query).
+    Data,
+}
+
+/// A concrete resource with its locator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resource {
+    pub kind: ResourceKind,
+    /// Endpoint / locator string; its interpretation depends on the kind
+    /// (service name in the in-process registry, query text, file path…).
+    pub locator: String,
+}
+
+impl Resource {
+    /// A service resource.
+    pub fn service(locator: impl Into<String>) -> Self {
+        Resource { kind: ResourceKind::Service, locator: locator.into() }
+    }
+
+    /// A data resource.
+    pub fn data(locator: impl Into<String>) -> Self {
+        Resource { kind: ResourceKind::Data, locator: locator.into() }
+    }
+}
+
+/// One binding: concept → resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    pub concept: Iri,
+    pub resource: Resource,
+}
+
+/// The semantic registry of bindings (paper §6: "The binding information is
+/// maintained in a semantic registry whose schema is defined in a binding
+/// model").
+#[derive(Debug, Clone, Default)]
+pub struct BindingRegistry {
+    bindings: BTreeMap<Iri, Resource>,
+}
+
+impl BindingRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the binding for a concept.
+    pub fn bind(&mut self, concept: Iri, resource: Resource) {
+        self.bindings.insert(concept, resource);
+    }
+
+    /// Convenience: binds a concept to a service locator.
+    pub fn bind_service(&mut self, concept: Iri, locator: impl Into<String>) {
+        self.bind(concept, Resource::service(locator));
+    }
+
+    /// Convenience: binds a concept to a data locator.
+    pub fn bind_data(&mut self, concept: Iri, locator: impl Into<String>) {
+        self.bind(concept, Resource::data(locator));
+    }
+
+    /// The resource bound to `concept`, if any.
+    pub fn lookup(&self, concept: &Iri) -> Option<&Resource> {
+        self.bindings.get(concept)
+    }
+
+    /// The service locator for `concept`, or an error naming the gap —
+    /// the compiler calls this for every abstract operator.
+    pub fn service_locator(&self, concept: &Iri) -> Result<&str> {
+        match self.lookup(concept) {
+            Some(Resource { kind: ResourceKind::Service, locator }) => Ok(locator),
+            Some(Resource { kind: ResourceKind::Data, .. }) => Err(OntologyError::Conflict(
+                format!("<{concept}> is bound to a data resource, not a service"),
+            )),
+            None => Err(OntologyError::Unknown(format!(
+                "no service binding for concept <{concept}>"
+            ))),
+        }
+    }
+
+    /// All bindings, in concept order.
+    pub fn iter(&self) -> impl Iterator<Item = Binding> + '_ {
+        self.bindings.iter().map(|(concept, resource)| Binding {
+            concept: concept.clone(),
+            resource: resource.clone(),
+        })
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// True when no bindings are registered.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qurator_rdf::namespace::q;
+
+    #[test]
+    fn bind_and_lookup() {
+        let mut reg = BindingRegistry::new();
+        reg.bind_service(q::iri("UniversalPIScore2"), "svc://qa/hr-mc-score");
+        reg.bind_data(q::iri("ImprintHitEntry"), "sql://pedro/hits");
+        assert_eq!(
+            reg.service_locator(&q::iri("UniversalPIScore2")).unwrap(),
+            "svc://qa/hr-mc-score"
+        );
+        assert_eq!(
+            reg.lookup(&q::iri("ImprintHitEntry")).unwrap().kind,
+            ResourceKind::Data
+        );
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn missing_and_wrong_kind_bindings_error() {
+        let mut reg = BindingRegistry::new();
+        reg.bind_data(q::iri("X"), "sql://x");
+        assert!(matches!(
+            reg.service_locator(&q::iri("Y")),
+            Err(OntologyError::Unknown(_))
+        ));
+        assert!(matches!(
+            reg.service_locator(&q::iri("X")),
+            Err(OntologyError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn rebinding_replaces() {
+        let mut reg = BindingRegistry::new();
+        reg.bind_service(q::iri("A"), "svc://v1");
+        reg.bind_service(q::iri("A"), "svc://v2");
+        assert_eq!(reg.service_locator(&q::iri("A")).unwrap(), "svc://v2");
+        assert_eq!(reg.iter().count(), 1);
+    }
+}

@@ -1,0 +1,431 @@
+//! The IQ model: the paper's user-extensible ontology of information-quality
+//! concepts (Figure 2), plus registration helpers for user extensions.
+//!
+//! Upper ontology (all in the `q:` namespace, <http://qurator.org/iq#>):
+//!
+//! ```text
+//! owl:Thing
+//! ├── q:DataEntity            data items quality can be asserted about
+//! ├── q:QualityEvidence       measurable quantities enabling assertions
+//! ├── q:QualityAssertion      user-defined decision models (scores/classes)
+//! ├── q:AnnotationFunction    functions that compute evidence
+//! ├── q:ClassificationModel   enumerated classification schemes
+//! └── q:QualityProperty       generic quality dimensions (individuals:
+//!                             accuracy, completeness, currency, …)
+//! ```
+//!
+//! Properties: `q:contains-evidence` (DataEntity → QualityEvidence),
+//! `q:value` (QualityEvidence → literal), `q:addresses-dimension`
+//! (QualityAssertion → QualityProperty), `q:has-classification-model`
+//! (QualityAssertion → ClassificationModel).
+
+use crate::model::{Ontology, PropertyKind};
+use crate::{OntologyError, Result};
+use qurator_rdf::namespace::{q, xsd, PrefixMap};
+use qurator_rdf::term::Iri;
+
+/// Well-known IRIs of the IQ upper ontology.
+pub mod vocab {
+    use qurator_rdf::namespace::q;
+    use qurator_rdf::term::Iri;
+
+    pub fn data_entity() -> Iri {
+        q::iri("DataEntity")
+    }
+    pub fn quality_evidence() -> Iri {
+        q::iri("QualityEvidence")
+    }
+    pub fn quality_assertion() -> Iri {
+        q::iri("QualityAssertion")
+    }
+    pub fn annotation_function() -> Iri {
+        q::iri("AnnotationFunction")
+    }
+    pub fn classification_model() -> Iri {
+        q::iri("ClassificationModel")
+    }
+    pub fn quality_property() -> Iri {
+        q::iri("QualityProperty")
+    }
+    pub fn contains_evidence() -> Iri {
+        q::iri("contains-evidence")
+    }
+    pub fn value() -> Iri {
+        q::iri("value")
+    }
+    pub fn addresses_dimension() -> Iri {
+        q::iri("addresses-dimension")
+    }
+    pub fn has_classification_model() -> Iri {
+        q::iri("has-classification-model")
+    }
+    // The generic quality dimensions of §3 ([19, 18] in the paper).
+    pub fn accuracy() -> Iri {
+        q::iri("Accuracy")
+    }
+    pub fn completeness() -> Iri {
+        q::iri("Completeness")
+    }
+    pub fn currency() -> Iri {
+        q::iri("Currency")
+    }
+    pub fn consistency() -> Iri {
+        q::iri("Consistency")
+    }
+    pub fn reputation() -> Iri {
+        q::iri("Reputation")
+    }
+}
+
+/// The IQ model: an [`Ontology`] seeded with the upper classes, with
+/// typed registration methods for user extensions.
+#[derive(Debug, Clone)]
+pub struct IqModel {
+    onto: Ontology,
+    prefixes: PrefixMap,
+}
+
+impl Default for IqModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IqModel {
+    /// Builds the upper ontology.
+    pub fn new() -> Self {
+        let mut onto = Ontology::new();
+        let top = Iri::new(qurator_rdf::namespace::owl::THING);
+        for (class, comment) in [
+            (vocab::data_entity(), "any data item for which quality annotations can be computed"),
+            (vocab::quality_evidence(), "any measurable quantity usable as input to a quality assertion"),
+            (vocab::quality_assertion(), "a user-defined decision model producing scores or classifications"),
+            (vocab::annotation_function(), "a function computing quality evidence for data items"),
+            (vocab::classification_model(), "an enumerated classification scheme"),
+            (vocab::quality_property(), "a generic quality dimension from the IQ literature"),
+        ] {
+            onto.declare_subclass(class.clone(), top.clone());
+            onto.set_comment(&class, comment);
+        }
+        // evidence and assertions live in different taxonomies
+        onto.declare_disjoint(vocab::quality_evidence(), vocab::quality_assertion());
+        onto.declare_disjoint(vocab::data_entity(), vocab::quality_evidence());
+
+        onto.declare_property(
+            vocab::contains_evidence(),
+            PropertyKind::Object,
+            Some(vocab::data_entity()),
+            Some(vocab::quality_evidence()),
+        )
+        .expect("fresh ontology");
+        onto.declare_property(
+            vocab::value(),
+            PropertyKind::Datatype,
+            Some(vocab::quality_evidence()),
+            Some(Iri::new(xsd::DOUBLE)),
+        )
+        .expect("fresh ontology");
+        onto.declare_property(
+            vocab::addresses_dimension(),
+            PropertyKind::Object,
+            Some(vocab::quality_assertion()),
+            Some(vocab::quality_property()),
+        )
+        .expect("fresh ontology");
+        onto.declare_property(
+            vocab::has_classification_model(),
+            PropertyKind::Object,
+            Some(vocab::quality_assertion()),
+            Some(vocab::classification_model()),
+        )
+        .expect("fresh ontology");
+
+        for dim in [
+            vocab::accuracy(),
+            vocab::completeness(),
+            vocab::currency(),
+            vocab::consistency(),
+            vocab::reputation(),
+        ] {
+            onto.declare_individual(dim, vocab::quality_property())
+                .expect("fresh ontology");
+        }
+
+        IqModel { onto, prefixes: PrefixMap::with_defaults() }
+    }
+
+    /// Read access to the underlying ontology.
+    pub fn ontology(&self) -> &Ontology {
+        &self.onto
+    }
+
+    /// Mutable access (for advanced extensions; prefer the typed helpers).
+    pub fn ontology_mut(&mut self) -> &mut Ontology {
+        &mut self.onto
+    }
+
+    /// The prefix map used to resolve `q:`-style names.
+    pub fn prefixes(&self) -> &PrefixMap {
+        &self.prefixes
+    }
+
+    /// Resolves `prefix:local` or a full IRI string to an [`Iri`].
+    pub fn resolve(&self, name: &str) -> Result<Iri> {
+        if name.contains("://") || name.starts_with("urn:") {
+            return Iri::try_new(name)
+                .map_err(|_| OntologyError::Unknown(format!("bad IRI {name:?}")));
+        }
+        self.prefixes
+            .expand(name)
+            .map_err(|_| OntologyError::Unknown(format!("cannot resolve {name:?}")))
+    }
+
+    /// Renders an IRI in compact `prefix:local` form when possible.
+    pub fn compact(&self, iri: &Iri) -> String {
+        self.prefixes.compact(iri).unwrap_or_else(|| iri.as_str().to_string())
+    }
+
+    fn to_q_iri(&self, name: &str) -> Result<Iri> {
+        if name.contains(':') {
+            self.resolve(name)
+        } else {
+            Ok(q::iri(name))
+        }
+    }
+
+    // ---------- registration helpers ----------
+
+    /// Registers an evidence type as a (direct or indirect) subclass of
+    /// `q:QualityEvidence`. `parent` defaults to `QualityEvidence`.
+    pub fn register_evidence_type(&mut self, name: &str, parent: Option<&str>) -> Result<Iri> {
+        let class = self.to_q_iri(name)?;
+        let parent = match parent {
+            Some(p) => {
+                let p = self.to_q_iri(p)?;
+                if !self.onto.is_subclass_of(&p, &vocab::quality_evidence()) {
+                    return Err(OntologyError::Conflict(format!(
+                        "<{p}> is not a QualityEvidence class"
+                    )));
+                }
+                p
+            }
+            None => vocab::quality_evidence(),
+        };
+        self.onto.declare_subclass(class.clone(), parent);
+        Ok(class)
+    }
+
+    /// Registers a data-entity type (e.g. `ImprintHitEntry`).
+    pub fn register_data_entity_type(&mut self, name: &str) -> Result<Iri> {
+        let class = self.to_q_iri(name)?;
+        self.onto.declare_subclass(class.clone(), vocab::data_entity());
+        Ok(class)
+    }
+
+    /// Registers an annotation-function type.
+    pub fn register_annotation_function(&mut self, name: &str) -> Result<Iri> {
+        let class = self.to_q_iri(name)?;
+        self.onto
+            .declare_subclass(class.clone(), vocab::annotation_function());
+        Ok(class)
+    }
+
+    /// Registers a quality-assertion type (operators are classes, not
+    /// individuals, to allow further specialization — paper §4.1).
+    pub fn register_assertion_type(&mut self, name: &str) -> Result<Iri> {
+        let class = self.to_q_iri(name)?;
+        self.onto
+            .declare_subclass(class.clone(), vocab::quality_assertion());
+        Ok(class)
+    }
+
+    /// Registers a classification model with its enumerated labels
+    /// (the labels become individuals of the model class, mirroring the
+    /// paper's `owl:oneOf` enumeration of `q:PIScoreClassification`).
+    pub fn register_classification_model(
+        &mut self,
+        name: &str,
+        labels: &[&str],
+    ) -> Result<(Iri, Vec<Iri>)> {
+        let class = self.to_q_iri(name)?;
+        self.onto
+            .declare_subclass(class.clone(), vocab::classification_model());
+        let mut label_iris = Vec::with_capacity(labels.len());
+        for label in labels {
+            let individual = self.to_q_iri(label)?;
+            self.onto.declare_individual(individual.clone(), class.clone())?;
+            label_iris.push(individual);
+        }
+        Ok((class, label_iris))
+    }
+
+    /// Files an assertion type under a quality dimension (for reuse, §3).
+    pub fn assign_dimension(&mut self, assertion: &str, dimension: &Iri) -> Result<()> {
+        let class = self.to_q_iri(assertion)?;
+        if !self.onto.is_subclass_of(&class, &vocab::quality_assertion()) {
+            return Err(OntologyError::Unknown(format!(
+                "<{class}> is not a QualityAssertion class"
+            )));
+        }
+        if !self
+            .onto
+            .is_instance_of(dimension, &vocab::quality_property())
+        {
+            return Err(OntologyError::Unknown(format!(
+                "<{dimension}> is not a quality dimension"
+            )));
+        }
+        // Recorded as a label-style annotation on the class (the full RDF
+        // rendering carries it as an addresses-dimension triple).
+        self.onto
+            .set_label(&class, format!("dimension:{}", dimension.local_name()));
+        Ok(())
+    }
+
+    // ---------- validation queries ----------
+
+    /// Is the class a registered evidence type?
+    pub fn is_evidence_type(&self, class: &Iri) -> bool {
+        self.onto.has_class(class)
+            && self.onto.is_subclass_of(class, &vocab::quality_evidence())
+    }
+
+    /// Is the class a registered assertion type?
+    pub fn is_assertion_type(&self, class: &Iri) -> bool {
+        self.onto.has_class(class)
+            && self.onto.is_subclass_of(class, &vocab::quality_assertion())
+    }
+
+    /// Is the class a registered annotation-function type?
+    pub fn is_annotation_function(&self, class: &Iri) -> bool {
+        self.onto.has_class(class)
+            && self
+                .onto
+                .is_subclass_of(class, &vocab::annotation_function())
+    }
+
+    /// Is the class a registered data-entity type?
+    pub fn is_data_entity_type(&self, class: &Iri) -> bool {
+        self.onto.has_class(class) && self.onto.is_subclass_of(class, &vocab::data_entity())
+    }
+
+    /// The enumerated labels of a classification model, in IRI order.
+    pub fn classification_labels(&self, model: &Iri) -> Vec<Iri> {
+        if !self
+            .onto
+            .is_subclass_of(model, &vocab::classification_model())
+        {
+            return Vec::new();
+        }
+        self.onto.instances_of(model)
+    }
+
+    /// The registered quality dimensions.
+    pub fn dimensions(&self) -> Vec<Iri> {
+        self.onto.instances_of(&vocab::quality_property())
+    }
+
+    /// Builds the proteomics extension used throughout the paper's running
+    /// example: Imprint evidence types, the `ImprintHitEntry` data entity,
+    /// the two score QAs and the three-way classifier with its
+    /// `PIScoreClassification` model.
+    pub fn with_proteomics_extension() -> Result<Self> {
+        let mut iq = Self::new();
+        // evidence produced by the Imprint PMF tool (paper §1.1/§5.1)
+        iq.register_evidence_type("HitRatio", None)?;
+        iq.register_evidence_type("MassCoverage", None)?;
+        iq.register_evidence_type("Coverage", None)?;
+        iq.register_evidence_type("Masses", None)?;
+        iq.register_evidence_type("PeptidesCount", None)?;
+        iq.register_evidence_type("ExcessLimitDigestPeptides", None)?;
+        // the data entity produced by Imprint
+        iq.register_data_entity_type("ImprintHitEntry")?;
+        // annotation function capturing Imprint output
+        iq.register_annotation_function("ImprintOutputAnnotation")?;
+        // quality assertions of §5.1
+        iq.register_assertion_type("UniversalPIScore")?;
+        iq.register_assertion_type("UniversalPIScore2")?;
+        iq.register_assertion_type("PIScoreClassifier")?;
+        iq.assign_dimension("UniversalPIScore2", &vocab::accuracy())?;
+        // the three-way classification model
+        iq.register_classification_model("PIScoreClassification", &["low", "mid", "high"])?;
+        iq.ontology().check_consistency()?;
+        Ok(iq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upper_ontology_is_consistent() {
+        let iq = IqModel::new();
+        iq.ontology().check_consistency().unwrap();
+        assert!(iq.ontology().has_class(&vocab::quality_evidence()));
+        assert_eq!(iq.dimensions().len(), 5);
+    }
+
+    #[test]
+    fn evidence_registration_and_checking() {
+        let mut iq = IqModel::new();
+        let hr = iq.register_evidence_type("HitRatio", None).unwrap();
+        assert!(iq.is_evidence_type(&hr));
+        assert!(!iq.is_assertion_type(&hr));
+        // sub-evidence under an existing evidence class
+        let hr2 = iq.register_evidence_type("SmoothedHitRatio", Some("HitRatio")).unwrap();
+        assert!(iq.is_evidence_type(&hr2));
+        assert!(iq.ontology().is_subclass_of(&hr2, &hr));
+        // parent must be evidence
+        iq.register_assertion_type("SomeQA").unwrap();
+        assert!(iq.register_evidence_type("X", Some("SomeQA")).is_err());
+    }
+
+    #[test]
+    fn classification_model_labels() {
+        let mut iq = IqModel::new();
+        let (model, labels) = iq
+            .register_classification_model("PIScoreClassification", &["low", "mid", "high"])
+            .unwrap();
+        assert_eq!(labels.len(), 3);
+        let listed = iq.classification_labels(&model);
+        assert_eq!(listed.len(), 3);
+        assert!(listed.contains(&q::iri("high")));
+        // non-model class yields nothing
+        assert!(iq.classification_labels(&q::iri("HitRatio")).is_empty());
+    }
+
+    #[test]
+    fn resolve_and_compact() {
+        let iq = IqModel::new();
+        assert_eq!(iq.resolve("q:HitRatio").unwrap(), q::iri("HitRatio"));
+        assert_eq!(
+            iq.resolve("urn:lsid:a:b:C").unwrap().as_str(),
+            "urn:lsid:a:b:C"
+        );
+        assert!(iq.resolve("nope:X").is_err());
+        assert_eq!(iq.compact(&q::iri("HitRatio")), "q:HitRatio");
+    }
+
+    #[test]
+    fn dimension_assignment_validates() {
+        let mut iq = IqModel::new();
+        iq.register_assertion_type("ScoreQA").unwrap();
+        iq.assign_dimension("ScoreQA", &vocab::accuracy()).unwrap();
+        assert!(iq.assign_dimension("NotRegistered", &vocab::accuracy()).is_err());
+        let bogus = q::iri("NotADimension");
+        assert!(iq.assign_dimension("ScoreQA", &bogus).is_err());
+    }
+
+    #[test]
+    fn proteomics_extension_matches_paper() {
+        let iq = IqModel::with_proteomics_extension().unwrap();
+        assert!(iq.is_evidence_type(&q::iri("HitRatio")));
+        assert!(iq.is_evidence_type(&q::iri("MassCoverage")));
+        assert!(iq.is_data_entity_type(&q::iri("ImprintHitEntry")));
+        assert!(iq.is_assertion_type(&q::iri("UniversalPIScore2")));
+        assert!(iq.is_annotation_function(&q::iri("ImprintOutputAnnotation")));
+        let labels = iq.classification_labels(&q::iri("PIScoreClassification"));
+        assert_eq!(labels.len(), 3);
+    }
+}

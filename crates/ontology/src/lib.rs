@@ -1,0 +1,60 @@
+//! # qurator-ontology
+//!
+//! The semantic layer of the Qurator quality framework (reproduction of
+//! *Quality Views*, VLDB 2006, §3 and §6).
+//!
+//! The paper defines an **IQ model** — an OWL-DL ontology whose root
+//! classes are `QualityAssertion`, `QualityEvidence`, `AnnotationFunction`
+//! and `DataEntity` — plus a **binding model** that associates IQ concepts
+//! with concrete service/data resources so that abstract quality views can
+//! be compiled into executable workflows.
+//!
+//! This crate implements both on top of a small description-logic engine:
+//!
+//! * [`model`] — classes, subclass/subproperty hierarchies, object and
+//!   datatype properties with domain/range, individuals, subsumption and
+//!   instance checking, disjointness, and consistency checks;
+//! * [`iq`] — the IQ model itself: the fixed upper ontology of Figure 2,
+//!   helpers for registering user extensions (evidence types, assertion
+//!   classes with their classification models, annotation functions, data
+//!   entity types), and the generic quality dimensions (accuracy,
+//!   completeness, currency, …) assertions can be filed under;
+//! * [`binding`] — the binding model: concept → `ServiceResource` /
+//!   `DataResource` mappings with locators, used by the QV compiler;
+//! * [`rdf_io`] — (de)serialization of ontologies to RDF triples so the IQ
+//!   model can live in the same stores as the annotations it types.
+
+pub mod binding;
+pub mod iq;
+pub mod model;
+pub mod rdf_io;
+
+pub use binding::{Binding, BindingRegistry, Resource, ResourceKind};
+pub use iq::IqModel;
+pub use model::{Ontology, PropertyKind};
+
+/// Errors from the ontology layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OntologyError {
+    /// The referenced class/property/individual is not declared.
+    Unknown(String),
+    /// A declaration conflicts with an existing one.
+    Conflict(String),
+    /// A consistency check failed (cycles, disjointness violations, …).
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for OntologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OntologyError::Unknown(m) => write!(f, "unknown ontology entity: {m}"),
+            OntologyError::Conflict(m) => write!(f, "conflicting declaration: {m}"),
+            OntologyError::Inconsistent(m) => write!(f, "ontology inconsistency: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OntologyError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, OntologyError>;

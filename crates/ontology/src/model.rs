@@ -1,0 +1,626 @@
+//! A small description-logic engine: taxonomies, typed properties,
+//! individuals, subsumption and consistency.
+
+use crate::{OntologyError, Result};
+use qurator_rdf::term::Iri;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Object vs datatype properties (the OWL distinction the IQ model uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropertyKind {
+    /// Relates two individuals (e.g. `contains-evidence`).
+    Object,
+    /// Relates an individual to a literal (e.g. `value`).
+    Datatype,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ClassInfo {
+    parents: BTreeSet<Iri>,
+    disjoint_with: BTreeSet<Iri>,
+    label: Option<String>,
+    comment: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+struct PropertyInfo {
+    kind: PropertyKind,
+    parents: BTreeSet<Iri>,
+    domain: Option<Iri>,
+    /// For object properties: a class IRI. For datatype properties: an XSD
+    /// datatype IRI.
+    range: Option<Iri>,
+    label: Option<String>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct IndividualInfo {
+    types: BTreeSet<Iri>,
+    label: Option<String>,
+}
+
+/// An ontology: class taxonomy, property taxonomy, individuals.
+///
+/// All mutation methods validate their arguments against what is already
+/// declared; [`Ontology::check_consistency`] runs the global checks
+/// (acyclic taxonomies, disjointness violations).
+#[derive(Debug, Clone, Default)]
+pub struct Ontology {
+    classes: BTreeMap<Iri, ClassInfo>,
+    properties: BTreeMap<Iri, PropertyInfo>,
+    individuals: BTreeMap<Iri, IndividualInfo>,
+}
+
+impl Ontology {
+    /// An empty ontology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---------- declarations ----------
+
+    /// Declares a class (idempotent).
+    pub fn declare_class(&mut self, class: Iri) -> &mut Self {
+        self.classes.entry(class).or_default();
+        self
+    }
+
+    /// Declares `child ⊑ parent`; both sides are auto-declared.
+    pub fn declare_subclass(&mut self, child: Iri, parent: Iri) -> &mut Self {
+        self.declare_class(parent.clone());
+        self.classes.entry(child).or_default().parents.insert(parent);
+        self
+    }
+
+    /// Declares two classes disjoint (symmetric).
+    pub fn declare_disjoint(&mut self, a: Iri, b: Iri) -> &mut Self {
+        self.declare_class(a.clone());
+        self.declare_class(b.clone());
+        self.classes.get_mut(&a).unwrap().disjoint_with.insert(b.clone());
+        self.classes.get_mut(&b).unwrap().disjoint_with.insert(a);
+        self
+    }
+
+    /// Attaches an `rdfs:label` to a class, property or individual.
+    pub fn set_label(&mut self, entity: &Iri, label: impl Into<String>) {
+        let label = label.into();
+        if let Some(c) = self.classes.get_mut(entity) {
+            c.label = Some(label);
+        } else if let Some(p) = self.properties.get_mut(entity) {
+            p.label = Some(label);
+        } else if let Some(i) = self.individuals.get_mut(entity) {
+            i.label = Some(label);
+        }
+    }
+
+    /// Attaches an `rdfs:comment` to a class.
+    pub fn set_comment(&mut self, class: &Iri, comment: impl Into<String>) {
+        if let Some(c) = self.classes.get_mut(class) {
+            c.comment = Some(comment.into());
+        }
+    }
+
+    /// Declares a property with its kind, and optional domain/range.
+    pub fn declare_property(
+        &mut self,
+        property: Iri,
+        kind: PropertyKind,
+        domain: Option<Iri>,
+        range: Option<Iri>,
+    ) -> Result<&mut Self> {
+        if let Some(existing) = self.properties.get(&property) {
+            if existing.kind != kind {
+                return Err(OntologyError::Conflict(format!(
+                    "property <{property}> redeclared with a different kind"
+                )));
+            }
+        }
+        if let Some(d) = &domain {
+            self.declare_class(d.clone());
+        }
+        if kind == PropertyKind::Object {
+            if let Some(r) = &range {
+                self.declare_class(r.clone());
+            }
+        }
+        self.properties.insert(
+            property,
+            PropertyInfo { kind, parents: BTreeSet::new(), domain, range, label: None },
+        );
+        Ok(self)
+    }
+
+    /// Declares `child ⊑ parent` between properties.
+    pub fn declare_subproperty(&mut self, child: &Iri, parent: &Iri) -> Result<()> {
+        if !self.properties.contains_key(parent) {
+            return Err(OntologyError::Unknown(format!("property <{parent}>")));
+        }
+        let info = self
+            .properties
+            .get_mut(child)
+            .ok_or_else(|| OntologyError::Unknown(format!("property <{child}>")))?;
+        info.parents.insert(parent.clone());
+        Ok(())
+    }
+
+    /// Declares an individual as an instance of `class`.
+    pub fn declare_individual(&mut self, individual: Iri, class: Iri) -> Result<&mut Self> {
+        if !self.classes.contains_key(&class) {
+            return Err(OntologyError::Unknown(format!("class <{class}>")));
+        }
+        self.individuals
+            .entry(individual)
+            .or_default()
+            .types
+            .insert(class);
+        Ok(self)
+    }
+
+    // ---------- queries ----------
+
+    /// Is the class declared?
+    pub fn has_class(&self, class: &Iri) -> bool {
+        self.classes.contains_key(class)
+    }
+
+    /// Is the property declared?
+    pub fn has_property(&self, property: &Iri) -> bool {
+        self.properties.contains_key(property)
+    }
+
+    /// Is the individual declared?
+    pub fn has_individual(&self, individual: &Iri) -> bool {
+        self.individuals.contains_key(individual)
+    }
+
+    /// The label of an entity, if set.
+    pub fn label(&self, entity: &Iri) -> Option<&str> {
+        self.classes
+            .get(entity)
+            .and_then(|c| c.label.as_deref())
+            .or_else(|| self.properties.get(entity).and_then(|p| p.label.as_deref()))
+            .or_else(|| self.individuals.get(entity).and_then(|i| i.label.as_deref()))
+    }
+
+    /// The comment of a class, if set.
+    pub fn comment(&self, class: &Iri) -> Option<&str> {
+        self.classes.get(class).and_then(|c| c.comment.as_deref())
+    }
+
+    /// Reflexive-transitive subsumption: `sub ⊑* sup`.
+    pub fn is_subclass_of(&self, sub: &Iri, sup: &Iri) -> bool {
+        if sub == sup {
+            return true;
+        }
+        let mut queue: VecDeque<&Iri> = VecDeque::new();
+        let mut seen: BTreeSet<&Iri> = BTreeSet::new();
+        queue.push_back(sub);
+        while let Some(current) = queue.pop_front() {
+            if let Some(info) = self.classes.get(current) {
+                for parent in &info.parents {
+                    if parent == sup {
+                        return true;
+                    }
+                    if seen.insert(parent) {
+                        queue.push_back(parent);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// All strict + reflexive subclasses of `class`, in IRI order.
+    pub fn subclasses_of(&self, class: &Iri) -> Vec<Iri> {
+        self.classes
+            .keys()
+            .filter(|c| self.is_subclass_of(c, class))
+            .cloned()
+            .collect()
+    }
+
+    /// All reflexive-transitive superclasses of `class`, in IRI order.
+    pub fn superclasses_of(&self, class: &Iri) -> Vec<Iri> {
+        let mut out: BTreeSet<Iri> = BTreeSet::new();
+        let mut queue: VecDeque<Iri> = VecDeque::new();
+        queue.push_back(class.clone());
+        while let Some(current) = queue.pop_front() {
+            if !out.insert(current.clone()) {
+                continue;
+            }
+            if let Some(info) = self.classes.get(&current) {
+                for parent in &info.parents {
+                    queue.push_back(parent.clone());
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// The direct parents of a class.
+    pub fn direct_superclasses(&self, class: &Iri) -> Vec<Iri> {
+        self.classes
+            .get(class)
+            .map(|c| c.parents.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Instance checking with subsumption: is `individual : class`?
+    pub fn is_instance_of(&self, individual: &Iri, class: &Iri) -> bool {
+        self.individuals
+            .get(individual)
+            .map(|info| info.types.iter().any(|t| self.is_subclass_of(t, class)))
+            .unwrap_or(false)
+    }
+
+    /// All individuals whose (inferred) types include `class`, in IRI order.
+    pub fn instances_of(&self, class: &Iri) -> Vec<Iri> {
+        self.individuals
+            .keys()
+            .filter(|i| self.is_instance_of(i, class))
+            .cloned()
+            .collect()
+    }
+
+    /// The asserted (direct) types of an individual.
+    pub fn types_of(&self, individual: &Iri) -> Vec<Iri> {
+        self.individuals
+            .get(individual)
+            .map(|i| i.types.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Property kind, if declared.
+    pub fn property_kind(&self, property: &Iri) -> Option<PropertyKind> {
+        self.properties.get(property).map(|p| p.kind)
+    }
+
+    /// Property domain, if declared.
+    pub fn property_domain(&self, property: &Iri) -> Option<&Iri> {
+        self.properties.get(property).and_then(|p| p.domain.as_ref())
+    }
+
+    /// Property range, if declared.
+    pub fn property_range(&self, property: &Iri) -> Option<&Iri> {
+        self.properties.get(property).and_then(|p| p.range.as_ref())
+    }
+
+    /// Reflexive-transitive subproperty check.
+    pub fn is_subproperty_of(&self, sub: &Iri, sup: &Iri) -> bool {
+        if sub == sup {
+            return true;
+        }
+        let mut queue: VecDeque<&Iri> = VecDeque::new();
+        let mut seen: BTreeSet<&Iri> = BTreeSet::new();
+        queue.push_back(sub);
+        while let Some(current) = queue.pop_front() {
+            if let Some(info) = self.properties.get(current) {
+                for parent in &info.parents {
+                    if parent == sup {
+                        return true;
+                    }
+                    if seen.insert(parent) {
+                        queue.push_back(parent);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Iterates all class IRIs.
+    pub fn classes(&self) -> impl Iterator<Item = &Iri> {
+        self.classes.keys()
+    }
+
+    /// Iterates all property IRIs.
+    pub fn properties(&self) -> impl Iterator<Item = &Iri> {
+        self.properties.keys()
+    }
+
+    /// Iterates all individual IRIs.
+    pub fn individuals(&self) -> impl Iterator<Item = &Iri> {
+        self.individuals.keys()
+    }
+
+    /// Number of declared classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    // ---------- consistency ----------
+
+    /// Global consistency checks:
+    /// 1. the subclass graph is acyclic (strictly: no class is a *strict*
+    ///    subclass of itself);
+    /// 2. the subproperty graph is acyclic;
+    /// 3. no individual is an instance of two disjoint classes;
+    /// 4. every parent class referenced exists (guaranteed by construction,
+    ///    revalidated here).
+    pub fn check_consistency(&self) -> Result<()> {
+        // 1. class cycles
+        for class in self.classes.keys() {
+            if self.on_cycle_class(class) {
+                return Err(OntologyError::Inconsistent(format!(
+                    "subclass cycle through <{class}>"
+                )));
+            }
+        }
+        // 2. property cycles
+        for property in self.properties.keys() {
+            if self.on_cycle_property(property) {
+                return Err(OntologyError::Inconsistent(format!(
+                    "subproperty cycle through <{property}>"
+                )));
+            }
+        }
+        // 3. disjointness (inherited: an instance of A and of B with
+        // A' disjoint B' for some superclasses A' of A and B' of B)
+        for (individual, info) in &self.individuals {
+            let supers: Vec<Iri> = info
+                .types
+                .iter()
+                .flat_map(|t| self.superclasses_of(t))
+                .collect();
+            for a in &supers {
+                if let Some(ca) = self.classes.get(a) {
+                    for d in &ca.disjoint_with {
+                        if supers.iter().any(|s| s == d) {
+                            return Err(OntologyError::Inconsistent(format!(
+                                "individual <{individual}> is an instance of disjoint classes <{a}> and <{d}>"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        // 4. dangling parents
+        for (class, info) in &self.classes {
+            for parent in &info.parents {
+                if !self.classes.contains_key(parent) {
+                    return Err(OntologyError::Unknown(format!(
+                        "parent <{parent}> of <{class}>"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn on_cycle_class(&self, start: &Iri) -> bool {
+        // strict reachability from parents back to start
+        let mut queue: VecDeque<&Iri> = VecDeque::new();
+        let mut seen: BTreeSet<&Iri> = BTreeSet::new();
+        if let Some(info) = self.classes.get(start) {
+            queue.extend(info.parents.iter());
+        }
+        while let Some(current) = queue.pop_front() {
+            if current == start {
+                return true;
+            }
+            if seen.insert(current) {
+                if let Some(info) = self.classes.get(current) {
+                    queue.extend(info.parents.iter());
+                }
+            }
+        }
+        false
+    }
+
+    fn on_cycle_property(&self, start: &Iri) -> bool {
+        let mut queue: VecDeque<&Iri> = VecDeque::new();
+        let mut seen: BTreeSet<&Iri> = BTreeSet::new();
+        if let Some(info) = self.properties.get(start) {
+            queue.extend(info.parents.iter());
+        }
+        while let Some(current) = queue.pop_front() {
+            if current == start {
+                return true;
+            }
+            if seen.insert(current) {
+                if let Some(info) = self.properties.get(current) {
+                    queue.extend(info.parents.iter());
+                }
+            }
+        }
+        false
+    }
+
+    /// Merges another ontology into this one (declarations are unioned).
+    pub fn merge(&mut self, other: &Ontology) {
+        for (class, info) in &other.classes {
+            let slot = self.classes.entry(class.clone()).or_default();
+            slot.parents.extend(info.parents.iter().cloned());
+            slot.disjoint_with.extend(info.disjoint_with.iter().cloned());
+            if slot.label.is_none() {
+                slot.label = info.label.clone();
+            }
+            if slot.comment.is_none() {
+                slot.comment = info.comment.clone();
+            }
+        }
+        for (property, info) in &other.properties {
+            self.properties
+                .entry(property.clone())
+                .or_insert_with(|| info.clone());
+        }
+        for (individual, info) in &other.individuals {
+            let slot = self.individuals.entry(individual.clone()).or_default();
+            slot.types.extend(info.types.iter().cloned());
+            if slot.label.is_none() {
+                slot.label = info.label.clone();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(format!("http://t/{s}"))
+    }
+
+    fn taxonomy() -> Ontology {
+        let mut o = Ontology::new();
+        o.declare_subclass(iri("Evidence"), iri("Thing"));
+        o.declare_subclass(iri("HitRatio"), iri("Evidence"));
+        o.declare_subclass(iri("MassCoverage"), iri("Evidence"));
+        o.declare_subclass(iri("Assertion"), iri("Thing"));
+        o
+    }
+
+    #[test]
+    fn subsumption_is_reflexive_and_transitive() {
+        let o = taxonomy();
+        assert!(o.is_subclass_of(&iri("HitRatio"), &iri("HitRatio")));
+        assert!(o.is_subclass_of(&iri("HitRatio"), &iri("Evidence")));
+        assert!(o.is_subclass_of(&iri("HitRatio"), &iri("Thing")));
+        assert!(!o.is_subclass_of(&iri("HitRatio"), &iri("Assertion")));
+        assert!(!o.is_subclass_of(&iri("Evidence"), &iri("HitRatio")));
+    }
+
+    #[test]
+    fn subclass_and_superclass_listings() {
+        let o = taxonomy();
+        let subs = o.subclasses_of(&iri("Evidence"));
+        assert_eq!(subs.len(), 3); // Evidence, HitRatio, MassCoverage
+        let sups = o.superclasses_of(&iri("HitRatio"));
+        assert_eq!(sups.len(), 3); // HitRatio, Evidence, Thing
+        assert_eq!(o.direct_superclasses(&iri("HitRatio")), vec![iri("Evidence")]);
+    }
+
+    #[test]
+    fn individuals_and_instance_checking() {
+        let mut o = taxonomy();
+        o.declare_individual(iri("e1"), iri("HitRatio")).unwrap();
+        assert!(o.is_instance_of(&iri("e1"), &iri("HitRatio")));
+        assert!(o.is_instance_of(&iri("e1"), &iri("Evidence")));
+        assert!(!o.is_instance_of(&iri("e1"), &iri("Assertion")));
+        assert_eq!(o.instances_of(&iri("Evidence")), vec![iri("e1")]);
+        assert!(o.declare_individual(iri("e2"), iri("Nope")).is_err());
+    }
+
+    #[test]
+    fn property_declarations() {
+        let mut o = taxonomy();
+        o.declare_property(
+            iri("contains-evidence"),
+            PropertyKind::Object,
+            Some(iri("Thing")),
+            Some(iri("Evidence")),
+        )
+        .unwrap();
+        assert_eq!(
+            o.property_kind(&iri("contains-evidence")),
+            Some(PropertyKind::Object)
+        );
+        assert_eq!(o.property_range(&iri("contains-evidence")), Some(&iri("Evidence")));
+        // redeclaration with different kind conflicts
+        assert!(o
+            .declare_property(iri("contains-evidence"), PropertyKind::Datatype, None, None)
+            .is_err());
+    }
+
+    #[test]
+    fn subproperties() {
+        let mut o = Ontology::new();
+        o.declare_property(iri("p"), PropertyKind::Object, None, None).unwrap();
+        o.declare_property(iri("q"), PropertyKind::Object, None, None).unwrap();
+        o.declare_subproperty(&iri("q"), &iri("p")).unwrap();
+        assert!(o.is_subproperty_of(&iri("q"), &iri("p")));
+        assert!(!o.is_subproperty_of(&iri("p"), &iri("q")));
+        assert!(o.declare_subproperty(&iri("q"), &iri("missing")).is_err());
+    }
+
+    #[test]
+    fn consistency_catches_cycles() {
+        let mut o = Ontology::new();
+        o.declare_subclass(iri("A"), iri("B"));
+        o.declare_subclass(iri("B"), iri("C"));
+        assert!(o.check_consistency().is_ok());
+        o.declare_subclass(iri("C"), iri("A"));
+        assert!(matches!(
+            o.check_consistency(),
+            Err(OntologyError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn consistency_catches_disjoint_violations() {
+        let mut o = taxonomy();
+        o.declare_disjoint(iri("Evidence"), iri("Assertion"));
+        o.declare_individual(iri("x"), iri("HitRatio")).unwrap();
+        assert!(o.check_consistency().is_ok());
+        o.declare_individual(iri("x"), iri("Assertion")).unwrap();
+        let err = o.check_consistency().unwrap_err();
+        assert!(matches!(err, OntologyError::Inconsistent(_)));
+    }
+
+    #[test]
+    fn merge_unions_declarations() {
+        let mut a = taxonomy();
+        let mut b = Ontology::new();
+        b.declare_subclass(iri("PeptideCount"), iri("Evidence"));
+        b.declare_individual(iri("e9"), iri("PeptideCount")).unwrap();
+        a.merge(&b);
+        assert!(a.is_subclass_of(&iri("PeptideCount"), &iri("Evidence")));
+        assert!(a.is_instance_of(&iri("e9"), &iri("Evidence")));
+    }
+
+    #[test]
+    fn labels_and_comments() {
+        let mut o = taxonomy();
+        o.set_label(&iri("HitRatio"), "Hit Ratio");
+        o.set_comment(&iri("HitRatio"), "signal-to-noise indicator");
+        assert_eq!(o.label(&iri("HitRatio")), Some("Hit Ratio"));
+        assert_eq!(o.comment(&iri("HitRatio")), Some("signal-to-noise indicator"));
+        assert_eq!(o.label(&iri("Unknown")), None);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn iri(n: u8) -> Iri {
+        Iri::new(format!("http://t/C{n}"))
+    }
+
+    proptest! {
+        /// For DAG-shaped declarations (child id > parent id), subsumption
+        /// equals graph reachability computed naively.
+        #[test]
+        fn subsumption_matches_reachability(edges in proptest::collection::vec((1u8..20, 0u8..20), 0..40)) {
+            let mut o = Ontology::new();
+            let mut adj: std::collections::BTreeMap<u8, Vec<u8>> = Default::default();
+            for (c, p) in &edges {
+                // force DAG: parent id strictly smaller
+                if p < c {
+                    o.declare_subclass(iri(*c), iri(*p));
+                    adj.entry(*c).or_default().push(*p);
+                }
+            }
+            prop_assert!(o.check_consistency().is_ok());
+            // naive reachability
+            fn reach(adj: &std::collections::BTreeMap<u8, Vec<u8>>, from: u8, to: u8) -> bool {
+                if from == to { return true; }
+                adj.get(&from).map(|ps| ps.iter().any(|p| reach(adj, *p, to))).unwrap_or(false)
+            }
+            for c in 0u8..20 {
+                for p in 0u8..20 {
+                    let declared = o.has_class(&iri(c)) && o.has_class(&iri(p));
+                    if declared {
+                        prop_assert_eq!(
+                            o.is_subclass_of(&iri(c), &iri(p)),
+                            reach(&adj, c, p),
+                            "c={} p={}", c, p
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

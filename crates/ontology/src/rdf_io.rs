@@ -1,0 +1,209 @@
+//! RDF rendering of ontologies, so the IQ model can be stored, exchanged
+//! and queried next to the annotations it types (paper §3: "the ontology
+//! provides both a structured vocabulary of concepts, and a schema for a
+//! knowledge base of annotations").
+
+use crate::model::{Ontology, PropertyKind};
+use crate::Result;
+use qurator_rdf::namespace::{owl, rdf, rdfs};
+use qurator_rdf::store::GraphStore;
+use qurator_rdf::term::{Iri, Term};
+use qurator_rdf::triple::Triple;
+
+/// Serializes an ontology into RDF triples (RDFS + the OWL fragment used).
+pub fn to_graph(onto: &Ontology) -> GraphStore {
+    let mut g = GraphStore::new();
+    let a = Term::iri(rdf::TYPE);
+
+    for class in onto.classes() {
+        g.insert(Triple::new(
+            Term::Iri(class.clone()),
+            a.clone(),
+            Term::iri(owl::CLASS),
+        ));
+        for parent in onto.direct_superclasses(class) {
+            g.insert(Triple::new(
+                Term::Iri(class.clone()),
+                Term::iri(rdfs::SUB_CLASS_OF),
+                Term::Iri(parent),
+            ));
+        }
+        if let Some(label) = onto.label(class) {
+            g.insert(Triple::new(
+                Term::Iri(class.clone()),
+                Term::iri(rdfs::LABEL),
+                Term::string(label),
+            ));
+        }
+        if let Some(comment) = onto.comment(class) {
+            g.insert(Triple::new(
+                Term::Iri(class.clone()),
+                Term::iri(rdfs::COMMENT),
+                Term::string(comment),
+            ));
+        }
+    }
+    for property in onto.properties() {
+        let kind_iri = match onto.property_kind(property).expect("declared") {
+            PropertyKind::Object => owl::OBJECT_PROPERTY,
+            PropertyKind::Datatype => owl::DATATYPE_PROPERTY,
+        };
+        g.insert(Triple::new(
+            Term::Iri(property.clone()),
+            a.clone(),
+            Term::iri(kind_iri),
+        ));
+        if let Some(domain) = onto.property_domain(property) {
+            g.insert(Triple::new(
+                Term::Iri(property.clone()),
+                Term::iri(rdfs::DOMAIN),
+                Term::Iri(domain.clone()),
+            ));
+        }
+        if let Some(range) = onto.property_range(property) {
+            g.insert(Triple::new(
+                Term::Iri(property.clone()),
+                Term::iri(rdfs::RANGE),
+                Term::Iri(range.clone()),
+            ));
+        }
+    }
+    for individual in onto.individuals() {
+        for ty in onto.types_of(individual) {
+            g.insert(Triple::new(
+                Term::Iri(individual.clone()),
+                a.clone(),
+                Term::Iri(ty),
+            ));
+        }
+    }
+    g
+}
+
+/// Reconstructs an ontology from RDF triples produced by [`to_graph`]
+/// (or hand-authored in the same vocabulary).
+pub fn from_graph(g: &GraphStore) -> Result<Ontology> {
+    let mut onto = Ontology::new();
+    let a = Term::iri(rdf::TYPE);
+
+    // classes first
+    for subject in g.subjects(&a, &Term::iri(owl::CLASS)) {
+        if let Term::Iri(class) = subject {
+            onto.declare_class(class);
+        }
+    }
+    for t in g.matching(&qurator_rdf::triple::TriplePattern::new(
+        None,
+        Term::iri(rdfs::SUB_CLASS_OF),
+        None,
+    )) {
+        if let (Term::Iri(child), Term::Iri(parent)) = (t.subject, t.object) {
+            onto.declare_subclass(child, parent);
+        }
+    }
+
+    // properties
+    for (kind_iri, kind) in [
+        (owl::OBJECT_PROPERTY, PropertyKind::Object),
+        (owl::DATATYPE_PROPERTY, PropertyKind::Datatype),
+    ] {
+        for subject in g.subjects(&a, &Term::iri(kind_iri)) {
+            if let Term::Iri(property) = subject {
+                let domain = g
+                    .object(&Term::Iri(property.clone()), &Term::iri(rdfs::DOMAIN))
+                    .and_then(|t| t.as_iri().cloned());
+                let range = g
+                    .object(&Term::Iri(property.clone()), &Term::iri(rdfs::RANGE))
+                    .and_then(|t| t.as_iri().cloned());
+                onto.declare_property(property, kind, domain, range)?;
+            }
+        }
+    }
+
+    // individuals: any rdf:type whose object is a declared class (and is
+    // not itself a class/property declaration)
+    let class_names: Vec<Iri> = onto.classes().cloned().collect();
+    for class in class_names {
+        for subject in g.subjects(&a, &Term::Iri(class.clone())) {
+            if let Term::Iri(individual) = subject {
+                if !onto.has_class(&individual) && !onto.has_property(&individual) {
+                    onto.declare_individual(individual, class.clone())?;
+                }
+            }
+        }
+    }
+
+    // labels & comments
+    for t in g.matching(&qurator_rdf::triple::TriplePattern::new(
+        None,
+        Term::iri(rdfs::LABEL),
+        None,
+    )) {
+        if let (Term::Iri(entity), Term::Literal(l)) = (t.subject, t.object) {
+            onto.set_label(&entity, l.lexical());
+        }
+    }
+    for t in g.matching(&qurator_rdf::triple::TriplePattern::new(
+        None,
+        Term::iri(rdfs::COMMENT),
+        None,
+    )) {
+        if let (Term::Iri(entity), Term::Literal(l)) = (t.subject, t.object) {
+            onto.set_comment(&entity, l.lexical());
+        }
+    }
+    Ok(onto)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iq::{vocab, IqModel};
+    use qurator_rdf::namespace::q;
+
+    #[test]
+    fn roundtrip_preserves_taxonomy_and_instances() {
+        let iq = IqModel::with_proteomics_extension().unwrap();
+        let g = to_graph(iq.ontology());
+        let back = from_graph(&g).unwrap();
+
+        assert!(back.is_subclass_of(&q::iri("HitRatio"), &vocab::quality_evidence()));
+        assert!(back.is_subclass_of(&q::iri("ImprintHitEntry"), &vocab::data_entity()));
+        assert!(back.is_instance_of(&q::iri("high"), &q::iri("PIScoreClassification")));
+        assert_eq!(
+            back.property_kind(&vocab::contains_evidence()),
+            Some(PropertyKind::Object)
+        );
+        assert_eq!(
+            back.property_domain(&vocab::contains_evidence()),
+            Some(&vocab::data_entity())
+        );
+        back.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn serialized_iq_model_is_queryable_with_sparql() {
+        let iq = IqModel::with_proteomics_extension().unwrap();
+        let g = to_graph(iq.ontology());
+        let rows = qurator_rdf::sparql::select(
+            &g,
+            r#"PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+               PREFIX q: <http://qurator.org/iq#>
+               SELECT ?c WHERE { ?c rdfs:subClassOf q:QualityEvidence . }"#,
+        )
+        .unwrap();
+        // HitRatio, MassCoverage, Coverage, Masses, PeptidesCount, ELDP
+        assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    fn comments_survive_roundtrip() {
+        let iq = IqModel::new();
+        let g = to_graph(iq.ontology());
+        let back = from_graph(&g).unwrap();
+        assert!(back
+            .comment(&vocab::quality_evidence())
+            .unwrap()
+            .contains("measurable"));
+    }
+}

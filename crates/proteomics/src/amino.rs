@@ -1,0 +1,122 @@
+//! Amino acids and their monoisotopic residue masses.
+
+/// The 20 standard amino acids (one-letter codes).
+pub const ALPHABET: [char; 20] = [
+    'A', 'R', 'N', 'D', 'C', 'E', 'Q', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W',
+    'Y', 'V',
+];
+
+/// Monoisotopic mass of one water molecule (added once per peptide).
+pub const WATER: f64 = 18.010565;
+
+/// Monoisotopic mass of a proton (for singly-charged [M+H]+ peaks).
+pub const PROTON: f64 = 1.007276;
+
+/// Monoisotopic residue mass for a one-letter amino-acid code.
+///
+/// Returns `None` for non-standard letters; sequence generators only emit
+/// standard residues, but parsers of user input should handle the `None`.
+pub fn residue_mass(code: char) -> Option<f64> {
+    Some(match code {
+        'G' => 57.021464,
+        'A' => 71.037114,
+        'S' => 87.032028,
+        'P' => 97.052764,
+        'V' => 99.068414,
+        'T' => 101.047679,
+        'C' => 103.009185,
+        'L' => 113.084064,
+        'I' => 113.084064,
+        'N' => 114.042927,
+        'D' => 115.026943,
+        'Q' => 128.058578,
+        'K' => 128.094963,
+        'E' => 129.042593,
+        'M' => 131.040485,
+        'H' => 137.058912,
+        'F' => 147.068414,
+        'R' => 156.101111,
+        'Y' => 163.063329,
+        'W' => 186.079313,
+        _ => return None,
+    })
+}
+
+/// Approximate natural abundance of each amino acid in vertebrate
+/// proteomes (used by the synthetic sequence generator; frequencies sum to
+/// ~1.0 — Swiss-Prot composition statistics, rounded).
+pub fn natural_frequency(code: char) -> f64 {
+    match code {
+        'A' => 0.083,
+        'R' => 0.056,
+        'N' => 0.041,
+        'D' => 0.055,
+        'C' => 0.014,
+        'E' => 0.067,
+        'Q' => 0.039,
+        'G' => 0.071,
+        'H' => 0.023,
+        'I' => 0.059,
+        'L' => 0.097,
+        'K' => 0.058,
+        'M' => 0.024,
+        'F' => 0.039,
+        'P' => 0.047,
+        'S' => 0.066,
+        'T' => 0.054,
+        'W' => 0.011,
+        'Y' => 0.029,
+        'V' => 0.069,
+        _ => 0.0,
+    }
+}
+
+/// The monoisotopic mass of an (uncharged) peptide sequence; `None` when a
+/// non-standard residue appears.
+pub fn peptide_mass(sequence: &str) -> Option<f64> {
+    let mut total = WATER;
+    for c in sequence.chars() {
+        total += residue_mass(c)?;
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_alphabet_letters_have_masses() {
+        for c in ALPHABET {
+            assert!(residue_mass(c).is_some(), "{c}");
+            assert!(natural_frequency(c) > 0.0, "{c}");
+        }
+        assert!(residue_mass('X').is_none());
+        assert!(residue_mass('B').is_none());
+    }
+
+    #[test]
+    fn frequencies_sum_to_about_one() {
+        let total: f64 = ALPHABET.iter().map(|&c| natural_frequency(c)).sum();
+        assert!((total - 1.0).abs() < 0.01, "sum was {total}");
+    }
+
+    #[test]
+    fn known_peptide_masses() {
+        // glycine alone: residue + water
+        let g = peptide_mass("G").unwrap();
+        assert!((g - 75.032029).abs() < 1e-5, "G = {g}");
+        // angiotensin II (DRVYIHPF), literature monoisotopic mass ≈ 1045.53
+        let a2 = peptide_mass("DRVYIHPF").unwrap();
+        assert!((a2 - 1045.534).abs() < 0.01, "DRVYIHPF = {a2}");
+        assert!(peptide_mass("PEPTIDEX").is_none());
+    }
+
+    #[test]
+    fn mass_is_additive() {
+        let ab = peptide_mass("AR").unwrap();
+        let a = residue_mass('A').unwrap();
+        let r = residue_mass('R').unwrap();
+        assert!((ab - (a + r + WATER)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,190 @@
+//! In-silico tryptic digestion.
+//!
+//! Trypsin cleaves C-terminal to lysine (K) and arginine (R), except when
+//! the next residue is proline (P). Real digests are incomplete, so PMF
+//! tools also consider peptides spanning a bounded number of *missed
+//! cleavages*.
+
+use crate::amino::peptide_mass;
+
+/// One tryptic peptide with its position and provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Peptide {
+    /// Residue sequence.
+    pub sequence: String,
+    /// 0-based start offset within the parent protein.
+    pub start: usize,
+    /// Number of internal missed cleavage sites (0 = limit digest).
+    pub missed_cleavages: usize,
+    /// Monoisotopic (uncharged) mass.
+    pub mass: f64,
+}
+
+impl Peptide {
+    /// End offset (exclusive) within the parent protein.
+    pub fn end(&self) -> usize {
+        self.start + self.sequence.len()
+    }
+}
+
+/// The cleavage sites of a sequence: indices *after which* trypsin cuts.
+pub fn cleavage_sites(sequence: &str) -> Vec<usize> {
+    let chars: Vec<char> = sequence.chars().collect();
+    let mut sites = Vec::new();
+    for i in 0..chars.len() {
+        let cleaves = matches!(chars[i], 'K' | 'R')
+            && chars.get(i + 1).is_none_or(|&next| next != 'P');
+        if cleaves && i + 1 < chars.len() {
+            sites.push(i + 1);
+        }
+    }
+    sites
+}
+
+/// Digests a protein sequence allowing up to `max_missed` missed
+/// cleavages. Peptides shorter than `min_len` residues are discarded
+/// (too small to be observed in a PMF spectrum).
+pub fn digest(sequence: &str, max_missed: usize, min_len: usize) -> Vec<Peptide> {
+    let sites = cleavage_sites(sequence);
+    // fragment boundaries: 0, sites…, len
+    let mut boundaries = Vec::with_capacity(sites.len() + 2);
+    boundaries.push(0);
+    boundaries.extend(&sites);
+    boundaries.push(sequence.len());
+
+    let mut peptides = Vec::new();
+    for i in 0..boundaries.len() - 1 {
+        for missed in 0..=max_missed {
+            let j = i + 1 + missed;
+            if j >= boundaries.len() {
+                break;
+            }
+            let (start, end) = (boundaries[i], boundaries[j]);
+            let fragment = &sequence[start..end];
+            if fragment.len() < min_len {
+                continue;
+            }
+            if let Some(mass) = peptide_mass(fragment) {
+                peptides.push(Peptide {
+                    sequence: fragment.to_string(),
+                    start,
+                    missed_cleavages: missed,
+                    mass,
+                });
+            }
+        }
+    }
+    peptides
+}
+
+/// The fraction of the parent sequence covered by a set of peptides —
+/// the definition behind Imprint's Mass Coverage metric.
+pub fn sequence_coverage(parent_len: usize, peptides: &[&Peptide]) -> f64 {
+    if parent_len == 0 {
+        return 0.0;
+    }
+    let mut covered = vec![false; parent_len];
+    for p in peptides {
+        for flag in covered.iter_mut().take(p.end().min(parent_len)).skip(p.start) {
+            *flag = true;
+        }
+    }
+    covered.iter().filter(|&&c| c).count() as f64 / parent_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cleaves_after_k_and_r_but_not_before_p() {
+        // positions:        0123456789
+        let sites = cleavage_sites("AAKAARPAAK");
+        // K at 2 -> site 3; R at 5 followed by P -> no site; K at 9 is the
+        // terminus -> no internal site.
+        assert_eq!(sites, vec![3]);
+    }
+
+    #[test]
+    fn limit_digest_fragments() {
+        let peptides = digest("AAKAAARAAA", 0, 1);
+        let seqs: Vec<&str> = peptides.iter().map(|p| p.sequence.as_str()).collect();
+        assert_eq!(seqs, vec!["AAK", "AAAR", "AAA"]);
+        assert!(peptides.iter().all(|p| p.missed_cleavages == 0));
+        // offsets tile the sequence
+        assert_eq!(peptides[0].start, 0);
+        assert_eq!(peptides[1].start, 3);
+        assert_eq!(peptides[2].start, 7);
+    }
+
+    #[test]
+    fn missed_cleavages_concatenate_fragments() {
+        let peptides = digest("AAKAAARAAA", 1, 1);
+        let seqs: Vec<(&str, usize)> = peptides
+            .iter()
+            .map(|p| (p.sequence.as_str(), p.missed_cleavages))
+            .collect();
+        assert!(seqs.contains(&("AAKAAAR", 1)));
+        assert!(seqs.contains(&("AAARAAA", 1)));
+        assert!(seqs.contains(&("AAK", 0)));
+    }
+
+    #[test]
+    fn min_length_filters_short_fragments() {
+        let peptides = digest("AKAAAAK", 0, 4);
+        let seqs: Vec<&str> = peptides.iter().map(|p| p.sequence.as_str()).collect();
+        assert_eq!(seqs, vec!["AAAAK"]); // "AK" dropped
+    }
+
+    #[test]
+    fn peptide_masses_are_positive_and_additive() {
+        let peptides = digest("AAKAAAR", 0, 1);
+        for p in &peptides {
+            assert!(p.mass > 18.0);
+            assert_eq!(Some(p.mass), crate::amino::peptide_mass(&p.sequence));
+        }
+    }
+
+    #[test]
+    fn coverage_computation() {
+        let peptides = digest("AAKAAARAAA", 0, 1);
+        let all: Vec<&Peptide> = peptides.iter().collect();
+        assert!((sequence_coverage(10, &all) - 1.0).abs() < 1e-12);
+        let first: Vec<&Peptide> = peptides.iter().take(1).collect();
+        assert!((sequence_coverage(10, &first) - 0.3).abs() < 1e-12);
+        assert_eq!(sequence_coverage(0, &all), 0.0);
+        assert_eq!(sequence_coverage(10, &[]), 0.0);
+    }
+
+    #[test]
+    fn no_cleavage_sites_yields_whole_sequence() {
+        let peptides = digest("AAAAAA", 2, 1);
+        assert_eq!(peptides.len(), 1);
+        assert_eq!(peptides[0].sequence, "AAAAAA");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Limit-digest fragments tile the input: concatenating them in
+        /// order reproduces the sequence (with min_len 0 so nothing drops).
+        #[test]
+        fn limit_digest_tiles(seq in "[ARNDCEQGHILKMFPSTWYV]{1,80}") {
+            let peptides = digest(&seq, 0, 1);
+            let rebuilt: String = peptides.iter().map(|p| p.sequence.clone()).collect();
+            prop_assert_eq!(rebuilt, seq);
+        }
+
+        /// Every digested peptide occurs at its claimed offset.
+        #[test]
+        fn offsets_are_correct(seq in "[ARNDCEQGHILKMFPSTWYV]{1,60}") {
+            for p in digest(&seq, 2, 1) {
+                prop_assert_eq!(&seq[p.start..p.end()], p.sequence.as_str());
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! A synthetic Gene Ontology: a rooted DAG of molecular-function terms.
+//!
+//! The ISPIDER workflow's last step maps identified proteins to GO terms
+//! "describing molecular function, expressed in a standard controlled
+//! vocabulary". The generator builds a deterministic DAG whose term ids
+//! follow the `GO:0000000` convention.
+
+use crate::{ProteomicsError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// One GO term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoTerm {
+    /// `GO:`-prefixed 7-digit identifier.
+    pub id: String,
+    /// Human-readable name.
+    pub name: String,
+    /// Indexes of `is_a` parents (empty only for the root).
+    pub parents: Vec<usize>,
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct GoConfig {
+    /// Number of terms including the root.
+    pub terms: usize,
+    /// Maximum `is_a` parents per term.
+    pub max_parents: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GoConfig {
+    fn default() -> Self {
+        GoConfig { terms: 300, max_parents: 2, seed: 42 }
+    }
+}
+
+/// The ontology DAG.
+#[derive(Debug, Clone)]
+pub struct GeneOntology {
+    terms: Vec<GoTerm>,
+}
+
+impl GeneOntology {
+    /// Generates a DAG: term 0 is the root `molecular_function`; every
+    /// later term picks parents among strictly earlier terms (acyclic by
+    /// construction).
+    pub fn generate(config: &GoConfig) -> Result<Self> {
+        if config.terms == 0 || config.max_parents == 0 {
+            return Err(ProteomicsError::BadConfig(format!("{config:?}")));
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut terms = Vec::with_capacity(config.terms);
+        terms.push(GoTerm {
+            id: format!("GO:{:07}", 3674), // the real molecular_function id
+            name: "molecular_function".to_string(),
+            parents: Vec::new(),
+        });
+        for index in 1..config.terms {
+            let parent_count = rng.gen_range(1..=config.max_parents.min(index));
+            let mut parents = BTreeSet::new();
+            while parents.len() < parent_count {
+                parents.insert(rng.gen_range(0..index));
+            }
+            terms.push(GoTerm {
+                id: format!("GO:{:07}", 16000 + index),
+                name: format!("synthetic function {index}"),
+                parents: parents.into_iter().collect(),
+            });
+        }
+        Ok(GeneOntology { terms })
+    }
+
+    /// All terms.
+    pub fn terms(&self) -> &[GoTerm] {
+        &self.terms
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when the ontology has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Index of a term by id.
+    pub fn index_of(&self, id: &str) -> Result<usize> {
+        self.terms
+            .iter()
+            .position(|t| t.id == id)
+            .ok_or_else(|| ProteomicsError::NotFound(format!("GO term {id:?}")))
+    }
+
+    /// The term at an index.
+    pub fn term(&self, index: usize) -> &GoTerm {
+        &self.terms[index]
+    }
+
+    /// Reflexive-transitive ancestors of a term index.
+    pub fn ancestors(&self, index: usize) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        let mut stack = vec![index];
+        while let Some(current) = stack.pop() {
+            if out.insert(current) {
+                stack.extend(self.terms[current].parents.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Leaf terms (no children) — the specific functions GOA prefers to
+    /// annotate with.
+    pub fn leaves(&self) -> Vec<usize> {
+        let mut has_child = vec![false; self.terms.len()];
+        for term in &self.terms {
+            for &parent in &term.parents {
+                has_child[parent] = true;
+            }
+        }
+        has_child
+            .iter()
+            .enumerate()
+            .filter(|(_, &h)| !h)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_shape() {
+        let go = GeneOntology::generate(&GoConfig::default()).unwrap();
+        assert_eq!(go.len(), 300);
+        assert_eq!(go.term(0).name, "molecular_function");
+        assert!(go.term(0).parents.is_empty());
+        for (i, term) in go.terms().iter().enumerate().skip(1) {
+            assert!(!term.parents.is_empty());
+            assert!(term.parents.iter().all(|&p| p < i), "acyclic by construction");
+            assert!(term.id.starts_with("GO:"));
+            assert_eq!(term.id.len(), 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = GeneOntology::generate(&GoConfig::default()).unwrap();
+        let b = GeneOntology::generate(&GoConfig::default()).unwrap();
+        assert_eq!(a.terms(), b.terms());
+    }
+
+    #[test]
+    fn ancestors_reach_root() {
+        let go = GeneOntology::generate(&GoConfig { terms: 50, ..Default::default() }).unwrap();
+        for i in 0..go.len() {
+            let anc = go.ancestors(i);
+            assert!(anc.contains(&0), "term {i} must reach the root");
+            assert!(anc.contains(&i), "reflexive");
+        }
+    }
+
+    #[test]
+    fn leaves_have_no_children() {
+        let go = GeneOntology::generate(&GoConfig { terms: 80, ..Default::default() }).unwrap();
+        let leaves = go.leaves();
+        assert!(!leaves.is_empty());
+        for &leaf in &leaves {
+            assert!(go
+                .terms()
+                .iter()
+                .all(|t| !t.parents.contains(&leaf)));
+        }
+    }
+
+    #[test]
+    fn index_lookup() {
+        let go = GeneOntology::generate(&GoConfig { terms: 5, ..Default::default() }).unwrap();
+        assert_eq!(go.index_of("GO:0003674").unwrap(), 0);
+        assert!(go.index_of("GO:9999999").is_err());
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        assert!(GeneOntology::generate(&GoConfig { terms: 0, ..Default::default() }).is_err());
+        assert!(GeneOntology::generate(&GoConfig { max_parents: 0, ..Default::default() }).is_err());
+    }
+}

@@ -1,0 +1,327 @@
+//! Imprint: the protein-mass-fingerprinting search engine.
+//!
+//! The paper's Imprint is "an in-house software tool for PMF" that reports
+//! ranked identifications together with quality indicators; we reimplement
+//! the essential algorithm: match observed peaks against the in-silico
+//! digests of every database protein within a mass tolerance, rank by
+//! matched-peak count, and report the Stead et al. universal metrics:
+//!
+//! * **Hit Ratio (HR)** — matched peaks / total peaks ("an indication of
+//!   the signal to noise ratio in a mass spectrum");
+//! * **Mass Coverage (MC)** — "the amount of protein sequence matched"
+//!   (percentage of residues covered by matched peptides);
+//! * **ELDP** — excess of limit-digested peptides: matched peptides with
+//!   no missed cleavage minus those with missed cleavages (a digestion
+//!   quality indicator from the same metric family).
+
+use crate::amino::PROTON;
+use crate::digest::{digest, sequence_coverage, Peptide};
+use crate::protein::Proteome;
+use crate::spectrometer::PeakList;
+use crate::{ProteomicsError, Result};
+
+/// Search parameters.
+#[derive(Debug, Clone)]
+pub struct ImprintConfig {
+    /// Match tolerance in parts-per-million.
+    pub tolerance_ppm: f64,
+    /// Missed cleavages considered in the theoretical digest.
+    pub max_missed_cleavages: usize,
+    /// Minimum peptide length contributing theoretical masses.
+    pub min_peptide_len: usize,
+    /// Maximum number of hits reported per spectrum.
+    pub max_hits: usize,
+    /// Hits with fewer matched peaks than this are suppressed.
+    pub min_matched_peaks: usize,
+}
+
+impl Default for ImprintConfig {
+    fn default() -> Self {
+        ImprintConfig {
+            tolerance_ppm: 100.0,
+            max_missed_cleavages: 1,
+            min_peptide_len: 6,
+            max_hits: 20,
+            min_matched_peaks: 2,
+        }
+    }
+}
+
+/// One ranked identification with its quality evidence — the schema of the
+/// paper's `Imprint Hit Entry` data entity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HitEntry {
+    /// Identified protein accession.
+    pub accession: String,
+    /// 1-based native rank (by matched peak count).
+    pub rank: usize,
+    /// Number of spectrum peaks matched by this protein.
+    pub matched_peaks: usize,
+    /// Hit Ratio in [0, 1].
+    pub hit_ratio: f64,
+    /// Mass Coverage as a percentage in [0, 100].
+    pub mass_coverage: f64,
+    /// Distinct matched peptides.
+    pub peptides_count: usize,
+    /// Excess of limit-digested peptides (can be negative).
+    pub eldp: i64,
+}
+
+/// The search engine with a precomputed digest index.
+#[derive(Debug)]
+pub struct Imprint {
+    config: ImprintConfig,
+    /// Per protein: its digested peptides (same order as the proteome).
+    digests: Vec<Vec<Peptide>>,
+    accessions: Vec<String>,
+    lengths: Vec<usize>,
+}
+
+impl Imprint {
+    /// Builds the engine, digesting every database protein once.
+    pub fn new(proteome: &Proteome, config: ImprintConfig) -> Result<Self> {
+        if config.tolerance_ppm <= 0.0 || config.max_hits == 0 {
+            return Err(ProteomicsError::BadConfig(format!("{config:?}")));
+        }
+        let digests = proteome
+            .proteins()
+            .iter()
+            .map(|p| {
+                digest(
+                    &p.sequence,
+                    config.max_missed_cleavages,
+                    config.min_peptide_len,
+                )
+            })
+            .collect();
+        Ok(Imprint {
+            config,
+            digests,
+            accessions: proteome
+                .proteins()
+                .iter()
+                .map(|p| p.accession.clone())
+                .collect(),
+            lengths: proteome.proteins().iter().map(|p| p.len()).collect(),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ImprintConfig {
+        &self.config
+    }
+
+    /// Searches one peak list, returning ranked hit entries.
+    pub fn search(&self, peak_list: &PeakList) -> Vec<HitEntry> {
+        if peak_list.is_empty() {
+            return Vec::new();
+        }
+        let peaks = &peak_list.peaks; // sorted ascending
+        let total_peaks = peaks.len();
+
+        struct Candidate {
+            index: usize,
+            matched_peaks: usize,
+            matched_peptides: Vec<usize>,
+            eldp: i64,
+        }
+        let mut candidates: Vec<Candidate> = Vec::new();
+
+        for (index, peptides) in self.digests.iter().enumerate() {
+            let mut matched_peak_flags = vec![false; total_peaks];
+            let mut matched_peptides = Vec::new();
+            let mut eldp = 0i64;
+            for (peptide_index, peptide) in peptides.iter().enumerate() {
+                let target = peptide.mass + PROTON;
+                let tolerance = target * self.config.tolerance_ppm * 1e-6;
+                if let Some(peak_index) = nearest_within(peaks, target, tolerance) {
+                    matched_peak_flags[peak_index] = true;
+                    matched_peptides.push(peptide_index);
+                    if peptide.missed_cleavages == 0 {
+                        eldp += 1;
+                    } else {
+                        eldp -= 1;
+                    }
+                }
+            }
+            let matched_peaks = matched_peak_flags.iter().filter(|&&m| m).count();
+            if matched_peaks >= self.config.min_matched_peaks {
+                candidates.push(Candidate { index, matched_peaks, matched_peptides, eldp });
+            }
+        }
+
+        // native ranking: matched peaks desc, then coverage desc
+        let mut scored: Vec<(Candidate, f64)> = candidates
+            .into_iter()
+            .map(|c| {
+                let peptide_refs: Vec<&Peptide> = c
+                    .matched_peptides
+                    .iter()
+                    .map(|&i| &self.digests[c.index][i])
+                    .collect();
+                let coverage = sequence_coverage(self.lengths[c.index], &peptide_refs) * 100.0;
+                (c, coverage)
+            })
+            .collect();
+        scored.sort_by(|(a, cov_a), (b, cov_b)| {
+            b.matched_peaks
+                .cmp(&a.matched_peaks)
+                .then(cov_b.partial_cmp(cov_a).unwrap_or(std::cmp::Ordering::Equal))
+                .then(a.index.cmp(&b.index))
+        });
+        scored.truncate(self.config.max_hits);
+
+        scored
+            .into_iter()
+            .enumerate()
+            .map(|(i, (c, coverage))| HitEntry {
+                accession: self.accessions[c.index].clone(),
+                rank: i + 1,
+                matched_peaks: c.matched_peaks,
+                hit_ratio: c.matched_peaks as f64 / total_peaks as f64,
+                mass_coverage: coverage,
+                peptides_count: c.matched_peptides.len(),
+                eldp: c.eldp,
+            })
+            .collect()
+    }
+}
+
+/// Index of the peak closest to `target` within `tolerance`, if any
+/// (binary search over the ascending peak array).
+fn nearest_within(peaks: &[f64], target: f64, tolerance: f64) -> Option<usize> {
+    let partition = peaks.partition_point(|&m| m < target);
+    let mut best: Option<(usize, f64)> = None;
+    for candidate in [partition.wrapping_sub(1), partition] {
+        if let Some(&mass) = peaks.get(candidate) {
+            let distance = (mass - target).abs();
+            if distance <= tolerance && best.is_none_or(|(_, d)| distance < d) {
+                best = Some((candidate, distance));
+            }
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protein::{Proteome, ProteomeConfig};
+    use crate::spectrometer::{SampleConfig, Spectrometer};
+
+    fn proteome() -> Proteome {
+        Proteome::generate(&ProteomeConfig { size: 120, ..Default::default() }).unwrap()
+    }
+
+    fn acquire(seed: u64) -> (Proteome, PeakList) {
+        let p = proteome();
+        let pl = Spectrometer::new(seed)
+            .acquire(&p, "spot", &SampleConfig::default())
+            .unwrap();
+        (p, pl)
+    }
+
+    #[test]
+    fn nearest_within_behaviour() {
+        let peaks = [100.0, 200.0, 300.0];
+        assert_eq!(nearest_within(&peaks, 199.9, 0.5), Some(1));
+        assert_eq!(nearest_within(&peaks, 150.0, 10.0), None);
+        assert_eq!(nearest_within(&peaks, 99.0, 2.0), Some(0));
+        assert_eq!(nearest_within(&peaks, 301.0, 2.0), Some(2));
+        assert_eq!(nearest_within(&[], 1.0, 1.0), None);
+    }
+
+    #[test]
+    fn true_proteins_rank_high() {
+        let (p, pl) = acquire(11);
+        let imprint = Imprint::new(&p, ImprintConfig::default()).unwrap();
+        let hits = imprint.search(&pl);
+        assert!(!hits.is_empty());
+        // all three sample proteins should appear, and the top hit should
+        // be a true protein
+        let top3: Vec<&str> = hits.iter().take(3).map(|h| h.accession.as_str()).collect();
+        assert!(pl.true_proteins.iter().any(|t| top3.contains(&t.as_str())));
+        for truth in &pl.true_proteins {
+            assert!(
+                hits.iter().any(|h| &h.accession == truth),
+                "true protein {truth} missing from hits"
+            );
+        }
+    }
+
+    #[test]
+    fn ranks_are_dense_and_ordered() {
+        let (p, pl) = acquire(12);
+        let hits = Imprint::new(&p, ImprintConfig::default()).unwrap().search(&pl);
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.rank, i + 1);
+        }
+        assert!(hits.windows(2).all(|w| w[0].matched_peaks >= w[1].matched_peaks));
+    }
+
+    #[test]
+    fn metrics_are_in_range() {
+        let (p, pl) = acquire(13);
+        let hits = Imprint::new(&p, ImprintConfig::default()).unwrap().search(&pl);
+        for h in &hits {
+            assert!((0.0..=1.0).contains(&h.hit_ratio), "HR {}", h.hit_ratio);
+            assert!((0.0..=100.0).contains(&h.mass_coverage), "MC {}", h.mass_coverage);
+            assert!(h.peptides_count >= h.matched_peaks.min(h.peptides_count));
+            assert!(h.matched_peaks >= 2);
+        }
+    }
+
+    #[test]
+    fn search_produces_false_positives_with_loose_tolerance() {
+        let (p, pl) = acquire(14);
+        let config = ImprintConfig { tolerance_ppm: 2000.0, min_matched_peaks: 2, ..Default::default() };
+        let hits = Imprint::new(&p, config).unwrap().search(&pl);
+        let false_positives = hits
+            .iter()
+            .filter(|h| !pl.true_proteins.contains(&h.accession))
+            .count();
+        assert!(false_positives > 0, "loose tolerance must admit false positives");
+    }
+
+    #[test]
+    fn tighter_tolerance_reduces_hits() {
+        let (p, pl) = acquire(15);
+        let loose = Imprint::new(&p, ImprintConfig { tolerance_ppm: 1000.0, ..Default::default() })
+            .unwrap()
+            .search(&pl)
+            .len();
+        let tight = Imprint::new(&p, ImprintConfig { tolerance_ppm: 20.0, ..Default::default() })
+            .unwrap()
+            .search(&pl)
+            .len();
+        assert!(tight <= loose, "tight {tight} loose {loose}");
+    }
+
+    #[test]
+    fn empty_spectrum_yields_nothing() {
+        let p = proteome();
+        let imprint = Imprint::new(&p, ImprintConfig::default()).unwrap();
+        let empty = PeakList { spot_id: "s".into(), peaks: vec![], true_proteins: vec![] };
+        assert!(imprint.search(&empty).is_empty());
+    }
+
+    #[test]
+    fn max_hits_truncates() {
+        let (p, pl) = acquire(16);
+        let config = ImprintConfig {
+            tolerance_ppm: 3000.0,
+            max_hits: 5,
+            min_matched_peaks: 1,
+            ..Default::default()
+        };
+        let hits = Imprint::new(&p, config).unwrap().search(&pl);
+        assert!(hits.len() <= 5);
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let p = proteome();
+        assert!(Imprint::new(&p, ImprintConfig { tolerance_ppm: 0.0, ..Default::default() }).is_err());
+        assert!(Imprint::new(&p, ImprintConfig { max_hits: 0, ..Default::default() }).is_err());
+    }
+}

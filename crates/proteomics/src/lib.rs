@@ -1,0 +1,71 @@
+//! # qurator-proteomics
+//!
+//! The proteomics substrate for the Quality Views reproduction (VLDB 2006,
+//! §1.1 and §6.3): everything the paper's running example depends on,
+//! rebuilt as a controllable simulation with known ground truth.
+//!
+//! The paper's experiment runs on real infrastructure we cannot use —
+//! a mass spectrometer in Aberdeen, the in-house Imprint PMF tool, the
+//! PEDRo peak-list database and the GOA annotation database. Each is
+//! replaced by a synthetic equivalent that exercises the same code path:
+//!
+//! * [`amino`] — amino-acid alphabet and monoisotopic masses;
+//! * [`protein`] — proteins and a synthetic proteome generator with
+//!   realistic residue frequencies;
+//! * [`digest`] — in-silico tryptic digestion (cleave after K/R unless
+//!   followed by P) with missed cleavages and peptide masses;
+//! * [`spectrometer`] — the wet lab: samples with known protein content,
+//!   detector dropout, mass calibration error, contaminant and noise peaks
+//!   (the paper's "biological contamination, procedural errors in the lab,
+//!   and technology limitations");
+//! * [`imprint`] — protein mass fingerprinting: peak list × protein DB →
+//!   ranked identifications with the Stead et al. universal quality
+//!   metrics **Hit Ratio**, **Mass Coverage**, ELDP;
+//! * [`go`] — a synthetic Gene Ontology (molecular-function DAG);
+//! * [`goa`] — GOA-style protein → GO-term associations with evidence
+//!   codes (the credibility indicator of the paper's ref \[16\]);
+//! * [`pedro`] — the PEDRo peak-list store keyed by experiment/spot;
+//! * [`world`] — [`world::World`]: one seeded bundle of all of the above,
+//!   the testbed examples and benches instantiate.
+//!
+//! Everything is deterministic under a seed, so the Figure 7 reproduction
+//! is repeatable.
+
+pub mod amino;
+pub mod digest;
+pub mod go;
+pub mod goa;
+pub mod imprint;
+pub mod pedro;
+pub mod protein;
+pub mod spectrometer;
+pub mod world;
+
+pub use imprint::{HitEntry, Imprint, ImprintConfig};
+pub use pedro::PedroDb;
+pub use protein::{Protein, Proteome, ProteomeConfig};
+pub use spectrometer::{PeakList, SampleConfig, Spectrometer};
+pub use world::{World, WorldConfig};
+
+/// Errors from the proteomics substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProteomicsError {
+    /// Unknown accession / spot / term.
+    NotFound(String),
+    /// A configuration value is out of range.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for ProteomicsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProteomicsError::NotFound(m) => write!(f, "not found: {m}"),
+            ProteomicsError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProteomicsError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ProteomicsError>;

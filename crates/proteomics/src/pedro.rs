@@ -1,0 +1,101 @@
+//! PEDRo: the experimental-proteomics data store holding peak lists.
+//!
+//! The ISPIDER workflow's first step is "a set of peak lists are retrieved
+//! from the Pedro database"; this module is that store, keyed by
+//! experiment name and spot id.
+
+use crate::spectrometer::PeakList;
+use crate::{ProteomicsError, Result};
+use std::collections::BTreeMap;
+
+/// The peak-list database.
+#[derive(Debug, Clone, Default)]
+pub struct PedroDb {
+    experiments: BTreeMap<String, Vec<PeakList>>,
+}
+
+impl PedroDb {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores an experiment's peak lists; errors when the experiment
+    /// already exists (experiments are immutable once deposited).
+    pub fn deposit(&mut self, experiment: &str, peak_lists: Vec<PeakList>) -> Result<()> {
+        if self.experiments.contains_key(experiment) {
+            return Err(ProteomicsError::BadConfig(format!(
+                "experiment {experiment:?} already deposited"
+            )));
+        }
+        self.experiments.insert(experiment.to_string(), peak_lists);
+        Ok(())
+    }
+
+    /// All peak lists of an experiment, in deposition order.
+    pub fn peak_lists(&self, experiment: &str) -> Result<&[PeakList]> {
+        self.experiments
+            .get(experiment)
+            .map(Vec::as_slice)
+            .ok_or_else(|| ProteomicsError::NotFound(format!("experiment {experiment:?}")))
+    }
+
+    /// One spot of an experiment.
+    pub fn spot(&self, experiment: &str, spot_id: &str) -> Result<&PeakList> {
+        self.peak_lists(experiment)?
+            .iter()
+            .find(|pl| pl.spot_id == spot_id)
+            .ok_or_else(|| {
+                ProteomicsError::NotFound(format!("spot {spot_id:?} in {experiment:?}"))
+            })
+    }
+
+    /// Names of deposited experiments.
+    pub fn experiments(&self) -> Vec<&str> {
+        self.experiments.keys().map(String::as_str).collect()
+    }
+
+    /// Total number of spots across experiments.
+    pub fn spot_count(&self) -> usize {
+        self.experiments.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pl(spot: &str) -> PeakList {
+        PeakList {
+            spot_id: spot.to_string(),
+            peaks: vec![1000.0, 2000.0],
+            true_proteins: vec!["P10000".into()],
+        }
+    }
+
+    #[test]
+    fn deposit_and_retrieve() {
+        let mut db = PedroDb::new();
+        db.deposit("ispider", vec![pl("s1"), pl("s2")]).unwrap();
+        assert_eq!(db.peak_lists("ispider").unwrap().len(), 2);
+        assert_eq!(db.spot("ispider", "s2").unwrap().spot_id, "s2");
+        assert_eq!(db.experiments(), vec!["ispider"]);
+        assert_eq!(db.spot_count(), 2);
+    }
+
+    #[test]
+    fn missing_entries_error() {
+        let mut db = PedroDb::new();
+        db.deposit("e", vec![pl("s1")]).unwrap();
+        assert!(matches!(db.peak_lists("nope"), Err(ProteomicsError::NotFound(_))));
+        assert!(matches!(db.spot("e", "nope"), Err(ProteomicsError::NotFound(_))));
+    }
+
+    #[test]
+    fn experiments_are_immutable() {
+        let mut db = PedroDb::new();
+        db.deposit("e", vec![pl("s1")]).unwrap();
+        assert!(db.deposit("e", vec![pl("s2")]).is_err());
+        assert_eq!(db.peak_lists("e").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Proteins and the synthetic proteome generator.
+
+use crate::amino::{natural_frequency, ALPHABET};
+use crate::{ProteomicsError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// One protein record (the reference-database entry Imprint searches).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Protein {
+    /// Uniprot-style accession, e.g. `P30089`.
+    pub accession: String,
+    /// Residue sequence (one-letter codes).
+    pub sequence: String,
+    /// Free-text description.
+    pub description: String,
+}
+
+impl Protein {
+    /// Sequence length in residues.
+    pub fn len(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// True for the (never generated) empty protein.
+    pub fn is_empty(&self) -> bool {
+        self.sequence.is_empty()
+    }
+}
+
+/// Configuration for the synthetic proteome.
+#[derive(Debug, Clone)]
+pub struct ProteomeConfig {
+    /// Number of proteins to generate.
+    pub size: usize,
+    /// Minimum sequence length.
+    pub min_len: usize,
+    /// Maximum sequence length.
+    pub max_len: usize,
+    /// RNG seed (everything downstream is deterministic under it).
+    pub seed: u64,
+}
+
+impl Default for ProteomeConfig {
+    fn default() -> Self {
+        // The default sizing keeps Figure 7 runs around the paper's scale
+        // (a reference DB large enough to produce false positives).
+        ProteomeConfig { size: 600, min_len: 120, max_len: 900, seed: 42 }
+    }
+}
+
+/// The reference protein database.
+#[derive(Debug, Clone, Default)]
+pub struct Proteome {
+    proteins: Vec<Protein>,
+    by_accession: BTreeMap<String, usize>,
+}
+
+impl Proteome {
+    /// Generates a synthetic proteome.
+    pub fn generate(config: &ProteomeConfig) -> Result<Self> {
+        if config.size == 0 || config.min_len == 0 || config.min_len > config.max_len {
+            return Err(ProteomicsError::BadConfig(format!(
+                "proteome config {config:?}"
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // Cumulative distribution over the alphabet for weighted sampling.
+        let cdf: Vec<(char, f64)> = {
+            let mut acc = 0.0;
+            ALPHABET
+                .iter()
+                .map(|&c| {
+                    acc += natural_frequency(c);
+                    (c, acc)
+                })
+                .collect()
+        };
+        let total = cdf.last().expect("non-empty alphabet").1;
+
+        let mut proteins = Vec::with_capacity(config.size);
+        for index in 0..config.size {
+            let len = rng.gen_range(config.min_len..=config.max_len);
+            let sequence: String = (0..len)
+                .map(|_| {
+                    let x = rng.gen::<f64>() * total;
+                    cdf.iter()
+                        .find(|(_, cum)| x <= *cum)
+                        .map(|(c, _)| *c)
+                        .unwrap_or('A')
+                })
+                .collect();
+            proteins.push(Protein {
+                accession: format!("P{:05}", 10000 + index),
+                sequence,
+                description: format!("Synthetic protein {index}"),
+            });
+        }
+        Ok(Self::from_proteins(proteins))
+    }
+
+    /// Builds a proteome from explicit records.
+    pub fn from_proteins(proteins: Vec<Protein>) -> Self {
+        let by_accession = proteins
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.accession.clone(), i))
+            .collect();
+        Proteome { proteins, by_accession }
+    }
+
+    /// All proteins, in accession-index order.
+    pub fn proteins(&self) -> &[Protein] {
+        &self.proteins
+    }
+
+    /// Lookup by accession.
+    pub fn get(&self, accession: &str) -> Result<&Protein> {
+        self.by_accession
+            .get(accession)
+            .map(|&i| &self.proteins[i])
+            .ok_or_else(|| ProteomicsError::NotFound(format!("protein {accession:?}")))
+    }
+
+    /// Number of proteins.
+    pub fn len(&self) -> usize {
+        self.proteins.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.proteins.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = ProteomeConfig { size: 10, ..Default::default() };
+        let a = Proteome::generate(&config).unwrap();
+        let b = Proteome::generate(&config).unwrap();
+        assert_eq!(a.proteins(), b.proteins());
+        let c = Proteome::generate(&ProteomeConfig { seed: 7, ..config }).unwrap();
+        assert_ne!(a.proteins()[0].sequence, c.proteins()[0].sequence);
+    }
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let config = ProteomeConfig { size: 50, min_len: 100, max_len: 200, seed: 1 };
+        let p = Proteome::generate(&config).unwrap();
+        assert_eq!(p.len(), 50);
+        for protein in p.proteins() {
+            assert!((100..=200).contains(&protein.len()));
+        }
+    }
+
+    #[test]
+    fn sequences_use_standard_alphabet() {
+        let p = Proteome::generate(&ProteomeConfig { size: 5, ..Default::default() }).unwrap();
+        for protein in p.proteins() {
+            assert!(protein
+                .sequence
+                .chars()
+                .all(|c| crate::amino::residue_mass(c).is_some()));
+        }
+    }
+
+    #[test]
+    fn composition_roughly_matches_frequencies() {
+        let p = Proteome::generate(&ProteomeConfig {
+            size: 60,
+            min_len: 400,
+            max_len: 500,
+            seed: 3,
+        })
+        .unwrap();
+        let mut counts = BTreeMap::new();
+        let mut total = 0usize;
+        for protein in p.proteins() {
+            for c in protein.sequence.chars() {
+                *counts.entry(c).or_insert(0usize) += 1;
+                total += 1;
+            }
+        }
+        // leucine should be the most common residue (9.7% natural)
+        let leu = counts[&'L'] as f64 / total as f64;
+        assert!((0.07..0.13).contains(&leu), "L fraction {leu}");
+        // tryptophan the rarest (1.1%)
+        let trp = counts[&'W'] as f64 / total as f64;
+        assert!(trp < 0.03, "W fraction {trp}");
+    }
+
+    #[test]
+    fn accession_lookup() {
+        let p = Proteome::generate(&ProteomeConfig { size: 3, ..Default::default() }).unwrap();
+        assert!(p.get("P10000").is_ok());
+        assert!(p.get("P10002").is_ok());
+        assert!(matches!(p.get("P99999"), Err(ProteomicsError::NotFound(_))));
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        assert!(Proteome::generate(&ProteomeConfig { size: 0, ..Default::default() }).is_err());
+        assert!(Proteome::generate(&ProteomeConfig {
+            min_len: 50,
+            max_len: 10,
+            ..Default::default()
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,298 @@
+//! The simulated mass spectrometer and wet lab.
+//!
+//! A *sample* (protein spot) contains a small number of ground-truth
+//! proteins. The instrument observes their tryptic peptides as singly
+//! charged [M+H]+ peaks, subject to:
+//!
+//! * **detector dropout** — each true peptide is observed only with some
+//!   probability;
+//! * **calibration error** — observed masses deviate by a (deterministic
+//!   pseudo-)Gaussian relative error;
+//! * **contamination** — keratin/trypsin-autolysis-style peaks from a
+//!   contaminant protein pool;
+//! * **noise** — uniformly random spurious peaks.
+//!
+//! Because ground truth is recorded alongside each peak list, downstream
+//! experiments can measure what the paper could only argue qualitatively:
+//! that quality filtering enriches true identifications (§6.3).
+
+use crate::amino::PROTON;
+use crate::digest::digest;
+use crate::protein::Proteome;
+use crate::{ProteomicsError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One acquired peak list (the PMF input for a protein spot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeakList {
+    /// Spot identifier (unique within an experiment).
+    pub spot_id: String,
+    /// Observed [M+H]+ peak masses, ascending.
+    pub peaks: Vec<f64>,
+    /// Ground truth: accessions of the proteins actually in the sample.
+    pub true_proteins: Vec<String>,
+}
+
+impl PeakList {
+    /// Number of peaks.
+    pub fn len(&self) -> usize {
+        self.peaks.len()
+    }
+
+    /// True when the spectrum is empty.
+    pub fn is_empty(&self) -> bool {
+        self.peaks.is_empty()
+    }
+}
+
+/// Acquisition parameters.
+#[derive(Debug, Clone)]
+pub struct SampleConfig {
+    /// Proteins per sample (spot).
+    pub proteins_per_sample: usize,
+    /// Probability that a true peptide produces a peak.
+    pub detection_probability: f64,
+    /// Relative (1σ) mass error, e.g. `5e-5` = 50 ppm.
+    pub mass_error_sigma: f64,
+    /// Number of contaminant peaks drawn from the contaminant pool.
+    pub contaminant_peaks: usize,
+    /// Number of uniform noise peaks.
+    pub noise_peaks: usize,
+    /// Missed cleavages the digest may exhibit.
+    pub max_missed_cleavages: usize,
+    /// Minimum peptide length contributing peaks.
+    pub min_peptide_len: usize,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        SampleConfig {
+            proteins_per_sample: 3,
+            detection_probability: 0.65,
+            mass_error_sigma: 5e-5,
+            contaminant_peaks: 6,
+            noise_peaks: 8,
+            max_missed_cleavages: 1,
+            min_peptide_len: 6,
+        }
+    }
+}
+
+/// The instrument: owns the contaminant pool and an RNG stream.
+#[derive(Debug)]
+pub struct Spectrometer {
+    rng: StdRng,
+    /// Digested contaminant peptide masses (keratin/trypsin stand-ins).
+    contaminant_masses: Vec<f64>,
+}
+
+impl Spectrometer {
+    /// Builds an instrument. Contaminants are the first few proteins of a
+    /// dedicated contaminant proteome derived from the seed.
+    pub fn new(seed: u64) -> Self {
+        let contaminant_proteome = crate::protein::Proteome::generate(
+            &crate::protein::ProteomeConfig {
+                size: 4,
+                min_len: 300,
+                max_len: 600,
+                seed: seed ^ 0xC0FFEE,
+            },
+        )
+        .expect("static config is valid");
+        let contaminant_masses: Vec<f64> = contaminant_proteome
+            .proteins()
+            .iter()
+            .flat_map(|p| digest(&p.sequence, 0, 6))
+            .map(|pep| pep.mass + PROTON)
+            .collect();
+        Spectrometer { rng: StdRng::seed_from_u64(seed), contaminant_masses }
+    }
+
+    /// Deterministic pseudo-Gaussian via Box–Muller.
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Acquires one spot: picks `proteins_per_sample` distinct proteins
+    /// from the proteome, digests them, and observes noisy peaks.
+    pub fn acquire(
+        &mut self,
+        proteome: &Proteome,
+        spot_id: &str,
+        config: &SampleConfig,
+    ) -> Result<PeakList> {
+        if config.proteins_per_sample == 0 || config.proteins_per_sample > proteome.len() {
+            return Err(ProteomicsError::BadConfig(format!(
+                "proteins_per_sample {} vs proteome size {}",
+                config.proteins_per_sample,
+                proteome.len()
+            )));
+        }
+        if !(0.0..=1.0).contains(&config.detection_probability) {
+            return Err(ProteomicsError::BadConfig(format!(
+                "detection_probability {}",
+                config.detection_probability
+            )));
+        }
+        // sample distinct protein indexes
+        let mut chosen: Vec<usize> = Vec::with_capacity(config.proteins_per_sample);
+        while chosen.len() < config.proteins_per_sample {
+            let candidate = self.rng.gen_range(0..proteome.len());
+            if !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+        }
+        let mut peaks: Vec<f64> = Vec::new();
+        let mut true_proteins = Vec::with_capacity(chosen.len());
+        for &index in &chosen {
+            let protein = &proteome.proteins()[index];
+            true_proteins.push(protein.accession.clone());
+            for peptide in digest(
+                &protein.sequence,
+                config.max_missed_cleavages,
+                config.min_peptide_len,
+            ) {
+                if self.rng.gen::<f64>() <= config.detection_probability {
+                    let error = 1.0 + self.gaussian() * config.mass_error_sigma;
+                    peaks.push((peptide.mass + PROTON) * error);
+                }
+            }
+        }
+        // contamination
+        for _ in 0..config.contaminant_peaks {
+            if self.contaminant_masses.is_empty() {
+                break;
+            }
+            let m = self.contaminant_masses
+                [self.rng.gen_range(0..self.contaminant_masses.len())];
+            let error = 1.0 + self.gaussian() * config.mass_error_sigma;
+            peaks.push(m * error);
+        }
+        // uniform noise over the usual PMF m/z range
+        for _ in 0..config.noise_peaks {
+            peaks.push(self.rng.gen_range(700.0..3500.0));
+        }
+        peaks.sort_by(|a, b| a.partial_cmp(b).expect("finite masses"));
+        Ok(PeakList { spot_id: spot_id.to_string(), peaks, true_proteins })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protein::ProteomeConfig;
+
+    fn proteome() -> Proteome {
+        Proteome::generate(&ProteomeConfig { size: 30, ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn acquisition_is_deterministic_under_seed() {
+        let p = proteome();
+        let config = SampleConfig::default();
+        let a = Spectrometer::new(9).acquire(&p, "s1", &config).unwrap();
+        let b = Spectrometer::new(9).acquire(&p, "s1", &config).unwrap();
+        assert_eq!(a, b);
+        let c = Spectrometer::new(10).acquire(&p, "s1", &config).unwrap();
+        assert_ne!(a.peaks, c.peaks);
+    }
+
+    #[test]
+    fn ground_truth_recorded_and_distinct() {
+        let p = proteome();
+        let pl = Spectrometer::new(1)
+            .acquire(&p, "s1", &SampleConfig::default())
+            .unwrap();
+        assert_eq!(pl.true_proteins.len(), 3);
+        let mut dedup = pl.true_proteins.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3);
+        for accession in &pl.true_proteins {
+            assert!(p.get(accession).is_ok());
+        }
+    }
+
+    #[test]
+    fn peaks_sorted_and_in_range() {
+        let p = proteome();
+        let pl = Spectrometer::new(2)
+            .acquire(&p, "s1", &SampleConfig::default())
+            .unwrap();
+        assert!(!pl.is_empty());
+        assert!(pl.peaks.windows(2).all(|w| w[0] <= w[1]));
+        assert!(pl.peaks.iter().all(|&m| m > 100.0 && m < 100_000.0));
+    }
+
+    #[test]
+    fn zero_detection_probability_leaves_only_junk() {
+        let p = proteome();
+        let config = SampleConfig {
+            detection_probability: 0.0,
+            contaminant_peaks: 2,
+            noise_peaks: 3,
+            ..Default::default()
+        };
+        let pl = Spectrometer::new(3).acquire(&p, "s1", &config).unwrap();
+        assert_eq!(pl.len(), 5);
+    }
+
+    #[test]
+    fn full_detection_without_noise_matches_digest_size() {
+        let p = proteome();
+        let config = SampleConfig {
+            detection_probability: 1.0,
+            mass_error_sigma: 0.0,
+            contaminant_peaks: 0,
+            noise_peaks: 0,
+            proteins_per_sample: 1,
+            ..Default::default()
+        };
+        let pl = Spectrometer::new(4).acquire(&p, "s1", &config).unwrap();
+        let truth = p.get(&pl.true_proteins[0]).unwrap();
+        let expected = digest(&truth.sequence, config.max_missed_cleavages, config.min_peptide_len).len();
+        assert_eq!(pl.len(), expected);
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let p = proteome();
+        let mut s = Spectrometer::new(5);
+        assert!(s
+            .acquire(&p, "s", &SampleConfig { proteins_per_sample: 0, ..Default::default() })
+            .is_err());
+        assert!(s
+            .acquire(&p, "s", &SampleConfig { proteins_per_sample: 10_000, ..Default::default() })
+            .is_err());
+        assert!(s
+            .acquire(&p, "s", &SampleConfig { detection_probability: 1.5, ..Default::default() })
+            .is_err());
+    }
+
+    #[test]
+    fn mass_error_perturbs_peaks() {
+        let p = proteome();
+        let exact = SampleConfig {
+            mass_error_sigma: 0.0,
+            contaminant_peaks: 0,
+            noise_peaks: 0,
+            detection_probability: 1.0,
+            proteins_per_sample: 1,
+            ..Default::default()
+        };
+        let noisy = SampleConfig { mass_error_sigma: 1e-4, ..exact.clone() };
+        let a = Spectrometer::new(6).acquire(&p, "s", &exact).unwrap();
+        let b = Spectrometer::new(6).acquire(&p, "s", &noisy).unwrap();
+        assert_eq!(a.len(), b.len());
+        let max_rel: f64 = a
+            .peaks
+            .iter()
+            .zip(&b.peaks)
+            .map(|(x, y)| ((x - y) / x).abs())
+            .fold(0.0, f64::max);
+        assert!(max_rel > 0.0 && max_rel < 1e-3, "max relative error {max_rel}");
+    }
+}

@@ -1,0 +1,131 @@
+//! The assembled testbed: proteome + instrument + PEDRo + Imprint + GO +
+//! GOA, all seeded from one configuration.
+//!
+//! Examples, integration tests and the Figure 7 harness build a [`World`]
+//! and run the ISPIDER pipeline against it.
+
+use crate::go::{GeneOntology, GoConfig};
+use crate::goa::{GoaConfig, GoaDb};
+use crate::imprint::{Imprint, ImprintConfig};
+use crate::pedro::PedroDb;
+use crate::protein::{Proteome, ProteomeConfig};
+use crate::spectrometer::{SampleConfig, Spectrometer};
+use crate::Result;
+
+/// Full testbed configuration.
+#[derive(Debug, Clone, Default)]
+pub struct WorldConfig {
+    pub proteome: ProteomeConfig,
+    pub sample: SampleConfig,
+    pub imprint: ImprintConfig,
+    pub go: GoConfig,
+    pub goa: GoaConfig,
+    /// Number of protein spots acquired into the PEDRo experiment.
+    pub spots: usize,
+    /// Name of the deposited experiment.
+    pub experiment: String,
+}
+
+impl WorldConfig {
+    /// The paper-scale default: 10 protein spots (§6.3 processes "the
+    /// peptide masses for 10 protein spots").
+    pub fn paper_scale(seed: u64) -> Self {
+        WorldConfig {
+            proteome: ProteomeConfig { seed, ..Default::default() },
+            sample: SampleConfig::default(),
+            imprint: ImprintConfig::default(),
+            go: GoConfig { seed: seed ^ 0x60, ..Default::default() },
+            goa: GoaConfig { seed: seed ^ 0x604, ..Default::default() },
+            spots: 10,
+            experiment: "ispider-pmf".to_string(),
+        }
+    }
+}
+
+/// The assembled testbed.
+#[derive(Debug)]
+pub struct World {
+    pub proteome: Proteome,
+    pub pedro: PedroDb,
+    pub imprint: Imprint,
+    pub go: GeneOntology,
+    pub goa: GoaDb,
+    pub experiment: String,
+}
+
+impl World {
+    /// Builds everything from the configuration.
+    pub fn generate(config: &WorldConfig) -> Result<Self> {
+        let proteome = Proteome::generate(&config.proteome)?;
+        let go = GeneOntology::generate(&config.go)?;
+        let goa = GoaDb::generate(&proteome, &go, &config.goa)?;
+        let imprint = Imprint::new(&proteome, config.imprint.clone())?;
+
+        let mut spectrometer = Spectrometer::new(config.proteome.seed ^ 0x5bec);
+        let mut peak_lists = Vec::with_capacity(config.spots);
+        for spot in 0..config.spots {
+            peak_lists.push(spectrometer.acquire(
+                &proteome,
+                &format!("spot-{spot:02}"),
+                &config.sample,
+            )?);
+        }
+        let mut pedro = PedroDb::new();
+        pedro.deposit(&config.experiment, peak_lists)?;
+
+        Ok(World {
+            proteome,
+            pedro,
+            imprint,
+            go,
+            goa,
+            experiment: config.experiment.clone(),
+        })
+    }
+
+    /// Convenience: the deposited peak lists.
+    pub fn peak_lists(&self) -> &[crate::spectrometer::PeakList] {
+        self.pedro
+            .peak_lists(&self.experiment)
+            .expect("deposited at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_world_assembles() {
+        let world = World::generate(&WorldConfig::paper_scale(42)).unwrap();
+        assert_eq!(world.peak_lists().len(), 10);
+        assert_eq!(world.proteome.len(), 600);
+        assert_eq!(world.go.len(), 300);
+        assert_eq!(world.goa.protein_count(), 600);
+    }
+
+    #[test]
+    fn pipeline_end_to_end_produces_go_terms() {
+        let world = World::generate(&WorldConfig::paper_scale(7)).unwrap();
+        let mut go_term_occurrences = 0usize;
+        for peak_list in world.peak_lists() {
+            let hits = world.imprint.search(peak_list);
+            assert!(!hits.is_empty(), "every spot should identify something");
+            for hit in hits {
+                go_term_occurrences += world.goa.lookup(&hit.accession).len();
+            }
+        }
+        // §6.3: "a total number of about 500 related GO terms" over 10 spots.
+        assert!(
+            (150..2000).contains(&go_term_occurrences),
+            "GO occurrences {go_term_occurrences} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = World::generate(&WorldConfig::paper_scale(3)).unwrap();
+        let b = World::generate(&WorldConfig::paper_scale(3)).unwrap();
+        assert_eq!(a.peak_lists(), b.peak_lists());
+    }
+}

@@ -1,0 +1,90 @@
+//! # qurator-rdf
+//!
+//! A compact, dependency-free RDF substrate for the Qurator quality-view
+//! framework (reproduction of *Quality Views: Capturing and Exploiting the
+//! User Perspective on Data Quality*, VLDB 2006).
+//!
+//! The paper stores quality annotations as RDF statements in dedicated
+//! repositories and retrieves them with SPARQL queries keyed on
+//! `(data item, evidence type)`. This crate provides everything that layer
+//! needs, implemented from scratch:
+//!
+//! * [`term`] — IRIs, blank nodes, typed literals and the [`term::Term`] sum type;
+//! * [`triple`] — triples and triple patterns;
+//! * [`store`] — a dictionary-encoded, triple-indexed in-memory store
+//!   ([`store::GraphStore`]) with SPO/POS/OSP indexes;
+//! * [`turtle`] — a Turtle-subset parser and serializer for durable
+//!   annotation repositories;
+//! * [`sparql`] — a SPARQL-subset query engine (BGP matching, `FILTER`,
+//!   `OPTIONAL`, `ORDER BY`, `LIMIT`/`OFFSET`, `SELECT`/`ASK`);
+//! * [`lsid`] — Life Science Identifiers, the URI-wrapping scheme the paper
+//!   adopts for native data identifiers (e.g. Uniprot accessions);
+//! * [`namespace`] — prefix/namespace management and well-known vocabularies.
+//!
+//! ## Example
+//!
+//! ```
+//! use qurator_rdf::store::GraphStore;
+//! use qurator_rdf::term::Term;
+//! use qurator_rdf::triple::Triple;
+//! use qurator_rdf::namespace::rdf;
+//!
+//! let mut store = GraphStore::new();
+//! let protein = Term::iri("urn:lsid:uniprot.org:uniprot:P30089");
+//! let class = Term::iri("http://qurator.org/iq#ImprintHitEntry");
+//! store.insert(Triple::new(protein.clone(), Term::iri(rdf::TYPE), class.clone()));
+//! assert!(store.contains(&Triple::new(protein, Term::iri(rdf::TYPE), class)));
+//! ```
+
+pub mod lsid;
+pub mod namespace;
+pub mod sparql;
+pub mod store;
+pub mod term;
+pub mod triple;
+pub mod turtle;
+
+pub use store::GraphStore;
+pub use term::{BlankNode, Iri, Literal, Term};
+pub use triple::{Triple, TriplePattern};
+
+/// Errors produced by the RDF layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// A lexical form could not be parsed into the requested value space.
+    BadLiteral { lexical: String, datatype: String },
+    /// Turtle syntax error with 1-based line/column.
+    TurtleSyntax { line: usize, col: usize, message: String },
+    /// SPARQL syntax error.
+    SparqlSyntax { pos: usize, message: String },
+    /// SPARQL evaluation error (e.g. type error inside FILTER).
+    SparqlEval(String),
+    /// An LSID string did not conform to `urn:lsid:auth:ns:obj[:rev]`.
+    BadLsid(String),
+    /// A prefixed name used an undeclared prefix.
+    UnknownPrefix(String),
+}
+
+impl std::fmt::Display for RdfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RdfError::BadLiteral { lexical, datatype } => {
+                write!(f, "literal {lexical:?} is not valid for datatype <{datatype}>")
+            }
+            RdfError::TurtleSyntax { line, col, message } => {
+                write!(f, "turtle syntax error at {line}:{col}: {message}")
+            }
+            RdfError::SparqlSyntax { pos, message } => {
+                write!(f, "sparql syntax error at offset {pos}: {message}")
+            }
+            RdfError::SparqlEval(m) => write!(f, "sparql evaluation error: {m}"),
+            RdfError::BadLsid(s) => write!(f, "malformed LSID: {s:?}"),
+            RdfError::UnknownPrefix(p) => write!(f, "unknown namespace prefix {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, RdfError>;

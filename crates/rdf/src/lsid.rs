@@ -1,0 +1,213 @@
+//! Life Science Identifiers (LSID).
+//!
+//! The paper adopts the OMG LSID naming convention to wrap native data
+//! identifiers (bioinformatics accession numbers) as URIs so that data items
+//! can be RDF subjects: `urn:lsid:authority:namespace:object[:revision]`.
+//! For example the Uniprot accession `P30089` becomes
+//! `urn:lsid:uniprot.org:uniprot:P30089`.
+
+use crate::term::{Iri, Term};
+use crate::RdfError;
+use std::fmt;
+
+/// A parsed LSID.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lsid {
+    authority: String,
+    namespace: String,
+    object: String,
+    revision: Option<String>,
+}
+
+impl Lsid {
+    /// Builds an LSID from components. Components must be non-empty and must
+    /// not contain `:` or whitespace.
+    pub fn new(
+        authority: impl Into<String>,
+        namespace: impl Into<String>,
+        object: impl Into<String>,
+    ) -> Result<Self, RdfError> {
+        let lsid = Lsid {
+            authority: authority.into(),
+            namespace: namespace.into(),
+            object: object.into(),
+            revision: None,
+        };
+        lsid.validate()?;
+        Ok(lsid)
+    }
+
+    /// Adds a revision component.
+    pub fn with_revision(mut self, revision: impl Into<String>) -> Result<Self, RdfError> {
+        self.revision = Some(revision.into());
+        self.validate()?;
+        Ok(self)
+    }
+
+    fn validate(&self) -> Result<(), RdfError> {
+        let parts = [
+            Some(self.authority.as_str()),
+            Some(self.namespace.as_str()),
+            Some(self.object.as_str()),
+            self.revision.as_deref(),
+        ];
+        for part in parts.into_iter().flatten() {
+            if part.is_empty() || part.contains(':') || part.chars().any(char::is_whitespace) {
+                return Err(RdfError::BadLsid(self.to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses the canonical `urn:lsid:...` form (case-insensitive scheme).
+    pub fn parse(s: &str) -> Result<Self, RdfError> {
+        let err = || RdfError::BadLsid(s.to_string());
+        let mut parts = s.split(':');
+        let urn = parts.next().ok_or_else(err)?;
+        let scheme = parts.next().ok_or_else(err)?;
+        if !urn.eq_ignore_ascii_case("urn") || !scheme.eq_ignore_ascii_case("lsid") {
+            return Err(err());
+        }
+        let authority = parts.next().ok_or_else(err)?;
+        let namespace = parts.next().ok_or_else(err)?;
+        let object = parts.next().ok_or_else(err)?;
+        let revision = parts.next();
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        let mut lsid = Lsid::new(authority, namespace, object)?;
+        if let Some(rev) = revision {
+            lsid = lsid.with_revision(rev)?;
+        }
+        Ok(lsid)
+    }
+
+    /// The naming authority (a DNS name by convention).
+    pub fn authority(&self) -> &str {
+        &self.authority
+    }
+
+    /// The namespace within the authority.
+    pub fn namespace(&self) -> &str {
+        &self.namespace
+    }
+
+    /// The native identifier (accession number).
+    pub fn object(&self) -> &str {
+        &self.object
+    }
+
+    /// The revision, if present.
+    pub fn revision(&self) -> Option<&str> {
+        self.revision.as_deref()
+    }
+
+    /// Renders as an RDF IRI term (the paper's URI-wrapping of data items).
+    pub fn to_term(&self) -> Term {
+        Term::Iri(self.to_iri())
+    }
+
+    /// Renders as an [`Iri`].
+    pub fn to_iri(&self) -> Iri {
+        Iri::new(self.to_string())
+    }
+}
+
+impl fmt::Display for Lsid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "urn:lsid:{}:{}:{}", self.authority, self.namespace, self.object)?;
+        if let Some(rev) = &self.revision {
+            write!(f, ":{rev}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Wraps a native accession under a fixed authority/namespace — the helper
+/// data sources use for bulk LSID minting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LsidAuthority {
+    authority: String,
+    namespace: String,
+}
+
+impl LsidAuthority {
+    /// A minting authority, e.g. `LsidAuthority::new("uniprot.org", "uniprot")`.
+    pub fn new(authority: impl Into<String>, namespace: impl Into<String>) -> Self {
+        LsidAuthority {
+            authority: authority.into(),
+            namespace: namespace.into(),
+        }
+    }
+
+    /// Mints an LSID for the given native object id.
+    pub fn mint(&self, object: impl Into<String>) -> Result<Lsid, RdfError> {
+        Lsid::new(self.authority.clone(), self.namespace.clone(), object)
+    }
+
+    /// Mints directly to an IRI term.
+    pub fn term(&self, object: impl Into<String>) -> Term {
+        self.mint(object).expect("invalid native id for LSID").to_term()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_paper_example() {
+        // The paper's Figure 2 wraps Uniprot accession P30089.
+        let lsid = Lsid::parse("urn:lsid:uniprot.org:uniprot:P30089").unwrap();
+        assert_eq!(lsid.authority(), "uniprot.org");
+        assert_eq!(lsid.namespace(), "uniprot");
+        assert_eq!(lsid.object(), "P30089");
+        assert_eq!(lsid.revision(), None);
+        assert_eq!(lsid.to_string(), "urn:lsid:uniprot.org:uniprot:P30089");
+    }
+
+    #[test]
+    fn revision_component() {
+        let lsid = Lsid::parse("urn:lsid:pedro.man.ac.uk:peaklist:PL7:2").unwrap();
+        assert_eq!(lsid.revision(), Some("2"));
+        let reparsed = Lsid::parse(&lsid.to_string()).unwrap();
+        assert_eq!(lsid, reparsed);
+    }
+
+    #[test]
+    fn case_insensitive_scheme() {
+        assert!(Lsid::parse("URN:LSID:a.org:ns:X1").is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "urn:lsid:only:three",
+            "urn:lsid:a:b:c:d:e",
+            "http://not.a.urn/x",
+            "urn:lsid:::empty",
+            "urn:lsid:a b:ns:obj",
+            "",
+        ] {
+            assert!(Lsid::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn authority_minting() {
+        let auth = LsidAuthority::new("uniprot.org", "uniprot");
+        let term = auth.term("Q9H0H5");
+        assert_eq!(
+            term.as_iri().unwrap().as_str(),
+            "urn:lsid:uniprot.org:uniprot:Q9H0H5"
+        );
+    }
+
+    #[test]
+    fn component_validation() {
+        assert!(Lsid::new("a.org", "ns", "has:colon").is_err());
+        assert!(Lsid::new("a.org", "", "x").is_err());
+        let ok = Lsid::new("a.org", "ns", "x").unwrap();
+        assert!(ok.with_revision("r 1").is_err());
+    }
+}

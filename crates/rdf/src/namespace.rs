@@ -1,0 +1,183 @@
+//! Namespace prefixes and well-known vocabularies.
+//!
+//! The Qurator framework uses the `q:` prefix for its IQ-model namespace
+//! (the paper writes e.g. `q:HitRatio`, `q:PIScoreClassification`); this
+//! module also carries the standard RDF/RDFS/OWL/XSD vocabularies the
+//! ontology layer needs.
+
+use crate::term::Iri;
+use crate::RdfError;
+use std::collections::BTreeMap;
+
+/// The RDF syntax vocabulary.
+pub mod rdf {
+    pub const NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    pub const PROPERTY: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property";
+}
+
+/// The RDF Schema vocabulary.
+pub mod rdfs {
+    pub const NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+    pub const CLASS: &str = "http://www.w3.org/2000/01/rdf-schema#Class";
+    pub const SUB_CLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    pub const SUB_PROPERTY_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+    pub const DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+    pub const RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+    pub const COMMENT: &str = "http://www.w3.org/2000/01/rdf-schema#comment";
+}
+
+/// The (tiny) OWL fragment the IQ model relies on.
+pub mod owl {
+    pub const NS: &str = "http://www.w3.org/2002/07/owl#";
+    pub const CLASS: &str = "http://www.w3.org/2002/07/owl#Class";
+    pub const OBJECT_PROPERTY: &str = "http://www.w3.org/2002/07/owl#ObjectProperty";
+    pub const DATATYPE_PROPERTY: &str = "http://www.w3.org/2002/07/owl#DatatypeProperty";
+    pub const DISJOINT_WITH: &str = "http://www.w3.org/2002/07/owl#disjointWith";
+    pub const ONE_OF: &str = "http://www.w3.org/2002/07/owl#oneOf";
+    pub const THING: &str = "http://www.w3.org/2002/07/owl#Thing";
+}
+
+/// XML Schema datatypes.
+pub mod xsd {
+    pub const NS: &str = "http://www.w3.org/2001/XMLSchema#";
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    pub const FLOAT: &str = "http://www.w3.org/2001/XMLSchema#float";
+    pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    pub const INT: &str = "http://www.w3.org/2001/XMLSchema#int";
+    pub const LONG: &str = "http://www.w3.org/2001/XMLSchema#long";
+    pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    pub const DATE_TIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+}
+
+/// The Qurator IQ-model namespace (the paper's `q:` prefix).
+pub mod q {
+    pub const NS: &str = "http://qurator.org/iq#";
+
+    /// Builds an IRI in the `q:` namespace from a local name.
+    pub fn iri(local: &str) -> crate::term::Iri {
+        crate::term::Iri::new(format!("{NS}{local}"))
+    }
+}
+
+/// A mutable prefix → namespace mapping used by the Turtle and SPARQL
+/// parsers and by serializers when rendering prefixed names.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrefixMap {
+    map: BTreeMap<String, String>,
+}
+
+impl PrefixMap {
+    /// An empty prefix map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A prefix map preloaded with `rdf`, `rdfs`, `owl`, `xsd` and `q`.
+    pub fn with_defaults() -> Self {
+        let mut m = Self::new();
+        m.declare("rdf", rdf::NS);
+        m.declare("rdfs", rdfs::NS);
+        m.declare("owl", owl::NS);
+        m.declare("xsd", xsd::NS);
+        m.declare("q", q::NS);
+        m
+    }
+
+    /// Declares (or redeclares) a prefix.
+    pub fn declare(&mut self, prefix: impl Into<String>, ns: impl Into<String>) {
+        self.map.insert(prefix.into(), ns.into());
+    }
+
+    /// Looks up the namespace bound to `prefix`.
+    pub fn namespace(&self, prefix: &str) -> Option<&str> {
+        self.map.get(prefix).map(String::as_str)
+    }
+
+    /// Expands a `prefix:local` name into a full IRI.
+    pub fn expand(&self, pname: &str) -> Result<Iri, RdfError> {
+        let (prefix, local) = pname
+            .split_once(':')
+            .ok_or_else(|| RdfError::UnknownPrefix(pname.to_string()))?;
+        let ns = self
+            .namespace(prefix)
+            .ok_or_else(|| RdfError::UnknownPrefix(prefix.to_string()))?;
+        Iri::try_new(&format!("{ns}{local}"))
+    }
+
+    /// Tries to compact an IRI into `prefix:local` form; returns `None` when
+    /// no declared namespace is a prefix of the IRI or the local part is not
+    /// a simple name.
+    pub fn compact(&self, iri: &Iri) -> Option<String> {
+        let s = iri.as_str();
+        let mut best: Option<(&str, &str)> = None;
+        for (p, ns) in &self.map {
+            if let Some(local) = s.strip_prefix(ns.as_str()) {
+                if is_local_name(local)
+                    && best.is_none_or(|(_, bns)| ns.len() > bns.len())
+                {
+                    best = Some((p, ns));
+                }
+            }
+        }
+        best.map(|(p, ns)| format!("{p}:{}", &s[ns.len()..]))
+    }
+
+    /// Iterates over `(prefix, namespace)` pairs in prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+/// True for strings usable as the local part of a prefixed name.
+pub(crate) fn is_local_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+        && !s.starts_with('.')
+        && !s.ends_with('.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expand_and_compact_roundtrip() {
+        let m = PrefixMap::with_defaults();
+        let iri = m.expand("q:HitRatio").unwrap();
+        assert_eq!(iri.as_str(), "http://qurator.org/iq#HitRatio");
+        assert_eq!(m.compact(&iri).as_deref(), Some("q:HitRatio"));
+    }
+
+    #[test]
+    fn expand_unknown_prefix_fails() {
+        let m = PrefixMap::new();
+        assert!(matches!(m.expand("q:X"), Err(RdfError::UnknownPrefix(_))));
+        assert!(matches!(m.expand("noColon"), Err(RdfError::UnknownPrefix(_))));
+    }
+
+    #[test]
+    fn compact_prefers_longest_namespace() {
+        let mut m = PrefixMap::new();
+        m.declare("a", "http://x/");
+        m.declare("b", "http://x/deep#");
+        let iri = Iri::new("http://x/deep#leaf");
+        assert_eq!(m.compact(&iri).as_deref(), Some("b:leaf"));
+    }
+
+    #[test]
+    fn compact_refuses_non_name_locals() {
+        let m = PrefixMap::with_defaults();
+        let iri = Iri::new("http://qurator.org/iq#a/b");
+        assert_eq!(m.compact(&iri), None);
+    }
+
+    #[test]
+    fn q_namespace_helper() {
+        assert_eq!(q::iri("MassCoverage").as_str(), "http://qurator.org/iq#MassCoverage");
+    }
+}

@@ -1,0 +1,170 @@
+//! Abstract syntax for the SPARQL subset.
+
+use crate::term::Term;
+
+/// A term position inside a query triple pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryTerm {
+    /// A variable, without the `?` sigil.
+    Var(String),
+    /// A concrete RDF term.
+    Term(Term),
+}
+
+impl QueryTerm {
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            QueryTerm::Var(v) => Some(v),
+            QueryTerm::Term(_) => None,
+        }
+    }
+}
+
+/// A triple pattern whose positions may be variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePatternQ {
+    pub subject: QueryTerm,
+    pub predicate: QueryTerm,
+    pub object: QueryTerm,
+}
+
+impl TriplePatternQ {
+    /// All variable names mentioned by this pattern.
+    pub fn variables(&self) -> impl Iterator<Item = &str> {
+        [&self.subject, &self.predicate, &self.object]
+            .into_iter()
+            .filter_map(|qt| qt.as_var())
+    }
+}
+
+/// Built-in functions available inside FILTER expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    Bound,
+    Str,
+    Datatype,
+    IsIri,
+    IsLiteral,
+    Regex,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// A FILTER / ORDER BY expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Var(String),
+    Const(Term),
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    Call(Builtin, Vec<Expr>),
+}
+
+/// One group graph pattern: a BGP plus filters and optional sub-groups.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupPattern {
+    pub triples: Vec<TriplePatternQ>,
+    pub filters: Vec<Expr>,
+    pub optionals: Vec<GroupPattern>,
+}
+
+impl GroupPattern {
+    /// All variables mentioned anywhere in the group (including optionals).
+    pub fn variables(&self) -> Vec<String> {
+        let mut vars: Vec<String> = Vec::new();
+        let mut push = |v: &str| {
+            if !vars.iter().any(|x| x == v) {
+                vars.push(v.to_string());
+            }
+        };
+        for t in &self.triples {
+            for v in t.variables() {
+                push(v);
+            }
+        }
+        for opt in &self.optionals {
+            for v in opt.variables() {
+                push(&v);
+            }
+        }
+        vars
+    }
+}
+
+/// SELECT projection: explicit variables or `*`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectProjection {
+    Star,
+    Vars(Vec<String>),
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    pub expr: Expr,
+    pub ascending: bool,
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    Select {
+        distinct: bool,
+        projection: SelectProjection,
+        pattern: GroupPattern,
+        order: Vec<OrderKey>,
+        limit: Option<usize>,
+        offset: usize,
+    },
+    Ask {
+        pattern: GroupPattern,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_variable_listing() {
+        let g = GroupPattern {
+            triples: vec![TriplePatternQ {
+                subject: QueryTerm::Var("s".into()),
+                predicate: QueryTerm::Term(Term::iri("http://x/p")),
+                object: QueryTerm::Var("o".into()),
+            }],
+            filters: vec![],
+            optionals: vec![GroupPattern {
+                triples: vec![TriplePatternQ {
+                    subject: QueryTerm::Var("s".into()),
+                    predicate: QueryTerm::Term(Term::iri("http://x/q")),
+                    object: QueryTerm::Var("extra".into()),
+                }],
+                ..Default::default()
+            }],
+        };
+        assert_eq!(g.variables(), vec!["s", "o", "extra"]);
+    }
+}

@@ -1,0 +1,647 @@
+//! Evaluation of the SPARQL subset over a [`GraphStore`].
+//!
+//! Basic graph patterns are solved by backtracking joins; at each step the
+//! evaluator picks the remaining pattern with the most bound positions under
+//! the current partial solution, so the `(data, evidence type)` lookups the
+//! Data-Enrichment operator issues are answered with index range scans
+//! rather than full scans.
+
+use super::ast::*;
+use crate::store::GraphStore;
+use crate::term::Term;
+use crate::triple::TriplePattern;
+use crate::{RdfError, Result};
+use std::collections::BTreeMap;
+
+/// A solution mapping from variable names to terms.
+pub type Bindings = BTreeMap<String, Term>;
+
+/// One projected result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    values: Bindings,
+}
+
+impl Row {
+    /// The binding for `var`, if present.
+    pub fn get(&self, var: &str) -> Option<&Term> {
+        self.values.get(var)
+    }
+
+    /// All `(variable, term)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Term)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of bound variables in the row.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Evaluates a SELECT query.
+pub fn evaluate_select(store: &GraphStore, query: &Query) -> Result<Vec<Row>> {
+    let Query::Select { distinct, projection, pattern, order, limit, offset } = query else {
+        return Err(RdfError::SparqlEval("expected a SELECT query".into()));
+    };
+    let mut solutions = solve_group(store, pattern, Bindings::new())?;
+
+    // ORDER BY before projection so sort keys may use unprojected vars.
+    if !order.is_empty() {
+        let mut keyed: Vec<(Vec<Option<Value>>, Bindings)> = solutions
+            .into_iter()
+            .map(|b| {
+                let keys = order
+                    .iter()
+                    .map(|k| eval_expr(&k.expr, &b).ok())
+                    .collect::<Vec<_>>();
+                (keys, b)
+            })
+            .collect();
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for (i, key) in order.iter().enumerate() {
+                let ord = compare_values(ka[i].as_ref(), kb[i].as_ref());
+                let ord = if key.ascending { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        solutions = keyed.into_iter().map(|(_, b)| b).collect();
+    }
+
+    let mut rows: Vec<Row> = solutions
+        .into_iter()
+        .map(|b| {
+            let values = match projection {
+                SelectProjection::Star => b,
+                SelectProjection::Vars(vars) => vars
+                    .iter()
+                    .filter_map(|v| b.get(v).map(|t| (v.clone(), t.clone())))
+                    .collect(),
+            };
+            Row { values }
+        })
+        .collect();
+
+    if *distinct {
+        let mut seen: Vec<Bindings> = Vec::new();
+        rows.retain(|r| {
+            if seen.contains(&r.values) {
+                false
+            } else {
+                seen.push(r.values.clone());
+                true
+            }
+        });
+    }
+
+    let rows = rows
+        .into_iter()
+        .skip(*offset)
+        .take(limit.unwrap_or(usize::MAX))
+        .collect();
+    Ok(rows)
+}
+
+/// Evaluates an ASK query.
+pub fn evaluate_ask(store: &GraphStore, query: &Query) -> Result<bool> {
+    let Query::Ask { pattern } = query else {
+        return Err(RdfError::SparqlEval("expected an ASK query".into()));
+    };
+    Ok(!solve_group(store, pattern, Bindings::new())?.is_empty())
+}
+
+/// Solves a group pattern under an initial binding, returning all solutions.
+fn solve_group(
+    store: &GraphStore,
+    group: &GroupPattern,
+    initial: Bindings,
+) -> Result<Vec<Bindings>> {
+    let mut solutions = vec![initial];
+    let mut remaining: Vec<&TriplePatternQ> = group.triples.iter().collect();
+
+    // Join loop: repeatedly pick the most selective pattern and extend.
+    while !remaining.is_empty() {
+        let mut next_solutions = Vec::new();
+        // Selectivity heuristic uses the first current solution as a proxy
+        // (all solutions in a round share the same bound-variable set).
+        let proxy = solutions.first().cloned().unwrap_or_default();
+        let mut best_index = 0;
+        let mut best_score = -1i32;
+        for (index, p) in remaining.iter().enumerate() {
+            let score = selectivity(p, &proxy);
+            if score > best_score {
+                best_score = score;
+                best_index = index;
+            }
+        }
+        let pattern = remaining.remove(best_index);
+        for sol in &solutions {
+            extend_with_pattern(store, pattern, sol, &mut next_solutions);
+        }
+        solutions = next_solutions;
+        if solutions.is_empty() {
+            return Ok(solutions);
+        }
+    }
+
+    // OPTIONAL: left join each optional group.
+    for opt in &group.optionals {
+        let mut joined = Vec::new();
+        for sol in solutions {
+            let extensions = solve_group(store, opt, sol.clone())?;
+            if extensions.is_empty() {
+                joined.push(sol);
+            } else {
+                joined.extend(extensions);
+            }
+        }
+        solutions = joined;
+    }
+
+    // FILTERs (applied last so they may reference OPTIONAL bindings).
+    for filter in &group.filters {
+        solutions.retain(|sol| {
+            eval_expr(filter, sol)
+                .ok()
+                .and_then(|v| v.effective_bool())
+                .unwrap_or(false)
+        });
+    }
+    Ok(solutions)
+}
+
+/// Join-order score: more bound positions are better, and a bound
+/// *subject* dominates (subject lookups hit the SPO index with a short
+/// range), followed by object, then predicate — `?x rdf:type C`-style
+/// predicate+object patterns enumerate whole classes and must lose
+/// ties against subject-bound patterns. Earliest pattern wins exact ties.
+fn selectivity(p: &TriplePatternQ, bindings: &Bindings) -> i32 {
+    let bound = |qt: &QueryTerm| match qt {
+        QueryTerm::Term(_) => true,
+        QueryTerm::Var(v) => bindings.contains_key(v),
+    };
+    let mut score = 0;
+    if bound(&p.subject) {
+        score += 8;
+    }
+    if bound(&p.object) {
+        score += 4;
+    }
+    if bound(&p.predicate) {
+        score += 1;
+    }
+    score
+}
+
+fn extend_with_pattern(
+    store: &GraphStore,
+    pattern: &TriplePatternQ,
+    sol: &Bindings,
+    out: &mut Vec<Bindings>,
+) {
+    let resolve = |qt: &QueryTerm| -> Option<Term> {
+        match qt {
+            QueryTerm::Term(t) => Some(t.clone()),
+            QueryTerm::Var(v) => sol.get(v).cloned(),
+        }
+    };
+    let store_pattern = TriplePattern::new(
+        resolve(&pattern.subject),
+        resolve(&pattern.predicate),
+        resolve(&pattern.object),
+    );
+    'triples: for triple in store.matching(&store_pattern) {
+        let mut extended = sol.clone();
+        for (qt, term) in [
+            (&pattern.subject, &triple.subject),
+            (&pattern.predicate, &triple.predicate),
+            (&pattern.object, &triple.object),
+        ] {
+            if let QueryTerm::Var(v) = qt {
+                match extended.get(v) {
+                    Some(existing) if existing != term => continue 'triples,
+                    Some(_) => {}
+                    None => {
+                        extended.insert(v.clone(), term.clone());
+                    }
+                }
+            }
+        }
+        out.push(extended);
+    }
+}
+
+/// Runtime values inside FILTER expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Value {
+    Term(Term),
+    Number(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl Value {
+    fn effective_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Number(n) => Some(*n != 0.0),
+            Value::Str(s) => Some(!s.is_empty()),
+            Value::Term(Term::Literal(l)) => {
+                if let Some(b) = l.as_bool() {
+                    Some(b)
+                } else if let Some(n) = l.as_f64() {
+                    Some(n != 0.0)
+                } else {
+                    Some(!l.lexical().is_empty())
+                }
+            }
+            Value::Term(_) => None,
+        }
+    }
+
+    fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            Value::Term(Term::Literal(l)) => l.as_f64(),
+            Value::Bool(_) | Value::Str(_) | Value::Term(_) => None,
+        }
+    }
+
+    fn as_string(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Term(Term::Literal(l)) => Some(l.lexical()),
+            _ => None,
+        }
+    }
+}
+
+fn compare_values(a: Option<&Value>, b: Option<&Value>) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less, // unbound sorts first, per SPARQL
+        (Some(_), None) => Ordering::Greater,
+        (Some(x), Some(y)) => {
+            if let (Some(nx), Some(ny)) = (x.as_number(), y.as_number()) {
+                nx.partial_cmp(&ny).unwrap_or(Ordering::Equal)
+            } else if let (Some(sx), Some(sy)) = (x.as_string(), y.as_string()) {
+                sx.cmp(sy)
+            } else {
+                format!("{x:?}").cmp(&format!("{y:?}"))
+            }
+        }
+    }
+}
+
+pub(crate) fn eval_expr(expr: &Expr, bindings: &Bindings) -> Result<Value> {
+    let err = |m: &str| RdfError::SparqlEval(m.to_string());
+    match expr {
+        Expr::Var(v) => bindings
+            .get(v)
+            .cloned()
+            .map(Value::Term)
+            .ok_or_else(|| err(&format!("unbound variable ?{v}"))),
+        Expr::Const(t) => Ok(Value::Term(t.clone())),
+        Expr::Not(inner) => {
+            let v = eval_expr(inner, bindings)?;
+            let b = v.effective_bool().ok_or_else(|| err("! needs a boolean"))?;
+            Ok(Value::Bool(!b))
+        }
+        Expr::And(a, b) => {
+            let va = eval_expr(a, bindings)?
+                .effective_bool()
+                .ok_or_else(|| err("&& needs booleans"))?;
+            if !va {
+                return Ok(Value::Bool(false));
+            }
+            let vb = eval_expr(b, bindings)?
+                .effective_bool()
+                .ok_or_else(|| err("&& needs booleans"))?;
+            Ok(Value::Bool(vb))
+        }
+        Expr::Or(a, b) => {
+            let va = eval_expr(a, bindings)
+                .ok()
+                .and_then(|v| v.effective_bool())
+                .unwrap_or(false);
+            if va {
+                return Ok(Value::Bool(true));
+            }
+            let vb = eval_expr(b, bindings)
+                .ok()
+                .and_then(|v| v.effective_bool())
+                .unwrap_or(false);
+            Ok(Value::Bool(vb))
+        }
+        Expr::Arith(op, a, b) => {
+            let x = eval_expr(a, bindings)?
+                .as_number()
+                .ok_or_else(|| err("arithmetic needs numbers"))?;
+            let y = eval_expr(b, bindings)?
+                .as_number()
+                .ok_or_else(|| err("arithmetic needs numbers"))?;
+            let r = match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => {
+                    if y == 0.0 {
+                        return Err(err("division by zero"));
+                    }
+                    x / y
+                }
+            };
+            Ok(Value::Number(r))
+        }
+        Expr::Cmp(op, a, b) => {
+            let va = eval_expr(a, bindings)?;
+            let vb = eval_expr(b, bindings)?;
+            let result = compare_terms(op, &va, &vb)?;
+            Ok(Value::Bool(result))
+        }
+        Expr::Call(builtin, args) => eval_builtin(*builtin, args, bindings),
+    }
+}
+
+fn compare_terms(op: &CmpOp, a: &Value, b: &Value) -> Result<bool> {
+    use std::cmp::Ordering;
+    let err = || RdfError::SparqlEval("incomparable operands".to_string());
+
+    // Numeric comparison dominates.
+    let ord = if let (Some(x), Some(y)) = (a.as_number(), b.as_number()) {
+        x.partial_cmp(&y).ok_or_else(err)?
+    } else if let (Value::Term(ta), Value::Term(tb)) = (a, b) {
+        match (ta, tb) {
+            (Term::Literal(la), Term::Literal(lb)) => match op {
+                CmpOp::Eq => return Ok(la.value_eq(lb)),
+                CmpOp::Ne => return Ok(!la.value_eq(lb)),
+                _ => la.value_cmp(lb).ok_or_else(err)?,
+            },
+            _ => match op {
+                CmpOp::Eq => return Ok(ta == tb),
+                CmpOp::Ne => return Ok(ta != tb),
+                _ => return Err(err()),
+            },
+        }
+    } else if let (Some(sa), Some(sb)) = (a.as_string(), b.as_string()) {
+        sa.cmp(sb)
+    } else if let (Value::Bool(x), Value::Bool(y)) = (a, b) {
+        x.cmp(y)
+    } else {
+        return Err(err());
+    };
+    Ok(match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    })
+}
+
+fn eval_builtin(builtin: Builtin, args: &[Expr], bindings: &Bindings) -> Result<Value> {
+    let err = |m: String| RdfError::SparqlEval(m);
+    let arity = |n: usize| -> Result<()> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!("{builtin:?} expects {n} argument(s)")))
+        }
+    };
+    match builtin {
+        Builtin::Bound => {
+            arity(1)?;
+            match &args[0] {
+                Expr::Var(v) => Ok(Value::Bool(bindings.contains_key(v))),
+                _ => Err(err("BOUND expects a variable".into())),
+            }
+        }
+        Builtin::Str => {
+            arity(1)?;
+            let v = eval_expr(&args[0], bindings)?;
+            let s = match v {
+                Value::Term(Term::Iri(i)) => i.as_str().to_string(),
+                Value::Term(Term::Literal(l)) => l.lexical().to_string(),
+                Value::Term(Term::Blank(b)) => b.label().to_string(),
+                Value::Str(s) => s,
+                Value::Number(n) => n.to_string(),
+                Value::Bool(b) => b.to_string(),
+            };
+            Ok(Value::Str(s))
+        }
+        Builtin::Datatype => {
+            arity(1)?;
+            match eval_expr(&args[0], bindings)? {
+                Value::Term(Term::Literal(l)) => {
+                    Ok(Value::Term(Term::Iri(l.datatype().clone())))
+                }
+                _ => Err(err("DATATYPE expects a literal".into())),
+            }
+        }
+        Builtin::IsIri => {
+            arity(1)?;
+            let v = eval_expr(&args[0], bindings)?;
+            Ok(Value::Bool(matches!(v, Value::Term(Term::Iri(_)))))
+        }
+        Builtin::IsLiteral => {
+            arity(1)?;
+            let v = eval_expr(&args[0], bindings)?;
+            Ok(Value::Bool(matches!(v, Value::Term(Term::Literal(_)))))
+        }
+        Builtin::Regex => {
+            arity(2)?;
+            let text = eval_expr(&args[0], bindings)?;
+            let text = text
+                .as_string()
+                .ok_or_else(|| err("REGEX expects a string subject".into()))?
+                .to_string();
+            let pattern = eval_expr(&args[1], bindings)?;
+            let pattern = pattern
+                .as_string()
+                .ok_or_else(|| err("REGEX expects a string pattern".into()))?
+                .to_string();
+            Ok(Value::Bool(simple_regex_match(&pattern, &text)))
+        }
+    }
+}
+
+/// A deliberately small regex dialect: `^` anchor, `$` anchor, `.` wildcard,
+/// `*` on the previous single char/wildcard, everything else literal. This
+/// covers the prefix/suffix/substring tests quality conditions use.
+pub(crate) fn simple_regex_match(pattern: &str, text: &str) -> bool {
+    let anchored_start = pattern.starts_with('^');
+    let anchored_end = pattern.ends_with('$') && !pattern.ends_with("\\$");
+    let mut core_str = pattern.strip_prefix('^').unwrap_or(pattern);
+    if anchored_end {
+        core_str = core_str.strip_suffix('$').unwrap_or(core_str);
+    }
+    // an escaped \$ is a literal dollar sign
+    let core: Vec<char> = core_str.replace("\\$", "$").chars().collect();
+    let text: Vec<char> = text.chars().collect();
+
+    fn match_here(pat: &[char], text: &[char]) -> bool {
+        if pat.is_empty() {
+            return true;
+        }
+        if pat.len() >= 2 && pat[1] == '*' {
+            // zero or more of pat[0]
+            let mut i = 0;
+            loop {
+                if match_here(&pat[2..], &text[i..]) {
+                    return true;
+                }
+                if i < text.len() && (pat[0] == '.' || text[i] == pat[0]) {
+                    i += 1;
+                } else {
+                    return false;
+                }
+            }
+        }
+        if text.is_empty() {
+            return false;
+        }
+        if pat[0] == '.' || pat[0] == text[0] {
+            match_here(&pat[1..], &text[1..])
+        } else {
+            false
+        }
+    }
+
+    let starts: Box<dyn Iterator<Item = usize>> = if anchored_start {
+        Box::new(std::iter::once(0))
+    } else {
+        Box::new(0..=text.len())
+    };
+    for start in starts {
+        if start > text.len() {
+            break;
+        }
+        let rest = &text[start..];
+        if anchored_end {
+            // must consume all of rest
+            fn match_all(pat: &[char], text: &[char]) -> bool {
+                if pat.is_empty() {
+                    return text.is_empty();
+                }
+                if pat.len() >= 2 && pat[1] == '*' {
+                    let mut i = 0;
+                    loop {
+                        if match_all(&pat[2..], &text[i..]) {
+                            return true;
+                        }
+                        if i < text.len() && (pat[0] == '.' || text[i] == pat[0]) {
+                            i += 1;
+                        } else {
+                            return false;
+                        }
+                    }
+                }
+                if text.is_empty() {
+                    return false;
+                }
+                if pat[0] == '.' || pat[0] == text[0] {
+                    match_all(&pat[1..], &text[1..])
+                } else {
+                    false
+                }
+            }
+            if match_all(&core, rest) {
+                return true;
+            }
+        } else if match_here(&core, rest) {
+            return true;
+        }
+    }
+    false
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_regex() {
+        assert!(simple_regex_match("^to", "top"));
+        assert!(!simple_regex_match("^op", "top"));
+        assert!(simple_regex_match("op$", "top"));
+        assert!(simple_regex_match("o", "top"));
+        assert!(simple_regex_match("t.p", "top"));
+        assert!(simple_regex_match("^t.*p$", "tp"));
+        assert!(simple_regex_match("^t.*p$", "tooooop"));
+        assert!(!simple_regex_match("^t.*p$", "tops"));
+        assert!(simple_regex_match("", "anything"));
+    }
+
+    #[test]
+    fn expr_short_circuit_or_tolerates_errors() {
+        // Per SPARQL semantics, an error in one OR branch is recoverable.
+        let bindings = Bindings::new();
+        let e = Expr::Or(
+            Box::new(Expr::Var("missing".into())),
+            Box::new(Expr::Const(Term::boolean(true))),
+        );
+        assert_eq!(
+            eval_expr(&e, &bindings).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn and_short_circuits() {
+        let bindings = Bindings::new();
+        let e = Expr::And(
+            Box::new(Expr::Const(Term::boolean(false))),
+            Box::new(Expr::Var("missing".into())),
+        );
+        assert_eq!(eval_expr(&e, &bindings).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn numeric_comparison_crosses_datatypes() {
+        let mut b = Bindings::new();
+        b.insert("x".into(), Term::integer(2));
+        let e = Expr::Cmp(
+            CmpOp::Lt,
+            Box::new(Expr::Var("x".into())),
+            Box::new(Expr::Const(Term::double(2.5))),
+        );
+        assert_eq!(eval_expr(&e, &b).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let e = Expr::Arith(
+            ArithOp::Div,
+            Box::new(Expr::Const(Term::integer(1))),
+            Box::new(Expr::Const(Term::integer(0))),
+        );
+        assert!(eval_expr(&e, &Bindings::new()).is_err());
+    }
+
+    #[test]
+    fn iri_equality() {
+        let e = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::Const(Term::iri("http://x/a"))),
+            Box::new(Expr::Const(Term::iri("http://x/a"))),
+        );
+        assert_eq!(eval_expr(&e, &Bindings::new()).unwrap(), Value::Bool(true));
+        let e = Expr::Cmp(
+            CmpOp::Lt,
+            Box::new(Expr::Const(Term::iri("http://x/a"))),
+            Box::new(Expr::Const(Term::iri("http://x/b"))),
+        );
+        assert!(eval_expr(&e, &Bindings::new()).is_err());
+    }
+}

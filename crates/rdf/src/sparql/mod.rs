@@ -1,0 +1,387 @@
+//! A SPARQL-subset query engine.
+//!
+//! The paper (§5) retrieves quality annotations through SPARQL SELECT
+//! queries keyed on `(data item, evidence type)`. This engine supports the
+//! fragment those queries live in, plus enough headroom for ad-hoc
+//! exploration:
+//!
+//! * `PREFIX` declarations;
+//! * `SELECT [DISTINCT] ?v … | *` and `ASK`;
+//! * basic graph patterns with the `a` keyword and `;`/`,` abbreviations;
+//! * `FILTER` with comparisons, boolean connectives, arithmetic and the
+//!   `BOUND`, `STR`, `DATATYPE`, `ISIRI`, `ISLITERAL`, `REGEX` builtins;
+//! * `OPTIONAL { … }` (left join);
+//! * `ORDER BY [ASC|DESC](expr) …`, `LIMIT`, `OFFSET`.
+//!
+//! ```
+//! use qurator_rdf::{sparql, turtle};
+//!
+//! let store = turtle::parse_into_store(r#"
+//!     @prefix q: <http://qurator.org/iq#> .
+//!     <urn:lsid:a:b:P1> q:contains-evidence _:e .
+//!     _:e a q:HitRatio ; q:value 0.9 .
+//! "#).unwrap();
+//! let rows = sparql::select(&store, r#"
+//!     PREFIX q: <http://qurator.org/iq#>
+//!     SELECT ?v WHERE {
+//!         <urn:lsid:a:b:P1> q:contains-evidence ?e .
+//!         ?e a q:HitRatio ; q:value ?v .
+//!     }
+//! "#).unwrap();
+//! assert_eq!(rows.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+
+pub use ast::{Expr, Query, QueryTerm, SelectProjection, TriplePatternQ};
+pub use eval::{Bindings, Row};
+
+use crate::store::GraphStore;
+use crate::Result;
+
+/// Parses a query string.
+pub fn parse(query: &str) -> Result<Query> {
+    parser::Parser::new(query).parse_query()
+}
+
+/// Parses and evaluates a SELECT query; returns the projected rows.
+pub fn select(store: &GraphStore, query: &str) -> Result<Vec<Row>> {
+    let q = parse(query)?;
+    eval::evaluate_select(store, &q)
+}
+
+/// Parses and evaluates an ASK query.
+pub fn ask(store: &GraphStore, query: &str) -> Result<bool> {
+    let q = parse(query)?;
+    eval::evaluate_ask(store, &q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+    use crate::turtle;
+
+    fn fixture() -> GraphStore {
+        turtle::parse_into_store(
+            r#"
+            @prefix q: <http://qurator.org/iq#> .
+            @prefix d: <urn:lsid:pedro.man.ac.uk:hit:> .
+            d:H1 a q:ImprintHitEntry ; q:hitRatio 0.9 ; q:massCoverage 40 ; q:label "top" .
+            d:H2 a q:ImprintHitEntry ; q:hitRatio 0.5 ; q:massCoverage 25 .
+            d:H3 a q:ImprintHitEntry ; q:hitRatio 0.2 ; q:massCoverage 10 ; q:label "weak" .
+            d:X1 a q:DataEntity ; q:hitRatio 0.99 .
+        "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_by_type_and_project() {
+        let rows = select(
+            &fixture(),
+            r#"PREFIX q: <http://qurator.org/iq#>
+               SELECT ?s ?hr WHERE { ?s a q:ImprintHitEntry ; q:hitRatio ?hr . }"#,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.get("s").is_some() && r.get("hr").is_some()));
+    }
+
+    #[test]
+    fn filter_comparison() {
+        let rows = select(
+            &fixture(),
+            r#"PREFIX q: <http://qurator.org/iq#>
+               SELECT ?s WHERE {
+                   ?s a q:ImprintHitEntry ; q:hitRatio ?hr .
+                   FILTER (?hr >= 0.5)
+               }"#,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn filter_boolean_connectives_and_arithmetic() {
+        let rows = select(
+            &fixture(),
+            r#"PREFIX q: <http://qurator.org/iq#>
+               SELECT ?s WHERE {
+                   ?s q:hitRatio ?hr ; q:massCoverage ?mc .
+                   FILTER (?hr > 0.4 && ?mc + 10 > 30 || !(?hr < 1.0))
+               }"#,
+        )
+        .unwrap();
+        // H1 (0.9, 40): true. H2 (0.5, 25): 35 > 30 true. H3: false.
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn optional_left_join() {
+        let rows = select(
+            &fixture(),
+            r#"PREFIX q: <http://qurator.org/iq#>
+               SELECT ?s ?l WHERE {
+                   ?s a q:ImprintHitEntry .
+                   OPTIONAL { ?s q:label ?l . }
+               }"#,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 3);
+        let labelled = rows.iter().filter(|r| r.get("l").is_some()).count();
+        assert_eq!(labelled, 2);
+    }
+
+    #[test]
+    fn order_by_desc_limit_offset() {
+        let rows = select(
+            &fixture(),
+            r#"PREFIX q: <http://qurator.org/iq#>
+               SELECT ?s ?hr WHERE { ?s a q:ImprintHitEntry ; q:hitRatio ?hr . }
+               ORDER BY DESC(?hr) LIMIT 2 OFFSET 1"#,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+        let hr0 = rows[0].get("hr").unwrap().as_literal().unwrap().as_f64().unwrap();
+        let hr1 = rows[1].get("hr").unwrap().as_literal().unwrap().as_f64().unwrap();
+        assert_eq!((hr0, hr1), (0.5, 0.2));
+    }
+
+    #[test]
+    fn select_star_and_distinct() {
+        let rows = select(
+            &fixture(),
+            r#"PREFIX q: <http://qurator.org/iq#>
+               SELECT DISTINCT ?t WHERE { ?s a ?t . }"#,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2); // ImprintHitEntry, DataEntity
+
+        let rows = select(
+            &fixture(),
+            r#"PREFIX q: <http://qurator.org/iq#>
+               SELECT * WHERE { ?s q:label ?l . }"#,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].get("s").is_some() && rows[0].get("l").is_some());
+    }
+
+    #[test]
+    fn ask_queries() {
+        assert!(ask(
+            &fixture(),
+            r#"PREFIX q: <http://qurator.org/iq#> ASK { ?s q:hitRatio ?hr . FILTER(?hr > 0.95) }"#
+        )
+        .unwrap());
+        assert!(!ask(
+            &fixture(),
+            r#"PREFIX q: <http://qurator.org/iq#> ASK { ?s q:hitRatio ?hr . FILTER(?hr > 2.0) }"#
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn builtins() {
+        let rows = select(
+            &fixture(),
+            r#"PREFIX q: <http://qurator.org/iq#>
+               SELECT ?s WHERE {
+                   ?s a q:ImprintHitEntry .
+                   OPTIONAL { ?s q:label ?l . }
+                   FILTER (!BOUND(?l))
+               }"#,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            rows[0].get("s").unwrap(),
+            &Term::iri("urn:lsid:pedro.man.ac.uk:hit:H2")
+        );
+
+        let rows = select(
+            &fixture(),
+            r#"PREFIX q: <http://qurator.org/iq#>
+               SELECT ?s WHERE { ?s q:label ?l . FILTER REGEX(?l, "^to") }"#,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn the_paper_enrichment_query_shape() {
+        // The canonical (data, evidence type) lookup the Data Enrichment
+        // operator performs against an annotation repository.
+        let store = turtle::parse_into_store(
+            r#"
+            @prefix q: <http://qurator.org/iq#> .
+            <urn:lsid:uniprot.org:uniprot:P30089>
+                q:contains-evidence _:e1 , _:e2 .
+            _:e1 a q:HitRatio ; q:value 0.82 .
+            _:e2 a q:MassCoverage ; q:value 31 .
+        "#,
+        )
+        .unwrap();
+        let rows = select(
+            &store,
+            r#"PREFIX q: <http://qurator.org/iq#>
+               SELECT ?v WHERE {
+                   <urn:lsid:uniprot.org:uniprot:P30089> q:contains-evidence ?e .
+                   ?e a q:MassCoverage ; q:value ?v .
+               }"#,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("v").unwrap(), &Term::integer(31));
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(parse("SELECT WHERE").is_err());
+        assert!(parse("SELECT ?x WHERE { ?x }").is_err());
+        assert!(parse("PREFIX q: <http://x> SELECT ?x WHERE { ?x nope:p ?y }").is_err());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::ast::{GroupPattern, QueryTerm, TriplePatternQ};
+    use super::*;
+    use crate::term::Term;
+    use crate::triple::Triple;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn term_pool(n: u8) -> Vec<Term> {
+        (0..n).map(|i| Term::iri(format!("http://t/{i}"))).collect()
+    }
+
+    /// Naive reference: enumerate every assignment of pattern variables to
+    /// store terms and keep those where all triples are present.
+    fn naive_bgp(store: &GraphStore, patterns: &[TriplePatternQ]) -> Vec<Bindings> {
+        let mut vars: Vec<String> = Vec::new();
+        for p in patterns {
+            for v in p.variables() {
+                if !vars.iter().any(|x| x == v) {
+                    vars.push(v.to_string());
+                }
+            }
+        }
+        let universe: Vec<Term> = {
+            let mut seen = Vec::new();
+            for t in store.iter() {
+                for term in [t.subject, t.predicate, t.object] {
+                    if !seen.contains(&term) {
+                        seen.push(term);
+                    }
+                }
+            }
+            seen
+        };
+        let mut solutions = Vec::new();
+        let mut assignment: BTreeMap<String, Term> = BTreeMap::new();
+        fn recurse(
+            vars: &[String],
+            universe: &[Term],
+            patterns: &[TriplePatternQ],
+            store: &GraphStore,
+            assignment: &mut BTreeMap<String, Term>,
+            out: &mut Vec<Bindings>,
+        ) {
+            if let Some((var, rest)) = vars.split_first() {
+                for candidate in universe {
+                    assignment.insert(var.clone(), candidate.clone());
+                    recurse(rest, universe, patterns, store, assignment, out);
+                }
+                assignment.remove(var);
+                return;
+            }
+            let resolve = |qt: &QueryTerm| match qt {
+                QueryTerm::Term(t) => t.clone(),
+                QueryTerm::Var(v) => assignment[v].clone(),
+            };
+            let ok = patterns.iter().all(|p| {
+                let s = resolve(&p.subject);
+                let pr = resolve(&p.predicate);
+                let o = resolve(&p.object);
+                s.is_resource()
+                    && pr.as_iri().is_some()
+                    && store.contains(&Triple::new(s, pr, o))
+            });
+            if ok {
+                out.push(assignment.clone());
+            }
+        }
+        recurse(&vars, &universe, patterns, store, &mut assignment, &mut solutions);
+        solutions.sort_by_key(|b| format!("{b:?}"));
+        solutions.dedup();
+        solutions
+    }
+
+    fn arb_store() -> impl Strategy<Value = GraphStore> {
+        proptest::collection::vec((0u8..5, 0u8..3, 0u8..5), 1..15).prop_map(|triples| {
+            let pool = term_pool(5);
+            triples
+                .into_iter()
+                .map(|(s, p, o)| {
+                    Triple::new(
+                        pool[s as usize].clone(),
+                        Term::iri(format!("http://p/{p}")),
+                        pool[o as usize].clone(),
+                    )
+                })
+                .collect()
+        })
+    }
+
+    fn arb_pattern() -> impl Strategy<Value = TriplePatternQ> {
+        let pos = prop_oneof![
+            (0u8..5).prop_map(|i| QueryTerm::Term(Term::iri(format!("http://t/{i}")))),
+            (0u8..3).prop_map(|i| QueryTerm::Var(format!("v{i}"))),
+        ];
+        let pred = prop_oneof![
+            (0u8..3).prop_map(|i| QueryTerm::Term(Term::iri(format!("http://p/{i}")))),
+            (0u8..3).prop_map(|i| QueryTerm::Var(format!("p{i}"))),
+        ];
+        (pos.clone(), pred, pos).prop_map(|(subject, predicate, object)| TriplePatternQ {
+            subject,
+            predicate,
+            object,
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// The join engine agrees with brute-force enumeration on random
+        /// BGPs over random small graphs.
+        #[test]
+        fn bgp_matches_naive(store in arb_store(), patterns in proptest::collection::vec(arb_pattern(), 1..4)) {
+            let group = GroupPattern { triples: patterns.clone(), ..Default::default() };
+            let query = Query::Select {
+                distinct: true,
+                projection: SelectProjection::Star,
+                pattern: group,
+                order: vec![],
+                limit: None,
+                offset: 0,
+            };
+            let mut engine: Vec<String> = eval::evaluate_select(&store, &query)
+                .unwrap()
+                .into_iter()
+                .map(|r| format!("{:?}", r.iter().map(|(k, v)| (k.to_string(), v.clone())).collect::<Vec<_>>()))
+                .collect();
+            engine.sort();
+            engine.dedup();
+            let mut naive: Vec<String> = naive_bgp(&store, &patterns)
+                .into_iter()
+                .map(|b| format!("{:?}", b.into_iter().collect::<Vec<_>>()))
+                .collect();
+            naive.sort();
+            naive.dedup();
+            prop_assert_eq!(engine, naive);
+        }
+    }
+}

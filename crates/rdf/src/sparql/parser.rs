@@ -1,0 +1,787 @@
+//! Recursive-descent parser for the SPARQL subset.
+
+use super::ast::*;
+use crate::namespace::PrefixMap;
+use crate::term::{Iri, Literal, Term};
+use crate::{RdfError, Result};
+
+/// Token kinds produced by the lexer.
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Keyword(String), // upper-cased bare word
+    Var(String),
+    IriRef(String),
+    PName(String),
+    A,
+    Str(String),
+    Num(String),
+    Punct(char),   // { } ( ) . ; , *
+    Op(&'static str), // = != < <= > >= && || ! + - / ^^ @
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> RdfError {
+        RdfError::SparqlSyntax { pos: self.pos, message: message.into() }
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek_byte() {
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if c == b'#' {
+                while let Some(c) = self.peek_byte() {
+                    self.pos += 1;
+                    if c == b'\n' {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<(Tok, usize)> {
+        self.skip_ws();
+        let start = self.pos;
+        let Some(c) = self.peek_byte() else {
+            return Ok((Tok::Eof, start));
+        };
+        let tok = match c {
+            b'{' | b'}' | b'(' | b')' | b'.' | b';' | b',' | b'*' => {
+                self.pos += 1;
+                Tok::Punct(c as char)
+            }
+            b'?' | b'$' => {
+                self.pos += 1;
+                let s = self.take_name();
+                if s.is_empty() {
+                    return Err(self.err("empty variable name"));
+                }
+                Tok::Var(s)
+            }
+            b'<' => {
+                if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Tok::Op("<=")
+                } else if self
+                    .bytes
+                    .get(self.pos + 1)
+                    .is_some_and(|&d| d.is_ascii_whitespace() || d == b'?' || d == b'-' || d.is_ascii_digit())
+                {
+                    self.pos += 1;
+                    Tok::Op("<")
+                } else {
+                    // IRI ref
+                    self.pos += 1;
+                    let s = self.pos;
+                    while let Some(d) = self.peek_byte() {
+                        if d == b'>' {
+                            let iri = self.src[s..self.pos].to_string();
+                            self.pos += 1;
+                            return Ok((Tok::IriRef(iri), start));
+                        }
+                        if d.is_ascii_whitespace() {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    // Not a valid IRI ref: treat as `<` comparison.
+                    self.pos = start + 1;
+                    Tok::Op("<")
+                }
+            }
+            b'>' => {
+                if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Tok::Op(">=")
+                } else {
+                    self.pos += 1;
+                    Tok::Op(">")
+                }
+            }
+            b'=' => {
+                self.pos += 1;
+                Tok::Op("=")
+            }
+            b'!' => {
+                if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Tok::Op("!=")
+                } else {
+                    self.pos += 1;
+                    Tok::Op("!")
+                }
+            }
+            b'&' => {
+                if self.bytes.get(self.pos + 1) == Some(&b'&') {
+                    self.pos += 2;
+                    Tok::Op("&&")
+                } else {
+                    return Err(self.err("single '&'"));
+                }
+            }
+            b'|' => {
+                if self.bytes.get(self.pos + 1) == Some(&b'|') {
+                    self.pos += 2;
+                    Tok::Op("||")
+                } else {
+                    return Err(self.err("single '|'"));
+                }
+            }
+            b'+' => {
+                self.pos += 1;
+                Tok::Op("+")
+            }
+            b'-' => {
+                // Could start a negative number literal.
+                if self
+                    .bytes
+                    .get(self.pos + 1)
+                    .is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.pos += 1;
+                    let num = self.take_number();
+                    Tok::Num(format!("-{num}"))
+                } else {
+                    self.pos += 1;
+                    Tok::Op("-")
+                }
+            }
+            b'/' => {
+                self.pos += 1;
+                Tok::Op("/")
+            }
+            b'^' => {
+                if self.bytes.get(self.pos + 1) == Some(&b'^') {
+                    self.pos += 2;
+                    Tok::Op("^^")
+                } else {
+                    return Err(self.err("single '^'"));
+                }
+            }
+            b'@' => {
+                self.pos += 1;
+                Tok::Op("@")
+            }
+            b'"' => {
+                self.pos += 1;
+                let mut out = String::new();
+                loop {
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            self.pos += 1;
+                            match self.bytes.get(self.pos).copied() {
+                                Some(b'n') => out.push('\n'),
+                                Some(b't') => out.push('\t'),
+                                Some(b'r') => out.push('\r'),
+                                Some(b'"') => out.push('"'),
+                                Some(b'\\') => out.push('\\'),
+                                _ => return Err(self.err("bad string escape")),
+                            }
+                            self.pos += 1;
+                        }
+                        Some(d) if d < 0x80 => {
+                            out.push(d as char);
+                            self.pos += 1;
+                        }
+                        Some(_) => {
+                            let s = self.pos;
+                            let mut e = self.pos + 1;
+                            while e < self.bytes.len() && (self.bytes[e] & 0xC0) == 0x80 {
+                                e += 1;
+                            }
+                            out.push_str(&self.src[s..e]);
+                            self.pos = e;
+                        }
+                        None => return Err(self.err("unterminated string")),
+                    }
+                }
+                Tok::Str(out)
+            }
+            c if c.is_ascii_digit() => {
+                let num = self.take_number();
+                Tok::Num(num)
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let word = self.take_pname();
+                if word == "a" {
+                    Tok::A
+                } else if word.contains(':') {
+                    Tok::PName(word)
+                } else {
+                    Tok::Keyword(word.to_ascii_uppercase())
+                }
+            }
+            other => return Err(self.err(format!("unexpected character {:?}", other as char))),
+        };
+        Ok((tok, start))
+    }
+
+    fn take_name(&mut self) -> String {
+        let s = self.pos;
+        while let Some(c) = self.peek_byte() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.src[s..self.pos].to_string()
+    }
+
+    fn take_pname(&mut self) -> String {
+        let s = self.pos;
+        while let Some(c) = self.peek_byte() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b':' | b'.') {
+                if c == b'.' {
+                    let next = self.bytes.get(self.pos + 1).copied();
+                    if next.is_none_or(|d| !(d.is_ascii_alphanumeric() || d == b'_')) {
+                        break;
+                    }
+                }
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.src[s..self.pos].to_string()
+    }
+
+    fn take_number(&mut self) -> String {
+        let s = self.pos;
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(c) = self.peek_byte() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' if !saw_dot && !saw_exp => {
+                    if self.bytes.get(self.pos + 1).is_some_and(|d| d.is_ascii_digit()) {
+                        saw_dot = true;
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                b'e' | b'E' if !saw_exp => {
+                    saw_exp = true;
+                    self.pos += 1;
+                    if matches!(self.peek_byte(), Some(b'+') | Some(b'-')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.src[s..self.pos].to_string()
+    }
+}
+
+/// The parser over a token stream with one-token lookahead.
+pub struct Parser<'a> {
+    lexer: Lexer<'a>,
+    current: Tok,
+    current_pos: usize,
+    prefixes: PrefixMap,
+}
+
+impl<'a> Parser<'a> {
+    /// Creates a parser for the given query text.
+    pub fn new(src: &'a str) -> Self {
+        let mut lexer = Lexer::new(src);
+        let (current, current_pos) = lexer.next_token().unwrap_or((Tok::Eof, 0));
+        Parser { lexer, current, current_pos, prefixes: PrefixMap::new() }
+    }
+
+    fn err(&self, message: impl Into<String>) -> RdfError {
+        RdfError::SparqlSyntax { pos: self.current_pos, message: message.into() }
+    }
+
+    fn advance(&mut self) -> Result<Tok> {
+        let (next, pos) = self.lexer.next_token()?;
+        self.current_pos = pos;
+        Ok(std::mem::replace(&mut self.current, next))
+    }
+
+    fn eat_punct(&mut self, c: char) -> Result<()> {
+        if self.current == Tok::Punct(c) {
+            self.advance()?;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {c:?}, found {:?}", self.current)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<()> {
+        if matches!(&self.current, Tok::Keyword(k) if k == kw) {
+            self.advance()?;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}, found {:?}", self.current)))
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.current, Tok::Keyword(k) if k == kw)
+    }
+
+    /// Entry point: parses one complete query.
+    pub fn parse_query(&mut self) -> Result<Query> {
+        while self.at_keyword("PREFIX") {
+            self.advance()?;
+            let Tok::PName(pname) = self.advance()? else {
+                return Err(self.err("expected prefix declaration name"));
+            };
+            let prefix = pname.strip_suffix(':').unwrap_or(&pname).to_string();
+            let Tok::IriRef(ns) = self.advance()? else {
+                return Err(self.err("expected namespace IRI"));
+            };
+            self.prefixes.declare(prefix, ns);
+        }
+        if self.at_keyword("SELECT") {
+            self.parse_select()
+        } else if self.at_keyword("ASK") {
+            self.advance()?;
+            let pattern = self.parse_group()?;
+            self.expect_eof()?;
+            Ok(Query::Ask { pattern })
+        } else {
+            Err(self.err("expected SELECT or ASK"))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if self.current == Tok::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("trailing input: {:?}", self.current)))
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<Query> {
+        self.eat_keyword("SELECT")?;
+        let distinct = if self.at_keyword("DISTINCT") {
+            self.advance()?;
+            true
+        } else {
+            false
+        };
+        let projection = if self.current == Tok::Punct('*') {
+            self.advance()?;
+            SelectProjection::Star
+        } else {
+            let mut vars = Vec::new();
+            while let Tok::Var(v) = &self.current {
+                vars.push(v.clone());
+                self.advance()?;
+            }
+            if vars.is_empty() {
+                return Err(self.err("SELECT needs variables or *"));
+            }
+            SelectProjection::Vars(vars)
+        };
+        if self.at_keyword("WHERE") {
+            self.advance()?;
+        }
+        let pattern = self.parse_group()?;
+
+        let mut order = Vec::new();
+        if self.at_keyword("ORDER") {
+            self.advance()?;
+            self.eat_keyword("BY")?;
+            loop {
+                let ascending = if self.at_keyword("DESC") {
+                    self.advance()?;
+                    false
+                } else if self.at_keyword("ASC") {
+                    self.advance()?;
+                    true
+                } else {
+                    true
+                };
+                let expr = if self.current == Tok::Punct('(') {
+                    self.advance()?;
+                    let e = self.parse_expr()?;
+                    self.eat_punct(')')?;
+                    e
+                } else if let Tok::Var(v) = &self.current {
+                    let e = Expr::Var(v.clone());
+                    self.advance()?;
+                    e
+                } else {
+                    break;
+                };
+                order.push(OrderKey { expr, ascending });
+            }
+            if order.is_empty() {
+                return Err(self.err("ORDER BY needs at least one key"));
+            }
+        }
+        let mut limit = None;
+        let mut offset = 0;
+        loop {
+            if self.at_keyword("LIMIT") {
+                self.advance()?;
+                limit = Some(self.parse_usize()?);
+            } else if self.at_keyword("OFFSET") {
+                self.advance()?;
+                offset = self.parse_usize()?;
+            } else {
+                break;
+            }
+        }
+        self.expect_eof()?;
+        Ok(Query::Select { distinct, projection, pattern, order, limit, offset })
+    }
+
+    fn parse_usize(&mut self) -> Result<usize> {
+        if let Tok::Num(n) = &self.current {
+            let v = n
+                .parse::<usize>()
+                .map_err(|_| self.err(format!("bad count {n:?}")))?;
+            self.advance()?;
+            Ok(v)
+        } else {
+            Err(self.err("expected a non-negative integer"))
+        }
+    }
+
+    fn parse_group(&mut self) -> Result<GroupPattern> {
+        self.eat_punct('{')?;
+        let mut group = GroupPattern::default();
+        loop {
+            if self.current == Tok::Punct('}') {
+                self.advance()?;
+                return Ok(group);
+            }
+            if self.at_keyword("FILTER") {
+                self.advance()?;
+                // FILTER expr — expr may be parenthesised or a builtin call
+                let expr = self.parse_expr()?;
+                group.filters.push(expr);
+                // optional trailing dot
+                if self.current == Tok::Punct('.') {
+                    self.advance()?;
+                }
+                continue;
+            }
+            if self.at_keyword("OPTIONAL") {
+                self.advance()?;
+                let sub = self.parse_group()?;
+                group.optionals.push(sub);
+                if self.current == Tok::Punct('.') {
+                    self.advance()?;
+                }
+                continue;
+            }
+            // A triple block with ; and , abbreviations.
+            let subject = self.parse_query_term()?;
+            loop {
+                let predicate = if self.current == Tok::A {
+                    self.advance()?;
+                    QueryTerm::Term(Term::iri(crate::namespace::rdf::TYPE))
+                } else {
+                    self.parse_query_term()?
+                };
+                loop {
+                    let object = self.parse_query_term()?;
+                    group.triples.push(TriplePatternQ {
+                        subject: subject.clone(),
+                        predicate: predicate.clone(),
+                        object,
+                    });
+                    if self.current == Tok::Punct(',') {
+                        self.advance()?;
+                    } else {
+                        break;
+                    }
+                }
+                if self.current == Tok::Punct(';') {
+                    self.advance()?;
+                    // allow `;` directly before `.` or `}`
+                    if self.current == Tok::Punct('.') || self.current == Tok::Punct('}') {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+            if self.current == Tok::Punct('.') {
+                self.advance()?;
+            }
+        }
+    }
+
+    fn parse_query_term(&mut self) -> Result<QueryTerm> {
+        match self.advance()? {
+            Tok::Var(v) => Ok(QueryTerm::Var(v)),
+            Tok::IriRef(iri) => Ok(QueryTerm::Term(Term::Iri(
+                Iri::try_new(&iri).map_err(|_| self.err("invalid IRI"))?,
+            ))),
+            Tok::PName(p) => {
+                let iri = self.prefixes.expand(&p).map_err(|e| self.err(e.to_string()))?;
+                Ok(QueryTerm::Term(Term::Iri(iri)))
+            }
+            Tok::Str(s) => {
+                // datatype or language suffix
+                if self.current == Tok::Op("^^") {
+                    self.advance()?;
+                    let dt = match self.advance()? {
+                        Tok::IriRef(iri) => {
+                            Iri::try_new(&iri).map_err(|_| self.err("invalid IRI"))?
+                        }
+                        Tok::PName(p) => {
+                            self.prefixes.expand(&p).map_err(|e| self.err(e.to_string()))?
+                        }
+                        _ => return Err(self.err("expected datatype IRI")),
+                    };
+                    Ok(QueryTerm::Term(Term::Literal(Literal::typed(s, dt))))
+                } else if self.current == Tok::Op("@") {
+                    self.advance()?;
+                    let Tok::Keyword(lang) = self.advance()? else {
+                        return Err(self.err("expected language tag"));
+                    };
+                    Ok(QueryTerm::Term(Term::Literal(Literal::lang_string(
+                        s,
+                        lang.to_ascii_lowercase(),
+                    ))))
+                } else {
+                    Ok(QueryTerm::Term(Term::string(s)))
+                }
+            }
+            Tok::Num(n) => {
+                let term = parse_num(&n).ok_or_else(|| {
+                    self.err(format!("numeric literal {n:?} out of range"))
+                })?;
+                Ok(QueryTerm::Term(term))
+            }
+            Tok::Keyword(k) if k == "TRUE" => Ok(QueryTerm::Term(Term::boolean(true))),
+            Tok::Keyword(k) if k == "FALSE" => Ok(QueryTerm::Term(Term::boolean(false))),
+            other => Err(self.err(format!("expected a term, found {other:?}"))),
+        }
+    }
+
+    // ---- expression grammar: or → and → cmp → add → mul → unary → primary
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_and()?;
+        while self.current == Tok::Op("||") {
+            self.advance()?;
+            let rhs = self.parse_and()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_cmp()?;
+        while self.current == Tok::Op("&&") {
+            self.advance()?;
+            let rhs = self.parse_cmp()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr> {
+        let lhs = self.parse_add()?;
+        let op = match self.current {
+            Tok::Op("=") => CmpOp::Eq,
+            Tok::Op("!=") => CmpOp::Ne,
+            Tok::Op("<") => CmpOp::Lt,
+            Tok::Op("<=") => CmpOp::Le,
+            Tok::Op(">") => CmpOp::Gt,
+            Tok::Op(">=") => CmpOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.advance()?;
+        let rhs = self.parse_add()?;
+        Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn parse_add(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.current {
+                Tok::Op("+") => ArithOp::Add,
+                Tok::Op("-") => ArithOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.advance()?;
+            let rhs = self.parse_mul()?;
+            lhs = Expr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.current {
+                Tok::Punct('*') => ArithOp::Mul,
+                Tok::Op("/") => ArithOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.advance()?;
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.current == Tok::Op("!") {
+            self.advance()?;
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match &self.current {
+            Tok::Punct('(') => {
+                self.advance()?;
+                let e = self.parse_expr()?;
+                self.eat_punct(')')?;
+                Ok(e)
+            }
+            Tok::Keyword(k) => {
+                let builtin = match k.as_str() {
+                    "BOUND" => Builtin::Bound,
+                    "STR" => Builtin::Str,
+                    "DATATYPE" => Builtin::Datatype,
+                    "ISIRI" | "ISURI" => Builtin::IsIri,
+                    "ISLITERAL" => Builtin::IsLiteral,
+                    "REGEX" => Builtin::Regex,
+                    "TRUE" => {
+                        self.advance()?;
+                        return Ok(Expr::Const(Term::boolean(true)));
+                    }
+                    "FALSE" => {
+                        self.advance()?;
+                        return Ok(Expr::Const(Term::boolean(false)));
+                    }
+                    other => return Err(self.err(format!("unknown function {other}"))),
+                };
+                self.advance()?;
+                self.eat_punct('(')?;
+                let mut args = Vec::new();
+                if self.current != Tok::Punct(')') {
+                    loop {
+                        args.push(self.parse_expr()?);
+                        if self.current == Tok::Punct(',') {
+                            self.advance()?;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat_punct(')')?;
+                Ok(Expr::Call(builtin, args))
+            }
+            _ => {
+                let qt = self.parse_query_term()?;
+                Ok(match qt {
+                    QueryTerm::Var(v) => Expr::Var(v),
+                    QueryTerm::Term(t) => Expr::Const(t),
+                })
+            }
+        }
+    }
+}
+
+fn parse_num(n: &str) -> Option<Term> {
+    if n.contains('.') || n.contains(['e', 'E']) {
+        n.parse::<f64>().ok().filter(|v| v.is_finite()).map(Term::double)
+    } else {
+        n.parse::<i64>().ok().map(Term::integer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_select() {
+        let q = Parser::new(
+            "PREFIX q: <http://qurator.org/iq#> SELECT ?s WHERE { ?s a q:HitRatio . }",
+        )
+        .parse_query()
+        .unwrap();
+        match q {
+            Query::Select { projection, pattern, .. } => {
+                assert_eq!(projection, SelectProjection::Vars(vec!["s".into()]));
+                assert_eq!(pattern.triples.len(), 1);
+            }
+            _ => panic!("not a select"),
+        }
+    }
+
+    #[test]
+    fn parses_filter_precedence() {
+        let q = Parser::new("SELECT ?x WHERE { ?x <http://p> ?y . FILTER(?y > 1 && ?y < 5 || !BOUND(?x)) }")
+            .parse_query()
+            .unwrap();
+        let Query::Select { pattern, .. } = q else { panic!() };
+        // (|| (&& (> y 1) (< y 5)) (! (bound x)))
+        match &pattern.filters[0] {
+            Expr::Or(lhs, rhs) => {
+                assert!(matches!(**lhs, Expr::And(..)));
+                assert!(matches!(**rhs, Expr::Not(..)));
+            }
+            other => panic!("bad tree {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_negative_numbers_and_literals() {
+        let q = Parser::new(r#"SELECT ?x WHERE { ?x <http://p> -3 ; <http://q> "s"^^<http://dt> . }"#)
+            .parse_query()
+            .unwrap();
+        let Query::Select { pattern, .. } = q else { panic!() };
+        assert_eq!(pattern.triples.len(), 2);
+        assert_eq!(
+            pattern.triples[0].object,
+            QueryTerm::Term(Term::integer(-3))
+        );
+    }
+
+    #[test]
+    fn distinguishes_less_than_from_iri() {
+        // `?y < 5` must not lex `< 5...` as an IRI.
+        let q = Parser::new("SELECT ?x WHERE { ?x <http://p> ?y . FILTER(?y < 5) }")
+            .parse_query()
+            .unwrap();
+        let Query::Select { pattern, .. } = q else { panic!() };
+        assert!(matches!(pattern.filters[0], Expr::Cmp(CmpOp::Lt, ..)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Parser::new("SELECT").parse_query().is_err());
+        assert!(Parser::new("SELECT ?x WHERE { ?x }").parse_query().is_err());
+        assert!(Parser::new("SELECT ?x WHERE { ?x <p> ?y } JUNK").parse_query().is_err());
+    }
+}

@@ -1,0 +1,462 @@
+//! RDF terms: IRIs, blank nodes and literals.
+//!
+//! Terms are small, cheaply-clonable values (`Arc<str>` backed) because the
+//! annotation layer copies them freely between annotation maps, repositories
+//! and query bindings.
+
+use crate::namespace::xsd;
+use crate::RdfError;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// An IRI reference (we do not validate full RFC 3987 syntax; the framework
+/// only requires that IRIs are non-empty and contain no whitespace or angle
+/// brackets, which is checked by [`Iri::new`]).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Iri(Arc<str>);
+
+impl Iri {
+    /// Creates an IRI, panicking on syntactically impossible input.
+    /// Use [`Iri::try_new`] for fallible construction from untrusted text.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Self::try_new(s.as_ref()).expect("invalid IRI")
+    }
+
+    /// Fallible IRI construction: rejects empty strings and strings
+    /// containing whitespace, `<`, `>` or `"`.
+    pub fn try_new(s: &str) -> Result<Self, RdfError> {
+        if s.is_empty() || s.chars().any(|c| c.is_whitespace() || matches!(c, '<' | '>' | '"')) {
+            return Err(RdfError::BadLiteral {
+                lexical: s.to_string(),
+                datatype: "IRI".to_string(),
+            });
+        }
+        Ok(Iri(Arc::from(s)))
+    }
+
+    /// The IRI text without angle brackets.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Splits the IRI into (namespace, local-name) at the last `#`, `/` or
+    /// `:` — the conventional qname split used when rendering prefixed names.
+    pub fn split_local(&self) -> (&str, &str) {
+        let s = self.as_str();
+        match s.rfind(['#', '/', ':']) {
+            Some(i) => (&s[..=i], &s[i + 1..]),
+            None => ("", s),
+        }
+    }
+
+    /// The local name after the last `#`, `/` or `:`.
+    pub fn local_name(&self) -> &str {
+        self.split_local().1
+    }
+}
+
+impl fmt::Debug for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+impl fmt::Display for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Iri {
+    fn from(s: &str) -> Self {
+        Iri::new(s)
+    }
+}
+
+impl From<String> for Iri {
+    fn from(s: String) -> Self {
+        Iri::new(s)
+    }
+}
+
+/// A blank (anonymous) node, identified by a document- or store-scoped label.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlankNode(Arc<str>);
+
+impl BlankNode {
+    /// Creates a blank node with the given label (without the `_:` sigil).
+    pub fn new(label: impl AsRef<str>) -> Self {
+        BlankNode(Arc::from(label.as_ref()))
+    }
+
+    /// The label without the `_:` sigil.
+    pub fn label(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for BlankNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for BlankNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:{}", self.0)
+    }
+}
+
+/// A typed or language-tagged literal.
+///
+/// The value space comparison for numeric datatypes follows SPARQL semantics:
+/// two numeric literals compare by numeric value, everything else by
+/// `(lexical, datatype, lang)` tuple.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    lexical: Arc<str>,
+    datatype: Iri,
+    lang: Option<Arc<str>>,
+}
+
+impl Literal {
+    /// A plain `xsd:string` literal.
+    pub fn string(s: impl AsRef<str>) -> Self {
+        Literal {
+            lexical: Arc::from(s.as_ref()),
+            datatype: Iri::new(xsd::STRING),
+            lang: None,
+        }
+    }
+
+    /// A language-tagged string (`rdf:langString` in RDF 1.1; we keep
+    /// `xsd:string` as the datatype for simplicity of the 2006-era model).
+    pub fn lang_string(s: impl AsRef<str>, lang: impl AsRef<str>) -> Self {
+        // RFC 5646 language tags are case-insensitive; normalize so that
+        // Turtle-loaded and SPARQL-written tags compare equal.
+        Literal {
+            lexical: Arc::from(s.as_ref()),
+            datatype: Iri::new(xsd::STRING),
+            lang: Some(Arc::from(lang.as_ref().to_ascii_lowercase().as_str())),
+        }
+    }
+
+    /// An `xsd:double` literal.
+    pub fn double(v: f64) -> Self {
+        Literal {
+            lexical: Arc::from(format_double(v).as_str()),
+            datatype: Iri::new(xsd::DOUBLE),
+            lang: None,
+        }
+    }
+
+    /// An `xsd:integer` literal.
+    pub fn integer(v: i64) -> Self {
+        Literal {
+            lexical: Arc::from(v.to_string().as_str()),
+            datatype: Iri::new(xsd::INTEGER),
+            lang: None,
+        }
+    }
+
+    /// An `xsd:boolean` literal.
+    pub fn boolean(v: bool) -> Self {
+        Literal {
+            lexical: Arc::from(if v { "true" } else { "false" }),
+            datatype: Iri::new(xsd::BOOLEAN),
+            lang: None,
+        }
+    }
+
+    /// A literal with an explicit datatype IRI.
+    pub fn typed(lexical: impl AsRef<str>, datatype: Iri) -> Self {
+        Literal {
+            lexical: Arc::from(lexical.as_ref()),
+            datatype,
+            lang: None,
+        }
+    }
+
+    /// The lexical form.
+    pub fn lexical(&self) -> &str {
+        &self.lexical
+    }
+
+    /// The datatype IRI.
+    pub fn datatype(&self) -> &Iri {
+        &self.datatype
+    }
+
+    /// The language tag, if any.
+    pub fn lang(&self) -> Option<&str> {
+        self.lang.as_deref()
+    }
+
+    /// True if the datatype is one of the XSD numeric types we support.
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self.datatype.as_str(),
+            xsd::DOUBLE | xsd::FLOAT | xsd::DECIMAL | xsd::INTEGER | xsd::INT | xsd::LONG
+        )
+    }
+
+    /// Numeric value if the literal is numeric and parses.
+    pub fn as_f64(&self) -> Option<f64> {
+        if self.is_numeric() {
+            self.lexical.parse::<f64>().ok()
+        } else {
+            None
+        }
+    }
+
+    /// Integer value if the literal has an integral datatype and parses.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.datatype.as_str() {
+            xsd::INTEGER | xsd::INT | xsd::LONG => self.lexical.parse::<i64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// Boolean value for `xsd:boolean` literals.
+    pub fn as_bool(&self) -> Option<bool> {
+        if self.datatype.as_str() == xsd::BOOLEAN {
+            match &*self.lexical {
+                "true" | "1" => Some(true),
+                "false" | "0" => Some(false),
+                _ => None,
+            }
+        } else {
+            None
+        }
+    }
+
+    /// SPARQL-style value comparison: numeric literals compare numerically,
+    /// strings lexically; mixed or non-comparable pairs yield `None`.
+    pub fn value_cmp(&self, other: &Literal) -> Option<Ordering> {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => a.partial_cmp(&b),
+            (None, None) => {
+                if self.datatype == other.datatype {
+                    Some(self.lexical.cmp(&other.lexical))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// SPARQL-style value equality (numeric 2 == 2.0; otherwise term equality).
+    pub fn value_eq(&self, other: &Literal) -> bool {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => self == other,
+        }
+    }
+}
+
+/// Renders an f64 so that integral values keep a trailing `.0` marker
+/// (canonical-ish `xsd:double` lexical form) and round-trips via `parse`.
+pub(crate) fn canonical_double(v: f64) -> String {
+    format_double(v)
+}
+
+fn format_double(v: f64) -> String {
+    if v.is_finite() && v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"{}\"", crate::turtle::escape_string(&self.lexical))?;
+        if let Some(lang) = &self.lang {
+            write!(f, "@{lang}")?;
+        } else if self.datatype.as_str() != xsd::STRING {
+            write!(f, "^^<{}>", self.datatype)?;
+        }
+        Ok(())
+    }
+}
+
+/// An RDF term: the union of IRIs, blank nodes and literals.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    Iri(Iri),
+    Blank(BlankNode),
+    Literal(Literal),
+}
+
+impl Term {
+    /// Shorthand IRI term constructor.
+    pub fn iri(s: impl AsRef<str>) -> Self {
+        Term::Iri(Iri::new(s))
+    }
+
+    /// Shorthand blank-node term constructor.
+    pub fn blank(label: impl AsRef<str>) -> Self {
+        Term::Blank(BlankNode::new(label))
+    }
+
+    /// Shorthand string-literal term constructor.
+    pub fn string(s: impl AsRef<str>) -> Self {
+        Term::Literal(Literal::string(s))
+    }
+
+    /// Shorthand double-literal term constructor.
+    pub fn double(v: f64) -> Self {
+        Term::Literal(Literal::double(v))
+    }
+
+    /// Shorthand integer-literal term constructor.
+    pub fn integer(v: i64) -> Self {
+        Term::Literal(Literal::integer(v))
+    }
+
+    /// Shorthand boolean-literal term constructor.
+    pub fn boolean(v: bool) -> Self {
+        Term::Literal(Literal::boolean(v))
+    }
+
+    /// The IRI inside, if this term is an IRI.
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Term::Iri(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The literal inside, if this term is a literal.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// True for IRIs and blank nodes (valid triple subjects).
+    pub fn is_resource(&self) -> bool {
+        !matches!(self, Term::Literal(_))
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(i) => write!(f, "<{i}>"),
+            Term::Blank(b) => write!(f, "{b}"),
+            Term::Literal(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+impl From<Iri> for Term {
+    fn from(i: Iri) -> Self {
+        Term::Iri(i)
+    }
+}
+
+impl From<Literal> for Term {
+    fn from(l: Literal) -> Self {
+        Term::Literal(l)
+    }
+}
+
+impl From<BlankNode> for Term {
+    fn from(b: BlankNode) -> Self {
+        Term::Blank(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_rejects_whitespace_and_brackets() {
+        assert!(Iri::try_new("http://a b").is_err());
+        assert!(Iri::try_new("").is_err());
+        assert!(Iri::try_new("http://ok/<x>").is_err());
+        assert!(Iri::try_new("urn:lsid:uniprot.org:uniprot:P30089").is_ok());
+    }
+
+    #[test]
+    fn iri_local_name_splits() {
+        assert_eq!(Iri::new("http://qurator.org/iq#HitRatio").local_name(), "HitRatio");
+        assert_eq!(Iri::new("http://example.org/path/leaf").local_name(), "leaf");
+        assert_eq!(Iri::new("urn:lsid:a:b:C123").local_name(), "C123");
+    }
+
+    #[test]
+    fn double_literal_roundtrip() {
+        let l = Literal::double(2.0);
+        assert_eq!(l.lexical(), "2.0");
+        assert_eq!(l.as_f64(), Some(2.0));
+        let l = Literal::double(0.3125);
+        assert_eq!(l.as_f64(), Some(0.3125));
+    }
+
+    #[test]
+    fn integer_and_bool_accessors() {
+        assert_eq!(Literal::integer(-42).as_i64(), Some(-42));
+        assert_eq!(Literal::boolean(true).as_bool(), Some(true));
+        assert_eq!(Literal::string("x").as_i64(), None);
+        assert_eq!(Literal::string("true").as_bool(), None);
+    }
+
+    #[test]
+    fn value_eq_crosses_numeric_datatypes() {
+        let i = Literal::integer(2);
+        let d = Literal::double(2.0);
+        assert!(i.value_eq(&d));
+        assert_ne!(i, d); // term equality is stricter
+    }
+
+    #[test]
+    fn value_cmp_numeric_and_string() {
+        assert_eq!(
+            Literal::integer(3).value_cmp(&Literal::double(3.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Literal::string("abc").value_cmp(&Literal::string("abd")),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Literal::string("1").value_cmp(&Literal::integer(1)), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::iri("http://x/y").to_string(), "<http://x/y>");
+        assert_eq!(Term::blank("b0").to_string(), "_:b0");
+        assert_eq!(Term::string("hi").to_string(), "\"hi\"");
+        assert_eq!(
+            Term::double(1.5).to_string(),
+            "\"1.5\"^^<http://www.w3.org/2001/XMLSchema#double>"
+        );
+        assert_eq!(
+            Literal::lang_string("ciao", "it").to_string(),
+            "\"ciao\"@it"
+        );
+    }
+
+    #[test]
+    fn literal_escaping_in_display() {
+        assert_eq!(Term::string("a\"b\\c\nd").to_string(), r#""a\"b\\c\nd""#);
+    }
+}

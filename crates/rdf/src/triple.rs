@@ -1,0 +1,166 @@
+//! Triples and triple patterns.
+
+use crate::term::Term;
+use std::fmt;
+
+/// An RDF triple (statement). Subjects may be IRIs or blank nodes;
+/// predicates must be IRIs; objects may be any term. These constraints are
+/// enforced by [`Triple::new`] with debug assertions (the store also
+/// revalidates on insert).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    pub subject: Term,
+    pub predicate: Term,
+    pub object: Term,
+}
+
+impl Triple {
+    /// Creates a triple. Panics in debug builds if `subject` is a literal or
+    /// `predicate` is not an IRI.
+    pub fn new(subject: impl Into<Term>, predicate: impl Into<Term>, object: impl Into<Term>) -> Self {
+        let t = Triple {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object: object.into(),
+        };
+        debug_assert!(t.subject.is_resource(), "triple subject must be a resource");
+        debug_assert!(t.predicate.as_iri().is_some(), "triple predicate must be an IRI");
+        t
+    }
+
+    /// True if the triple is well-formed per the RDF abstract syntax.
+    pub fn is_well_formed(&self) -> bool {
+        self.subject.is_resource() && self.predicate.as_iri().is_some()
+    }
+}
+
+impl fmt::Debug for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// One position of a triple pattern: either a concrete term or a wildcard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PatternTerm {
+    Any,
+    Is(Term),
+}
+
+impl PatternTerm {
+    /// Does this pattern position accept the given term?
+    pub fn matches(&self, term: &Term) -> bool {
+        match self {
+            PatternTerm::Any => true,
+            PatternTerm::Is(t) => t == term,
+        }
+    }
+
+    /// The concrete term, if bound.
+    pub fn as_term(&self) -> Option<&Term> {
+        match self {
+            PatternTerm::Any => None,
+            PatternTerm::Is(t) => Some(t),
+        }
+    }
+}
+
+impl From<Term> for PatternTerm {
+    fn from(t: Term) -> Self {
+        PatternTerm::Is(t)
+    }
+}
+
+impl From<Option<Term>> for PatternTerm {
+    fn from(t: Option<Term>) -> Self {
+        match t {
+            Some(t) => PatternTerm::Is(t),
+            None => PatternTerm::Any,
+        }
+    }
+}
+
+/// A `(s?, p?, o?)` lookup pattern for [`crate::store::GraphStore::matching`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TriplePattern {
+    pub subject: PatternTerm,
+    pub predicate: PatternTerm,
+    pub object: PatternTerm,
+}
+
+impl TriplePattern {
+    /// A fully wildcard pattern.
+    pub fn any() -> Self {
+        TriplePattern {
+            subject: PatternTerm::Any,
+            predicate: PatternTerm::Any,
+            object: PatternTerm::Any,
+        }
+    }
+
+    /// Builds a pattern from optional concrete positions.
+    pub fn new(
+        subject: impl Into<PatternTerm>,
+        predicate: impl Into<PatternTerm>,
+        object: impl Into<PatternTerm>,
+    ) -> Self {
+        TriplePattern {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object: object.into(),
+        }
+    }
+
+    /// Does the pattern match the triple?
+    pub fn matches(&self, t: &Triple) -> bool {
+        self.subject.matches(&t.subject)
+            && self.predicate.matches(&t.predicate)
+            && self.object.matches(&t.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn t() -> Triple {
+        Triple::new(
+            Term::iri("http://x/s"),
+            Term::iri("http://x/p"),
+            Term::string("o"),
+        )
+    }
+
+    #[test]
+    fn well_formedness() {
+        assert!(t().is_well_formed());
+        let bad = Triple {
+            subject: Term::string("lit"),
+            predicate: Term::iri("http://x/p"),
+            object: Term::string("o"),
+        };
+        assert!(!bad.is_well_formed());
+    }
+
+    #[test]
+    fn pattern_matching() {
+        let triple = t();
+        assert!(TriplePattern::any().matches(&triple));
+        assert!(TriplePattern::new(Term::iri("http://x/s"), None, None).matches(&triple));
+        assert!(!TriplePattern::new(Term::iri("http://x/other"), None, None).matches(&triple));
+        assert!(TriplePattern::new(None, None, Term::string("o")).matches(&triple));
+        assert!(!TriplePattern::new(None, None, Term::string("nope")).matches(&triple));
+    }
+
+    #[test]
+    fn display_ntriples_like() {
+        assert_eq!(t().to_string(), "<http://x/s> <http://x/p> \"o\" .");
+    }
+}

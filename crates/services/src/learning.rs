@@ -1,0 +1,426 @@
+//! Learned quality functions — the paper's future-work item (ii):
+//! "investigating the use of machine learning techniques to derive
+//! decision models and quality functions from example data sets".
+//!
+//! Two interpretable model families are provided, both trainable from
+//! labelled examples and deployable as ordinary [`AssertionService`]s:
+//!
+//! * [`DecisionStump`] — the best single-feature threshold (the shape of
+//!   rule a scientist would write by hand, found automatically);
+//! * [`LogisticModel`] — ℓ2-regularized logistic regression trained by
+//!   batch gradient descent over standardized features.
+//!
+//! A [`LearnedAssertion`] wraps either model: the produced tag is the
+//! model's score (stump margin / logistic probability), so downstream
+//! action conditions stay ordinary (`LearnedScore > 0.5`).
+
+use crate::service::{AssertionService, VariableBindings};
+use crate::{Result, ServiceError};
+use qurator_annotations::{AnnotationMap, EvidenceValue};
+use qurator_rdf::term::{Iri, Term};
+use std::collections::BTreeMap;
+
+/// One training example: named numeric features plus a boolean quality
+/// label (e.g. "was this identification a true protein?").
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelledExample {
+    pub features: BTreeMap<String, f64>,
+    pub label: bool,
+}
+
+impl LabelledExample {
+    /// Builds an example from `(feature, value)` pairs.
+    pub fn new<I: IntoIterator<Item = (&'static str, f64)>>(features: I, label: bool) -> Self {
+        LabelledExample {
+            features: features
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            label,
+        }
+    }
+}
+
+/// A decision model over named features.
+pub trait DecisionModel: Send + Sync {
+    /// The feature names the model consumes.
+    fn features(&self) -> Vec<String>;
+    /// A quality score; higher = better. `None` when a feature is missing.
+    fn score(&self, features: &BTreeMap<String, f64>) -> Option<f64>;
+}
+
+/// The best single-feature threshold rule found on the training set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionStump {
+    /// The chosen feature.
+    pub feature: String,
+    /// The threshold.
+    pub threshold: f64,
+    /// True when values above the threshold are positive.
+    pub above_is_positive: bool,
+    /// Training accuracy achieved.
+    pub training_accuracy: f64,
+}
+
+impl DecisionStump {
+    /// Exhaustively searches all features and candidate thresholds
+    /// (midpoints between consecutive distinct values).
+    pub fn train(examples: &[LabelledExample]) -> Result<Self> {
+        if examples.is_empty() {
+            return Err(ServiceError::BadRequest("no training examples".into()));
+        }
+        let features: Vec<&String> = examples[0].features.keys().collect();
+        let n = examples.len() as f64;
+        let mut best: Option<DecisionStump> = None;
+        for feature in features {
+            let mut values: Vec<(f64, bool)> = examples
+                .iter()
+                .filter_map(|e| e.features.get(feature).map(|v| (*v, e.label)))
+                .collect();
+            if values.is_empty() {
+                continue;
+            }
+            values.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let mut candidates: Vec<f64> = vec![values[0].0 - 1.0];
+            for pair in values.windows(2) {
+                if pair[0].0 < pair[1].0 {
+                    candidates.push((pair[0].0 + pair[1].0) / 2.0);
+                }
+            }
+            for threshold in candidates {
+                for above_is_positive in [true, false] {
+                    let correct = examples
+                        .iter()
+                        .filter(|e| {
+                            let Some(v) = e.features.get(feature) else {
+                                return false;
+                            };
+                            let predicted = (*v > threshold) == above_is_positive;
+                            predicted == e.label
+                        })
+                        .count() as f64;
+                    let accuracy = correct / n;
+                    if best
+                        .as_ref()
+                        .is_none_or(|b| accuracy > b.training_accuracy)
+                    {
+                        best = Some(DecisionStump {
+                            feature: feature.clone(),
+                            threshold,
+                            above_is_positive,
+                            training_accuracy: accuracy,
+                        });
+                    }
+                }
+            }
+        }
+        best.ok_or_else(|| ServiceError::BadRequest("no usable features".into()))
+    }
+}
+
+impl DecisionModel for DecisionStump {
+    fn features(&self) -> Vec<String> {
+        vec![self.feature.clone()]
+    }
+
+    fn score(&self, features: &BTreeMap<String, f64>) -> Option<f64> {
+        let v = *features.get(&self.feature)?;
+        let margin = v - self.threshold;
+        Some(if self.above_is_positive { margin } else { -margin })
+    }
+}
+
+/// ℓ2-regularized logistic regression over standardized features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticModel {
+    feature_names: Vec<String>,
+    /// Per-feature (mean, stddev) used for standardization.
+    standardization: Vec<(f64, f64)>,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct LogisticConfig {
+    pub epochs: usize,
+    pub learning_rate: f64,
+    pub l2: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        LogisticConfig { epochs: 400, learning_rate: 0.5, l2: 1e-3 }
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticModel {
+    /// Trains by batch gradient descent. Examples missing any feature are
+    /// skipped.
+    pub fn train(examples: &[LabelledExample], config: &LogisticConfig) -> Result<Self> {
+        if examples.is_empty() {
+            return Err(ServiceError::BadRequest("no training examples".into()));
+        }
+        let feature_names: Vec<String> = examples[0].features.keys().cloned().collect();
+        let rows: Vec<(Vec<f64>, f64)> = examples
+            .iter()
+            .filter_map(|e| {
+                let xs: Option<Vec<f64>> = feature_names
+                    .iter()
+                    .map(|f| e.features.get(f).copied())
+                    .collect();
+                xs.map(|xs| (xs, if e.label { 1.0 } else { 0.0 }))
+            })
+            .collect();
+        if rows.is_empty() {
+            return Err(ServiceError::BadRequest(
+                "no example carries all features".into(),
+            ));
+        }
+        let n = rows.len() as f64;
+        let k = feature_names.len();
+
+        // standardization
+        let mut standardization = Vec::with_capacity(k);
+        for j in 0..k {
+            let mean = rows.iter().map(|(x, _)| x[j]).sum::<f64>() / n;
+            let var = rows.iter().map(|(x, _)| (x[j] - mean).powi(2)).sum::<f64>() / n;
+            standardization.push((mean, var.sqrt().max(1e-9)));
+        }
+        let standardized: Vec<(Vec<f64>, f64)> = rows
+            .iter()
+            .map(|(x, y)| {
+                (
+                    x.iter()
+                        .zip(&standardization)
+                        .map(|(v, (m, s))| (v - m) / s)
+                        .collect(),
+                    *y,
+                )
+            })
+            .collect();
+
+        // batch gradient descent
+        let mut weights = vec![0.0; k];
+        let mut bias = 0.0;
+        for _ in 0..config.epochs {
+            let mut grad_w = vec![0.0; k];
+            let mut grad_b = 0.0;
+            for (x, y) in &standardized {
+                let z = bias + x.iter().zip(&weights).map(|(a, w)| a * w).sum::<f64>();
+                let error = sigmoid(z) - y;
+                for j in 0..k {
+                    grad_w[j] += error * x[j];
+                }
+                grad_b += error;
+            }
+            for j in 0..k {
+                weights[j] -= config.learning_rate * (grad_w[j] / n + config.l2 * weights[j]);
+            }
+            bias -= config.learning_rate * grad_b / n;
+        }
+        Ok(LogisticModel { feature_names, standardization, weights, bias })
+    }
+
+    /// The positive-class probability.
+    pub fn predict_proba(&self, features: &BTreeMap<String, f64>) -> Option<f64> {
+        let mut z = self.bias;
+        for ((name, (mean, sd)), weight) in self
+            .feature_names
+            .iter()
+            .zip(&self.standardization)
+            .zip(&self.weights)
+        {
+            let v = *features.get(name)?;
+            z += weight * (v - mean) / sd;
+        }
+        Some(sigmoid(z))
+    }
+
+    /// Accuracy over a labelled set (examples missing features count as
+    /// errors).
+    pub fn accuracy(&self, examples: &[LabelledExample]) -> f64 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let correct = examples
+            .iter()
+            .filter(|e| {
+                self.predict_proba(&e.features)
+                    .map(|p| (p > 0.5) == e.label)
+                    .unwrap_or(false)
+            })
+            .count();
+        correct as f64 / examples.len() as f64
+    }
+}
+
+impl DecisionModel for LogisticModel {
+    fn features(&self) -> Vec<String> {
+        self.feature_names.clone()
+    }
+
+    fn score(&self, features: &BTreeMap<String, f64>) -> Option<f64> {
+        self.predict_proba(features)
+    }
+}
+
+/// Deploys a trained decision model as a quality assertion: the tag value
+/// is the model score; items with missing features get `Null`.
+pub struct LearnedAssertion {
+    service_type: Iri,
+    model: Box<dyn DecisionModel>,
+}
+
+impl LearnedAssertion {
+    /// Wraps a model under an IQ assertion concept.
+    pub fn new(service_type: Iri, model: Box<dyn DecisionModel>) -> Self {
+        LearnedAssertion { service_type, model }
+    }
+}
+
+impl AssertionService for LearnedAssertion {
+    fn service_type(&self) -> Iri {
+        self.service_type.clone()
+    }
+
+    fn expected_variables(&self) -> Vec<String> {
+        self.model.features()
+    }
+
+    fn assert_quality(
+        &self,
+        map: &mut AnnotationMap,
+        bindings: &VariableBindings,
+        tag: &str,
+    ) -> Result<()> {
+        let items: Vec<Term> = map.items().to_vec();
+        for item in items {
+            let mut features = BTreeMap::new();
+            let mut complete = true;
+            for feature in self.model.features() {
+                match bindings.value(map, &item, &feature).as_number() {
+                    Some(v) => {
+                        features.insert(feature, v);
+                    }
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            let value = if complete {
+                self.model
+                    .score(&features)
+                    .map(EvidenceValue::Number)
+                    .unwrap_or(EvidenceValue::Null)
+            } else {
+                EvidenceValue::Null
+            };
+            map.set_tag(&item, tag, value);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qurator_rdf::namespace::q;
+
+    /// Linearly separable toy set: label = (hr + mc/100 > 1).
+    fn toy_examples(n: usize) -> Vec<LabelledExample> {
+        (0..n)
+            .map(|i| {
+                let hr = (i % 17) as f64 / 16.0;
+                let mc = ((i * 7) % 101) as f64;
+                LabelledExample::new([("hr", hr), ("mc", mc)], hr + mc / 100.0 > 1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stump_finds_a_separating_feature() {
+        // label determined entirely by hr
+        let examples: Vec<LabelledExample> = (0..60)
+            .map(|i| {
+                let hr = i as f64 / 60.0;
+                LabelledExample::new([("hr", hr), ("noise", (i * 13 % 7) as f64)], hr > 0.5)
+            })
+            .collect();
+        let stump = DecisionStump::train(&examples).unwrap();
+        assert_eq!(stump.feature, "hr");
+        assert!(stump.above_is_positive);
+        assert!((stump.threshold - 0.5).abs() < 0.05, "threshold {}", stump.threshold);
+        assert!(stump.training_accuracy > 0.99);
+    }
+
+    #[test]
+    fn stump_handles_inverted_polarity() {
+        let examples: Vec<LabelledExample> = (0..40)
+            .map(|i| {
+                let err = i as f64;
+                LabelledExample::new([("error", err)], err < 20.0)
+            })
+            .collect();
+        let stump = DecisionStump::train(&examples).unwrap();
+        assert!(!stump.above_is_positive);
+        assert!(stump.training_accuracy > 0.99);
+    }
+
+    #[test]
+    fn logistic_learns_separable_data() {
+        let examples = toy_examples(300);
+        let model = LogisticModel::train(&examples, &LogisticConfig::default()).unwrap();
+        assert!(model.accuracy(&examples) > 0.95, "{}", model.accuracy(&examples));
+        // probabilities are ordered by margin
+        let strong = BTreeMap::from([("hr".to_string(), 0.95), ("mc".to_string(), 90.0)]);
+        let weak = BTreeMap::from([("hr".to_string(), 0.05), ("mc".to_string(), 5.0)]);
+        assert!(model.predict_proba(&strong).unwrap() > 0.9);
+        assert!(model.predict_proba(&weak).unwrap() < 0.1);
+    }
+
+    #[test]
+    fn missing_features_yield_none() {
+        let model = LogisticModel::train(&toy_examples(50), &LogisticConfig::default()).unwrap();
+        let partial = BTreeMap::from([("hr".to_string(), 0.5)]);
+        assert_eq!(model.predict_proba(&partial), None);
+    }
+
+    #[test]
+    fn empty_training_sets_rejected() {
+        assert!(DecisionStump::train(&[]).is_err());
+        assert!(LogisticModel::train(&[], &LogisticConfig::default()).is_err());
+    }
+
+    #[test]
+    fn learned_assertion_tags_the_map() {
+        let model = LogisticModel::train(&toy_examples(200), &LogisticConfig::default()).unwrap();
+        let qa = LearnedAssertion::new(q::iri("LearnedPIScore"), Box::new(model));
+        assert_eq!(qa.expected_variables(), vec!["hr", "mc"]);
+
+        let mut map = AnnotationMap::new();
+        let good = Term::iri("urn:lsid:t:h:good");
+        let bad = Term::iri("urn:lsid:t:h:bad");
+        let sparse = Term::iri("urn:lsid:t:h:sparse");
+        map.set_evidence(&good, q::iri("HitRatio"), 0.95.into());
+        map.set_evidence(&good, q::iri("MassCoverage"), 80.0.into());
+        map.set_evidence(&bad, q::iri("HitRatio"), 0.05.into());
+        map.set_evidence(&bad, q::iri("MassCoverage"), 3.0.into());
+        map.set_evidence(&sparse, q::iri("HitRatio"), 0.5.into());
+
+        let bindings = VariableBindings::new()
+            .bind_evidence("hr", q::iri("HitRatio"))
+            .bind_evidence("mc", q::iri("MassCoverage"));
+        qa.assert_quality(&mut map, &bindings, "P").unwrap();
+
+        let p_good = map.item(&good).unwrap().tag("P").as_number().unwrap();
+        let p_bad = map.item(&bad).unwrap().tag("P").as_number().unwrap();
+        assert!(p_good > 0.8 && p_bad < 0.2);
+        assert!(map.item(&sparse).unwrap().tag("P").is_null());
+    }
+}

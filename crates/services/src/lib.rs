@@ -1,0 +1,77 @@
+//! # qurator-services
+//!
+//! The service layer of the Qurator framework (reproduction of *Quality
+//! Views*, VLDB 2006, §5): the user-extensible collection of annotation and
+//! quality-assertion services, their common interface, and the registry
+//! they are recorded in.
+//!
+//! The paper deploys these as Web services that "all … export the same WSDL
+//! interface, using a common XML schema for the input and output messages —
+//! effectively a concrete model for the data sets, evidence types and
+//! annotation maps". Here the transport is in-process; the common contract
+//! survives as two traits over a shared message model:
+//!
+//! * [`message::DataSet`] — a collection of LSID-identified data items,
+//!   each with named payload fields (the concrete data-set model);
+//! * [`service::AnnotationService`] — computes evidence for a data set and
+//!   writes it into an annotation repository (the Annotation operator's
+//!   backend; data-specific, few reuse opportunities, §4.1);
+//! * [`service::AssertionService`] — a whole-collection decision model that
+//!   augments an annotation map with score/class tags (the QA operator's
+//!   backend; reusable across data sets sharing evidence types);
+//! * [`registry::ServiceRegistry`] — maps IQ concepts to implementations
+//!   (the paper's service registry + Taverna's "scavenger" discovery);
+//! * [`stdlib`] — generic, configurable service implementations: field
+//!   capture, linear scores, z-scores, and the avg±stddev statistical
+//!   classifier from §5.1;
+//! * [`learning`] — the paper's future-work item (ii): decision models
+//!   (stumps, logistic regression) trained from labelled examples and
+//!   deployed as ordinary assertion services.
+
+pub mod learning;
+pub mod message;
+pub mod registry;
+pub mod service;
+pub mod stdlib;
+
+pub use message::DataSet;
+pub use registry::ServiceRegistry;
+pub use service::{AnnotationService, AssertionService, VariableBindings};
+
+/// Errors from the service layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// No service is registered for the requested concept.
+    NotRegistered(String),
+    /// A registration conflicts with an existing one.
+    Duplicate(String),
+    /// The request is malformed (missing variables, wrong evidence types).
+    BadRequest(String),
+    /// The service failed internally.
+    Internal(String),
+    /// Propagated annotation-layer failure.
+    Annotation(qurator_annotations::AnnotationError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::NotRegistered(m) => write!(f, "no service registered for {m}"),
+            ServiceError::Duplicate(m) => write!(f, "service already registered for {m}"),
+            ServiceError::BadRequest(m) => write!(f, "bad service request: {m}"),
+            ServiceError::Internal(m) => write!(f, "service failure: {m}"),
+            ServiceError::Annotation(e) => write!(f, "annotation failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<qurator_annotations::AnnotationError> for ServiceError {
+    fn from(e: qurator_annotations::AnnotationError) -> Self {
+        ServiceError::Annotation(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServiceError>;

@@ -1,0 +1,158 @@
+//! The service registry: IQ concept → implementation.
+//!
+//! Mirrors the paper's registry of "quality annotation functions and QA
+//! functions, which are implemented as Web services" plus Taverna's
+//! scavenger process that discovers deployed services.
+
+use crate::service::{AnnotationService, AssertionService};
+use crate::{Result, ServiceError};
+use parking_lot::RwLock;
+use qurator_rdf::term::Iri;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A thread-safe registry of annotation and assertion services keyed by
+/// the IQ concept they implement.
+#[derive(Default)]
+pub struct ServiceRegistry {
+    annotators: RwLock<BTreeMap<Iri, Arc<dyn AnnotationService>>>,
+    assertions: RwLock<BTreeMap<Iri, Arc<dyn AssertionService>>>,
+}
+
+impl ServiceRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an annotation service under its declared concept.
+    pub fn register_annotator(&self, service: Arc<dyn AnnotationService>) -> Result<()> {
+        let concept = service.service_type();
+        let mut annotators = self.annotators.write();
+        if annotators.contains_key(&concept) {
+            return Err(ServiceError::Duplicate(format!("<{concept}>")));
+        }
+        annotators.insert(concept, service);
+        Ok(())
+    }
+
+    /// Registers an assertion service under its declared concept.
+    pub fn register_assertion(&self, service: Arc<dyn AssertionService>) -> Result<()> {
+        let concept = service.service_type();
+        let mut assertions = self.assertions.write();
+        if assertions.contains_key(&concept) {
+            return Err(ServiceError::Duplicate(format!("<{concept}>")));
+        }
+        assertions.insert(concept, service);
+        Ok(())
+    }
+
+    /// Replaces (or installs) an annotation service.
+    pub fn replace_annotator(&self, service: Arc<dyn AnnotationService>) {
+        self.annotators.write().insert(service.service_type(), service);
+    }
+
+    /// Looks up the annotation service for a concept.
+    pub fn annotator(&self, concept: &Iri) -> Result<Arc<dyn AnnotationService>> {
+        self.annotators
+            .read()
+            .get(concept)
+            .cloned()
+            .ok_or_else(|| ServiceError::NotRegistered(format!("annotator <{concept}>")))
+    }
+
+    /// Looks up the assertion service for a concept.
+    pub fn assertion(&self, concept: &Iri) -> Result<Arc<dyn AssertionService>> {
+        self.assertions
+            .read()
+            .get(concept)
+            .cloned()
+            .ok_or_else(|| ServiceError::NotRegistered(format!("assertion <{concept}>")))
+    }
+
+    /// All registered annotator concepts (the scavenger listing).
+    pub fn annotator_concepts(&self) -> Vec<Iri> {
+        self.annotators.read().keys().cloned().collect()
+    }
+
+    /// All registered assertion concepts.
+    pub fn assertion_concepts(&self) -> Vec<Iri> {
+        self.assertions.read().keys().cloned().collect()
+    }
+}
+
+impl std::fmt::Debug for ServiceRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceRegistry")
+            .field("annotators", &self.annotator_concepts())
+            .field("assertions", &self.assertion_concepts())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::DataSet;
+    use crate::service::VariableBindings;
+    use qurator_annotations::{AnnotationMap, AnnotationRepository};
+    use qurator_rdf::namespace::q;
+
+    struct NullAnnotator;
+    impl AnnotationService for NullAnnotator {
+        fn service_type(&self) -> Iri {
+            q::iri("NullAnnotation")
+        }
+        fn provides(&self) -> Vec<Iri> {
+            vec![]
+        }
+        fn annotate(&self, _: &DataSet, _: &AnnotationRepository) -> Result<usize> {
+            Ok(0)
+        }
+    }
+
+    struct NullAssertion;
+    impl AssertionService for NullAssertion {
+        fn service_type(&self) -> Iri {
+            q::iri("NullAssertion")
+        }
+        fn expected_variables(&self) -> Vec<String> {
+            vec![]
+        }
+        fn assert_quality(
+            &self,
+            _: &mut AnnotationMap,
+            _: &VariableBindings,
+            _: &str,
+        ) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let reg = ServiceRegistry::new();
+        reg.register_annotator(Arc::new(NullAnnotator)).unwrap();
+        reg.register_assertion(Arc::new(NullAssertion)).unwrap();
+        assert!(reg.annotator(&q::iri("NullAnnotation")).is_ok());
+        assert!(reg.assertion(&q::iri("NullAssertion")).is_ok());
+        assert!(matches!(
+            reg.annotator(&q::iri("Missing")),
+            Err(ServiceError::NotRegistered(_))
+        ));
+        assert_eq!(reg.annotator_concepts().len(), 1);
+        assert_eq!(reg.assertion_concepts().len(), 1);
+    }
+
+    #[test]
+    fn duplicates_rejected_replace_allowed() {
+        let reg = ServiceRegistry::new();
+        reg.register_annotator(Arc::new(NullAnnotator)).unwrap();
+        assert!(matches!(
+            reg.register_annotator(Arc::new(NullAnnotator)),
+            Err(ServiceError::Duplicate(_))
+        ));
+        reg.replace_annotator(Arc::new(NullAnnotator));
+        assert_eq!(reg.annotator_concepts().len(), 1);
+    }
+}

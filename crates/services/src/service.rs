@@ -1,0 +1,166 @@
+//! The common service interface (the paper's shared WSDL contract).
+
+use crate::message::DataSet;
+use crate::Result;
+use qurator_annotations::{AnnotationMap, AnnotationRepository};
+use qurator_rdf::term::Iri;
+use std::collections::BTreeMap;
+
+/// Variable bindings for an assertion invocation: the service's expected
+/// variable names mapped to sources in the annotation map.
+///
+/// QV declarations bind variables either to evidence types
+/// (`<var variableName="coverage" evidence="q:coverage"/>`) or to tags
+/// produced by earlier QAs in the same view.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VariableBindings {
+    bindings: BTreeMap<String, VariableSource>,
+}
+
+/// Where a variable's per-item value comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VariableSource {
+    /// An evidence column of the annotation map.
+    Evidence(Iri),
+    /// A tag column written by an earlier QA.
+    Tag(String),
+}
+
+impl VariableBindings {
+    /// Empty bindings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds a variable to an evidence type.
+    pub fn bind_evidence(mut self, variable: impl Into<String>, evidence: Iri) -> Self {
+        self.bindings
+            .insert(variable.into(), VariableSource::Evidence(evidence));
+        self
+    }
+
+    /// Binds a variable to a tag.
+    pub fn bind_tag(mut self, variable: impl Into<String>, tag: impl Into<String>) -> Self {
+        self.bindings
+            .insert(variable.into(), VariableSource::Tag(tag.into()));
+        self
+    }
+
+    /// The source of a variable.
+    pub fn source(&self, variable: &str) -> Option<&VariableSource> {
+        self.bindings.get(variable)
+    }
+
+    /// All bound variable names.
+    pub fn variables(&self) -> impl Iterator<Item = &str> {
+        self.bindings.keys().map(String::as_str)
+    }
+
+    /// Resolves a variable to its per-item value in the map.
+    pub fn value(
+        &self,
+        map: &AnnotationMap,
+        item: &qurator_rdf::term::Term,
+        variable: &str,
+    ) -> qurator_annotations::EvidenceValue {
+        match self.bindings.get(variable) {
+            Some(VariableSource::Evidence(e)) => map
+                .item(item)
+                .map(|row| row.evidence(e))
+                .unwrap_or(qurator_annotations::EvidenceValue::Null),
+            Some(VariableSource::Tag(t)) => map
+                .item(item)
+                .map(|row| row.tag(t))
+                .unwrap_or(qurator_annotations::EvidenceValue::Null),
+            None => qurator_annotations::EvidenceValue::Null,
+        }
+    }
+
+    /// All evidence types referenced by these bindings (what the Data
+    /// Enrichment step must fetch).
+    pub fn evidence_types(&self) -> Vec<Iri> {
+        self.bindings
+            .values()
+            .filter_map(|s| match s {
+                VariableSource::Evidence(e) => Some(e.clone()),
+                VariableSource::Tag(_) => None,
+            })
+            .collect()
+    }
+}
+
+/// An annotation service: computes quality-evidence values for a data set
+/// and stores them in a repository (the backend of the Annotation
+/// operator, §4.1). These are "not only domain-specific, but … also
+/// data-specific".
+pub trait AnnotationService: Send + Sync {
+    /// The `q:AnnotationFunction` subclass this service implements.
+    fn service_type(&self) -> Iri;
+
+    /// The evidence types this service can provide values for.
+    fn provides(&self) -> Vec<Iri>;
+
+    /// Computes and stores annotations for the data set; returns the number
+    /// of annotations written.
+    fn annotate(&self, data: &DataSet, repository: &AnnotationRepository) -> Result<usize>;
+}
+
+/// A quality-assertion service: a decision model over a *whole collection*
+/// that augments the annotation map with a tag (score or class) per item
+/// (the backend of the QA operator, §4.1).
+pub trait AssertionService: Send + Sync {
+    /// The `q:QualityAssertion` subclass this service implements.
+    fn service_type(&self) -> Iri;
+
+    /// Variable names the decision model expects to find bound.
+    fn expected_variables(&self) -> Vec<String>;
+
+    /// The classification model produced, when the output is categorical
+    /// (`tagSemType` in QV declarations).
+    fn classification_model(&self) -> Option<Iri> {
+        None
+    }
+
+    /// Computes the assertion over the collection, writing `tag` values
+    /// into the map for every item.
+    fn assert_quality(
+        &self,
+        map: &mut AnnotationMap,
+        bindings: &VariableBindings,
+        tag: &str,
+    ) -> Result<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qurator_annotations::EvidenceValue;
+    use qurator_rdf::namespace::q;
+    use qurator_rdf::term::Term;
+
+    #[test]
+    fn bindings_resolve_both_sources() {
+        let item = Term::iri("urn:lsid:t:h:1");
+        let mut map = AnnotationMap::new();
+        map.set_evidence(&item, q::iri("HitRatio"), 0.4.into());
+        map.set_tag(&item, "HR_MC", 12.0.into());
+
+        let bindings = VariableBindings::new()
+            .bind_evidence("hr", q::iri("HitRatio"))
+            .bind_tag("score", "HR_MC");
+
+        assert_eq!(bindings.value(&map, &item, "hr"), EvidenceValue::Number(0.4));
+        assert_eq!(bindings.value(&map, &item, "score"), EvidenceValue::Number(12.0));
+        assert_eq!(bindings.value(&map, &item, "nope"), EvidenceValue::Null);
+        assert_eq!(bindings.evidence_types(), vec![q::iri("HitRatio")]);
+        assert_eq!(bindings.variables().count(), 2);
+    }
+
+    #[test]
+    fn unknown_item_yields_null() {
+        let map = AnnotationMap::new();
+        let bindings = VariableBindings::new().bind_evidence("hr", q::iri("HitRatio"));
+        let ghost = Term::iri("urn:lsid:t:h:ghost");
+        assert_eq!(bindings.value(&map, &ghost, "hr"), EvidenceValue::Null);
+    }
+}

@@ -1,0 +1,263 @@
+//! Workflow embedding (paper §6.2): merging a compiled quality workflow
+//! into a host experiment workflow through a deployment descriptor of
+//! adapters and connectors.
+//!
+//! "Two main elements must be considered, (i) a set of adapters that
+//! surround the embedded quality flows, and (ii) the connections among host
+//! and embedded processors, which may occur through the adapters."
+
+use crate::model::{PortRef, Workflow};
+use crate::processor::Processor;
+use crate::{Result, WorkflowError};
+use std::sync::Arc;
+
+/// A connector in a deployment descriptor: host output port → embedded
+/// input port, or embedded output port → host input port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Connector {
+    /// Source processor and output port. Processor names refer to the host
+    /// workflow, or to the embedded workflow when prefixed with the embed
+    /// prefix chosen at [`Workflow::embed`] time.
+    pub from: PortRef,
+    /// Target processor and input port (same naming rule).
+    pub to: PortRef,
+}
+
+impl Connector {
+    /// Builds a connector.
+    pub fn new(from_node: &str, from_port: &str, to_node: &str, to_port: &str) -> Self {
+        Connector {
+            from: PortRef::new(from_node, from_port),
+            to: PortRef::new(to_node, to_port),
+        }
+    }
+}
+
+/// The deployment descriptor: adapters + connectors (the Taverna-specific
+/// XML of §6.2, as a typed structure).
+#[derive(Default)]
+pub struct EmbedDescriptor {
+    /// Adapters are processors in their own right; they are added to the
+    /// host under their given names before connectors are installed.
+    pub adapters: Vec<(String, Arc<dyn Processor>)>,
+    /// Connections among host, embedded and adapter processors.
+    pub connectors: Vec<Connector>,
+    /// Data links of the host to sever before connecting (the embedding
+    /// interposes the quality flow on an existing host edge).
+    pub severed_links: Vec<(PortRef, PortRef)>,
+}
+
+impl EmbedDescriptor {
+    /// An empty descriptor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an adapter processor.
+    pub fn with_adapter(mut self, name: impl Into<String>, p: Arc<dyn Processor>) -> Self {
+        self.adapters.push((name.into(), p));
+        self
+    }
+
+    /// Adds a connector.
+    pub fn with_connector(mut self, c: Connector) -> Self {
+        self.connectors.push(c);
+        self
+    }
+
+    /// Severs an existing host data link (so the quality flow can be
+    /// interposed between producer and consumer).
+    pub fn severing(mut self, from: PortRef, to: PortRef) -> Self {
+        self.severed_links.push((from, to));
+        self
+    }
+}
+
+impl std::fmt::Debug for EmbedDescriptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EmbedDescriptor")
+            .field("adapters", &self.adapters.iter().map(|(n, _)| n).collect::<Vec<_>>())
+            .field("connectors", &self.connectors)
+            .field("severed_links", &self.severed_links)
+            .finish()
+    }
+}
+
+impl Workflow {
+    /// Embeds `sub` into `self`: every processor of `sub` is copied under
+    /// `prefix/<name>`, `sub`'s internal links are preserved, and the
+    /// descriptor's adapters/connectors wire the two flows together.
+    ///
+    /// `sub`'s own workflow inputs/outputs are *not* imported — the
+    /// descriptor's connectors replace them, mirroring the paper's
+    /// deployment step where "the output ports of actions are bound to data
+    /// links that transfer the surviving data back to the embedding
+    /// workflow".
+    pub fn embed(
+        &mut self,
+        sub: &Workflow,
+        prefix: &str,
+        descriptor: &EmbedDescriptor,
+    ) -> Result<()> {
+        // 1. sever host links the embedding replaces
+        for (from, to) in &descriptor.severed_links {
+            let before = self.data_links().len();
+            self.retain_data_links(|l| !(l.from == *from && l.to == *to));
+            if self.data_links().len() == before {
+                return Err(WorkflowError::Unknown(format!(
+                    "cannot sever non-existent link {from} -> {to}"
+                )));
+            }
+        }
+
+        // 2. copy sub's processors under the prefix
+        for node in sub.nodes().map(str::to_string).collect::<Vec<_>>() {
+            let processor = sub.processor(&node).expect("listed").clone();
+            self.add(format!("{prefix}/{node}"), processor)?;
+        }
+        // 3. copy sub's internal links
+        for link in sub.data_links() {
+            self.link(
+                &format!("{prefix}/{}", link.from.processor),
+                &link.from.port,
+                &format!("{prefix}/{}", link.to.processor),
+                &link.to.port,
+            )?;
+        }
+        for (before, after) in sub.control_links() {
+            self.control_link(&format!("{prefix}/{before}"), &format!("{prefix}/{after}"))?;
+        }
+
+        // 4. adapters
+        for (name, processor) in &descriptor.adapters {
+            self.add(name.clone(), processor.clone())?;
+        }
+
+        // 5. connectors
+        for c in &descriptor.connectors {
+            self.link(&c.from.processor, &c.from.port, &c.to.processor, &c.to.port)?;
+        }
+
+        // embedding must leave the workflow valid
+        self.validate().map(|_| ())
+    }
+
+    /// Keeps only the data links satisfying the predicate (used by embed).
+    pub(crate) fn retain_data_links(&mut self, keep: impl Fn(&crate::model::DataLink) -> bool) {
+        let links = std::mem::take(self.data_links_mut());
+        *self.data_links_mut() = links.into_iter().filter(|l| keep(l)).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Data;
+    use crate::processor::{Context, FnProcessor};
+    use crate::Enactor;
+    use std::collections::BTreeMap;
+
+    fn constant(name: &str, value: f64) -> Arc<dyn Processor> {
+        let v = Data::from(value);
+        Arc::new(FnProcessor::new(name, &[], &["out"], move |_, _| {
+            Ok(BTreeMap::from([("out".to_string(), v.clone())]))
+        }))
+    }
+
+    fn add_one(name: &str) -> Arc<dyn Processor> {
+        Arc::new(FnProcessor::map1(name, "in", "out", |v, _| {
+            Ok(Data::Number(v.as_number().unwrap() + 1.0))
+        }))
+    }
+
+    /// host: src -> sink; embedded: a single +1 processor interposed on the
+    /// severed src->sink edge.
+    #[test]
+    fn interpose_quality_flow_on_host_edge() {
+        let mut host = Workflow::new("host");
+        host.add("src", constant("c", 10.0)).unwrap();
+        host.add("sink", add_one("sink")).unwrap();
+        host.link("src", "out", "sink", "in").unwrap();
+        host.declare_output("final", PortRef::new("sink", "out")).unwrap();
+
+        let mut quality = Workflow::new("quality");
+        quality.add("boost", add_one("boost")).unwrap();
+
+        let descriptor = EmbedDescriptor::new()
+            .severing(PortRef::new("src", "out"), PortRef::new("sink", "in"))
+            .with_connector(Connector::new("src", "out", "qv/boost", "in"))
+            .with_connector(Connector::new("qv/boost", "out", "sink", "in"));
+
+        host.embed(&quality, "qv", &descriptor).unwrap();
+
+        let report = Enactor::new().run(&host, &BTreeMap::new(), &Context::new()).unwrap();
+        // 10 -> boost(+1) -> sink(+1) = 12
+        assert_eq!(report.outputs["final"], Data::from(12.0));
+        assert!(host.nodes().any(|n| n == "qv/boost"));
+    }
+
+    #[test]
+    fn embedding_preserves_sub_structure() {
+        let mut sub = Workflow::new("sub");
+        sub.add("a", add_one("a")).unwrap();
+        sub.add("b", add_one("b")).unwrap();
+        sub.link("a", "out", "b", "in").unwrap();
+        sub.control_link("a", "b").unwrap();
+
+        let mut host = Workflow::new("host");
+        host.add("src", constant("c", 1.0)).unwrap();
+        let descriptor = EmbedDescriptor::new()
+            .with_connector(Connector::new("src", "out", "q/a", "in"));
+        host.embed(&sub, "q", &descriptor).unwrap();
+
+        assert!(host.data_links().iter().any(|l| l.from.processor == "q/a"
+            && l.to.processor == "q/b"));
+        assert!(host
+            .control_links()
+            .iter()
+            .any(|(x, y)| x == "q/a" && y == "q/b"));
+    }
+
+    #[test]
+    fn adapters_are_added_and_connected() {
+        let mut host = Workflow::new("host");
+        host.add("src", constant("c", 3.0)).unwrap();
+
+        let mut sub = Workflow::new("sub");
+        sub.add("p", add_one("p")).unwrap();
+
+        // an adapter doubling the value before it enters the quality flow
+        let adapter = Arc::new(FnProcessor::map1("doubler", "in", "out", |v, _| {
+            Ok(Data::Number(v.as_number().unwrap() * 2.0))
+        }));
+        let descriptor = EmbedDescriptor::new()
+            .with_adapter("adapt", adapter)
+            .with_connector(Connector::new("src", "out", "adapt", "in"))
+            .with_connector(Connector::new("adapt", "out", "q/p", "in"));
+        host.embed(&sub, "q", &descriptor).unwrap();
+        host.declare_output("r", PortRef::new("q/p", "out")).unwrap();
+
+        let report = Enactor::new().run(&host, &BTreeMap::new(), &Context::new()).unwrap();
+        assert_eq!(report.outputs["r"], Data::from(7.0)); // 3*2+1
+    }
+
+    #[test]
+    fn severing_missing_link_fails() {
+        let mut host = Workflow::new("host");
+        host.add("src", constant("c", 1.0)).unwrap();
+        let sub = Workflow::new("sub");
+        let descriptor = EmbedDescriptor::new()
+            .severing(PortRef::new("src", "out"), PortRef::new("nope", "in"));
+        assert!(host.embed(&sub, "q", &descriptor).is_err());
+    }
+
+    #[test]
+    fn name_collisions_are_rejected() {
+        let mut host = Workflow::new("host");
+        host.add("q/p", constant("c", 1.0)).unwrap();
+        let mut sub = Workflow::new("sub");
+        sub.add("p", add_one("p")).unwrap();
+        let err = host.embed(&sub, "q", &EmbedDescriptor::new()).unwrap_err();
+        assert!(matches!(err, WorkflowError::Invalid(_)));
+    }
+}

@@ -1,0 +1,558 @@
+//! The workflow graph: processors composed with data and control links.
+
+use crate::processor::Processor;
+use crate::{Result, WorkflowError};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// A `(processor, port)` endpoint of a data link.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PortRef {
+    pub processor: String,
+    pub port: String,
+}
+
+impl PortRef {
+    /// Builds a port reference.
+    pub fn new(processor: impl Into<String>, port: impl Into<String>) -> Self {
+        PortRef { processor: processor.into(), port: port.into() }
+    }
+}
+
+impl std::fmt::Display for PortRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.processor, self.port)
+    }
+}
+
+/// A data link between an output port and an input port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataLink {
+    pub from: PortRef,
+    pub to: PortRef,
+}
+
+/// A named workflow: the unit the QV compiler produces and the deployment
+/// step embeds into host workflows.
+#[derive(Clone, Default)]
+pub struct Workflow {
+    name: String,
+    processors: BTreeMap<String, Arc<dyn Processor>>,
+    data_links: Vec<DataLink>,
+    control_links: Vec<(String, String)>,
+    /// workflow input name → target ports fed by it
+    inputs: BTreeMap<String, Vec<PortRef>>,
+    /// workflow output name → source port
+    outputs: BTreeMap<String, PortRef>,
+}
+
+impl Workflow {
+    /// An empty workflow.
+    pub fn new(name: impl Into<String>) -> Self {
+        Workflow { name: name.into(), ..Default::default() }
+    }
+
+    /// The workflow name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a processor under a unique node name.
+    pub fn add(
+        &mut self,
+        node: impl Into<String>,
+        processor: Arc<dyn Processor>,
+    ) -> Result<&mut Self> {
+        let node = node.into();
+        if self.processors.contains_key(&node) {
+            return Err(WorkflowError::Invalid(format!(
+                "duplicate processor name {node:?}"
+            )));
+        }
+        self.processors.insert(node, processor);
+        Ok(self)
+    }
+
+    /// Connects `from_node.from_port -> to_node.to_port`.
+    pub fn link(
+        &mut self,
+        from_node: &str,
+        from_port: &str,
+        to_node: &str,
+        to_port: &str,
+    ) -> Result<&mut Self> {
+        let from = PortRef::new(from_node, from_port);
+        let to = PortRef::new(to_node, to_port);
+        self.check_output_port(&from)?;
+        self.check_input_port(&to)?;
+        if self.writer_of(&to).is_some() {
+            return Err(WorkflowError::Invalid(format!(
+                "input port {to} already has a writer"
+            )));
+        }
+        self.data_links.push(DataLink { from, to });
+        Ok(self)
+    }
+
+    /// Adds a control link: `after` starts only once `before` completed.
+    pub fn control_link(&mut self, before: &str, after: &str) -> Result<&mut Self> {
+        for node in [before, after] {
+            if !self.processors.contains_key(node) {
+                return Err(WorkflowError::Unknown(format!("processor {node:?}")));
+            }
+        }
+        self.control_links.push((before.to_string(), after.to_string()));
+        Ok(self)
+    }
+
+    /// Declares a workflow input feeding the given port.
+    pub fn declare_input(&mut self, name: impl Into<String>, to: PortRef) -> Result<&mut Self> {
+        self.check_input_port(&to)?;
+        if self.writer_of(&to).is_some() {
+            return Err(WorkflowError::Invalid(format!(
+                "input port {to} already has a writer"
+            )));
+        }
+        self.inputs.entry(name.into()).or_default().push(to);
+        Ok(self)
+    }
+
+    /// Declares a workflow output sourced from the given port.
+    pub fn declare_output(&mut self, name: impl Into<String>, from: PortRef) -> Result<&mut Self> {
+        self.check_output_port(&from)?;
+        self.outputs.insert(name.into(), from);
+        Ok(self)
+    }
+
+    fn check_input_port(&self, port: &PortRef) -> Result<()> {
+        let p = self
+            .processors
+            .get(&port.processor)
+            .ok_or_else(|| WorkflowError::Unknown(format!("processor {:?}", port.processor)))?;
+        if !p.input_ports().iter().any(|(n, _)| *n == port.port) {
+            return Err(WorkflowError::Unknown(format!(
+                "input port {port} (processor type {:?})",
+                p.type_name()
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_output_port(&self, port: &PortRef) -> Result<()> {
+        let p = self
+            .processors
+            .get(&port.processor)
+            .ok_or_else(|| WorkflowError::Unknown(format!("processor {:?}", port.processor)))?;
+        if !p.output_ports().contains(&port.port) {
+            return Err(WorkflowError::Unknown(format!(
+                "output port {port} (processor type {:?})",
+                p.type_name()
+            )));
+        }
+        Ok(())
+    }
+
+    /// The data link (or workflow input name) feeding an input port.
+    fn writer_of(&self, port: &PortRef) -> Option<&DataLink> {
+        self.data_links.iter().find(|l| l.to == *port)
+    }
+
+    /// True if a workflow input feeds the port.
+    pub fn input_feeds(&self, port: &PortRef) -> Option<&str> {
+        self.inputs
+            .iter()
+            .find(|(_, targets)| targets.contains(port))
+            .map(|(name, _)| name.as_str())
+    }
+
+    // ---------- read accessors ----------
+
+    /// Node names in insertion-independent (sorted) order.
+    pub fn nodes(&self) -> impl Iterator<Item = &str> {
+        self.processors.keys().map(String::as_str)
+    }
+
+    /// The processor at a node.
+    pub fn processor(&self, node: &str) -> Option<&Arc<dyn Processor>> {
+        self.processors.get(node)
+    }
+
+    /// All data links.
+    pub fn data_links(&self) -> &[DataLink] {
+        &self.data_links
+    }
+
+    /// Mutable access for the embedding machinery.
+    pub(crate) fn data_links_mut(&mut self) -> &mut Vec<DataLink> {
+        &mut self.data_links
+    }
+
+    /// All control links.
+    pub fn control_links(&self) -> &[(String, String)] {
+        &self.control_links
+    }
+
+    /// Declared workflow inputs.
+    pub fn inputs(&self) -> impl Iterator<Item = (&str, &[PortRef])> {
+        self.inputs.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Declared workflow outputs.
+    pub fn outputs(&self) -> impl Iterator<Item = (&str, &PortRef)> {
+        self.outputs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of processors.
+    pub fn len(&self) -> usize {
+        self.processors.len()
+    }
+
+    /// True when the workflow has no processors.
+    pub fn is_empty(&self) -> bool {
+        self.processors.is_empty()
+    }
+
+    // ---------- validation ----------
+
+    /// Dependency edges (union of data and control links) as node pairs.
+    pub fn dependency_edges(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.data_links
+            .iter()
+            .map(|l| (l.from.processor.as_str(), l.to.processor.as_str()))
+            .chain(
+                self.control_links
+                    .iter()
+                    .map(|(a, b)| (a.as_str(), b.as_str())),
+            )
+    }
+
+    /// Validates the graph: every referenced node/port exists (by
+    /// construction), every *required* input port has a writer (data link or
+    /// workflow input), and the dependency graph is acyclic. Returns a
+    /// topological order of the nodes.
+    pub fn validate(&self) -> Result<Vec<String>> {
+        // required ports must be fed
+        for (node, processor) in &self.processors {
+            let optional: BTreeSet<String> = processor.optional_ports().into_iter().collect();
+            for (port, _) in processor.input_ports() {
+                if optional.contains(&port) {
+                    continue;
+                }
+                let port_ref = PortRef::new(node.clone(), port.clone());
+                if self.writer_of(&port_ref).is_none() && self.input_feeds(&port_ref).is_none() {
+                    return Err(WorkflowError::MissingInput {
+                        processor: node.clone(),
+                        port,
+                    });
+                }
+            }
+        }
+        self.topological_order()
+    }
+
+    /// Kahn's algorithm over the dependency edges; deterministic (sorted
+    /// node order within each wave).
+    pub fn topological_order(&self) -> Result<Vec<String>> {
+        let mut indegree: BTreeMap<&str, usize> =
+            self.processors.keys().map(|k| (k.as_str(), 0)).collect();
+        let mut adjacency: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        let mut seen_edges: BTreeSet<(&str, &str)> = BTreeSet::new();
+        for (from, to) in self.dependency_edges() {
+            if from == to {
+                return Err(WorkflowError::Cyclic(format!("self-loop on {from:?}")));
+            }
+            if seen_edges.insert((from, to)) {
+                adjacency.entry(from).or_default().push(to);
+                *indegree.get_mut(to).expect("checked on insert") += 1;
+            }
+        }
+        let mut ready: VecDeque<&str> = indegree
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(n, _)| *n)
+            .collect();
+        let mut order = Vec::with_capacity(self.processors.len());
+        while let Some(node) = ready.pop_front() {
+            order.push(node.to_string());
+            if let Some(children) = adjacency.get(node) {
+                for child in children {
+                    let d = indegree.get_mut(child).expect("known node");
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push_back(child);
+                    }
+                }
+            }
+        }
+        if order.len() != self.processors.len() {
+            let stuck: Vec<&str> = indegree
+                .iter()
+                .filter(|(_, d)| **d > 0)
+                .map(|(n, _)| *n)
+                .collect();
+            return Err(WorkflowError::Cyclic(format!(
+                "cycle involving {stuck:?}"
+            )));
+        }
+        Ok(order)
+    }
+
+    /// Execution waves: groups of nodes whose dependencies are all in
+    /// earlier waves (the enactor runs each wave in parallel).
+    pub fn waves(&self) -> Result<Vec<Vec<String>>> {
+        let order = self.topological_order()?;
+        let mut level: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut preds: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (from, to) in self.dependency_edges() {
+            preds.entry(to).or_default().push(from);
+        }
+        let mut waves: Vec<Vec<String>> = Vec::new();
+        for node in &order {
+            let lvl = preds
+                .get(node.as_str())
+                .map(|ps| ps.iter().map(|p| level[p] + 1).max().unwrap_or(0))
+                .unwrap_or(0);
+            level.insert(node, lvl);
+            if waves.len() <= lvl {
+                waves.resize_with(lvl + 1, Vec::new);
+            }
+            waves[lvl].push(node.clone());
+        }
+        Ok(waves)
+    }
+
+    /// A GraphViz DOT rendering (handy for eyeballing compiled QVs against
+    /// the paper's Figure 6).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name);
+        for (node, p) in &self.processors {
+            let _ = writeln!(out, "  \"{node}\" [label=\"{node}\\n({})\"];", p.type_name());
+        }
+        for l in &self.data_links {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [label=\"{}→{}\"];",
+                l.from.processor, l.to.processor, l.from.port, l.to.port
+            );
+        }
+        for (a, b) in &self.control_links {
+            let _ = writeln!(out, "  \"{a}\" -> \"{b}\" [style=dashed];");
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+impl std::fmt::Debug for Workflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workflow")
+            .field("name", &self.name)
+            .field("processors", &self.processors.keys().collect::<Vec<_>>())
+            .field("data_links", &self.data_links.len())
+            .field("control_links", &self.control_links.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Data;
+    use crate::processor::FnProcessor;
+
+    fn passthrough(name: &str) -> Arc<dyn Processor> {
+        Arc::new(FnProcessor::map1(name, "in", "out", |v, _| Ok(v.clone())))
+    }
+
+    fn chain3() -> Workflow {
+        let mut w = Workflow::new("chain");
+        w.add("a", passthrough("p")).unwrap();
+        w.add("b", passthrough("p")).unwrap();
+        w.add("c", passthrough("p")).unwrap();
+        w.link("a", "out", "b", "in").unwrap();
+        w.link("b", "out", "c", "in").unwrap();
+        w.declare_input("x", PortRef::new("a", "in")).unwrap();
+        w.declare_output("y", PortRef::new("c", "out")).unwrap();
+        w
+    }
+
+    #[test]
+    fn construction_and_validation() {
+        let w = chain3();
+        let order = w.validate().unwrap();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn bad_references_are_rejected() {
+        let mut w = Workflow::new("t");
+        w.add("a", passthrough("p")).unwrap();
+        assert!(w.add("a", passthrough("p")).is_err(), "duplicate node");
+        assert!(w.link("a", "nope", "a", "in").is_err(), "unknown out port");
+        assert!(w.link("missing", "out", "a", "in").is_err());
+        assert!(w.declare_output("o", PortRef::new("a", "in")).is_err(), "in is not an output");
+    }
+
+    #[test]
+    fn double_writer_rejected() {
+        let mut w = Workflow::new("t");
+        w.add("a", passthrough("p")).unwrap();
+        w.add("b", passthrough("p")).unwrap();
+        w.add("c", passthrough("p")).unwrap();
+        w.link("a", "out", "c", "in").unwrap();
+        assert!(w.link("b", "out", "c", "in").is_err());
+        assert!(w.declare_input("x", PortRef::new("c", "in")).is_err());
+    }
+
+    #[test]
+    fn unfed_required_port_fails_validation() {
+        let mut w = Workflow::new("t");
+        w.add("a", passthrough("p")).unwrap();
+        assert!(matches!(
+            w.validate(),
+            Err(WorkflowError::MissingInput { .. })
+        ));
+    }
+
+    #[test]
+    fn optional_ports_may_stay_unfed() {
+        let mut w = Workflow::new("t");
+        let p = FnProcessor::new("opt", &[("maybe", 0)], &["out"], |_, _| {
+            Ok(BTreeMap::from([("out".to_string(), Data::Null)]))
+        })
+        .with_optional(&["maybe"]);
+        w.add("a", Arc::new(p)).unwrap();
+        assert!(w.validate().is_ok());
+    }
+
+    #[test]
+    fn cycles_detected() {
+        let mut w = Workflow::new("t");
+        w.add("a", passthrough("p")).unwrap();
+        w.add("b", passthrough("p")).unwrap();
+        w.link("a", "out", "b", "in").unwrap();
+        w.link("b", "out", "a", "in").unwrap();
+        assert!(matches!(w.topological_order(), Err(WorkflowError::Cyclic(_))));
+    }
+
+    #[test]
+    fn control_links_order_execution() {
+        let mut w = Workflow::new("t");
+        for n in ["a", "b"] {
+            let p = FnProcessor::new(n, &[], &["out"], |_, _| {
+                Ok(BTreeMap::from([("out".to_string(), Data::Null)]))
+            });
+            w.add(n, Arc::new(p)).unwrap();
+        }
+        w.control_link("b", "a").unwrap();
+        assert_eq!(w.topological_order().unwrap(), vec!["b", "a"]);
+        assert!(w.control_link("b", "missing").is_err());
+    }
+
+    #[test]
+    fn waves_group_independent_nodes() {
+        let mut w = Workflow::new("t");
+        let src = FnProcessor::new("src", &[], &["out"], |_, _| {
+            Ok(BTreeMap::from([("out".to_string(), Data::from(1i64))]))
+        });
+        w.add("s", Arc::new(src)).unwrap();
+        w.add("l", passthrough("p")).unwrap();
+        w.add("r", passthrough("p")).unwrap();
+        w.add("join", passthrough("p")).unwrap();
+        w.link("s", "out", "l", "in").unwrap();
+        w.link("s", "out", "r", "in").unwrap();
+        w.link("l", "out", "join", "in").unwrap();
+        let waves = w.waves().unwrap();
+        assert_eq!(waves[0], vec!["s"]);
+        assert_eq!(waves[1], vec!["l", "r"]);
+        assert_eq!(waves[2], vec!["join"]);
+    }
+
+    #[test]
+    fn dot_rendering_mentions_everything() {
+        let dot = chain3().to_dot();
+        assert!(dot.contains("\"a\" -> \"b\""));
+        assert!(dot.contains("out→in"));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::data::Data;
+    use crate::processor::FnProcessor;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    /// A passthrough node with one optional input and one output.
+    fn node() -> Arc<dyn Processor> {
+        Arc::new(
+            FnProcessor::new("n", &[("in", 0)], &["out"], |_, _| {
+                Ok(BTreeMap::from([("out".to_string(), Data::Null)]))
+            })
+            .with_optional(&["in"]),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// For any DAG (control edges i -> j with i < j): the topological
+        /// order respects every edge, and waves are a valid level
+        /// assignment (every predecessor sits in a strictly earlier wave).
+        #[test]
+        fn order_and_waves_respect_random_dags(
+            edges in proptest::collection::btree_set((0usize..12, 0usize..12), 0..40)
+        ) {
+            let mut w = Workflow::new("t");
+            for i in 0..12 {
+                w.add(format!("n{i}"), node()).unwrap();
+            }
+            for (a, b) in &edges {
+                if a < b {
+                    w.control_link(&format!("n{a}"), &format!("n{b}")).unwrap();
+                }
+            }
+            let order = w.topological_order().unwrap();
+            let position: BTreeMap<&str, usize> =
+                order.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+            for (a, b) in &edges {
+                if a < b {
+                    let pa = position[format!("n{a}").as_str()];
+                    let pb = position[format!("n{b}").as_str()];
+                    prop_assert!(pa < pb, "edge n{}->n{} violated", a, b);
+                }
+            }
+            let waves = w.waves().unwrap();
+            let mut level: BTreeMap<String, usize> = BTreeMap::new();
+            for (lvl, wave) in waves.iter().enumerate() {
+                for n in wave {
+                    level.insert(n.clone(), lvl);
+                }
+            }
+            prop_assert_eq!(level.len(), 12, "every node appears in exactly one wave");
+            for (a, b) in &edges {
+                if a < b {
+                    let la = level[&format!("n{a}")];
+                    let lb = level[&format!("n{b}")];
+                    prop_assert!(la < lb, "wave levels for n{}->n{}", a, b);
+                }
+            }
+        }
+
+        /// Back-edges always produce a cycle error.
+        #[test]
+        fn cycles_always_detected(n in 2usize..8) {
+            let mut w = Workflow::new("t");
+            for i in 0..n {
+                w.add(format!("n{i}"), node()).unwrap();
+            }
+            for i in 0..n - 1 {
+                w.control_link(&format!("n{i}"), &format!("n{}", i + 1)).unwrap();
+            }
+            w.control_link(&format!("n{}", n - 1), "n0").unwrap();
+            prop_assert!(matches!(w.topological_order(), Err(WorkflowError::Cyclic(_))));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The processor trait — Taverna's "extensible collection of processors" —
+//! and the execution context shared across an enactment.
+
+use crate::data::Data;
+use crate::{Result, WorkflowError};
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Named inputs handed to a processor invocation.
+pub type Inputs = BTreeMap<String, Data>;
+/// Named outputs produced by a processor invocation.
+pub type Outputs = BTreeMap<String, Data>;
+
+/// Shared, read-only execution context. Services reach stateful resources
+/// (annotation repositories, registries) through here; interior mutability
+/// inside the resources themselves (e.g. `parking_lot` locks) makes them
+/// usable from the wave-parallel enactor.
+#[derive(Clone, Default)]
+pub struct Context {
+    resources: BTreeMap<String, Arc<dyn Any + Send + Sync>>,
+}
+
+impl Context {
+    /// An empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a shared resource under a name.
+    pub fn insert<T: Any + Send + Sync>(&mut self, name: impl Into<String>, resource: Arc<T>) {
+        self.resources.insert(name.into(), resource);
+    }
+
+    /// Fetches a shared resource by name and type.
+    pub fn get<T: Any + Send + Sync>(&self, name: &str) -> Option<Arc<T>> {
+        self.resources
+            .get(name)
+            .and_then(|r| r.clone().downcast::<T>().ok())
+    }
+
+    /// Fetches a resource or produces a uniform execution error.
+    pub fn require<T: Any + Send + Sync>(&self, name: &str, who: &str) -> Result<Arc<T>> {
+        self.get(name).ok_or_else(|| WorkflowError::Execution {
+            processor: who.to_string(),
+            message: format!("required context resource {name:?} is missing or has the wrong type"),
+        })
+    }
+
+    /// Names of all registered resources.
+    pub fn resource_names(&self) -> impl Iterator<Item = &str> {
+        self.resources.keys().map(String::as_str)
+    }
+}
+
+impl std::fmt::Debug for Context {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("resources", &self.resources.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// A workflow processor.
+///
+/// `input_depths` declares the expected nesting depth per input port
+/// (0 = single item, 1 = list, …). When an actual value is *deeper* than
+/// declared, the enactor applies Taverna-style implicit iteration: the
+/// processor is invoked once per element and the outputs are re-wrapped
+/// into a list.
+pub trait Processor: Send + Sync {
+    /// The processor-type name (shown in reports and used by scavenging).
+    fn type_name(&self) -> &str;
+
+    /// Declared input ports with their expected depths.
+    fn input_ports(&self) -> Vec<(String, usize)>;
+
+    /// Declared output ports.
+    fn output_ports(&self) -> Vec<String>;
+
+    /// Executes one invocation.
+    fn execute(&self, inputs: &Inputs, ctx: &Context) -> Result<Outputs>;
+
+    /// Ports that may legally be absent at invocation time.
+    fn optional_ports(&self) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+/// A processor defined by a closure — the quickest way to add adapters and
+/// test fixtures (Taverna's "local workers").
+pub struct FnProcessor {
+    name: String,
+    inputs: Vec<(String, usize)>,
+    outputs: Vec<String>,
+    optional: Vec<String>,
+    #[allow(clippy::type_complexity)]
+    body: Box<dyn Fn(&Inputs, &Context) -> Result<Outputs> + Send + Sync>,
+}
+
+impl FnProcessor {
+    /// Creates a closure-backed processor.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: &[(&str, usize)],
+        outputs: &[&str],
+        body: impl Fn(&Inputs, &Context) -> Result<Outputs> + Send + Sync + 'static,
+    ) -> Self {
+        FnProcessor {
+            name: name.into(),
+            inputs: inputs.iter().map(|(n, d)| (n.to_string(), *d)).collect(),
+            outputs: outputs.iter().map(|s| s.to_string()).collect(),
+            optional: Vec::new(),
+            body: Box::new(body),
+        }
+    }
+
+    /// Marks ports as optional.
+    pub fn with_optional(mut self, ports: &[&str]) -> Self {
+        self.optional = ports.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Convenience: a single-input single-output item processor.
+    pub fn map1(
+        name: impl Into<String>,
+        input: &str,
+        output: &str,
+        f: impl Fn(&Data, &Context) -> Result<Data> + Send + Sync + 'static,
+    ) -> Self {
+        let input_name = input.to_string();
+        let output_name = output.to_string();
+        let name = name.into();
+        let who = name.clone();
+        FnProcessor::new(name, &[(input, 0)], &[output], move |inputs, ctx| {
+            let v = inputs.get(&input_name).ok_or_else(|| WorkflowError::MissingInput {
+                processor: who.clone(),
+                port: input_name.clone(),
+            })?;
+            let out = f(v, ctx)?;
+            Ok(BTreeMap::from([(output_name.clone(), out)]))
+        })
+    }
+}
+
+impl Processor for FnProcessor {
+    fn type_name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_ports(&self) -> Vec<(String, usize)> {
+        self.inputs.clone()
+    }
+
+    fn output_ports(&self) -> Vec<String> {
+        self.outputs.clone()
+    }
+
+    fn execute(&self, inputs: &Inputs, ctx: &Context) -> Result<Outputs> {
+        (self.body)(inputs, ctx)
+    }
+
+    fn optional_ports(&self) -> Vec<String> {
+        self.optional.clone()
+    }
+}
+
+impl std::fmt::Debug for FnProcessor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnProcessor")
+            .field("name", &self.name)
+            .field("inputs", &self.inputs)
+            .field("outputs", &self.outputs)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_typed_resources() {
+        let mut ctx = Context::new();
+        ctx.insert("counter", Arc::new(42u32));
+        assert_eq!(ctx.get::<u32>("counter").as_deref(), Some(&42));
+        assert!(ctx.get::<String>("counter").is_none(), "wrong type");
+        assert!(ctx.get::<u32>("missing").is_none());
+        assert!(ctx.require::<u32>("missing", "p").is_err());
+        assert_eq!(ctx.resource_names().collect::<Vec<_>>(), vec!["counter"]);
+    }
+
+    #[test]
+    fn fn_processor_executes() {
+        let p = FnProcessor::map1("double", "x", "y", |v, _| {
+            Ok(Data::Number(v.as_number().unwrap_or(0.0) * 2.0))
+        });
+        assert_eq!(p.type_name(), "double");
+        let inputs = BTreeMap::from([("x".to_string(), Data::from(21.0))]);
+        let out = p.execute(&inputs, &Context::new()).unwrap();
+        assert_eq!(out["y"], Data::from(42.0));
+    }
+
+    #[test]
+    fn map1_missing_input_errors() {
+        let p = FnProcessor::map1("id", "x", "y", |v, _| Ok(v.clone()));
+        let err = p.execute(&BTreeMap::new(), &Context::new()).unwrap_err();
+        assert!(matches!(err, WorkflowError::MissingInput { .. }));
+    }
+}

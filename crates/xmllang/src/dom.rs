@@ -1,0 +1,241 @@
+//! The XML DOM: elements with attributes and mixed children.
+
+/// One DOM node: either a child element or a run of character data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    Element(Element),
+    Text(String),
+}
+
+impl Node {
+    /// The element inside, if this node is an element.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        }
+    }
+
+    /// The text inside, if this node is character data.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Node::Element(_) => None,
+            Node::Text(t) => Some(t),
+        }
+    }
+}
+
+/// An XML element: name, ordered attributes, ordered children.
+///
+/// Attribute order is preserved (the QV writer emits canonical documents and
+/// tests compare them textually).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    name: String,
+    attributes: Vec<(String, String)>,
+    children: Vec<Node>,
+}
+
+impl Element {
+    /// Creates an element with the given tag name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// The tag name (including any prefix, verbatim).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Builder-style attribute addition.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set_attr(name, value);
+        self
+    }
+
+    /// Builder-style child-element addition.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder-style text-child addition.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Sets (or replaces) an attribute.
+    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self.attributes.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.attributes.push((name, value));
+        }
+    }
+
+    /// Looks up an attribute value.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// An attribute that must be present (useful in deserializers).
+    pub fn required_attr(&self, name: &str) -> Result<&str, String> {
+        self.attr(name)
+            .ok_or_else(|| format!("<{}> is missing required attribute {name:?}", self.name))
+    }
+
+    /// All attributes in document order.
+    pub fn attributes(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.attributes.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Appends a child node.
+    pub fn push(&mut self, node: Node) {
+        self.children.push(node);
+    }
+
+    /// All children in document order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.children
+    }
+
+    /// All child elements in document order.
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// Child elements with a given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.elements().filter(move |e| e.name == name)
+    }
+
+    /// The first child element with a given tag name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.elements().find(|e| e.name == name)
+    }
+
+    /// A child element that must be present (useful in deserializers).
+    pub fn required_child(&self, name: &str) -> Result<&Element, String> {
+        self.child(name)
+            .ok_or_else(|| format!("<{}> is missing required child <{name}>", self.name))
+    }
+
+    /// The concatenated, whitespace-trimmed character data directly under
+    /// this element.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for node in &self.children {
+            if let Node::Text(t) = node {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_string()
+    }
+
+    /// Depth-first search for the first descendant (or self) with the name.
+    pub fn find(&self, name: &str) -> Option<&Element> {
+        if self.name == name {
+            return Some(self);
+        }
+        for e in self.elements() {
+            if let Some(found) = e.find(name) {
+                return Some(found);
+            }
+        }
+        None
+    }
+
+    /// Depth-first collection of every descendant (or self) with the name.
+    pub fn find_all<'a>(&'a self, name: &str, out: &mut Vec<&'a Element>) {
+        if self.name == name {
+            out.push(self);
+        }
+        for e in self.elements() {
+            e.find_all(name, out);
+        }
+    }
+
+    /// Serializes this element as a standalone document string.
+    pub fn to_xml(&self) -> String {
+        crate::writer::write_element(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("QualityView")
+            .with_attr("name", "pmf-filter")
+            .with_child(
+                Element::new("Annotator")
+                    .with_attr("serviceName", "ImprintOutputAnnotator")
+                    .with_child(Element::new("variables").with_attr("persistent", "false")),
+            )
+            .with_child(
+                Element::new("action")
+                    .with_attr("name", "filter top k")
+                    .with_child(
+                        Element::new("filter").with_child(
+                            Element::new("condition").with_text("ScoreClass in q:high"),
+                        ),
+                    ),
+            )
+    }
+
+    #[test]
+    fn navigation() {
+        let e = sample();
+        assert_eq!(e.attr("name"), Some("pmf-filter"));
+        assert_eq!(e.child("Annotator").unwrap().attr("serviceName"), Some("ImprintOutputAnnotator"));
+        assert!(e.child("nope").is_none());
+        let cond = e.find("condition").unwrap();
+        assert_eq!(cond.text(), "ScoreClass in q:high");
+    }
+
+    #[test]
+    fn find_all_collects_descendants() {
+        let doc = sample();
+        let mut hits = Vec::new();
+        doc.find_all("variables", &mut hits);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn set_attr_replaces() {
+        let mut e = Element::new("x");
+        e.set_attr("k", "1");
+        e.set_attr("k", "2");
+        assert_eq!(e.attr("k"), Some("2"));
+        assert_eq!(e.attributes().count(), 1);
+    }
+
+    #[test]
+    fn required_helpers_report_context() {
+        let e = Element::new("Annotator");
+        let err = e.required_attr("serviceName").unwrap_err();
+        assert!(err.contains("Annotator") && err.contains("serviceName"));
+        let err = e.required_child("variables").unwrap_err();
+        assert!(err.contains("variables"));
+    }
+
+    #[test]
+    fn text_trims_and_concatenates() {
+        let mut e = Element::new("c");
+        e.push(Node::Text("  a ".into()));
+        e.push(Node::Element(Element::new("skip")));
+        e.push(Node::Text("b  ".into()));
+        assert_eq!(e.text(), "a b");
+    }
+}

@@ -1,0 +1,54 @@
+//! # qurator-xml
+//!
+//! A dependency-free XML subset parser/writer for the Qurator quality-view
+//! language (reproduction of *Quality Views*, VLDB 2006, §5.1).
+//!
+//! Quality views are authored in a concrete XML syntax (`<QualityView>`,
+//! `<Annotator>`, `<QualityAssertion>`, `<action>`, …). This crate supplies
+//! the syntax layer: a strict single-pass parser producing a small DOM
+//! ([`Element`]/[`Node`]), a pretty-printing writer, and navigation helpers.
+//!
+//! Supported XML: elements, attributes (single- or double-quoted), text,
+//! comments, processing instructions (skipped), CDATA sections, and the five
+//! predefined entities plus decimal/hex character references. Not supported
+//! (not needed by the QV language): DTDs, namespaces-as-scoping (prefixes
+//! are kept verbatim in names), and mixed-content preservation of
+//! insignificant whitespace.
+//!
+//! ```
+//! use qurator_xml::parse;
+//!
+//! let doc = parse(r#"<filter><condition>score &gt; 20</condition></filter>"#).unwrap();
+//! assert_eq!(doc.name(), "filter");
+//! assert_eq!(doc.child("condition").unwrap().text(), "score > 20");
+//! ```
+
+mod dom;
+mod parser;
+mod writer;
+
+pub use dom::{Element, Node};
+pub use parser::parse;
+pub use writer::{escape_attr, escape_text, write_document, write_element};
+
+/// Errors from XML parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// 1-based column of the offending input.
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "xml error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, XmlError>;

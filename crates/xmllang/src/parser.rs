@@ -1,0 +1,395 @@
+//! The XML parser: a single-pass recursive-descent parser producing the DOM.
+
+use crate::dom::{Element, Node};
+use crate::{Result, XmlError};
+
+/// Parses a complete document and returns its root element.
+///
+/// Leading XML declarations (`<?xml … ?>`), comments and whitespace are
+/// skipped; trailing non-whitespace content is an error.
+pub fn parse(input: &str) -> Result<Element> {
+    let mut p = Parser::new(input);
+    p.skip_misc();
+    let root = p.parse_element()?;
+    p.skip_misc();
+    if p.peek().is_some() {
+        return Err(p.err("content after document element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    line_start: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src, bytes: src.as_bytes(), pos: 0, line: 1, line_start: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError {
+            line: self.line,
+            col: self.pos.saturating_sub(self.line_start) + 1,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+        }
+        Some(c)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s)
+    }
+
+    fn skip_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Skips whitespace, comments, PIs and the XML declaration.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_comment();
+            } else if self.starts_with("<?") {
+                self.skip_pi();
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) {
+        self.skip_n(4);
+        while self.peek().is_some() && !self.starts_with("-->") {
+            self.bump();
+        }
+        self.skip_n(3);
+    }
+
+    fn skip_pi(&mut self) {
+        self.skip_n(2);
+        while self.peek().is_some() && !self.starts_with("?>") {
+            self.bump();
+        }
+        self.skip_n(2);
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ok = c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':');
+            // names must not start with a digit, '-' or '.'
+            if ok && !(self.pos == start && (c.is_ascii_digit() || c == b'-' || c == b'.')) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn parse_element(&mut self) -> Result<Element> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.bump();
+        let name = self.parse_name()?;
+        let mut element = Element::new(&name);
+
+        // attributes
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.bump();
+                    break;
+                }
+                Some(b'/') => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        return Ok(element); // self-closing
+                    }
+                    return Err(self.err("expected '>' after '/'"));
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err(format!("expected '=' after attribute {attr_name:?}")));
+                    }
+                    self.bump();
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err("expected quoted attribute value")),
+                    };
+                    self.bump();
+                    let mut value = String::new();
+                    loop {
+                        match self.peek() {
+                            Some(c) if c == quote => {
+                                self.bump();
+                                break;
+                            }
+                            Some(b'&') => value.push_str(&self.parse_entity()?),
+                            Some(b'<') => return Err(self.err("'<' in attribute value")),
+                            Some(_) => {
+                                let (s, e) = self.take_utf8_char();
+                                value.push_str(&self.src[s..e]);
+                            }
+                            None => return Err(self.err("unterminated attribute value")),
+                        }
+                    }
+                    if element.attr(&attr_name).is_some() {
+                        return Err(self.err(format!("duplicate attribute {attr_name:?}")));
+                    }
+                    element.set_attr(attr_name, value);
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+
+        // content
+        loop {
+            if self.starts_with("</") {
+                self.skip_n(2);
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(self.err(format!("mismatched end tag: expected </{name}>, found </{close}>")));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected '>' in end tag"));
+                }
+                self.bump();
+                return Ok(element);
+            }
+            if self.starts_with("<!--") {
+                self.skip_comment();
+                continue;
+            }
+            if self.starts_with("<![CDATA[") {
+                self.skip_n(9);
+                let start = self.pos;
+                while self.peek().is_some() && !self.starts_with("]]>") {
+                    self.bump();
+                }
+                if self.peek().is_none() {
+                    return Err(self.err("unterminated CDATA section"));
+                }
+                element.push(Node::Text(self.src[start..self.pos].to_string()));
+                self.skip_n(3);
+                continue;
+            }
+            if self.starts_with("<?") {
+                self.skip_pi();
+                continue;
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    let child = self.parse_element()?;
+                    element.push(Node::Element(child));
+                }
+                Some(_) => {
+                    let mut text = String::new();
+                    while let Some(c) = self.peek() {
+                        if c == b'<' {
+                            break;
+                        }
+                        if c == b'&' {
+                            text.push_str(&self.parse_entity()?);
+                        } else {
+                            let (s, e) = self.take_utf8_char();
+                            text.push_str(&self.src[s..e]);
+                        }
+                    }
+                    // Whitespace around text runs is insignificant in the QV
+                    // language; trim it so pretty-printed documents round-trip.
+                    let trimmed = text.trim();
+                    if !trimmed.is_empty() {
+                        element.push(Node::Text(trimmed.to_string()));
+                    }
+                }
+                None => return Err(self.err(format!("unterminated element <{name}>"))),
+            }
+        }
+    }
+
+    /// Consumes one (possibly multi-byte) character, returning its byte span.
+    fn take_utf8_char(&mut self) -> (usize, usize) {
+        let start = self.pos;
+        self.bump();
+        while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+            self.pos += 1;
+        }
+        (start, self.pos)
+    }
+
+    fn parse_entity(&mut self) -> Result<String> {
+        // consumes '&'
+        self.bump();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b';' {
+                let name = &self.src[start..self.pos];
+                self.bump();
+                return match name {
+                    "lt" => Ok("<".into()),
+                    "gt" => Ok(">".into()),
+                    "amp" => Ok("&".into()),
+                    "quot" => Ok("\"".into()),
+                    "apos" => Ok("'".into()),
+                    _ if name.starts_with("#x") || name.starts_with("#X") => {
+                        let cp = u32::from_str_radix(&name[2..], 16)
+                            .map_err(|_| self.err(format!("bad character reference &{name};")))?;
+                        char::from_u32(cp)
+                            .map(|c| c.to_string())
+                            .ok_or_else(|| self.err(format!("invalid code point &{name};")))
+                    }
+                    _ if name.starts_with('#') => {
+                        let cp = name[1..]
+                            .parse::<u32>()
+                            .map_err(|_| self.err(format!("bad character reference &{name};")))?;
+                        char::from_u32(cp)
+                            .map(|c| c.to_string())
+                            .ok_or_else(|| self.err(format!("invalid code point &{name};")))
+                    }
+                    _ => Err(self.err(format!("unknown entity &{name};"))),
+                };
+            }
+            if self.pos - start > 10 {
+                break;
+            }
+            self.bump();
+        }
+        Err(self.err("unterminated entity reference"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_qv_fragment_from_paper() {
+        // A fragment lifted from §5.1 of the paper.
+        let doc = parse(
+            r#"<Annotator serviceName="ImprintOutputAnnotator"
+                          serviceType="imprint-output-annotation">
+                 <variables repositoryRef="cache" persistent="false">
+                   <var evidence="q:coverage"/>
+                   <var evidence="q:masses"/>
+                 </variables>
+               </Annotator>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.name(), "Annotator");
+        assert_eq!(doc.attr("serviceType"), Some("imprint-output-annotation"));
+        let vars = doc.child("variables").unwrap();
+        assert_eq!(vars.attr("persistent"), Some("false"));
+        assert_eq!(vars.children_named("var").count(), 2);
+    }
+
+    #[test]
+    fn entities_and_character_refs() {
+        let doc = parse(r#"<c a="x&amp;y&#33;">1 &lt; 2 &gt; 0 &#x41;</c>"#).unwrap();
+        assert_eq!(doc.attr("a"), Some("x&y!"));
+        assert_eq!(doc.text(), "1 < 2 > 0 A");
+    }
+
+    #[test]
+    fn condition_with_comparison_operators() {
+        // The QV action language is embedded in text content; angle brackets
+        // must be escapable.
+        let doc = parse("<condition>ScoreClass in q:high, q:mid and HR_MC &gt; 20</condition>").unwrap();
+        assert_eq!(doc.text(), "ScoreClass in q:high, q:mid and HR_MC > 20");
+    }
+
+    #[test]
+    fn xml_decl_comments_cdata() {
+        let doc = parse(
+            "<?xml version=\"1.0\"?>\n<!-- top -->\n<r><![CDATA[a < b && c]]><!-- in --><x/></r>",
+        )
+        .unwrap();
+        assert_eq!(doc.text(), "a < b && c");
+        assert!(doc.child("x").is_some());
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let doc = parse("<a k='v \"quoted\"'/>").unwrap();
+        assert_eq!(doc.attr("k"), Some("v \"quoted\""));
+    }
+
+    #[test]
+    fn unicode_content() {
+        let doc = parse("<p>protéine αβγ – ≤ 3</p>").unwrap();
+        assert_eq!(doc.text(), "protéine αβγ – ≤ 3");
+    }
+
+    #[test]
+    fn error_mismatched_tags() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn error_duplicate_attribute() {
+        assert!(parse(r#"<a k="1" k="2"/>"#).unwrap_err().message.contains("duplicate"));
+    }
+
+    #[test]
+    fn error_trailing_content() {
+        assert!(parse("<a/><b/>").unwrap_err().message.contains("after document element"));
+    }
+
+    #[test]
+    fn error_positions_are_tracked() {
+        let err = parse("<a>\n  <b>\n</a>").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn error_unknown_entity() {
+        assert!(parse("<a>&nbsp;</a>").is_err());
+    }
+
+    #[test]
+    fn whitespace_between_elements_is_dropped() {
+        let doc = parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(doc.nodes().len(), 2);
+    }
+}

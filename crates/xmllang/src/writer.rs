@@ -1,0 +1,186 @@
+//! The XML writer: canonical pretty-printed output.
+
+use crate::dom::{Element, Node};
+use std::fmt::Write as _;
+
+/// Escapes character data for element content.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes an element (pretty-printed, 2-space indent).
+pub fn write_element(root: &Element) -> String {
+    let mut out = String::new();
+    write_node(&mut out, root, 0);
+    out
+}
+
+/// Serializes an element with an XML declaration header.
+pub fn write_document(root: &Element) -> String {
+    format!("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n{}", write_element(root))
+}
+
+fn write_node(out: &mut String, e: &Element, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let _ = write!(out, "{indent}<{}", e.name());
+    for (name, value) in e.attributes() {
+        let _ = write!(out, " {name}=\"{}\"", escape_attr(value));
+    }
+    let nodes = e.nodes();
+    if nodes.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    // Text-only elements stay on one line.
+    if nodes.iter().all(|n| matches!(n, Node::Text(_))) {
+        out.push('>');
+        for n in nodes {
+            if let Node::Text(t) = n {
+                out.push_str(&escape_text(t));
+            }
+        }
+        let _ = writeln!(out, "</{}>", e.name());
+        return;
+    }
+    out.push_str(">\n");
+    for n in nodes {
+        match n {
+            Node::Element(child) => write_node(out, child, depth + 1),
+            Node::Text(t) => {
+                let t = t.trim();
+                if !t.is_empty() {
+                    let _ = writeln!(out, "{indent}  {}", escape_text(t));
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "{indent}</{}>", e.name());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn roundtrip_simple() {
+        let e = Element::new("QualityView")
+            .with_attr("name", "v1")
+            .with_child(
+                Element::new("condition").with_text("ScoreClass in q:high and HR_MC > 20"),
+            )
+            .with_child(Element::new("empty"));
+        let xml = write_element(&e);
+        let back = parse(&xml).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn escaping_in_both_positions() {
+        let e = Element::new("c")
+            .with_attr("a", "x & \"y\" < z")
+            .with_text("1 < 2 & 3 > 0");
+        let xml = write_element(&e);
+        assert!(xml.contains("&amp;"));
+        assert!(xml.contains("&lt;"));
+        let back = parse(&xml).unwrap();
+        assert_eq!(back.attr("a"), Some("x & \"y\" < z"));
+        assert_eq!(back.text(), "1 < 2 & 3 > 0");
+    }
+
+    #[test]
+    fn document_header() {
+        let e = Element::new("r");
+        assert!(write_document(&e).starts_with("<?xml version=\"1.0\""));
+    }
+
+    #[test]
+    fn pretty_printing_is_stable() {
+        let xml = "<a><b k=\"1\"><c>t</c></b></a>";
+        let once = write_element(&parse(xml).unwrap());
+        let twice = write_element(&parse(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::dom::Element;
+    use crate::parse;
+    use proptest::prelude::*;
+
+    fn arb_name() -> impl Strategy<Value = String> {
+        "[a-zA-Z][a-zA-Z0-9_.-]{0,10}"
+    }
+
+    fn arb_element(depth: u32) -> BoxedStrategy<Element> {
+        let leaf = (
+            arb_name(),
+            proptest::collection::vec((arb_name(), "[ -~]{0,16}"), 0..3),
+            proptest::option::of("[ -~]{1,20}"),
+        )
+            .prop_map(|(name, attrs, text)| {
+                let mut e = Element::new(name);
+                for (k, v) in attrs {
+                    e.set_attr(k, v);
+                }
+                if let Some(t) = text {
+                    if !t.trim().is_empty() {
+                        e = e.with_text(t.trim().to_string());
+                    }
+                }
+                e
+            });
+        if depth == 0 {
+            leaf.boxed()
+        } else {
+            (
+                leaf,
+                proptest::collection::vec(arb_element(depth - 1), 0..3),
+            )
+                .prop_map(|(mut e, children)| {
+                    for c in children {
+                        e = e.with_child(c);
+                    }
+                    e
+                })
+                .boxed()
+        }
+    }
+
+    proptest! {
+        /// write ∘ parse is the identity, modulo duplicate-attribute
+        /// collapsing done by the generator itself.
+        #[test]
+        fn writer_parser_roundtrip(e in arb_element(3)) {
+            let xml = write_element(&e);
+            let back = parse(&xml).unwrap();
+            prop_assert_eq!(back, e, "xml was:\n{}", xml);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Persistent annotations: the Uniprot evidence-code use case (§4).
+//!
+//! "When the quality process involves querying a database with stable
+//! data … the quality annotations are likely to be long-lived and can be
+//! made persistent. Take for instance the Uniprot database; a measure of
+//! credibility of a functional annotation made by a Uniprot curator …
+//! is bound to be long-lived."
+//!
+//! This example annotates proteins with the mean credibility of their GOA
+//! evidence codes (the reliability indicator of the paper's ref [16]),
+//! stores the annotations in a **persistent** repository, serializes that
+//! repository to Turtle, reloads it into a fresh engine, and runs a
+//! quality view that never recomputes the credibility — pure Data
+//! Enrichment from the warm store.
+//!
+//! ```sh
+//! cargo run --example evidence_codes
+//! ```
+
+use qurator::prelude::*;
+use qurator_proteomics::{World, WorldConfig};
+use qurator_rdf::namespace::q;
+use qurator_rdf::term::Term;
+use std::sync::Arc;
+
+fn protein_term(accession: &str) -> Term {
+    Term::iri(format!("urn:lsid:uniprot.org:uniprot:{accession}"))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let world = World::generate(&WorldConfig::paper_scale(11))?;
+
+    // -- 1. extend the IQ model with the credibility evidence type
+    let mut iq = qurator_ontology::IqModel::with_proteomics_extension()?;
+    iq.register_evidence_type("CuratorCredibility", None)?;
+    let engine = QualityEngine::new(iq);
+    engine.register_assertion_service(Arc::new(qurator_services::stdlib::ZScoreAssertion::new(
+        q::iri("UniversalPIScore"),
+        &["cred"],
+    )))?;
+
+    // -- 2. offline batch: compute evidence-code credibility for the whole
+    //    proteome and persist it (this is the long-lived annotation pass),
+    //    using the reusable GoaCredibilityAnnotator component
+    let uniprot = engine.catalog().create("uniprot", true)?;
+    let annotator =
+        qurator_repro::GoaCredibilityAnnotator::new(Arc::new(world.goa.clone()));
+    let annotated = annotator.annotate_proteome(&world.proteome, &uniprot)?;
+    println!("persisted credibility for {annotated} proteins ({} triples)", uniprot.triple_count());
+
+    // -- 3. serialize ... and reload into a brand new engine
+    let turtle = uniprot.export_turtle();
+    println!("turtle snapshot: {} bytes", turtle.len());
+
+    let mut iq2 = qurator_ontology::IqModel::with_proteomics_extension()?;
+    iq2.register_evidence_type("CuratorCredibility", None)?;
+    let engine2 = QualityEngine::new(iq2);
+    engine2.register_assertion_service(Arc::new(
+        qurator_services::stdlib::ZScoreAssertion::new(q::iri("UniversalPIScore"), &["cred"]),
+    ))?;
+    let warm = engine2.catalog().create("uniprot", true)?;
+    warm.import_turtle(&turtle)?;
+    println!("reloaded {} triples into a fresh engine", warm.triple_count());
+
+    // -- 4. a view with NO annotators: evidence comes from the warm store
+    let view = qurator::xmlio::parse_quality_view(
+        r#"
+        <QualityView name="credibility-gate">
+          <QualityAssertion serviceName="credscore" serviceType="q:UniversalPIScore"
+                            tagName="CRED" tagSynType="q:score">
+            <variables repositoryRef="uniprot">
+              <var variableName="cred" evidence="q:CuratorCredibility"/>
+            </variables>
+          </QualityAssertion>
+          <action name="well-curated">
+            <filter><condition>CuratorCredibility &gt;= 0.7</condition></filter>
+          </action>
+        </QualityView>"#,
+    )?;
+
+    // -- 5. gate the proteins identified in the first two spots
+    let mut dataset = DataSet::new();
+    for peak_list in world.peak_lists().iter().take(2) {
+        for hit in world.imprint.search(peak_list) {
+            dataset.push(protein_term(&hit.accession), [] as [(String, EvidenceValue); 0]);
+        }
+    }
+    let outcome = engine2.execute_view(&view, &dataset)?;
+    let kept = outcome.group("well-curated").unwrap();
+    println!(
+        "\n{} of {} identified proteins have mean evidence-code credibility >= 0.7",
+        kept.dataset.len(),
+        dataset.len()
+    );
+    for item in kept.dataset.items().iter().take(8) {
+        let cred = kept
+            .map
+            .item(item)
+            .map(|r| r.evidence(&q::iri("CuratorCredibility")))
+            .unwrap_or(EvidenceValue::Null);
+        println!("  {:<44} credibility {}", item.as_iri().unwrap().local_name(), cred);
+    }
+
+    assert!(kept.dataset.len() <= dataset.len());
+    assert!(warm.is_persistent());
+    Ok(())
+}

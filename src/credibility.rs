@@ -1,0 +1,238 @@
+//! The evidence-code credibility annotation function (paper §3/§4 and
+//! ref \[16\]): a reusable annotator that scores protein accessions by the
+//! mean credibility of their GOA evidence codes.
+//!
+//! This is the paper's canonical *persistent* annotation: "a measure of
+//! credibility of a functional annotation made by a Uniprot curator,
+//! whether based on the evidence codes to which we alluded earlier or
+//! other evidence, is bound to be long-lived". Deploy it once against a
+//! persistent repository and let quality views enrich from it.
+
+use qurator_proteomics::goa::GoaDb;
+use qurator_rdf::lsid::LsidAuthority;
+use qurator_rdf::namespace::q;
+use qurator_rdf::term::{Iri, Term};
+use qurator_services::{AnnotationService, DataSet};
+use std::sync::Arc;
+
+/// The evidence type this annotator provides. Register it in the IQ model
+/// with [`register_credibility_evidence`] before use.
+pub fn curator_credibility() -> Iri {
+    q::iri("CuratorCredibility")
+}
+
+/// Registers the `q:CuratorCredibility` evidence type and the
+/// `q:GoaCredibilityAnnotation` function class in an IQ model.
+pub fn register_credibility_evidence(
+    iq: &mut qurator_ontology::IqModel,
+) -> qurator_ontology::Result<()> {
+    iq.register_evidence_type("CuratorCredibility", None)?;
+    iq.register_annotation_function("GoaCredibilityAnnotation")?;
+    Ok(())
+}
+
+/// Annotates items with the mean credibility of their GOA evidence codes.
+///
+/// Items are expected to be LSID-wrapped protein accessions
+/// (`urn:lsid:uniprot.org:uniprot:P30089`) or to carry an `accession`
+/// payload field (the Imprint hit-entry shape); both are tried, payload
+/// first. Items with no GOA coverage are left unannotated (null evidence).
+pub struct GoaCredibilityAnnotator {
+    goa: Arc<GoaDb>,
+}
+
+impl GoaCredibilityAnnotator {
+    /// Builds the annotator over a GOA database.
+    pub fn new(goa: Arc<GoaDb>) -> Self {
+        GoaCredibilityAnnotator { goa }
+    }
+
+    /// Bulk-annotates an entire proteome into a (persistent) repository —
+    /// the offline batch pass of the §4 scenario. Returns how many
+    /// proteins were annotated.
+    pub fn annotate_proteome(
+        &self,
+        proteome: &qurator_proteomics::Proteome,
+        repository: &qurator_annotations::AnnotationRepository,
+    ) -> qurator_services::Result<usize> {
+        let authority = LsidAuthority::new("uniprot.org", "uniprot");
+        let mut annotated = 0;
+        for protein in proteome.proteins() {
+            if let Some(credibility) = self.goa.mean_credibility(&protein.accession) {
+                repository.annotate(
+                    &authority.term(&protein.accession),
+                    &curator_credibility(),
+                    credibility.into(),
+                )?;
+                annotated += 1;
+            }
+        }
+        Ok(annotated)
+    }
+
+    /// Candidate accessions for an item, most specific first: the payload
+    /// `accession` field, the full LSID object, then the object with one
+    /// leading `spot.` prefix removed (accessions themselves may contain
+    /// dots, e.g. versioned ones, so we never split from the right).
+    fn accession_candidates(dataset: &DataSet, item: &Term) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some(a) = dataset.field(item, "accession").as_text() {
+            out.push(a.to_string());
+        }
+        if let Some(iri) = item.as_iri() {
+            if let Ok(lsid) = qurator_rdf::lsid::Lsid::parse(iri.as_str()) {
+                let object = lsid.object();
+                out.push(object.to_string());
+                if let Some((_, rest)) = object.split_once('.') {
+                    out.push(rest.to_string());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl AnnotationService for GoaCredibilityAnnotator {
+    fn service_type(&self) -> Iri {
+        q::iri("GoaCredibilityAnnotation")
+    }
+
+    fn provides(&self) -> Vec<Iri> {
+        vec![curator_credibility()]
+    }
+
+    fn annotate(
+        &self,
+        data: &DataSet,
+        repository: &qurator_annotations::AnnotationRepository,
+    ) -> qurator_services::Result<usize> {
+        let mut written = 0;
+        for item in data.items() {
+            let credibility = Self::accession_candidates(data, item)
+                .into_iter()
+                .find_map(|accession| self.goa.mean_credibility(&accession));
+            if let Some(credibility) = credibility {
+                repository.annotate(item, &curator_credibility(), credibility.into())?;
+                written += 1;
+            }
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qurator_annotations::{AnnotationRepository, EvidenceValue};
+    use qurator_proteomics::{World, WorldConfig};
+
+    fn setup() -> (World, Arc<qurator_ontology::IqModel>) {
+        let world = World::generate(&WorldConfig::paper_scale(5)).unwrap();
+        let mut iq = qurator_ontology::IqModel::with_proteomics_extension().unwrap();
+        register_credibility_evidence(&mut iq).unwrap();
+        (world, Arc::new(iq))
+    }
+
+    #[test]
+    fn annotates_by_payload_accession_and_by_lsid() {
+        let (world, iq) = setup();
+        let goa = Arc::new(world.goa.clone());
+        let annotator = GoaCredibilityAnnotator::new(goa.clone());
+        let repo = AnnotationRepository::new("cache", false, iq);
+
+        let accession = &world.proteome.proteins()[0].accession;
+        let mut data = DataSet::new();
+        // payload-carrying item (Imprint hit shape, spot-prefixed LSID)
+        let hit_item = Term::iri(format!("urn:lsid:pedro.man.ac.uk:hit:spot-00.{accession}"));
+        data.push(hit_item.clone(), [("accession", EvidenceValue::from(accession.as_str()))]);
+        // bare LSID item
+        let bare_item = Term::iri(format!("urn:lsid:uniprot.org:uniprot:{accession}"));
+        data.push(bare_item.clone(), [] as [(String, EvidenceValue); 0]);
+        // unknown item: skipped, not an error
+        data.push(Term::iri("urn:lsid:uniprot.org:uniprot:ZZZZZ"), [] as [(String, EvidenceValue); 0]);
+
+        let written = annotator.annotate(&data, &repo).unwrap();
+        assert_eq!(written, 2);
+        let expected = goa.mean_credibility(accession).unwrap();
+        for item in [&hit_item, &bare_item] {
+            assert_eq!(
+                repo.lookup(item, &curator_credibility()).unwrap(),
+                EvidenceValue::Number(expected)
+            );
+        }
+    }
+
+    #[test]
+    fn lsid_fallback_strips_spot_prefix() {
+        let (world, iq) = setup();
+        let annotator = GoaCredibilityAnnotator::new(Arc::new(world.goa.clone()));
+        let repo = AnnotationRepository::new("cache", false, iq);
+        let accession = &world.proteome.proteins()[3].accession;
+        let item = Term::iri(format!("urn:lsid:pedro.man.ac.uk:hit:spot-07.{accession}"));
+        let data = DataSet::from_items([item.clone()]);
+        assert_eq!(annotator.annotate(&data, &repo).unwrap(), 1);
+        assert!(!repo.lookup(&item, &curator_credibility()).unwrap().is_null());
+    }
+
+    #[test]
+    fn proteome_batch_pass() {
+        let (world, iq) = setup();
+        let annotator = GoaCredibilityAnnotator::new(Arc::new(world.goa.clone()));
+        let repo = AnnotationRepository::new("uniprot", true, iq);
+        let annotated = annotator.annotate_proteome(&world.proteome, &repo).unwrap();
+        assert_eq!(annotated, world.proteome.len(), "GOA covers the whole synthetic proteome");
+        assert_eq!(repo.triple_count(), 3 * annotated);
+    }
+
+    #[test]
+    fn usable_inside_a_quality_view() {
+        use qurator::prelude::*;
+        let (world, _) = setup();
+        let mut iq = qurator_ontology::IqModel::with_proteomics_extension().unwrap();
+        register_credibility_evidence(&mut iq).unwrap();
+        let engine = QualityEngine::new(iq);
+        engine
+            .register_annotation_service(Arc::new(GoaCredibilityAnnotator::new(Arc::new(
+                world.goa.clone(),
+            ))))
+            .unwrap();
+        engine
+            .register_assertion_service(Arc::new(qurator_services::stdlib::ZScoreAssertion::new(
+                qurator_rdf::namespace::q::iri("UniversalPIScore"),
+                &["cred"],
+            )))
+            .unwrap();
+        let view = qurator::xmlio::parse_quality_view(
+            r#"
+            <QualityView name="cred-gate">
+              <Annotator serviceName="goacred" serviceType="q:GoaCredibilityAnnotation">
+                <variables repositoryRef="cache" persistent="false">
+                  <var evidence="q:CuratorCredibility"/>
+                </variables>
+              </Annotator>
+              <QualityAssertion serviceName="score" serviceType="q:UniversalPIScore"
+                                tagName="Z" tagSynType="q:score">
+                <variables repositoryRef="cache">
+                  <var variableName="cred" evidence="q:CuratorCredibility"/>
+                </variables>
+              </QualityAssertion>
+              <action name="trusted">
+                <filter><condition>CuratorCredibility &gt;= 0.7</condition></filter>
+              </action>
+            </QualityView>"#,
+        )
+        .unwrap();
+        let authority = LsidAuthority::new("uniprot.org", "uniprot");
+        let dataset = DataSet::from_items(
+            world
+                .proteome
+                .proteins()
+                .iter()
+                .take(30)
+                .map(|p| authority.term(&p.accession)),
+        );
+        let outcome = engine.execute_view(&view, &dataset).unwrap();
+        let kept = &outcome.group("trusted").unwrap().dataset;
+        assert!(!kept.is_empty() && kept.len() < 30);
+    }
+}

@@ -1,0 +1,20 @@
+//! # qurator-repro
+//!
+//! Umbrella crate of the *Quality Views* (VLDB 2006) reproduction: wires
+//! the proteomics testbed to the Qurator quality framework and packages
+//! the ISPIDER experiment of §6.3 (Figure 7) as a reusable library used
+//! by the examples, the integration tests and the benchmark harness.
+//!
+//! The pipeline mirrors Figure 1 + Figure 6 of the paper:
+//!
+//! ```text
+//! PEDRo peak lists ─▶ Imprint PMF ─▶ [quality view] ─▶ GOA lookup ─▶ GO term ranking
+//! ```
+
+pub mod credibility;
+pub mod ispider;
+
+pub use credibility::GoaCredibilityAnnotator;
+pub use ispider::{
+    significance_ranking, GoTermStats, IspiderPipeline, PipelineOutput, SignificanceRow,
+};

@@ -1,0 +1,132 @@
+//! Persistence integration: Turtle round-trips of annotation
+//! repositories, cache clearing between executions, and the warm-store
+//! execution path (§4's persistent-annotation scenario).
+
+use qurator::prelude::*;
+use qurator::spec::{ActionDecl, ActionKind, AssertionDecl, TagKind, VarDecl};
+use qurator_rdf::namespace::q;
+use qurator_rdf::term::Term;
+use std::sync::Arc;
+
+fn item(n: u32) -> Term {
+    Term::iri(format!("urn:lsid:uniprot.org:uniprot:P{n:05}"))
+}
+
+/// A view with no annotators: all evidence must come from the repository.
+fn enrichment_only_view(repo: &str) -> QualityViewSpec {
+    let mut spec = QualityViewSpec::new("warm");
+    spec.assertions.push(AssertionDecl {
+        service_name: "score".into(),
+        service_type: "q:UniversalPIScore".into(),
+        tag_name: "S".into(),
+        tag_kind: TagKind::Score,
+        tag_sem_type: None,
+        repository_ref: repo.into(),
+        variables: vec![VarDecl::named("hitratio", "q:HitRatio")],
+    });
+    spec.actions.push(ActionDecl {
+        name: "keep".into(),
+        kind: ActionKind::Filter { condition: "S > 0".into() },
+    });
+    spec
+}
+
+#[test]
+fn turtle_snapshot_restores_execution_behaviour() {
+    // engine A: populate a persistent repository and run
+    let engine_a = QualityEngine::with_proteomics_defaults().expect("engine");
+    let uniprot_a = engine_a.catalog().create("uniprot", true).expect("create");
+    for i in 0..20u32 {
+        uniprot_a
+            .annotate(&item(i), &q::iri("HitRatio"), (i as f64 / 20.0).into())
+            .expect("annotate");
+    }
+    let dataset = DataSet::from_items((0..20).map(item));
+    let view = enrichment_only_view("uniprot");
+    let outcome_a = engine_a.execute_view(&view, &dataset).expect("runs");
+
+    // snapshot → engine B
+    let turtle = uniprot_a.export_turtle();
+    let engine_b = QualityEngine::with_proteomics_defaults().expect("engine");
+    let uniprot_b = engine_b.catalog().create("uniprot", true).expect("create");
+    uniprot_b.import_turtle(&turtle).expect("import");
+    let outcome_b = engine_b.execute_view(&view, &dataset).expect("runs");
+
+    assert_eq!(outcome_a, outcome_b);
+    assert_eq!(uniprot_a.triple_count(), uniprot_b.triple_count());
+}
+
+#[test]
+fn cache_clearing_isolates_executions() {
+    let engine = QualityEngine::with_proteomics_defaults().expect("engine");
+    let dataset = {
+        let mut ds = DataSet::new();
+        for i in 0..5u32 {
+            ds.push(
+                item(i),
+                [
+                    ("hitRatio", EvidenceValue::from(0.2 * i as f64)),
+                    ("massCoverage", EvidenceValue::from(8.0 * i as f64)),
+                    ("peptidesCount", EvidenceValue::from(i as i64)),
+                ],
+            );
+        }
+        ds
+    };
+    engine
+        .execute_view(&QualityViewSpec::paper_example(), &dataset)
+        .expect("runs");
+    let cache = engine.catalog().get("cache").expect("created by run");
+    assert!(cache.triple_count() > 0, "annotations written");
+    assert!(!cache.is_persistent());
+    let cleared = engine.finish_execution();
+    assert_eq!(cleared, 1);
+    assert_eq!(cache.triple_count(), 0, "cache dropped between executions");
+}
+
+#[test]
+fn persistent_repositories_survive_finish_execution() {
+    let engine = QualityEngine::with_proteomics_defaults().expect("engine");
+    let uniprot = engine.catalog().create("uniprot", true).expect("create");
+    uniprot
+        .annotate(&item(1), &q::iri("HitRatio"), 0.9.into())
+        .expect("annotate");
+    engine.finish_execution();
+    assert_eq!(uniprot.triple_count(), 3);
+}
+
+#[test]
+fn stale_warm_store_yields_nulls_not_errors() {
+    // items never annotated: enrichment yields nulls, the score QA tags
+    // Null, the filter rejects — no failures anywhere
+    let engine = QualityEngine::with_proteomics_defaults().expect("engine");
+    engine.catalog().create("uniprot", true).expect("create");
+    let dataset = DataSet::from_items((100..105).map(item));
+    let outcome = engine
+        .execute_view(&enrichment_only_view("uniprot"), &dataset)
+        .expect("runs");
+    assert!(outcome.groups[0].dataset.is_empty());
+}
+
+#[test]
+fn concurrent_views_share_one_persistent_repository() {
+    let engine = Arc::new(QualityEngine::with_proteomics_defaults().expect("engine"));
+    let uniprot = engine.catalog().create("uniprot", true).expect("create");
+    for i in 0..50u32 {
+        uniprot
+            .annotate(&item(i), &q::iri("HitRatio"), (i as f64).into())
+            .expect("annotate");
+    }
+    let view = enrichment_only_view("uniprot");
+    std::thread::scope(|scope| {
+        for worker in 0..4u32 {
+            let engine = engine.clone();
+            let view = view.clone();
+            scope.spawn(move || {
+                let dataset = DataSet::from_items((worker * 10..worker * 10 + 10).map(item));
+                let outcome = engine.execute_view(&view, &dataset).expect("runs");
+                assert_eq!(outcome.groups.len(), 1);
+            });
+        }
+    });
+}
