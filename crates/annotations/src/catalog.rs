@@ -58,8 +58,7 @@ impl RepositoryCatalog {
 
     /// Looks a repository up, erroring with the QV-validation message.
     pub fn require(&self, name: &str) -> Result<Arc<AnnotationRepository>> {
-        self.get(name)
-            .ok_or_else(|| AnnotationError::UnknownRepository(name.to_string()))
+        self.get(name).ok_or_else(|| AnnotationError::UnknownRepository(name.to_string()))
     }
 
     /// Clears every non-persistent repository; returns how many were
@@ -84,9 +83,7 @@ impl RepositoryCatalog {
 
 impl std::fmt::Debug for RepositoryCatalog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RepositoryCatalog")
-            .field("repositories", &self.names())
-            .finish()
+        f.debug_struct("RepositoryCatalog").field("repositories", &self.names()).finish()
     }
 }
 
@@ -107,14 +104,8 @@ mod tests {
         c.create("uniprot", true).unwrap();
         assert!(c.get("cache").is_some());
         assert!(c.require("uniprot").is_ok());
-        assert!(matches!(
-            c.require("nope"),
-            Err(AnnotationError::UnknownRepository(_))
-        ));
-        assert!(matches!(
-            c.create("cache", true),
-            Err(AnnotationError::DuplicateRepository(_))
-        ));
+        assert!(matches!(c.require("nope"), Err(AnnotationError::UnknownRepository(_))));
+        assert!(matches!(c.create("cache", true), Err(AnnotationError::DuplicateRepository(_))));
         assert_eq!(c.names(), vec!["cache", "uniprot"]);
     }
 

@@ -9,7 +9,7 @@
 
 use crate::value::EvidenceValue;
 use qurator_rdf::term::{Iri, Term};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
 /// Per-item annotations: evidence values plus QA tags.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -22,15 +22,19 @@ impl ItemAnnotations {
     /// The value for an evidence type (explicit null and absence both read
     /// as `Null`).
     pub fn evidence(&self, evidence_type: &Iri) -> EvidenceValue {
-        self.evidence
-            .get(evidence_type)
-            .cloned()
-            .unwrap_or(EvidenceValue::Null)
+        self.evidence.get(evidence_type).cloned().unwrap_or(EvidenceValue::Null)
     }
 
     /// The value for a QA tag.
     pub fn tag(&self, tag: &str) -> EvidenceValue {
         self.tags.get(tag).cloned().unwrap_or(EvidenceValue::Null)
+    }
+
+    /// Directly sets an evidence value on this row. Bulk writers pair this
+    /// with [`AnnotationMap::row_mut`] to pay one row lookup per item
+    /// instead of one per `(item, evidence type)` pair.
+    pub fn insert_evidence(&mut self, evidence_type: Iri, value: EvidenceValue) {
+        self.evidence.insert(evidence_type, value);
     }
 
     /// All evidence entries.
@@ -61,12 +65,23 @@ impl AnnotationMap {
     }
 
     /// A map over the given data set with no annotations yet.
+    ///
+    /// Equivalent to repeated [`Self::ensure_item`] (first-seen order,
+    /// duplicates dropped) but built in one pass: `BTreeMap`'s
+    /// `FromIterator` sorts and bulk-loads, which is markedly cheaper than
+    /// per-item inserts on the large batches bulk enrichment seeds.
     pub fn for_items(items: impl IntoIterator<Item = Term>) -> Self {
-        let mut map = Self::new();
-        for item in items {
-            map.ensure_item(item);
+        let mut order: Vec<Term> = Vec::new();
+        let mut seen: HashSet<&Term> = HashSet::new();
+        let items: Vec<Term> = items.into_iter().collect();
+        for item in &items {
+            if seen.insert(item) {
+                order.push(item.clone());
+            }
         }
-        map
+        drop(seen);
+        let rows = order.iter().map(|item| (item.clone(), ItemAnnotations::default())).collect();
+        Self { order, rows }
     }
 
     /// Adds a data item (idempotent; preserves first-seen order).
@@ -80,26 +95,25 @@ impl AnnotationMap {
     /// Sets an evidence value for an item.
     pub fn set_evidence(&mut self, item: &Term, evidence_type: Iri, value: EvidenceValue) {
         self.ensure_item(item.clone());
-        self.rows
-            .get_mut(item)
-            .expect("just ensured")
-            .evidence
-            .insert(evidence_type, value);
+        self.rows.get_mut(item).expect("just ensured").evidence.insert(evidence_type, value);
     }
 
     /// Sets a QA tag value for an item (scores, class labels).
     pub fn set_tag(&mut self, item: &Term, tag: impl Into<String>, value: EvidenceValue) {
         self.ensure_item(item.clone());
-        self.rows
-            .get_mut(item)
-            .expect("just ensured")
-            .tags
-            .insert(tag.into(), value);
+        self.rows.get_mut(item).expect("just ensured").tags.insert(tag.into(), value);
     }
 
     /// The annotations of one item.
     pub fn item(&self, item: &Term) -> Option<&ItemAnnotations> {
         self.rows.get(item)
+    }
+
+    /// Mutable access to an existing item's row (`None` for unknown items).
+    /// This is the bulk-enrichment write path; [`Self::set_evidence`] stays
+    /// the convenient per-value entry point.
+    pub fn row_mut(&mut self, item: &Term) -> Option<&mut ItemAnnotations> {
+        self.rows.get_mut(item)
     }
 
     /// Data items in input order.
@@ -121,10 +135,7 @@ impl AnnotationMap {
     /// unannotated items) — the column view QAs consume to compute
     /// collection statistics (avg/stddev thresholds, §5.1).
     pub fn column(&self, evidence_type: &Iri) -> Vec<EvidenceValue> {
-        self.order
-            .iter()
-            .map(|item| self.rows[item].evidence(evidence_type))
-            .collect()
+        self.order.iter().map(|item| self.rows[item].evidence(evidence_type)).collect()
     }
 
     /// The tag column in item order.
@@ -167,21 +178,15 @@ impl AnnotationMap {
     /// population std-dev, n)` skipping nulls. The §5.1 classifier uses
     /// `avg ± stddev` thresholds.
     pub fn column_stats(&self, evidence_type: &Iri) -> Option<(f64, f64, usize)> {
-        let values: Vec<f64> = self
-            .column(evidence_type)
-            .iter()
-            .filter_map(EvidenceValue::as_number)
-            .collect();
+        let values: Vec<f64> =
+            self.column(evidence_type).iter().filter_map(EvidenceValue::as_number).collect();
         numeric_stats(&values)
     }
 
     /// Same statistics over a tag column.
     pub fn tag_stats(&self, tag: &str) -> Option<(f64, f64, usize)> {
-        let values: Vec<f64> = self
-            .tag_column(tag)
-            .iter()
-            .filter_map(EvidenceValue::as_number)
-            .collect();
+        let values: Vec<f64> =
+            self.tag_column(tag).iter().filter_map(EvidenceValue::as_number).collect();
         numeric_stats(&values)
     }
 }
@@ -239,11 +244,7 @@ mod tests {
         let col = m.column(&q::iri("HR"));
         assert_eq!(
             col,
-            vec![
-                EvidenceValue::Number(0.1),
-                EvidenceValue::Null,
-                EvidenceValue::Number(0.3)
-            ]
+            vec![EvidenceValue::Number(0.1), EvidenceValue::Null, EvidenceValue::Number(0.3)]
         );
     }
 
@@ -268,10 +269,7 @@ mod tests {
         b.set_evidence(&item(1), q::iri("HR"), 0.9.into());
         b.set_evidence(&item(2), q::iri("MC"), 30.into());
         a.merge(&b);
-        assert_eq!(
-            a.item(&item(1)).unwrap().evidence(&q::iri("HR")),
-            EvidenceValue::Number(0.9)
-        );
+        assert_eq!(a.item(&item(1)).unwrap().evidence(&q::iri("HR")), EvidenceValue::Number(0.9));
         assert_eq!(a.items(), &[item(1), item(2)]);
     }
 
@@ -283,10 +281,7 @@ mod tests {
         }
         let sub = m.restrict(&[item(3), item(1)]);
         assert_eq!(sub.items(), &[item(3), item(1)]);
-        assert_eq!(
-            sub.item(&item(3)).unwrap().evidence(&q::iri("HR")),
-            EvidenceValue::Number(3.0)
-        );
+        assert_eq!(sub.item(&item(3)).unwrap().evidence(&q::iri("HR")), EvidenceValue::Number(3.0));
         assert!(sub.item(&item(2)).is_none());
     }
 

@@ -149,10 +149,7 @@ mod tests {
     fn accessors() {
         assert_eq!(EvidenceValue::from(0.5).as_number(), Some(0.5));
         assert_eq!(EvidenceValue::from("x").as_text(), Some("x"));
-        assert_eq!(
-            EvidenceValue::Class(q::iri("mid")).as_class(),
-            Some(&q::iri("mid"))
-        );
+        assert_eq!(EvidenceValue::Class(q::iri("mid")).as_class(), Some(&q::iri("mid")));
         assert!(EvidenceValue::Null.is_null());
         assert_eq!(EvidenceValue::from(1.0).as_text(), None);
     }

@@ -65,10 +65,7 @@ fn bench_condition_complexity(c: &mut Criterion) {
     for (label, condition) in [
         ("trivial", "HR_MC > 0"),
         ("membership", "ScoreClass in q:high, q:mid"),
-        (
-            "paper",
-            "ScoreClass in q:high, q:mid and HR_MC > 0",
-        ),
+        ("paper", "ScoreClass in q:high, q:mid and HR_MC > 0"),
         (
             "heavy",
             "(ScoreClass in q:high, q:mid or HitRatio * 100 + MassCoverage / 2 > 40) \
@@ -114,7 +111,7 @@ fn bench_condition_parse(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))

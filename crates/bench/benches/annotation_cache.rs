@@ -22,10 +22,7 @@ use std::time::Duration;
 fn annotator(delay_us: u64) -> Arc<dyn AnnotationService> {
     let inner = Arc::new(FieldCaptureAnnotator::new(
         q::iri("ImprintOutputAnnotation"),
-        &[
-            ("hitRatio", q::iri("HitRatio")),
-            ("massCoverage", q::iri("MassCoverage")),
-        ],
+        &[("hitRatio", q::iri("HitRatio")), ("massCoverage", q::iri("MassCoverage"))],
     ));
     if delay_us == 0 {
         inner
@@ -48,35 +45,25 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
         let service = annotator(delay_us);
         let cold_repo = AnnotationRepository::new("cache", false, iq.clone());
         group.throughput(Throughput::Elements(items as u64));
-        group.bench_with_input(
-            BenchmarkId::new("on_the_fly", delay_us),
-            &delay_us,
-            |b, _| {
-                b.iter(|| {
-                    cold_repo.clear();
-                    service.annotate(&dataset, &cold_repo).expect("annotates");
-                    black_box(cold_repo.enrich(&item_terms, &evidence).expect("enrich"))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("on_the_fly", delay_us), &delay_us, |b, _| {
+            b.iter(|| {
+                cold_repo.clear();
+                service.annotate(&dataset, &cold_repo).expect("annotates");
+                black_box(cold_repo.enrich(&item_terms, &evidence).expect("enrich"))
+            })
+        });
 
         // warm: persistent repository populated once, runs only enrich
         let warm_repo = AnnotationRepository::new("uniprot", true, iq.clone());
-        annotator(delay_us)
-            .annotate(&dataset, &warm_repo)
-            .expect("one-off population");
-        group.bench_with_input(
-            BenchmarkId::new("persistent", delay_us),
-            &delay_us,
-            |b, _| {
-                b.iter(|| black_box(warm_repo.enrich(&item_terms, &evidence).expect("enrich")))
-            },
-        );
+        annotator(delay_us).annotate(&dataset, &warm_repo).expect("one-off population");
+        group.bench_with_input(BenchmarkId::new("persistent", delay_us), &delay_us, |b, _| {
+            b.iter(|| black_box(warm_repo.enrich(&item_terms, &evidence).expect("enrich")))
+        });
     }
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))

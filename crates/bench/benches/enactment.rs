@@ -29,9 +29,7 @@ fn bench_interpret_vs_compiled(c: &mut Criterion) {
         let engine = bench_engine();
         group.bench_with_input(BenchmarkId::new("compiled", items), &items, |b, _| {
             b.iter(|| {
-                let (out, _) = engine
-                    .execute_compiled(black_box(&spec), &dataset)
-                    .expect("runs");
+                let (out, _) = engine.execute_compiled(black_box(&spec), &dataset).expect("runs");
                 engine.finish_execution();
                 black_box(out)
             })
@@ -47,24 +45,18 @@ fn bench_parallel_vs_sequential(c: &mut Criterion) {
     let spec = bench_view();
     let dataset = synthetic_hits(200);
     let workflow = engine.compile(&spec).expect("compiles");
-    let inputs = BTreeMap::from([(
-        DATASET_INPUT.to_string(),
-        qurator::convert::dataset_to_data(&dataset),
-    )]);
+    let inputs =
+        BTreeMap::from([(DATASET_INPUT.to_string(), qurator::convert::dataset_to_data(&dataset))]);
     group.bench_function("wave_parallel", |b| {
         b.iter(|| {
-            let r = Enactor::new()
-                .run(&workflow, &inputs, &Context::new())
-                .expect("runs");
+            let r = Enactor::new().run(&workflow, &inputs, &Context::new()).expect("runs");
             engine.finish_execution();
             black_box(r.outputs)
         })
     });
     group.bench_function("sequential", |b| {
         b.iter(|| {
-            let r = Enactor::sequential()
-                .run(&workflow, &inputs, &Context::new())
-                .expect("runs");
+            let r = Enactor::sequential().run(&workflow, &inputs, &Context::new()).expect("runs");
             engine.finish_execution();
             black_box(r.outputs)
         })
@@ -72,7 +64,7 @@ fn bench_parallel_vs_sequential(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))

@@ -26,11 +26,9 @@ fn bench_compile_sweep(c: &mut Criterion) {
     for &assertions in &[1usize, 2, 4, 8, 16] {
         let engine = bench_engine();
         let spec = scaled_view(assertions, 2);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(assertions),
-            &assertions,
-            |b, _| b.iter(|| black_box(engine.compile(black_box(&spec)).expect("compiles"))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(assertions), &assertions, |b, _| {
+            b.iter(|| black_box(engine.compile(black_box(&spec)).expect("compiles")))
+        });
     }
     group.finish();
 }
@@ -47,7 +45,7 @@ fn bench_end_to_end_compile(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))

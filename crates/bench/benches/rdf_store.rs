@@ -39,8 +39,7 @@ fn bench_lookup(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sparql", items), &items, |b, _| {
             b.iter(|| {
                 black_box(
-                    repo.lookup_sparql(black_box(&probe), &q::iri("HitRatio"))
-                        .expect("lookup"),
+                    repo.lookup_sparql(black_box(&probe), &q::iri("HitRatio")).expect("lookup"),
                 )
             })
         });
@@ -89,7 +88,7 @@ fn bench_full_scan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))

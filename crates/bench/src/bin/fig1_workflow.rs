@@ -26,20 +26,22 @@ fn main() {
         workflow.topological_order().expect("acyclic")
     );
 
-    let report = Enactor::new()
-        .run(&workflow, &BTreeMap::new(), &Context::new())
-        .expect("enactment");
+    let report =
+        Enactor::new().run(&workflow, &BTreeMap::new(), &Context::new()).expect("enactment");
     println!("== enactment trace ==");
     print!("{}", report.render_trace());
 
     let counts = report.outputs["go_counts"].as_record().expect("record output");
     let total: f64 = counts.values().filter_map(Data::as_number).sum();
-    println!("\nGO terms: {} distinct | {} occurrences over {} spots", counts.len(), total, world.peak_lists().len());
+    println!(
+        "\nGO terms: {} distinct | {} occurrences over {} spots",
+        counts.len(),
+        total,
+        world.peak_lists().len()
+    );
 
-    let mut top: Vec<(&String, f64)> = counts
-        .iter()
-        .filter_map(|(term, v)| v.as_number().map(|n| (term, n)))
-        .collect();
+    let mut top: Vec<(&String, f64)> =
+        counts.iter().filter_map(|(term, v)| v.as_number().map(|n| (term, n))).collect();
     top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(b.0)));
     println!("\ntop GO terms by raw frequency (the scientist's pareto chart, §1.1):");
     for (term, count) in top.iter().take(10) {

@@ -30,10 +30,7 @@ fn main() {
     let mut hosted = build_host(world.clone());
     let plan = DeploymentPlan {
         prefix: "qv".into(),
-        severed: (
-            PortRef::new(nodes::IMPRINT, "hits"),
-            PortRef::new(nodes::GOA, "hits"),
-        ),
+        severed: (PortRef::new(nodes::IMPRINT, "hits"), PortRef::new(nodes::GOA, "hits")),
         input_adapter: ("adapt-in".into(), host::input_adapter()),
         output_group: FIGURE7_GROUP.into(),
         output_adapter: ("adapt-out".into(), host::output_adapter()),
@@ -46,9 +43,8 @@ fn main() {
     let baseline = Enactor::new()
         .run(&build_host(world.clone()), &BTreeMap::new(), &Context::new())
         .expect("baseline run");
-    let report = Enactor::new()
-        .run(&hosted, &BTreeMap::new(), &Context::new())
-        .expect("embedded run");
+    let report =
+        Enactor::new().run(&hosted, &BTreeMap::new(), &Context::new()).expect("embedded run");
     engine.finish_execution();
 
     let count = |outputs: &BTreeMap<String, Data>| -> f64 {

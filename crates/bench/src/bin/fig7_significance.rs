@@ -24,10 +24,7 @@ use qurator_repro::{significance_ranking, IspiderPipeline};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let seed: u64 = args
-        .iter()
-        .find_map(|a| a.parse().ok())
-        .unwrap_or(42);
+    let seed: u64 = args.iter().find_map(|a| a.parse().ok()).unwrap_or(42);
     let full = args.iter().any(|a| a == "--full");
 
     let world = World::generate(&WorldConfig::paper_scale(seed)).expect("testbed");
@@ -35,9 +32,8 @@ fn main() {
     let pipeline = IspiderPipeline::new(&world, &engine);
 
     let unfiltered = pipeline.run_unfiltered();
-    let filtered = pipeline
-        .run_filtered(&figure7_view(), FIGURE7_GROUP)
-        .expect("quality view runs");
+    let filtered =
+        pipeline.run_filtered(&figure7_view(), FIGURE7_GROUP).expect("quality view runs");
     let (rows, stats) = significance_ranking(&unfiltered, &filtered);
 
     println!("== Figure 7: GO terms ranked by significance ratio (seed {seed}) ==\n");
@@ -87,11 +83,7 @@ fn main() {
             first.term_id, first.occurrences_without, first.original_rank, stats.terms
         );
     }
-    if let Some(fallen) = rows
-        .iter()
-        .rev()
-        .find(|r| r.occurrences_without >= 10)
-    {
+    if let Some(fallen) = rows.iter().rev().find(|r| r.occurrences_without >= 10) {
         println!(
             "anecdote 2 (cf. GO:0005554): term {} occurred {} times originally (rank {}) but falls to significance rank {} of {}",
             fallen.term_id,

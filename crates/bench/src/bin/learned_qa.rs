@@ -14,9 +14,9 @@
 use qurator::prelude::*;
 use qurator::spec::{ActionDecl, ActionKind, AssertionDecl, TagKind, VarDecl};
 use qurator_proteomics::{World, WorldConfig};
+use qurator_rdf::namespace::q;
 use qurator_repro::ispider::{figure7_view, FIGURE7_GROUP};
 use qurator_repro::IspiderPipeline;
-use qurator_rdf::namespace::q;
 use qurator_services::learning::{
     DecisionStump, LabelledExample, LearnedAssertion, LogisticConfig, LogisticModel,
 };

@@ -13,8 +13,8 @@
 use qurator::prelude::*;
 use qurator::spec::ActionKind;
 use qurator_proteomics::{World, WorldConfig};
-use qurator_repro::IspiderPipeline;
 use qurator_rdf::namespace::q;
+use qurator_repro::IspiderPipeline;
 use qurator_services::stdlib::StatClassifierAssertion;
 use std::sync::Arc;
 
@@ -45,13 +45,13 @@ fn main() {
     );
 
     for condition in [
-        "ScoreClass in q:high",                       // §6.3's filter
-        "ScoreClass in q:high, q:mid",                // lenient classifier
-        "ScoreClass in q:high, q:mid and HR_MC > 0",  // §5.1's combined filter
-        "HR_MC > 1.5",                                // score-only (HR+MC+PC z)
-        "HR > 1.5",                                   // HR-only score
-        "HitRatio > 0.25",                            // raw evidence threshold
-        "HitRatio > 0.25 and MassCoverage > 10",      // raw evidence pair
+        "ScoreClass in q:high",                      // §6.3's filter
+        "ScoreClass in q:high, q:mid",               // lenient classifier
+        "ScoreClass in q:high, q:mid and HR_MC > 0", // §5.1's combined filter
+        "HR_MC > 1.5",                               // score-only (HR+MC+PC z)
+        "HR > 1.5",                                  // HR-only score
+        "HitRatio > 0.25",                           // raw evidence threshold
+        "HitRatio > 0.25 and MassCoverage > 10",     // raw evidence pair
     ] {
         let spec = view_with_condition(condition);
         let out = pipeline.run_filtered(&spec, group).expect("runs");

@@ -26,11 +26,8 @@ pub fn build_host(world: Arc<World>) -> Workflow {
     // PEDRo: emit one spot-id item per deposited peak list
     let pedro_world = world.clone();
     let pedro = FnProcessor::new(nodes::PEDRO, &[], &["spots"], move |_, _| {
-        let spots: Vec<Data> = pedro_world
-            .peak_lists()
-            .iter()
-            .map(|pl| Data::Text(pl.spot_id.clone()))
-            .collect();
+        let spots: Vec<Data> =
+            pedro_world.peak_lists().iter().map(|pl| Data::Text(pl.spot_id.clone())).collect();
         Ok(BTreeMap::from([("spots".to_string(), Data::List(spots))]))
     });
 
@@ -42,12 +39,12 @@ pub fn build_host(world: Arc<World>) -> Workflow {
             processor: nodes::IMPRINT.into(),
             message: "spot id must be text".into(),
         })?;
-        let peak_list = imprint_world
-            .pedro
-            .spot(&imprint_world.experiment, spot_id)
-            .map_err(|e| WorkflowError::Execution {
-                processor: nodes::IMPRINT.into(),
-                message: e.to_string(),
+        let peak_list =
+            imprint_world.pedro.spot(&imprint_world.experiment, spot_id).map_err(|e| {
+                WorkflowError::Execution {
+                    processor: nodes::IMPRINT.into(),
+                    message: e.to_string(),
+                }
             })?;
         let hits = imprint_world.imprint.search(peak_list);
         Ok(convert::dataset_to_data(&hits_to_dataset(spot_id, &hits)))
@@ -72,11 +69,8 @@ pub fn build_host(world: Arc<World>) -> Workflow {
     });
 
     // Aggregate: flatten the per-spot term lists into frequency counts
-    let aggregate = FnProcessor::new(
-        nodes::AGGREGATE,
-        &[("terms", 2)],
-        &["go_counts"],
-        |inputs, _| {
+    let aggregate =
+        FnProcessor::new(nodes::AGGREGATE, &[("terms", 2)], &["go_counts"], |inputs, _| {
             let mut counts: BTreeMap<String, Data> = BTreeMap::new();
             fn walk(v: &Data, counts: &mut BTreeMap<String, Data>) {
                 match v {
@@ -91,12 +85,8 @@ pub fn build_host(world: Arc<World>) -> Workflow {
                 }
             }
             walk(inputs.get("terms").unwrap_or(&Data::Null), &mut counts);
-            Ok(BTreeMap::from([(
-                "go_counts".to_string(),
-                Data::Record(counts),
-            )]))
-        },
-    );
+            Ok(BTreeMap::from([("go_counts".to_string(), Data::Record(counts))]))
+        });
 
     wf.add(nodes::PEDRO, Arc::new(pedro)).expect("fresh workflow");
     wf.add(nodes::IMPRINT, Arc::new(imprint)).expect("fresh workflow");
@@ -120,12 +110,10 @@ pub fn input_adapter() -> Arc<dyn Processor> {
 /// back to a bare data-set encoding for the GOA node.
 pub fn output_adapter() -> Arc<dyn Processor> {
     Arc::new(FnProcessor::map1("qv-dataset-out", "in", "out", |v, _| {
-        v.field("dataset")
-            .cloned()
-            .ok_or_else(|| WorkflowError::Execution {
-                processor: "qv-dataset-out".into(),
-                message: "expected an action group record".into(),
-            })
+        v.field("dataset").cloned().ok_or_else(|| WorkflowError::Execution {
+            processor: "qv-dataset-out".into(),
+            message: "expected an action group record".into(),
+        })
     }))
 }
 
@@ -139,9 +127,7 @@ mod tests {
     fn host_reproduces_the_unfiltered_pipeline() {
         let world = Arc::new(World::generate(&WorldConfig::paper_scale(42)).unwrap());
         let wf = build_host(world.clone());
-        let report = Enactor::new()
-            .run(&wf, &BTreeMap::new(), &Context::new())
-            .unwrap();
+        let report = Enactor::new().run(&wf, &BTreeMap::new(), &Context::new()).unwrap();
         let counts = report.outputs["go_counts"].as_record().unwrap();
         let total: f64 = counts.values().filter_map(Data::as_number).sum();
 

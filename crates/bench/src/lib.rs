@@ -74,7 +74,9 @@ pub fn scaled_view(assertions: usize, actions: usize) -> QualityViewSpec {
     for i in 0..actions {
         spec.actions.push(qurator::spec::ActionDecl {
             name: format!("act{i}"),
-            kind: qurator::spec::ActionKind::Filter { condition: format!("S{} > 0", i % assertions.max(1)) },
+            kind: qurator::spec::ActionKind::Filter {
+                condition: format!("S{} > 0", i % assertions.max(1)),
+            },
         });
     }
     spec

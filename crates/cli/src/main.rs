@@ -101,10 +101,7 @@ fn cmd_compile(path: &str, dot: bool) -> Result<(), String> {
         workflow.control_links().len()
     );
     println!("  topological order: {:?}", workflow.topological_order().map_err(|e| e.to_string())?);
-    println!(
-        "  outputs: {:?}",
-        workflow.outputs().map(|(n, _)| n).collect::<Vec<_>>()
-    );
+    println!("  outputs: {:?}", workflow.outputs().map(|(n, _)| n).collect::<Vec<_>>());
     Ok(())
 }
 
@@ -115,10 +112,7 @@ fn cmd_fmt(path: &str) -> Result<(), String> {
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -138,11 +132,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             let tags: Vec<String> = group
                 .map
                 .item(item)
-                .map(|row| {
-                    row.tag_entries()
-                        .map(|(t, v)| format!("{t}={v}"))
-                        .collect()
-                })
+                .map(|row| row.tag_entries().map(|(t, v)| format!("{t}={v}")).collect())
                 .unwrap_or_default();
             println!("  {}  [{}]", item, tags.join(", "));
         }

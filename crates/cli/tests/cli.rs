@@ -4,10 +4,7 @@ use std::io::Write as _;
 use std::process::Command;
 
 fn qv(args: &[&str]) -> (bool, String, String) {
-    let output = Command::new(env!("CARGO_BIN_EXE_qv"))
-        .args(args)
-        .output()
-        .expect("spawn qv");
+    let output = Command::new(env!("CARGO_BIN_EXE_qv")).args(args).output().expect("spawn qv");
     (
         output.status.success(),
         String::from_utf8_lossy(&output.stdout).into_owned(),
@@ -83,13 +80,8 @@ fn compile_prints_structure_and_dot() {
 fn run_filters_and_explains() {
     let view = write_temp("good3.xml", VIEW);
     let data = write_temp("hits.tsv", DATA);
-    let (ok, stdout, stderr) = qv(&[
-        "run",
-        view.to_str().unwrap(),
-        "--data",
-        data.to_str().unwrap(),
-        "--explain",
-    ]);
+    let (ok, stdout, stderr) =
+        qv(&["run", view.to_str().unwrap(), "--data", data.to_str().unwrap(), "--explain"]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("group \"keep\": 1 item(s)"), "{stdout}");
     assert!(stdout.contains("urn:lsid:t:h:good"));

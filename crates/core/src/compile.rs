@@ -23,8 +23,8 @@
 //! first.
 
 use crate::operators::{
-    ActionProcessor, AnnotatorProcessor, AssertionProcessor, CompiledAction,
-    ConsolidateProcessor, DataEnrichmentProcessor,
+    ActionProcessor, AnnotatorProcessor, AssertionProcessor, CompiledAction, ConsolidateProcessor,
+    DataEnrichmentProcessor,
 };
 use crate::spec::ActionKind;
 use crate::validate::{BindingTarget, ValidatedView};
@@ -71,18 +71,12 @@ pub fn compile(
 
     // ---- rule 1: annotators first
     for (decl, service_type) in spec.annotators.iter().zip(&view.annotator_types) {
-        let service = registry
-            .annotator(service_type)
-            .map_err(|e| compile_err(e.to_string()))?;
+        let service = registry.annotator(service_type).map_err(|e| compile_err(e.to_string()))?;
         let repo = resolve_repo(&decl.repository_ref);
         workflow
             .add(
                 decl.service_name.clone(),
-                Arc::new(AnnotatorProcessor::new(
-                    decl.service_name.clone(),
-                    service,
-                    repo,
-                )),
+                Arc::new(AnnotatorProcessor::new(decl.service_name.clone(), service, repo)),
             )
             .map_err(|e| compile_err(e.to_string()))?;
         workflow
@@ -97,10 +91,7 @@ pub fn compile(
         .map(|(evidence, repo)| (evidence.clone(), resolve_repo(repo)))
         .collect();
     workflow
-        .add(
-            DATA_ENRICHMENT,
-            Arc::new(DataEnrichmentProcessor::new(DATA_ENRICHMENT, plan)),
-        )
+        .add(DATA_ENRICHMENT, Arc::new(DataEnrichmentProcessor::new(DATA_ENRICHMENT, plan)))
         .map_err(|e| compile_err(e.to_string()))?;
     workflow
         .declare_input(DATASET_INPUT, PortRef::new(DATA_ENRICHMENT, "dataset"))
@@ -185,10 +176,7 @@ pub fn compile(
     // map when the view declares no QAs)
     let consolidate_inputs = spec.assertions.len().max(1);
     workflow
-        .add(
-            CONSOLIDATE,
-            Arc::new(ConsolidateProcessor::new(CONSOLIDATE, consolidate_inputs)),
-        )
+        .add(CONSOLIDATE, Arc::new(ConsolidateProcessor::new(CONSOLIDATE, consolidate_inputs)))
         .map_err(|e| compile_err(e.to_string()))?;
     if spec.assertions.is_empty() {
         workflow
@@ -228,9 +216,7 @@ pub fn compile(
         }
     }
 
-    workflow
-        .validate()
-        .map_err(|e| compile_err(format!("compiled workflow is invalid: {e}")))?;
+    workflow.validate().map_err(|e| compile_err(format!("compiled workflow is invalid: {e}")))?;
     Ok(workflow)
 }
 
@@ -324,8 +310,7 @@ mod tests {
         assert!(wf
             .data_links()
             .iter()
-            .any(|l| l.from.processor == CONSOLIDATE
-                && l.to.processor == "filter top k score"));
+            .any(|l| l.from.processor == CONSOLIDATE && l.to.processor == "filter top k score"));
 
         // outputs: one group for the filter
         let outputs: Vec<&str> = wf.outputs().map(|(n, _)| n).collect();
@@ -362,11 +347,9 @@ mod tests {
         let view = validate(&spec, &iq, &registry).unwrap();
         let wf = compile(&view, &iq, &registry, &catalog).unwrap();
         assert!(wf.nodes().any(|n| n == "consolidate-for-combined"));
-        assert!(wf
-            .data_links()
-            .iter()
-            .any(|l| l.from.processor == "consolidate-for-combined"
-                && l.to.processor == "combined"));
+        assert!(wf.data_links().iter().any(
+            |l| l.from.processor == "consolidate-for-combined" && l.to.processor == "combined"
+        ));
     }
 
     #[test]

@@ -53,14 +53,9 @@ pub fn dataset_to_data(dataset: &DataSet) -> Data {
         .items()
         .iter()
         .map(|item| {
-            let fields: BTreeMap<String, Data> = dataset
-                .fields(item)
-                .map(|(k, v)| (k.to_string(), evidence_to_data(v)))
-                .collect();
-            Data::record([
-                ("id", Data::Text(term_to_text(item))),
-                ("fields", Data::Record(fields)),
-            ])
+            let fields: BTreeMap<String, Data> =
+                dataset.fields(item).map(|(k, v)| (k.to_string(), evidence_to_data(v))).collect();
+            Data::record([("id", Data::Text(term_to_text(item))), ("fields", Data::Record(fields))])
         })
         .collect();
     Data::record([("items", Data::List(items))])
@@ -102,10 +97,8 @@ pub fn map_to_data(map: &AnnotationMap) -> Data {
                 .evidence_entries()
                 .map(|(e, v)| (e.as_str().to_string(), evidence_to_data(v)))
                 .collect();
-            let tags: BTreeMap<String, Data> = row
-                .tag_entries()
-                .map(|(t, v)| (t.to_string(), evidence_to_data(v)))
-                .collect();
+            let tags: BTreeMap<String, Data> =
+                row.tag_entries().map(|(t, v)| (t.to_string(), evidence_to_data(v))).collect();
             Data::record([
                 ("id", Data::Text(term_to_text(item))),
                 ("evidence", Data::Record(evidence)),

@@ -96,8 +96,7 @@ impl DeploymentPlan {
             ));
         }
 
-        host.embed(quality, &self.prefix, &descriptor)
-            .map_err(QuratorError::from)
+        host.embed(quality, &self.prefix, &descriptor).map_err(QuratorError::from)
     }
 }
 
@@ -119,9 +118,8 @@ mod tests {
     fn interpose_compiled_view_into_host() {
         let engine = QualityEngine::with_proteomics_defaults().unwrap();
         let mut spec = QualityViewSpec::paper_example();
-        spec.actions[0].kind = ActionKind::Filter {
-            condition: "ScoreClass in q:high, q:mid and HR_MC > 0".into(),
-        };
+        spec.actions[0].kind =
+            ActionKind::Filter { condition: "ScoreClass in q:high, q:mid and HR_MC > 0".into() };
         let quality = engine.compile(&spec).unwrap();
 
         // --- host ---
@@ -139,37 +137,27 @@ mod tests {
                     ],
                 );
             }
-            Ok(BTreeMap::from([(
-                "hits".to_string(),
-                convert::dataset_to_data(&ds),
-            )]))
+            Ok(BTreeMap::from([("hits".to_string(), convert::dataset_to_data(&ds))]))
         });
         let consumer = FnProcessor::map1("consumer", "in", "count", |v, _| {
-            let n = v
-                .field("items")
-                .and_then(Data::as_list)
-                .map(|l| l.len())
-                .unwrap_or(0);
+            let n = v.field("items").and_then(Data::as_list).map(|l| l.len()).unwrap_or(0);
             Ok(Data::Number(n as f64))
         });
         let mut host = Workflow::new("ispider");
         host.add("producer", std::sync::Arc::new(producer)).unwrap();
         host.add("consumer", std::sync::Arc::new(consumer)).unwrap();
         host.link("producer", "hits", "consumer", "in").unwrap();
-        host.declare_output("surviving", PortRef::new("consumer", "count"))
-            .unwrap();
+        host.declare_output("surviving", PortRef::new("consumer", "count")).unwrap();
 
         // --- adapters ---
         // producer already emits the dataset encoding: identity adapter in
         let in_adapter = FnProcessor::map1("dataset-in", "in", "out", |v, _| Ok(v.clone()));
         // group record -> bare dataset encoding for the consumer
         let out_adapter = FnProcessor::map1("dataset-out", "in", "out", |v, _| {
-            v.field("dataset")
-                .cloned()
-                .ok_or_else(|| qurator_workflow::WorkflowError::Execution {
-                    processor: "dataset-out".into(),
-                    message: "group record lacks dataset".into(),
-                })
+            v.field("dataset").cloned().ok_or_else(|| qurator_workflow::WorkflowError::Execution {
+                processor: "dataset-out".into(),
+                message: "group record lacks dataset".into(),
+            })
         });
 
         let plan = DeploymentPlan {
@@ -201,10 +189,7 @@ mod tests {
             );
         }
         let direct = engine.execute_view(&spec, &ds).unwrap();
-        assert_eq!(
-            direct.group("filter top k score").unwrap().dataset.len(),
-            surviving
-        );
+        assert_eq!(direct.group("filter top k score").unwrap().dataset.len(), surviving);
     }
 
     #[test]

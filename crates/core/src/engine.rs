@@ -9,7 +9,9 @@
 //!   identical [`ActionOutcome`]s (covered by integration tests).
 
 use crate::compile;
-use crate::operators::{ActionProcessor, AssertionProcessor, CompiledAction, DataEnrichmentProcessor, GroupResult};
+use crate::operators::{
+    ActionProcessor, AssertionProcessor, CompiledAction, DataEnrichmentProcessor, GroupResult,
+};
 use crate::spec::{ActionKind, QualityViewSpec};
 use crate::validate::{self, BindingTarget, ValidatedView};
 use crate::{convert, QuratorError, Result};
@@ -18,10 +20,10 @@ use qurator_annotations::RepositoryCatalog;
 use qurator_ontology::binding::BindingRegistry;
 use qurator_ontology::IqModel;
 use qurator_rdf::namespace::q;
-use qurator_services::stdlib::{
-    FieldCaptureAnnotator, StatClassifierAssertion, ZScoreAssertion,
+use qurator_services::stdlib::{FieldCaptureAnnotator, StatClassifierAssertion, ZScoreAssertion};
+use qurator_services::{
+    AnnotationService, AssertionService, DataSet, ServiceRegistry, VariableBindings,
 };
-use qurator_services::{AnnotationService, AssertionService, DataSet, ServiceRegistry, VariableBindings};
 use qurator_workflow::{Context, Data, EnactmentReport, Enactor, Workflow};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -119,32 +121,22 @@ impl QualityEngine {
     }
 
     /// Registers an annotation service and binds its concept.
-    pub fn register_annotation_service(
-        &self,
-        service: Arc<dyn AnnotationService>,
-    ) -> Result<()> {
+    pub fn register_annotation_service(&self, service: Arc<dyn AnnotationService>) -> Result<()> {
         let concept = service.service_type();
         self.registry
             .register_annotator(service)
             .map_err(|e| QuratorError::Validation(e.to_string()))?;
-        self.bindings
-            .write()
-            .bind_service(concept.clone(), format!("local:{concept}"));
+        self.bindings.write().bind_service(concept.clone(), format!("local:{concept}"));
         Ok(())
     }
 
     /// Registers an assertion service and binds its concept.
-    pub fn register_assertion_service(
-        &self,
-        service: Arc<dyn AssertionService>,
-    ) -> Result<()> {
+    pub fn register_assertion_service(&self, service: Arc<dyn AssertionService>) -> Result<()> {
         let concept = service.service_type();
         self.registry
             .register_assertion(service)
             .map_err(|e| QuratorError::Validation(e.to_string()))?;
-        self.bindings
-            .write()
-            .bind_service(concept.clone(), format!("local:{concept}"));
+        self.bindings.write().bind_service(concept.clone(), format!("local:{concept}"));
         Ok(())
     }
 
@@ -204,9 +196,7 @@ impl QualityEngine {
                 .annotator(service_type)
                 .map_err(|e| QuratorError::Execution(e.to_string()))?;
             let repo = resolve_repo(&decl.repository_ref);
-            service
-                .annotate(dataset, &repo)
-                .map_err(|e| QuratorError::Execution(e.to_string()))?;
+            service.annotate(dataset, &repo).map_err(|e| QuratorError::Execution(e.to_string()))?;
         }
 
         // 2. enrichment
@@ -227,7 +217,9 @@ impl QualityEngine {
             let mut bindings = VariableBindings::new();
             for (variable, target) in &view.assertion_bindings[index] {
                 bindings = match target {
-                    BindingTarget::Evidence(e) => bindings.bind_evidence(variable.clone(), e.clone()),
+                    BindingTarget::Evidence(e) => {
+                        bindings.bind_evidence(variable.clone(), e.clone())
+                    }
                     BindingTarget::Tag(t) => bindings.bind_tag(variable.clone(), t.clone()),
                 };
             }
@@ -247,9 +239,7 @@ impl QualityEngine {
                 ActionKind::Filter { condition } => {
                     CompiledAction::Filter { condition: condition.clone() }
                 }
-                ActionKind::Split { groups } => {
-                    CompiledAction::Split { groups: groups.clone() }
-                }
+                ActionKind::Split { groups } => CompiledAction::Split { groups: groups.clone() },
             };
             let processor = ActionProcessor::new(action.name.clone(), compiled, self.iq.clone());
             groups.extend(processor.apply(dataset, &map)?);
@@ -302,10 +292,10 @@ fn decode_outcome(
         let data = outputs.get(&name).ok_or_else(|| {
             QuratorError::Execution(format!("workflow produced no output {name:?}"))
         })?;
-        let dataset = convert::data_to_dataset(
-            data.field("dataset")
-                .ok_or_else(|| QuratorError::Execution(format!("group {name:?} lacks dataset")))?,
-        )?;
+        let dataset =
+            convert::data_to_dataset(data.field("dataset").ok_or_else(|| {
+                QuratorError::Execution(format!("group {name:?} lacks dataset"))
+            })?)?;
         let map = convert::data_to_map(
             data.field("map")
                 .ok_or_else(|| QuratorError::Execution(format!("group {name:?} lacks map")))?,
@@ -355,9 +345,8 @@ mod tests {
         // the paper condition uses HR_MC > 20, but our z-score scale is
         // centred on 0; use the classifier alone
         let mut spec = spec;
-        spec.actions[0].kind = ActionKind::Filter {
-            condition: "ScoreClass in q:high, q:mid and HR_MC > 0".into(),
-        };
+        spec.actions[0].kind =
+            ActionKind::Filter { condition: "ScoreClass in q:high, q:mid and HR_MC > 0".into() };
         let outcome = engine.execute_view(&spec, &imprint_dataset()).unwrap();
         let kept = outcome.group("filter top k score").unwrap();
         assert!(!kept.dataset.is_empty());
@@ -371,9 +360,8 @@ mod tests {
     fn compiled_path_agrees_with_interpreter() {
         let engine = QualityEngine::with_proteomics_defaults().unwrap();
         let mut spec = QualityViewSpec::paper_example();
-        spec.actions[0].kind = ActionKind::Filter {
-            condition: "ScoreClass in q:high, q:mid and HR_MC > 0".into(),
-        };
+        spec.actions[0].kind =
+            ActionKind::Filter { condition: "ScoreClass in q:high, q:mid and HR_MC > 0".into() };
         let dataset = imprint_dataset();
         let interpreted = engine.execute_view(&spec, &dataset).unwrap();
         engine.finish_execution();

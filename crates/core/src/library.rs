@@ -47,8 +47,7 @@ impl ViewLibrary {
         if spec.name.trim().is_empty() {
             return Err(QuratorError::Spec("cannot publish a nameless view".into()));
         }
-        self.entries
-            .insert(spec.name.clone(), LibraryEntry { spec, metadata });
+        self.entries.insert(spec.name.clone(), LibraryEntry { spec, metadata });
         Ok(())
     }
 
@@ -81,18 +80,12 @@ impl ViewLibrary {
     /// the run-time model makes such views applicable to any data set
     /// annotated with those types.
     pub fn find_by_evidence(&self, evidence: &str) -> Vec<&LibraryEntry> {
-        self.entries
-            .values()
-            .filter(|e| e.spec.referenced_evidence().contains(&evidence))
-            .collect()
+        self.entries.values().filter(|e| e.spec.referenced_evidence().contains(&evidence)).collect()
     }
 
     /// Views producing the given tag.
     pub fn find_by_tag(&self, tag: &str) -> Vec<&LibraryEntry> {
-        self.entries
-            .values()
-            .filter(|e| e.spec.tag_names().contains(&tag))
-            .collect()
+        self.entries.values().filter(|e| e.spec.tag_names().contains(&tag)).collect()
     }
 
     /// Case-insensitive free-text search over name, description, author
@@ -105,10 +98,7 @@ impl ViewLibrary {
                 e.spec.name.to_lowercase().contains(&needle)
                     || e.metadata.description.to_lowercase().contains(&needle)
                     || e.metadata.author.to_lowercase().contains(&needle)
-                    || e.metadata
-                        .keywords
-                        .iter()
-                        .any(|k| k.to_lowercase().contains(&needle))
+                    || e.metadata.keywords.iter().any(|k| k.to_lowercase().contains(&needle))
             })
             .collect()
     }
@@ -119,9 +109,7 @@ impl ViewLibrary {
         for entry in self.entries.values() {
             let mut meta = Element::new("metadata")
                 .with_attr("author", &entry.metadata.author)
-                .with_child(
-                    Element::new("description").with_text(&entry.metadata.description),
-                );
+                .with_child(Element::new("description").with_text(&entry.metadata.description));
             for keyword in &entry.metadata.keywords {
                 meta = meta.with_child(Element::new("keyword").with_text(keyword));
             }
@@ -145,18 +133,13 @@ impl ViewLibrary {
         }
         let mut library = ViewLibrary::new();
         for entry in root.children_named("entry") {
-            let view_el = entry
-                .required_child("QualityView")
-                .map_err(QuratorError::Spec)?;
+            let view_el = entry.required_child("QualityView").map_err(QuratorError::Spec)?;
             let spec = xmlio::element_to_spec(view_el)?;
             let metadata = match entry.child("metadata") {
                 None => ViewMetadata::default(),
                 Some(m) => ViewMetadata {
                     author: m.attr("author").unwrap_or_default().to_string(),
-                    description: m
-                        .child("description")
-                        .map(|d| d.text())
-                        .unwrap_or_default(),
+                    description: m.child("description").map(|d| d.text()).unwrap_or_default(),
                     keywords: m.children_named("keyword").map(|k| k.text()).collect(),
                 },
             };
@@ -205,9 +188,7 @@ mod tests {
         assert!(library.retract("lenient-variant"));
         assert!(!library.retract("lenient-variant"));
         assert_eq!(library.len(), 1);
-        assert!(library
-            .publish(QualityViewSpec::new("  "), ViewMetadata::default())
-            .is_err());
+        assert!(library.publish(QualityViewSpec::new("  "), ViewMetadata::default()).is_err());
     }
 
     #[test]

@@ -66,20 +66,20 @@ impl Processor for AnnotatorProcessor {
         vec!["done".to_string()]
     }
 
-    fn execute(&self, inputs: &Inputs, _ctx: &Context) -> std::result::Result<Outputs, WorkflowError> {
-        let dataset_data = inputs
-            .get("dataset")
-            .ok_or_else(|| exec_err(&self.name, "missing dataset"))?;
+    fn execute(
+        &self,
+        inputs: &Inputs,
+        _ctx: &Context,
+    ) -> std::result::Result<Outputs, WorkflowError> {
+        let dataset_data =
+            inputs.get("dataset").ok_or_else(|| exec_err(&self.name, "missing dataset"))?;
         let dataset = convert::data_to_dataset(dataset_data)
             .map_err(|e| exec_err(&self.name, e.to_string()))?;
         let written = self
             .service
             .annotate(&dataset, &self.repository)
             .map_err(|e| exec_err(&self.name, e.to_string()))?;
-        Ok(BTreeMap::from([(
-            "done".to_string(),
-            Data::Number(written as f64),
-        )]))
+        Ok(BTreeMap::from([("done".to_string(), Data::Number(written as f64))]))
     }
 }
 
@@ -89,22 +89,111 @@ pub struct DataEnrichmentProcessor {
     /// evidence type → repository to read it from (the compiler-computed
     /// association of §6.1).
     plan: Vec<(Iri, Arc<AnnotationRepository>)>,
+    /// Fan enrichment out over scoped threads (repository groups × item
+    /// chunks). On by default; disable for the E5 sequential ablation.
+    parallel: bool,
 }
+
+/// Floor on items per parallel enrichment chunk: below this a chunk is not
+/// worth a thread, so small batches run on the calling thread.
+const PARALLEL_CHUNK_MIN: usize = 4096;
 
 impl DataEnrichmentProcessor {
     /// Builds the operator from its fetch plan.
     pub fn new(name: impl Into<String>, plan: Vec<(Iri, Arc<AnnotationRepository>)>) -> Self {
-        DataEnrichmentProcessor { name: name.into(), plan }
+        DataEnrichmentProcessor { name: name.into(), plan, parallel: true }
+    }
+
+    /// Switches parallel fan-out on or off.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Groups the fetch plan by repository (first-occurrence order), so a
+    /// repository serving several evidence types is scanned once, not once
+    /// per type.
+    fn grouped_plan(&self) -> Vec<(&Arc<AnnotationRepository>, Vec<Iri>)> {
+        let mut groups: Vec<(&Arc<AnnotationRepository>, Vec<Iri>)> = Vec::new();
+        for (evidence_type, repository) in &self.plan {
+            match groups.iter_mut().find(|(r, _)| Arc::ptr_eq(r, repository)) {
+                Some((_, types)) => types.push(evidence_type.clone()),
+                None => groups.push((repository, vec![evidence_type.clone()])),
+            }
+        }
+        groups
     }
 
     /// Runs the enrichment directly (shared with the interpreter path).
+    ///
+    /// Each repository group is answered by one bulk lookup
+    /// ([`AnnotationRepository::enrich_bulk`]: one read lock, one index
+    /// scan) instead of a SPARQL query per `(item, type)` pair. With
+    /// `parallel` on, repository groups and large item chunks run on scoped
+    /// threads; results merge in deterministic plan order, so parallel and
+    /// sequential runs produce identical maps.
     pub fn enrich(&self, items: &[Term]) -> Result<AnnotationMap> {
+        let groups = self.grouped_plan();
+
+        // A single-repository plan (the common §6.1 outcome) is exactly one
+        // bulk call: the returned map is already seeded with the item set,
+        // so there is nothing to fan out or merge.
+        if let [(repository, types)] = groups.as_slice() {
+            return repository
+                .enrich_bulk(items, types)
+                .map_err(|e| QuratorError::Execution(e.to_string()));
+        }
+
         let mut combined = AnnotationMap::for_items(items.iter().cloned());
-        for (evidence_type, repository) in &self.plan {
-            let partial = repository
-                .enrich(items, std::slice::from_ref(evidence_type))
-                .map_err(|e| QuratorError::Execution(e.to_string()))?;
-            combined.merge(&partial);
+        let partials: Vec<Result<AnnotationMap>> = if self.parallel && groups.len() > 1 {
+            // Multi-repository fan-out: every (repository group × item
+            // chunk) pair becomes a scoped-thread job, so independent
+            // stores are scanned concurrently.
+            let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+            let chunk_size = items.len().div_ceil(workers.max(1)).max(PARALLEL_CHUNK_MIN);
+            let jobs: Vec<(&Arc<AnnotationRepository>, &[Iri], &[Term])> = groups
+                .iter()
+                .flat_map(|(repository, types)| {
+                    items
+                        .chunks(chunk_size.max(1))
+                        .map(move |chunk| (*repository, types.as_slice(), chunk))
+                })
+                .collect();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .iter()
+                    .map(|(repository, types, chunk)| {
+                        scope.spawn(move || {
+                            repository
+                                .enrich_bulk(chunk, types)
+                                .map_err(|e| QuratorError::Execution(e.to_string()))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| {
+                        handle.join().unwrap_or_else(|_| {
+                            Err(QuratorError::Execution("enrichment worker panicked".to_string()))
+                        })
+                    })
+                    .collect()
+            })
+        } else {
+            groups
+                .iter()
+                .map(|(repository, types)| {
+                    repository
+                        .enrich_bulk(items, types)
+                        .map_err(|e| QuratorError::Execution(e.to_string()))
+                })
+                .collect()
+        };
+
+        // Merge in job order (= plan order, then item order), keeping the
+        // result byte-identical to a sequential per-pair enrichment.
+        for partial in partials {
+            combined.merge(&partial?);
         }
         Ok(combined)
     }
@@ -123,16 +212,16 @@ impl Processor for DataEnrichmentProcessor {
         vec!["map".to_string()]
     }
 
-    fn execute(&self, inputs: &Inputs, _ctx: &Context) -> std::result::Result<Outputs, WorkflowError> {
-        let dataset_data = inputs
-            .get("dataset")
-            .ok_or_else(|| exec_err(&self.name, "missing dataset"))?;
+    fn execute(
+        &self,
+        inputs: &Inputs,
+        _ctx: &Context,
+    ) -> std::result::Result<Outputs, WorkflowError> {
+        let dataset_data =
+            inputs.get("dataset").ok_or_else(|| exec_err(&self.name, "missing dataset"))?;
         let dataset = wf_result(&self.name, convert::data_to_dataset(dataset_data))?;
         let map = wf_result(&self.name, self.enrich(dataset.items()))?;
-        Ok(BTreeMap::from([(
-            "map".to_string(),
-            convert::map_to_data(&map),
-        )]))
+        Ok(BTreeMap::from([("map".to_string(), convert::map_to_data(&map))]))
     }
 }
 
@@ -152,12 +241,7 @@ impl AssertionProcessor {
         bindings: VariableBindings,
         tag: impl Into<String>,
     ) -> Self {
-        AssertionProcessor {
-            name: name.into(),
-            service,
-            bindings,
-            tag: tag.into(),
-        }
+        AssertionProcessor { name: name.into(), service, bindings, tag: tag.into() }
     }
 
     /// Runs the assertion directly (shared with the interpreter path).
@@ -181,16 +265,15 @@ impl Processor for AssertionProcessor {
         vec!["map".to_string()]
     }
 
-    fn execute(&self, inputs: &Inputs, _ctx: &Context) -> std::result::Result<Outputs, WorkflowError> {
-        let map_data = inputs
-            .get("map")
-            .ok_or_else(|| exec_err(&self.name, "missing map"))?;
+    fn execute(
+        &self,
+        inputs: &Inputs,
+        _ctx: &Context,
+    ) -> std::result::Result<Outputs, WorkflowError> {
+        let map_data = inputs.get("map").ok_or_else(|| exec_err(&self.name, "missing map"))?;
         let mut map = wf_result(&self.name, convert::data_to_map(map_data))?;
         wf_result(&self.name, self.assert_quality(&mut map))?;
-        Ok(BTreeMap::from([(
-            "map".to_string(),
-            convert::map_to_data(&map),
-        )]))
+        Ok(BTreeMap::from([("map".to_string(), convert::map_to_data(&map))]))
     }
 }
 
@@ -216,29 +299,27 @@ impl Processor for ConsolidateProcessor {
     }
 
     fn input_ports(&self) -> Vec<(String, usize)> {
-        (0..self.input_count)
-            .map(|i| (format!("map{i}"), 0))
-            .collect()
+        (0..self.input_count).map(|i| (format!("map{i}"), 0)).collect()
     }
 
     fn output_ports(&self) -> Vec<String> {
         vec!["map".to_string()]
     }
 
-    fn execute(&self, inputs: &Inputs, _ctx: &Context) -> std::result::Result<Outputs, WorkflowError> {
+    fn execute(
+        &self,
+        inputs: &Inputs,
+        _ctx: &Context,
+    ) -> std::result::Result<Outputs, WorkflowError> {
         let mut combined = AnnotationMap::new();
         for i in 0..self.input_count {
             let port = format!("map{i}");
-            let map_data = inputs
-                .get(&port)
-                .ok_or_else(|| exec_err(&self.name, format!("missing {port}")))?;
+            let map_data =
+                inputs.get(&port).ok_or_else(|| exec_err(&self.name, format!("missing {port}")))?;
             let map = wf_result(&self.name, convert::data_to_map(map_data))?;
             combined.merge(&map);
         }
-        Ok(BTreeMap::from([(
-            "map".to_string(),
-            convert::map_to_data(&combined),
-        )]))
+        Ok(BTreeMap::from([("map".to_string(), convert::map_to_data(&combined))]))
     }
 }
 
@@ -289,10 +370,8 @@ impl ActionProcessor {
         match &self.action {
             CompiledAction::Filter { .. } => vec![self.action_name.clone()],
             CompiledAction::Split { groups } => {
-                let mut names: Vec<String> = groups
-                    .iter()
-                    .map(|(g, _)| format!("{}/{g}", self.action_name))
-                    .collect();
+                let mut names: Vec<String> =
+                    groups.iter().map(|(g, _)| format!("{}/{g}", self.action_name)).collect();
                 names.push(format!("{}/default", self.action_name));
                 names
             }
@@ -318,10 +397,7 @@ impl ActionProcessor {
             CompiledAction::Split { groups } => groups
                 .iter()
                 .map(|(group, condition)| {
-                    Ok((
-                        format!("{}/{group}", self.action_name),
-                        self.condition(condition)?,
-                    ))
+                    Ok((format!("{}/{group}", self.action_name), self.condition(condition)?))
                 })
                 .collect::<Result<Vec<_>>>()?,
         };
@@ -333,9 +409,12 @@ impl ActionProcessor {
             let env = build_env(&self.iq, map, item);
             let mut matched_any = false;
             for (slot, (_, expr)) in conditions.iter().enumerate() {
-                let accepted = expr
-                    .accepts(&env)
-                    .map_err(|e| QuratorError::Execution(format!("evaluating action {:?}: {e}", self.action_name)))?;
+                let accepted = expr.accepts(&env).map_err(|e| {
+                    QuratorError::Execution(format!(
+                        "evaluating action {:?}: {e}",
+                        self.action_name
+                    ))
+                })?;
                 if accepted {
                     memberships[slot].push(item.clone());
                     matched_any = true;
@@ -406,13 +485,15 @@ impl Processor for ActionProcessor {
         self.group_names()
     }
 
-    fn execute(&self, inputs: &Inputs, _ctx: &Context) -> std::result::Result<Outputs, WorkflowError> {
-        let dataset_data = inputs
-            .get("dataset")
-            .ok_or_else(|| exec_err(&self.action_name, "missing dataset"))?;
-        let map_data = inputs
-            .get("map")
-            .ok_or_else(|| exec_err(&self.action_name, "missing map"))?;
+    fn execute(
+        &self,
+        inputs: &Inputs,
+        _ctx: &Context,
+    ) -> std::result::Result<Outputs, WorkflowError> {
+        let dataset_data =
+            inputs.get("dataset").ok_or_else(|| exec_err(&self.action_name, "missing dataset"))?;
+        let map_data =
+            inputs.get("map").ok_or_else(|| exec_err(&self.action_name, "missing map"))?;
         let dataset = wf_result(&self.action_name, convert::data_to_dataset(dataset_data))?;
         let map = wf_result(&self.action_name, convert::data_to_map(map_data))?;
         let groups = wf_result(&self.action_name, self.apply(&dataset, &map))?;
@@ -466,10 +547,7 @@ mod tests {
             repo.clone(),
         );
         let ds = sample_dataset();
-        let inputs = BTreeMap::from([(
-            "dataset".to_string(),
-            convert::dataset_to_data(&ds),
-        )]);
+        let inputs = BTreeMap::from([("dataset".to_string(), convert::dataset_to_data(&ds))]);
         let out = annotator.execute(&inputs, &Context::new()).unwrap();
         assert_eq!(out["done"], Data::Number(6.0));
 
@@ -483,6 +561,52 @@ mod tests {
         assert_eq!(
             map.item(&item(1)).unwrap().evidence(&q::iri("HitRatio")),
             EvidenceValue::Number(0.9)
+        );
+    }
+
+    #[test]
+    fn grouped_bulk_enrich_equals_per_entry_merge() {
+        // Two repositories with overlapping evidence types: repo_a holds
+        // HitRatio for all items and MassCoverage for item 1; repo_b holds
+        // MassCoverage for items 2,3 plus a *conflicting* HitRatio for
+        // item 1 (the plan must keep later entries winning on merge).
+        let iq = iq();
+        let repo_a = Arc::new(AnnotationRepository::new("a", false, iq.clone()));
+        let repo_b = Arc::new(AnnotationRepository::new("b", false, iq.clone()));
+        for (i, v) in [(1u32, 0.9), (2, 0.5), (3, 0.1)] {
+            repo_a.annotate(&item(i), &q::iri("HitRatio"), v.into()).unwrap();
+        }
+        repo_a.annotate(&item(1), &q::iri("MassCoverage"), 40.0.into()).unwrap();
+        repo_b.annotate(&item(1), &q::iri("HitRatio"), 0.111.into()).unwrap();
+        repo_b.annotate(&item(2), &q::iri("MassCoverage"), 25.0.into()).unwrap();
+        repo_b.annotate(&item(3), &q::iri("MassCoverage"), 5.0.into()).unwrap();
+
+        let plan = vec![
+            (q::iri("HitRatio"), repo_a.clone()),
+            (q::iri("MassCoverage"), repo_b.clone()),
+            (q::iri("MassCoverage"), repo_a.clone()),
+            (q::iri("HitRatio"), repo_b.clone()),
+        ];
+        let items: Vec<Term> = (1..=3u32).map(item).collect();
+
+        // The pre-bulk composition: one per-pair enrich per plan entry,
+        // merged in plan order.
+        let mut per_entry = AnnotationMap::for_items(items.iter().cloned());
+        for (evidence_type, repository) in &plan {
+            let partial = repository.enrich(&items, std::slice::from_ref(evidence_type)).unwrap();
+            per_entry.merge(&partial);
+        }
+
+        let parallel = DataEnrichmentProcessor::new("de", plan.clone()).enrich(&items).unwrap();
+        let sequential =
+            DataEnrichmentProcessor::new("de", plan).with_parallel(false).enrich(&items).unwrap();
+
+        assert_eq!(parallel, per_entry);
+        assert_eq!(sequential, per_entry);
+        // The later plan entry's HitRatio (repo_b) must have won for item 1.
+        assert_eq!(
+            per_entry.item(&item(1)).unwrap().evidence(&q::iri("HitRatio")),
+            EvidenceValue::Number(0.111)
         );
     }
 
@@ -590,11 +714,8 @@ mod tests {
 
     #[test]
     fn bad_condition_source_is_reported() {
-        let action = ActionProcessor::new(
-            "keep",
-            CompiledAction::Filter { condition: "><><".into() },
-            iq(),
-        );
+        let action =
+            ActionProcessor::new("keep", CompiledAction::Filter { condition: "><><".into() }, iq());
         let ds = sample_dataset();
         let map = AnnotationMap::new();
         assert!(action.apply(&ds, &map).is_err());
@@ -647,9 +768,7 @@ impl ActionProcessor {
             }
             CompiledAction::Split { groups } => groups
                 .iter()
-                .map(|(group, condition)| {
-                    Ok((group.clone(), self.condition(condition)?))
-                })
+                .map(|(group, condition)| Ok((group.clone(), self.condition(condition)?)))
                 .collect::<Result<Vec<_>>>()?,
         };
         let mut out = Vec::with_capacity(dataset.items().len());
@@ -713,10 +832,7 @@ mod explain_tests {
         let action = ActionProcessor::new(
             "triage",
             CompiledAction::Split {
-                groups: vec![
-                    ("hi".into(), "score > 1".into()),
-                    ("lo".into(), "score <= 1".into()),
-                ],
+                groups: vec![("hi".into(), "score > 1".into()), ("lo".into(), "score <= 1".into())],
             },
             iq,
         );

@@ -28,10 +28,7 @@ impl VarDecl {
 
     /// Declares a named QA input variable.
     pub fn named(variable_name: impl Into<String>, evidence: impl Into<String>) -> Self {
-        VarDecl {
-            variable_name: Some(variable_name.into()),
-            evidence: evidence.into(),
-        }
+        VarDecl { variable_name: Some(variable_name.into()), evidence: evidence.into() }
     }
 
     /// The effective variable name (defaults to the evidence local name:

@@ -74,18 +74,14 @@ pub fn validate(
     // condition-only evidence to the right store)
     let mut provider_repo: BTreeMap<Iri, String> = BTreeMap::new();
     for a in &spec.annotators {
-        let service_type = iq
-            .resolve(&a.service_type)
-            .map_err(|e| err(e.to_string()))?;
+        let service_type = iq.resolve(&a.service_type).map_err(|e| err(e.to_string()))?;
         if !iq.is_annotation_function(&service_type) {
             return Err(err(format!(
                 "annotator {:?}: <{service_type}> is not an AnnotationFunction class",
                 a.service_name
             )));
         }
-        let service = registry
-            .annotator(&service_type)
-            .map_err(|e| err(e.to_string()))?;
+        let service = registry.annotator(&service_type).map_err(|e| err(e.to_string()))?;
         let provides = service.provides();
         for v in &a.variables {
             if v.tag_reference().is_some() {
@@ -121,18 +117,14 @@ pub fn validate(
     let mut type_env = TypeEnv::new().strict();
 
     for qa in &spec.assertions {
-        let service_type = iq
-            .resolve(&qa.service_type)
-            .map_err(|e| err(e.to_string()))?;
+        let service_type = iq.resolve(&qa.service_type).map_err(|e| err(e.to_string()))?;
         if !iq.is_assertion_type(&service_type) {
             return Err(err(format!(
                 "assertion {:?}: <{service_type}> is not a QualityAssertion class",
                 qa.service_name
             )));
         }
-        let service = registry
-            .assertion(&service_type)
-            .map_err(|e| err(e.to_string()))?;
+        let service = registry.assertion(&service_type).map_err(|e| err(e.to_string()))?;
 
         if known_tags.contains(&qa.tag_name.as_str()) {
             return Err(err(format!("duplicate tag name {:?}", qa.tag_name)));
@@ -176,10 +168,7 @@ pub fn validate(
                         qa.service_name
                     )));
                 }
-                if !enrichment_plan
-                    .iter()
-                    .any(|(e, r)| *e == evidence && *r == qa.repository_ref)
-                {
+                if !enrichment_plan.iter().any(|(e, r)| *e == evidence && *r == qa.repository_ref) {
                     enrichment_plan.push((evidence.clone(), qa.repository_ref.clone()));
                 }
                 bindings.push((variable, BindingTarget::Evidence(evidence)));
@@ -261,12 +250,10 @@ pub fn validate(
             }
         };
         for condition in conditions {
-            let expr = qurator_expr::parse(condition).map_err(|e| {
-                err(format!("action {:?}: {e} (in {condition:?})", action.name))
-            })?;
-            check(&expr, &type_env).map_err(|e| {
-                err(format!("action {:?}: {e} (in {condition:?})", action.name))
-            })?;
+            let expr = qurator_expr::parse(condition)
+                .map_err(|e| err(format!("action {:?}: {e} (in {condition:?})", action.name)))?;
+            check(&expr, &type_env)
+                .map_err(|e| err(format!("action {:?}: {e} (in {condition:?})", action.name)))?;
             // condition-only evidence joins the enrichment plan
             for variable in expr.variables() {
                 if known_tags.contains(&variable.as_str()) {
@@ -361,10 +348,7 @@ mod tests {
         assert_eq!(view.assertion_types.len(), 3);
         // all three evidence types fetched from the cache
         assert_eq!(view.enrichment_plan.len(), 3);
-        assert!(view
-            .enrichment_plan
-            .iter()
-            .all(|(_, repo)| repo == "cache"));
+        assert!(view.enrichment_plan.iter().all(|(_, repo)| repo == "cache"));
         // classifier bound to the HR_MC tag
         assert_eq!(
             view.assertion_bindings[2],
@@ -405,11 +389,7 @@ mod tests {
 
     #[test]
     fn rejects_unprovided_evidence() {
-        let e = break_spec(|s| {
-            s.annotators[0]
-                .variables
-                .push(VarDecl::evidence("q:Masses"))
-        });
+        let e = break_spec(|s| s.annotators[0].variables.push(VarDecl::evidence("q:Masses")));
         // the Imprint capture service does not provide q:Masses
         assert!(e.to_string().contains("does not provide"));
     }
@@ -444,9 +424,7 @@ mod tests {
     #[test]
     fn rejects_bad_conditions() {
         // syntax
-        let e = break_spec(|s| {
-            s.actions[0].kind = ActionKind::Filter { condition: ")".into() }
-        });
+        let e = break_spec(|s| s.actions[0].kind = ActionKind::Filter { condition: ")".into() });
         assert!(e.to_string().contains("syntax"));
         // undeclared variable (typo in tag)
         let e = break_spec(|s| {
@@ -540,9 +518,7 @@ mod provider_routing_tests {
         // and PeptidesCount (provided by no annotator -> default repo).
         spec.actions.push(ActionDecl {
             name: "keep".into(),
-            kind: ActionKind::Filter {
-                condition: "HitRatio > 0.5 or PeptidesCount > 3".into(),
-            },
+            kind: ActionKind::Filter { condition: "HitRatio > 0.5 or PeptidesCount > 3".into() },
         });
         let view = validate(&spec, &iq, &registry).unwrap();
         let repo_of = |local: &str| {

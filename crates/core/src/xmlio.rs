@@ -39,14 +39,10 @@ pub fn parse_quality_view(xml: &str) -> Result<QualityViewSpec> {
 /// Converts a parsed root element into a spec.
 pub fn element_to_spec(root: &Element) -> Result<QualityViewSpec> {
     if root.name() != "QualityView" {
-        return Err(QuratorError::Spec(format!(
-            "expected <QualityView>, found <{}>",
-            root.name()
-        )));
+        return Err(QuratorError::Spec(format!("expected <QualityView>, found <{}>", root.name())));
     }
     let mut spec = QualityViewSpec::new(
-        root.attr("name")
-            .ok_or_else(|| QuratorError::Spec("<QualityView> needs a name".into()))?,
+        root.attr("name").ok_or_else(|| QuratorError::Spec("<QualityView> needs a name".into()))?,
     );
     for child in root.elements() {
         match child.name() {
@@ -68,9 +64,7 @@ fn req<'a>(e: &'a Element, attr: &str) -> Result<&'a str> {
 }
 
 fn parse_variables(e: &Element) -> Result<(String, bool, Vec<VarDecl>)> {
-    let vars_el = e
-        .required_child("variables")
-        .map_err(QuratorError::Spec)?;
+    let vars_el = e.required_child("variables").map_err(QuratorError::Spec)?;
     let repository = req(vars_el, "repositoryRef")?.to_string();
     let persistent = match vars_el.attr("persistent") {
         None => false,
@@ -90,10 +84,7 @@ fn parse_variables(e: &Element) -> Result<(String, bool, Vec<VarDecl>)> {
         });
     }
     if variables.is_empty() {
-        return Err(QuratorError::Spec(format!(
-            "<{}> declares no <var> entries",
-            e.name()
-        )));
+        return Err(QuratorError::Spec(format!("<{}> declares no <var> entries", e.name())));
     }
     Ok((repository, persistent, variables))
 }
@@ -139,14 +130,9 @@ fn parse_action(e: &Element) -> Result<ActionDecl> {
         )));
     }
     if let Some(filter) = e.child("filter") {
-        let condition = filter
-            .required_child("condition")
-            .map_err(QuratorError::Spec)?
-            .text();
+        let condition = filter.required_child("condition").map_err(QuratorError::Spec)?.text();
         if condition.is_empty() {
-            return Err(QuratorError::Spec(format!(
-                "action {name:?} has an empty condition"
-            )));
+            return Err(QuratorError::Spec(format!("action {name:?} has an empty condition")));
         }
         return Ok(ActionDecl { name, kind: ActionKind::Filter { condition } });
     }
@@ -154,22 +140,15 @@ fn parse_action(e: &Element) -> Result<ActionDecl> {
         let mut groups = Vec::new();
         for group in splitter.children_named("group") {
             let group_name = req(group, "name")?.to_string();
-            let condition = group
-                .required_child("condition")
-                .map_err(QuratorError::Spec)?
-                .text();
+            let condition = group.required_child("condition").map_err(QuratorError::Spec)?.text();
             groups.push((group_name, condition));
         }
         if groups.is_empty() {
-            return Err(QuratorError::Spec(format!(
-                "splitter action {name:?} declares no groups"
-            )));
+            return Err(QuratorError::Spec(format!("splitter action {name:?} declares no groups")));
         }
         return Ok(ActionDecl { name, kind: ActionKind::Split { groups } });
     }
-    Err(QuratorError::Spec(format!(
-        "action {name:?} needs a <filter> or <splitter>"
-    )))
+    Err(QuratorError::Spec(format!("action {name:?} needs a <filter> or <splitter>")))
 }
 
 /// Serializes a spec back to the XML syntax (canonical form).
@@ -217,8 +196,9 @@ pub fn spec_to_element(spec: &QualityViewSpec) -> Element {
     }
     for action in &spec.actions {
         let body = match &action.kind {
-            ActionKind::Filter { condition } => Element::new("filter")
-                .with_child(Element::new("condition").with_text(condition)),
+            ActionKind::Filter { condition } => {
+                Element::new("filter").with_child(Element::new("condition").with_text(condition))
+            }
             ActionKind::Split { groups } => {
                 let mut splitter = Element::new("splitter");
                 for (group_name, condition) in groups {
@@ -231,11 +211,8 @@ pub fn spec_to_element(spec: &QualityViewSpec) -> Element {
                 splitter
             }
         };
-        root = root.with_child(
-            Element::new("action")
-                .with_attr("name", &action.name)
-                .with_child(body),
-        );
+        root = root
+            .with_child(Element::new("action").with_attr("name", &action.name).with_child(body));
     }
     root
 }
@@ -359,10 +336,8 @@ mod tests {
         )
         .is_err());
         // action without body
-        assert!(parse_quality_view(
-            r#"<QualityView name="v"><action name="a"/></QualityView>"#
-        )
-        .is_err());
+        assert!(parse_quality_view(r#"<QualityView name="v"><action name="a"/></QualityView>"#)
+            .is_err());
         // action with both bodies
         assert!(parse_quality_view(
             r#"<QualityView name="v"><action name="a">
@@ -389,9 +364,6 @@ mod tests {
         )
         .is_err());
         // XML-level error propagates
-        assert!(matches!(
-            parse_quality_view("<QualityView name='v'>"),
-            Err(QuratorError::Xml(_))
-        ));
+        assert!(matches!(parse_quality_view("<QualityView name='v'>"), Err(QuratorError::Xml(_))));
     }
 }

@@ -106,9 +106,7 @@ impl Expr {
             Expr::Const(_) | Expr::Var(_) => 1,
             Expr::Unary(_, inner) => 1 + inner.size(),
             Expr::Binary(_, a, b) => 1 + a.size() + b.size(),
-            Expr::In(lhs, items) => {
-                1 + lhs.size() + items.iter().map(Expr::size).sum::<usize>()
-            }
+            Expr::In(lhs, items) => 1 + lhs.size() + items.iter().map(Expr::size).sum::<usize>(),
         }
     }
 }
@@ -183,10 +181,7 @@ mod tests {
     fn display_is_parseable() {
         let e = Expr::In(
             Box::new(Expr::Var("ScoreClass".into())),
-            vec![
-                Expr::Const(Value::symbol("q:high")),
-                Expr::Const(Value::symbol("q:mid")),
-            ],
+            vec![Expr::Const(Value::symbol("q:high")), Expr::Const(Value::symbol("q:mid"))],
         );
         let src = e.to_source();
         let back = crate::parse(&src).unwrap();

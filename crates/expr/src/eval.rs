@@ -131,9 +131,9 @@ impl Expr {
                 if va.is_null() || vb.is_null() {
                     return Ok(Value::Null);
                 }
-                let ord = va.value_cmp(&vb).ok_or_else(|| {
-                    ExprError::Eval(format!("cannot order {va} and {vb}"))
-                })?;
+                let ord = va
+                    .value_cmp(&vb)
+                    .ok_or_else(|| ExprError::Eval(format!("cannot order {va} and {vb}")))?;
                 use std::cmp::Ordering::*;
                 Ok(Value::Bool(match op {
                     Lt => ord == Less,
@@ -207,24 +207,17 @@ mod tests {
         let e = parse("ScoreClass in q:high, q:mid and HR_MC > 20").unwrap();
         // accepted: class high, HR_MC 31
         assert!(e
-            .accepts(&env(&[
-                ("ScoreClass", Value::symbol("q:high")),
-                ("HR_MC", Value::from(31.0)),
-            ]))
+            .accepts(&env(
+                &[("ScoreClass", Value::symbol("q:high")), ("HR_MC", Value::from(31.0)),]
+            ))
             .unwrap());
         // rejected: class low
         assert!(!e
-            .accepts(&env(&[
-                ("ScoreClass", Value::symbol("q:low")),
-                ("HR_MC", Value::from(31.0)),
-            ]))
+            .accepts(&env(&[("ScoreClass", Value::symbol("q:low")), ("HR_MC", Value::from(31.0)),]))
             .unwrap());
         // rejected: HR_MC below threshold
         assert!(!e
-            .accepts(&env(&[
-                ("ScoreClass", Value::symbol("q:mid")),
-                ("HR_MC", Value::from(12.0)),
-            ]))
+            .accepts(&env(&[("ScoreClass", Value::symbol("q:mid")), ("HR_MC", Value::from(12.0)),]))
             .unwrap());
     }
 
@@ -255,12 +248,8 @@ mod tests {
     #[test]
     fn arithmetic() {
         let e = parse("(hr * 100 + mc) / 2 >= 50").unwrap();
-        assert!(e
-            .accepts(&env(&[("hr", Value::from(0.9)), ("mc", Value::from(40.0))]))
-            .unwrap());
-        assert!(!e
-            .accepts(&env(&[("hr", Value::from(0.1)), ("mc", Value::from(10.0))]))
-            .unwrap());
+        assert!(e.accepts(&env(&[("hr", Value::from(0.9)), ("mc", Value::from(40.0))])).unwrap());
+        assert!(!e.accepts(&env(&[("hr", Value::from(0.1)), ("mc", Value::from(10.0))])).unwrap());
     }
 
     #[test]
@@ -285,10 +274,7 @@ mod tests {
         // x=2 matches despite the null item
         assert!(e.accepts(&env(&[("x", Value::from(2.0))])).unwrap());
         // x=3: no match, but null item makes the outcome Null
-        assert_eq!(
-            e.eval(&env(&[("x", Value::from(3.0))])).unwrap(),
-            Value::Null
-        );
+        assert_eq!(e.eval(&env(&[("x", Value::from(3.0))])).unwrap(), Value::Null);
     }
 
     #[test]
@@ -330,9 +316,16 @@ mod prop_tests {
             let sub = num_expr(depth - 1, leaf.clone());
             prop_oneof![
                 leaf,
-                (sub.clone(), sub.clone(), prop_oneof![
-                    Just(BinaryOp::Add), Just(BinaryOp::Sub), Just(BinaryOp::Mul)
-                ]).prop_map(|(a, b, op)| Expr::Binary(op, Box::new(a), Box::new(b))),
+                (
+                    sub.clone(),
+                    sub.clone(),
+                    prop_oneof![Just(BinaryOp::Add), Just(BinaryOp::Sub), Just(BinaryOp::Mul)]
+                )
+                    .prop_map(|(a, b, op)| Expr::Binary(
+                        op,
+                        Box::new(a),
+                        Box::new(b)
+                    )),
                 sub.prop_map(|a| Expr::Unary(UnaryOp::Neg, Box::new(a))),
             ]
             .boxed()
@@ -342,14 +335,23 @@ mod prop_tests {
             (0u8..2).prop_map(|i| Expr::Var(format!("c{i}"))),
             (0u8..3).prop_map(|i| Expr::Const(Value::Symbol(format!("q:label{i}")))),
         ];
-        let cmp = (nums.clone(), nums.clone(), prop_oneof![
-            Just(BinaryOp::Lt), Just(BinaryOp::Le), Just(BinaryOp::Gt),
-            Just(BinaryOp::Ge), Just(BinaryOp::Eq), Just(BinaryOp::Ne),
-        ])
+        let cmp = (
+            nums.clone(),
+            nums.clone(),
+            prop_oneof![
+                Just(BinaryOp::Lt),
+                Just(BinaryOp::Le),
+                Just(BinaryOp::Gt),
+                Just(BinaryOp::Ge),
+                Just(BinaryOp::Eq),
+                Just(BinaryOp::Ne),
+            ],
+        )
             .prop_map(|(a, b, op)| Expr::Binary(op, Box::new(a), Box::new(b)));
         let membership = (sym_leaf.clone(), proptest::collection::vec(sym_leaf, 1..4))
             .prop_map(|(l, items)| Expr::In(Box::new(l), items));
-        let atom = prop_oneof![cmp, membership, any::<bool>().prop_map(|b| Expr::Const(Value::Bool(b)))];
+        let atom =
+            prop_oneof![cmp, membership, any::<bool>().prop_map(|b| Expr::Const(Value::Bool(b)))];
         if depth == 0 {
             return atom.boxed();
         }
@@ -357,9 +359,15 @@ mod prop_tests {
         prop_oneof![
             atom,
             (sub.clone(), sub.clone()).prop_map(|(a, b)| Expr::Binary(
-                BinaryOp::And, Box::new(a), Box::new(b))),
+                BinaryOp::And,
+                Box::new(a),
+                Box::new(b)
+            )),
             (sub.clone(), sub.clone()).prop_map(|(a, b)| Expr::Binary(
-                BinaryOp::Or, Box::new(a), Box::new(b))),
+                BinaryOp::Or,
+                Box::new(a),
+                Box::new(b)
+            )),
             sub.prop_map(|a| Expr::Unary(UnaryOp::Not, Box::new(a))),
         ]
         .boxed()

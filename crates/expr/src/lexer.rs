@@ -201,9 +201,8 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Spanned>> {
                     }
                 }
                 let text = &src[start..pos];
-                let n: f64 = text
-                    .parse()
-                    .map_err(|_| err(start, format!("bad number {text:?}")))?;
+                let n: f64 =
+                    text.parse().map_err(|_| err(start, format!("bad number {text:?}")))?;
                 Token::Num(n)
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {

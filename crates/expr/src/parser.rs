@@ -225,14 +225,8 @@ mod tests {
 
     #[test]
     fn not_and_negation() {
-        assert!(matches!(
-            parse("not x = 1").unwrap(),
-            Expr::Unary(UnaryOp::Not, _)
-        ));
-        assert!(matches!(
-            parse("-x < 0").unwrap(),
-            Expr::Binary(BinaryOp::Lt, ..)
-        ));
+        assert!(matches!(parse("not x = 1").unwrap(), Expr::Unary(UnaryOp::Not, _)));
+        assert!(matches!(parse("-x < 0").unwrap(), Expr::Binary(BinaryOp::Lt, ..)));
     }
 
     #[test]
@@ -276,8 +270,7 @@ mod prop_tests {
                     )
                 })
                 .prop_map(Expr::Var),
-            "[a-z]{1,3}:[a-zA-Z][a-zA-Z0-9]{0,6}"
-                .prop_map(|s| Expr::Const(Value::Symbol(s))),
+            "[a-z]{1,3}:[a-zA-Z][a-zA-Z0-9]{0,6}".prop_map(|s| Expr::Const(Value::Symbol(s))),
             any::<bool>().prop_map(|b| Expr::Const(Value::Bool(b))),
             "[a-zA-Z0-9 ]{0,10}".prop_map(|s| Expr::Const(Value::Str(s))),
         ];

@@ -119,9 +119,7 @@ pub fn check(expr: &Expr, env: &TypeEnv) -> Result<ExprType> {
                     if ta.unifies(tb) {
                         Ok(Boolean)
                     } else {
-                        Err(ExprError::Type(format!(
-                            "cannot compare {ta:?} with {tb:?}"
-                        )))
+                        Err(ExprError::Type(format!("cannot compare {ta:?} with {tb:?}")))
                     }
                 }
                 BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => {
@@ -130,9 +128,7 @@ pub fn check(expr: &Expr, env: &TypeEnv) -> Result<ExprType> {
                     if orderable {
                         Ok(Boolean)
                     } else {
-                        Err(ExprError::Type(format!(
-                            "cannot order {ta:?} and {tb:?}"
-                        )))
+                        Err(ExprError::Type(format!("cannot order {ta:?} and {tb:?}")))
                     }
                 }
                 BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div => {
@@ -177,10 +173,7 @@ mod tests {
     #[test]
     fn paper_condition_typechecks() {
         let e = parse("ScoreClass in q:high, q:mid and HR_MC > 20").unwrap();
-        let env = tenv(&[
-            ("ScoreClass", ExprType::Symbol),
-            ("HR_MC", ExprType::Number),
-        ]);
+        let env = tenv(&[("ScoreClass", ExprType::Symbol), ("HR_MC", ExprType::Number)]);
         assert_eq!(check(&e, &env).unwrap(), ExprType::Boolean);
     }
 

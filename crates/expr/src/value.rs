@@ -156,10 +156,7 @@ mod tests {
 
     #[test]
     fn numeric_comparison() {
-        assert_eq!(
-            Value::Num(1.0).value_cmp(&Value::Num(2.0)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Num(1.0).value_cmp(&Value::Num(2.0)), Some(Ordering::Less));
         assert_eq!(Value::Num(1.0).value_cmp(&Value::string("x")), None);
         assert_eq!(Value::Null.value_cmp(&Value::Num(1.0)), None);
     }

@@ -91,9 +91,9 @@ impl BindingRegistry {
             Some(Resource { kind: ResourceKind::Data, .. }) => Err(OntologyError::Conflict(
                 format!("<{concept}> is bound to a data resource, not a service"),
             )),
-            None => Err(OntologyError::Unknown(format!(
-                "no service binding for concept <{concept}>"
-            ))),
+            None => {
+                Err(OntologyError::Unknown(format!("no service binding for concept <{concept}>")))
+            }
         }
     }
 
@@ -130,10 +130,7 @@ mod tests {
             reg.service_locator(&q::iri("UniversalPIScore2")).unwrap(),
             "svc://qa/hr-mc-score"
         );
-        assert_eq!(
-            reg.lookup(&q::iri("ImprintHitEntry")).unwrap().kind,
-            ResourceKind::Data
-        );
+        assert_eq!(reg.lookup(&q::iri("ImprintHitEntry")).unwrap().kind, ResourceKind::Data);
         assert_eq!(reg.len(), 2);
     }
 
@@ -141,14 +138,8 @@ mod tests {
     fn missing_and_wrong_kind_bindings_error() {
         let mut reg = BindingRegistry::new();
         reg.bind_data(q::iri("X"), "sql://x");
-        assert!(matches!(
-            reg.service_locator(&q::iri("Y")),
-            Err(OntologyError::Unknown(_))
-        ));
-        assert!(matches!(
-            reg.service_locator(&q::iri("X")),
-            Err(OntologyError::Conflict(_))
-        ));
+        assert!(matches!(reg.service_locator(&q::iri("Y")), Err(OntologyError::Unknown(_))));
+        assert!(matches!(reg.service_locator(&q::iri("X")), Err(OntologyError::Conflict(_))));
     }
 
     #[test]

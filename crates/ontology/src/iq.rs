@@ -98,8 +98,14 @@ impl IqModel {
         let top = Iri::new(qurator_rdf::namespace::owl::THING);
         for (class, comment) in [
             (vocab::data_entity(), "any data item for which quality annotations can be computed"),
-            (vocab::quality_evidence(), "any measurable quantity usable as input to a quality assertion"),
-            (vocab::quality_assertion(), "a user-defined decision model producing scores or classifications"),
+            (
+                vocab::quality_evidence(),
+                "any measurable quantity usable as input to a quality assertion",
+            ),
+            (
+                vocab::quality_assertion(),
+                "a user-defined decision model producing scores or classifications",
+            ),
             (vocab::annotation_function(), "a function computing quality evidence for data items"),
             (vocab::classification_model(), "an enumerated classification scheme"),
             (vocab::quality_property(), "a generic quality dimension from the IQ literature"),
@@ -147,8 +153,7 @@ impl IqModel {
             vocab::consistency(),
             vocab::reputation(),
         ] {
-            onto.declare_individual(dim, vocab::quality_property())
-                .expect("fresh ontology");
+            onto.declare_individual(dim, vocab::quality_property()).expect("fresh ontology");
         }
 
         IqModel { onto, prefixes: PrefixMap::with_defaults() }
@@ -225,8 +230,7 @@ impl IqModel {
     /// Registers an annotation-function type.
     pub fn register_annotation_function(&mut self, name: &str) -> Result<Iri> {
         let class = self.to_q_iri(name)?;
-        self.onto
-            .declare_subclass(class.clone(), vocab::annotation_function());
+        self.onto.declare_subclass(class.clone(), vocab::annotation_function());
         Ok(class)
     }
 
@@ -234,8 +238,7 @@ impl IqModel {
     /// individuals, to allow further specialization — paper §4.1).
     pub fn register_assertion_type(&mut self, name: &str) -> Result<Iri> {
         let class = self.to_q_iri(name)?;
-        self.onto
-            .declare_subclass(class.clone(), vocab::quality_assertion());
+        self.onto.declare_subclass(class.clone(), vocab::quality_assertion());
         Ok(class)
     }
 
@@ -248,8 +251,7 @@ impl IqModel {
         labels: &[&str],
     ) -> Result<(Iri, Vec<Iri>)> {
         let class = self.to_q_iri(name)?;
-        self.onto
-            .declare_subclass(class.clone(), vocab::classification_model());
+        self.onto.declare_subclass(class.clone(), vocab::classification_model());
         let mut label_iris = Vec::with_capacity(labels.len());
         for label in labels {
             let individual = self.to_q_iri(label)?;
@@ -267,18 +269,14 @@ impl IqModel {
                 "<{class}> is not a QualityAssertion class"
             )));
         }
-        if !self
-            .onto
-            .is_instance_of(dimension, &vocab::quality_property())
-        {
+        if !self.onto.is_instance_of(dimension, &vocab::quality_property()) {
             return Err(OntologyError::Unknown(format!(
                 "<{dimension}> is not a quality dimension"
             )));
         }
         // Recorded as a label-style annotation on the class (the full RDF
         // rendering carries it as an addresses-dimension triple).
-        self.onto
-            .set_label(&class, format!("dimension:{}", dimension.local_name()));
+        self.onto.set_label(&class, format!("dimension:{}", dimension.local_name()));
         Ok(())
     }
 
@@ -286,22 +284,17 @@ impl IqModel {
 
     /// Is the class a registered evidence type?
     pub fn is_evidence_type(&self, class: &Iri) -> bool {
-        self.onto.has_class(class)
-            && self.onto.is_subclass_of(class, &vocab::quality_evidence())
+        self.onto.has_class(class) && self.onto.is_subclass_of(class, &vocab::quality_evidence())
     }
 
     /// Is the class a registered assertion type?
     pub fn is_assertion_type(&self, class: &Iri) -> bool {
-        self.onto.has_class(class)
-            && self.onto.is_subclass_of(class, &vocab::quality_assertion())
+        self.onto.has_class(class) && self.onto.is_subclass_of(class, &vocab::quality_assertion())
     }
 
     /// Is the class a registered annotation-function type?
     pub fn is_annotation_function(&self, class: &Iri) -> bool {
-        self.onto.has_class(class)
-            && self
-                .onto
-                .is_subclass_of(class, &vocab::annotation_function())
+        self.onto.has_class(class) && self.onto.is_subclass_of(class, &vocab::annotation_function())
     }
 
     /// Is the class a registered data-entity type?
@@ -311,10 +304,7 @@ impl IqModel {
 
     /// The enumerated labels of a classification model, in IRI order.
     pub fn classification_labels(&self, model: &Iri) -> Vec<Iri> {
-        if !self
-            .onto
-            .is_subclass_of(model, &vocab::classification_model())
-        {
+        if !self.onto.is_subclass_of(model, &vocab::classification_model()) {
             return Vec::new();
         }
         self.onto.instances_of(model)
@@ -399,10 +389,7 @@ mod tests {
     fn resolve_and_compact() {
         let iq = IqModel::new();
         assert_eq!(iq.resolve("q:HitRatio").unwrap(), q::iri("HitRatio"));
-        assert_eq!(
-            iq.resolve("urn:lsid:a:b:C").unwrap().as_str(),
-            "urn:lsid:a:b:C"
-        );
+        assert_eq!(iq.resolve("urn:lsid:a:b:C").unwrap().as_str(), "urn:lsid:a:b:C");
         assert!(iq.resolve("nope:X").is_err());
         assert_eq!(iq.compact(&q::iri("HitRatio")), "q:HitRatio");
     }

@@ -148,11 +148,7 @@ impl Ontology {
         if !self.classes.contains_key(&class) {
             return Err(OntologyError::Unknown(format!("class <{class}>")));
         }
-        self.individuals
-            .entry(individual)
-            .or_default()
-            .types
-            .insert(class);
+        self.individuals.entry(individual).or_default().types.insert(class);
         Ok(self)
     }
 
@@ -212,11 +208,7 @@ impl Ontology {
 
     /// All strict + reflexive subclasses of `class`, in IRI order.
     pub fn subclasses_of(&self, class: &Iri) -> Vec<Iri> {
-        self.classes
-            .keys()
-            .filter(|c| self.is_subclass_of(c, class))
-            .cloned()
-            .collect()
+        self.classes.keys().filter(|c| self.is_subclass_of(c, class)).cloned().collect()
     }
 
     /// All reflexive-transitive superclasses of `class`, in IRI order.
@@ -239,10 +231,7 @@ impl Ontology {
 
     /// The direct parents of a class.
     pub fn direct_superclasses(&self, class: &Iri) -> Vec<Iri> {
-        self.classes
-            .get(class)
-            .map(|c| c.parents.iter().cloned().collect())
-            .unwrap_or_default()
+        self.classes.get(class).map(|c| c.parents.iter().cloned().collect()).unwrap_or_default()
     }
 
     /// Instance checking with subsumption: is `individual : class`?
@@ -255,11 +244,7 @@ impl Ontology {
 
     /// All individuals whose (inferred) types include `class`, in IRI order.
     pub fn instances_of(&self, class: &Iri) -> Vec<Iri> {
-        self.individuals
-            .keys()
-            .filter(|i| self.is_instance_of(i, class))
-            .cloned()
-            .collect()
+        self.individuals.keys().filter(|i| self.is_instance_of(i, class)).cloned().collect()
     }
 
     /// The asserted (direct) types of an individual.
@@ -357,11 +342,8 @@ impl Ontology {
         // 3. disjointness (inherited: an instance of A and of B with
         // A' disjoint B' for some superclasses A' of A and B' of B)
         for (individual, info) in &self.individuals {
-            let supers: Vec<Iri> = info
-                .types
-                .iter()
-                .flat_map(|t| self.superclasses_of(t))
-                .collect();
+            let supers: Vec<Iri> =
+                info.types.iter().flat_map(|t| self.superclasses_of(t)).collect();
             for a in &supers {
                 if let Some(ca) = self.classes.get(a) {
                     for d in &ca.disjoint_with {
@@ -378,9 +360,7 @@ impl Ontology {
         for (class, info) in &self.classes {
             for parent in &info.parents {
                 if !self.classes.contains_key(parent) {
-                    return Err(OntologyError::Unknown(format!(
-                        "parent <{parent}> of <{class}>"
-                    )));
+                    return Err(OntologyError::Unknown(format!("parent <{parent}> of <{class}>")));
                 }
             }
         }
@@ -440,9 +420,7 @@ impl Ontology {
             }
         }
         for (property, info) in &other.properties {
-            self.properties
-                .entry(property.clone())
-                .or_insert_with(|| info.clone());
+            self.properties.entry(property.clone()).or_insert_with(|| info.clone());
         }
         for (individual, info) in &other.individuals {
             let slot = self.individuals.entry(individual.clone()).or_default();
@@ -512,10 +490,7 @@ mod tests {
             Some(iri("Evidence")),
         )
         .unwrap();
-        assert_eq!(
-            o.property_kind(&iri("contains-evidence")),
-            Some(PropertyKind::Object)
-        );
+        assert_eq!(o.property_kind(&iri("contains-evidence")), Some(PropertyKind::Object));
         assert_eq!(o.property_range(&iri("contains-evidence")), Some(&iri("Evidence")));
         // redeclaration with different kind conflicts
         assert!(o
@@ -541,10 +516,7 @@ mod tests {
         o.declare_subclass(iri("B"), iri("C"));
         assert!(o.check_consistency().is_ok());
         o.declare_subclass(iri("C"), iri("A"));
-        assert!(matches!(
-            o.check_consistency(),
-            Err(OntologyError::Inconsistent(_))
-        ));
+        assert!(matches!(o.check_consistency(), Err(OntologyError::Inconsistent(_))));
     }
 
     #[test]

@@ -16,11 +16,7 @@ pub fn to_graph(onto: &Ontology) -> GraphStore {
     let a = Term::iri(rdf::TYPE);
 
     for class in onto.classes() {
-        g.insert(Triple::new(
-            Term::Iri(class.clone()),
-            a.clone(),
-            Term::iri(owl::CLASS),
-        ));
+        g.insert(Triple::new(Term::Iri(class.clone()), a.clone(), Term::iri(owl::CLASS)));
         for parent in onto.direct_superclasses(class) {
             g.insert(Triple::new(
                 Term::Iri(class.clone()),
@@ -48,11 +44,7 @@ pub fn to_graph(onto: &Ontology) -> GraphStore {
             PropertyKind::Object => owl::OBJECT_PROPERTY,
             PropertyKind::Datatype => owl::DATATYPE_PROPERTY,
         };
-        g.insert(Triple::new(
-            Term::Iri(property.clone()),
-            a.clone(),
-            Term::iri(kind_iri),
-        ));
+        g.insert(Triple::new(Term::Iri(property.clone()), a.clone(), Term::iri(kind_iri)));
         if let Some(domain) = onto.property_domain(property) {
             g.insert(Triple::new(
                 Term::Iri(property.clone()),
@@ -70,11 +62,7 @@ pub fn to_graph(onto: &Ontology) -> GraphStore {
     }
     for individual in onto.individuals() {
         for ty in onto.types_of(individual) {
-            g.insert(Triple::new(
-                Term::Iri(individual.clone()),
-                a.clone(),
-                Term::Iri(ty),
-            ));
+            g.insert(Triple::new(Term::Iri(individual.clone()), a.clone(), Term::Iri(ty)));
         }
     }
     g
@@ -134,20 +122,16 @@ pub fn from_graph(g: &GraphStore) -> Result<Ontology> {
     }
 
     // labels & comments
-    for t in g.matching(&qurator_rdf::triple::TriplePattern::new(
-        None,
-        Term::iri(rdfs::LABEL),
-        None,
-    )) {
+    for t in
+        g.matching(&qurator_rdf::triple::TriplePattern::new(None, Term::iri(rdfs::LABEL), None))
+    {
         if let (Term::Iri(entity), Term::Literal(l)) = (t.subject, t.object) {
             onto.set_label(&entity, l.lexical());
         }
     }
-    for t in g.matching(&qurator_rdf::triple::TriplePattern::new(
-        None,
-        Term::iri(rdfs::COMMENT),
-        None,
-    )) {
+    for t in
+        g.matching(&qurator_rdf::triple::TriplePattern::new(None, Term::iri(rdfs::COMMENT), None))
+    {
         if let (Term::Iri(entity), Term::Literal(l)) = (t.subject, t.object) {
             onto.set_comment(&entity, l.lexical());
         }
@@ -170,14 +154,8 @@ mod tests {
         assert!(back.is_subclass_of(&q::iri("HitRatio"), &vocab::quality_evidence()));
         assert!(back.is_subclass_of(&q::iri("ImprintHitEntry"), &vocab::data_entity()));
         assert!(back.is_instance_of(&q::iri("high"), &q::iri("PIScoreClassification")));
-        assert_eq!(
-            back.property_kind(&vocab::contains_evidence()),
-            Some(PropertyKind::Object)
-        );
-        assert_eq!(
-            back.property_domain(&vocab::contains_evidence()),
-            Some(&vocab::data_entity())
-        );
+        assert_eq!(back.property_kind(&vocab::contains_evidence()), Some(PropertyKind::Object));
+        assert_eq!(back.property_domain(&vocab::contains_evidence()), Some(&vocab::data_entity()));
         back.check_consistency().unwrap();
     }
 
@@ -201,9 +179,6 @@ mod tests {
         let iq = IqModel::new();
         let g = to_graph(iq.ontology());
         let back = from_graph(&g).unwrap();
-        assert!(back
-            .comment(&vocab::quality_evidence())
-            .unwrap()
-            .contains("measurable"));
+        assert!(back.comment(&vocab::quality_evidence()).unwrap().contains("measurable"));
     }
 }

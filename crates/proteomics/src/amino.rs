@@ -2,8 +2,8 @@
 
 /// The 20 standard amino acids (one-letter codes).
 pub const ALPHABET: [char; 20] = [
-    'A', 'R', 'N', 'D', 'C', 'E', 'Q', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W',
-    'Y', 'V',
+    'A', 'R', 'N', 'D', 'C', 'E', 'Q', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W', 'Y',
+    'V',
 ];
 
 /// Monoisotopic mass of one water molecule (added once per peptide).

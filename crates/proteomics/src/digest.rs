@@ -32,8 +32,8 @@ pub fn cleavage_sites(sequence: &str) -> Vec<usize> {
     let chars: Vec<char> = sequence.chars().collect();
     let mut sites = Vec::new();
     for i in 0..chars.len() {
-        let cleaves = matches!(chars[i], 'K' | 'R')
-            && chars.get(i + 1).is_none_or(|&next| next != 'P');
+        let cleaves =
+            matches!(chars[i], 'K' | 'R') && chars.get(i + 1).is_none_or(|&next| next != 'P');
         if cleaves && i + 1 < chars.len() {
             sites.push(i + 1);
         }
@@ -120,10 +120,8 @@ mod tests {
     #[test]
     fn missed_cleavages_concatenate_fragments() {
         let peptides = digest("AAKAAARAAA", 1, 1);
-        let seqs: Vec<(&str, usize)> = peptides
-            .iter()
-            .map(|p| (p.sequence.as_str(), p.missed_cleavages))
-            .collect();
+        let seqs: Vec<(&str, usize)> =
+            peptides.iter().map(|p| (p.sequence.as_str(), p.missed_cleavages)).collect();
         assert!(seqs.contains(&("AAKAAAR", 1)));
         assert!(seqs.contains(&("AAARAAA", 1)));
         assert!(seqs.contains(&("AAK", 0)));

@@ -123,12 +123,7 @@ impl GeneOntology {
                 has_child[parent] = true;
             }
         }
-        has_child
-            .iter()
-            .enumerate()
-            .filter(|(_, &h)| !h)
-            .map(|(i, _)| i)
-            .collect()
+        has_child.iter().enumerate().filter(|(_, &h)| !h).map(|(i, _)| i).collect()
     }
 }
 
@@ -173,10 +168,7 @@ mod tests {
         let leaves = go.leaves();
         assert!(!leaves.is_empty());
         for &leaf in &leaves {
-            assert!(go
-                .terms()
-                .iter()
-                .all(|t| !t.parents.contains(&leaf)));
+            assert!(go.terms().iter().all(|t| !t.parents.contains(&leaf)));
         }
     }
 

@@ -144,10 +144,7 @@ impl GoaDb {
     /// Associations of one protein (empty slice when unknown — GOA does
     /// not cover every accession).
     pub fn lookup(&self, accession: &str) -> &[GoAnnotation] {
-        self.associations
-            .get(accession)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.associations.get(accession).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Number of annotated proteins.
@@ -211,26 +208,14 @@ mod tests {
     #[test]
     fn iea_fraction_controls_mix() {
         let (proteome, go) = world();
-        let all_iea = GoaDb::generate(
-            &proteome,
-            &go,
-            &GoaConfig { iea_fraction: 1.0, ..Default::default() },
-        )
-        .unwrap();
-        assert!(all_iea
-            .lookup("P10000")
-            .iter()
-            .all(|r| r.evidence == EvidenceCode::Iea));
-        let none_iea = GoaDb::generate(
-            &proteome,
-            &go,
-            &GoaConfig { iea_fraction: 0.0, ..Default::default() },
-        )
-        .unwrap();
-        assert!(none_iea
-            .lookup("P10000")
-            .iter()
-            .all(|r| r.evidence != EvidenceCode::Iea));
+        let all_iea =
+            GoaDb::generate(&proteome, &go, &GoaConfig { iea_fraction: 1.0, ..Default::default() })
+                .unwrap();
+        assert!(all_iea.lookup("P10000").iter().all(|r| r.evidence == EvidenceCode::Iea));
+        let none_iea =
+            GoaDb::generate(&proteome, &go, &GoaConfig { iea_fraction: 0.0, ..Default::default() })
+                .unwrap();
+        assert!(none_iea.lookup("P10000").iter().all(|r| r.evidence != EvidenceCode::Iea));
     }
 
     #[test]

@@ -86,22 +86,12 @@ impl Imprint {
         let digests = proteome
             .proteins()
             .iter()
-            .map(|p| {
-                digest(
-                    &p.sequence,
-                    config.max_missed_cleavages,
-                    config.min_peptide_len,
-                )
-            })
+            .map(|p| digest(&p.sequence, config.max_missed_cleavages, config.min_peptide_len))
             .collect();
         Ok(Imprint {
             config,
             digests,
-            accessions: proteome
-                .proteins()
-                .iter()
-                .map(|p| p.accession.clone())
-                .collect(),
+            accessions: proteome.proteins().iter().map(|p| p.accession.clone()).collect(),
             lengths: proteome.proteins().iter().map(|p| p.len()).collect(),
         })
     }
@@ -154,11 +144,8 @@ impl Imprint {
         let mut scored: Vec<(Candidate, f64)> = candidates
             .into_iter()
             .map(|c| {
-                let peptide_refs: Vec<&Peptide> = c
-                    .matched_peptides
-                    .iter()
-                    .map(|&i| &self.digests[c.index][i])
-                    .collect();
+                let peptide_refs: Vec<&Peptide> =
+                    c.matched_peptides.iter().map(|&i| &self.digests[c.index][i]).collect();
                 let coverage = sequence_coverage(self.lengths[c.index], &peptide_refs) * 100.0;
                 (c, coverage)
             })
@@ -215,9 +202,7 @@ mod tests {
 
     fn acquire(seed: u64) -> (Proteome, PeakList) {
         let p = proteome();
-        let pl = Spectrometer::new(seed)
-            .acquire(&p, "spot", &SampleConfig::default())
-            .unwrap();
+        let pl = Spectrometer::new(seed).acquire(&p, "spot", &SampleConfig::default()).unwrap();
         (p, pl)
     }
 
@@ -274,12 +259,11 @@ mod tests {
     #[test]
     fn search_produces_false_positives_with_loose_tolerance() {
         let (p, pl) = acquire(14);
-        let config = ImprintConfig { tolerance_ppm: 2000.0, min_matched_peaks: 2, ..Default::default() };
+        let config =
+            ImprintConfig { tolerance_ppm: 2000.0, min_matched_peaks: 2, ..Default::default() };
         let hits = Imprint::new(&p, config).unwrap().search(&pl);
-        let false_positives = hits
-            .iter()
-            .filter(|h| !pl.true_proteins.contains(&h.accession))
-            .count();
+        let false_positives =
+            hits.iter().filter(|h| !pl.true_proteins.contains(&h.accession)).count();
         assert!(false_positives > 0, "loose tolerance must admit false positives");
     }
 
@@ -321,7 +305,9 @@ mod tests {
     #[test]
     fn bad_config_rejected() {
         let p = proteome();
-        assert!(Imprint::new(&p, ImprintConfig { tolerance_ppm: 0.0, ..Default::default() }).is_err());
+        assert!(
+            Imprint::new(&p, ImprintConfig { tolerance_ppm: 0.0, ..Default::default() }).is_err()
+        );
         assert!(Imprint::new(&p, ImprintConfig { max_hits: 0, ..Default::default() }).is_err());
     }
 }

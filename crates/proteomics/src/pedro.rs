@@ -45,9 +45,7 @@ impl PedroDb {
         self.peak_lists(experiment)?
             .iter()
             .find(|pl| pl.spot_id == spot_id)
-            .ok_or_else(|| {
-                ProteomicsError::NotFound(format!("spot {spot_id:?} in {experiment:?}"))
-            })
+            .ok_or_else(|| ProteomicsError::NotFound(format!("spot {spot_id:?} in {experiment:?}")))
     }
 
     /// Names of deposited experiments.

@@ -61,9 +61,7 @@ impl Proteome {
     /// Generates a synthetic proteome.
     pub fn generate(config: &ProteomeConfig) -> Result<Self> {
         if config.size == 0 || config.min_len == 0 || config.min_len > config.max_len {
-            return Err(ProteomicsError::BadConfig(format!(
-                "proteome config {config:?}"
-            )));
+            return Err(ProteomicsError::BadConfig(format!("proteome config {config:?}")));
         }
         let mut rng = StdRng::seed_from_u64(config.seed);
         // Cumulative distribution over the alphabet for weighted sampling.
@@ -85,10 +83,7 @@ impl Proteome {
             let sequence: String = (0..len)
                 .map(|_| {
                     let x = rng.gen::<f64>() * total;
-                    cdf.iter()
-                        .find(|(_, cum)| x <= *cum)
-                        .map(|(c, _)| *c)
-                        .unwrap_or('A')
+                    cdf.iter().find(|(_, cum)| x <= *cum).map(|(c, _)| *c).unwrap_or('A')
                 })
                 .collect();
             proteins.push(Protein {
@@ -102,11 +97,8 @@ impl Proteome {
 
     /// Builds a proteome from explicit records.
     pub fn from_proteins(proteins: Vec<Protein>) -> Self {
-        let by_accession = proteins
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.accession.clone(), i))
-            .collect();
+        let by_accession =
+            proteins.iter().enumerate().map(|(i, p)| (p.accession.clone(), i)).collect();
         Proteome { proteins, by_accession }
     }
 
@@ -162,22 +154,15 @@ mod tests {
     fn sequences_use_standard_alphabet() {
         let p = Proteome::generate(&ProteomeConfig { size: 5, ..Default::default() }).unwrap();
         for protein in p.proteins() {
-            assert!(protein
-                .sequence
-                .chars()
-                .all(|c| crate::amino::residue_mass(c).is_some()));
+            assert!(protein.sequence.chars().all(|c| crate::amino::residue_mass(c).is_some()));
         }
     }
 
     #[test]
     fn composition_roughly_matches_frequencies() {
-        let p = Proteome::generate(&ProteomeConfig {
-            size: 60,
-            min_len: 400,
-            max_len: 500,
-            seed: 3,
-        })
-        .unwrap();
+        let p =
+            Proteome::generate(&ProteomeConfig { size: 60, min_len: 400, max_len: 500, seed: 3 })
+                .unwrap();
         let mut counts = BTreeMap::new();
         let mut total = 0usize;
         for protein in p.proteins() {

@@ -91,15 +91,14 @@ impl Spectrometer {
     /// Builds an instrument. Contaminants are the first few proteins of a
     /// dedicated contaminant proteome derived from the seed.
     pub fn new(seed: u64) -> Self {
-        let contaminant_proteome = crate::protein::Proteome::generate(
-            &crate::protein::ProteomeConfig {
+        let contaminant_proteome =
+            crate::protein::Proteome::generate(&crate::protein::ProteomeConfig {
                 size: 4,
                 min_len: 300,
                 max_len: 600,
                 seed: seed ^ 0xC0FFEE,
-            },
-        )
-        .expect("static config is valid");
+            })
+            .expect("static config is valid");
         let contaminant_masses: Vec<f64> = contaminant_proteome
             .proteins()
             .iter()
@@ -150,11 +149,9 @@ impl Spectrometer {
         for &index in &chosen {
             let protein = &proteome.proteins()[index];
             true_proteins.push(protein.accession.clone());
-            for peptide in digest(
-                &protein.sequence,
-                config.max_missed_cleavages,
-                config.min_peptide_len,
-            ) {
+            for peptide in
+                digest(&protein.sequence, config.max_missed_cleavages, config.min_peptide_len)
+            {
                 if self.rng.gen::<f64>() <= config.detection_probability {
                     let error = 1.0 + self.gaussian() * config.mass_error_sigma;
                     peaks.push((peptide.mass + PROTON) * error);
@@ -166,8 +163,7 @@ impl Spectrometer {
             if self.contaminant_masses.is_empty() {
                 break;
             }
-            let m = self.contaminant_masses
-                [self.rng.gen_range(0..self.contaminant_masses.len())];
+            let m = self.contaminant_masses[self.rng.gen_range(0..self.contaminant_masses.len())];
             let error = 1.0 + self.gaussian() * config.mass_error_sigma;
             peaks.push(m * error);
         }
@@ -203,9 +199,7 @@ mod tests {
     #[test]
     fn ground_truth_recorded_and_distinct() {
         let p = proteome();
-        let pl = Spectrometer::new(1)
-            .acquire(&p, "s1", &SampleConfig::default())
-            .unwrap();
+        let pl = Spectrometer::new(1).acquire(&p, "s1", &SampleConfig::default()).unwrap();
         assert_eq!(pl.true_proteins.len(), 3);
         let mut dedup = pl.true_proteins.clone();
         dedup.sort();
@@ -219,9 +213,7 @@ mod tests {
     #[test]
     fn peaks_sorted_and_in_range() {
         let p = proteome();
-        let pl = Spectrometer::new(2)
-            .acquire(&p, "s1", &SampleConfig::default())
-            .unwrap();
+        let pl = Spectrometer::new(2).acquire(&p, "s1", &SampleConfig::default()).unwrap();
         assert!(!pl.is_empty());
         assert!(pl.peaks.windows(2).all(|w| w[0] <= w[1]));
         assert!(pl.peaks.iter().all(|&m| m > 100.0 && m < 100_000.0));
@@ -253,7 +245,8 @@ mod tests {
         };
         let pl = Spectrometer::new(4).acquire(&p, "s1", &config).unwrap();
         let truth = p.get(&pl.true_proteins[0]).unwrap();
-        let expected = digest(&truth.sequence, config.max_missed_cleavages, config.min_peptide_len).len();
+        let expected =
+            digest(&truth.sequence, config.max_missed_cleavages, config.min_peptide_len).len();
         assert_eq!(pl.len(), expected);
     }
 
@@ -287,12 +280,8 @@ mod tests {
         let a = Spectrometer::new(6).acquire(&p, "s", &exact).unwrap();
         let b = Spectrometer::new(6).acquire(&p, "s", &noisy).unwrap();
         assert_eq!(a.len(), b.len());
-        let max_rel: f64 = a
-            .peaks
-            .iter()
-            .zip(&b.peaks)
-            .map(|(x, y)| ((x - y) / x).abs())
-            .fold(0.0, f64::max);
+        let max_rel: f64 =
+            a.peaks.iter().zip(&b.peaks).map(|(x, y)| ((x - y) / x).abs()).fold(0.0, f64::max);
         assert!(max_rel > 0.0 && max_rel < 1e-3, "max relative error {max_rel}");
     }
 }

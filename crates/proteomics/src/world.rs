@@ -73,21 +73,12 @@ impl World {
         let mut pedro = PedroDb::new();
         pedro.deposit(&config.experiment, peak_lists)?;
 
-        Ok(World {
-            proteome,
-            pedro,
-            imprint,
-            go,
-            goa,
-            experiment: config.experiment.clone(),
-        })
+        Ok(World { proteome, pedro, imprint, go, goa, experiment: config.experiment.clone() })
     }
 
     /// Convenience: the deposited peak lists.
     pub fn peak_lists(&self) -> &[crate::spectrometer::PeakList] {
-        self.pedro
-            .peak_lists(&self.experiment)
-            .expect("deposited at construction")
+        self.pedro.peak_lists(&self.experiment).expect("deposited at construction")
     }
 }
 

@@ -134,10 +134,7 @@ pub struct LsidAuthority {
 impl LsidAuthority {
     /// A minting authority, e.g. `LsidAuthority::new("uniprot.org", "uniprot")`.
     pub fn new(authority: impl Into<String>, namespace: impl Into<String>) -> Self {
-        LsidAuthority {
-            authority: authority.into(),
-            namespace: namespace.into(),
-        }
+        LsidAuthority { authority: authority.into(), namespace: namespace.into() }
     }
 
     /// Mints an LSID for the given native object id.
@@ -197,10 +194,7 @@ mod tests {
     fn authority_minting() {
         let auth = LsidAuthority::new("uniprot.org", "uniprot");
         let term = auth.term("Q9H0H5");
-        assert_eq!(
-            term.as_iri().unwrap().as_str(),
-            "urn:lsid:uniprot.org:uniprot:Q9H0H5"
-        );
+        assert_eq!(term.as_iri().unwrap().as_str(), "urn:lsid:uniprot.org:uniprot:Q9H0H5");
     }
 
     #[test]

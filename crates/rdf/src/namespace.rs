@@ -99,12 +99,10 @@ impl PrefixMap {
 
     /// Expands a `prefix:local` name into a full IRI.
     pub fn expand(&self, pname: &str) -> Result<Iri, RdfError> {
-        let (prefix, local) = pname
-            .split_once(':')
-            .ok_or_else(|| RdfError::UnknownPrefix(pname.to_string()))?;
-        let ns = self
-            .namespace(prefix)
-            .ok_or_else(|| RdfError::UnknownPrefix(prefix.to_string()))?;
+        let (prefix, local) =
+            pname.split_once(':').ok_or_else(|| RdfError::UnknownPrefix(pname.to_string()))?;
+        let ns =
+            self.namespace(prefix).ok_or_else(|| RdfError::UnknownPrefix(prefix.to_string()))?;
         Iri::try_new(&format!("{ns}{local}"))
     }
 
@@ -116,9 +114,7 @@ impl PrefixMap {
         let mut best: Option<(&str, &str)> = None;
         for (p, ns) in &self.map {
             if let Some(local) = s.strip_prefix(ns.as_str()) {
-                if is_local_name(local)
-                    && best.is_none_or(|(_, bns)| ns.len() > bns.len())
-                {
+                if is_local_name(local) && best.is_none_or(|(_, bns)| ns.len() > bns.len()) {
                     best = Some((p, ns));
                 }
             }
@@ -135,8 +131,7 @@ impl PrefixMap {
 /// True for strings usable as the local part of a prefixed name.
 pub(crate) fn is_local_name(s: &str) -> bool {
     !s.is_empty()
-        && s.chars()
-            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
         && !s.starts_with('.')
         && !s.ends_with('.')
 }

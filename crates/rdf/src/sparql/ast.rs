@@ -32,9 +32,7 @@ pub struct TriplePatternQ {
 impl TriplePatternQ {
     /// All variable names mentioned by this pattern.
     pub fn variables(&self) -> impl Iterator<Item = &str> {
-        [&self.subject, &self.predicate, &self.object]
-            .into_iter()
-            .filter_map(|qt| qt.as_var())
+        [&self.subject, &self.predicate, &self.object].into_iter().filter_map(|qt| qt.as_var())
     }
 }
 

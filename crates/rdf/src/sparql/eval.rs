@@ -46,20 +46,30 @@ impl Row {
 
 /// Evaluates a SELECT query.
 pub fn evaluate_select(store: &GraphStore, query: &Query) -> Result<Vec<Row>> {
+    evaluate_select_with(store, query, Bindings::new())
+}
+
+/// Evaluates a SELECT query under seeded initial bindings.
+///
+/// This is the execution path of prepared queries: parameters arrive as
+/// ordinary solution bindings, so they join against the store exactly like
+/// pattern-derived bindings and never pass through the parser.
+pub fn evaluate_select_with(
+    store: &GraphStore,
+    query: &Query,
+    initial: Bindings,
+) -> Result<Vec<Row>> {
     let Query::Select { distinct, projection, pattern, order, limit, offset } = query else {
         return Err(RdfError::SparqlEval("expected a SELECT query".into()));
     };
-    let mut solutions = solve_group(store, pattern, Bindings::new())?;
+    let mut solutions = solve_group(store, pattern, initial)?;
 
     // ORDER BY before projection so sort keys may use unprojected vars.
     if !order.is_empty() {
         let mut keyed: Vec<(Vec<Option<Value>>, Bindings)> = solutions
             .into_iter()
             .map(|b| {
-                let keys = order
-                    .iter()
-                    .map(|k| eval_expr(&k.expr, &b).ok())
-                    .collect::<Vec<_>>();
+                let keys = order.iter().map(|k| eval_expr(&k.expr, &b).ok()).collect::<Vec<_>>();
                 (keys, b)
             })
             .collect();
@@ -81,10 +91,9 @@ pub fn evaluate_select(store: &GraphStore, query: &Query) -> Result<Vec<Row>> {
         .map(|b| {
             let values = match projection {
                 SelectProjection::Star => b,
-                SelectProjection::Vars(vars) => vars
-                    .iter()
-                    .filter_map(|v| b.get(v).map(|t| (v.clone(), t.clone())))
-                    .collect(),
+                SelectProjection::Vars(vars) => {
+                    vars.iter().filter_map(|v| b.get(v).map(|t| (v.clone(), t.clone()))).collect()
+                }
             };
             Row { values }
         })
@@ -102,20 +111,21 @@ pub fn evaluate_select(store: &GraphStore, query: &Query) -> Result<Vec<Row>> {
         });
     }
 
-    let rows = rows
-        .into_iter()
-        .skip(*offset)
-        .take(limit.unwrap_or(usize::MAX))
-        .collect();
+    let rows = rows.into_iter().skip(*offset).take(limit.unwrap_or(usize::MAX)).collect();
     Ok(rows)
 }
 
 /// Evaluates an ASK query.
 pub fn evaluate_ask(store: &GraphStore, query: &Query) -> Result<bool> {
+    evaluate_ask_with(store, query, Bindings::new())
+}
+
+/// Evaluates an ASK query under seeded initial bindings.
+pub fn evaluate_ask_with(store: &GraphStore, query: &Query, initial: Bindings) -> Result<bool> {
     let Query::Ask { pattern } = query else {
         return Err(RdfError::SparqlEval("expected an ASK query".into()));
     };
-    Ok(!solve_group(store, pattern, Bindings::new())?.is_empty())
+    Ok(!solve_group(store, pattern, initial)?.is_empty())
 }
 
 /// Solves a group pattern under an initial binding, returning all solutions.
@@ -169,10 +179,7 @@ fn solve_group(
     // FILTERs (applied last so they may reference OPTIONAL bindings).
     for filter in &group.filters {
         solutions.retain(|sol| {
-            eval_expr(filter, sol)
-                .ok()
-                .and_then(|v| v.effective_bool())
-                .unwrap_or(false)
+            eval_expr(filter, sol).ok().and_then(|v| v.effective_bool()).unwrap_or(false)
         });
     }
     Ok(solutions)
@@ -317,29 +324,21 @@ pub(crate) fn eval_expr(expr: &Expr, bindings: &Bindings) -> Result<Value> {
             Ok(Value::Bool(!b))
         }
         Expr::And(a, b) => {
-            let va = eval_expr(a, bindings)?
-                .effective_bool()
-                .ok_or_else(|| err("&& needs booleans"))?;
+            let va =
+                eval_expr(a, bindings)?.effective_bool().ok_or_else(|| err("&& needs booleans"))?;
             if !va {
                 return Ok(Value::Bool(false));
             }
-            let vb = eval_expr(b, bindings)?
-                .effective_bool()
-                .ok_or_else(|| err("&& needs booleans"))?;
+            let vb =
+                eval_expr(b, bindings)?.effective_bool().ok_or_else(|| err("&& needs booleans"))?;
             Ok(Value::Bool(vb))
         }
         Expr::Or(a, b) => {
-            let va = eval_expr(a, bindings)
-                .ok()
-                .and_then(|v| v.effective_bool())
-                .unwrap_or(false);
+            let va = eval_expr(a, bindings).ok().and_then(|v| v.effective_bool()).unwrap_or(false);
             if va {
                 return Ok(Value::Bool(true));
             }
-            let vb = eval_expr(b, bindings)
-                .ok()
-                .and_then(|v| v.effective_bool())
-                .unwrap_or(false);
+            let vb = eval_expr(b, bindings).ok().and_then(|v| v.effective_bool()).unwrap_or(false);
             Ok(Value::Bool(vb))
         }
         Expr::Arith(op, a, b) => {
@@ -442,9 +441,7 @@ fn eval_builtin(builtin: Builtin, args: &[Expr], bindings: &Bindings) -> Result<
         Builtin::Datatype => {
             arity(1)?;
             match eval_expr(&args[0], bindings)? {
-                Value::Term(Term::Literal(l)) => {
-                    Ok(Value::Term(Term::Iri(l.datatype().clone())))
-                }
+                Value::Term(Term::Literal(l)) => Ok(Value::Term(Term::Iri(l.datatype().clone()))),
                 _ => Err(err("DATATYPE expects a literal".into())),
             }
         }
@@ -517,11 +514,8 @@ pub(crate) fn simple_regex_match(pattern: &str, text: &str) -> bool {
         }
     }
 
-    let starts: Box<dyn Iterator<Item = usize>> = if anchored_start {
-        Box::new(std::iter::once(0))
-    } else {
-        Box::new(0..=text.len())
-    };
+    let starts: Box<dyn Iterator<Item = usize>> =
+        if anchored_start { Box::new(std::iter::once(0)) } else { Box::new(0..=text.len()) };
     for start in starts {
         if start > text.len() {
             break;
@@ -565,7 +559,6 @@ pub(crate) fn simple_regex_match(pattern: &str, text: &str) -> bool {
     false
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -591,10 +584,7 @@ mod tests {
             Box::new(Expr::Var("missing".into())),
             Box::new(Expr::Const(Term::boolean(true))),
         );
-        assert_eq!(
-            eval_expr(&e, &bindings).unwrap(),
-            Value::Bool(true)
-        );
+        assert_eq!(eval_expr(&e, &bindings).unwrap(), Value::Bool(true));
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * `FILTER` with comparisons, boolean connectives, arithmetic and the
 //!   `BOUND`, `STR`, `DATATYPE`, `ISIRI`, `ISLITERAL`, `REGEX` builtins;
 //! * `OPTIONAL { … }` (left join);
-//! * `ORDER BY [ASC|DESC](expr) …`, `LIMIT`, `OFFSET`.
+//! * `ORDER BY [ASC|DESC](expr) …`, `LIMIT`, `OFFSET`;
+//! * [`PreparedQuery`]: parse once, bind variables to terms per execution
+//!   (the repository lookup path — immune to IRI injection by construction).
 //!
 //! ```
 //! use qurator_rdf::{sparql, turtle};
@@ -34,9 +36,11 @@
 pub mod ast;
 pub mod eval;
 pub mod parser;
+pub mod prepared;
 
 pub use ast::{Expr, Query, QueryTerm, SelectProjection, TriplePatternQ};
 pub use eval::{Bindings, Row};
+pub use prepared::PreparedQuery;
 
 use crate::store::GraphStore;
 use crate::Result;
@@ -197,10 +201,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(rows.len(), 1);
-        assert_eq!(
-            rows[0].get("s").unwrap(),
-            &Term::iri("urn:lsid:pedro.man.ac.uk:hit:H2")
-        );
+        assert_eq!(rows[0].get("s").unwrap(), &Term::iri("urn:lsid:pedro.man.ac.uk:hit:H2"));
 
         let rows = select(
             &fixture(),
@@ -307,9 +308,7 @@ mod prop_tests {
                 let s = resolve(&p.subject);
                 let pr = resolve(&p.predicate);
                 let o = resolve(&p.object);
-                s.is_resource()
-                    && pr.as_iri().is_some()
-                    && store.contains(&Triple::new(s, pr, o))
+                s.is_resource() && pr.as_iri().is_some() && store.contains(&Triple::new(s, pr, o))
             });
             if ok {
                 out.push(assignment.clone());

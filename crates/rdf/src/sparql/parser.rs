@@ -15,7 +15,7 @@ enum Tok {
     A,
     Str(String),
     Num(String),
-    Punct(char),   // { } ( ) . ; , *
+    Punct(char),      // { } ( ) . ; , *
     Op(&'static str), // = != < <= > >= && || ! + - / ^^ @
     Eof,
 }
@@ -79,11 +79,9 @@ impl<'a> Lexer<'a> {
                 if self.bytes.get(self.pos + 1) == Some(&b'=') {
                     self.pos += 2;
                     Tok::Op("<=")
-                } else if self
-                    .bytes
-                    .get(self.pos + 1)
-                    .is_some_and(|&d| d.is_ascii_whitespace() || d == b'?' || d == b'-' || d.is_ascii_digit())
-                {
+                } else if self.bytes.get(self.pos + 1).is_some_and(|&d| {
+                    d.is_ascii_whitespace() || d == b'?' || d == b'-' || d.is_ascii_digit()
+                }) {
                     self.pos += 1;
                     Tok::Op("<")
                 } else {
@@ -150,11 +148,7 @@ impl<'a> Lexer<'a> {
             }
             b'-' => {
                 // Could start a negative number literal.
-                if self
-                    .bytes
-                    .get(self.pos + 1)
-                    .is_some_and(|d| d.is_ascii_digit())
-                {
+                if self.bytes.get(self.pos + 1).is_some_and(|d| d.is_ascii_digit()) {
                     self.pos += 1;
                     let num = self.take_number();
                     Tok::Num(format!("-{num}"))
@@ -455,9 +449,7 @@ impl<'a> Parser<'a> {
 
     fn parse_usize(&mut self) -> Result<usize> {
         if let Tok::Num(n) = &self.current {
-            let v = n
-                .parse::<usize>()
-                .map_err(|_| self.err(format!("bad count {n:?}")))?;
+            let v = n.parse::<usize>().map_err(|_| self.err(format!("bad count {n:?}")))?;
             self.advance()?;
             Ok(v)
         } else {
@@ -569,9 +561,8 @@ impl<'a> Parser<'a> {
                 }
             }
             Tok::Num(n) => {
-                let term = parse_num(&n).ok_or_else(|| {
-                    self.err(format!("numeric literal {n:?} out of range"))
-                })?;
+                let term = parse_num(&n)
+                    .ok_or_else(|| self.err(format!("numeric literal {n:?} out of range")))?;
                 Ok(QueryTerm::Term(term))
             }
             Tok::Keyword(k) if k == "TRUE" => Ok(QueryTerm::Term(Term::boolean(true))),
@@ -725,11 +716,10 @@ mod tests {
 
     #[test]
     fn parses_basic_select() {
-        let q = Parser::new(
-            "PREFIX q: <http://qurator.org/iq#> SELECT ?s WHERE { ?s a q:HitRatio . }",
-        )
-        .parse_query()
-        .unwrap();
+        let q =
+            Parser::new("PREFIX q: <http://qurator.org/iq#> SELECT ?s WHERE { ?s a q:HitRatio . }")
+                .parse_query()
+                .unwrap();
         match q {
             Query::Select { projection, pattern, .. } => {
                 assert_eq!(projection, SelectProjection::Vars(vec!["s".into()]));
@@ -741,9 +731,11 @@ mod tests {
 
     #[test]
     fn parses_filter_precedence() {
-        let q = Parser::new("SELECT ?x WHERE { ?x <http://p> ?y . FILTER(?y > 1 && ?y < 5 || !BOUND(?x)) }")
-            .parse_query()
-            .unwrap();
+        let q = Parser::new(
+            "SELECT ?x WHERE { ?x <http://p> ?y . FILTER(?y > 1 && ?y < 5 || !BOUND(?x)) }",
+        )
+        .parse_query()
+        .unwrap();
         let Query::Select { pattern, .. } = q else { panic!() };
         // (|| (&& (> y 1) (< y 5)) (! (bound x)))
         match &pattern.filters[0] {
@@ -757,15 +749,13 @@ mod tests {
 
     #[test]
     fn parses_negative_numbers_and_literals() {
-        let q = Parser::new(r#"SELECT ?x WHERE { ?x <http://p> -3 ; <http://q> "s"^^<http://dt> . }"#)
-            .parse_query()
-            .unwrap();
+        let q =
+            Parser::new(r#"SELECT ?x WHERE { ?x <http://p> -3 ; <http://q> "s"^^<http://dt> . }"#)
+                .parse_query()
+                .unwrap();
         let Query::Select { pattern, .. } = q else { panic!() };
         assert_eq!(pattern.triples.len(), 2);
-        assert_eq!(
-            pattern.triples[0].object,
-            QueryTerm::Term(Term::integer(-3))
-        );
+        assert_eq!(pattern.triples[0].object, QueryTerm::Term(Term::integer(-3)));
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Prepared (parameterised) queries: parse once, bind at evaluation time.
+//!
+//! The repository's lookup path used to interpolate the data-item IRI into
+//! the query *string* for every `(item, evidence type)` pair — paying a
+//! full parse per lookup and, worse, letting a hostile IRI such as
+//! `urn:x> q:value ?v . ?s ?p <urn:y` rewrite the query (classic
+//! injection). A [`PreparedQuery`] closes both holes structurally:
+//!
+//! * the text is parsed exactly once, so repeated lookups skip the parser;
+//! * parameters enter evaluation as *initial solution bindings* — ordinary
+//!   [`Term`]s joined against the store's indexes. They are never spliced
+//!   into query text, so no term value can alter the query's shape.
+//!
+//! ```
+//! use qurator_rdf::{sparql::PreparedQuery, term::Term, turtle};
+//!
+//! let store = turtle::parse_into_store(r#"
+//!     @prefix q: <http://qurator.org/iq#> .
+//!     <urn:lsid:a:b:P1> q:contains-evidence _:e .
+//!     _:e a q:HitRatio ; q:value 0.9 .
+//! "#).unwrap();
+//! let lookup = PreparedQuery::new(r#"
+//!     PREFIX q: <http://qurator.org/iq#>
+//!     SELECT ?v WHERE {
+//!         ?item q:contains-evidence ?e .
+//!         ?e a ?etype ; q:value ?v .
+//!     }
+//! "#).unwrap();
+//! let rows = lookup.select(&store, &[
+//!     ("item", Term::iri("urn:lsid:a:b:P1")),
+//!     ("etype", Term::iri("http://qurator.org/iq#HitRatio")),
+//! ]).unwrap();
+//! assert_eq!(rows.len(), 1);
+//! ```
+
+use super::ast::Query;
+use super::eval::{self, Bindings, Row};
+use crate::store::GraphStore;
+use crate::term::Term;
+use crate::{RdfError, Result};
+
+/// A parsed query whose variables can be bound per execution.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    query: Query,
+    /// Variables mentioned in the pattern (the bindable set).
+    variables: Vec<String>,
+}
+
+impl PreparedQuery {
+    /// Parses `text` once; any pattern variable becomes a bindable
+    /// parameter.
+    pub fn new(text: &str) -> Result<Self> {
+        Self::from_query(super::parse(text)?)
+    }
+
+    /// Wraps an already-parsed query.
+    pub fn from_query(query: Query) -> Result<Self> {
+        let pattern = match &query {
+            Query::Select { pattern, .. } => pattern,
+            Query::Ask { pattern } => pattern,
+        };
+        let variables = pattern.variables();
+        if variables.is_empty() {
+            return Err(RdfError::SparqlEval("prepared query has no variables to bind".into()));
+        }
+        Ok(PreparedQuery { query, variables })
+    }
+
+    /// The bindable variable names, in first-mention order.
+    pub fn variables(&self) -> &[String] {
+        &self.variables
+    }
+
+    /// Executes a prepared SELECT with the given `(variable, term)`
+    /// parameters. Unused variables stay free and are solved as usual.
+    pub fn select(&self, store: &GraphStore, params: &[(&str, Term)]) -> Result<Vec<Row>> {
+        eval::evaluate_select_with(store, &self.query, self.seed(params)?)
+    }
+
+    /// Executes a prepared ASK with the given parameters.
+    pub fn ask(&self, store: &GraphStore, params: &[(&str, Term)]) -> Result<bool> {
+        eval::evaluate_ask_with(store, &self.query, self.seed(params)?)
+    }
+
+    /// Validates parameters and turns them into initial bindings.
+    fn seed(&self, params: &[(&str, Term)]) -> Result<Bindings> {
+        let mut initial = Bindings::new();
+        for (name, term) in params {
+            if !self.variables.iter().any(|v| v == name) {
+                return Err(RdfError::SparqlEval(format!(
+                    "cannot bind ?{name}: not a variable of the prepared query \
+                     (expected one of {:?})",
+                    self.variables
+                )));
+            }
+            if initial.insert((*name).to_string(), term.clone()).is_some() {
+                return Err(RdfError::SparqlEval(format!("duplicate binding for ?{name}")));
+            }
+        }
+        Ok(initial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::turtle;
+
+    const Q: &str = "http://qurator.org/iq#";
+
+    fn fixture() -> GraphStore {
+        turtle::parse_into_store(
+            r#"
+            @prefix q: <http://qurator.org/iq#> .
+            <urn:lsid:uniprot.org:uniprot:P30089>
+                q:contains-evidence _:e1 , _:e2 .
+            _:e1 a q:HitRatio ; q:value 0.82 .
+            _:e2 a q:MassCoverage ; q:value 31 .
+            <urn:lsid:uniprot.org:uniprot:P00734>
+                q:contains-evidence _:e3 .
+            _:e3 a q:HitRatio ; q:value 0.4 .
+        "#,
+        )
+        .unwrap()
+    }
+
+    fn lookup() -> PreparedQuery {
+        PreparedQuery::new(
+            r#"PREFIX q: <http://qurator.org/iq#>
+               SELECT ?v WHERE {
+                   ?item q:contains-evidence ?e .
+                   ?e a ?etype ; q:value ?v .
+               }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bind_and_select_per_pair() {
+        let store = fixture();
+        let q = lookup();
+        let rows = q
+            .select(
+                &store,
+                &[
+                    ("item", Term::iri("urn:lsid:uniprot.org:uniprot:P30089")),
+                    ("etype", Term::iri(format!("{Q}MassCoverage"))),
+                ],
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("v").unwrap(), &Term::integer(31));
+
+        // Same prepared query, different parameters — no re-parse.
+        let rows = q
+            .select(
+                &store,
+                &[
+                    ("item", Term::iri("urn:lsid:uniprot.org:uniprot:P00734")),
+                    ("etype", Term::iri(format!("{Q}HitRatio"))),
+                ],
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("v").unwrap(), &Term::double(0.4));
+    }
+
+    #[test]
+    fn partial_binding_leaves_other_vars_free() {
+        let store = fixture();
+        let q = lookup();
+        // Bind only the item: all its evidence values come back.
+        let rows = q
+            .select(&store, &[("item", Term::iri("urn:lsid:uniprot.org:uniprot:P30089"))])
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn unknown_variable_is_rejected() {
+        let q = lookup();
+        let err = q.select(&fixture(), &[("nope", Term::iri("urn:x"))]).unwrap_err();
+        assert!(err.to_string().contains("nope"), "err: {err}");
+    }
+
+    #[test]
+    fn duplicate_binding_is_rejected() {
+        let q = lookup();
+        let err = q
+            .select(&fixture(), &[("item", Term::iri("urn:a")), ("item", Term::iri("urn:b"))])
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "err: {err}");
+    }
+
+    #[test]
+    fn hostile_iri_is_data_not_query_text() {
+        // The classic close-and-reopen payload (`urn:x> q:value ?v . <urn:y`)
+        // is already unconstructible: `Iri::try_new` rejects `>` and
+        // whitespace. But digit-initial IRIs are valid `Iri`s that still
+        // corrupt interpolated query text — the lexer reads `<7…` as a
+        // less-than operator, not an IRI ref.
+        assert!(
+            crate::term::Iri::try_new("urn:x> q:value ?v . ?s ?p <urn:y").is_err(),
+            "close-and-reopen payloads must not be constructible"
+        );
+        let interpolated = format!(
+            "PREFIX q: <{Q}>\n\
+             SELECT ?v WHERE {{\n\
+               <7evil:item> q:contains-evidence ?e .\n\
+               ?e a <{Q}HitRatio> ; q:value ?v .\n\
+             }}"
+        );
+        assert!(
+            super::super::parse(&interpolated).is_err(),
+            "interpolating a digit-initial IRI corrupts the query"
+        );
+        // The prepared path never renders the IRI into text: the same term
+        // evaluates cleanly and simply matches nothing.
+        let rows = lookup()
+            .select(
+                &fixture(),
+                &[("item", Term::iri("7evil:item")), ("etype", Term::iri(format!("{Q}HitRatio")))],
+            )
+            .unwrap();
+        assert!(rows.is_empty(), "hostile IRI must match nothing, not error");
+    }
+
+    #[test]
+    fn ask_with_parameters() {
+        let q = PreparedQuery::new(
+            r#"PREFIX q: <http://qurator.org/iq#>
+               ASK { ?item q:contains-evidence ?e . }"#,
+        )
+        .unwrap();
+        let store = fixture();
+        assert!(q
+            .ask(&store, &[("item", Term::iri("urn:lsid:uniprot.org:uniprot:P30089"))])
+            .unwrap());
+        assert!(!q.ask(&store, &[("item", Term::iri("urn:nothing"))]).unwrap());
+    }
+
+    #[test]
+    fn variables_are_listed_in_mention_order() {
+        assert_eq!(lookup().variables(), ["item", "e", "etype", "v"]);
+    }
+
+    #[test]
+    fn query_without_variables_is_rejected() {
+        let err = PreparedQuery::new(
+            r#"PREFIX q: <http://qurator.org/iq#>
+               ASK { <urn:a> q:value 1 . }"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no variables"), "err: {err}");
+    }
+}

@@ -144,9 +144,7 @@ impl GraphStore {
 
     /// Iterates over all triples in SPO order.
     pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.spo
-            .iter()
-            .map(move |&(s, p, o)| self.decode(s, p, o))
+        self.spo.iter().map(move |&(s, p, o)| self.decode(s, p, o))
     }
 
     fn decode(&self, s: Id, p: Id, o: Id) -> Triple {
@@ -226,61 +224,67 @@ impl GraphStore {
         k2: Option<Id>,
     ) -> impl Iterator<Item = Key> + 'a {
         let (lo, hi): (Bound<Key>, Bound<Key>) = match (k0, k1, k2) {
-            (Some(a), Some(b), Some(c)) => {
-                (Bound::Included((a, b, c)), Bound::Included((a, b, c)))
+            (Some(a), Some(b), Some(c)) => (Bound::Included((a, b, c)), Bound::Included((a, b, c))),
+            (Some(a), Some(b), None) => {
+                (Bound::Included((a, b, Id::MIN)), Bound::Included((a, b, Id::MAX)))
             }
-            (Some(a), Some(b), None) => (
-                Bound::Included((a, b, Id::MIN)),
-                Bound::Included((a, b, Id::MAX)),
-            ),
-            (Some(a), None, _) => (
-                Bound::Included((a, Id::MIN, Id::MIN)),
-                Bound::Included((a, Id::MAX, Id::MAX)),
-            ),
+            (Some(a), None, _) => {
+                (Bound::Included((a, Id::MIN, Id::MIN)), Bound::Included((a, Id::MAX, Id::MAX)))
+            }
             (None, ..) => (Bound::Unbounded, Bound::Unbounded),
         };
         // Positions after an unbound one cannot narrow the range; filter.
-        index
-            .range((lo, hi))
-            .copied()
-            .filter(move |&(a, b, c)| {
-                k0.is_none_or(|k| k == a)
-                    && k1.is_none_or(|k| k == b)
-                    && k2.is_none_or(|k| k == c)
-            })
+        index.range((lo, hi)).copied().filter(move |&(a, b, c)| {
+            k0.is_none_or(|k| k == a) && k1.is_none_or(|k| k == b) && k2.is_none_or(|k| k == c)
+        })
+    }
+
+    /// The interned id of a term, or `None` if the store has never seen it.
+    /// Ids are stable for the lifetime of the store and are the currency of
+    /// the bulk-join accessors below.
+    pub fn id_of(&self, term: &Term) -> Option<u32> {
+        self.dict.lookup(term)
+    }
+
+    /// The term behind an id obtained from [`Self::id_of`] or an id-space
+    /// scan. Panics on ids the store never issued.
+    pub fn term_at(&self, id: u32) -> &Term {
+        self.dict.term(id)
+    }
+
+    /// All `(subject, object)` id pairs under a bound predicate, in
+    /// ascending `(object, subject)` order — a POS range scan with no term
+    /// decoding. This is the workhorse of bulk enrichment: joins against an
+    /// item set happen on `u32`s, and only the winning terms are decoded.
+    pub fn edge_ids(&self, predicate: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        Self::scan(&self.pos, Some(predicate), None, None).map(|(_, o, s)| (s, o))
+    }
+
+    /// Object ids of `(subject, predicate, ?)` in ascending id order — an
+    /// SPO range scan with no term decoding.
+    pub fn object_ids(&self, subject: u32, predicate: u32) -> impl Iterator<Item = u32> + '_ {
+        Self::scan(&self.spo, Some(subject), Some(predicate), None).map(|(_, _, o)| o)
     }
 
     /// Convenience: all objects of `(subject, predicate, ?)`.
     pub fn objects(&self, subject: &Term, predicate: &Term) -> Vec<Term> {
-        self.matching(&TriplePattern::new(
-            subject.clone(),
-            predicate.clone(),
-            None,
-        ))
-        .map(|t| t.object)
-        .collect()
+        self.matching(&TriplePattern::new(subject.clone(), predicate.clone(), None))
+            .map(|t| t.object)
+            .collect()
     }
 
     /// Convenience: all subjects of `(?, predicate, object)`.
     pub fn subjects(&self, predicate: &Term, object: &Term) -> Vec<Term> {
-        self.matching(&TriplePattern::new(
-            None,
-            predicate.clone(),
-            object.clone(),
-        ))
-        .map(|t| t.subject)
-        .collect()
+        self.matching(&TriplePattern::new(None, predicate.clone(), object.clone()))
+            .map(|t| t.subject)
+            .collect()
     }
 
     /// The first object of `(subject, predicate, ?)` if any.
     pub fn object(&self, subject: &Term, predicate: &Term) -> Option<Term> {
-        self.matching(&TriplePattern::new(
-            subject.clone(),
-            predicate.clone(),
-            None,
-        ))
-        .next()
-        .map(|t| t.object)
+        self.matching(&TriplePattern::new(subject.clone(), predicate.clone(), None))
+            .next()
+            .map(|t| t.object)
     }
 
     /// Mints a store-scoped fresh blank node.
@@ -405,6 +409,37 @@ mod tests {
         assert_eq!(os, vec![iri(1), iri(2)]);
         assert_eq!(g.subjects(&p, &iri(1)), vec![s.clone()]);
         assert!(g.object(&s, &p).is_some());
+    }
+
+    #[test]
+    fn id_space_scans_agree_with_term_space() {
+        let mut g = GraphStore::new();
+        let p = Term::iri("http://x/p");
+        for s in 1..=3u32 {
+            for o in 4..=5u32 {
+                g.insert(tr(s, 100, o + s));
+                g.insert(Triple::new(iri(s), p.clone(), iri(o)));
+            }
+        }
+        assert_eq!(g.id_of(&Term::iri("http://x/nope")), None);
+        let pid = g.id_of(&p).unwrap();
+
+        // edge_ids decodes back to exactly the POS-ordered matching() result.
+        let via_ids: Vec<(Term, Term)> =
+            g.edge_ids(pid).map(|(s, o)| (g.term_at(s).clone(), g.term_at(o).clone())).collect();
+        let via_terms: Vec<(Term, Term)> = g
+            .matching(&TriplePattern::new(None, p.clone(), None))
+            .map(|t| (t.subject, t.object))
+            .collect();
+        assert_eq!(via_ids, via_terms);
+
+        // object_ids reproduces objects() content and ascending-id order.
+        let sid = g.id_of(&iri(2)).unwrap();
+        let objs: Vec<Term> = g.object_ids(sid, pid).map(|o| g.term_at(o).clone()).collect();
+        assert_eq!(objs.len(), 2);
+        let mut expected = g.objects(&iri(2), &p);
+        expected.sort_by_key(|t| g.id_of(t).unwrap());
+        assert_eq!(objs, expected);
     }
 
     #[test]

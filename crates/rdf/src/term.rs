@@ -123,11 +123,7 @@ pub struct Literal {
 impl Literal {
     /// A plain `xsd:string` literal.
     pub fn string(s: impl AsRef<str>) -> Self {
-        Literal {
-            lexical: Arc::from(s.as_ref()),
-            datatype: Iri::new(xsd::STRING),
-            lang: None,
-        }
+        Literal { lexical: Arc::from(s.as_ref()), datatype: Iri::new(xsd::STRING), lang: None }
     }
 
     /// A language-tagged string (`rdf:langString` in RDF 1.1; we keep
@@ -171,11 +167,7 @@ impl Literal {
 
     /// A literal with an explicit datatype IRI.
     pub fn typed(lexical: impl AsRef<str>, datatype: Iri) -> Self {
-        Literal {
-            lexical: Arc::from(lexical.as_ref()),
-            datatype,
-            lang: None,
-        }
+        Literal { lexical: Arc::from(lexical.as_ref()), datatype, lang: None }
     }
 
     /// The lexical form.
@@ -429,14 +421,8 @@ mod tests {
 
     #[test]
     fn value_cmp_numeric_and_string() {
-        assert_eq!(
-            Literal::integer(3).value_cmp(&Literal::double(3.5)),
-            Some(Ordering::Less)
-        );
-        assert_eq!(
-            Literal::string("abc").value_cmp(&Literal::string("abd")),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Literal::integer(3).value_cmp(&Literal::double(3.5)), Some(Ordering::Less));
+        assert_eq!(Literal::string("abc").value_cmp(&Literal::string("abd")), Some(Ordering::Less));
         assert_eq!(Literal::string("1").value_cmp(&Literal::integer(1)), None);
     }
 
@@ -449,10 +435,7 @@ mod tests {
             Term::double(1.5).to_string(),
             "\"1.5\"^^<http://www.w3.org/2001/XMLSchema#double>"
         );
-        assert_eq!(
-            Literal::lang_string("ciao", "it").to_string(),
-            "\"ciao\"@it"
-        );
+        assert_eq!(Literal::lang_string("ciao", "it").to_string(), "\"ciao\"@it");
     }
 
     #[test]

@@ -17,12 +17,13 @@ pub struct Triple {
 impl Triple {
     /// Creates a triple. Panics in debug builds if `subject` is a literal or
     /// `predicate` is not an IRI.
-    pub fn new(subject: impl Into<Term>, predicate: impl Into<Term>, object: impl Into<Term>) -> Self {
-        let t = Triple {
-            subject: subject.into(),
-            predicate: predicate.into(),
-            object: object.into(),
-        };
+    pub fn new(
+        subject: impl Into<Term>,
+        predicate: impl Into<Term>,
+        object: impl Into<Term>,
+    ) -> Self {
+        let t =
+            Triple { subject: subject.into(), predicate: predicate.into(), object: object.into() };
         debug_assert!(t.subject.is_resource(), "triple subject must be a resource");
         debug_assert!(t.predicate.as_iri().is_some(), "triple predicate must be an IRI");
         t
@@ -131,11 +132,7 @@ mod tests {
     use crate::term::Term;
 
     fn t() -> Triple {
-        Triple::new(
-            Term::iri("http://x/s"),
-            Term::iri("http://x/p"),
-            Term::string("o"),
-        )
+        Triple::new(Term::iri("http://x/s"), Term::iri("http://x/p"), Term::string("o"))
     }
 
     #[test]

@@ -103,11 +103,7 @@ fn render(term: &Term, prefixes: &PrefixMap) -> String {
             // Only canonical lexical forms may be written bare: "007" or
             // "1." would silently re-parse as a different literal.
             match l.datatype().as_str() {
-                xsd::INTEGER
-                    if l
-                        .as_i64()
-                        .is_some_and(|v| v.to_string() == l.lexical()) =>
-                {
+                xsd::INTEGER if l.as_i64().is_some_and(|v| v.to_string() == l.lexical()) => {
                     return l.lexical().to_string()
                 }
                 xsd::BOOLEAN if matches!(l.lexical(), "true" | "false") => {
@@ -115,8 +111,7 @@ fn render(term: &Term, prefixes: &PrefixMap) -> String {
                 }
                 xsd::DOUBLE
                     if looks_double(l.lexical())
-                        && l
-                            .as_f64()
+                        && l.as_f64()
                             .is_some_and(|v| crate::term::canonical_double(v) == l.lexical()) =>
                 {
                     return l.lexical().to_string()
@@ -268,8 +263,7 @@ impl<'a> Parser<'a> {
             let predicate = self.parse_verb()?;
             loop {
                 let object = self.parse_term()?;
-                self.triples
-                    .push(Triple::new(subject.clone(), predicate.clone(), object));
+                self.triples.push(Triple::new(subject.clone(), predicate.clone(), object));
                 self.skip_ws();
                 if self.peek() == Some(b',') {
                     self.bump();
@@ -293,10 +287,8 @@ impl<'a> Parser<'a> {
                     return Ok(());
                 }
                 other => {
-                    return Err(self.err(format!(
-                        "expected ';' or '.', found {:?}",
-                        other.map(|b| b as char)
-                    )))
+                    return Err(self
+                        .err(format!("expected ';' or '.', found {:?}", other.map(|b| b as char))))
                 }
             }
         }
@@ -377,10 +369,7 @@ impl<'a> Parser<'a> {
                     Some(b'\\') => value.push('\\'),
                     Some(b'"') => value.push('"'),
                     other => {
-                        return Err(self.err(format!(
-                            "bad escape \\{:?}",
-                            other.map(|b| b as char)
-                        )))
+                        return Err(self.err(format!("bad escape \\{:?}", other.map(|b| b as char))))
                     }
                 },
                 Some(c) => {
@@ -428,10 +417,7 @@ impl<'a> Parser<'a> {
                 if self.pos == start {
                     return Err(self.err("empty language tag"));
                 }
-                Ok(Term::Literal(Literal::lang_string(
-                    value,
-                    &self.src[start..self.pos],
-                )))
+                Ok(Term::Literal(Literal::lang_string(value, &self.src[start..self.pos])))
             }
             _ => Ok(Term::string(value)),
         }
@@ -451,11 +437,7 @@ impl<'a> Parser<'a> {
                 }
                 b'.' if !saw_dot && !saw_exp => {
                     // A `.` followed by a non-digit is the statement terminator.
-                    if self
-                        .bytes
-                        .get(self.pos + 1)
-                        .is_some_and(|d| d.is_ascii_digit())
-                    {
+                    if self.bytes.get(self.pos + 1).is_some_and(|d| d.is_ascii_digit()) {
                         saw_dot = true;
                         self.bump();
                     } else {
@@ -474,14 +456,10 @@ impl<'a> Parser<'a> {
         }
         let text = &self.src[start..self.pos];
         if saw_dot || saw_exp {
-            let v: f64 = text
-                .parse()
-                .map_err(|_| self.err(format!("bad double {text:?}")))?;
+            let v: f64 = text.parse().map_err(|_| self.err(format!("bad double {text:?}")))?;
             Ok(Term::double(v))
         } else {
-            let v: i64 = text
-                .parse()
-                .map_err(|_| self.err(format!("bad integer {text:?}")))?;
+            let v: i64 = text.parse().map_err(|_| self.err(format!("bad integer {text:?}")))?;
             Ok(Term::integer(v))
         }
     }
@@ -508,10 +486,7 @@ impl<'a> Parser<'a> {
             "true" => Ok(Term::boolean(true)),
             "false" => Ok(Term::boolean(false)),
             _ if text.contains(':') => {
-                let iri = self
-                    .prefixes
-                    .expand(text)
-                    .map_err(|e| self.err(e.to_string()))?;
+                let iri = self.prefixes.expand(text).map_err(|e| self.err(e.to_string()))?;
                 Ok(Term::Iri(iri))
             }
             _ => Err(self.err(format!("unknown keyword or unprefixed name {text:?}"))),
@@ -568,35 +543,23 @@ mod tests {
         "#;
         let store = parse_into_store(doc).unwrap();
         let s = Term::iri("http://x/s");
-        let get = |p: &str| {
-            store
-                .object(&s, &Term::iri(format!("http://x/{p}")))
-                .unwrap()
-        };
+        let get = |p: &str| store.object(&s, &Term::iri(format!("http://x/{p}"))).unwrap();
         assert_eq!(get("str"), Term::string("plain"));
         assert_eq!(get("esc"), Term::string("a\"b\nc"));
-        assert_eq!(
-            get("lang"),
-            Term::Literal(Literal::lang_string("ciao", "it"))
-        );
+        assert_eq!(get("lang"), Term::Literal(Literal::lang_string("ciao", "it")));
         assert_eq!(get("int"), Term::integer(42));
         assert_eq!(get("neg"), Term::integer(-7));
         assert_eq!(get("dbl").as_literal().unwrap().as_f64(), Some(3.25));
         assert_eq!(get("exp").as_literal().unwrap().as_f64(), Some(1000.0));
         assert_eq!(get("bool"), Term::boolean(true));
-        assert_eq!(
-            get("typed").as_literal().unwrap().datatype().as_str(),
-            xsd::LONG
-        );
+        assert_eq!(get("typed").as_literal().unwrap().datatype().as_str(), xsd::LONG);
     }
 
     #[test]
     fn unicode_strings_survive() {
         let doc = "@prefix x: <http://x/> .\nx:s x:p \"protéine – αβγ\" .";
         let store = parse_into_store(doc).unwrap();
-        let o = store
-            .object(&Term::iri("http://x/s"), &Term::iri("http://x/p"))
-            .unwrap();
+        let o = store.object(&Term::iri("http://x/s"), &Term::iri("http://x/p")).unwrap();
         assert_eq!(o, Term::string("protéine – αβγ"));
     }
 
@@ -657,8 +620,7 @@ mod prop_tests {
             any::<bool>().prop_map(Term::boolean),
             (-1e9f64..1e9).prop_map(Term::double),
             "\\PC{0,20}".prop_map(Term::string),
-            ("\\PC{0,12}", "[a-z]{2}")
-                .prop_map(|(s, l)| Term::Literal(Literal::lang_string(s, l))),
+            ("\\PC{0,12}", "[a-z]{2}").prop_map(|(s, l)| Term::Literal(Literal::lang_string(s, l))),
         ]
     }
 

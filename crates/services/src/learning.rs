@@ -32,10 +32,7 @@ impl LabelledExample {
     /// Builds an example from `(feature, value)` pairs.
     pub fn new<I: IntoIterator<Item = (&'static str, f64)>>(features: I, label: bool) -> Self {
         LabelledExample {
-            features: features
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
+            features: features.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
             label,
         }
     }
@@ -100,10 +97,7 @@ impl DecisionStump {
                         })
                         .count() as f64;
                     let accuracy = correct / n;
-                    if best
-                        .as_ref()
-                        .is_none_or(|b| accuracy > b.training_accuracy)
-                    {
+                    if best.as_ref().is_none_or(|b| accuracy > b.training_accuracy) {
                         best = Some(DecisionStump {
                             feature: feature.clone(),
                             threshold,
@@ -169,17 +163,13 @@ impl LogisticModel {
         let rows: Vec<(Vec<f64>, f64)> = examples
             .iter()
             .filter_map(|e| {
-                let xs: Option<Vec<f64>> = feature_names
-                    .iter()
-                    .map(|f| e.features.get(f).copied())
-                    .collect();
+                let xs: Option<Vec<f64>> =
+                    feature_names.iter().map(|f| e.features.get(f).copied()).collect();
                 xs.map(|xs| (xs, if e.label { 1.0 } else { 0.0 }))
             })
             .collect();
         if rows.is_empty() {
-            return Err(ServiceError::BadRequest(
-                "no example carries all features".into(),
-            ));
+            return Err(ServiceError::BadRequest("no example carries all features".into()));
         }
         let n = rows.len() as f64;
         let k = feature_names.len();
@@ -194,13 +184,7 @@ impl LogisticModel {
         let standardized: Vec<(Vec<f64>, f64)> = rows
             .iter()
             .map(|(x, y)| {
-                (
-                    x.iter()
-                        .zip(&standardization)
-                        .map(|(v, (m, s))| (v - m) / s)
-                        .collect(),
-                    *y,
-                )
+                (x.iter().zip(&standardization).map(|(v, (m, s))| (v - m) / s).collect(), *y)
             })
             .collect();
 
@@ -229,11 +213,8 @@ impl LogisticModel {
     /// The positive-class probability.
     pub fn predict_proba(&self, features: &BTreeMap<String, f64>) -> Option<f64> {
         let mut z = self.bias;
-        for ((name, (mean, sd)), weight) in self
-            .feature_names
-            .iter()
-            .zip(&self.standardization)
-            .zip(&self.weights)
+        for ((name, (mean, sd)), weight) in
+            self.feature_names.iter().zip(&self.standardization).zip(&self.weights)
         {
             let v = *features.get(name)?;
             z += weight * (v - mean) / sd;
@@ -250,9 +231,7 @@ impl LogisticModel {
         let correct = examples
             .iter()
             .filter(|e| {
-                self.predict_proba(&e.features)
-                    .map(|p| (p > 0.5) == e.label)
-                    .unwrap_or(false)
+                self.predict_proba(&e.features).map(|p| (p > 0.5) == e.label).unwrap_or(false)
             })
             .count();
         correct as f64 / examples.len() as f64

@@ -53,19 +53,12 @@ impl DataSet {
 
     /// A payload field of one item.
     pub fn field(&self, item: &Term, field: &str) -> EvidenceValue {
-        self.payloads
-            .get(item)
-            .and_then(|m| m.get(field))
-            .cloned()
-            .unwrap_or(EvidenceValue::Null)
+        self.payloads.get(item).and_then(|m| m.get(field)).cloned().unwrap_or(EvidenceValue::Null)
     }
 
     /// All fields of one item.
     pub fn fields(&self, item: &Term) -> impl Iterator<Item = (&str, &EvidenceValue)> {
-        self.payloads
-            .get(item)
-            .into_iter()
-            .flat_map(|m| m.iter().map(|(k, v)| (k.as_str(), v)))
+        self.payloads.get(item).into_iter().flat_map(|m| m.iter().map(|(k, v)| (k.as_str(), v)))
     }
 
     /// Number of items.

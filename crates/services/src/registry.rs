@@ -136,10 +136,7 @@ mod tests {
         reg.register_assertion(Arc::new(NullAssertion)).unwrap();
         assert!(reg.annotator(&q::iri("NullAnnotation")).is_ok());
         assert!(reg.assertion(&q::iri("NullAssertion")).is_ok());
-        assert!(matches!(
-            reg.annotator(&q::iri("Missing")),
-            Err(ServiceError::NotRegistered(_))
-        ));
+        assert!(matches!(reg.annotator(&q::iri("Missing")), Err(ServiceError::NotRegistered(_))));
         assert_eq!(reg.annotator_concepts().len(), 1);
         assert_eq!(reg.assertion_concepts().len(), 1);
     }

@@ -34,15 +34,13 @@ impl VariableBindings {
 
     /// Binds a variable to an evidence type.
     pub fn bind_evidence(mut self, variable: impl Into<String>, evidence: Iri) -> Self {
-        self.bindings
-            .insert(variable.into(), VariableSource::Evidence(evidence));
+        self.bindings.insert(variable.into(), VariableSource::Evidence(evidence));
         self
     }
 
     /// Binds a variable to a tag.
     pub fn bind_tag(mut self, variable: impl Into<String>, tag: impl Into<String>) -> Self {
-        self.bindings
-            .insert(variable.into(), VariableSource::Tag(tag.into()));
+        self.bindings.insert(variable.into(), VariableSource::Tag(tag.into()));
         self
     }
 

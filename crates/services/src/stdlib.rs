@@ -40,10 +40,7 @@ impl FieldCaptureAnnotator {
     pub fn new(service_type: Iri, captures: &[(&str, Iri)]) -> Self {
         FieldCaptureAnnotator {
             service_type,
-            captures: captures
-                .iter()
-                .map(|(f, e)| (f.to_string(), e.clone()))
-                .collect(),
+            captures: captures.iter().map(|(f, e)| (f.to_string(), e.clone())).collect(),
         }
     }
 }
@@ -129,11 +126,7 @@ impl AssertionService for LinearScoreAssertion {
                     }
                 }
             }
-            let value = if complete {
-                EvidenceValue::Number(total)
-            } else {
-                EvidenceValue::Null
-            };
+            let value = if complete { EvidenceValue::Number(total) } else { EvidenceValue::Null };
             map.set_tag(&item, tag, value);
         }
         Ok(())
@@ -178,10 +171,8 @@ impl AssertionService for ZScoreAssertion {
         // collection statistics per variable
         let mut stats = Vec::with_capacity(self.variables.len());
         for variable in &self.variables {
-            let values: Vec<f64> = items
-                .iter()
-                .filter_map(|item| numeric(bindings, map, item, variable))
-                .collect();
+            let values: Vec<f64> =
+                items.iter().filter_map(|item| numeric(bindings, map, item, variable)).collect();
             let (mean, sd, _) =
                 qurator_annotations::map::numeric_stats(&values).unwrap_or((0.0, 0.0, 0));
             stats.push((mean, sd));
@@ -203,11 +194,7 @@ impl AssertionService for ZScoreAssertion {
                     }
                 }
             }
-            let value = if complete {
-                EvidenceValue::Number(total)
-            } else {
-                EvidenceValue::Null
-            };
+            let value = if complete { EvidenceValue::Number(total) } else { EvidenceValue::Null };
             map.set_tag(&item, tag, value);
         }
         Ok(())
@@ -271,10 +258,8 @@ impl AssertionService for StatClassifierAssertion {
         tag: &str,
     ) -> Result<()> {
         let items: Vec<Term> = map.items().to_vec();
-        let values: Vec<f64> = items
-            .iter()
-            .filter_map(|item| numeric(bindings, map, item, &self.variable))
-            .collect();
+        let values: Vec<f64> =
+            items.iter().filter_map(|item| numeric(bindings, map, item, &self.variable)).collect();
         let Some((mean, sd, _)) = qurator_annotations::map::numeric_stats(&values) else {
             // nothing numeric: every tag is null
             for item in items {
@@ -447,10 +432,7 @@ mod tests {
             r.lookup(&item(1), &q::iri("MassCoverage")).unwrap(),
             EvidenceValue::Number(30.0)
         );
-        assert_eq!(
-            r.lookup(&item(2), &q::iri("MassCoverage")).unwrap(),
-            EvidenceValue::Null
-        );
+        assert_eq!(r.lookup(&item(2), &q::iri("MassCoverage")).unwrap(), EvidenceValue::Null);
         assert_eq!(annotator.provides().len(), 2);
     }
 
@@ -463,14 +445,8 @@ mod tests {
         );
         let mut map = sample_map(&[(1, 0.9, 40.0), (2, 0.5, 25.0)]);
         qa.assert_quality(&mut map, &bindings(), "HR_MC").unwrap();
-        assert_eq!(
-            map.item(&item(1)).unwrap().tag("HR_MC"),
-            EvidenceValue::Number(130.0)
-        );
-        assert_eq!(
-            map.item(&item(2)).unwrap().tag("HR_MC"),
-            EvidenceValue::Number(75.0)
-        );
+        assert_eq!(map.item(&item(1)).unwrap().tag("HR_MC"), EvidenceValue::Number(130.0));
+        assert_eq!(map.item(&item(2)).unwrap().tag("HR_MC"), EvidenceValue::Number(75.0));
     }
 
     #[test]
@@ -520,10 +496,7 @@ mod tests {
             (5, 10.0, 0.0),
         ]);
         qa.assert_quality(&mut map, &bindings(), "cls").unwrap();
-        assert_eq!(
-            map.item(&item(5)).unwrap().tag("cls"),
-            EvidenceValue::Class(q::iri("high"))
-        );
+        assert_eq!(map.item(&item(5)).unwrap().tag("cls"), EvidenceValue::Class(q::iri("high")));
         for i in 1..=4 {
             assert_eq!(
                 map.item(&item(i)).unwrap().tag("cls"),
@@ -536,8 +509,7 @@ mod tests {
 
     #[test]
     fn stat_classifier_k_widens_mid_band() {
-        let values: Vec<(u32, f64, f64)> =
-            (1..=10).map(|i| (i, i as f64, 0.0)).collect();
+        let values: Vec<(u32, f64, f64)> = (1..=10).map(|i| (i, i as f64, 0.0)).collect();
         let mk = |k: f64| {
             StatClassifierAssertion::new(
                 q::iri("C"),
@@ -552,9 +524,7 @@ mod tests {
             mk(k).assert_quality(&mut map, &bindings(), "cls").unwrap();
             map.items()
                 .iter()
-                .filter(|i| {
-                    map.item(i).unwrap().tag("cls") == EvidenceValue::Class(q::iri("mid"))
-                })
+                .filter(|i| map.item(i).unwrap().tag("cls") == EvidenceValue::Class(q::iri("mid")))
                 .count()
         };
         assert!(count_mid(0.5) < count_mid(1.5));

@@ -26,10 +26,7 @@ pub struct Connector {
 impl Connector {
     /// Builds a connector.
     pub fn new(from_node: &str, from_port: &str, to_node: &str, to_port: &str) -> Self {
-        Connector {
-            from: PortRef::new(from_node, from_port),
-            to: PortRef::new(to_node, to_port),
-        }
+        Connector { from: PortRef::new(from_node, from_port), to: PortRef::new(to_node, to_port) }
     }
 }
 
@@ -206,16 +203,15 @@ mod tests {
 
         let mut host = Workflow::new("host");
         host.add("src", constant("c", 1.0)).unwrap();
-        let descriptor = EmbedDescriptor::new()
-            .with_connector(Connector::new("src", "out", "q/a", "in"));
+        let descriptor =
+            EmbedDescriptor::new().with_connector(Connector::new("src", "out", "q/a", "in"));
         host.embed(&sub, "q", &descriptor).unwrap();
 
-        assert!(host.data_links().iter().any(|l| l.from.processor == "q/a"
-            && l.to.processor == "q/b"));
         assert!(host
-            .control_links()
+            .data_links()
             .iter()
-            .any(|(x, y)| x == "q/a" && y == "q/b"));
+            .any(|l| l.from.processor == "q/a" && l.to.processor == "q/b"));
+        assert!(host.control_links().iter().any(|(x, y)| x == "q/a" && y == "q/b"));
     }
 
     #[test]
@@ -246,8 +242,8 @@ mod tests {
         let mut host = Workflow::new("host");
         host.add("src", constant("c", 1.0)).unwrap();
         let sub = Workflow::new("sub");
-        let descriptor = EmbedDescriptor::new()
-            .severing(PortRef::new("src", "out"), PortRef::new("nope", "in"));
+        let descriptor =
+            EmbedDescriptor::new().severing(PortRef::new("src", "out"), PortRef::new("nope", "in"));
         assert!(host.embed(&sub, "q", &descriptor).is_err());
     }
 

@@ -1,7 +1,7 @@
 //! The enactor: executes a validated workflow over concrete inputs.
 //!
 //! Execution proceeds in *waves* (antichains of the dependency graph);
-//! within a wave every processor runs on its own crossbeam scoped thread.
+//! within a wave every processor runs on its own scoped thread.
 //! Implicit iteration follows Taverna's cross-product strategy: whenever an
 //! input arrives with more list-nesting than the port declares, the
 //! processor is mapped over the elements and its outputs are re-wrapped.
@@ -11,6 +11,7 @@ use crate::model::{PortRef, Workflow};
 use crate::processor::{Context, Inputs, Outputs, Processor};
 use crate::{Result, WorkflowError};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Per-node timing and sizing captured during an enactment.
@@ -99,42 +100,43 @@ impl Enactor {
             // Assemble each node's inputs up front (read-only phase).
             let mut jobs: Vec<(String, &Workflow, Inputs)> = Vec::with_capacity(wave.len());
             for node in wave {
-                let inputs_for_node =
-                    assemble_inputs(workflow, node, inputs, &port_values)?;
+                let inputs_for_node = assemble_inputs(workflow, node, inputs, &port_values)?;
                 jobs.push((node.clone(), workflow, inputs_for_node));
             }
 
             // Execute the wave.
-            let results: Vec<Result<(String, Outputs, Duration, usize)>> = if self.parallel
-                && jobs.len() > 1
-            {
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = jobs
-                        .iter()
-                        .map(|(node, wf, node_inputs)| {
-                            scope.spawn(move |_| run_node(wf, node, node_inputs, ctx))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("worker thread panicked"))
+            let results: Vec<Result<(String, Outputs, Duration, usize)>> =
+                if self.parallel && jobs.len() > 1 {
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = jobs
+                            .iter()
+                            .map(|(node, wf, node_inputs)| {
+                                scope.spawn(move || run_node_guarded(wf, node, node_inputs, ctx))
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .zip(jobs.iter())
+                            .map(|(handle, (node, _, _))| match handle.join() {
+                                Ok(result) => result,
+                                // A worker can only be "gone" if its panic escaped the
+                                // catch_unwind (panic-in-panic-payload Drop); still
+                                // surface it as this node's execution failure.
+                                Err(payload) => Err(panic_to_error(node, payload)),
+                            })
+                            .collect()
+                    })
+                } else {
+                    jobs.iter()
+                        .map(|(node, wf, node_inputs)| run_node_guarded(wf, node, node_inputs, ctx))
                         .collect()
-                })
-                .expect("crossbeam scope")
-            } else {
-                jobs.iter()
-                    .map(|(node, wf, node_inputs)| run_node(wf, node, node_inputs, ctx))
-                    .collect()
-            };
+                };
 
             for result in results {
                 let (node, outputs, duration, invocations) = result?;
                 let output_leaves = outputs.values().map(Data::leaf_count).sum();
-                let processor_type = workflow
-                    .processor(&node)
-                    .expect("node exists")
-                    .type_name()
-                    .to_string();
+                let processor_type =
+                    workflow.processor(&node).expect("node exists").type_name().to_string();
                 for (port, value) in outputs {
                     port_values.insert(PortRef::new(node.clone(), port), value);
                 }
@@ -153,13 +155,44 @@ impl Enactor {
         let mut outputs = BTreeMap::new();
         for (name, source) in workflow.outputs() {
             let value = port_values.get(source).cloned().ok_or_else(|| {
-                WorkflowError::Unknown(format!("workflow output {name:?} source {source} produced nothing"))
+                WorkflowError::Unknown(format!(
+                    "workflow output {name:?} source {source} produced nothing"
+                ))
             })?;
             outputs.insert(name.to_string(), value);
         }
 
         Ok(EnactmentReport { outputs, events, total: started.elapsed() })
     }
+}
+
+/// Renders a panic payload (`&str` or `String`, the two forms `panic!`
+/// produces) as an [`WorkflowError::Execution`] for the given node.
+fn panic_to_error(node: &str, payload: Box<dyn std::any::Any + Send>) -> WorkflowError {
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    WorkflowError::Execution {
+        processor: node.to_string(),
+        message: format!("processor panicked: {message}"),
+    }
+}
+
+/// Runs a node, converting a panicking processor into a regular
+/// [`WorkflowError::Execution`] instead of aborting the whole enactment
+/// (a panic on a worker thread used to take down the scope).
+fn run_node_guarded(
+    workflow: &Workflow,
+    node: &str,
+    inputs: &Inputs,
+    ctx: &Context,
+) -> Result<(String, Outputs, Duration, usize)> {
+    catch_unwind(AssertUnwindSafe(|| run_node(workflow, node, inputs, ctx)))
+        .unwrap_or_else(|payload| Err(panic_to_error(node, payload)))
 }
 
 fn run_node(
@@ -174,10 +207,9 @@ fn run_node(
     let outputs = invoke_with_iteration(processor.as_ref(), inputs, ctx, &mut invocations)
         .map_err(|e| match e {
             WorkflowError::Execution { .. } | WorkflowError::MissingInput { .. } => e,
-            other => WorkflowError::Execution {
-                processor: node.to_string(),
-                message: other.to_string(),
-            },
+            other => {
+                WorkflowError::Execution { processor: node.to_string(), message: other.to_string() }
+            }
         })?;
     Ok((node.to_string(), outputs, started.elapsed(), invocations))
 }
@@ -193,11 +225,8 @@ fn assemble_inputs(
     for (port, _) in processor.input_ports() {
         let port_ref = PortRef::new(node, port.clone());
         // data link feeding the port?
-        let from_link = workflow
-            .data_links()
-            .iter()
-            .find(|l| l.to == port_ref)
-            .map(|l| l.from.clone());
+        let from_link =
+            workflow.data_links().iter().find(|l| l.to == port_ref).map(|l| l.from.clone());
         if let Some(from) = from_link {
             let value = port_values.get(&from).cloned().ok_or_else(|| {
                 WorkflowError::MissingInput { processor: node.to_string(), port: port.clone() }
@@ -207,12 +236,11 @@ fn assemble_inputs(
         }
         // workflow input feeding the port?
         if let Some(name) = workflow.input_feeds(&port_ref) {
-            let value = workflow_inputs.get(name).cloned().ok_or_else(|| {
-                WorkflowError::MissingInput {
+            let value =
+                workflow_inputs.get(name).cloned().ok_or_else(|| WorkflowError::MissingInput {
                     processor: format!("workflow input {name:?}"),
                     port: port.clone(),
-                }
-            })?;
+                })?;
             assembled.insert(port, value);
         }
         // otherwise: optional port (validate() guaranteed), stays absent
@@ -238,10 +266,7 @@ fn invoke_with_iteration(
         .input_ports()
         .into_iter()
         .filter_map(|(port, declared)| {
-            inputs
-                .get(&port)
-                .filter(|v| v.depth() > declared)
-                .map(|_| port)
+            inputs.get(&port).filter(|v| v.depth() > declared).map(|_| port)
         })
         .collect();
     if deep_ports.is_empty() {
@@ -259,8 +284,7 @@ fn invoke_with_iteration(
 
     // dot product across all deep ports when their lengths agree
     let first_len = list_of(&deep_ports[0]).len();
-    let dot = deep_ports.len() > 1
-        && deep_ports.iter().all(|p| list_of(p).len() == first_len);
+    let dot = deep_ports.len() > 1 && deep_ports.iter().all(|p| list_of(p).len() == first_len);
 
     let mut collected: BTreeMap<String, Vec<Data>> = BTreeMap::new();
     if dot {
@@ -330,10 +354,7 @@ mod tests {
         let report = Enactor::new()
             .run(&w, &BTreeMap::from([("text".to_string(), input)]), &Context::new())
             .unwrap();
-        assert_eq!(
-            report.outputs["result"],
-            Data::list(["A".into(), "B".into(), "C".into()])
-        );
+        assert_eq!(report.outputs["result"], Data::list(["A".into(), "B".into(), "C".into()]));
         assert_eq!(report.event("u").unwrap().invocations, 3);
     }
 
@@ -349,10 +370,7 @@ mod tests {
             .unwrap();
         assert_eq!(
             report.outputs["result"],
-            Data::list([
-                Data::list(["A".into()]),
-                Data::list(["B".into(), "C".into()])
-            ])
+            Data::list([Data::list(["A".into()]), Data::list(["B".into(), "C".into()])])
         );
     }
 
@@ -415,15 +433,46 @@ mod tests {
     #[test]
     fn execution_errors_carry_node_name() {
         let bad = FnProcessor::new("boom", &[], &["out"], |_, _| {
-            Err(WorkflowError::Execution {
-                processor: "boom".into(),
-                message: "kaput".into(),
-            })
+            Err(WorkflowError::Execution { processor: "boom".into(), message: "kaput".into() })
         });
         let mut w = Workflow::new("t");
         w.add("b", Arc::new(bad)).unwrap();
         let err = Enactor::new().run(&w, &BTreeMap::new(), &Context::new()).unwrap_err();
         assert!(matches!(err, WorkflowError::Execution { .. }));
+    }
+
+    #[test]
+    fn panicking_processor_in_parallel_wave_is_an_execution_error() {
+        // Two independent nodes in one wave so the parallel path is taken;
+        // one of them panics mid-execute.
+        let ok = FnProcessor::new("ok", &[], &["out"], |_, _| {
+            Ok(BTreeMap::from([("out".to_string(), Data::from(1.0))]))
+        });
+        let bad =
+            FnProcessor::new("panics", &[], &["out"], |_, _| panic!("simulated worker crash"));
+        let mut w = Workflow::new("t");
+        w.add("good", Arc::new(ok)).unwrap();
+        w.add("bad", Arc::new(bad)).unwrap();
+        w.declare_output("x", PortRef::new("good", "out")).unwrap();
+        let err = Enactor::new().run(&w, &BTreeMap::new(), &Context::new()).unwrap_err();
+        match err {
+            WorkflowError::Execution { processor, message } => {
+                assert_eq!(processor, "bad");
+                assert!(message.contains("simulated worker crash"), "message: {message}");
+            }
+            other => panic!("expected Execution error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_processor_in_sequential_run_is_an_execution_error() {
+        let bad = FnProcessor::new("panics", &[], &["out"], |_, _| panic!("sequential crash"));
+        let mut w = Workflow::new("t");
+        w.add("bad", Arc::new(bad)).unwrap();
+        let err = Enactor::sequential().run(&w, &BTreeMap::new(), &Context::new()).unwrap_err();
+        assert!(
+            matches!(err, WorkflowError::Execution { ref processor, .. } if processor == "bad")
+        );
     }
 
     #[test]
@@ -472,16 +521,11 @@ mod iteration_strategy_tests {
     use std::sync::Arc;
 
     fn pair_sum() -> Arc<dyn Processor> {
-        Arc::new(FnProcessor::new(
-            "sum2",
-            &[("a", 0), ("b", 0)],
-            &["out"],
-            |inputs, _| {
-                let a = inputs["a"].as_number().unwrap();
-                let b = inputs["b"].as_number().unwrap();
-                Ok(BTreeMap::from([("out".to_string(), Data::from(a + b))]))
-            },
-        ))
+        Arc::new(FnProcessor::new("sum2", &[("a", 0), ("b", 0)], &["out"], |inputs, _| {
+            let a = inputs["a"].as_number().unwrap();
+            let b = inputs["b"].as_number().unwrap();
+            Ok(BTreeMap::from([("out".to_string(), Data::from(a + b))]))
+        }))
     }
 
     fn run_pairwise(a: Data, b: Data) -> (Data, usize) {
@@ -491,11 +535,7 @@ mod iteration_strategy_tests {
         w.declare_input("b", PortRef::new("s", "b")).unwrap();
         w.declare_output("out", PortRef::new("s", "out")).unwrap();
         let report = Enactor::new()
-            .run(
-                &w,
-                &BTreeMap::from([("a".to_string(), a), ("b".to_string(), b)]),
-                &Context::new(),
-            )
+            .run(&w, &BTreeMap::from([("a".to_string(), a), ("b".to_string(), b)]), &Context::new())
             .unwrap();
         (report.outputs["out"].clone(), report.event("s").unwrap().invocations)
     }

@@ -19,7 +19,8 @@
 //!   workflow input/output ports, validation (port existence, single
 //!   writer per input, acyclicity) and topological ordering;
 //! * [`enact`] — the enactor: wave-parallel execution (independent ready
-//!   processors run concurrently on crossbeam scoped threads), Taverna-style
+//!   processors run concurrently on scoped threads, worker panics surfaced
+//!   as execution errors), Taverna-style
 //!   implicit iteration (a list arriving on an item-depth port maps the
 //!   processor over the elements), and an execution report with per-node
 //!   timings;

@@ -65,9 +65,7 @@ impl Workflow {
     ) -> Result<&mut Self> {
         let node = node.into();
         if self.processors.contains_key(&node) {
-            return Err(WorkflowError::Invalid(format!(
-                "duplicate processor name {node:?}"
-            )));
+            return Err(WorkflowError::Invalid(format!("duplicate processor name {node:?}")));
         }
         self.processors.insert(node, processor);
         Ok(self)
@@ -86,9 +84,7 @@ impl Workflow {
         self.check_output_port(&from)?;
         self.check_input_port(&to)?;
         if self.writer_of(&to).is_some() {
-            return Err(WorkflowError::Invalid(format!(
-                "input port {to} already has a writer"
-            )));
+            return Err(WorkflowError::Invalid(format!("input port {to} already has a writer")));
         }
         self.data_links.push(DataLink { from, to });
         Ok(self)
@@ -109,9 +105,7 @@ impl Workflow {
     pub fn declare_input(&mut self, name: impl Into<String>, to: PortRef) -> Result<&mut Self> {
         self.check_input_port(&to)?;
         if self.writer_of(&to).is_some() {
-            return Err(WorkflowError::Invalid(format!(
-                "input port {to} already has a writer"
-            )));
+            return Err(WorkflowError::Invalid(format!("input port {to} already has a writer")));
         }
         self.inputs.entry(name.into()).or_default().push(to);
         Ok(self)
@@ -219,11 +213,7 @@ impl Workflow {
         self.data_links
             .iter()
             .map(|l| (l.from.processor.as_str(), l.to.processor.as_str()))
-            .chain(
-                self.control_links
-                    .iter()
-                    .map(|(a, b)| (a.as_str(), b.as_str())),
-            )
+            .chain(self.control_links.iter().map(|(a, b)| (a.as_str(), b.as_str())))
     }
 
     /// Validates the graph: every referenced node/port exists (by
@@ -240,10 +230,7 @@ impl Workflow {
                 }
                 let port_ref = PortRef::new(node.clone(), port.clone());
                 if self.writer_of(&port_ref).is_none() && self.input_feeds(&port_ref).is_none() {
-                    return Err(WorkflowError::MissingInput {
-                        processor: node.clone(),
-                        port,
-                    });
+                    return Err(WorkflowError::MissingInput { processor: node.clone(), port });
                 }
             }
         }
@@ -266,11 +253,8 @@ impl Workflow {
                 *indegree.get_mut(to).expect("checked on insert") += 1;
             }
         }
-        let mut ready: VecDeque<&str> = indegree
-            .iter()
-            .filter(|(_, d)| **d == 0)
-            .map(|(n, _)| *n)
-            .collect();
+        let mut ready: VecDeque<&str> =
+            indegree.iter().filter(|(_, d)| **d == 0).map(|(n, _)| *n).collect();
         let mut order = Vec::with_capacity(self.processors.len());
         while let Some(node) = ready.pop_front() {
             order.push(node.to_string());
@@ -285,14 +269,9 @@ impl Workflow {
             }
         }
         if order.len() != self.processors.len() {
-            let stuck: Vec<&str> = indegree
-                .iter()
-                .filter(|(_, d)| **d > 0)
-                .map(|(n, _)| *n)
-                .collect();
-            return Err(WorkflowError::Cyclic(format!(
-                "cycle involving {stuck:?}"
-            )));
+            let stuck: Vec<&str> =
+                indegree.iter().filter(|(_, d)| **d > 0).map(|(n, _)| *n).collect();
+            return Err(WorkflowError::Cyclic(format!("cycle involving {stuck:?}")));
         }
         Ok(order)
     }
@@ -410,10 +389,7 @@ mod tests {
     fn unfed_required_port_fails_validation() {
         let mut w = Workflow::new("t");
         w.add("a", passthrough("p")).unwrap();
-        assert!(matches!(
-            w.validate(),
-            Err(WorkflowError::MissingInput { .. })
-        ));
+        assert!(matches!(w.validate(), Err(WorkflowError::MissingInput { .. })));
     }
 
     #[test]

@@ -34,9 +34,7 @@ impl Context {
 
     /// Fetches a shared resource by name and type.
     pub fn get<T: Any + Send + Sync>(&self, name: &str) -> Option<Arc<T>> {
-        self.resources
-            .get(name)
-            .and_then(|r| r.clone().downcast::<T>().ok())
+        self.resources.get(name).and_then(|r| r.clone().downcast::<T>().ok())
     }
 
     /// Fetches a resource or produces a uniform execution error.

@@ -39,11 +39,7 @@ pub struct Element {
 impl Element {
     /// Creates an element with the given tag name.
     pub fn new(name: impl Into<String>) -> Self {
-        Element {
-            name: name.into(),
-            attributes: Vec::new(),
-            children: Vec::new(),
-        }
+        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
     }
 
     /// The tag name (including any prefix, verbatim).
@@ -82,10 +78,7 @@ impl Element {
 
     /// Looks up an attribute value.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attributes
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v.as_str())
+        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 
     /// An attribute that must be present (useful in deserializers).
@@ -184,13 +177,10 @@ mod tests {
                     .with_child(Element::new("variables").with_attr("persistent", "false")),
             )
             .with_child(
-                Element::new("action")
-                    .with_attr("name", "filter top k")
-                    .with_child(
-                        Element::new("filter").with_child(
-                            Element::new("condition").with_text("ScoreClass in q:high"),
-                        ),
-                    ),
+                Element::new("action").with_attr("name", "filter top k").with_child(
+                    Element::new("filter")
+                        .with_child(Element::new("condition").with_text("ScoreClass in q:high")),
+                ),
             )
     }
 
@@ -198,7 +188,10 @@ mod tests {
     fn navigation() {
         let e = sample();
         assert_eq!(e.attr("name"), Some("pmf-filter"));
-        assert_eq!(e.child("Annotator").unwrap().attr("serviceName"), Some("ImprintOutputAnnotator"));
+        assert_eq!(
+            e.child("Annotator").unwrap().attr("serviceName"),
+            Some("ImprintOutputAnnotator")
+        );
         assert!(e.child("nope").is_none());
         let cond = e.find("condition").unwrap();
         assert_eq!(cond.text(), "ScoreClass in q:high");

@@ -188,7 +188,8 @@ impl<'a> Parser<'a> {
                 self.skip_n(2);
                 let close = self.parse_name()?;
                 if close != name {
-                    return Err(self.err(format!("mismatched end tag: expected </{name}>, found </{close}>")));
+                    return Err(self
+                        .err(format!("mismatched end tag: expected </{name}>, found </{close}>")));
                 }
                 self.skip_ws();
                 if self.peek() != Some(b'>') {
@@ -334,7 +335,8 @@ mod tests {
     fn condition_with_comparison_operators() {
         // The QV action language is embedded in text content; angle brackets
         // must be escapable.
-        let doc = parse("<condition>ScoreClass in q:high, q:mid and HR_MC &gt; 20</condition>").unwrap();
+        let doc =
+            parse("<condition>ScoreClass in q:high, q:mid and HR_MC &gt; 20</condition>").unwrap();
         assert_eq!(doc.text(), "ScoreClass in q:high, q:mid and HR_MC > 20");
     }
 

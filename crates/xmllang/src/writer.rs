@@ -90,9 +90,7 @@ mod tests {
     fn roundtrip_simple() {
         let e = Element::new("QualityView")
             .with_attr("name", "v1")
-            .with_child(
-                Element::new("condition").with_text("ScoreClass in q:high and HR_MC > 20"),
-            )
+            .with_child(Element::new("condition").with_text("ScoreClass in q:high and HR_MC > 20"))
             .with_child(Element::new("empty"));
         let xml = write_element(&e);
         let back = parse(&xml).unwrap();
@@ -101,9 +99,7 @@ mod tests {
 
     #[test]
     fn escaping_in_both_positions() {
-        let e = Element::new("c")
-            .with_attr("a", "x & \"y\" < z")
-            .with_text("1 < 2 & 3 > 0");
+        let e = Element::new("c").with_attr("a", "x & \"y\" < z").with_text("1 < 2 & 3 > 0");
         let xml = write_element(&e);
         assert!(xml.contains("&amp;"));
         assert!(xml.contains("&lt;"));
@@ -159,10 +155,7 @@ mod prop_tests {
         if depth == 0 {
             leaf.boxed()
         } else {
-            (
-                leaf,
-                proptest::collection::vec(arb_element(depth - 1), 0..3),
-            )
+            (leaf, proptest::collection::vec(arb_element(depth - 1), 0..3))
                 .prop_map(|(mut e, children)| {
                     for c in children {
                         e = e.with_child(c);

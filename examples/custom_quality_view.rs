@@ -153,10 +153,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (id, lab, hr) in rows {
         dataset.push(
             Term::iri(format!("urn:lsid:example.org:hit:{id}")),
-            [
-                ("hitRatio", EvidenceValue::from(hr)),
-                ("lab", EvidenceValue::from(lab)),
-            ],
+            [("hitRatio", EvidenceValue::from(hr)), ("lab", EvidenceValue::from(lab))],
         );
     }
 

@@ -43,8 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    proteome and persist it (this is the long-lived annotation pass),
     //    using the reusable GoaCredibilityAnnotator component
     let uniprot = engine.catalog().create("uniprot", true)?;
-    let annotator =
-        qurator_repro::GoaCredibilityAnnotator::new(Arc::new(world.goa.clone()));
+    let annotator = qurator_repro::GoaCredibilityAnnotator::new(Arc::new(world.goa.clone()));
     let annotated = annotator.annotate_proteome(&world.proteome, &uniprot)?;
     println!("persisted credibility for {annotated} proteins ({} triples)", uniprot.triple_count());
 

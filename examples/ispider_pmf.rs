@@ -16,10 +16,7 @@ fn figure7_view_group() -> (QualityViewSpec, &'static str) {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42);
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(42);
 
     println!("== building the synthetic testbed (seed {seed}) ==");
     let world = World::generate(&WorldConfig::paper_scale(seed))?;

@@ -80,11 +80,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n{:<44} {:>8} {:>10}", "item", "HR_MC", "class");
     for item in kept.dataset.items() {
         let row = kept.map.item(item).expect("restricted map");
-        let score = row
-            .tag("HR_MC")
-            .as_number()
-            .map(|s| format!("{s:+.2}"))
-            .unwrap_or_else(|| "-".into());
+        let score =
+            row.tag("HR_MC").as_number().map(|s| format!("{s:+.2}")).unwrap_or_else(|| "-".into());
         println!(
             "{:<44} {:>8} {:>10}",
             item.as_iri().map(|i| i.local_name().to_string()).unwrap_or_default(),

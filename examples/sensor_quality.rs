@@ -29,14 +29,54 @@ struct Station {
 }
 
 const FLEET: [Station; 8] = [
-    Station { id: "WS-001", days_since_calibration: 12.0, reading_variance: 0.4, packet_loss: 0.01 },
-    Station { id: "WS-002", days_since_calibration: 420.0, reading_variance: 0.5, packet_loss: 0.02 },
-    Station { id: "WS-003", days_since_calibration: 30.0, reading_variance: 6.5, packet_loss: 0.00 },
-    Station { id: "WS-004", days_since_calibration: 45.0, reading_variance: 0.7, packet_loss: 0.03 },
-    Station { id: "WS-005", days_since_calibration: 700.0, reading_variance: 8.0, packet_loss: 0.40 },
-    Station { id: "WS-006", days_since_calibration: 90.0, reading_variance: 1.1, packet_loss: 0.05 },
-    Station { id: "WS-007", days_since_calibration: 15.0, reading_variance: 0.3, packet_loss: 0.02 },
-    Station { id: "WS-008", days_since_calibration: 200.0, reading_variance: 2.0, packet_loss: 0.15 },
+    Station {
+        id: "WS-001",
+        days_since_calibration: 12.0,
+        reading_variance: 0.4,
+        packet_loss: 0.01,
+    },
+    Station {
+        id: "WS-002",
+        days_since_calibration: 420.0,
+        reading_variance: 0.5,
+        packet_loss: 0.02,
+    },
+    Station {
+        id: "WS-003",
+        days_since_calibration: 30.0,
+        reading_variance: 6.5,
+        packet_loss: 0.00,
+    },
+    Station {
+        id: "WS-004",
+        days_since_calibration: 45.0,
+        reading_variance: 0.7,
+        packet_loss: 0.03,
+    },
+    Station {
+        id: "WS-005",
+        days_since_calibration: 700.0,
+        reading_variance: 8.0,
+        packet_loss: 0.40,
+    },
+    Station {
+        id: "WS-006",
+        days_since_calibration: 90.0,
+        reading_variance: 1.1,
+        packet_loss: 0.05,
+    },
+    Station {
+        id: "WS-007",
+        days_since_calibration: 15.0,
+        reading_variance: 0.3,
+        packet_loss: 0.02,
+    },
+    Station {
+        id: "WS-008",
+        days_since_calibration: 200.0,
+        reading_variance: 2.0,
+        packet_loss: 0.15,
+    },
 ];
 
 /// The domain annotation function: pulls telemetry fields into evidence.
@@ -48,11 +88,7 @@ impl AnnotationService for TelemetryAnnotator {
     }
 
     fn provides(&self) -> Vec<Iri> {
-        vec![
-            q::iri("CalibrationAge"),
-            q::iri("ReadingVariance"),
-            q::iri("PacketLoss"),
-        ]
+        vec![q::iri("CalibrationAge"), q::iri("ReadingVariance"), q::iri("PacketLoss")]
     }
 
     fn annotate(&self, data: &Ds, repo: &AnnotationRepository) -> qurator_services::Result<usize> {
@@ -164,11 +200,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(usable >= 3, "healthy stations must survive");
     let recalibrate = outcome.group("triage/recalibrate").unwrap();
     assert!(
-        recalibrate
-            .dataset
-            .items()
-            .iter()
-            .any(|i| i.as_iri().unwrap().local_name() == "WS-005"),
+        recalibrate.dataset.items().iter().any(|i| i.as_iri().unwrap().local_name() == "WS-005"),
         "the worst, oldest station is flagged for recalibration"
     );
     engine.finish_execution();

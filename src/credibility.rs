@@ -149,7 +149,10 @@ mod tests {
         let bare_item = Term::iri(format!("urn:lsid:uniprot.org:uniprot:{accession}"));
         data.push(bare_item.clone(), [] as [(String, EvidenceValue); 0]);
         // unknown item: skipped, not an error
-        data.push(Term::iri("urn:lsid:uniprot.org:uniprot:ZZZZZ"), [] as [(String, EvidenceValue); 0]);
+        data.push(
+            Term::iri("urn:lsid:uniprot.org:uniprot:ZZZZZ"),
+            [] as [(String, EvidenceValue); 0],
+        );
 
         let written = annotator.annotate(&data, &repo).unwrap();
         assert_eq!(written, 2);
@@ -224,12 +227,7 @@ mod tests {
         .unwrap();
         let authority = LsidAuthority::new("uniprot.org", "uniprot");
         let dataset = DataSet::from_items(
-            world
-                .proteome
-                .proteins()
-                .iter()
-                .take(30)
-                .map(|p| authority.term(&p.accession)),
+            world.proteome.proteins().iter().take(30).map(|p| authority.term(&p.accession)),
         );
         let outcome = engine.execute_view(&view, &dataset).unwrap();
         let kept = &outcome.group("trusted").unwrap().dataset;

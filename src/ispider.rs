@@ -41,10 +41,7 @@ pub fn hits_to_dataset(spot_id: &str, hits: &[HitEntry]) -> DataSet {
 
 /// The accession recorded in a data-set item's payload.
 pub fn accession_of(dataset: &DataSet, item: &Term) -> Option<String> {
-    dataset
-        .field(item, "accession")
-        .as_text()
-        .map(str::to_string)
+    dataset.field(item, "accession").as_text().map(str::to_string)
 }
 
 /// Per-spot pipeline products.
@@ -78,11 +75,8 @@ impl PipelineOutput {
         let mut total = 0usize;
         for spot in &self.spots {
             total += spot.identified.len();
-            correct += spot
-                .identified
-                .iter()
-                .filter(|accession| spot.truth.contains(accession))
-                .count();
+            correct +=
+                spot.identified.iter().filter(|accession| spot.truth.contains(accession)).count();
         }
         if total == 0 {
             0.0
@@ -97,11 +91,7 @@ impl PipelineOutput {
         let mut total = 0usize;
         for spot in &self.spots {
             total += spot.truth.len();
-            found += spot
-                .truth
-                .iter()
-                .filter(|t| spot.identified.contains(t))
-                .count();
+            found += spot.truth.iter().filter(|t| spot.identified.contains(t)).count();
         }
         if total == 0 {
             0.0
@@ -130,8 +120,7 @@ impl<'a> IspiderPipeline<'a> {
         let mut go_counts: BTreeMap<String, usize> = BTreeMap::new();
         for peak_list in self.world.peak_lists() {
             let hits = self.world.imprint.search(peak_list);
-            let identified: Vec<String> =
-                hits.iter().map(|h| h.accession.clone()).collect();
+            let identified: Vec<String> = hits.iter().map(|h| h.accession.clone()).collect();
             for accession in &identified {
                 for association in self.world.goa.lookup(accession) {
                     *go_counts.entry(association.term_id.clone()).or_insert(0) += 1;
@@ -223,11 +212,8 @@ pub fn significance_ranking(
     // original frequency ranking
     let mut by_frequency: Vec<(&String, &usize)> = without.go_counts.iter().collect();
     by_frequency.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
-    let original_rank: BTreeMap<&String, usize> = by_frequency
-        .iter()
-        .enumerate()
-        .map(|(i, (term, _))| (*term, i + 1))
-        .collect();
+    let original_rank: BTreeMap<&String, usize> =
+        by_frequency.iter().enumerate().map(|(i, (term, _))| (*term, i + 1)).collect();
 
     let mut rows: Vec<SignificanceRow> = without
         .go_counts
@@ -283,9 +269,8 @@ pub fn significance_ranking(
 /// `ScoreClass in q:high`.
 pub fn figure7_view() -> QualityViewSpec {
     let mut spec = QualityViewSpec::paper_example();
-    spec.actions[0].kind = qurator::spec::ActionKind::Filter {
-        condition: "ScoreClass in q:high".to_string(),
-    };
+    spec.actions[0].kind =
+        qurator::spec::ActionKind::Filter { condition: "ScoreClass in q:high".to_string() };
     spec
 }
 
@@ -311,10 +296,7 @@ mod tests {
         let ds = hits_to_dataset("spot-00", &[hit]);
         assert_eq!(ds.len(), 1);
         let item = &ds.items()[0];
-        assert_eq!(
-            item.as_iri().unwrap().as_str(),
-            "urn:lsid:pedro.man.ac.uk:hit:spot-00.P10001"
-        );
+        assert_eq!(item.as_iri().unwrap().as_str(), "urn:lsid:pedro.man.ac.uk:hit:spot-00.P10001");
         assert_eq!(ds.field(item, "hitRatio"), EvidenceValue::Number(0.4));
         assert_eq!(accession_of(&ds, item).as_deref(), Some("P10001"));
     }

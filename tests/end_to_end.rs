@@ -110,15 +110,9 @@ fn embedded_workflow_matches_direct_pipeline() {
     };
     plan.apply(&mut hosted, &quality).expect("embeds");
 
-    let report = Enactor::new()
-        .run(&hosted, &BTreeMap::new(), &Context::new())
-        .expect("enacts");
-    let total: f64 = report.outputs["go_counts"]
-        .as_record()
-        .unwrap()
-        .values()
-        .filter_map(Data::as_number)
-        .sum();
+    let report = Enactor::new().run(&hosted, &BTreeMap::new(), &Context::new()).expect("enacts");
+    let total: f64 =
+        report.outputs["go_counts"].as_record().unwrap().values().filter_map(Data::as_number).sum();
     engine.finish_execution();
 
     let engine2 = QualityEngine::with_proteomics_defaults().expect("engine");
@@ -168,22 +162,19 @@ mod bench_host {
         let mut wf = Workflow::new("ispider-analysis");
         let pedro_world = world.clone();
         let pedro = FnProcessor::new(nodes::PEDRO, &[], &["spots"], move |_, _| {
-            let spots: Vec<Data> = pedro_world
-                .peak_lists()
-                .iter()
-                .map(|pl| Data::Text(pl.spot_id.clone()))
-                .collect();
+            let spots: Vec<Data> =
+                pedro_world.peak_lists().iter().map(|pl| Data::Text(pl.spot_id.clone())).collect();
             Ok(BTreeMap::from([("spots".to_string(), Data::List(spots))]))
         });
         let imprint_world = world.clone();
         let imprint = FnProcessor::map1(nodes::IMPRINT, "spot", "hits", move |spot, _| {
             let spot_id = spot.as_text().expect("spot id");
-            let peak_list = imprint_world
-                .pedro
-                .spot(&imprint_world.experiment, spot_id)
-                .map_err(|e| WorkflowError::Execution {
-                    processor: nodes::IMPRINT.into(),
-                    message: e.to_string(),
+            let peak_list =
+                imprint_world.pedro.spot(&imprint_world.experiment, spot_id).map_err(|e| {
+                    WorkflowError::Execution {
+                        processor: nodes::IMPRINT.into(),
+                        message: e.to_string(),
+                    }
                 })?;
             let hits = imprint_world.imprint.search(peak_list);
             Ok(convert::dataset_to_data(&hits_to_dataset(spot_id, &hits)))
@@ -204,11 +195,8 @@ mod bench_host {
             }
             Ok(Data::List(terms))
         });
-        let aggregate = FnProcessor::new(
-            nodes::AGGREGATE,
-            &[("terms", 2)],
-            &["go_counts"],
-            |inputs, _| {
+        let aggregate =
+            FnProcessor::new(nodes::AGGREGATE, &[("terms", 2)], &["go_counts"], |inputs, _| {
                 let mut counts: BTreeMap<String, Data> = BTreeMap::new();
                 fn walk(v: &Data, counts: &mut BTreeMap<String, Data>) {
                     match v {
@@ -223,12 +211,8 @@ mod bench_host {
                     }
                 }
                 walk(inputs.get("terms").unwrap_or(&Data::Null), &mut counts);
-                Ok(BTreeMap::from([(
-                    "go_counts".to_string(),
-                    Data::Record(counts),
-                )]))
-            },
-        );
+                Ok(BTreeMap::from([("go_counts".to_string(), Data::Record(counts))]))
+            });
         wf.add(nodes::PEDRO, Arc::new(pedro)).unwrap();
         wf.add(nodes::IMPRINT, Arc::new(imprint)).unwrap();
         wf.add(nodes::GOA, Arc::new(goa)).unwrap();
@@ -236,8 +220,7 @@ mod bench_host {
         wf.link(nodes::PEDRO, "spots", nodes::IMPRINT, "spot").unwrap();
         wf.link(nodes::IMPRINT, "hits", nodes::GOA, "hits").unwrap();
         wf.link(nodes::GOA, "terms", nodes::AGGREGATE, "terms").unwrap();
-        wf.declare_output("go_counts", PortRef::new(nodes::AGGREGATE, "go_counts"))
-            .unwrap();
+        wf.declare_output("go_counts", PortRef::new(nodes::AGGREGATE, "go_counts")).unwrap();
         wf
     }
 
@@ -247,12 +230,10 @@ mod bench_host {
 
     pub fn output_adapter() -> Arc<dyn Processor> {
         Arc::new(FnProcessor::map1("qv-dataset-out", "in", "out", |v, _| {
-            v.field("dataset")
-                .cloned()
-                .ok_or_else(|| WorkflowError::Execution {
-                    processor: "qv-dataset-out".into(),
-                    message: "expected an action group record".into(),
-                })
+            v.field("dataset").cloned().ok_or_else(|| WorkflowError::Execution {
+                processor: "qv-dataset-out".into(),
+                message: "expected an action group record".into(),
+            })
         }))
     }
 }

@@ -78,9 +78,7 @@ fn empty_dataset_flows_through_cleanly() {
 fn single_item_collections_survive_degenerate_statistics() {
     // avg ± stddev over one element: stddev 0 → everything is "mid"
     let engine = engine();
-    let outcome = engine
-        .execute_view(&QualityViewSpec::paper_example(), &hits(1))
-        .expect("runs");
+    let outcome = engine.execute_view(&QualityViewSpec::paper_example(), &hits(1)).expect("runs");
     // condition requires HR_MC > 20; a lone z-score is 0 → rejected
     assert!(outcome.groups[0].dataset.is_empty());
 }
@@ -98,10 +96,7 @@ fn dataset_with_missing_fields_yields_null_tags_not_errors() {
             ("peptidesCount", EvidenceValue::from(10i64)),
         ],
     );
-    ds.push(
-        Term::iri("urn:lsid:t:h:sparse"),
-        [("hitRatio", EvidenceValue::from(0.9))],
-    );
+    ds.push(Term::iri("urn:lsid:t:h:sparse"), [("hitRatio", EvidenceValue::from(0.9))]);
     let mut spec = QualityViewSpec::paper_example();
     spec.actions[0].kind = ActionKind::Filter { condition: "ScoreClass in q:high, q:mid".into() };
     let outcome = engine.execute_view(&spec, &ds).expect("runs");
@@ -115,10 +110,7 @@ fn duplicate_group_names_rejected() {
     let engine = engine();
     let mut spec = QualityViewSpec::paper_example();
     spec.actions[0].kind = ActionKind::Split {
-        groups: vec![
-            ("g".into(), "HR_MC > 0".into()),
-            ("g".into(), "HR_MC < 0".into()),
-        ],
+        groups: vec![("g".into(), "HR_MC > 0".into()), ("g".into(), "HR_MC < 0".into())],
     };
     assert!(engine.validate(&spec).is_err());
 }
@@ -131,11 +123,7 @@ fn repository_type_violation_surfaces_at_execution() {
     let engine = engine();
     let cache = engine.catalog().get_or_create_cache("cache");
     let err = cache
-        .annotate(
-            &Term::iri("urn:lsid:t:h:1"),
-            &q::iri("UniversalPIScore"),
-            1.0.into(),
-        )
+        .annotate(&Term::iri("urn:lsid:t:h:1"), &q::iri("UniversalPIScore"), 1.0.into())
         .unwrap_err();
     assert!(err.to_string().contains("QualityEvidence"));
 }

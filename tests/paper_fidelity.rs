@@ -67,9 +67,7 @@ fn figure_2_annotation_encoding_matches() {
     let engine = QualityEngine::with_proteomics_defaults().expect("engine");
     let cache = engine.catalog().get_or_create_cache("cache");
     let p30089 = Term::iri("urn:lsid:uniprot.org:uniprot:P30089");
-    cache
-        .record_item_type(&p30089, &q::iri("ImprintHitEntry"))
-        .expect("typed");
+    cache.record_item_type(&p30089, &q::iri("ImprintHitEntry")).expect("typed");
     cache.annotate(&p30089, &q::iri("HitRatio"), 0.82.into()).expect("annotated");
     cache.annotate(&p30089, &q::iri("MassCoverage"), 31.into()).expect("annotated");
 
@@ -86,10 +84,7 @@ fn figure_2_annotation_encoding_matches() {
         )
         .expect("queries");
     assert_eq!(rows.len(), 1);
-    assert_eq!(
-        rows[0].get("v").and_then(|t| t.as_literal()).and_then(|l| l.as_f64()),
-        Some(0.82)
-    );
+    assert_eq!(rows[0].get("v").and_then(|t| t.as_literal()).and_then(|l| l.as_f64()), Some(0.82));
 }
 
 #[test]
@@ -164,8 +159,8 @@ fn section_4_1_splitter_semantics() {
     // default holds exactly the items in no group
     let default = outcome.group("filter top k score/default").unwrap();
     for item in dataset.items() {
-        let in_any = positive.dataset.items().contains(item)
-            || superset.dataset.items().contains(item);
+        let in_any =
+            positive.dataset.items().contains(item) || superset.dataset.items().contains(item);
         assert_eq!(default.dataset.items().contains(item), !in_any);
     }
     // each group ships its restricted annotation map (D_i, Amap_i)

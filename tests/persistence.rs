@@ -73,9 +73,7 @@ fn cache_clearing_isolates_executions() {
         }
         ds
     };
-    engine
-        .execute_view(&QualityViewSpec::paper_example(), &dataset)
-        .expect("runs");
+    engine.execute_view(&QualityViewSpec::paper_example(), &dataset).expect("runs");
     let cache = engine.catalog().get("cache").expect("created by run");
     assert!(cache.triple_count() > 0, "annotations written");
     assert!(!cache.is_persistent());
@@ -88,9 +86,7 @@ fn cache_clearing_isolates_executions() {
 fn persistent_repositories_survive_finish_execution() {
     let engine = QualityEngine::with_proteomics_defaults().expect("engine");
     let uniprot = engine.catalog().create("uniprot", true).expect("create");
-    uniprot
-        .annotate(&item(1), &q::iri("HitRatio"), 0.9.into())
-        .expect("annotate");
+    uniprot.annotate(&item(1), &q::iri("HitRatio"), 0.9.into()).expect("annotate");
     engine.finish_execution();
     assert_eq!(uniprot.triple_count(), 3);
 }
@@ -102,9 +98,7 @@ fn stale_warm_store_yields_nulls_not_errors() {
     let engine = QualityEngine::with_proteomics_defaults().expect("engine");
     engine.catalog().create("uniprot", true).expect("create");
     let dataset = DataSet::from_items((100..105).map(item));
-    let outcome = engine
-        .execute_view(&enrichment_only_view("uniprot"), &dataset)
-        .expect("runs");
+    let outcome = engine.execute_view(&enrichment_only_view("uniprot"), &dataset).expect("runs");
     assert!(outcome.groups[0].dataset.is_empty());
 }
 
@@ -113,9 +107,7 @@ fn concurrent_views_share_one_persistent_repository() {
     let engine = Arc::new(QualityEngine::with_proteomics_defaults().expect("engine"));
     let uniprot = engine.catalog().create("uniprot", true).expect("create");
     for i in 0..50u32 {
-        uniprot
-            .annotate(&item(i), &q::iri("HitRatio"), (i as f64).into())
-            .expect("annotate");
+        uniprot.annotate(&item(i), &q::iri("HitRatio"), (i as f64).into()).expect("annotate");
     }
     let view = enrichment_only_view("uniprot");
     std::thread::scope(|scope| {

@@ -1,0 +1,125 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the tiny API subset it uses: [`Mutex`] and [`RwLock`] with
+//! non-poisoning guards. Locks are implemented on top of `std::sync`;
+//! poisoning is recovered transparently (a panicking critical section
+//! leaves the data in place, matching parking_lot's semantics closely
+//! enough for this codebase, which treats a panicked worker as an error
+//! value rather than a reason to abort).
+
+use std::sync::{self, PoisonError};
+
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+/// Non-poisoning mutual-exclusion lock.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Non-poisoning reader-writer lock.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(vec![1]);
+        l.write().push(2);
+        assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let m = std::sync::Arc::new(Mutex::new(0));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison");
+        })
+        .join();
+        // parking_lot semantics: the lock is still usable.
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+}

@@ -1,0 +1,691 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the API subset its property tests use: the [`Strategy`] trait
+//! with `prop_map`/`prop_filter`/`boxed`, strategies for ranges, tuples,
+//! regex-like string patterns, collections, options and fixed-size
+//! arrays, plus the `proptest!`, `prop_oneof!`, `prop_assert!` and
+//! `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * **no shrinking** — a failing case reports the generated inputs via
+//!   the panic message of the inner assertion instead of a minimal
+//!   counterexample;
+//! * **deterministic seeding** — each test derives its RNG seed from the
+//!   test's module path, so failures reproduce across runs;
+//! * the string-pattern strategy supports the character-class + bounded
+//!   repetition dialect used in this repository (`[a-z0-9]{1,8}`-style),
+//!   not full regex.
+
+pub mod test_runner {
+    /// Per-test configuration (subset: case count).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic splitmix64 RNG used by all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(state: u64) -> Self {
+            TestRng { state }
+        }
+
+        /// Seeds from a test name so each test gets a stable stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A value generator. Unlike real proptest there is no shrinking: a
+    /// strategy is just a deterministic function of the RNG stream.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, whence: whence.into(), f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let candidate = self.inner.generate(rng);
+                if (self.f)(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!("prop_filter {:?} rejected 1000 candidates in a row", self.whence);
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always yields clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (built by `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union { arms: self.arms.clone() }
+        }
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let arm = rng.below(self.arms.len() as u64) as usize;
+            self.arms[arm].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u64 + 1;
+                    (start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    /// String patterns: character classes with bounded repetition, e.g.
+    /// `"[a-zA-Z][a-zA-Z0-9_.-]{0,10}"`.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // one atom: a character class or a literal character
+            let choices: Vec<char> = match chars[i] {
+                '[' => {
+                    let mut class = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let (lo, hi) = (chars[i], chars[i + 2]);
+                            assert!(lo <= hi, "bad class range in {pattern:?}");
+                            for c in lo..=hi {
+                                class.push(c);
+                            }
+                            i += 3;
+                        } else {
+                            class.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                    i += 1; // ']'
+                    class
+                }
+                '\\' => {
+                    i += 1;
+                    assert!(i < chars.len(), "dangling escape in {pattern:?}");
+                    let c = chars[i];
+                    i += 1;
+                    vec![c]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            // optional quantifier
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse::<usize>().expect("quantifier min"),
+                        hi.trim().parse::<usize>().expect("quantifier max"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            } else if i < chars.len() && chars[i] == '?' {
+                i += 1;
+                (0, 1)
+            } else if i < chars.len() && chars[i] == '*' {
+                i += 1;
+                (0, 8)
+            } else if i < chars.len() && chars[i] == '+' {
+                i += 1;
+                (1, 8)
+            } else {
+                (1, 1)
+            };
+            let count = min + rng.below((max - min + 1) as u64) as usize;
+            for _ in 0..count {
+                let pick = rng.below(choices.len() as u64) as usize;
+                out.push(choices[pick]);
+            }
+        }
+        out
+    }
+
+    macro_rules! tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    /// Whole-domain generation for `any::<T>()`.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // finite, sign-balanced, wide-exponent spread
+            let mantissa = rng.unit_f64() * 2.0 - 1.0;
+            let exp = rng.below(61) as i32 - 30;
+            mantissa * (2f64).powi(exp)
+        }
+    }
+
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Accepted size specifications for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max - self.min + 1) as u64) as usize
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            // Collisions shrink the set, mirroring proptest's behaviour of
+            // treating the size as an upper bound under low entropy.
+            for _ in 0..target {
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+}
+
+pub mod array {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    pub fn uniform2<S: Strategy>(element: S) -> UniformArray<S, 2> {
+        UniformArray { element }
+    }
+
+    pub fn uniform3<S: Strategy>(element: S) -> UniformArray<S, 3> {
+        UniformArray { element }
+    }
+
+    pub fn uniform4<S: Strategy>(element: S) -> UniformArray<S, 4> {
+        UniformArray { element }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Generation-only re-implementation of proptest's entry macro.
+///
+/// Supports the forms used in this repository:
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     /// docs
+///     #[test]
+///     fn name(x in strategy, y in other_strategy) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assertion macros: panic directly (no shrink phase to report to).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = TestRng::from_seed(1);
+        let s = (0u32..5, -1.0f64..1.0);
+        for _ in 0..100 {
+            let (a, b) = s.generate(&mut rng);
+            assert!(a < 5);
+            assert!((-1.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn string_patterns() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..100 {
+            let s = "[a-c]{2,4}".generate(&mut rng);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = "x\\[y?".generate(&mut rng);
+            assert!(t == "x[y" || t == "x[");
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_and_filter() {
+        let mut rng = TestRng::from_seed(3);
+        let s = prop_oneof![(0u8..3).prop_map(|v| v as i32), Just(100i32),]
+            .prop_filter("positive", |v| *v >= 0);
+        let mut saw_const = false;
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v == 100 || v < 3);
+            saw_const |= v == 100;
+        }
+        assert!(saw_const);
+    }
+
+    #[test]
+    fn collections_and_arrays() {
+        let mut rng = TestRng::from_seed(4);
+        let v = crate::collection::vec((0u8..4, 0u8..4), 0..9).generate(&mut rng);
+        assert!(v.len() < 9);
+        let s = crate::collection::btree_set(0u8..100, 5..6).generate(&mut rng);
+        assert!(s.len() <= 5);
+        let a = crate::array::uniform3(-1.0f64..1.0).generate(&mut rng);
+        assert_eq!(a.len(), 3);
+        let o = crate::option::of("[a-z]{1,2}").generate(&mut rng);
+        if let Some(s) = o {
+            assert!(!s.is_empty());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// The macro itself works end to end.
+        #[test]
+        fn macro_roundtrip(x in 0u32..10, s in "[ab]{1,3}") {
+            prop_assert!(x < 10);
+            prop_assert_eq!(s.is_empty(), false, "generated {:?}", s);
+        }
+    }
+}
