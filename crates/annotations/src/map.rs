@@ -121,6 +121,12 @@ impl AnnotationMap {
         &self.order
     }
 
+    /// All `(item, row)` pairs in key order — the cheap whole-map scan
+    /// (no per-item lookup), for consumers that don't need input order.
+    pub fn rows(&self) -> impl Iterator<Item = (&Term, &ItemAnnotations)> {
+        self.rows.iter()
+    }
+
     /// Number of data items.
     pub fn len(&self) -> usize {
         self.order.len()

@@ -23,9 +23,41 @@ use qurator_rdf::sparql::{self, PreparedQuery};
 use qurator_rdf::store::GraphStore;
 use qurator_rdf::term::{Iri, Term};
 use qurator_rdf::triple::{Triple, TriplePattern};
+use qurator_telemetry::{Counter, Histogram};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+fn lookup_count() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| qurator_telemetry::metrics().counter("enrich.lookup.count"))
+}
+
+fn lookup_latency() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| qurator_telemetry::metrics().histogram("enrich.lookup.latency_ns"))
+}
+
+fn bulk_calls() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| qurator_telemetry::metrics().counter("enrich.bulk.calls"))
+}
+
+fn bulk_rows() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| qurator_telemetry::metrics().counter("enrich.bulk.rows"))
+}
+
+fn bulk_latency() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| qurator_telemetry::metrics().histogram("enrich.bulk.latency_ns"))
+}
+
+fn annotate_count() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| qurator_telemetry::metrics().counter("annotations.write.count"))
+}
 
 /// How a repository answers `(data item, evidence type)` lookups — §5 uses
 /// SPARQL; the other modes are the E3 ablation ladder.
@@ -155,6 +187,7 @@ impl AnnotationRepository {
         store.insert(Triple::new(item.clone(), contains.clone(), node.clone()));
         store.insert(Triple::new(node.clone(), a, Term::Iri(evidence_type.clone())));
         store.insert(Triple::new(node, value_prop, value_term));
+        annotate_count().inc();
         Ok(())
     }
 
@@ -175,11 +208,15 @@ impl AnnotationRepository {
 
     /// The `(item, evidence type)` lookup of §5.
     pub fn lookup(&self, item: &Term, evidence_type: &Iri) -> Result<EvidenceValue> {
-        match self.lookup_mode {
+        let started = Instant::now();
+        let result = match self.lookup_mode {
             LookupMode::Sparql => self.lookup_sparql(item, evidence_type),
             LookupMode::Prepared => self.lookup_prepared(item, evidence_type),
             LookupMode::Direct => Ok(self.lookup_direct(item, evidence_type)),
-        }
+        };
+        lookup_count().inc();
+        lookup_latency().record(started.elapsed().as_nanos() as u64);
+        result
     }
 
     /// SPARQL-based lookup — renders and parses the query text of §5 per
@@ -294,8 +331,12 @@ impl AnnotationRepository {
     /// and null values are left unrecorded. (Non-IRI items are resolved
     /// like [`LookupMode::Direct`]; the SPARQL modes read them as null.)
     pub fn enrich_bulk(&self, items: &[Term], evidence_types: &[Iri]) -> Result<AnnotationMap> {
+        let started = Instant::now();
+        bulk_calls().inc();
+        bulk_rows().add(items.len() as u64);
         let mut map = AnnotationMap::for_items(items.iter().cloned());
         if items.is_empty() || evidence_types.is_empty() {
+            bulk_latency().record(started.elapsed().as_nanos() as u64);
             return Ok(map);
         }
 
@@ -398,6 +439,7 @@ impl AnnotationRepository {
                 }
             }
         }
+        bulk_latency().record(started.elapsed().as_nanos() as u64);
         Ok(map)
     }
 

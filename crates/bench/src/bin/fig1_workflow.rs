@@ -2,18 +2,32 @@
 //! the ISPIDER proteomics analysis workflow (PEDRo → Imprint → GOA),
 //! enacted over the synthetic testbed.
 //!
+//! Writes `BENCH_fig1_workflow.json` (enactment latency over several
+//! repetitions, plus the git revision) and optionally exports the
+//! enactment telemetry:
+//!
 //! ```sh
-//! cargo run -p bench --bin fig1_workflow [seed]
+//! cargo run -p bench --bin fig1_workflow [seed] \
+//!     [--trace-out trace.jsonl] [--metrics-out metrics.txt]
 //! ```
 
 use bench::host::build_host;
+use bench::results::{measure_ms, BenchResult};
 use qurator_proteomics::{World, WorldConfig};
 use qurator_workflow::{Context, Data, Enactor};
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::Arc;
 
+const ITERS: usize = 5;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = args.iter().find_map(|a| a.parse().ok()).unwrap_or(42);
     let world = Arc::new(World::generate(&WorldConfig::paper_scale(seed)).expect("testbed"));
     let workflow = build_host(world.clone());
 
@@ -26,8 +40,13 @@ fn main() {
         workflow.topological_order().expect("acyclic")
     );
 
-    let report =
-        Enactor::new().run(&workflow, &BTreeMap::new(), &Context::new()).expect("enactment");
+    let mut report = None;
+    let samples = measure_ms(ITERS, || {
+        report = Some(
+            Enactor::new().run(&workflow, &BTreeMap::new(), &Context::new()).expect("enactment"),
+        );
+    });
+    let report = report.expect("at least one iteration");
     println!("== enactment trace ==");
     print!("{}", report.render_trace());
 
@@ -47,4 +66,34 @@ fn main() {
     for (term, count) in top.iter().take(10) {
         println!("  {:<12} {:>4}  {}", term, count, "#".repeat(*count as usize));
     }
+
+    if let Some(path) = flag_value(&args, "--trace-out") {
+        qurator_telemetry::export::write_trace_jsonl(report.trace(), Path::new(path))
+            .expect("trace export");
+        println!("\ntrace: {} span(s) -> {path}", report.trace().len());
+    }
+    if let Some(path) = flag_value(&args, "--metrics-out") {
+        qurator_telemetry::export::write_metrics_text(
+            qurator_telemetry::metrics(),
+            Path::new(path),
+        )
+        .expect("metrics export");
+        println!("metrics -> {path}");
+    }
+
+    let result = BenchResult::new("fig1_workflow")
+        .config("seed", seed)
+        .config("iters", ITERS)
+        .config("processors", workflow.len())
+        .config("spots", world.peak_lists().len())
+        .metric("go_terms_distinct", counts.len() as f64)
+        .metric("go_occurrences", total)
+        .samples_ms(samples);
+    let path = result.write().expect("bench artifact");
+    println!(
+        "\nenactment: median {:.2} ms, p95 {:.2} ms over {ITERS} run(s) -> {}",
+        result.median_ms(),
+        result.p95_ms(),
+        path.display()
+    );
 }

@@ -17,6 +17,7 @@
 //! cargo run -p bench --bin fig7_significance [seed] [--full]
 //! ```
 
+use bench::results::{measure_ms, BenchResult};
 use qurator::prelude::*;
 use qurator_proteomics::{World, WorldConfig};
 use qurator_repro::ispider::{figure7_view, FIGURE7_GROUP};
@@ -32,8 +33,12 @@ fn main() {
     let pipeline = IspiderPipeline::new(&world, &engine);
 
     let unfiltered = pipeline.run_unfiltered();
-    let filtered =
-        pipeline.run_filtered(&figure7_view(), FIGURE7_GROUP).expect("quality view runs");
+    let mut filtered = None;
+    let samples = measure_ms(3, || {
+        filtered =
+            Some(pipeline.run_filtered(&figure7_view(), FIGURE7_GROUP).expect("quality view runs"));
+    });
+    let filtered = filtered.expect("at least one iteration");
     let (rows, stats) = significance_ranking(&unfiltered, &filtered);
 
     println!("== Figure 7: GO terms ranked by significance ratio (seed {seed}) ==\n");
@@ -93,4 +98,21 @@ fn main() {
             stats.terms
         );
     }
+
+    let result = BenchResult::new("fig7_significance")
+        .config("seed", seed)
+        .config("spots", world.peak_lists().len())
+        .metric("occurrences_without", stats.total_without as f64)
+        .metric("occurrences_with", stats.total_with as f64)
+        .metric("precision_unfiltered", unfiltered.precision())
+        .metric("precision_filtered", filtered.precision())
+        .metric("rank_correlation", stats.rank_correlation)
+        .samples_ms(samples);
+    let path = result.write().expect("bench artifact");
+    println!(
+        "\nfiltered run: median {:.2} ms over {} run(s) -> {}",
+        result.median_ms(),
+        3,
+        path.display()
+    );
 }

@@ -152,3 +152,4 @@ mod tests {
 }
 
 pub mod host;
+pub mod results;

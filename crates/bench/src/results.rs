@@ -1,0 +1,180 @@
+//! Machine-readable bench artifacts: `BENCH_<name>.json` at the repo root.
+//!
+//! Every experiment binary records its headline timings through
+//! [`BenchResult`] so runs are comparable across commits: the file carries
+//! the sample statistics (median / p95 milliseconds), the workload
+//! configuration, any derived metrics, and the git revision that produced
+//! them.
+
+use std::collections::BTreeMap;
+use std::fmt::Display;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One experiment's result artifact.
+#[derive(Debug, Clone, Default)]
+pub struct BenchResult {
+    name: String,
+    config: BTreeMap<String, String>,
+    metrics: BTreeMap<String, f64>,
+    samples_ms: Vec<f64>,
+}
+
+impl BenchResult {
+    /// Starts a result named `name` (the artifact becomes
+    /// `BENCH_<name>.json`).
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchResult { name: name.into(), ..Default::default() }
+    }
+
+    /// Records a workload-configuration entry (data size, seed, …).
+    pub fn config(mut self, key: impl Into<String>, value: impl Display) -> Self {
+        self.config.insert(key.into(), value.to_string());
+        self
+    }
+
+    /// Records a derived scalar metric (a ratio, a count, …).
+    pub fn metric(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.metrics.insert(key.into(), value);
+        self
+    }
+
+    /// Records the timing samples, in milliseconds.
+    pub fn samples_ms(mut self, samples: Vec<f64>) -> Self {
+        self.samples_ms = samples;
+        self
+    }
+
+    /// Median of the recorded samples.
+    pub fn median_ms(&self) -> f64 {
+        quantile(&self.samples_ms, 0.5)
+    }
+
+    /// 95th percentile of the recorded samples.
+    pub fn p95_ms(&self) -> f64 {
+        quantile(&self.samples_ms, 0.95)
+    }
+
+    /// Serialises to pretty-stable JSON (keys sorted, two-space indent).
+    pub fn to_json(&self) -> String {
+        use qurator_telemetry::json::escape;
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"name\": \"{}\",\n", escape(&self.name)));
+        out.push_str(&format!("  \"git_rev\": \"{}\",\n", escape(&git_rev())));
+        out.push_str("  \"config\": {");
+        let mut first = true;
+        for (k, v) in &self.config {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{}\": \"{}\"", escape(k), escape(v)));
+        }
+        out.push_str(if self.config.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str(&format!("  \"samples\": {},\n", self.samples_ms.len()));
+        out.push_str(&format!("  \"median_ms\": {},\n", fmt_f64(self.median_ms())));
+        out.push_str(&format!("  \"p95_ms\": {},\n", fmt_f64(self.p95_ms())));
+        out.push_str("  \"metrics\": {");
+        let mut first = true;
+        for (k, v) in &self.metrics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{}\": {}", escape(k), fmt_f64(*v)));
+        }
+        out.push_str(if self.metrics.is_empty() { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` at the repository root, returning its
+    /// path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = repo_root().join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Times `iters` runs of `f`, returning per-run milliseconds.
+pub fn measure_ms(iters: usize, mut f: impl FnMut()) -> Vec<f64> {
+    (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect()
+}
+
+/// Linear-interpolation-free quantile: the smallest sample at or above
+/// rank `q * n` (0 for an empty set).
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The current git revision (short), or `"unknown"` outside a checkout.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(repo_root())
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The workspace root (two levels above this crate's manifest).
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+/// JSON-safe float rendering (JSON has no NaN/Inf).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles() {
+        let s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile(&s, 0.5), 50.0);
+        assert_eq!(quantile(&s, 0.95), 95.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        assert_eq!(quantile(&[7.0], 0.95), 7.0);
+    }
+
+    #[test]
+    fn result_json_is_valid() {
+        let result = BenchResult::new("unit_test")
+            .config("n", 100)
+            .metric("ratio", 1.25)
+            .samples_ms(vec![2.0, 1.0, 3.0]);
+        let json = result.to_json();
+        let parsed = qurator_telemetry::json::parse(&json).expect("valid JSON");
+        assert_eq!(parsed.get("name").and_then(|v| v.as_str()), Some("unit_test"));
+        assert_eq!(parsed.get("median_ms").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(parsed.get("samples").and_then(|v| v.as_u64()), Some(3));
+        assert!(parsed.get("git_rev").and_then(|v| v.as_str()).is_some());
+    }
+}

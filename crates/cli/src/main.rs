@@ -6,6 +6,11 @@
 //! qv fmt      <view.xml>                         canonical pretty-print
 //! qv run      <view.xml> --data <hits.tsv>       execute over a TSV data set
 //!             [--group NAME] [--explain]
+//!             [--trace-out FILE] [--metrics-out FILE]
+//! qv explain  <view.xml> --data <hits.tsv>       decision provenance for one item:
+//!             --item <id-or-suffix>              evidence fetched, tags assigned,
+//!             [--spans]                          actions taken (`why(item)`)
+//! qv telemetry-check <trace.jsonl> [metrics.txt] validate exported telemetry files
 //! qv library  <catalog.xml> [--search TEXT]      browse a shared view catalog (§7 iv)
 //! ```
 //!
@@ -44,6 +49,8 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "compile" => cmd_compile(args.get(1).ok_or_else(usage)?, args.contains(&"--dot".into())),
         "fmt" => cmd_fmt(args.get(1).ok_or_else(usage)?),
         "run" => cmd_run(args),
+        "explain" => cmd_explain(args),
+        "telemetry-check" => cmd_telemetry_check(args),
         "library" => cmd_library(args),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -54,7 +61,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  qv validate <view.xml>\n  qv compile <view.xml> [--dot]\n  qv fmt <view.xml>\n  qv run <view.xml> --data <hits.tsv> [--group NAME] [--explain]\n  qv library <catalog.xml> [--search TEXT]"
+    "usage:\n  qv validate <view.xml>\n  qv compile <view.xml> [--dot]\n  qv fmt <view.xml>\n  qv run <view.xml> --data <hits.tsv> [--group NAME] [--explain] [--trace-out FILE] [--metrics-out FILE]\n  qv explain <view.xml> --data <hits.tsv> --item <id-or-suffix> [--spans]\n  qv telemetry-check <trace.jsonl> [metrics.txt]\n  qv library <catalog.xml> [--search TEXT]"
         .to_string()
 }
 
@@ -184,7 +191,72 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             }
         }
     }
+    write_telemetry(args, &engine)?;
     engine.finish_execution();
+    Ok(())
+}
+
+/// Handles `--trace-out` / `--metrics-out` after an execution.
+fn write_telemetry(args: &[String], engine: &QualityEngine) -> Result<(), String> {
+    if let Some(path) = flag_value(args, "--trace-out") {
+        let trace = engine.last_trace().ok_or("no span trace was recorded")?;
+        qurator_telemetry::export::write_trace_jsonl(&trace, std::path::Path::new(path))
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        println!("\ntrace: {} span(s) -> {path}", trace.len());
+    }
+    if let Some(path) = flag_value(args, "--metrics-out") {
+        qurator_telemetry::export::write_metrics_text(
+            qurator_telemetry::metrics(),
+            std::path::Path::new(path),
+        )
+        .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        println!("metrics -> {path}");
+    }
+    Ok(())
+}
+
+/// `qv explain`: run the view with the decision ledger enabled and print
+/// the provenance trace (evidence, assertions, actions) for one item.
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let view_path = args.get(1).ok_or_else(usage)?;
+    let data_path = flag_value(args, "--data").ok_or_else(usage)?;
+    let needle = flag_value(args, "--item").ok_or_else(usage)?;
+    let show_spans = args.contains(&"--spans".into());
+
+    let spec = load_view(view_path)?;
+    let dataset = tsv::read_dataset(&read_file(data_path)?)?;
+    let engine = stock_engine()?;
+    engine.set_provenance_enabled(true);
+    engine.execute_view(&spec, &dataset).map_err(|e| e.to_string())?;
+
+    let traces = engine.explain_item(needle);
+    if traces.is_empty() {
+        return Err(format!(
+            "no decision trace for {needle:?}; known items: {}",
+            engine.ledger().items().join(", ")
+        ));
+    }
+    let span_trace = engine.last_trace();
+    for trace in &traces {
+        print!("{}", trace.render_with(if show_spans { span_trace.as_ref() } else { None }));
+    }
+    write_telemetry(args, &engine)?;
+    engine.finish_execution();
+    Ok(())
+}
+
+/// `qv telemetry-check`: validate an exported trace (and optionally a
+/// metrics dump) against the in-tree schemas.
+fn cmd_telemetry_check(args: &[String]) -> Result<(), String> {
+    let trace_path = args.get(1).ok_or_else(usage)?;
+    let spans = qurator_telemetry::schema::validate_trace_jsonl(&read_file(trace_path)?)
+        .map_err(|e| format!("{trace_path}: {e}"))?;
+    println!("{trace_path}: ok ({spans} span(s))");
+    if let Some(metrics_path) = args.get(2).filter(|a| !a.starts_with("--")) {
+        let series = qurator_telemetry::schema::validate_metrics_text(&read_file(metrics_path)?)
+            .map_err(|e| format!("{metrics_path}: {e}"))?;
+        println!("{metrics_path}: ok ({series} series)");
+    }
     Ok(())
 }
 

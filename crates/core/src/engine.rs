@@ -12,7 +12,7 @@ use crate::compile;
 use crate::operators::{
     ActionProcessor, AssertionProcessor, CompiledAction, DataEnrichmentProcessor, GroupResult,
 };
-use crate::spec::{ActionKind, QualityViewSpec};
+use crate::spec::{ActionDecl, ActionKind, QualityViewSpec};
 use crate::validate::{self, BindingTarget, ValidatedView};
 use crate::{convert, QuratorError, Result};
 use parking_lot::RwLock;
@@ -20,12 +20,17 @@ use qurator_annotations::RepositoryCatalog;
 use qurator_ontology::binding::BindingRegistry;
 use qurator_ontology::IqModel;
 use qurator_rdf::namespace::q;
+use qurator_rdf::term::Term;
 use qurator_services::stdlib::{FieldCaptureAnnotator, StatClassifierAssertion, ZScoreAssertion};
 use qurator_services::{
     AnnotationService, AssertionService, DataSet, ServiceRegistry, VariableBindings,
 };
+use qurator_telemetry::span::{SpanKind, SpanTrace, TraceSession};
+use qurator_telemetry::{
+    ActionRecord, AssertionRecord, DecisionLedger, DecisionTrace, EvidenceRecord,
+};
 use qurator_workflow::{Context, Data, EnactmentReport, Enactor, Workflow};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 /// The result of executing a quality view over a data set: one group per
@@ -54,6 +59,8 @@ pub struct QualityEngine {
     registry: Arc<ServiceRegistry>,
     catalog: Arc<RepositoryCatalog>,
     bindings: RwLock<BindingRegistry>,
+    ledger: Arc<DecisionLedger>,
+    last_trace: RwLock<Option<SpanTrace>>,
 }
 
 impl QualityEngine {
@@ -64,6 +71,8 @@ impl QualityEngine {
             catalog: Arc::new(RepositoryCatalog::new(iq.clone())),
             registry: Arc::new(ServiceRegistry::new()),
             bindings: RwLock::new(BindingRegistry::new()),
+            ledger: Arc::new(DecisionLedger::new()),
+            last_trace: RwLock::new(None),
             iq,
         }
     }
@@ -120,6 +129,37 @@ impl QualityEngine {
         self.bindings.read().iter().collect()
     }
 
+    /// The per-item decision-provenance ledger. Disabled by default;
+    /// enable with [`QualityEngine::set_provenance_enabled`] before an
+    /// execution to capture evidence/assertion/action records.
+    pub fn ledger(&self) -> &Arc<DecisionLedger> {
+        &self.ledger
+    }
+
+    /// Turns decision-provenance recording on or off.
+    pub fn set_provenance_enabled(&self, enabled: bool) {
+        self.ledger.set_enabled(enabled);
+    }
+
+    /// The full decision trace for an item (exact id match), if the
+    /// ledger recorded one: evidence fetched, quality tags assigned,
+    /// actions taken.
+    pub fn why(&self, item: &str) -> Option<DecisionTrace> {
+        self.ledger.why(item)
+    }
+
+    /// Decision traces whose item id equals or ends with `needle`
+    /// (convenient for short ids like `H3`).
+    pub fn explain_item(&self, needle: &str) -> Vec<DecisionTrace> {
+        self.ledger.find(needle)
+    }
+
+    /// The span trace of the most recent execution on this engine
+    /// (either path), if any.
+    pub fn last_trace(&self) -> Option<SpanTrace> {
+        self.last_trace.read().clone()
+    }
+
     /// Registers an annotation service and binds its concept.
     pub fn register_annotation_service(&self, service: Arc<dyn AnnotationService>) -> Result<()> {
         let concept = service.service_type();
@@ -174,6 +214,15 @@ impl QualityEngine {
         dataset: &DataSet,
     ) -> Result<ActionOutcome> {
         let spec = &view.spec;
+        qurator_telemetry::metrics()
+            .counter_with("engine.execute.count", &[("path", "interpreted")])
+            .inc();
+        let session = TraceSession::new();
+        let mut rec = session.recorder();
+        let view_span = rec.start(format!("view:{}", spec.name), SpanKind::View, None);
+        rec.attr(view_span, "path", "interpreted");
+        rec.attr(view_span, "items", dataset.len());
+
         // repositories (honouring annotator persistence flags)
         let mut persistence: BTreeMap<&str, bool> = BTreeMap::new();
         for a in &spec.annotators {
@@ -190,6 +239,7 @@ impl QualityEngine {
         };
 
         // 1. annotation
+        let annotate_span = rec.start("phase:annotation", SpanKind::Phase, Some(view_span));
         for (decl, service_type) in spec.annotators.iter().zip(&view.annotator_types) {
             let service = self
                 .registry
@@ -198,8 +248,11 @@ impl QualityEngine {
             let repo = resolve_repo(&decl.repository_ref);
             service.annotate(dataset, &repo).map_err(|e| QuratorError::Execution(e.to_string()))?;
         }
+        rec.attr(annotate_span, "annotators", spec.annotators.len());
+        rec.end(annotate_span);
 
         // 2. enrichment
+        let enrich_span = rec.start("phase:enrichment", SpanKind::Phase, Some(view_span));
         let plan = view
             .enrichment_plan
             .iter()
@@ -207,9 +260,15 @@ impl QualityEngine {
             .collect();
         let enrichment = DataEnrichmentProcessor::new(compile::DATA_ENRICHMENT, plan);
         let mut map = enrichment.enrich(dataset.items())?;
+        rec.attr(enrich_span, "evidence_types", view.enrichment_plan.len());
+        rec.end(enrich_span);
 
         // 3. assertions, in declaration order (tags accumulate)
+        let mut tag_meta: Vec<(&str, &str, u64)> = Vec::with_capacity(spec.assertions.len());
         for (index, decl) in spec.assertions.iter().enumerate() {
+            let assert_span =
+                rec.start(format!("phase:qa:{}", decl.tag_name), SpanKind::Phase, Some(view_span));
+            rec.attr(assert_span, "service", decl.service_name.as_str());
             let service = self
                 .registry
                 .assertion(&view.assertion_types[index])
@@ -230,10 +289,15 @@ impl QualityEngine {
                 decl.tag_name.clone(),
             )
             .assert_quality(&mut map)?;
+            rec.end(assert_span);
+            tag_meta.push((&decl.tag_name, &decl.service_name, assert_span.0));
         }
 
-        // 4. actions
-        let mut groups = Vec::new();
+        // 4. actions (remembering each action's slice of the group list
+        // so provenance can attribute memberships per action)
+        let action_span = rec.start("phase:actions", SpanKind::Phase, Some(view_span));
+        let mut groups: Vec<GroupResult> = Vec::new();
+        let mut action_slices: Vec<(usize, usize)> = Vec::with_capacity(spec.actions.len());
         for action in &spec.actions {
             let compiled = match &action.kind {
                 ActionKind::Filter { condition } => {
@@ -242,8 +306,136 @@ impl QualityEngine {
                 ActionKind::Split { groups } => CompiledAction::Split { groups: groups.clone() },
             };
             let processor = ActionProcessor::new(action.name.clone(), compiled, self.iq.clone());
+            let start = groups.len();
             groups.extend(processor.apply(dataset, &map)?);
+            action_slices.push((start, groups.len()));
         }
+        rec.attr(action_span, "actions", spec.actions.len());
+        rec.end(action_span);
+
+        // decision provenance: one pass over the consolidated map, one
+        // complete trace per item (no per-phase re-keying)
+        if self.ledger.enabled() {
+            let prov_span = rec.start("phase:provenance", SpanKind::Phase, Some(view_span));
+            // intern every per-run-constant name once; per item only the
+            // rendered values and the item key allocate
+            let sources: BTreeMap<&str, (Arc<str>, Option<Arc<str>>)> = view
+                .enrichment_plan
+                .iter()
+                .map(|(e, repo)| {
+                    (e.local_name(), (Arc::from(e.local_name()), Some(Arc::from(repo.as_str()))))
+                })
+                .collect();
+            type InternedTag<'a> = (&'a str, Arc<str>, Option<Arc<str>>, u64);
+            let tags: Vec<InternedTag> = tag_meta
+                .iter()
+                .map(|&(tag, service, span)| (tag, Arc::from(tag), Some(Arc::from(service)), span))
+                .collect();
+            let accepted: Arc<str> = Arc::from("accepted");
+            let rejected: Arc<str> = Arc::from("rejected");
+            enum ActionPlan {
+                Filter { group: Arc<str>, condition: Option<Arc<str>>, members: usize },
+                Split(Vec<(Arc<str>, Option<Arc<str>>, usize)>),
+            }
+            // per-group membership sets, borrowed from the group datasets
+            let memberships: Vec<HashSet<&Term>> =
+                groups.iter().map(|g| g.dataset.items().iter().collect()).collect();
+            let plans: Vec<ActionPlan> = spec
+                .actions
+                .iter()
+                .zip(&action_slices)
+                .map(|(action, &(start, end))| match &action.kind {
+                    ActionKind::Filter { condition } => ActionPlan::Filter {
+                        group: Arc::from(action.name.as_str()),
+                        condition: Some(Arc::from(condition.as_str())),
+                        members: start,
+                    },
+                    ActionKind::Split { groups: conditions } => ActionPlan::Split(
+                        (start..end)
+                            .map(|i| {
+                                let result = &groups[i];
+                                let condition = conditions
+                                    .iter()
+                                    .find(|(name, _)| result.name.ends_with(&format!("/{name}")))
+                                    .map(|(_, c)| Arc::from(c.as_str()));
+                                (Arc::from(result.name.as_str()), condition, i)
+                            })
+                            .collect(),
+                    ),
+                })
+                .collect();
+            let mut batch = Vec::with_capacity(map.len());
+            for (term, row) in map.rows() {
+                let mut trace = DecisionTrace::new(item_key(term));
+                trace.evidence = row
+                    .evidence_entries()
+                    .map(|(property, value)| {
+                        let (property, source) = sources
+                            .get(property.local_name())
+                            .cloned()
+                            .unwrap_or_else(|| (Arc::from(property.local_name()), None));
+                        EvidenceRecord {
+                            property,
+                            value: value.to_string(),
+                            source,
+                            span: Some(enrich_span.0),
+                        }
+                    })
+                    .collect();
+                trace.assertions = tags
+                    .iter()
+                    .filter_map(|(tag, property, assertion, span)| {
+                        let value = row.tag(tag);
+                        if value.is_null() {
+                            return None;
+                        }
+                        Some(AssertionRecord {
+                            property: property.clone(),
+                            value: value.to_string(),
+                            assertion: assertion.clone(),
+                            span: Some(*span),
+                        })
+                    })
+                    .collect();
+                for plan in &plans {
+                    match plan {
+                        ActionPlan::Filter { group, condition, members } => {
+                            let is_member =
+                                memberships.get(*members).is_some_and(|m| m.contains(term));
+                            trace.actions.push(ActionRecord {
+                                group: group.clone(),
+                                outcome: if is_member {
+                                    accepted.clone()
+                                } else {
+                                    rejected.clone()
+                                },
+                                condition: condition.clone(),
+                                span: Some(action_span.0),
+                            });
+                        }
+                        ActionPlan::Split(targets) => {
+                            for (group, condition, index) in targets {
+                                if !memberships[*index].contains(term) {
+                                    continue;
+                                }
+                                trace.actions.push(ActionRecord {
+                                    group: group.clone(),
+                                    outcome: accepted.clone(),
+                                    condition: condition.clone(),
+                                    span: Some(action_span.0),
+                                });
+                            }
+                        }
+                    }
+                }
+                batch.push(trace);
+            }
+            self.ledger.record_traces_bulk(batch);
+            rec.end(prov_span);
+        }
+
+        rec.end(view_span);
+        *self.last_trace.write() = Some(SpanTrace::from_spans(rec.finish()));
         Ok(ActionOutcome { groups })
     }
 
@@ -253,6 +445,9 @@ impl QualityEngine {
         spec: &QualityViewSpec,
         dataset: &DataSet,
     ) -> Result<(ActionOutcome, EnactmentReport)> {
+        qurator_telemetry::metrics()
+            .counter_with("engine.execute.count", &[("path", "compiled")])
+            .inc();
         let workflow = self.compile(spec)?;
         let inputs = BTreeMap::from([(
             compile::DATASET_INPUT.to_string(),
@@ -260,13 +455,155 @@ impl QualityEngine {
         )]);
         let report = Enactor::new().run(&workflow, &inputs, &Context::new())?;
         let outcome = decode_outcome(spec, &report.outputs)?;
+        if self.ledger.enabled() {
+            self.record_compiled_provenance(spec, dataset, &outcome, &report);
+        }
+        *self.last_trace.write() = Some(report.trace().clone());
         Ok((outcome, report))
+    }
+
+    /// Reconstructs per-item provenance from a decoded enactment outcome.
+    ///
+    /// The compiled path runs inside the workflow engine, so the records
+    /// are recovered from the surviving group maps rather than observed
+    /// in-line; they link to the producing *node* spans of the enactment
+    /// trace instead of interpreter phase spans.
+    fn record_compiled_provenance(
+        &self,
+        spec: &QualityViewSpec,
+        dataset: &DataSet,
+        outcome: &ActionOutcome,
+        report: &EnactmentReport,
+    ) {
+        let node_span = |node: &str| report.event(node).and_then(|e| e.span).map(|s| s.0);
+        let enrich_span = node_span(compile::DATA_ENRICHMENT);
+        // service name that produced each tag (declaration order; later
+        // declarations with the same tag win, matching accumulation order)
+        let tag_service: BTreeMap<&str, &str> = spec
+            .assertions
+            .iter()
+            .map(|d| (d.tag_name.as_str(), d.service_name.as_str()))
+            .collect();
+        let mut evidence: Vec<(String, Vec<EvidenceRecord>)> = Vec::new();
+        let mut assertions: Vec<(String, Vec<AssertionRecord>)> = Vec::new();
+        let mut seen: HashSet<String> = HashSet::new();
+        for group in &outcome.groups {
+            for it in group.map.items() {
+                let key = item_key(it);
+                if !seen.insert(key.clone()) {
+                    continue;
+                }
+                let Some(row) = group.map.item(it) else { continue };
+                evidence.push((
+                    key.clone(),
+                    row.evidence_entries()
+                        .map(|(property, value)| EvidenceRecord {
+                            property: Arc::from(property.local_name()),
+                            value: value.to_string(),
+                            source: None,
+                            span: enrich_span,
+                        })
+                        .collect(),
+                ));
+                assertions.push((
+                    key,
+                    row.tag_entries()
+                        .map(|(tag, value)| AssertionRecord {
+                            property: Arc::from(tag),
+                            value: value.to_string(),
+                            assertion: tag_service.get(tag).map(|s| Arc::from(*s)),
+                            span: tag_service.get(tag).and_then(|service| node_span(service)),
+                        })
+                        .collect(),
+                ));
+            }
+        }
+        self.ledger.record_evidence_bulk(evidence);
+        self.ledger.record_assertions_bulk(assertions);
+        for action in &spec.actions {
+            let results: Vec<GroupResult> = outcome
+                .groups
+                .iter()
+                .filter(|g| {
+                    g.name == action.name || g.name.starts_with(&format!("{}/", action.name))
+                })
+                .cloned()
+                .collect();
+            self.ledger.record_actions_bulk(action_records(
+                action,
+                &results,
+                dataset,
+                node_span(&action.name),
+            ));
+        }
     }
 
     /// Drops all cache-repository contents (between process executions).
     pub fn finish_execution(&self) -> usize {
         self.catalog.clear_caches()
     }
+}
+
+/// Ledger key for an item: the bare IRI when the term is one, else its
+/// display form.
+fn item_key(term: &Term) -> String {
+    term.as_iri().map(|i| i.as_str().to_string()).unwrap_or_else(|| term.to_string())
+}
+
+/// Builds the per-item action records for one action's group results:
+/// group members are `accepted`; for filters, non-members are `rejected`
+/// (a splitter's non-members land in its default group instead).
+fn action_records(
+    action: &ActionDecl,
+    results: &[GroupResult],
+    dataset: &DataSet,
+    span: Option<u64>,
+) -> Vec<(String, ActionRecord)> {
+    let mut batch = Vec::new();
+    match &action.kind {
+        ActionKind::Filter { condition } => {
+            let Some(group) = results.first() else { return batch };
+            let members: HashSet<&Term> = group.dataset.items().iter().collect();
+            let name: Arc<str> = Arc::from(group.name.as_str());
+            let condition: Arc<str> = Arc::from(condition.as_str());
+            let (accepted, rejected): (Arc<str>, Arc<str>) =
+                (Arc::from("accepted"), Arc::from("rejected"));
+            for it in dataset.items() {
+                let is_member = members.contains(it);
+                batch.push((
+                    item_key(it),
+                    ActionRecord {
+                        group: name.clone(),
+                        outcome: if is_member { accepted.clone() } else { rejected.clone() },
+                        condition: Some(condition.clone()),
+                        span,
+                    },
+                ));
+            }
+        }
+        ActionKind::Split { groups } => {
+            let accepted: Arc<str> = Arc::from("accepted");
+            for result in results {
+                let condition: Option<Arc<str>> = groups
+                    .iter()
+                    .find(|(name, _)| result.name.ends_with(&format!("/{name}")))
+                    .map(|(_, c)| Arc::from(c.as_str()));
+                let name: Arc<str> = Arc::from(result.name.as_str());
+                for it in result.dataset.items() {
+                    batch.push((
+                        item_key(it),
+                        ActionRecord {
+                            group: name.clone(),
+                            outcome: accepted.clone(),
+                            condition: condition.clone(),
+                            span,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    batch
 }
 
 /// Decodes workflow outputs into an [`ActionOutcome`], preserving the
@@ -445,6 +782,67 @@ mod tests {
             .len();
         assert!(strict < lenient, "strict {strict} vs lenient {lenient}");
         assert_eq!(lenient, 5);
+    }
+
+    #[test]
+    fn ledger_records_decision_provenance_on_interpreted_path() {
+        let engine = QualityEngine::with_proteomics_defaults().unwrap();
+        engine.set_provenance_enabled(true);
+        let mut spec = QualityViewSpec::paper_example();
+        spec.actions[0].kind =
+            ActionKind::Filter { condition: "ScoreClass in q:high, q:mid and HR_MC > 0".into() };
+        let outcome = engine.execute_view(&spec, &imprint_dataset()).unwrap();
+        let kept = outcome.group("filter top k score").unwrap();
+
+        for n in 1..=5 {
+            let key = format!("urn:lsid:pedro.man.ac.uk:hit:H{n}");
+            let trace = engine.why(&key).expect("trace for every input item");
+            assert!(!trace.evidence.is_empty(), "evidence recorded for {key}");
+            assert!(
+                trace.evidence.iter().any(|e| e.property.as_ref() == "HitRatio"),
+                "hit ratio evidence fetched for {key}"
+            );
+            assert!(
+                trace.assertions.iter().any(|a| a.property.as_ref() == "ScoreClass"),
+                "classifier tag recorded for {key}"
+            );
+            let accepted = kept.dataset.items().iter().any(|it| item_key(it) == key);
+            let action = trace
+                .actions
+                .iter()
+                .find(|a| a.group.as_ref() == "filter top k score")
+                .expect("action recorded");
+            assert_eq!(action.outcome.as_ref(), if accepted { "accepted" } else { "rejected" });
+            assert!(action.condition.as_deref().unwrap().contains("ScoreClass"));
+        }
+
+        // short-suffix lookup resolves the same traces
+        assert_eq!(engine.explain_item("H3").len(), 1);
+        // the interpreter leaves a well-formed span trace behind
+        let trace = engine.last_trace().expect("trace recorded");
+        trace.validate().expect("interpreter span tree is well-formed");
+        assert!(trace.roots().any(|s| s.name.starts_with("view:")));
+    }
+
+    #[test]
+    fn ledger_records_provenance_on_compiled_path() {
+        let engine = QualityEngine::with_proteomics_defaults().unwrap();
+        engine.set_provenance_enabled(true);
+        let mut spec = QualityViewSpec::paper_example();
+        spec.actions[0].kind =
+            ActionKind::Filter { condition: "ScoreClass in q:high, q:mid and HR_MC > 0".into() };
+        let (outcome, _report) = engine.execute_compiled(&spec, &imprint_dataset()).unwrap();
+        let kept = outcome.group("filter top k score").unwrap();
+        assert!(!kept.dataset.is_empty());
+        // survivors carry full provenance reconstructed from the group maps
+        let key = item_key(&kept.dataset.items()[0]);
+        let trace = engine.why(&key).expect("trace for surviving item");
+        assert!(trace.evidence.iter().any(|e| e.property.as_ref() == "HitRatio"));
+        assert!(trace.assertions.iter().any(|a| a.property.as_ref() == "ScoreClass"));
+        assert!(trace
+            .actions
+            .iter()
+            .any(|a| a.group.as_ref() == "filter top k score" && a.outcome.as_ref() == "accepted"));
     }
 
     #[test]

@@ -20,12 +20,24 @@ use qurator_expr::{Env, Expr, Value};
 use qurator_ontology::IqModel;
 use qurator_rdf::term::{Iri, Term};
 use qurator_services::{AnnotationService, AssertionService, DataSet, VariableBindings};
+use qurator_telemetry::{Counter, Histogram};
 use qurator_workflow::{Context, Data, Processor, WorkflowError};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 type Inputs = BTreeMap<String, Data>;
 type Outputs = BTreeMap<String, Data>;
+
+fn enrich_op_items() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| qurator_telemetry::metrics().counter("enrich.op.items"))
+}
+
+fn enrich_op_latency() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| qurator_telemetry::metrics().histogram("enrich.op.latency_ns"))
+}
 
 fn exec_err(processor: &str, message: impl Into<String>) -> WorkflowError {
     WorkflowError::Execution { processor: processor.to_string(), message: message.into() }
@@ -133,15 +145,19 @@ impl DataEnrichmentProcessor {
     /// threads; results merge in deterministic plan order, so parallel and
     /// sequential runs produce identical maps.
     pub fn enrich(&self, items: &[Term]) -> Result<AnnotationMap> {
+        let started = Instant::now();
+        enrich_op_items().add(items.len() as u64);
         let groups = self.grouped_plan();
 
         // A single-repository plan (the common §6.1 outcome) is exactly one
         // bulk call: the returned map is already seeded with the item set,
         // so there is nothing to fan out or merge.
         if let [(repository, types)] = groups.as_slice() {
-            return repository
+            let map = repository
                 .enrich_bulk(items, types)
                 .map_err(|e| QuratorError::Execution(e.to_string()));
+            enrich_op_latency().record(started.elapsed().as_nanos() as u64);
+            return map;
         }
 
         let mut combined = AnnotationMap::for_items(items.iter().cloned());
@@ -195,6 +211,7 @@ impl DataEnrichmentProcessor {
         for partial in partials {
             combined.merge(&partial?);
         }
+        enrich_op_latency().record(started.elapsed().as_nanos() as u64);
         Ok(combined)
     }
 }
@@ -244,11 +261,37 @@ impl AssertionProcessor {
         AssertionProcessor { name: name.into(), service, bindings, tag: tag.into() }
     }
 
-    /// Runs the assertion directly (shared with the interpreter path).
+    /// Runs the assertion directly (shared with the interpreter path, so
+    /// classification counting covers both execution modes).
     pub fn assert_quality(&self, map: &mut AnnotationMap) -> Result<()> {
         self.service
             .assert_quality(map, &self.bindings, &self.tag)
-            .map_err(|e| QuratorError::Execution(e.to_string()))
+            .map_err(|e| QuratorError::Execution(e.to_string()))?;
+        // Count what this pass assigned: per class label for
+        // classifications, per tag for everything (numeric scores would
+        // explode label cardinality if counted per value). Aggregated
+        // locally first — one registry touch per label, not per item.
+        let mut tagged = 0u64;
+        let mut per_class: BTreeMap<String, u64> = BTreeMap::new();
+        for item in map.items() {
+            let row = map.item(item).expect("listed");
+            match row.tag(&self.tag) {
+                EvidenceValue::Null => {}
+                EvidenceValue::Class(class) => {
+                    tagged += 1;
+                    *per_class.entry(class.local_name().to_string()).or_default() += 1;
+                }
+                _ => tagged += 1,
+            }
+        }
+        let metrics = qurator_telemetry::metrics();
+        if tagged > 0 {
+            metrics.counter_with("qa.assert.count", &[("tag", &self.tag)]).add(tagged);
+        }
+        for (label, count) in per_class {
+            metrics.counter_with("qa.classify.count", &[("class", &label)]).add(count);
+        }
+        Ok(())
     }
 }
 

@@ -11,7 +11,34 @@ use crate::store::GraphStore;
 use crate::term::Term;
 use crate::triple::TriplePattern;
 use crate::{RdfError, Result};
+use qurator_telemetry::{Counter, Histogram};
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+fn select_count() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        qurator_telemetry::metrics().counter_with("sparql.query.count", &[("kind", "select")])
+    })
+}
+
+fn ask_count() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        qurator_telemetry::metrics().counter_with("sparql.query.count", &[("kind", "ask")])
+    })
+}
+
+fn query_latency() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| qurator_telemetry::metrics().histogram("sparql.query.latency_ns"))
+}
+
+fn result_rows() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| qurator_telemetry::metrics().histogram("sparql.result.rows"))
+}
 
 /// A solution mapping from variable names to terms.
 pub type Bindings = BTreeMap<String, Term>;
@@ -59,6 +86,7 @@ pub fn evaluate_select_with(
     query: &Query,
     initial: Bindings,
 ) -> Result<Vec<Row>> {
+    let started = Instant::now();
     let Query::Select { distinct, projection, pattern, order, limit, offset } = query else {
         return Err(RdfError::SparqlEval("expected a SELECT query".into()));
     };
@@ -111,7 +139,10 @@ pub fn evaluate_select_with(
         });
     }
 
-    let rows = rows.into_iter().skip(*offset).take(limit.unwrap_or(usize::MAX)).collect();
+    let rows: Vec<Row> = rows.into_iter().skip(*offset).take(limit.unwrap_or(usize::MAX)).collect();
+    select_count().inc();
+    result_rows().record(rows.len() as u64);
+    query_latency().record(started.elapsed().as_nanos() as u64);
     Ok(rows)
 }
 
@@ -122,10 +153,14 @@ pub fn evaluate_ask(store: &GraphStore, query: &Query) -> Result<bool> {
 
 /// Evaluates an ASK query under seeded initial bindings.
 pub fn evaluate_ask_with(store: &GraphStore, query: &Query, initial: Bindings) -> Result<bool> {
+    let started = Instant::now();
     let Query::Ask { pattern } = query else {
         return Err(RdfError::SparqlEval("expected an ASK query".into()));
     };
-    Ok(!solve_group(store, pattern, initial)?.is_empty())
+    let answer = !solve_group(store, pattern, initial)?.is_empty();
+    ask_count().inc();
+    query_latency().record(started.elapsed().as_nanos() as u64);
+    Ok(answer)
 }
 
 /// Solves a group pattern under an initial binding, returning all solutions.

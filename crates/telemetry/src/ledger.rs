@@ -1,0 +1,388 @@
+//! The decision-provenance ledger: per data item, what evidence was
+//! fetched (Data Enrichment), what score/class each Quality Assertion
+//! assigned, and what action was taken — each optionally linked to the
+//! span that produced it.
+//!
+//! Recording is gated on an `AtomicBool` (one relaxed load when
+//! disabled), and the bulk APIs take the write lock once per phase, not
+//! once per item, so a ledger-enabled run stays close to a disabled one.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::span::SpanTrace;
+
+/// One evidence value fetched for an item during Data Enrichment.
+///
+/// Names that repeat across every item of a run (properties, sources,
+/// group labels, conditions) are `Arc<str>` so a million-item ledger
+/// shares one allocation per distinct name instead of one per record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvidenceRecord {
+    /// Quality-evidence property name (e.g. `HitRatio`).
+    pub property: Arc<str>,
+    /// Rendered value (`Display` of the engine's `EvidenceValue`).
+    pub value: String,
+    /// Annotation repository / source the value came from, if known.
+    pub source: Option<Arc<str>>,
+    /// Id of the span under which the fetch happened.
+    pub span: Option<u64>,
+}
+
+/// One score or class a Quality Assertion assigned to an item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssertionRecord {
+    /// Assertion output property (e.g. `ScoreClass`).
+    pub property: Arc<str>,
+    /// Rendered score/class value.
+    pub value: String,
+    /// Name of the assertion that produced it, if known.
+    pub assertion: Option<Arc<str>>,
+    pub span: Option<u64>,
+}
+
+/// The action verdict for an item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionRecord {
+    /// Action group label (e.g. `filter top k score`).
+    pub group: Arc<str>,
+    /// Outcome: `accepted`, `rejected` or `unknown`.
+    pub outcome: Arc<str>,
+    /// The condition expression that decided it, if known.
+    pub condition: Option<Arc<str>>,
+    pub span: Option<u64>,
+}
+
+/// Everything the ledger knows about one item — the answer to
+/// `why(item)`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DecisionTrace {
+    pub item: String,
+    pub evidence: Vec<EvidenceRecord>,
+    pub assertions: Vec<AssertionRecord>,
+    pub actions: Vec<ActionRecord>,
+}
+
+impl DecisionTrace {
+    /// An empty trace for `item`.
+    pub fn new(item: impl Into<String>) -> Self {
+        DecisionTrace { item: item.into(), ..Default::default() }
+    }
+
+    /// Human-readable rendering; with a [`SpanTrace`] the producing spans
+    /// are named inline.
+    pub fn render_with(&self, spans: Option<&SpanTrace>) -> String {
+        use std::fmt::Write as _;
+        let span_name = |id: Option<u64>| -> String {
+            id.and_then(|id| spans.and_then(|t| t.span(crate::span::SpanId(id))))
+                .map(|s| format!("  [span #{} {}]", s.id.0, s.name))
+                .unwrap_or_default()
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "item {}", self.item);
+        let _ = writeln!(out, "  evidence:");
+        if self.evidence.is_empty() {
+            let _ = writeln!(out, "    (none recorded)");
+        }
+        for e in &self.evidence {
+            let source = e.source.as_deref().map(|s| format!(" (from {s})")).unwrap_or_default();
+            let _ =
+                writeln!(out, "    {} = {}{}{}", e.property, e.value, source, span_name(e.span));
+        }
+        let _ = writeln!(out, "  assertions:");
+        if self.assertions.is_empty() {
+            let _ = writeln!(out, "    (none recorded)");
+        }
+        for a in &self.assertions {
+            let by = a.assertion.as_deref().map(|s| format!(" (by {s})")).unwrap_or_default();
+            let _ = writeln!(out, "    {} = {}{}{}", a.property, a.value, by, span_name(a.span));
+        }
+        let _ = writeln!(out, "  actions:");
+        if self.actions.is_empty() {
+            let _ = writeln!(out, "    (none recorded)");
+        }
+        for act in &self.actions {
+            let cond =
+                act.condition.as_deref().map(|c| format!(" (condition: {c})")).unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "    {} -> {}{}{}",
+                act.group,
+                act.outcome,
+                cond,
+                span_name(act.span)
+            );
+        }
+        out
+    }
+
+    /// Single-object JSON rendering.
+    pub fn to_json(&self) -> String {
+        use crate::json::escape;
+        use std::fmt::Write as _;
+        let opt = |v: &Option<Arc<str>>| -> String {
+            match v {
+                Some(s) => format!("\"{}\"", escape(s)),
+                None => "null".to_string(),
+            }
+        };
+        let span = |s: &Option<u64>| -> String {
+            s.map(|v| v.to_string()).unwrap_or_else(|| "null".into())
+        };
+        let mut out = String::new();
+        let _ = write!(out, "{{\"item\":\"{}\",\"evidence\":[", escape(&self.item));
+        for (i, e) in self.evidence.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"property\":\"{}\",\"value\":\"{}\",\"source\":{},\"span\":{}}}",
+                escape(&e.property),
+                escape(&e.value),
+                opt(&e.source),
+                span(&e.span)
+            );
+        }
+        let _ = write!(out, "],\"assertions\":[");
+        for (i, a) in self.assertions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"property\":\"{}\",\"value\":\"{}\",\"assertion\":{},\"span\":{}}}",
+                escape(&a.property),
+                escape(&a.value),
+                opt(&a.assertion),
+                span(&a.span)
+            );
+        }
+        let _ = write!(out, "],\"actions\":[");
+        for (i, act) in self.actions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"group\":\"{}\",\"outcome\":\"{}\",\"condition\":{},\"span\":{}}}",
+                escape(&act.group),
+                escape(&act.outcome),
+                opt(&act.condition),
+                span(&act.span)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The ledger itself: item IRI → [`DecisionTrace`], recording gated on an
+/// atomic flag (disabled by default — zero overhead when off beyond one
+/// relaxed load per bulk call).
+#[derive(Default)]
+pub struct DecisionLedger {
+    enabled: AtomicBool,
+    traces: RwLock<HashMap<String, DecisionTrace>>,
+}
+
+impl DecisionLedger {
+    /// A fresh, disabled ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records complete traces for many items in one lock acquisition —
+    /// the cheapest write path (one map operation per item, no key
+    /// re-hashing per phase). Existing traces for the same item are
+    /// merged (records append).
+    pub fn record_traces_bulk(&self, traces: Vec<DecisionTrace>) {
+        if !self.enabled() || traces.is_empty() {
+            return;
+        }
+        let mut map = self.traces.write().unwrap();
+        map.reserve(traces.len());
+        for trace in traces {
+            match map.entry(trace.item.clone()) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(trace);
+                }
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    let existing = slot.get_mut();
+                    existing.evidence.extend(trace.evidence);
+                    existing.assertions.extend(trace.assertions);
+                    existing.actions.extend(trace.actions);
+                }
+            }
+        }
+    }
+
+    /// Records evidence values for many items in one lock acquisition.
+    /// Each entry is `(item, records)`.
+    pub fn record_evidence_bulk(&self, entries: Vec<(String, Vec<EvidenceRecord>)>) {
+        if !self.enabled() || entries.is_empty() {
+            return;
+        }
+        let mut traces = self.traces.write().unwrap();
+        for (item, records) in entries {
+            let trace = traces
+                .entry(item.clone())
+                .or_insert_with(|| DecisionTrace { item, ..DecisionTrace::default() });
+            trace.evidence.extend(records);
+        }
+    }
+
+    /// Records assertion outputs for many items in one lock acquisition.
+    pub fn record_assertions_bulk(&self, entries: Vec<(String, Vec<AssertionRecord>)>) {
+        if !self.enabled() || entries.is_empty() {
+            return;
+        }
+        let mut traces = self.traces.write().unwrap();
+        for (item, records) in entries {
+            let trace = traces
+                .entry(item.clone())
+                .or_insert_with(|| DecisionTrace { item, ..DecisionTrace::default() });
+            trace.assertions.extend(records);
+        }
+    }
+
+    /// Records action outcomes for many items in one lock acquisition.
+    pub fn record_actions_bulk(&self, entries: Vec<(String, ActionRecord)>) {
+        if !self.enabled() || entries.is_empty() {
+            return;
+        }
+        let mut traces = self.traces.write().unwrap();
+        for (item, record) in entries {
+            let trace = traces
+                .entry(item.clone())
+                .or_insert_with(|| DecisionTrace { item, ..DecisionTrace::default() });
+            trace.actions.push(record);
+        }
+    }
+
+    /// The decision trace for an exact item id.
+    pub fn why(&self, item: &str) -> Option<DecisionTrace> {
+        self.traces.read().unwrap().get(item).cloned()
+    }
+
+    /// Finds items whose id equals or ends with `needle` (so a user can
+    /// say `explain P1` instead of the full LSID). Results are sorted.
+    pub fn find(&self, needle: &str) -> Vec<DecisionTrace> {
+        let traces = self.traces.read().unwrap();
+        let mut out: Vec<DecisionTrace> = traces
+            .values()
+            .filter(|t| t.item == needle || t.item.ends_with(needle))
+            .cloned()
+            .collect();
+        out.sort_by(|a, b| a.item.cmp(&b.item));
+        out
+    }
+
+    /// All item ids with a trace, sorted.
+    pub fn items(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.traces.read().unwrap().keys().cloned().collect();
+        out.sort();
+        out
+    }
+
+    /// Number of items traced.
+    pub fn len(&self) -> usize {
+        self.traces.read().unwrap().len()
+    }
+
+    /// True when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all traces (recording flag unchanged).
+    pub fn clear(&self) {
+        self.traces.write().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_evidence() -> Vec<(String, Vec<EvidenceRecord>)> {
+        vec![(
+            "urn:lsid:t:h:1".to_string(),
+            vec![EvidenceRecord {
+                property: "HitRatio".into(),
+                value: "0.9".into(),
+                source: Some("PedroRepo".into()),
+                span: Some(4),
+            }],
+        )]
+    }
+
+    #[test]
+    fn disabled_ledger_records_nothing() {
+        let ledger = DecisionLedger::new();
+        ledger.record_evidence_bulk(sample_evidence());
+        assert!(ledger.is_empty());
+        assert!(ledger.why("urn:lsid:t:h:1").is_none());
+    }
+
+    #[test]
+    fn why_round_trip() {
+        let ledger = DecisionLedger::new();
+        ledger.set_enabled(true);
+        ledger.record_evidence_bulk(sample_evidence());
+        ledger.record_assertions_bulk(vec![(
+            "urn:lsid:t:h:1".to_string(),
+            vec![AssertionRecord {
+                property: "ScoreClass".into(),
+                value: "q:high".into(),
+                assertion: Some("PIScore".into()),
+                span: Some(7),
+            }],
+        )]);
+        ledger.record_actions_bulk(vec![(
+            "urn:lsid:t:h:1".to_string(),
+            ActionRecord {
+                group: "filter top k score".into(),
+                outcome: "accepted".into(),
+                condition: Some("ScoreClass in q:high".into()),
+                span: Some(9),
+            },
+        )]);
+        let trace = ledger.why("urn:lsid:t:h:1").unwrap();
+        assert_eq!(trace.evidence.len(), 1);
+        assert_eq!(trace.assertions[0].value, "q:high");
+        assert_eq!(trace.actions[0].outcome.as_ref(), "accepted");
+        let rendered = trace.render_with(None);
+        assert!(rendered.contains("HitRatio = 0.9 (from PedroRepo)"));
+        assert!(rendered.contains("ScoreClass = q:high (by PIScore)"));
+        assert!(rendered.contains("filter top k score -> accepted"));
+        // suffix find
+        let found = ledger.find("h:1");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].item, "urn:lsid:t:h:1");
+        assert!(ledger.find("nope").is_empty());
+    }
+
+    #[test]
+    fn json_rendering_parses() {
+        let ledger = DecisionLedger::new();
+        ledger.set_enabled(true);
+        ledger.record_evidence_bulk(sample_evidence());
+        let json = ledger.why("urn:lsid:t:h:1").unwrap().to_json();
+        let value = crate::json::parse(&json).unwrap();
+        let obj = value.as_object().unwrap();
+        assert_eq!(obj.get("item").and_then(|v| v.as_str()), Some("urn:lsid:t:h:1"));
+        assert_eq!(obj.get("evidence").and_then(|v| v.as_array()).map(|a| a.len()), Some(1));
+    }
+}

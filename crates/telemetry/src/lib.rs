@@ -1,0 +1,46 @@
+//! # qurator-telemetry
+//!
+//! The observability substrate the paper's promise of *inspectable*
+//! quality decisions rests on (§1: the scientist must be able to ask why
+//! an item was classified the way it was; the Taverna deployment leans on
+//! workflow provenance for exactly this). Three pillars:
+//!
+//! * [`span`] — hierarchical spans (view → wave → node → iteration
+//!   invocation) with monotonic timestamps, parent links and key/value
+//!   attributes. Spans are recorded into per-worker [`span::SpanRecorder`]s
+//!   (no locks on the hot path) and merged into a [`span::SpanTrace`] when
+//!   an enactment finishes;
+//! * [`metrics`] — a process-wide registry of counters, gauges and
+//!   fixed-bucket log₂-scale histograms backed by sharded atomics, so the
+//!   enrichment hot path can record rates and latencies without
+//!   serialising writers;
+//! * [`ledger`] — the decision-provenance ledger: per data item, the
+//!   evidence values fetched (Data Enrichment), the scores/classes
+//!   assigned (Quality Assertions) and the actions taken, each linked to
+//!   the span that produced it, queryable as `why(item) ->`
+//!   [`ledger::DecisionTrace`].
+//!
+//! Exporters ([`export`]) cover a JSON-lines span log, Prometheus-style
+//! text exposition and a human-readable trace renderer; [`schema`]
+//! validates emitted artifacts in-tree (used by the CI smoke job), on top
+//! of the dependency-free JSON parser in [`json`].
+//!
+//! The crate is intentionally dependency-free (std only) so every layer of
+//! the stack — rdf, annotations, workflow, core, cli, bench — can link it
+//! without cycles.
+
+pub mod export;
+pub mod json;
+pub mod ledger;
+pub mod metrics;
+pub mod schema;
+pub mod span;
+
+pub use ledger::{ActionRecord, AssertionRecord, DecisionLedger, DecisionTrace, EvidenceRecord};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use span::{AttrValue, Span, SpanId, SpanKind, SpanRecorder, SpanTrace, TraceSession};
+
+/// The process-wide metrics registry (see [`metrics::global`]).
+pub fn metrics() -> &'static MetricsRegistry {
+    metrics::global()
+}

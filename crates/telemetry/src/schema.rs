@@ -1,0 +1,230 @@
+//! In-tree schema checks for the telemetry artifacts the CLI emits.
+//! The CI smoke job runs the Fig. 1 workflow with `--trace-out` /
+//! `--metrics-out` and feeds the files through these validators, so the
+//! export format can't silently drift.
+
+use crate::json::{parse, Value};
+
+/// Validates a span JSON-lines document (as produced by
+/// [`crate::span::SpanTrace::to_jsonl`]). Returns the number of span
+/// lines on success.
+///
+/// Checks per line: valid JSON object; `type == "span"`; `id` a positive
+/// integer, unique across the file; `parent` null or a previously-unseen
+/// ok id (forward references allowed — parents may merge after
+/// children); `name` a string; `kind` one of the known kinds;
+/// `start_ns`/`end_ns` integers with `end_ns >= start_ns` (end may not
+/// be null: exported traces are finished); `attrs` an object.
+/// Whole-file check: every non-null parent id must exist in the file.
+pub fn validate_trace_jsonl(input: &str) -> Result<usize, String> {
+    let mut ids = std::collections::BTreeSet::new();
+    let mut parents: Vec<(usize, u64)> = Vec::new();
+    let mut count = 0usize;
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let n = lineno + 1;
+        let value = parse(line).map_err(|e| format!("line {n}: invalid JSON: {e}"))?;
+        let obj = value.as_object().ok_or_else(|| format!("line {n}: not an object"))?;
+        let kind_of = |key: &str| -> Result<&Value, String> {
+            obj.get(key).ok_or_else(|| format!("line {n}: missing key {key:?}"))
+        };
+        if kind_of("type")?.as_str() != Some("span") {
+            return Err(format!("line {n}: type is not \"span\""));
+        }
+        let id = kind_of("id")?
+            .as_u64()
+            .filter(|&v| v > 0)
+            .ok_or_else(|| format!("line {n}: id must be a positive integer"))?;
+        if !ids.insert(id) {
+            return Err(format!("line {n}: duplicate span id {id}"));
+        }
+        match kind_of("parent")? {
+            Value::Null => {}
+            v => {
+                let p = v
+                    .as_u64()
+                    .ok_or_else(|| format!("line {n}: parent must be null or an integer"))?;
+                parents.push((n, p));
+            }
+        }
+        if kind_of("name")?.as_str().is_none() {
+            return Err(format!("line {n}: name must be a string"));
+        }
+        let kind =
+            kind_of("kind")?.as_str().ok_or_else(|| format!("line {n}: kind must be a string"))?;
+        if crate::span::SpanKind::parse(kind).is_none() {
+            return Err(format!("line {n}: unknown span kind {kind:?}"));
+        }
+        let start = kind_of("start_ns")?
+            .as_u64()
+            .ok_or_else(|| format!("line {n}: start_ns must be an integer"))?;
+        let end = kind_of("end_ns")?
+            .as_u64()
+            .ok_or_else(|| format!("line {n}: end_ns must be an integer (span not closed?)"))?;
+        if end < start {
+            return Err(format!("line {n}: end_ns < start_ns"));
+        }
+        if kind_of("attrs")?.as_object().is_none() {
+            return Err(format!("line {n}: attrs must be an object"));
+        }
+        count += 1;
+    }
+    for (n, p) in parents {
+        if !ids.contains(&p) {
+            return Err(format!("line {n}: parent {p} does not exist in the trace"));
+        }
+    }
+    Ok(count)
+}
+
+/// Validates a Prometheus-style text exposition (as produced by
+/// [`crate::metrics::MetricsRegistry::render_prometheus`]). Returns the
+/// number of sample lines on success.
+///
+/// Checks per line: `name[{label="value",…}] number`, metric names
+/// matching `[a-zA-Z_:][a-zA-Z0-9_:.]*`, no duplicate series.
+pub fn validate_metrics_text(input: &str) -> Result<usize, String> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut count = 0usize;
+    for (lineno, line) in input.lines().enumerate() {
+        let n = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: expected '<series> <value>'"))?;
+        let series = series.trim();
+        value
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| format!("line {n}: sample value {value:?} is not a number"))?;
+        let name = match series.split_once('{') {
+            Some((name, rest)) => {
+                if !rest.ends_with('}') {
+                    return Err(format!("line {n}: unterminated label set"));
+                }
+                validate_labels(&rest[..rest.len() - 1]).map_err(|e| format!("line {n}: {e}"))?;
+                name
+            }
+            None => series,
+        };
+        if name.is_empty()
+            || !name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':' || c == '.')
+        {
+            return Err(format!("line {n}: invalid metric name {name:?}"));
+        }
+        if !seen.insert(series.to_string()) {
+            return Err(format!("line {n}: duplicate series {series:?}"));
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Validates a `label="value"` comma-separated list.
+fn validate_labels(labels: &str) -> Result<(), String> {
+    // split on commas that are not inside a quoted value
+    let mut rest = labels;
+    while !rest.is_empty() {
+        let (key, after_eq) =
+            rest.split_once('=').ok_or_else(|| format!("label pair missing '=' in {rest:?}"))?;
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        let after_quote =
+            after_eq.strip_prefix('"').ok_or_else(|| format!("label {key:?} value not quoted"))?;
+        // find the closing quote, honouring backslash escapes
+        let mut end = None;
+        let bytes = after_quote.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        let end = end.ok_or_else(|| format!("label {key:?} value unterminated"))?;
+        rest = &after_quote[end + 1..];
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped;
+        } else if !rest.is_empty() {
+            return Err(format!("unexpected characters after label {key:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_trace_lines() {
+        let jsonl = concat!(
+            "{\"type\":\"span\",\"id\":1,\"parent\":null,\"name\":\"view:v\",\"kind\":\"view\",\"start_ns\":0,\"end_ns\":10,\"attrs\":{}}\n",
+            "{\"type\":\"span\",\"id\":2,\"parent\":1,\"name\":\"wave:0\",\"kind\":\"wave\",\"start_ns\":1,\"end_ns\":9,\"attrs\":{\"width\":2}}\n",
+        );
+        assert_eq!(validate_trace_jsonl(jsonl).unwrap(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_trace_lines() {
+        let dup = concat!(
+            "{\"type\":\"span\",\"id\":1,\"parent\":null,\"name\":\"a\",\"kind\":\"view\",\"start_ns\":0,\"end_ns\":1,\"attrs\":{}}\n",
+            "{\"type\":\"span\",\"id\":1,\"parent\":null,\"name\":\"b\",\"kind\":\"view\",\"start_ns\":0,\"end_ns\":1,\"attrs\":{}}\n",
+        );
+        assert!(validate_trace_jsonl(dup).unwrap_err().contains("duplicate span id"));
+
+        let orphan =
+            "{\"type\":\"span\",\"id\":2,\"parent\":9,\"name\":\"c\",\"kind\":\"node\",\"start_ns\":0,\"end_ns\":1,\"attrs\":{}}\n";
+        assert!(validate_trace_jsonl(orphan).unwrap_err().contains("does not exist"));
+
+        let open =
+            "{\"type\":\"span\",\"id\":1,\"parent\":null,\"name\":\"d\",\"kind\":\"node\",\"start_ns\":5,\"end_ns\":null,\"attrs\":{}}\n";
+        assert!(validate_trace_jsonl(open).unwrap_err().contains("end_ns"));
+
+        let backwards =
+            "{\"type\":\"span\",\"id\":1,\"parent\":null,\"name\":\"e\",\"kind\":\"node\",\"start_ns\":5,\"end_ns\":3,\"attrs\":{}}\n";
+        assert!(validate_trace_jsonl(backwards).unwrap_err().contains("end_ns < start_ns"));
+
+        let badkind =
+            "{\"type\":\"span\",\"id\":1,\"parent\":null,\"name\":\"f\",\"kind\":\"galaxy\",\"start_ns\":0,\"end_ns\":1,\"attrs\":{}}\n";
+        assert!(validate_trace_jsonl(badkind).unwrap_err().contains("unknown span kind"));
+    }
+
+    #[test]
+    fn accepts_valid_metrics_text() {
+        let text = "enrich.bulk.rows 120\nqa.classify.count{class=\"q:high\"} 7\nenrich.lookup.latency_p95 2047\n";
+        assert_eq!(validate_metrics_text(text).unwrap(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_metrics_text() {
+        assert!(validate_metrics_text("not a number line\n").is_err());
+        assert!(validate_metrics_text("9bad.name 1\n").is_err());
+        assert!(validate_metrics_text("dup 1\ndup 2\n").unwrap_err().contains("duplicate"));
+        assert!(validate_metrics_text("m{class=unquoted} 1\n").is_err());
+        assert!(validate_metrics_text("m{class=\"open} 1\n").is_err());
+    }
+
+    #[test]
+    fn registry_output_passes_validation() {
+        let registry = crate::metrics::MetricsRegistry::new();
+        registry.counter_with("qa.classify.count", &[("class", "q:\"odd\"")]).inc();
+        registry.histogram("enrich.lookup.latency").record(100);
+        registry.gauge("enact.wave.width").set(4);
+        let text = registry.render_prometheus();
+        // counter + gauge + 4 histogram lines
+        assert_eq!(validate_metrics_text(&text).unwrap(), 6);
+    }
+}

@@ -10,9 +10,27 @@ use crate::data::Data;
 use crate::model::{PortRef, Workflow};
 use crate::processor::{Context, Inputs, Outputs, Processor};
 use crate::{Result, WorkflowError};
+use qurator_telemetry::span::Span;
+use qurator_telemetry::{Histogram, SpanId, SpanKind, SpanRecorder, SpanTrace, TraceSession};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Per-node invocation spans are capped so implicit iteration over a
+/// large collection cannot blow up the trace; the overflow is recorded
+/// on the node span as `invocations.dropped`.
+const MAX_INVOCATION_SPANS: usize = 4096;
+
+fn wave_width_hist() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| qurator_telemetry::metrics().histogram("enact.wave.width"))
+}
+
+fn node_duration_hist() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| qurator_telemetry::metrics().histogram("enact.node.duration_ns"))
+}
 
 /// Per-node timing and sizing captured during an enactment.
 #[derive(Debug, Clone)]
@@ -25,23 +43,46 @@ pub struct NodeEvent {
     pub output_leaves: usize,
     /// Number of implicit-iteration invocations (1 = no iteration).
     pub invocations: usize,
+    /// The node's span in [`EnactmentReport::trace`].
+    pub span: Option<SpanId>,
 }
 
-/// The result of one enactment: workflow outputs plus the trace.
+/// The result of one enactment: workflow outputs, the per-node event
+/// list (sorted by `(wave, node)` — deterministic regardless of parallel
+/// completion order) and the full span tree.
 #[derive(Debug, Clone)]
 pub struct EnactmentReport {
     pub outputs: BTreeMap<String, Data>,
     pub events: Vec<NodeEvent>,
     pub total: Duration,
+    trace: SpanTrace,
+    index: BTreeMap<String, usize>,
 }
 
 impl EnactmentReport {
-    /// The event for a node, if it ran.
-    pub fn event(&self, node: &str) -> Option<&NodeEvent> {
-        self.events.iter().find(|e| e.node == node)
+    fn new(
+        outputs: BTreeMap<String, Data>,
+        mut events: Vec<NodeEvent>,
+        total: Duration,
+        trace: SpanTrace,
+    ) -> Self {
+        events.sort_by(|a, b| a.wave.cmp(&b.wave).then_with(|| a.node.cmp(&b.node)));
+        let index = events.iter().enumerate().map(|(i, e)| (e.node.clone(), i)).collect();
+        EnactmentReport { outputs, events, total, trace, index }
     }
 
-    /// A one-line-per-node textual trace.
+    /// The event for a node, if it ran (O(1) via an index map).
+    pub fn event(&self, node: &str) -> Option<&NodeEvent> {
+        self.index.get(node).map(|&i| &self.events[i])
+    }
+
+    /// The hierarchical span tree of this enactment
+    /// (view → wave → node → invocation).
+    pub fn trace(&self) -> &SpanTrace {
+        &self.trace
+    }
+
+    /// A one-line-per-node textual trace, ordered by (wave, node).
     pub fn render_trace(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -54,6 +95,11 @@ impl EnactmentReport {
         }
         let _ = writeln!(out, "total: {:?}", self.total);
         out
+    }
+
+    /// The span tree rendered as an indented hierarchy.
+    pub fn render_spans(&self) -> String {
+        self.trace.render()
     }
 }
 
@@ -92,11 +138,23 @@ impl Enactor {
         let started = Instant::now();
         let waves = workflow.waves()?;
 
+        let session = TraceSession::new();
+        let mut main_rec = session.recorder();
+        let view_span = main_rec.start(format!("view:{}", workflow.name()), SpanKind::View, None);
+        main_rec.attr(view_span, "waves", waves.len());
+        main_rec.attr(view_span, "parallel", self.parallel);
+
         // Values produced on output ports so far.
         let mut port_values: BTreeMap<PortRef, Data> = BTreeMap::new();
         let mut events: Vec<NodeEvent> = Vec::new();
+        let mut worker_spans: Vec<Span> = Vec::new();
 
         for (wave_index, wave) in waves.iter().enumerate() {
+            wave_width_hist().record(wave.len() as u64);
+            let wave_span =
+                main_rec.start(format!("wave:{wave_index}"), SpanKind::Wave, Some(view_span));
+            main_rec.attr(wave_span, "width", wave.len());
+
             // Assemble each node's inputs up front (read-only phase).
             let mut jobs: Vec<(String, &Workflow, Inputs)> = Vec::with_capacity(wave.len());
             for node in wave {
@@ -104,51 +162,62 @@ impl Enactor {
                 jobs.push((node.clone(), workflow, inputs_for_node));
             }
 
-            // Execute the wave.
-            let results: Vec<Result<(String, Outputs, Duration, usize)>> =
-                if self.parallel && jobs.len() > 1 {
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = jobs
-                            .iter()
-                            .map(|(node, wf, node_inputs)| {
-                                scope.spawn(move || run_node_guarded(wf, node, node_inputs, ctx))
+            // Execute the wave. Each worker records spans into its own
+            // buffer (derived from the shared session) and hands it back
+            // with the result; nothing is shared between workers but the
+            // span-id counter.
+            let results: Vec<Result<NodeRun>> = if self.parallel && jobs.len() > 1 {
+                std::thread::scope(|scope| {
+                    let session = &session;
+                    let handles: Vec<_> = jobs
+                        .iter()
+                        .map(|(node, wf, node_inputs)| {
+                            scope.spawn(move || {
+                                run_node_guarded(wf, node, node_inputs, ctx, session, wave_span)
                             })
-                            .collect();
-                        handles
-                            .into_iter()
-                            .zip(jobs.iter())
-                            .map(|(handle, (node, _, _))| match handle.join() {
-                                Ok(result) => result,
-                                // A worker can only be "gone" if its panic escaped the
-                                // catch_unwind (panic-in-panic-payload Drop); still
-                                // surface it as this node's execution failure.
-                                Err(payload) => Err(panic_to_error(node, payload)),
-                            })
-                            .collect()
-                    })
-                } else {
-                    jobs.iter()
-                        .map(|(node, wf, node_inputs)| run_node_guarded(wf, node, node_inputs, ctx))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .zip(jobs.iter())
+                        .map(|(handle, (node, _, _))| match handle.join() {
+                            Ok(result) => result,
+                            // A worker can only be "gone" if its panic escaped the
+                            // catch_unwind (panic-in-panic-payload Drop); still
+                            // surface it as this node's execution failure.
+                            Err(payload) => Err(panic_to_error(node, payload)),
+                        })
                         .collect()
-                };
+                })
+            } else {
+                jobs.iter()
+                    .map(|(node, wf, node_inputs)| {
+                        run_node_guarded(wf, node, node_inputs, ctx, &session, wave_span)
+                    })
+                    .collect()
+            };
 
             for result in results {
-                let (node, outputs, duration, invocations) = result?;
-                let output_leaves = outputs.values().map(Data::leaf_count).sum();
+                let run = result?;
+                let output_leaves = run.outputs.values().map(Data::leaf_count).sum();
                 let processor_type =
-                    workflow.processor(&node).expect("node exists").type_name().to_string();
-                for (port, value) in outputs {
-                    port_values.insert(PortRef::new(node.clone(), port), value);
+                    workflow.processor(&run.node).expect("node exists").type_name().to_string();
+                node_duration_hist().record(run.duration.as_nanos() as u64);
+                worker_spans.extend(run.spans);
+                for (port, value) in run.outputs {
+                    port_values.insert(PortRef::new(run.node.clone(), port), value);
                 }
                 events.push(NodeEvent {
-                    node,
+                    node: run.node,
                     processor_type,
                     wave: wave_index,
-                    duration,
+                    duration: run.duration,
                     output_leaves,
-                    invocations,
+                    invocations: run.invocations,
+                    span: Some(run.span),
                 });
             }
+            main_rec.end(wave_span);
         }
 
         // Collect workflow outputs.
@@ -162,8 +231,26 @@ impl Enactor {
             outputs.insert(name.to_string(), value);
         }
 
-        Ok(EnactmentReport { outputs, events, total: started.elapsed() })
+        main_rec.attr(view_span, "nodes", events.len());
+        main_rec.end(view_span);
+        let mut spans = main_rec.finish();
+        spans.append(&mut worker_spans);
+        let trace = SpanTrace::from_spans(spans);
+
+        Ok(EnactmentReport::new(outputs, events, started.elapsed(), trace))
     }
+}
+
+/// Everything a worker hands back for one node.
+struct NodeRun {
+    node: String,
+    outputs: Outputs,
+    duration: Duration,
+    invocations: usize,
+    /// The node's own span id (parent of its invocation spans).
+    span: SpanId,
+    /// The worker's span buffer: the node span plus invocation spans.
+    spans: Vec<Span>,
 }
 
 /// Renders a panic payload (`&str` or `String`, the two forms `panic!`
@@ -190,8 +277,10 @@ fn run_node_guarded(
     node: &str,
     inputs: &Inputs,
     ctx: &Context,
-) -> Result<(String, Outputs, Duration, usize)> {
-    catch_unwind(AssertUnwindSafe(|| run_node(workflow, node, inputs, ctx)))
+    session: &TraceSession,
+    wave_span: SpanId,
+) -> Result<NodeRun> {
+    catch_unwind(AssertUnwindSafe(|| run_node(workflow, node, inputs, ctx, session, wave_span)))
         .unwrap_or_else(|payload| Err(panic_to_error(node, payload)))
 }
 
@@ -200,18 +289,67 @@ fn run_node(
     node: &str,
     inputs: &Inputs,
     ctx: &Context,
-) -> Result<(String, Outputs, Duration, usize)> {
+    session: &TraceSession,
+    wave_span: SpanId,
+) -> Result<NodeRun> {
     let processor = workflow.processor(node).expect("validated");
+    let mut rec = session.recorder();
+    let node_span = rec.start(format!("node:{node}"), SpanKind::Node, Some(wave_span));
+    rec.attr(node_span, "processor", processor.type_name());
     let started = Instant::now();
     let mut invocations = 0usize;
-    let outputs = invoke_with_iteration(processor.as_ref(), inputs, ctx, &mut invocations)
-        .map_err(|e| match e {
-            WorkflowError::Execution { .. } | WorkflowError::MissingInput { .. } => e,
-            other => {
-                WorkflowError::Execution { processor: node.to_string(), message: other.to_string() }
-            }
-        })?;
-    Ok((node.to_string(), outputs, started.elapsed(), invocations))
+    let mut tracer = InvocationTracer { rec: &mut rec, parent: node_span, recorded: 0 };
+    let outputs =
+        invoke_with_iteration(processor.as_ref(), inputs, ctx, &mut invocations, &mut tracer)
+            .map_err(|e| match e {
+                WorkflowError::Execution { .. } | WorkflowError::MissingInput { .. } => e,
+                other => WorkflowError::Execution {
+                    processor: node.to_string(),
+                    message: other.to_string(),
+                },
+            })?;
+    let dropped = invocations.saturating_sub(tracer.recorded);
+    rec.attr(node_span, "invocations", invocations);
+    if dropped > 0 {
+        rec.attr(node_span, "invocations.dropped", dropped);
+    }
+    rec.end(node_span);
+    Ok(NodeRun {
+        node: node.to_string(),
+        outputs,
+        duration: started.elapsed(),
+        invocations,
+        span: node_span,
+        spans: rec.finish(),
+    })
+}
+
+/// Wraps leaf processor invocations in [`SpanKind::Invocation`] spans,
+/// up to [`MAX_INVOCATION_SPANS`] per node.
+struct InvocationTracer<'a> {
+    rec: &'a mut SpanRecorder,
+    parent: SpanId,
+    recorded: usize,
+}
+
+impl InvocationTracer<'_> {
+    fn invoke(
+        &mut self,
+        processor: &dyn Processor,
+        inputs: &Inputs,
+        ctx: &Context,
+        index: usize,
+    ) -> Result<Outputs> {
+        if self.recorded >= MAX_INVOCATION_SPANS {
+            return processor.execute(inputs, ctx);
+        }
+        self.recorded += 1;
+        let span =
+            self.rec.start(format!("invoke:{index}"), SpanKind::Invocation, Some(self.parent));
+        let result = processor.execute(inputs, ctx);
+        self.rec.end(span);
+        result
+    }
 }
 
 fn assemble_inputs(
@@ -261,6 +399,7 @@ fn invoke_with_iteration(
     inputs: &Inputs,
     ctx: &Context,
     invocations: &mut usize,
+    tracer: &mut InvocationTracer<'_>,
 ) -> Result<Outputs> {
     let deep_ports: Vec<String> = processor
         .input_ports()
@@ -271,7 +410,7 @@ fn invoke_with_iteration(
         .collect();
     if deep_ports.is_empty() {
         *invocations += 1;
-        return processor.execute(inputs, ctx);
+        return tracer.invoke(processor, inputs, ctx, *invocations);
     }
 
     let list_of = |port: &str| -> &Vec<Data> {
@@ -293,7 +432,7 @@ fn invoke_with_iteration(
             for port in &deep_ports {
                 sub.insert(port.clone(), list_of(port)[index].clone());
             }
-            let out = invoke_with_iteration(processor, &sub, ctx, invocations)?;
+            let out = invoke_with_iteration(processor, &sub, ctx, invocations, tracer)?;
             for (k, v) in out {
                 collected.entry(k).or_default().push(v);
             }
@@ -303,7 +442,7 @@ fn invoke_with_iteration(
         for item in list_of(port) {
             let mut sub = inputs.clone();
             sub.insert(port.clone(), item.clone());
-            let out = invoke_with_iteration(processor, &sub, ctx, invocations)?;
+            let out = invoke_with_iteration(processor, &sub, ctx, invocations, tracer)?;
             for (k, v) in out {
                 collected.entry(k).or_default().push(v);
             }
@@ -498,6 +637,92 @@ mod tests {
         ctx.insert("counter", counter.clone());
         Enactor::new().run(&w, &BTreeMap::new(), &ctx).unwrap();
         assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn span_tree_is_well_formed_under_parallel_enactment() {
+        // A wide wave of independent nodes with implicit iteration, so
+        // several workers record node + invocation spans concurrently.
+        let mut w = Workflow::new("wide");
+        for i in 0..6 {
+            w.add(format!("u{i}"), upper()).unwrap();
+            w.declare_input(format!("t{i}"), PortRef::new(format!("u{i}"), "in")).unwrap();
+            w.declare_output(format!("r{i}"), PortRef::new(format!("u{i}"), "out")).unwrap();
+        }
+        let inputs: BTreeMap<String, Data> = (0..6)
+            .map(|i| (format!("t{i}"), Data::list(["a".into(), "b".into(), "c".into()])))
+            .collect();
+        let report = Enactor::new().run(&w, &inputs, &Context::new()).unwrap();
+        let trace = report.trace();
+        // every span closed, every parent exists, intervals nest
+        trace.validate().unwrap();
+        // exactly one root: the view span
+        let roots: Vec<_> = trace.roots().collect();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "view:wide");
+        assert_eq!(roots[0].kind, SpanKind::View);
+        // one wave with 6 node children, each with 3 invocation spans
+        let waves = trace.children(roots[0].id);
+        assert_eq!(waves.len(), 1);
+        let nodes = trace.children(waves[0].id);
+        assert_eq!(nodes.len(), 6);
+        for node in &nodes {
+            assert_eq!(node.kind, SpanKind::Node);
+            let invocations = trace.children(node.id);
+            assert_eq!(invocations.len(), 3);
+            assert!(invocations.iter().all(|s| s.kind == SpanKind::Invocation));
+        }
+        // events link back to their node spans
+        for event in &report.events {
+            let span = report.trace().span(event.span.unwrap()).unwrap();
+            assert_eq!(span.name, format!("node:{}", event.node));
+        }
+        // span ids are unique across workers
+        let mut ids: Vec<u64> = trace.spans().iter().map(|s| s.id.0).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), trace.len());
+    }
+
+    #[test]
+    fn events_are_sorted_and_event_lookup_is_indexed() {
+        let mut w = Workflow::new("t");
+        // nodes added in non-alphabetical order, one wave
+        for name in ["zeta", "alpha", "mid"] {
+            w.add(name, upper()).unwrap();
+            w.declare_input(format!("in_{name}"), PortRef::new(name, "in")).unwrap();
+            w.declare_output(format!("out_{name}"), PortRef::new(name, "out")).unwrap();
+        }
+        let inputs: BTreeMap<String, Data> =
+            ["zeta", "alpha", "mid"].iter().map(|n| (format!("in_{n}"), "x".into())).collect();
+        let report = Enactor::new().run(&w, &inputs, &Context::new()).unwrap();
+        let order: Vec<&str> = report.events.iter().map(|e| e.node.as_str()).collect();
+        assert_eq!(order, vec!["alpha", "mid", "zeta"]);
+        for name in ["zeta", "alpha", "mid"] {
+            assert_eq!(report.event(name).unwrap().node, name);
+        }
+        assert!(report.event("missing").is_none());
+    }
+
+    #[test]
+    fn invocation_spans_are_capped() {
+        let mut w = Workflow::new("t");
+        w.add("u", upper()).unwrap();
+        w.declare_input("text", PortRef::new("u", "in")).unwrap();
+        w.declare_output("result", PortRef::new("u", "out")).unwrap();
+        let big = Data::List((0..MAX_INVOCATION_SPANS + 10).map(|_| "x".into()).collect());
+        let report = Enactor::new()
+            .run(&w, &BTreeMap::from([("text".to_string(), big)]), &Context::new())
+            .unwrap();
+        let event = report.event("u").unwrap();
+        assert_eq!(event.invocations, MAX_INVOCATION_SPANS + 10);
+        let node_span = report.trace().span(event.span.unwrap()).unwrap();
+        assert_eq!(
+            node_span.attr("invocations.dropped"),
+            Some(&qurator_telemetry::AttrValue::Int(10))
+        );
+        assert_eq!(report.trace().children(node_span.id).len(), MAX_INVOCATION_SPANS);
+        report.trace().validate().unwrap();
     }
 
     #[test]

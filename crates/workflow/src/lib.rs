@@ -35,7 +35,7 @@ pub mod processor;
 
 pub use data::Data;
 pub use embed::{Connector, EmbedDescriptor};
-pub use enact::{EnactmentReport, Enactor};
+pub use enact::{EnactmentReport, Enactor, NodeEvent};
 pub use model::{DataLink, PortRef, Workflow};
 pub use processor::{Context, FnProcessor, Processor};
 
