@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! qv validate <view.xml>                         check a view against the stock IQ model
+//! qv check    <view.xml|query.rq>                static analysis with source-span
+//!             [--format text|json]               diagnostics (lint + bindings +
+//!             [--deny warnings]                  compiled workflow; SPARQL for .rq)
 //! qv compile  <view.xml> [--dot]                 show the compiled workflow (§6.1)
 //! qv fmt      <view.xml>                         canonical pretty-print
 //! qv run      <view.xml> --data <hits.tsv>       execute over a TSV data set
@@ -46,6 +49,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     };
     match command.as_str() {
         "validate" => cmd_validate(args.get(1).ok_or_else(usage)?),
+        "check" => cmd_check(args),
         "compile" => cmd_compile(args.get(1).ok_or_else(usage)?, args.contains(&"--dot".into())),
         "fmt" => cmd_fmt(args.get(1).ok_or_else(usage)?),
         "run" => cmd_run(args),
@@ -61,7 +65,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  qv validate <view.xml>\n  qv compile <view.xml> [--dot]\n  qv fmt <view.xml>\n  qv run <view.xml> --data <hits.tsv> [--group NAME] [--explain] [--trace-out FILE] [--metrics-out FILE]\n  qv explain <view.xml> --data <hits.tsv> --item <id-or-suffix> [--spans]\n  qv telemetry-check <trace.jsonl> [metrics.txt]\n  qv library <catalog.xml> [--search TEXT]"
+    "usage:\n  qv validate <view.xml>\n  qv check <view.xml|query.rq> [--format text|json] [--deny warnings]\n  qv compile <view.xml> [--dot]\n  qv fmt <view.xml>\n  qv run <view.xml> --data <hits.tsv> [--group NAME] [--explain] [--trace-out FILE] [--metrics-out FILE]\n  qv explain <view.xml> --data <hits.tsv> --item <id-or-suffix> [--spans]\n  qv telemetry-check <trace.jsonl> [metrics.txt]\n  qv library <catalog.xml> [--search TEXT]"
         .to_string()
 }
 
@@ -88,6 +92,44 @@ fn cmd_validate(path: &str) -> Result<(), String> {
     println!("  enrichment plan:");
     for (evidence, repo) in &view.enrichment_plan {
         println!("    {} <- repository {:?}", engine.iq().compact(evidence), repo);
+    }
+    Ok(())
+}
+
+/// `qv check`: collect-all static analysis. Unlike `qv validate` (which
+/// stops at the first problem and ignores warnings) this runs every
+/// QV/WF pass, renders each finding with its source position, and exits
+/// non-zero when errors — or, under `--deny warnings`, warnings — are
+/// present. `.rq`/`.sparql` files get the SQ passes instead.
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let path = args.get(1).filter(|a| !a.starts_with("--")).ok_or_else(usage)?;
+    let format = flag_value(args, "--format").unwrap_or("text");
+    if format != "text" && format != "json" {
+        return Err(format!("unknown --format {format:?} (expected text or json)"));
+    }
+    let deny_warnings = match flag_value(args, "--deny") {
+        None => false,
+        Some("warnings") => true,
+        Some(other) => return Err(format!("unknown --deny {other:?} (expected warnings)")),
+    };
+
+    let source = read_file(path)?;
+    let diags = if path.ends_with(".rq") || path.ends_with(".sparql") {
+        qurator_qvlint::sparql::analyze_sparql(&source)
+    } else {
+        let (spec, root) =
+            qurator::xmlio::parse_quality_view_with_source(&source).map_err(|e| e.to_string())?;
+        stock_engine()?.check(&spec, Some(&root))
+    };
+
+    match format {
+        "json" => print!("{}", qurator_qvlint::render::render_json(&diags, path)),
+        _ => print!("{}", qurator_qvlint::render::render_text(&diags, path, &source)),
+    }
+
+    let warnings = diags.iter().any(|d| d.severity == qurator_qvlint::Severity::Warning);
+    if qurator_qvlint::has_errors(&diags) || (deny_warnings && warnings) {
+        return Err(format!("{path}: {}", qurator_qvlint::summary(&diags)));
     }
     Ok(())
 }
@@ -297,4 +339,95 @@ fn cmd_library(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod check_tests {
+    use super::*;
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join("qv-cli-check-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn run(args: &[&str]) -> Result<(), String> {
+        dispatch(&args.iter().map(|a| a.to_string()).collect::<Vec<_>>())
+    }
+
+    /// A view with no findings at all: the one tag is read by the action.
+    const CLEAN_VIEW: &str = r#"<QualityView name="mini">
+  <Annotator serviceName="imprint" serviceType="q:ImprintOutputAnnotation">
+    <variables repositoryRef="cache" persistent="false">
+      <var evidence="q:HitRatio"/>
+    </variables>
+  </Annotator>
+  <QualityAssertion serviceName="hr" serviceType="q:UniversalPIScore"
+                    tagName="HR" tagSynType="q:score">
+    <variables repositoryRef="cache">
+      <var variableName="hitratio" evidence="q:HitRatio"/>
+    </variables>
+  </QualityAssertion>
+  <action name="keep">
+    <filter><condition>HR &gt; 0</condition></filter>
+  </action>
+</QualityView>
+"#;
+
+    #[test]
+    fn clean_view_passes_even_with_deny_warnings() {
+        let path = write_temp("clean.qv", CLEAN_VIEW);
+        run(&["check", &path]).unwrap();
+        run(&["check", &path, "--deny", "warnings"]).unwrap();
+        run(&["check", &path, "--format", "json"]).unwrap();
+    }
+
+    #[test]
+    fn unsatisfiable_condition_fails_the_check() {
+        let broken = CLEAN_VIEW.replace("HR &gt; 0", "HR &gt; 5 and HR &lt; 2");
+        let path = write_temp("unsat.qv", &broken);
+        let e = run(&["check", &path]).unwrap_err();
+        assert!(e.contains("1 error"), "{e}");
+    }
+
+    #[test]
+    fn warnings_gate_only_under_deny() {
+        // an extra unused tag: QV019 warning, no errors
+        let warned = CLEAN_VIEW.replace(
+            "<action name=\"keep\">",
+            r#"<QualityAssertion serviceName="hr2" serviceType="q:UniversalPIScore"
+                    tagName="HR2" tagSynType="q:score">
+    <variables repositoryRef="cache">
+      <var variableName="hitratio" evidence="q:HitRatio"/>
+    </variables>
+  </QualityAssertion>
+  <action name="keep">"#,
+        );
+        let path = write_temp("warned.qv", &warned);
+        run(&["check", &path]).unwrap();
+        let e = run(&["check", &path, "--deny", "warnings"]).unwrap_err();
+        assert!(e.contains("warning"), "{e}");
+    }
+
+    #[test]
+    fn sparql_files_get_the_sq_passes() {
+        let path = write_temp(
+            "enrich.rq",
+            "PREFIX q: <http://x#>\nSELECT ?s ?typo WHERE { ?s q:p ?v . }\n",
+        );
+        let e = run(&["check", &path]).unwrap_err();
+        assert!(e.contains("1 error"), "{e}");
+        let clean =
+            write_temp("clean.rq", "PREFIX q: <http://x#>\nSELECT ?s ?v WHERE { ?s q:p ?v . }\n");
+        run(&["check", &clean]).unwrap();
+    }
+
+    #[test]
+    fn bad_flags_are_rejected() {
+        let path = write_temp("flags.qv", CLEAN_VIEW);
+        assert!(run(&["check", &path, "--format", "yaml"]).is_err());
+        assert!(run(&["check", &path, "--deny", "everything"]).is_err());
+    }
 }

@@ -200,6 +200,78 @@ impl QualityEngine {
         compile::compile(&view, &self.iq, &self.registry, &self.catalog)
     }
 
+    /// Runs the full `qv check` analysis: every view-level lint pass, the
+    /// binding layer, and — when the view is otherwise clean — the
+    /// compiled-workflow pass. Unlike [`QualityEngine::validate`] this
+    /// never fails early: all findings come back as diagnostics, and an
+    /// empty error set means the view would validate, compile and deploy.
+    /// Passing the parsed source `Element` anchors findings to
+    /// line/column positions in the original document.
+    pub fn check(
+        &self,
+        spec: &QualityViewSpec,
+        source: Option<&qurator_xml::Element>,
+    ) -> Vec<qurator_qvlint::Diagnostic> {
+        use qurator_qvlint::workflow::RepoUsage;
+        use qurator_qvlint::Diagnostic;
+
+        let report = crate::lint::analyze(spec, &self.iq, &self.registry, source);
+        let mut diags = report.diagnostics;
+        if let Some(view) = &report.resolved {
+            {
+                let bindings = self.bindings.read();
+                for concept in view.annotator_types.iter().chain(&view.assertion_types) {
+                    if let Err(e) = bindings.service_locator(concept) {
+                        diags.push(
+                            Diagnostic::error("QV009", e.to_string())
+                                .at(source.and_then(|el| el.span()))
+                                .help("bind a service locator for the concept before deployment"),
+                        );
+                    }
+                }
+            }
+            if !qurator_qvlint::has_errors(&diags) {
+                let started = std::time::Instant::now();
+                let mark = diags.len();
+                match compile::compile(view, &self.iq, &self.registry, &self.catalog) {
+                    Err(e) => diags.push(
+                        Diagnostic::error(
+                            "WF005",
+                            format!("view failed to compile into a workflow: {e}"),
+                        )
+                        .at(source.and_then(|el| el.span())),
+                    ),
+                    Ok(workflow) => {
+                        let usage = RepoUsage {
+                            writes: spec
+                                .annotators
+                                .iter()
+                                .map(|a| (a.service_name.clone(), a.repository_ref.clone()))
+                                .collect(),
+                            reads: view
+                                .enrichment_plan
+                                .iter()
+                                .map(|(_, repo)| ("data enrichment".to_string(), repo.clone()))
+                                .collect(),
+                        };
+                        diags.extend(qurator_qvlint::workflow::analyze_workflow(
+                            &workflow,
+                            &usage,
+                            source.and_then(|el| el.span()),
+                        ));
+                    }
+                }
+                qurator_qvlint::record_pass_telemetry(
+                    "workflow",
+                    started.elapsed(),
+                    &diags[mark..],
+                );
+            }
+        }
+        qurator_qvlint::sort_diagnostics(&mut diags);
+        diags
+    }
+
     /// Direct interpretation of the quality process (§4's semantics
     /// without the workflow detour).
     pub fn execute_view(&self, spec: &QualityViewSpec, dataset: &DataSet) -> Result<ActionOutcome> {
@@ -753,6 +825,43 @@ mod tests {
             kind: ActionKind::Filter { condition: "T > 0".into() },
         });
         assert!(engine2.execute_view(&spec, &DataSet::new()).is_err());
+    }
+
+    #[test]
+    fn check_runs_all_layers_on_the_paper_view() {
+        let engine = QualityEngine::with_proteomics_defaults().unwrap();
+        let diags = engine.check(&QualityViewSpec::paper_example(), None);
+        assert!(!qurator_qvlint::has_errors(&diags), "{diags:?}");
+        // the only finding across lint + binding + workflow layers is the
+        // paper view's dead HR tag
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["QV019"], "{diags:?}");
+    }
+
+    #[test]
+    fn check_surfaces_missing_bindings_as_diagnostics() {
+        let mut iq = (**QualityEngine::with_proteomics_defaults().unwrap().iq()).clone();
+        iq.register_assertion_type("Orphan").unwrap();
+        let engine = QualityEngine::new(iq);
+        let mut spec = QualityViewSpec::new("v");
+        spec.assertions.push(crate::spec::AssertionDecl {
+            service_name: "o".into(),
+            service_type: "q:Orphan".into(),
+            tag_name: "T".into(),
+            tag_kind: crate::spec::TagKind::Score,
+            tag_sem_type: None,
+            repository_ref: "cache".into(),
+            variables: vec![crate::spec::VarDecl::named("x", "q:HitRatio")],
+        });
+        spec.actions.push(crate::spec::ActionDecl {
+            name: "a".into(),
+            kind: ActionKind::Filter { condition: "T > 0".into() },
+        });
+        let diags = engine.check(&spec, None);
+        assert!(
+            diags.iter().any(|d| d.code == "QV009"),
+            "missing-service finding expected: {diags:?}"
+        );
     }
 
     #[test]

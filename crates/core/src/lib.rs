@@ -76,6 +76,7 @@ pub mod convert;
 pub mod deploy;
 pub mod engine;
 pub mod library;
+pub mod lint;
 pub mod operators;
 pub mod spec;
 pub mod validate;
@@ -106,6 +107,19 @@ pub enum QuratorError {
     Compile(String),
     /// Execution failed.
     Execution(String),
+    /// Semantic validation failed, with the full collect-all diagnostic
+    /// list (every error, not just the first; warnings ride along).
+    Diagnostics(Vec<qurator_qvlint::Diagnostic>),
+}
+
+impl QuratorError {
+    /// The diagnostics attached to this error, when it carries any.
+    pub fn diagnostics(&self) -> &[qurator_qvlint::Diagnostic] {
+        match self {
+            QuratorError::Diagnostics(d) => d,
+            _ => &[],
+        }
+    }
 }
 
 impl std::fmt::Display for QuratorError {
@@ -116,6 +130,14 @@ impl std::fmt::Display for QuratorError {
             QuratorError::Validation(m) => write!(f, "quality-view validation error: {m}"),
             QuratorError::Compile(m) => write!(f, "quality-view compilation error: {m}"),
             QuratorError::Execution(m) => write!(f, "quality-view execution error: {m}"),
+            QuratorError::Diagnostics(diags) => {
+                let errors: Vec<&str> = diags
+                    .iter()
+                    .filter(|d| d.severity == qurator_qvlint::Severity::Error)
+                    .map(|d| d.message.as_str())
+                    .collect();
+                write!(f, "quality-view validation error: {}", errors.join("; "))
+            }
         }
     }
 }

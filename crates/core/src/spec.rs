@@ -271,4 +271,38 @@ mod tests {
         });
         assert_eq!(spec.referenced_evidence(), vec!["q:X"]);
     }
+
+    /// The enrichment planner and the lint passes both key off these
+    /// lists, so dedup must preserve first-occurrence order exactly —
+    /// a set-based implementation would silently reorder repositories
+    /// and change which one becomes the view default.
+    #[test]
+    fn referenced_lists_are_deduped_in_first_occurrence_order() {
+        let mut spec = QualityViewSpec::new("t");
+        for (repo, evidence) in
+            [("beta", "q:X"), ("alpha", "q:Y"), ("beta", "q:X"), ("gamma", "q:Y")]
+        {
+            spec.annotators.push(AnnotatorDecl {
+                service_name: "a".into(),
+                service_type: "q:A".into(),
+                repository_ref: repo.into(),
+                persistent: false,
+                variables: vec![VarDecl::evidence(evidence)],
+            });
+        }
+        spec.assertions.push(AssertionDecl {
+            service_name: "qa".into(),
+            service_type: "q:QA".into(),
+            tag_name: "t".into(),
+            tag_kind: TagKind::Score,
+            tag_sem_type: None,
+            repository_ref: "alpha".into(),
+            variables: vec![VarDecl::evidence("q:Z"), VarDecl::named("s", "tag:t")],
+        });
+        assert_eq!(spec.referenced_repositories(), vec!["beta", "alpha", "gamma"]);
+        assert_eq!(spec.referenced_evidence(), vec!["q:X", "q:Y", "q:Z"]);
+        // determinism: repeated calls agree
+        assert_eq!(spec.referenced_repositories(), spec.referenced_repositories());
+        assert_eq!(spec.referenced_evidence(), spec.referenced_evidence());
+    }
 }

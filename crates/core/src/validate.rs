@@ -8,11 +8,9 @@
 
 use crate::spec::*;
 use crate::{QuratorError, Result};
-use qurator_expr::{check, ExprType, TypeEnv};
 use qurator_ontology::IqModel;
 use qurator_rdf::term::Iri;
 use qurator_services::ServiceRegistry;
-use std::collections::BTreeMap;
 
 /// The resolved, validated form of a view (what the compiler consumes).
 #[derive(Debug, Clone)]
@@ -37,262 +35,21 @@ pub enum BindingTarget {
 }
 
 /// Validates a spec. On success, returns the resolved view.
+///
+/// This is a thin adapter over the collect-all analyzer in
+/// [`crate::lint`]: it succeeds exactly when no pass reports an error,
+/// and on failure the returned [`QuratorError::Diagnostics`] carries the
+/// *complete* finding list — every fault in the spec, not just the first.
 pub fn validate(
     spec: &QualityViewSpec,
     iq: &IqModel,
     registry: &ServiceRegistry,
 ) -> Result<ValidatedView> {
-    let err = |m: String| QuratorError::Validation(m);
-
-    if spec.name.trim().is_empty() {
-        return Err(err("quality view has an empty name".into()));
+    let report = crate::lint::analyze(spec, iq, registry, None);
+    match report.resolved {
+        Some(view) => Ok(view),
+        None => Err(QuratorError::Diagnostics(report.diagnostics)),
     }
-    if spec.actions.is_empty() {
-        return Err(err(format!(
-            "view {:?} declares no actions — it would have no observable effect",
-            spec.name
-        )));
-    }
-
-    // ---- repositories: consistent persistence flags
-    let mut persistence: BTreeMap<&str, bool> = BTreeMap::new();
-    for a in &spec.annotators {
-        if let Some(previous) = persistence.insert(&a.repository_ref, a.persistent) {
-            if previous != a.persistent {
-                return Err(err(format!(
-                    "repository {:?} declared both persistent and non-persistent",
-                    a.repository_ref
-                )));
-            }
-        }
-    }
-
-    // ---- annotators
-    let mut annotator_types = Vec::with_capacity(spec.annotators.len());
-    let mut provided_evidence: Vec<Iri> = Vec::new();
-    // evidence type -> repository its annotator writes to (used to route
-    // condition-only evidence to the right store)
-    let mut provider_repo: BTreeMap<Iri, String> = BTreeMap::new();
-    for a in &spec.annotators {
-        let service_type = iq.resolve(&a.service_type).map_err(|e| err(e.to_string()))?;
-        if !iq.is_annotation_function(&service_type) {
-            return Err(err(format!(
-                "annotator {:?}: <{service_type}> is not an AnnotationFunction class",
-                a.service_name
-            )));
-        }
-        let service = registry.annotator(&service_type).map_err(|e| err(e.to_string()))?;
-        let provides = service.provides();
-        for v in &a.variables {
-            if v.tag_reference().is_some() {
-                return Err(err(format!(
-                    "annotator {:?} cannot declare tag references",
-                    a.service_name
-                )));
-            }
-            let evidence = iq.resolve(&v.evidence).map_err(|e| err(e.to_string()))?;
-            if !iq.is_evidence_type(&evidence) {
-                return Err(err(format!(
-                    "annotator {:?}: <{evidence}> is not a QualityEvidence class",
-                    a.service_name
-                )));
-            }
-            if !provides.contains(&evidence) {
-                return Err(err(format!(
-                    "annotator {:?}: bound service does not provide <{evidence}>",
-                    a.service_name
-                )));
-            }
-            provider_repo.insert(evidence.clone(), a.repository_ref.clone());
-            provided_evidence.push(evidence);
-        }
-        annotator_types.push(service_type);
-    }
-
-    // ---- assertions
-    let mut assertion_types = Vec::with_capacity(spec.assertions.len());
-    let mut assertion_bindings = Vec::with_capacity(spec.assertions.len());
-    let mut enrichment_plan: Vec<(Iri, String)> = Vec::new();
-    let mut known_tags: Vec<&str> = Vec::new();
-    let mut type_env = TypeEnv::new().strict();
-
-    for qa in &spec.assertions {
-        let service_type = iq.resolve(&qa.service_type).map_err(|e| err(e.to_string()))?;
-        if !iq.is_assertion_type(&service_type) {
-            return Err(err(format!(
-                "assertion {:?}: <{service_type}> is not a QualityAssertion class",
-                qa.service_name
-            )));
-        }
-        let service = registry.assertion(&service_type).map_err(|e| err(e.to_string()))?;
-
-        if known_tags.contains(&qa.tag_name.as_str()) {
-            return Err(err(format!("duplicate tag name {:?}", qa.tag_name)));
-        }
-
-        // classification metadata
-        if qa.tag_kind == TagKind::Class {
-            let sem = qa.tag_sem_type.as_deref().ok_or_else(|| {
-                err(format!(
-                    "assertion {:?} produces a class but declares no tagSemType",
-                    qa.service_name
-                ))
-            })?;
-            let model = iq.resolve(sem).map_err(|e| err(e.to_string()))?;
-            if iq.classification_labels(&model).is_empty() {
-                return Err(err(format!(
-                    "assertion {:?}: <{model}> is not a ClassificationModel with labels",
-                    qa.service_name
-                )));
-            }
-        }
-
-        // variable bindings
-        let mut bindings: Vec<(String, BindingTarget)> = Vec::new();
-        for v in &qa.variables {
-            let variable = v.effective_name().to_string();
-            if let Some(tag) = v.tag_reference() {
-                if !known_tags.contains(&tag) {
-                    return Err(err(format!(
-                        "assertion {:?}: variable {variable:?} references tag {tag:?}, \
-                         which no earlier assertion produces",
-                        qa.service_name
-                    )));
-                }
-                bindings.push((variable, BindingTarget::Tag(tag.to_string())));
-            } else {
-                let evidence = iq.resolve(&v.evidence).map_err(|e| err(e.to_string()))?;
-                if !iq.is_evidence_type(&evidence) {
-                    return Err(err(format!(
-                        "assertion {:?}: <{evidence}> is not a QualityEvidence class",
-                        qa.service_name
-                    )));
-                }
-                if !enrichment_plan.iter().any(|(e, r)| *e == evidence && *r == qa.repository_ref) {
-                    enrichment_plan.push((evidence.clone(), qa.repository_ref.clone()));
-                }
-                bindings.push((variable, BindingTarget::Evidence(evidence)));
-            }
-        }
-
-        // every variable the service expects must be bound
-        let bound: Vec<&str> = bindings.iter().map(|(v, _)| v.as_str()).collect();
-        for expected in service.expected_variables() {
-            if !bound.contains(&expected.as_str()) {
-                return Err(err(format!(
-                    "assertion {:?}: service expects variable {expected:?}, not bound \
-                     (bound: {bound:?})",
-                    qa.service_name
-                )));
-            }
-        }
-
-        // condition-language type of the produced tag
-        type_env.declare(
-            qa.tag_name.clone(),
-            match qa.tag_kind {
-                TagKind::Score => ExprType::Number,
-                TagKind::Class => ExprType::Symbol,
-            },
-        );
-        known_tags.push(&qa.tag_name);
-        assertion_types.push(service_type);
-        assertion_bindings.push(bindings);
-    }
-
-    // Every registered evidence type is visible to conditions under its
-    // local name (the paper's filters mix tags with raw evidence:
-    // "select the high and mid IDs for which the Mass Coverage is also
-    // greater than X"). Evidence referenced *only* by a condition is added
-    // to the enrichment plan against the view's default repository.
-    let evidence_root = qurator_ontology::iq::vocab::quality_evidence();
-    let mut evidence_locals: BTreeMap<String, Iri> = BTreeMap::new();
-    for class in iq.ontology().subclasses_of(&evidence_root) {
-        if class != evidence_root {
-            type_env.declare(class.local_name().to_string(), ExprType::Unknown);
-            evidence_locals.insert(class.local_name().to_string(), class);
-        }
-    }
-    let default_repository = spec
-        .referenced_repositories()
-        .first()
-        .map(|r| r.to_string())
-        .unwrap_or_else(|| "cache".to_string());
-
-    // ---- actions
-    let mut action_names: Vec<&str> = Vec::new();
-    for action in &spec.actions {
-        if action_names.contains(&action.name.as_str()) {
-            return Err(err(format!("duplicate action name {:?}", action.name)));
-        }
-        action_names.push(&action.name);
-        let conditions: Vec<&str> = match &action.kind {
-            ActionKind::Filter { condition } => vec![condition.as_str()],
-            ActionKind::Split { groups } => {
-                let mut group_names: Vec<&str> = Vec::new();
-                for (group, _) in groups {
-                    if group == "default" {
-                        return Err(err(format!(
-                            "action {:?}: group name \"default\" is reserved for the \
-                             implicit k+1-th output (§4.1)",
-                            action.name
-                        )));
-                    }
-                    if group_names.contains(&group.as_str()) {
-                        return Err(err(format!(
-                            "action {:?}: duplicate group {group:?}",
-                            action.name
-                        )));
-                    }
-                    group_names.push(group);
-                }
-                groups.iter().map(|(_, c)| c.as_str()).collect()
-            }
-        };
-        for condition in conditions {
-            let expr = qurator_expr::parse(condition)
-                .map_err(|e| err(format!("action {:?}: {e} (in {condition:?})", action.name)))?;
-            check(&expr, &type_env)
-                .map_err(|e| err(format!("action {:?}: {e} (in {condition:?})", action.name)))?;
-            // condition-only evidence joins the enrichment plan
-            for variable in expr.variables() {
-                if known_tags.contains(&variable.as_str()) {
-                    continue;
-                }
-                if let Some(evidence) = evidence_locals.get(&variable) {
-                    if !enrichment_plan.iter().any(|(e, _)| e == evidence) {
-                        // fetch from the repository whose annotator provides
-                        // this evidence; fall back to the view's default
-                        let repo = provider_repo
-                            .get(evidence)
-                            .cloned()
-                            .unwrap_or_else(|| default_repository.clone());
-                        enrichment_plan.push((evidence.clone(), repo));
-                    }
-                }
-            }
-        }
-    }
-
-    // evidence consumed but not provided by any annotator: allowed (it may
-    // pre-exist in a persistent repository), but evidence provided and
-    // never consumed deserves an error — the annotator is dead weight.
-    for provided in &provided_evidence {
-        let consumed = enrichment_plan.iter().any(|(e, _)| e == provided);
-        if !consumed {
-            return Err(err(format!(
-                "evidence <{provided}> is provided by an annotator but consumed by no assertion"
-            )));
-        }
-    }
-
-    Ok(ValidatedView {
-        spec: spec.clone(),
-        annotator_types,
-        assertion_types,
-        enrichment_plan,
-        assertion_bindings,
-    })
 }
 
 #[cfg(test)]
@@ -436,6 +193,24 @@ mod tests {
             s.actions[0].kind = ActionKind::Filter { condition: "ScoreClass > 3".into() }
         });
         assert!(e.to_string().contains("type error"));
+    }
+
+    #[test]
+    fn reports_every_fault_in_one_pass() {
+        let e = break_spec(|s| {
+            s.annotators[0].variables[0].evidence = "q:UniversalPIScore".into();
+            s.assertions[1].tag_name = "HR_MC".into();
+            s.actions[0].kind = ActionKind::Filter { condition: "ScoreClass > 3".into() };
+        });
+        let codes: Vec<&str> = e.diagnostics().iter().map(|d| d.code).collect();
+        for expected in ["QV006", "QV010", "QV016"] {
+            assert!(codes.contains(&expected), "missing {expected} in {codes:?}");
+        }
+        // the Display form mentions every fault, not just the first
+        let msg = e.to_string();
+        assert!(msg.contains("not a QualityEvidence"), "{msg}");
+        assert!(msg.contains("duplicate tag"), "{msg}");
+        assert!(msg.contains("type error"), "{msg}");
     }
 
     #[test]

@@ -36,6 +36,15 @@ pub fn parse_quality_view(xml: &str) -> Result<QualityViewSpec> {
     element_to_spec(&root)
 }
 
+/// Parses a QV document and also returns the DOM root, whose nodes carry
+/// line/column spans — the form `qv check` feeds to the analyzer so
+/// diagnostics point into the source text.
+pub fn parse_quality_view_with_source(xml: &str) -> Result<(QualityViewSpec, Element)> {
+    let root = parse_xml(xml)?;
+    let spec = element_to_spec(&root)?;
+    Ok((spec, root))
+}
+
 /// Converts a parsed root element into a spec.
 pub fn element_to_spec(root: &Element) -> Result<QualityViewSpec> {
     if root.name() != "QualityView" {
@@ -226,7 +235,7 @@ fn var_element(v: &VarDecl) -> Element {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     /// The §5.1 example as one full document.

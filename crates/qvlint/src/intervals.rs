@@ -1,0 +1,431 @@
+//! Interval/set analysis over condition predicates.
+//!
+//! The analyzer decides two questions about `qurator_expr` boolean
+//! expressions, conservatively (it only ever answers when certain):
+//!
+//! * [`definitely_unsat`] — can the condition accept *any* item? A filter
+//!   with an unsatisfiable condition is a dead action (QV022).
+//! * [`implies`] — does condition `a` accept a subset of what `b`
+//!   accepts? Splitter groups are "not necessarily disjoint" (§4.1), but a
+//!   group whose condition is implied by another group's adds no
+//!   discrimination (QV023).
+//!
+//! The abstract domain is per-variable: a numeric interval (open/closed
+//! bounds) for number-valued variables, a positive/negative label set for
+//! symbol-valued ones, and a forced boolean for bare boolean variables.
+//! Expressions are normalized to a disjunction of conjunctions of atomic
+//! constraints with a size cap; anything the normalizer does not
+//! understand (variable-variable comparisons, arithmetic over variables)
+//! becomes an opaque atom that blocks *unsat* claims for its conjunct but
+//! never blocks *sat* claims by other conjuncts.
+
+use qurator_expr::{BinaryOp, Expr, UnaryOp, Value};
+use std::collections::BTreeSet;
+
+/// Upper bound on the number of conjuncts produced by DNF expansion.
+/// Conditions in quality views are tiny (the paper's largest has three
+/// atoms); anything past the cap returns "unknown" rather than blowing up.
+const MAX_CONJUNCTS: usize = 128;
+
+/// One atomic constraint in negation normal form.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `var <op> k` with a numeric constant (op already oriented so the
+    /// variable is on the left).
+    Num { var: String, op: BinaryOp, k: f64 },
+    /// `var in {labels}` (`pos`) or `var not in {labels}` (`!pos`); labels
+    /// are normalized to their local names (`q:high` ≡ `high`, matching
+    /// the evaluator's symbol equality).
+    Sym { var: String, labels: BTreeSet<String>, pos: bool },
+    /// A bare boolean variable forced to `value`.
+    Bool { var: String, value: bool },
+    /// Constant truth value.
+    Const(bool),
+    /// Something the analysis does not model.
+    Opaque,
+}
+
+fn local(label: &str) -> String {
+    label.rsplit(':').next().unwrap_or(label).to_string()
+}
+
+fn as_symbolish(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Const(Value::Symbol(s)) | Expr::Const(Value::Str(s)) => Some(local(s)),
+        _ => None,
+    }
+}
+
+fn as_number(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Const(Value::Num(n)) => Some(*n),
+        Expr::Unary(UnaryOp::Neg, inner) => as_number(inner).map(|n| -n),
+        _ => None,
+    }
+}
+
+fn flip(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::Le => BinaryOp::Ge,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::Ge => BinaryOp::Le,
+        other => other,
+    }
+}
+
+fn negate_cmp(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Ge,
+        BinaryOp::Le => BinaryOp::Gt,
+        BinaryOp::Gt => BinaryOp::Le,
+        BinaryOp::Ge => BinaryOp::Lt,
+        BinaryOp::Eq => BinaryOp::Ne,
+        BinaryOp::Ne => BinaryOp::Eq,
+        other => other,
+    }
+}
+
+/// Converts a comparison with one variable side and one constant side into
+/// an atom, or `Atom::Opaque` when it is not of that shape.
+fn comparison_atom(op: BinaryOp, lhs: &Expr, rhs: &Expr, negated: bool) -> Atom {
+    let (var, op, other) = match (lhs, rhs) {
+        (Expr::Var(v), _) => (v.clone(), op, rhs),
+        (_, Expr::Var(v)) => (v.clone(), flip(op), lhs),
+        _ => return Atom::Opaque,
+    };
+    let op = if negated { negate_cmp(op) } else { op };
+    if let Some(k) = as_number(other) {
+        return Atom::Num { var, op, k };
+    }
+    if let Some(label) = as_symbolish(other) {
+        let labels = BTreeSet::from([label]);
+        return match op {
+            BinaryOp::Eq => Atom::Sym { var, labels, pos: true },
+            BinaryOp::Ne => Atom::Sym { var, labels, pos: false },
+            _ => Atom::Opaque,
+        };
+    }
+    Atom::Opaque
+}
+
+/// DNF expansion: `Some(conjuncts)` where each conjunct is a list of
+/// atoms, or `None` when the expression exceeds [`MAX_CONJUNCTS`].
+fn dnf(expr: &Expr, negated: bool) -> Option<Vec<Vec<Atom>>> {
+    let atom = |a: Atom| Some(vec![vec![a]]);
+    match expr {
+        Expr::Const(Value::Bool(b)) => atom(Atom::Const(*b != negated)),
+        Expr::Const(_) => atom(Atom::Opaque),
+        Expr::Var(v) => atom(Atom::Bool { var: v.clone(), value: !negated }),
+        Expr::Unary(UnaryOp::Not, inner) => dnf(inner, !negated),
+        Expr::Unary(UnaryOp::Neg, _) => atom(Atom::Opaque),
+        Expr::Binary(BinaryOp::And, a, b) if !negated => conjoin(dnf(a, false)?, dnf(b, false)?),
+        Expr::Binary(BinaryOp::Or, a, b) if !negated => disjoin(dnf(a, false)?, dnf(b, false)?),
+        // De Morgan under negation
+        Expr::Binary(BinaryOp::And, a, b) => disjoin(dnf(a, true)?, dnf(b, true)?),
+        Expr::Binary(BinaryOp::Or, a, b) => conjoin(dnf(a, true)?, dnf(b, true)?),
+        Expr::Binary(op, a, b) => match op {
+            BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
+            | BinaryOp::Ge
+            | BinaryOp::Eq
+            | BinaryOp::Ne => atom(comparison_atom(*op, a, b, negated)),
+            _ => atom(Atom::Opaque),
+        },
+        Expr::In(lhs, items) => {
+            let Expr::Var(var) = lhs.as_ref() else {
+                return atom(Atom::Opaque);
+            };
+            let mut labels = BTreeSet::new();
+            for item in items {
+                match as_symbolish(item) {
+                    Some(l) => {
+                        labels.insert(l);
+                    }
+                    // numeric membership sets exist (`x in 1, 2`); model
+                    // them opaquely rather than as symbol sets
+                    None => return atom(Atom::Opaque),
+                }
+            }
+            atom(Atom::Sym { var: var.clone(), labels, pos: !negated })
+        }
+    }
+}
+
+fn conjoin(a: Vec<Vec<Atom>>, b: Vec<Vec<Atom>>) -> Option<Vec<Vec<Atom>>> {
+    if a.len().saturating_mul(b.len()) > MAX_CONJUNCTS {
+        return None;
+    }
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for ca in &a {
+        for cb in &b {
+            let mut c = ca.clone();
+            c.extend(cb.iter().cloned());
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+fn disjoin(mut a: Vec<Vec<Atom>>, mut b: Vec<Vec<Atom>>) -> Option<Vec<Vec<Atom>>> {
+    if a.len() + b.len() > MAX_CONJUNCTS {
+        return None;
+    }
+    a.append(&mut b);
+    Some(a)
+}
+
+/// A per-variable numeric interval with open/closed endpoints.
+#[derive(Debug, Clone)]
+struct Interval {
+    lo: f64,
+    lo_closed: bool,
+    hi: f64,
+    hi_closed: bool,
+    /// Excluded points (`!=` constraints); only degenerate intervals can
+    /// be emptied by them.
+    excluded: Vec<f64>,
+}
+
+impl Interval {
+    fn full() -> Self {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            lo_closed: false,
+            hi: f64::INFINITY,
+            hi_closed: false,
+            excluded: Vec::new(),
+        }
+    }
+
+    fn constrain(&mut self, op: BinaryOp, k: f64) {
+        match op {
+            BinaryOp::Lt => self.upper(k, false),
+            BinaryOp::Le => self.upper(k, true),
+            BinaryOp::Gt => self.lower(k, false),
+            BinaryOp::Ge => self.lower(k, true),
+            BinaryOp::Eq => {
+                self.lower(k, true);
+                self.upper(k, true);
+            }
+            BinaryOp::Ne => self.excluded.push(k),
+            _ => {}
+        }
+    }
+
+    fn lower(&mut self, k: f64, closed: bool) {
+        if k > self.lo || (k == self.lo && self.lo_closed && !closed) {
+            self.lo = k;
+            self.lo_closed = closed;
+        }
+    }
+
+    fn upper(&mut self, k: f64, closed: bool) {
+        if k < self.hi || (k == self.hi && self.hi_closed && !closed) {
+            self.hi = k;
+            self.hi_closed = closed;
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        if self.lo > self.hi {
+            return true;
+        }
+        if self.lo == self.hi {
+            if !(self.lo_closed && self.hi_closed) {
+                return true;
+            }
+            // the single remaining point may be excluded by a `!=`
+            return self.excluded.contains(&self.lo);
+        }
+        false
+    }
+}
+
+/// Symbol-set state: an optional positive set (None = unconstrained) and
+/// an excluded set.
+#[derive(Debug, Clone, Default)]
+struct SymState {
+    allowed: Option<BTreeSet<String>>,
+    excluded: BTreeSet<String>,
+}
+
+impl SymState {
+    fn allow(&mut self, labels: &BTreeSet<String>) {
+        self.allowed = Some(match self.allowed.take() {
+            None => labels.clone(),
+            Some(prev) => prev.intersection(labels).cloned().collect(),
+        });
+    }
+
+    fn exclude(&mut self, labels: &BTreeSet<String>) {
+        self.excluded.extend(labels.iter().cloned());
+    }
+
+    fn is_empty(&self) -> bool {
+        match &self.allowed {
+            Some(set) => set.iter().all(|l| self.excluded.contains(l)),
+            None => false,
+        }
+    }
+}
+
+/// Satisfiability verdict for one conjunct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    Sat,
+    Unsat,
+    Unknown,
+}
+
+fn conjunct_verdict(atoms: &[Atom]) -> Verdict {
+    use std::collections::BTreeMap;
+    let mut nums: BTreeMap<&str, Interval> = BTreeMap::new();
+    let mut syms: BTreeMap<&str, SymState> = BTreeMap::new();
+    let mut bools: BTreeMap<&str, bool> = BTreeMap::new();
+    let mut opaque = false;
+    for atom in atoms {
+        match atom {
+            Atom::Const(false) => return Verdict::Unsat,
+            Atom::Const(true) => {}
+            Atom::Opaque => opaque = true,
+            Atom::Num { var, op, k } => {
+                nums.entry(var).or_insert_with(Interval::full).constrain(*op, *k);
+            }
+            Atom::Sym { var, labels, pos } => {
+                let state = syms.entry(var).or_default();
+                if *pos {
+                    state.allow(labels);
+                } else {
+                    state.exclude(labels);
+                }
+            }
+            Atom::Bool { var, value } => {
+                if let Some(previous) = bools.insert(var, *value) {
+                    if previous != *value {
+                        return Verdict::Unsat;
+                    }
+                }
+            }
+        }
+    }
+    // a variable constrained both numerically and symbolically can satisfy
+    // at most one family; the type checker flags that separately, treat as
+    // unknown here
+    for var in nums.keys() {
+        if syms.contains_key(var) || bools.contains_key(var) {
+            opaque = true;
+        }
+    }
+    if nums.values().any(Interval::is_empty) || syms.values().any(SymState::is_empty) {
+        return Verdict::Unsat;
+    }
+    if opaque {
+        Verdict::Unknown
+    } else {
+        Verdict::Sat
+    }
+}
+
+/// True when the analyzer can *prove* no assignment satisfies the
+/// condition. `false` means satisfiable or unknown.
+pub fn definitely_unsat(expr: &Expr) -> bool {
+    match dnf(expr, false) {
+        Some(conjuncts) => conjuncts.iter().all(|c| conjunct_verdict(c) == Verdict::Unsat),
+        None => false,
+    }
+}
+
+/// True when the analyzer can *prove* `a → b`: every item accepted by `a`
+/// is accepted by `b`. Checked as unsatisfiability of `a ∧ ¬b`, and only
+/// claimed when the whole formula was understood (no opaque atoms in
+/// surviving conjuncts).
+pub fn implies(a: &Expr, b: &Expr) -> bool {
+    match dnf(a, false).and_then(|da| conjoin(da, dnf(b, true)?)) {
+        Some(conjuncts) => conjuncts.iter().all(|c| conjunct_verdict(c) == Verdict::Unsat),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qurator_expr::parse;
+
+    fn unsat(src: &str) -> bool {
+        definitely_unsat(&parse(src).unwrap())
+    }
+
+    fn imp(a: &str, b: &str) -> bool {
+        implies(&parse(a).unwrap(), &parse(b).unwrap())
+    }
+
+    #[test]
+    fn contradictory_numeric_bounds() {
+        assert!(unsat("x > 5 and x < 3"));
+        assert!(unsat("x > 5 and x <= 5"));
+        assert!(unsat("x = 2 and x = 3"));
+        assert!(unsat("x = 2 and x != 2"));
+        assert!(!unsat("x > 3 and x < 5"));
+        assert!(!unsat("x >= 5 and x <= 5"));
+    }
+
+    #[test]
+    fn disjunction_needs_all_branches_dead() {
+        assert!(unsat("(x > 5 and x < 3) or (x = 1 and x = 2)"));
+        assert!(!unsat("(x > 5 and x < 3) or x = 1"));
+    }
+
+    #[test]
+    fn symbol_set_conflicts() {
+        assert!(unsat("c in q:high and c in q:low"));
+        assert!(unsat("c in q:high, q:mid and c in q:low"));
+        assert!(unsat("c = q:high and c != q:high"));
+        assert!(!unsat("c in q:high, q:mid and c != q:high"));
+        // prefix vs local-name spellings are the same label at runtime
+        assert!(unsat("c in q:high and c in 'low'"));
+        assert!(!unsat("c in q:high and c in 'high'"));
+    }
+
+    #[test]
+    fn negation_is_pushed_through() {
+        assert!(unsat("not (x < 10) and x < 5"));
+        // `c in q:high or c != q:high` is a tautology, so its negation is dead
+        assert!(unsat("not (c in q:high or c != q:high)"));
+        assert!(unsat("not (x > 1 or x <= 1)"));
+    }
+
+    #[test]
+    fn boolean_variables() {
+        assert!(unsat("b and not b"));
+        assert!(!unsat("b or not b"));
+    }
+
+    #[test]
+    fn opaque_forms_never_claim_unsat() {
+        assert!(!unsat("x > y and x < y"), "variable-variable comparison is opaque");
+        assert!(!unsat("x + 1 > 5 and x + 1 < 3"), "arithmetic over variables is opaque");
+    }
+
+    #[test]
+    fn implication_between_groups() {
+        assert!(imp("x > 10", "x > 5"));
+        assert!(imp("c in q:high", "c in q:high, q:mid"));
+        assert!(imp("x > 10 and c in q:high", "x > 5"));
+        assert!(!imp("x > 5", "x > 10"));
+        assert!(!imp("c in q:high, q:mid", "c in q:high"));
+        // equivalent conditions imply each other
+        assert!(imp("x >= 3", "not (x < 3)") && imp("not (x < 3)", "x >= 3"));
+    }
+
+    #[test]
+    fn implication_refuses_opaque_formulas() {
+        assert!(!imp("x > y", "x > y"), "opaque: never claimed even when trivially true");
+    }
+
+    #[test]
+    fn paper_condition_is_satisfiable() {
+        assert!(!unsat("ScoreClass in q:high, q:mid and HR_MC > 20"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Analysis of SPARQL query text.
+//!
+//! Enrichment queries (§5) are authored by hand when views bypass the
+//! generated `(data item, evidence type)` lookup, and a typo'd variable
+//! silently projects nothing — the classic SPARQL failure mode. This pass
+//! parses the query with `qurator_rdf::sparql` and reports syntax errors
+//! (SQ001), projected variables the pattern never binds (SQ002),
+//! cartesian-product joins between disconnected pattern components
+//! (SQ003), and unknown namespace prefixes (SQ004).
+
+use crate::{Diagnostic, Span};
+use qurator_rdf::sparql::ast::{GroupPattern, Query, SelectProjection};
+use qurator_rdf::{sparql, RdfError};
+
+/// Runs all SPARQL passes over one query text.
+pub fn analyze_sparql(source: &str) -> Vec<Diagnostic> {
+    let query = match sparql::parse(source) {
+        Ok(q) => q,
+        Err(RdfError::SparqlSyntax { pos, message }) => {
+            // The parser folds prefix-resolution failures into its syntax
+            // error; give them their own code so CI can tell them apart.
+            if let Some(prefix) = message
+                .strip_prefix("unknown namespace prefix ")
+                .map(|p| p.trim_matches('"').to_string())
+            {
+                let span =
+                    find_span(source, &format!("{prefix}:")).or(Some(offset_to_span(source, pos)));
+                return vec![Diagnostic::error(
+                    "SQ004",
+                    format!("unknown namespace prefix {prefix:?}"),
+                )
+                .at(span)
+                .help(format!("add `PREFIX {prefix}: <…>` before the query body"))];
+            }
+            return vec![Diagnostic::error("SQ001", format!("sparql syntax error: {message}"))
+                .at(Some(offset_to_span(source, pos)))];
+        }
+        Err(RdfError::UnknownPrefix(prefix)) => {
+            let span = find_span(source, &format!("{prefix}:"));
+            return vec![Diagnostic::error(
+                "SQ004",
+                format!("unknown namespace prefix {prefix:?}"),
+            )
+            .at(span)
+            .help(format!("add `PREFIX {prefix}: <…>` before the query body"))];
+        }
+        Err(e) => {
+            return vec![Diagnostic::error("SQ001", format!("sparql error: {e}"))];
+        }
+    };
+
+    let mut diags = Vec::new();
+    let pattern = match &query {
+        Query::Select { projection, pattern, .. } => {
+            // SQ002 — a projected variable the pattern never binds is
+            // always unbound in every row.
+            if let SelectProjection::Vars(vars) = projection {
+                let bound = pattern.variables();
+                for var in vars {
+                    if !bound.iter().any(|b| b == var) {
+                        diags.push(
+                            Diagnostic::error(
+                                "SQ002",
+                                format!(
+                                    "projected variable ?{var} is not bound by the query pattern"
+                                ),
+                            )
+                            .at(find_span(source, &format!("?{var}")))
+                            .help("bind the variable in a triple pattern, or drop it from SELECT"),
+                        );
+                    }
+                }
+            }
+            pattern
+        }
+        Query::Ask { pattern } => pattern,
+    };
+
+    // SQ003 — disconnected components in the top-level BGP multiply row
+    // counts (every solution of one component joins every solution of the
+    // others). Variables shared only through OPTIONAL or FILTER do not
+    // connect components for the join engine's purposes, so only the
+    // top-level triples count.
+    let components = bgp_components(pattern);
+    if pattern.triples.len() >= 2 && components > 1 {
+        diags.push(
+            Diagnostic::warning(
+                "SQ003",
+                format!(
+                    "query pattern forms a cartesian product: \
+                     {} triple patterns fall into {components} unconnected groups",
+                    pattern.triples.len()
+                ),
+            )
+            .help("share a variable between the groups, or split the query"),
+        );
+    }
+
+    diags
+}
+
+/// Number of connected components among the group's triples, where two
+/// triples connect when they mention a common variable.
+fn bgp_components(pattern: &GroupPattern) -> usize {
+    let n = pattern.triples.len();
+    let mut component: Vec<usize> = (0..n).collect();
+    fn root(component: &mut [usize], mut i: usize) -> usize {
+        while component[i] != i {
+            component[i] = component[component[i]];
+            i = component[i];
+        }
+        i
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let shares = pattern.triples[i]
+                .variables()
+                .any(|v| pattern.triples[j].variables().any(|w| w == v));
+            if shares {
+                let (a, b) = (root(&mut component, i), root(&mut component, j));
+                component[a] = b;
+            }
+        }
+    }
+    (0..n).filter(|&i| root(&mut component, i) == i).count()
+}
+
+/// Converts a byte offset (as reported by the parser) to a 1-based span.
+fn offset_to_span(source: &str, pos: usize) -> Span {
+    let clamped = pos.min(source.len());
+    let before = &source[..clamped];
+    let line = before.bytes().filter(|&b| b == b'\n').count() as u32 + 1;
+    let col = (clamped - before.rfind('\n').map(|i| i + 1).unwrap_or(0)) as u32 + 1;
+    Span::new(line, col)
+}
+
+/// Locates the first occurrence of `needle` in the source text.
+fn find_span(source: &str, needle: &str) -> Option<Span> {
+    source.find(needle).map(|pos| offset_to_span(source, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_query_has_no_findings() {
+        let diags = analyze_sparql(
+            "PREFIX q: <http://qurator.org/iq#>\n\
+             SELECT ?s ?v WHERE { ?s q:contains-evidence ?e . ?e q:value ?v . }",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn syntax_error_with_position() {
+        let diags = analyze_sparql("SELECT ?x\nWHERE { ?x }");
+        assert_eq!(codes(&diags), vec!["SQ001"]);
+        assert_eq!(diags[0].span.unwrap().line, 2, "error is on the WHERE line");
+    }
+
+    #[test]
+    fn unknown_prefix_is_located() {
+        let diags = analyze_sparql("PREFIX q: <http://x#>\nSELECT ?x WHERE { ?x nope:p ?y . }");
+        assert_eq!(codes(&diags), vec!["SQ004"]);
+        assert!(diags[0].message.contains("nope"));
+        let span = diags[0].span.unwrap();
+        assert_eq!((span.line, span.col), (2, 22));
+    }
+
+    #[test]
+    fn unbound_projection_is_an_error() {
+        let diags = analyze_sparql("PREFIX q: <http://x#>\nSELECT ?s ?typo WHERE { ?s q:p ?v . }");
+        assert_eq!(codes(&diags), vec!["SQ002"]);
+        assert!(diags[0].message.contains("?typo"));
+        let span = diags[0].span.unwrap();
+        assert_eq!((span.line, span.col), (2, 11));
+    }
+
+    #[test]
+    fn variable_bound_only_in_optional_counts_as_bound() {
+        let diags = analyze_sparql(
+            "PREFIX q: <http://x#>\n\
+             SELECT ?s ?l WHERE { ?s q:p ?v . OPTIONAL { ?s q:label ?l . } }",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn cartesian_product_is_flagged() {
+        let diags =
+            analyze_sparql("PREFIX q: <http://x#>\nSELECT ?a ?b WHERE { ?a q:p ?x . ?b q:p ?y . }");
+        assert_eq!(codes(&diags), vec!["SQ003"]);
+        assert!(diags[0].message.contains("2 unconnected groups"));
+    }
+
+    #[test]
+    fn connected_patterns_are_not_a_product() {
+        let diags = analyze_sparql(
+            "PREFIX q: <http://x#>\n\
+             SELECT ?a ?y WHERE { ?a q:p ?x . ?x q:r ?y . ?y q:s ?z . }",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn ask_queries_are_checked_too() {
+        let diags = analyze_sparql("PREFIX q: <http://x#>\nASK { ?a q:p ?x . ?b q:q ?y . }");
+        assert_eq!(codes(&diags), vec!["SQ003"]);
+    }
+
+    #[test]
+    fn offset_mapping() {
+        let src = "abc\ndef\nxyz";
+        assert_eq!(offset_to_span(src, 0), Span::new(1, 1));
+        assert_eq!(offset_to_span(src, 4), Span::new(2, 1));
+        assert_eq!(offset_to_span(src, 6), Span::new(2, 3));
+        assert_eq!(offset_to_span(src, 99), Span::new(3, 4), "clamped to the end");
+    }
+}

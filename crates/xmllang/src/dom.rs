@@ -1,5 +1,42 @@
 //! The XML DOM: elements with attributes and mixed children.
 
+/// A 1-based (line, column) source position recorded by the parser.
+///
+/// Spans are carried as *metadata*: two elements that differ only in spans
+/// compare equal, so programmatically-built DOMs (no spans) still compare
+/// equal to parsed ones. Static analysis uses spans to point diagnostics
+/// into `.qv` sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in bytes from the line start, which equals the
+    /// character column for ASCII sources).
+    pub col: u32,
+}
+
+impl Span {
+    /// Builds a span.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One attribute: name, value, and the source position of the value.
+#[derive(Debug, Clone, Default)]
+struct Attr {
+    name: String,
+    value: String,
+    /// Position of the first character of the attribute *value*.
+    span: Option<Span>,
+}
+
 /// One DOM node: either a child element or a run of character data.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Node {
@@ -28,18 +65,37 @@ impl Node {
 /// An XML element: name, ordered attributes, ordered children.
 ///
 /// Attribute order is preserved (the QV writer emits canonical documents and
-/// tests compare them textually).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// tests compare them textually). When produced by the parser, elements also
+/// carry [`Span`]s: the position of the start tag, of each attribute value,
+/// and of the first character-data run — equality ignores all spans.
+#[derive(Debug, Clone, Default)]
 pub struct Element {
     name: String,
-    attributes: Vec<(String, String)>,
+    attributes: Vec<Attr>,
     children: Vec<Node>,
+    span: Option<Span>,
+    text_span: Option<Span>,
 }
+
+impl PartialEq for Element {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.children == other.children
+            && self.attributes.len() == other.attributes.len()
+            && self
+                .attributes
+                .iter()
+                .zip(&other.attributes)
+                .all(|(a, b)| a.name == b.name && a.value == b.value)
+    }
+}
+
+impl Eq for Element {}
 
 impl Element {
     /// Creates an element with the given tag name.
     pub fn new(name: impl Into<String>) -> Self {
-        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+        Element { name: name.into(), ..Default::default() }
     }
 
     /// The tag name (including any prefix, verbatim).
@@ -67,18 +123,59 @@ impl Element {
 
     /// Sets (or replaces) an attribute.
     pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.set_attr_spanned(name, value, None);
+    }
+
+    /// Sets an attribute together with the source position of its value
+    /// (used by the parser).
+    pub fn set_attr_spanned(
+        &mut self,
+        name: impl Into<String>,
+        value: impl Into<String>,
+        span: Option<Span>,
+    ) {
         let name = name.into();
         let value = value.into();
-        if let Some(slot) = self.attributes.iter_mut().find(|(n, _)| *n == name) {
-            slot.1 = value;
+        if let Some(slot) = self.attributes.iter_mut().find(|a| a.name == name) {
+            slot.value = value;
+            slot.span = span;
         } else {
-            self.attributes.push((name, value));
+            self.attributes.push(Attr { name, value, span });
         }
     }
 
     /// Looks up an attribute value.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.attributes.iter().find(|a| a.name == name).map(|a| a.value.as_str())
+    }
+
+    /// The source position of an attribute's value, when parsed.
+    pub fn attr_span(&self, name: &str) -> Option<Span> {
+        self.attributes.iter().find(|a| a.name == name).and_then(|a| a.span)
+    }
+
+    /// The source position of the element's start tag (`<`), when parsed.
+    pub fn span(&self) -> Option<Span> {
+        self.span
+    }
+
+    /// Records the element's start-tag position (used by the parser).
+    pub fn set_span(&mut self, span: Span) {
+        self.span = Some(span);
+    }
+
+    /// The source position of the first non-whitespace character of the
+    /// element's character data, when parsed. This is where embedded
+    /// condition expressions begin.
+    pub fn text_span(&self) -> Option<Span> {
+        self.text_span
+    }
+
+    /// Records the character-data position (used by the parser).
+    pub fn set_text_span(&mut self, span: Span) {
+        if self.text_span.is_none() {
+            self.text_span = Some(span);
+        }
     }
 
     /// An attribute that must be present (useful in deserializers).
@@ -89,7 +186,7 @@ impl Element {
 
     /// All attributes in document order.
     pub fn attributes(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.attributes.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+        self.attributes.iter().map(|a| (a.name.as_str(), a.value.as_str()))
     }
 
     /// Appends a child node.
@@ -221,6 +318,24 @@ mod tests {
         assert!(err.contains("Annotator") && err.contains("serviceName"));
         let err = e.required_child("variables").unwrap_err();
         assert!(err.contains("variables"));
+    }
+
+    #[test]
+    fn spans_are_metadata_not_identity() {
+        let mut a = Element::new("x").with_attr("k", "v");
+        let mut b = Element::new("x");
+        b.set_attr_spanned("k", "v", Some(Span::new(3, 9)));
+        b.set_span(Span::new(3, 1));
+        b.set_text_span(Span::new(3, 12));
+        assert_eq!(a, b, "spans must not affect equality");
+        a.set_span(Span::new(7, 7));
+        assert_eq!(a, b);
+        assert_eq!(b.attr_span("k"), Some(Span::new(3, 9)));
+        assert_eq!(b.span(), Some(Span::new(3, 1)));
+        assert_eq!(b.text_span(), Some(Span::new(3, 12)));
+        // the first recorded text span wins (concatenated runs)
+        b.set_text_span(Span::new(9, 9));
+        assert_eq!(b.text_span(), Some(Span::new(3, 12)));
     }
 
     #[test]

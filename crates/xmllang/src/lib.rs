@@ -27,7 +27,7 @@ mod dom;
 mod parser;
 mod writer;
 
-pub use dom::{Element, Node};
+pub use dom::{Element, Node, Span};
 pub use parser::parse;
 pub use writer::{escape_attr, escape_text, write_document, write_element};
 

@@ -1,6 +1,6 @@
 //! The XML parser: a single-pass recursive-descent parser producing the DOM.
 
-use crate::dom::{Element, Node};
+use crate::dom::{Element, Node, Span};
 use crate::{Result, XmlError};
 
 /// Parses a complete document and returns its root element.
@@ -37,6 +37,11 @@ impl<'a> Parser<'a> {
             col: self.pos.saturating_sub(self.line_start) + 1,
             message: message.into(),
         }
+    }
+
+    /// The current source position as a DOM span.
+    fn span_here(&self) -> Span {
+        Span::new(self.line as u32, (self.pos.saturating_sub(self.line_start) + 1) as u32)
     }
 
     fn peek(&self) -> Option<u8> {
@@ -124,9 +129,11 @@ impl<'a> Parser<'a> {
         if self.peek() != Some(b'<') {
             return Err(self.err("expected '<'"));
         }
+        let start_span = self.span_here();
         self.bump();
         let name = self.parse_name()?;
         let mut element = Element::new(&name);
+        element.set_span(start_span);
 
         // attributes
         loop {
@@ -157,6 +164,7 @@ impl<'a> Parser<'a> {
                         _ => return Err(self.err("expected quoted attribute value")),
                     };
                     self.bump();
+                    let value_span = self.span_here();
                     let mut value = String::new();
                     loop {
                         match self.peek() {
@@ -176,7 +184,7 @@ impl<'a> Parser<'a> {
                     if element.attr(&attr_name).is_some() {
                         return Err(self.err(format!("duplicate attribute {attr_name:?}")));
                     }
-                    element.set_attr(attr_name, value);
+                    element.set_attr_spanned(attr_name, value, Some(value_span));
                 }
                 None => return Err(self.err("unterminated start tag")),
             }
@@ -204,6 +212,7 @@ impl<'a> Parser<'a> {
             }
             if self.starts_with("<![CDATA[") {
                 self.skip_n(9);
+                let cdata_span = self.span_here();
                 let start = self.pos;
                 while self.peek().is_some() && !self.starts_with("]]>") {
                     self.bump();
@@ -211,6 +220,7 @@ impl<'a> Parser<'a> {
                 if self.peek().is_none() {
                     return Err(self.err("unterminated CDATA section"));
                 }
+                element.set_text_span(cdata_span);
                 element.push(Node::Text(self.src[start..self.pos].to_string()));
                 self.skip_n(3);
                 continue;
@@ -226,9 +236,13 @@ impl<'a> Parser<'a> {
                 }
                 Some(_) => {
                     let mut text = String::new();
+                    let mut text_start: Option<Span> = None;
                     while let Some(c) = self.peek() {
                         if c == b'<' {
                             break;
+                        }
+                        if text_start.is_none() && !c.is_ascii_whitespace() {
+                            text_start = Some(self.span_here());
                         }
                         if c == b'&' {
                             text.push_str(&self.parse_entity()?);
@@ -241,6 +255,9 @@ impl<'a> Parser<'a> {
                     // language; trim it so pretty-printed documents round-trip.
                     let trimmed = text.trim();
                     if !trimmed.is_empty() {
+                        if let Some(span) = text_start {
+                            element.set_text_span(span);
+                        }
                         element.push(Node::Text(trimmed.to_string()));
                     }
                 }
@@ -387,6 +404,30 @@ mod tests {
     #[test]
     fn error_unknown_entity() {
         assert!(parse("<a>&nbsp;</a>").is_err());
+    }
+
+    #[test]
+    fn spans_point_into_the_source() {
+        let doc = parse(
+            "<QualityView name=\"pmf\">\n  <action name=\"flt\">\n    <condition>HR_MC &gt; 20</condition>\n  </action>\n</QualityView>",
+        )
+        .unwrap();
+        assert_eq!(doc.span(), Some(Span::new(1, 1)));
+        assert_eq!(doc.attr_span("name"), Some(Span::new(1, 20)));
+        let action = doc.child("action").unwrap();
+        assert_eq!(action.span(), Some(Span::new(2, 3)));
+        assert_eq!(action.attr_span("name"), Some(Span::new(2, 17)));
+        let cond = action.child("condition").unwrap();
+        assert_eq!(cond.span(), Some(Span::new(3, 5)));
+        // the text span points at the first non-whitespace character of the run
+        assert_eq!(cond.text_span(), Some(Span::new(3, 16)));
+    }
+
+    #[test]
+    fn text_span_skips_leading_whitespace() {
+        let doc = parse("<condition>\n    ScoreClass in q:high\n</condition>").unwrap();
+        assert_eq!(doc.text_span(), Some(Span::new(2, 5)));
+        assert_eq!(doc.text(), "ScoreClass in q:high");
     }
 
     #[test]

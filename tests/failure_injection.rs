@@ -51,7 +51,9 @@ fn unknown_evidence_and_services_fail_validation_not_execution() {
     let mut spec = QualityViewSpec::paper_example();
     spec.assertions[0].variables[0] = VarDecl::named("coverage", "q:NotAnEvidenceType");
     let err = engine.execute_view(&spec, &hits(3)).unwrap_err();
-    assert!(matches!(err, qurator::QuratorError::Validation(_)), "{err}");
+    // validation failures now carry the full collect-all diagnostic list
+    assert!(matches!(err, qurator::QuratorError::Diagnostics(_)), "{err}");
+    assert!(err.to_string().contains("not a QualityEvidence"), "{err}");
 }
 
 #[test]

@@ -1,0 +1,141 @@
+//! The lint corpus: one deliberately broken view (or SPARQL query) per
+//! diagnostic code, each annotated with the exact findings it must
+//! produce. The harness runs the full `qv check` analysis (lint +
+//! bindings + compiled workflow for `.qv`; the SQ passes for `.rq`) and
+//! asserts that
+//!
+//! * every `<!-- expect: CODE at LINE:COL -->` header matches a produced
+//!   diagnostic with that code *and* that source position (so span
+//!   plumbing through the XML DOM stays exact), and
+//! * every produced error is covered by some `expect:` header (warnings
+//!   and hints may ride along unannotated).
+//!
+//! A second block checks the collect-all property: the multi-fault
+//! fixture reports all of its seeded faults at once, and the paper's
+//! sample view checks clean.
+
+use qurator::prelude::*;
+use qurator::xmlio::parse_quality_view_with_source;
+use qurator_qvlint::{sparql::analyze_sparql, Diagnostic, Severity};
+use std::path::Path;
+
+/// An `expect:` header: `<!-- expect: QV017 at 4:12 -->` (the position is
+/// optional: `<!-- expect: QV018 -->` asserts only the code).
+#[derive(Debug)]
+struct Expectation {
+    code: String,
+    at: Option<(u32, u32)>,
+}
+
+fn parse_expectations(source: &str) -> Vec<Expectation> {
+    let mut out = Vec::new();
+    for line in source.lines() {
+        let line = line.trim();
+        // XML fixtures use `<!-- expect: … -->`, SPARQL fixtures `# expect: …`
+        let body = if let Some(rest) = line.strip_prefix("<!-- expect:") {
+            rest.strip_suffix("-->").unwrap_or_else(|| panic!("malformed expect header: {line:?}"))
+        } else if let Some(rest) = line.strip_prefix("# expect:") {
+            rest
+        } else {
+            continue;
+        };
+        let body = body.trim();
+        let (code, at) = match body.split_once(" at ") {
+            None => (body.to_string(), None),
+            Some((code, pos)) => {
+                let (line, col) = pos
+                    .trim()
+                    .split_once(':')
+                    .unwrap_or_else(|| panic!("malformed position in {body:?}"));
+                (code.trim().to_string(), Some((line.parse().unwrap(), col.parse().unwrap())))
+            }
+        };
+        out.push(Expectation { code, at });
+    }
+    out
+}
+
+fn check_file(path: &Path) -> Vec<Diagnostic> {
+    let source = std::fs::read_to_string(path).unwrap();
+    if path.extension().is_some_and(|e| e == "rq") {
+        return analyze_sparql(&source);
+    }
+    let (spec, root) = parse_quality_view_with_source(&source)
+        .unwrap_or_else(|e| panic!("{}: parse failed: {e}", path.display()));
+    let engine = QualityEngine::with_proteomics_defaults().unwrap();
+    engine.check(&spec, Some(&root))
+}
+
+fn render(diags: &[Diagnostic]) -> String {
+    diags.iter().map(|d| format!("  {d}\n")).collect()
+}
+
+#[test]
+fn every_corpus_fixture_produces_its_expected_findings() {
+    let corpus = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(&corpus)
+        .unwrap_or_else(|e| panic!("missing corpus dir {}: {e}", corpus.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "qv" || e == "rq"))
+        .collect();
+    entries.sort();
+    assert!(entries.len() >= 12, "corpus too small: {} fixtures", entries.len());
+
+    let mut covered_codes = std::collections::BTreeSet::new();
+    for path in &entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(path).unwrap();
+        let expectations = parse_expectations(&source);
+        assert!(!expectations.is_empty(), "{name}: no expect headers");
+        let diags = check_file(path);
+
+        for e in &expectations {
+            let matched = diags.iter().any(|d| {
+                d.code == e.code
+                    && match e.at {
+                        None => true,
+                        Some((line, col)) => d.span.is_some_and(|s| s.line == line && s.col == col),
+                    }
+            });
+            assert!(
+                matched,
+                "{name}: expected {} at {:?}, produced:\n{}",
+                e.code,
+                e.at,
+                render(&diags)
+            );
+            covered_codes.insert(e.code.clone());
+        }
+        for d in &diags {
+            if d.severity == Severity::Error {
+                assert!(
+                    expectations.iter().any(|e| e.code == d.code),
+                    "{name}: unexpected error {d}\nall findings:\n{}",
+                    render(&diags)
+                );
+            }
+        }
+    }
+    assert!(
+        covered_codes.len() >= 12,
+        "corpus covers only {} distinct codes: {covered_codes:?}",
+        covered_codes.len()
+    );
+}
+
+#[test]
+fn the_multi_fault_fixture_reports_every_fault_at_once() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_corpus/multi_fault.qv");
+    let diags = check_file(&path);
+    let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+    for expected in ["QV006", "QV010", "QV016"] {
+        assert!(codes.contains(&expected), "missing {expected} in {codes:?}");
+    }
+}
+
+#[test]
+fn the_shipped_sample_view_checks_clean() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("samples/paper_view.xml");
+    let diags = check_file(&path);
+    assert!(diags.is_empty(), "sample view must lint clean:\n{}", render(&diags));
+}
