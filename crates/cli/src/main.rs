@@ -6,6 +6,9 @@
 //!             [--format text|json]               diagnostics (lint + bindings +
 //!             [--deny warnings]                  compiled workflow; SPARQL for .rq)
 //! qv compile  <view.xml> [--dot]                 show the compiled workflow (§6.1)
+//! qv plan     <view.xml> [--no-opt]              EXPLAIN: the physical plan both
+//!             [--format text|json]               executors run (passes, waves, nodes)
+//! qv plan-check <plan.json>                      validate an exported plan rendering
 //! qv fmt      <view.xml>                         canonical pretty-print
 //! qv run      <view.xml> --data <hits.tsv>       execute over a TSV data set
 //!             [--group NAME] [--explain]
@@ -51,6 +54,8 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "validate" => cmd_validate(args.get(1).ok_or_else(usage)?),
         "check" => cmd_check(args),
         "compile" => cmd_compile(args.get(1).ok_or_else(usage)?, args.contains(&"--dot".into())),
+        "plan" => cmd_plan(args),
+        "plan-check" => cmd_plan_check(args.get(1).ok_or_else(usage)?),
         "fmt" => cmd_fmt(args.get(1).ok_or_else(usage)?),
         "run" => cmd_run(args),
         "explain" => cmd_explain(args),
@@ -65,7 +70,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  qv validate <view.xml>\n  qv check <view.xml|query.rq> [--format text|json] [--deny warnings]\n  qv compile <view.xml> [--dot]\n  qv fmt <view.xml>\n  qv run <view.xml> --data <hits.tsv> [--group NAME] [--explain] [--trace-out FILE] [--metrics-out FILE]\n  qv explain <view.xml> --data <hits.tsv> --item <id-or-suffix> [--spans]\n  qv telemetry-check <trace.jsonl> [metrics.txt]\n  qv library <catalog.xml> [--search TEXT]"
+    "usage:\n  qv validate <view.xml>\n  qv check <view.xml|query.rq> [--format text|json] [--deny warnings]\n  qv compile <view.xml> [--dot]\n  qv plan <view.xml> [--no-opt] [--format text|json]\n  qv plan-check <plan.json>\n  qv fmt <view.xml>\n  qv run <view.xml> --data <hits.tsv> [--group NAME] [--explain] [--trace-out FILE] [--metrics-out FILE]\n  qv explain <view.xml> --data <hits.tsv> --item <id-or-suffix> [--spans]\n  qv telemetry-check <trace.jsonl> [metrics.txt]\n  qv library <catalog.xml> [--search TEXT]"
         .to_string()
 }
 
@@ -151,6 +156,35 @@ fn cmd_compile(path: &str, dot: bool) -> Result<(), String> {
     );
     println!("  topological order: {:?}", workflow.topological_order().map_err(|e| e.to_string())?);
     println!("  outputs: {:?}", workflow.outputs().map(|(n, _)| n).collect::<Vec<_>>());
+    Ok(())
+}
+
+/// `qv plan`: the EXPLAIN surface — render the physical plan a view
+/// lowers to, with the pass pipeline's reports, the wave schedule and
+/// each node's configuration. `--no-opt` shows the unoptimized baseline.
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let path = args.get(1).filter(|a| !a.starts_with("--")).ok_or_else(usage)?;
+    let format = flag_value(args, "--format").unwrap_or("text");
+    if format != "text" && format != "json" {
+        return Err(format!("unknown --format {format:?} (expected text or json)"));
+    }
+    let config = qurator_plan::PlanConfig { optimize: !args.contains(&"--no-opt".into()) };
+    let spec = load_view(path)?;
+    let engine = stock_engine()?;
+    let plan = engine.plan_with(&spec, &config).map_err(|e| e.to_string())?;
+    match format {
+        "json" => println!("{}", qurator_plan::render::render_json(&plan)),
+        _ => print!("{}", qurator_plan::render::render_text(&plan)),
+    }
+    Ok(())
+}
+
+/// `qv plan-check`: validate a `qv plan --format json` export against the
+/// in-tree plan schema (the CI gate for golden plan renderings).
+fn cmd_plan_check(path: &str) -> Result<(), String> {
+    let nodes = qurator_plan::schema::validate_plan_json(&read_file(path)?)
+        .map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: ok ({nodes} node(s))");
     Ok(())
 }
 
@@ -429,5 +463,26 @@ mod check_tests {
         let path = write_temp("flags.qv", CLEAN_VIEW);
         assert!(run(&["check", &path, "--format", "yaml"]).is_err());
         assert!(run(&["check", &path, "--deny", "everything"]).is_err());
+    }
+
+    #[test]
+    fn plan_renders_text_and_json() {
+        let path = write_temp("plan.qv", CLEAN_VIEW);
+        run(&["plan", &path]).unwrap();
+        run(&["plan", &path, "--no-opt"]).unwrap();
+        run(&["plan", &path, "--format", "json"]).unwrap();
+        assert!(run(&["plan", &path, "--format", "yaml"]).is_err());
+        assert!(run(&["plan"]).is_err());
+    }
+
+    #[test]
+    fn plan_check_validates_a_json_export() {
+        let view_path = write_temp("export.qv", CLEAN_VIEW);
+        let spec = load_view(&view_path).unwrap();
+        let plan = stock_engine().unwrap().plan(&spec).unwrap();
+        let json_path = write_temp("plan.json", &qurator_plan::render::render_json(&plan));
+        run(&["plan-check", &json_path]).unwrap();
+        let bad = write_temp("bad-plan.json", "{}");
+        assert!(run(&["plan-check", &bad]).is_err());
     }
 }

@@ -21,209 +21,57 @@
 //! output). Such QAs are chained behind their producers; when a QA needs
 //! tags from several producers, a dedicated consolidation node merges them
 //! first.
+//!
+//! Since the plan-IR refactor this module is a thin façade: the spec →
+//! plan lowering lives in [`crate::planner`], the plan → operator binding
+//! and workflow wiring in [`crate::exec`]. `compile` here is the
+//! composition of the two, kept as the stable entry point (its structural
+//! tests below double as the Figure 6 contract for the whole pipeline).
 
-use crate::operators::{
-    ActionProcessor, AnnotatorProcessor, AssertionProcessor, CompiledAction, ConsolidateProcessor,
-    DataEnrichmentProcessor,
-};
-use crate::spec::ActionKind;
-use crate::validate::{BindingTarget, ValidatedView};
-use crate::{QuratorError, Result};
+use crate::validate::ValidatedView;
+use crate::{exec, planner, Result};
 use qurator_annotations::RepositoryCatalog;
 use qurator_ontology::IqModel;
-use qurator_services::{ServiceRegistry, VariableBindings};
-use qurator_workflow::{PortRef, Workflow};
-use std::collections::BTreeMap;
+use qurator_plan::PlanConfig;
+use qurator_services::ServiceRegistry;
+use qurator_workflow::Workflow;
 use std::sync::Arc;
 
 /// Node name of the single Data-Enrichment operator.
-pub const DATA_ENRICHMENT: &str = "DataEnrichment";
+pub const DATA_ENRICHMENT: &str = qurator_plan::ENRICH_NODE;
 /// Node name of the final consolidation task.
-pub const CONSOLIDATE: &str = "ConsolidateAssertions";
+pub const CONSOLIDATE: &str = qurator_plan::CONSOLIDATE_NODE;
 /// Name of the workflow input carrying the data set.
-pub const DATASET_INPUT: &str = "dataset";
+pub const DATASET_INPUT: &str = exec::DATASET_INPUT;
 
-/// Compiles a validated view into an executable workflow.
+/// Compiles a validated view into an executable workflow (optimizing
+/// passes on).
 pub fn compile(
     view: &ValidatedView,
     iq: &Arc<IqModel>,
     registry: &ServiceRegistry,
     catalog: &RepositoryCatalog,
 ) -> Result<Workflow> {
-    let spec = &view.spec;
-    let compile_err = |m: String| QuratorError::Compile(m);
-    let mut workflow = Workflow::new(format!("qv:{}", spec.name));
+    compile_with(view, iq, registry, catalog, &PlanConfig::default())
+}
 
-    // repository resolution honouring declared persistence
-    let mut persistence: BTreeMap<&str, bool> = BTreeMap::new();
-    for a in &spec.annotators {
-        persistence.insert(&a.repository_ref, a.persistent);
-    }
-    let resolve_repo = |name: &str| -> Arc<qurator_annotations::AnnotationRepository> {
-        if let Some(repo) = catalog.get(name) {
-            return repo;
-        }
-        let persistent = persistence.get(name).copied().unwrap_or(false);
-        catalog
-            .create(name, persistent)
-            .unwrap_or_else(|_| catalog.get(name).expect("created concurrently"))
-    };
-
-    // ---- rule 1: annotators first
-    for (decl, service_type) in spec.annotators.iter().zip(&view.annotator_types) {
-        let service = registry.annotator(service_type).map_err(|e| compile_err(e.to_string()))?;
-        let repo = resolve_repo(&decl.repository_ref);
-        workflow
-            .add(
-                decl.service_name.clone(),
-                Arc::new(AnnotatorProcessor::new(decl.service_name.clone(), service, repo)),
-            )
-            .map_err(|e| compile_err(e.to_string()))?;
-        workflow
-            .declare_input(DATASET_INPUT, PortRef::new(&decl.service_name, "dataset"))
-            .map_err(|e| compile_err(e.to_string()))?;
-    }
-
-    // ---- rule 2: one DE with the evidence→repository association
-    let plan = view
-        .enrichment_plan
-        .iter()
-        .map(|(evidence, repo)| (evidence.clone(), resolve_repo(repo)))
-        .collect();
-    workflow
-        .add(DATA_ENRICHMENT, Arc::new(DataEnrichmentProcessor::new(DATA_ENRICHMENT, plan)))
-        .map_err(|e| compile_err(e.to_string()))?;
-    workflow
-        .declare_input(DATASET_INPUT, PortRef::new(DATA_ENRICHMENT, "dataset"))
-        .map_err(|e| compile_err(e.to_string()))?;
-    for decl in &spec.annotators {
-        workflow
-            .control_link(&decl.service_name, DATA_ENRICHMENT)
-            .map_err(|e| compile_err(e.to_string()))?;
-    }
-
-    // ---- rule 3 (+ tag-dependency chaining): QAs
-    // tag name → producing QA node
-    let mut tag_producer: BTreeMap<&str, &str> = BTreeMap::new();
-    for (index, decl) in spec.assertions.iter().enumerate() {
-        let service = registry
-            .assertion(&view.assertion_types[index])
-            .map_err(|e| compile_err(e.to_string()))?;
-        let mut bindings = VariableBindings::new();
-        let mut dependencies: Vec<&str> = Vec::new();
-        for (variable, target) in &view.assertion_bindings[index] {
-            match target {
-                BindingTarget::Evidence(e) => {
-                    bindings = bindings.bind_evidence(variable.clone(), e.clone());
-                }
-                BindingTarget::Tag(tag) => {
-                    bindings = bindings.bind_tag(variable.clone(), tag.clone());
-                    let producer = tag_producer.get(tag.as_str()).ok_or_else(|| {
-                        compile_err(format!("tag {tag:?} has no producer (validation gap)"))
-                    })?;
-                    if !dependencies.contains(producer) {
-                        dependencies.push(producer);
-                    }
-                }
-            }
-        }
-        workflow
-            .add(
-                decl.service_name.clone(),
-                Arc::new(AssertionProcessor::new(
-                    decl.service_name.clone(),
-                    service,
-                    bindings,
-                    decl.tag_name.clone(),
-                )),
-            )
-            .map_err(|e| compile_err(e.to_string()))?;
-
-        // wire the map input
-        match dependencies.len() {
-            0 => {
-                workflow
-                    .link(DATA_ENRICHMENT, "map", &decl.service_name, "map")
-                    .map_err(|e| compile_err(e.to_string()))?;
-            }
-            1 => {
-                workflow
-                    .link(dependencies[0], "map", &decl.service_name, "map")
-                    .map_err(|e| compile_err(e.to_string()))?;
-            }
-            n => {
-                let merge_node = format!("consolidate-for-{}", decl.service_name);
-                workflow
-                    .add(
-                        merge_node.clone(),
-                        Arc::new(ConsolidateProcessor::new(merge_node.clone(), n)),
-                    )
-                    .map_err(|e| compile_err(e.to_string()))?;
-                for (slot, producer) in dependencies.iter().enumerate() {
-                    workflow
-                        .link(producer, "map", &merge_node, &format!("map{slot}"))
-                        .map_err(|e| compile_err(e.to_string()))?;
-                }
-                workflow
-                    .link(&merge_node, "map", &decl.service_name, "map")
-                    .map_err(|e| compile_err(e.to_string()))?;
-            }
-        }
-        tag_producer.insert(&decl.tag_name, &decl.service_name);
-    }
-
-    // ---- rule 4: ConsolidateAssertions over every QA output (or the DE
-    // map when the view declares no QAs)
-    let consolidate_inputs = spec.assertions.len().max(1);
-    workflow
-        .add(CONSOLIDATE, Arc::new(ConsolidateProcessor::new(CONSOLIDATE, consolidate_inputs)))
-        .map_err(|e| compile_err(e.to_string()))?;
-    if spec.assertions.is_empty() {
-        workflow
-            .link(DATA_ENRICHMENT, "map", CONSOLIDATE, "map0")
-            .map_err(|e| compile_err(e.to_string()))?;
-    } else {
-        for (slot, decl) in spec.assertions.iter().enumerate() {
-            workflow
-                .link(&decl.service_name, "map", CONSOLIDATE, &format!("map{slot}"))
-                .map_err(|e| compile_err(e.to_string()))?;
-        }
-    }
-
-    // ---- rule 5: actions
-    for action in &spec.actions {
-        let compiled = match &action.kind {
-            ActionKind::Filter { condition } => {
-                CompiledAction::Filter { condition: condition.clone() }
-            }
-            ActionKind::Split { groups } => CompiledAction::Split { groups: groups.clone() },
-        };
-        let processor = ActionProcessor::new(action.name.clone(), compiled, iq.clone());
-        let group_names = processor.group_names();
-        workflow
-            .add(action.name.clone(), Arc::new(processor))
-            .map_err(|e| compile_err(e.to_string()))?;
-        workflow
-            .declare_input(DATASET_INPUT, PortRef::new(&action.name, "dataset"))
-            .map_err(|e| compile_err(e.to_string()))?;
-        workflow
-            .link(CONSOLIDATE, "map", &action.name, "map")
-            .map_err(|e| compile_err(e.to_string()))?;
-        for group in group_names {
-            workflow
-                .declare_output(group.clone(), PortRef::new(&action.name, group.clone()))
-                .map_err(|e| compile_err(e.to_string()))?;
-        }
-    }
-
-    workflow.validate().map_err(|e| compile_err(format!("compiled workflow is invalid: {e}")))?;
-    Ok(workflow)
+/// Compiles through an explicit plan configuration (`optimize: false` for
+/// the `--no-opt` baseline).
+pub fn compile_with(
+    view: &ValidatedView,
+    iq: &Arc<IqModel>,
+    registry: &ServiceRegistry,
+    catalog: &RepositoryCatalog,
+    config: &PlanConfig,
+) -> Result<Workflow> {
+    let plan = planner::physical_plan(view, iq, config)?;
+    exec::bind(&plan, iq, registry, catalog)?.into_workflow(&plan)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::QualityViewSpec;
+    use crate::spec::{ActionKind, QualityViewSpec};
     use crate::validate::validate;
     use qurator_rdf::namespace::q;
     use qurator_services::stdlib::{

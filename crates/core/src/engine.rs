@@ -7,24 +7,29 @@
 //! * [`QualityEngine::execute_compiled`] — the paper's §6 path: compile to
 //!   a workflow, enact it, decode the action outputs. Both paths produce
 //!   identical [`ActionOutcome`]s (covered by integration tests).
+//!
+//! Both paths start from the same [`qurator_plan::PhysicalPlan`]: the
+//! interpreter walks the bound plan sequentially
+//! ([`QualityEngine::execute_physical`]); the compiled path wires the
+//! same bound operators into a workflow and enacts it wave-parallel.
+//! [`QualityEngine::plan_with`] exposes the plan itself (the `qv plan`
+//! EXPLAIN surface), and the `*_with` variants accept a
+//! [`qurator_plan::PlanConfig`] to select the unoptimized baseline.
 
 use crate::compile;
-use crate::operators::{
-    ActionProcessor, AssertionProcessor, CompiledAction, DataEnrichmentProcessor, GroupResult,
-};
+use crate::operators::GroupResult;
 use crate::spec::{ActionDecl, ActionKind, QualityViewSpec};
-use crate::validate::{self, BindingTarget, ValidatedView};
-use crate::{convert, QuratorError, Result};
+use crate::validate::{self, ValidatedView};
+use crate::{convert, exec, planner, QuratorError, Result};
 use parking_lot::RwLock;
 use qurator_annotations::RepositoryCatalog;
 use qurator_ontology::binding::BindingRegistry;
 use qurator_ontology::IqModel;
+use qurator_plan::{ActKind, LogicalPlan, PhysicalPlan, PlanConfig};
 use qurator_rdf::namespace::q;
 use qurator_rdf::term::Term;
 use qurator_services::stdlib::{FieldCaptureAnnotator, StatClassifierAssertion, ZScoreAssertion};
-use qurator_services::{
-    AnnotationService, AssertionService, DataSet, ServiceRegistry, VariableBindings,
-};
+use qurator_services::{AnnotationService, AssertionService, DataSet, ServiceRegistry};
 use qurator_telemetry::span::{SpanKind, SpanTrace, TraceSession};
 use qurator_telemetry::{
     ActionRecord, AssertionRecord, DecisionLedger, DecisionTrace, EvidenceRecord,
@@ -196,8 +201,33 @@ impl QualityEngine {
 
     /// Compiles a spec into an executable quality workflow.
     pub fn compile(&self, spec: &QualityViewSpec) -> Result<Workflow> {
+        self.compile_with(spec, &PlanConfig::default())
+    }
+
+    /// Compiles through an explicit plan configuration.
+    pub fn compile_with(&self, spec: &QualityViewSpec, config: &PlanConfig) -> Result<Workflow> {
         let view = self.validate(spec)?;
-        compile::compile(&view, &self.iq, &self.registry, &self.catalog)
+        compile::compile_with(&view, &self.iq, &self.registry, &self.catalog, config)
+    }
+
+    /// The logical plan of a view: one typed node per operator, before
+    /// any optimization.
+    pub fn logical_plan(&self, spec: &QualityViewSpec) -> Result<LogicalPlan> {
+        let view = self.validate(spec)?;
+        Ok(planner::logical_plan(&view, &self.iq))
+    }
+
+    /// The optimized physical plan of a view — what both executors will
+    /// run, and what `qv plan` renders.
+    pub fn plan(&self, spec: &QualityViewSpec) -> Result<PhysicalPlan> {
+        self.plan_with(spec, &PlanConfig::default())
+    }
+
+    /// The physical plan under an explicit configuration
+    /// (`optimize: false` yields the `--no-opt` baseline).
+    pub fn plan_with(&self, spec: &QualityViewSpec, config: &PlanConfig) -> Result<PhysicalPlan> {
+        let view = self.validate(spec)?;
+        planner::physical_plan(&view, &self.iq, config)
     }
 
     /// Runs the full `qv check` analysis: every view-level lint pass, the
@@ -212,7 +242,6 @@ impl QualityEngine {
         spec: &QualityViewSpec,
         source: Option<&qurator_xml::Element>,
     ) -> Vec<qurator_qvlint::Diagnostic> {
-        use qurator_qvlint::workflow::RepoUsage;
         use qurator_qvlint::Diagnostic;
 
         let report = crate::lint::analyze(spec, &self.iq, &self.registry, source);
@@ -242,23 +271,19 @@ impl QualityEngine {
                         .at(source.and_then(|el| el.span())),
                     ),
                     Ok(workflow) => {
-                        let usage = RepoUsage {
-                            writes: spec
-                                .annotators
-                                .iter()
-                                .map(|a| (a.service_name.clone(), a.repository_ref.clone()))
-                                .collect(),
-                            reads: view
-                                .enrichment_plan
-                                .iter()
-                                .map(|(_, repo)| ("data enrichment".to_string(), repo.clone()))
-                                .collect(),
-                        };
-                        diags.extend(qurator_qvlint::workflow::analyze_workflow(
-                            &workflow,
-                            &usage,
-                            source.and_then(|el| el.span()),
-                        ));
+                        let span = source.and_then(|el| el.span());
+                        // graph-shape checks need the wired workflow …
+                        diags.extend(qurator_qvlint::workflow::analyze_graph(&workflow, span));
+                        // … while the usage findings (WF003/WF004) read
+                        // the plan IR both executors consume
+                        let logical = planner::logical_plan(view, &self.iq);
+                        if let Ok(physical) =
+                            planner::physical_plan(view, &self.iq, &PlanConfig::default())
+                        {
+                            diags.extend(qurator_qvlint::plan::analyze_plan(
+                                &logical, &physical, span,
+                            ));
+                        }
                     }
                 }
                 qurator_qvlint::record_pass_telemetry(
@@ -275,8 +300,18 @@ impl QualityEngine {
     /// Direct interpretation of the quality process (§4's semantics
     /// without the workflow detour).
     pub fn execute_view(&self, spec: &QualityViewSpec, dataset: &DataSet) -> Result<ActionOutcome> {
+        self.execute_view_with(spec, dataset, &PlanConfig::default())
+    }
+
+    /// Direct interpretation under an explicit plan configuration.
+    pub fn execute_view_with(
+        &self,
+        spec: &QualityViewSpec,
+        dataset: &DataSet,
+        config: &PlanConfig,
+    ) -> Result<ActionOutcome> {
         let view = self.validate(spec)?;
-        self.execute_validated(&view, dataset)
+        self.execute_validated_with(&view, dataset, config)
     }
 
     /// Direct interpretation of an already-validated view.
@@ -285,105 +320,95 @@ impl QualityEngine {
         view: &ValidatedView,
         dataset: &DataSet,
     ) -> Result<ActionOutcome> {
-        let spec = &view.spec;
+        self.execute_validated_with(view, dataset, &PlanConfig::default())
+    }
+
+    /// Direct interpretation of an already-validated view under an
+    /// explicit plan configuration.
+    pub fn execute_validated_with(
+        &self,
+        view: &ValidatedView,
+        dataset: &DataSet,
+        config: &PlanConfig,
+    ) -> Result<ActionOutcome> {
+        let plan = planner::physical_plan(view, &self.iq, config)?;
+        self.execute_physical(&plan, dataset)
+    }
+
+    /// The sequential plan walker: binds the physical plan to services
+    /// and repositories, then runs the nodes in process order. Each plan
+    /// node leaves a `node:<name>` span, so the interpreter's trace and
+    /// the enactor's events name the same units of work.
+    pub fn execute_physical(
+        &self,
+        plan: &PhysicalPlan,
+        dataset: &DataSet,
+    ) -> Result<ActionOutcome> {
         qurator_telemetry::metrics()
             .counter_with("engine.execute.count", &[("path", "interpreted")])
             .inc();
+        let bound = exec::bind(plan, &self.iq, &self.registry, &self.catalog)?;
         let session = TraceSession::new();
         let mut rec = session.recorder();
-        let view_span = rec.start(format!("view:{}", spec.name), SpanKind::View, None);
+        let view_span = rec.start(format!("view:{}", plan.view), SpanKind::View, None);
         rec.attr(view_span, "path", "interpreted");
         rec.attr(view_span, "items", dataset.len());
+        rec.attr(view_span, "mode", if plan.optimized { "optimized" } else { "baseline" });
 
-        // repositories (honouring annotator persistence flags)
-        let mut persistence: BTreeMap<&str, bool> = BTreeMap::new();
-        for a in &spec.annotators {
-            persistence.insert(&a.repository_ref, a.persistent);
+        // Annotate nodes
+        for (name, processor) in &bound.annotators {
+            let span = rec.start(format!("node:{name}"), SpanKind::Node, Some(view_span));
+            processor.annotate(dataset)?;
+            rec.end(span);
         }
-        let resolve_repo = |name: &str| {
-            if let Some(repo) = self.catalog.get(name) {
-                return repo;
-            }
-            let persistent = persistence.get(name).copied().unwrap_or(false);
-            self.catalog
-                .create(name, persistent)
-                .unwrap_or_else(|_| self.catalog.get(name).expect("created concurrently"))
-        };
 
-        // 1. annotation
-        let annotate_span = rec.start("phase:annotation", SpanKind::Phase, Some(view_span));
-        for (decl, service_type) in spec.annotators.iter().zip(&view.annotator_types) {
-            let service = self
-                .registry
-                .annotator(service_type)
-                .map_err(|e| QuratorError::Execution(e.to_string()))?;
-            let repo = resolve_repo(&decl.repository_ref);
-            service.annotate(dataset, &repo).map_err(|e| QuratorError::Execution(e.to_string()))?;
-        }
-        rec.attr(annotate_span, "annotators", spec.annotators.len());
-        rec.end(annotate_span);
-
-        // 2. enrichment
-        let enrich_span = rec.start("phase:enrichment", SpanKind::Phase, Some(view_span));
-        let plan = view
-            .enrichment_plan
-            .iter()
-            .map(|(evidence, repo)| (evidence.clone(), resolve_repo(repo)))
-            .collect();
-        let enrichment = DataEnrichmentProcessor::new(compile::DATA_ENRICHMENT, plan);
-        let mut map = enrichment.enrich(dataset.items())?;
-        rec.attr(enrich_span, "evidence_types", view.enrichment_plan.len());
+        // the Enrich node
+        let enrich_span = rec.start(
+            format!("node:{}", qurator_plan::ENRICH_NODE),
+            SpanKind::Node,
+            Some(view_span),
+        );
+        let mut map = bound.enrichment.enrich(dataset.items())?;
+        rec.attr(enrich_span, "evidence_types", plan.fetch_count());
+        rec.attr(enrich_span, "groups", plan.enrich.len());
         rec.end(enrich_span);
 
-        // 3. assertions, in declaration order (tags accumulate)
-        let mut tag_meta: Vec<(&str, &str, u64)> = Vec::with_capacity(spec.assertions.len());
-        for (index, decl) in spec.assertions.iter().enumerate() {
-            let assert_span =
-                rec.start(format!("phase:qa:{}", decl.tag_name), SpanKind::Phase, Some(view_span));
-            rec.attr(assert_span, "service", decl.service_name.as_str());
-            let service = self
-                .registry
-                .assertion(&view.assertion_types[index])
-                .map_err(|e| QuratorError::Execution(e.to_string()))?;
-            let mut bindings = VariableBindings::new();
-            for (variable, target) in &view.assertion_bindings[index] {
-                bindings = match target {
-                    BindingTarget::Evidence(e) => {
-                        bindings.bind_evidence(variable.clone(), e.clone())
-                    }
-                    BindingTarget::Tag(t) => bindings.bind_tag(variable.clone(), t.clone()),
-                };
-            }
-            AssertionProcessor::new(
-                decl.service_name.clone(),
-                service,
-                bindings,
-                decl.tag_name.clone(),
-            )
-            .assert_quality(&mut map)?;
-            rec.end(assert_span);
-            tag_meta.push((&decl.tag_name, &decl.service_name, assert_span.0));
+        // Assert nodes, in plan order (tags accumulate in the one map)
+        let mut tag_meta: Vec<(&str, &str, u64)> = Vec::with_capacity(plan.assertions.len());
+        for (assert, bound_assert) in plan.assertions.iter().zip(&bound.assertions) {
+            let span =
+                rec.start(format!("node:{}", bound_assert.name), SpanKind::Node, Some(view_span));
+            rec.attr(span, "tag", assert.node.tag.as_str());
+            bound_assert.processor.assert_quality(&mut map)?;
+            rec.end(span);
+            tag_meta.push((&assert.node.tag, &bound_assert.name, span.0));
         }
 
-        // 4. actions (remembering each action's slice of the group list
+        // the Consolidate node is implicit here — the walker accumulates
+        // into a single map — but it is recorded so both executors leave
+        // the same node names behind
+        let consolidate_span = rec.start(
+            format!("node:{}", qurator_plan::CONSOLIDATE_NODE),
+            SpanKind::Node,
+            Some(view_span),
+        );
+        rec.attr(consolidate_span, "assertions", plan.assertions.len());
+        rec.end(consolidate_span);
+
+        // Act nodes (remembering each action's slice of the group list
         // so provenance can attribute memberships per action)
-        let action_span = rec.start("phase:actions", SpanKind::Phase, Some(view_span));
         let mut groups: Vec<GroupResult> = Vec::new();
-        let mut action_slices: Vec<(usize, usize)> = Vec::with_capacity(spec.actions.len());
-        for action in &spec.actions {
-            let compiled = match &action.kind {
-                ActionKind::Filter { condition } => {
-                    CompiledAction::Filter { condition: condition.clone() }
-                }
-                ActionKind::Split { groups } => CompiledAction::Split { groups: groups.clone() },
-            };
-            let processor = ActionProcessor::new(action.name.clone(), compiled, self.iq.clone());
+        let mut action_slices: Vec<(usize, usize)> = Vec::with_capacity(plan.actions.len());
+        let mut action_spans: Vec<u64> = Vec::with_capacity(plan.actions.len());
+        for (name, processor) in &bound.actions {
+            let span = rec.start(format!("node:{name}"), SpanKind::Node, Some(view_span));
             let start = groups.len();
             groups.extend(processor.apply(dataset, &map)?);
             action_slices.push((start, groups.len()));
+            rec.attr(span, "groups", groups.len() - start);
+            rec.end(span);
+            action_spans.push(span.0);
         }
-        rec.attr(action_span, "actions", spec.actions.len());
-        rec.end(action_span);
 
         // decision provenance: one pass over the consolidated map, one
         // complete trace per item (no per-phase re-keying)
@@ -391,11 +416,16 @@ impl QualityEngine {
             let prov_span = rec.start("phase:provenance", SpanKind::Phase, Some(view_span));
             // intern every per-run-constant name once; per item only the
             // rendered values and the item key allocate
-            let sources: BTreeMap<&str, (Arc<str>, Option<Arc<str>>)> = view
-                .enrichment_plan
+            let sources: BTreeMap<&str, (Arc<str>, Option<Arc<str>>)> = plan
+                .enrich
                 .iter()
-                .map(|(e, repo)| {
-                    (e.local_name(), (Arc::from(e.local_name()), Some(Arc::from(repo.as_str()))))
+                .flat_map(|group| {
+                    group.evidence.iter().map(|e| {
+                        (
+                            e.local_name(),
+                            (Arc::from(e.local_name()), Some(Arc::from(group.repository.as_str()))),
+                        )
+                    })
                 })
                 .collect();
             type InternedTag<'a> = (&'a str, Arc<str>, Option<Arc<str>>, u64);
@@ -406,24 +436,26 @@ impl QualityEngine {
             let accepted: Arc<str> = Arc::from("accepted");
             let rejected: Arc<str> = Arc::from("rejected");
             enum ActionPlan {
-                Filter { group: Arc<str>, condition: Option<Arc<str>>, members: usize },
-                Split(Vec<(Arc<str>, Option<Arc<str>>, usize)>),
+                Filter { group: Arc<str>, condition: Option<Arc<str>>, members: usize, span: u64 },
+                Split { targets: Vec<(Arc<str>, Option<Arc<str>>, usize)>, span: u64 },
             }
             // per-group membership sets, borrowed from the group datasets
             let memberships: Vec<HashSet<&Term>> =
                 groups.iter().map(|g| g.dataset.items().iter().collect()).collect();
-            let plans: Vec<ActionPlan> = spec
+            let plans: Vec<ActionPlan> = plan
                 .actions
                 .iter()
                 .zip(&action_slices)
-                .map(|(action, &(start, end))| match &action.kind {
-                    ActionKind::Filter { condition } => ActionPlan::Filter {
-                        group: Arc::from(action.name.as_str()),
+                .zip(&action_spans)
+                .map(|((act, &(start, end)), &span)| match &act.node.kind {
+                    ActKind::Filter { condition } => ActionPlan::Filter {
+                        group: Arc::from(act.node.name.as_str()),
                         condition: Some(Arc::from(condition.as_str())),
                         members: start,
+                        span,
                     },
-                    ActionKind::Split { groups: conditions } => ActionPlan::Split(
-                        (start..end)
+                    ActKind::Split { groups: conditions } => ActionPlan::Split {
+                        targets: (start..end)
                             .map(|i| {
                                 let result = &groups[i];
                                 let condition = conditions
@@ -433,7 +465,8 @@ impl QualityEngine {
                                 (Arc::from(result.name.as_str()), condition, i)
                             })
                             .collect(),
-                    ),
+                        span,
+                    },
                 })
                 .collect();
             let mut batch = Vec::with_capacity(map.len());
@@ -469,9 +502,9 @@ impl QualityEngine {
                         })
                     })
                     .collect();
-                for plan in &plans {
-                    match plan {
-                        ActionPlan::Filter { group, condition, members } => {
+                for action_plan in &plans {
+                    match action_plan {
+                        ActionPlan::Filter { group, condition, members, span } => {
                             let is_member =
                                 memberships.get(*members).is_some_and(|m| m.contains(term));
                             trace.actions.push(ActionRecord {
@@ -482,10 +515,10 @@ impl QualityEngine {
                                     rejected.clone()
                                 },
                                 condition: condition.clone(),
-                                span: Some(action_span.0),
+                                span: Some(*span),
                             });
                         }
-                        ActionPlan::Split(targets) => {
+                        ActionPlan::Split { targets, span } => {
                             for (group, condition, index) in targets {
                                 if !memberships[*index].contains(term) {
                                     continue;
@@ -494,7 +527,7 @@ impl QualityEngine {
                                     group: group.clone(),
                                     outcome: accepted.clone(),
                                     condition: condition.clone(),
-                                    span: Some(action_span.0),
+                                    span: Some(*span),
                                 });
                             }
                         }
@@ -517,10 +550,20 @@ impl QualityEngine {
         spec: &QualityViewSpec,
         dataset: &DataSet,
     ) -> Result<(ActionOutcome, EnactmentReport)> {
+        self.execute_compiled_with(spec, dataset, &PlanConfig::default())
+    }
+
+    /// The §6 path under an explicit plan configuration.
+    pub fn execute_compiled_with(
+        &self,
+        spec: &QualityViewSpec,
+        dataset: &DataSet,
+        config: &PlanConfig,
+    ) -> Result<(ActionOutcome, EnactmentReport)> {
         qurator_telemetry::metrics()
             .counter_with("engine.execute.count", &[("path", "compiled")])
             .inc();
-        let workflow = self.compile(spec)?;
+        let workflow = self.compile_with(spec, config)?;
         let inputs = BTreeMap::from([(
             compile::DATASET_INPUT.to_string(),
             convert::dataset_to_data(dataset),

@@ -23,7 +23,12 @@
 //! * [`operators`] — the abstract quality operators (Annotation, Data
 //!   Enrichment, Quality Assertion, Consolidate, Actions) as workflow
 //!   processors;
-//! * [`compile`] — the QV compiler implementing the §6.1 rules;
+//! * [`planner`] — lowering of validated specs into the typed plan IR of
+//!   the `qurator-plan` crate (logical nodes, optimizing passes, waves);
+//! * [`exec`] — binding physical plans to live services/repositories and
+//!   wiring them into workflows;
+//! * [`compile`] — the QV compiler implementing the §6.1 rules (now a
+//!   thin composition of [`planner`] and [`exec`]);
 //! * [`deploy`] — deployment descriptors for embedding compiled views
 //!   into host workflows (§6.2);
 //! * [`engine`] — [`engine::QualityEngine`], the top-level API bundling
@@ -75,9 +80,11 @@ pub mod compile;
 pub mod convert;
 pub mod deploy;
 pub mod engine;
+pub mod exec;
 pub mod library;
 pub mod lint;
 pub mod operators;
+pub mod planner;
 pub mod spec;
 pub mod validate;
 pub mod xmlio;
@@ -165,6 +172,12 @@ impl From<qurator_annotations::AnnotationError> for QuratorError {
 impl From<qurator_workflow::WorkflowError> for QuratorError {
     fn from(e: qurator_workflow::WorkflowError) -> Self {
         QuratorError::Execution(e.to_string())
+    }
+}
+
+impl From<qurator_plan::PlanError> for QuratorError {
+    fn from(e: qurator_plan::PlanError) -> Self {
+        QuratorError::Compile(e.to_string())
     }
 }
 

@@ -63,6 +63,15 @@ impl AnnotatorProcessor {
     ) -> Self {
         AnnotatorProcessor { name: name.into(), service, repository }
     }
+
+    /// Runs the annotation directly (shared with the interpreter path):
+    /// computes evidence for the data set, writes it to the repository,
+    /// returns the number of annotations written.
+    pub fn annotate(&self, dataset: &DataSet) -> Result<usize> {
+        self.service
+            .annotate(dataset, &self.repository)
+            .map_err(|e| QuratorError::Execution(e.to_string()))
+    }
 }
 
 impl Processor for AnnotatorProcessor {
@@ -87,10 +96,7 @@ impl Processor for AnnotatorProcessor {
             inputs.get("dataset").ok_or_else(|| exec_err(&self.name, "missing dataset"))?;
         let dataset = convert::data_to_dataset(dataset_data)
             .map_err(|e| exec_err(&self.name, e.to_string()))?;
-        let written = self
-            .service
-            .annotate(&dataset, &self.repository)
-            .map_err(|e| exec_err(&self.name, e.to_string()))?;
+        let written = wf_result(&self.name, self.annotate(&dataset))?;
         Ok(BTreeMap::from([("done".to_string(), Data::Number(written as f64))]))
     }
 }
@@ -120,6 +126,18 @@ impl DataEnrichmentProcessor {
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
+    }
+
+    /// The repository groups this operator will answer with one bulk
+    /// lookup each: `(repository name, evidence types)` in first-fetch
+    /// order. Exposed so callers (and regression tests) can verify that a
+    /// repository listed under several evidence IRIs gets one grouped
+    /// `enrich_bulk` call, not one per IRI.
+    pub fn fetch_groups(&self) -> Vec<(String, Vec<Iri>)> {
+        self.grouped_plan()
+            .into_iter()
+            .map(|(repository, types)| (repository.name().to_string(), types))
+            .collect()
     }
 
     /// Groups the fetch plan by repository (first-occurrence order), so a
@@ -395,6 +413,12 @@ pub struct ActionProcessor {
     /// the *current* source only, preserving edit-between-runs semantics
     /// while avoiding a re-parse per item.
     parse_cache: Mutex<BTreeMap<String, Expr>>,
+    /// Plan-time constant-fold verdicts, index-aligned with the action's
+    /// condition slots (`Some(true)` = always accepts, `Some(false)` =
+    /// always rejects). A hinted slot skips per-item evaluation; the
+    /// outcome is identical because the optimizer only hints conditions
+    /// that reference no variables.
+    short_circuit: Vec<Option<bool>>,
 }
 
 impl ActionProcessor {
@@ -405,7 +429,15 @@ impl ActionProcessor {
             action,
             iq,
             parse_cache: Mutex::new(BTreeMap::new()),
+            short_circuit: Vec::new(),
         }
+    }
+
+    /// Installs plan-time short-circuit verdicts (one slot per condition;
+    /// `None` slots evaluate normally).
+    pub fn with_short_circuit(mut self, hints: Vec<Option<bool>>) -> Self {
+        self.short_circuit = hints;
+        self
     }
 
     /// The output group names this action produces, in port order.
@@ -433,31 +465,47 @@ impl ActionProcessor {
 
     /// Runs the action directly (shared with the interpreter path).
     pub fn apply(&self, dataset: &DataSet, map: &AnnotationMap) -> Result<Vec<GroupResult>> {
-        let conditions: Vec<(String, Expr)> = match &self.action {
+        // A short-circuited slot needs no parse and no per-item evaluation
+        enum Cond {
+            Eval(Expr),
+            Const(bool),
+        }
+        let slot_cond = |slot: usize, source: &str| -> Result<Cond> {
+            match self.short_circuit.get(slot).copied().flatten() {
+                Some(verdict) => Ok(Cond::Const(verdict)),
+                None => Ok(Cond::Eval(self.condition(source)?)),
+            }
+        };
+        let conditions: Vec<(String, Cond)> = match &self.action {
             CompiledAction::Filter { condition } => {
-                vec![(self.action_name.clone(), self.condition(condition)?)]
+                vec![(self.action_name.clone(), slot_cond(0, condition)?)]
             }
             CompiledAction::Split { groups } => groups
                 .iter()
-                .map(|(group, condition)| {
-                    Ok((format!("{}/{group}", self.action_name), self.condition(condition)?))
+                .enumerate()
+                .map(|(slot, (group, condition))| {
+                    Ok((format!("{}/{group}", self.action_name), slot_cond(slot, condition)?))
                 })
                 .collect::<Result<Vec<_>>>()?,
         };
         let is_split = matches!(self.action, CompiledAction::Split { .. });
 
+        let needs_env = conditions.iter().any(|(_, c)| matches!(c, Cond::Eval(_)));
         let mut memberships: Vec<Vec<Term>> = vec![Vec::new(); conditions.len()];
         let mut default_group: Vec<Term> = Vec::new();
         for item in dataset.items() {
-            let env = build_env(&self.iq, map, item);
+            let env = if needs_env { build_env(&self.iq, map, item) } else { Env::new() };
             let mut matched_any = false;
-            for (slot, (_, expr)) in conditions.iter().enumerate() {
-                let accepted = expr.accepts(&env).map_err(|e| {
-                    QuratorError::Execution(format!(
-                        "evaluating action {:?}: {e}",
-                        self.action_name
-                    ))
-                })?;
+            for (slot, (_, cond)) in conditions.iter().enumerate() {
+                let accepted = match cond {
+                    Cond::Const(verdict) => *verdict,
+                    Cond::Eval(expr) => expr.accepts(&env).map_err(|e| {
+                        QuratorError::Execution(format!(
+                            "evaluating action {:?}: {e}",
+                            self.action_name
+                        ))
+                    })?,
+                };
                 if accepted {
                     memberships[slot].push(item.clone());
                     matched_any = true;

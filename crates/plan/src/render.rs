@@ -1,0 +1,310 @@
+//! EXPLAIN-style renderers for physical plans.
+//!
+//! [`render_text`] is deliberately deterministic — it prints what each
+//! pass *did* (changed flag and notes) but never timings, so the output
+//! is byte-stable across runs and suitable for golden-snapshot tests.
+//! [`render_json`] carries the full plan including pass durations.
+
+use crate::logical::{ActKind, Binding};
+use crate::physical::{PhysicalPlan, ShortCircuit};
+use qurator_telemetry::json::escape;
+use std::fmt::Write as _;
+
+/// Renders the EXPLAIN text for a physical plan. Byte-deterministic for
+/// a given plan: pass durations are deliberately omitted (the JSON
+/// rendering and the `plan.pass.duration_us` metric carry them).
+pub fn render_text(plan: &PhysicalPlan) -> String {
+    let mut out = String::new();
+    let mode = if plan.optimized { "optimized" } else { "unoptimized" };
+    let _ = writeln!(out, "plan for view {:?} ({mode})", plan.view);
+
+    let _ = writeln!(out, "passes:");
+    for pass in &plan.passes {
+        let mark = if pass.changed { "*" } else { " " };
+        let _ = writeln!(out, "  {mark} {}", pass.pass);
+        for note in &pass.notes {
+            let _ = writeln!(out, "      - {note}");
+        }
+    }
+
+    let _ = writeln!(out, "schedule:");
+    for (index, wave) in plan.waves.iter().enumerate() {
+        let _ = writeln!(out, "  wave {index}: {}", wave.join(", "));
+    }
+
+    let _ = writeln!(out, "nodes:");
+    for a in &plan.annotators {
+        let lifetime = if a.persistent { "persistent" } else { "volatile" };
+        let provides: Vec<&str> = a.provides.iter().map(|e| e.local_name()).collect();
+        let _ = writeln!(
+            out,
+            "  Annotate {:?} [{}] -> repository {:?} ({lifetime}) provides {}",
+            a.name,
+            a.service_type.local_name(),
+            a.repository,
+            provides.join(", ")
+        );
+    }
+    for group in &plan.enrich {
+        let evidence: Vec<&str> = group.evidence.iter().map(|e| e.local_name()).collect();
+        let source = if group.cache_local { "in-view annotations" } else { "repository" };
+        let _ =
+            writeln!(out, "  Enrich <- {:?} ({source}): {}", group.repository, evidence.join(", "));
+    }
+    for assert in &plan.assertions {
+        let _ = writeln!(
+            out,
+            "  Assert {:?} [{}] -> tag {} ({})",
+            assert.node.name,
+            assert.node.service_type.local_name(),
+            assert.node.tag,
+            assert.node.tag_kind.as_str()
+        );
+        for (variable, binding) in &assert.node.bindings {
+            let source = match binding {
+                Binding::Evidence(iri) => format!("evidence {}", iri.local_name()),
+                Binding::Tag(tag) => format!("tag {tag}"),
+            };
+            let _ = writeln!(out, "      {variable} <- {source}");
+        }
+        if !assert.depends_on.is_empty() {
+            let _ = writeln!(out, "      depends on: {}", assert.depends_on.join(", "));
+        }
+    }
+    let _ = writeln!(out, "  Consolidate");
+    for act in &plan.actions {
+        let kind = match &act.node.kind {
+            ActKind::Filter { .. } => "filter",
+            ActKind::Split { .. } => "split",
+        };
+        let _ = writeln!(out, "  Act {:?} ({kind})", act.node.name);
+        for (slot, (label, condition)) in act.node.conditions().iter().enumerate() {
+            let verdict = match act.short_circuit.get(slot).copied().flatten() {
+                Some(ShortCircuit::AlwaysAccept) => " [always accepts]",
+                Some(ShortCircuit::AlwaysReject) => " [always rejects]",
+                None => "",
+            };
+            let _ = writeln!(out, "      {label}: {condition}{verdict}");
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable JSON for a physical plan (validated by
+/// [`crate::schema::validate_plan_json`], the `qv plan-check` gate).
+pub fn render_json(plan: &PhysicalPlan) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"view\": \"{}\",", escape(&plan.view));
+    let _ = writeln!(out, "  \"optimized\": {},", plan.optimized);
+
+    out.push_str("  \"passes\": [");
+    for (i, pass) in plan.passes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let notes: Vec<String> = pass.notes.iter().map(|n| format!("\"{}\"", escape(n))).collect();
+        let _ = write!(
+            out,
+            "\n    {{\"pass\": \"{}\", \"duration_us\": {}, \"changed\": {}, \"notes\": [{}]}}",
+            escape(pass.pass),
+            pass.duration_us,
+            pass.changed,
+            notes.join(", ")
+        );
+    }
+    out.push_str("\n  ],\n");
+
+    out.push_str("  \"waves\": [");
+    for (i, wave) in plan.waves.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let names: Vec<String> = wave.iter().map(|n| format!("\"{}\"", escape(n))).collect();
+        let _ = write!(out, "\n    [{}]", names.join(", "));
+    }
+    out.push_str("\n  ],\n");
+
+    out.push_str("  \"annotate\": [");
+    for (i, a) in plan.annotators.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let provides: Vec<String> =
+            a.provides.iter().map(|e| format!("\"{}\"", escape(e.as_str()))).collect();
+        let _ = write!(
+            out,
+            "\n    {{\"name\": \"{}\", \"service_type\": \"{}\", \"repository\": \"{}\", \"persistent\": {}, \"provides\": [{}]}}",
+            escape(&a.name),
+            escape(a.service_type.as_str()),
+            escape(&a.repository),
+            a.persistent,
+            provides.join(", ")
+        );
+    }
+    out.push_str("\n  ],\n");
+
+    out.push_str("  \"enrich\": [");
+    for (i, g) in plan.enrich.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let evidence: Vec<String> =
+            g.evidence.iter().map(|e| format!("\"{}\"", escape(e.as_str()))).collect();
+        let _ = write!(
+            out,
+            "\n    {{\"repository\": \"{}\", \"cache_local\": {}, \"evidence\": [{}]}}",
+            escape(&g.repository),
+            g.cache_local,
+            evidence.join(", ")
+        );
+    }
+    out.push_str("\n  ],\n");
+
+    out.push_str("  \"assert\": [");
+    for (i, a) in plan.assertions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let bindings: Vec<String> = a
+            .node
+            .bindings
+            .iter()
+            .map(|(variable, binding)| {
+                let (kind, source) = match binding {
+                    Binding::Evidence(iri) => ("evidence", iri.as_str().to_string()),
+                    Binding::Tag(tag) => ("tag", tag.clone()),
+                };
+                format!(
+                    "{{\"variable\": \"{}\", \"kind\": \"{kind}\", \"source\": \"{}\"}}",
+                    escape(variable),
+                    escape(&source)
+                )
+            })
+            .collect();
+        let depends: Vec<String> =
+            a.depends_on.iter().map(|d| format!("\"{}\"", escape(d))).collect();
+        let _ = write!(
+            out,
+            "\n    {{\"name\": \"{}\", \"service_type\": \"{}\", \"tag\": \"{}\", \"tag_kind\": \"{}\", \"bindings\": [{}], \"depends_on\": [{}]}}",
+            escape(&a.node.name),
+            escape(a.node.service_type.as_str()),
+            escape(&a.node.tag),
+            a.node.tag_kind.as_str(),
+            bindings.join(", "),
+            depends.join(", ")
+        );
+    }
+    out.push_str("\n  ],\n");
+
+    out.push_str("  \"act\": [");
+    for (i, act) in plan.actions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let kind = match &act.node.kind {
+            ActKind::Filter { .. } => "filter",
+            ActKind::Split { .. } => "split",
+        };
+        let conditions: Vec<String> = act
+            .node
+            .conditions()
+            .iter()
+            .enumerate()
+            .map(|(slot, (label, condition))| {
+                let verdict = match act.short_circuit.get(slot).copied().flatten() {
+                    Some(ShortCircuit::AlwaysAccept) => "\"always_accept\"",
+                    Some(ShortCircuit::AlwaysReject) => "\"always_reject\"",
+                    None => "null",
+                };
+                format!(
+                    "{{\"label\": \"{}\", \"condition\": \"{}\", \"short_circuit\": {verdict}}}",
+                    escape(label),
+                    escape(condition)
+                )
+            })
+            .collect();
+        let _ = write!(
+            out,
+            "\n    {{\"name\": \"{}\", \"kind\": \"{kind}\", \"conditions\": [{}]}}",
+            escape(&act.node.name),
+            conditions.join(", ")
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::{
+        ActKind, ActNode, AnnotateNode, AssertNode, EnrichNode, LogicalNode, LogicalPlan, TagKind,
+    };
+    use crate::passes::lower;
+    use crate::physical::PlanConfig;
+    use qurator_rdf::term::Iri;
+
+    fn sample() -> PhysicalPlan {
+        let iri = |s: &str| Iri::new(format!("http://example.org/ont#{s}"));
+        let logical = LogicalPlan {
+            view: "sample".into(),
+            nodes: vec![
+                LogicalNode::Annotate(AnnotateNode {
+                    name: "ann".into(),
+                    service_type: iri("Imprint"),
+                    repository: "cache".into(),
+                    persistent: false,
+                    provides: vec![iri("HitRatio")],
+                }),
+                LogicalNode::Enrich(EnrichNode {
+                    fetches: vec![(iri("HitRatio"), "cache".into())],
+                }),
+                LogicalNode::Assert(AssertNode {
+                    name: "qa".into(),
+                    service_type: iri("Score"),
+                    tag: "HR".into(),
+                    tag_kind: TagKind::Score,
+                    bindings: vec![("h".into(), Binding::Evidence(iri("HitRatio")))],
+                }),
+                LogicalNode::Consolidate,
+                LogicalNode::Act(ActNode {
+                    name: "keep".into(),
+                    kind: ActKind::Filter { condition: "HR > 0".into() },
+                }),
+            ],
+        };
+        lower(&logical, &PlanConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn text_is_duration_free_and_complete() {
+        let text = render_text(&sample());
+        assert!(text.contains("plan for view \"sample\" (optimized)"));
+        assert!(text.contains("enrich-fusion"));
+        assert!(text.contains("wave 0: ann"));
+        assert!(text.contains("Enrich <- \"cache\" (in-view annotations): HitRatio"));
+        assert!(text.contains("keep: HR > 0"));
+        assert!(!text.contains("duration"), "text rendering must stay deterministic");
+        assert!(!text.contains("_us"));
+    }
+
+    #[test]
+    fn json_round_trips_through_the_shared_parser() {
+        let json = render_json(&sample());
+        let value = qurator_telemetry::json::parse(&json).expect("valid JSON");
+        assert_eq!(value.get("view").and_then(|v| v.as_str()), Some("sample"));
+        assert_eq!(value.get("optimized").and_then(|v| v.as_bool()), Some(true));
+        assert_eq!(value.get("waves").and_then(|v| v.as_array()).map(|w| w.len()), Some(5));
+        let passes = value.get("passes").and_then(|v| v.as_array()).unwrap();
+        assert!(passes.iter().all(|p| p.get("duration_us").and_then(|d| d.as_u64()).is_some()));
+    }
+
+    #[test]
+    fn quotes_in_names_are_escaped() {
+        let mut plan = sample();
+        plan.view = "we\"ird".into();
+        let json = render_json(&plan);
+        assert!(qurator_telemetry::json::parse(&json).is_ok());
+    }
+}

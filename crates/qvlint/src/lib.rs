@@ -20,6 +20,8 @@
 //! * [`workflow`] — analysis of compiled workflow graphs (cycles,
 //!   unreachable nodes, repository write/read mismatches, wave-width
 //!   hints);
+//! * [`plan`] — the WF003/WF004 usage findings rebased onto the typed
+//!   plan IR (`qurator-plan`), which both executors consume;
 //! * [`sparql`] — analysis of SPARQL query text (syntax, unbound
 //!   projected variables, cartesian-product joins, unknown prefixes).
 //!
@@ -27,6 +29,7 @@
 //! spec model they analyze; they produce the same [`Diagnostic`] values.
 
 pub mod intervals;
+pub mod plan;
 pub mod render;
 pub mod sparql;
 pub mod workflow;

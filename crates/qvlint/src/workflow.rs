@@ -24,13 +24,31 @@ pub struct RepoUsage {
 /// Waves at least this wide earn a WF004 parallelism hint.
 pub const WIDE_WAVE: usize = 8;
 
-/// Runs the workflow pass. `spec_span` anchors graph-level findings to
-/// the view's source position when the view was parsed with spans.
+/// Runs the full workflow pass: the graph-shape checks of
+/// [`analyze_graph`] plus the repository-usage (WF003) and wave-width
+/// (WF004) observations derived from `repos` and the workflow's own wave
+/// schedule. `qv check` runs WF003/WF004 on the plan IR instead (see
+/// [`crate::plan::analyze_plan`]); this all-in-one entry point serves
+/// callers that only have a compiled workflow in hand.
 pub fn analyze_workflow(
     workflow: &Workflow,
     repos: &RepoUsage,
     spec_span: Option<Span>,
 ) -> Vec<Diagnostic> {
+    let mut diags = analyze_graph(workflow, spec_span);
+    if diags.iter().any(|d| d.code == "WF001") {
+        return diags;
+    }
+    diags.extend(write_only_repositories(&repos.writes, &repos.reads, spec_span));
+    if let Ok(waves) = workflow.waves() {
+        diags.extend(wave_width_hint(&waves, spec_span));
+    }
+    diags
+}
+
+/// The pure graph-shape checks (WF001 cycles, WF002 unreachable nodes) —
+/// the properties only the wired workflow can answer.
+pub fn analyze_graph(workflow: &Workflow, spec_span: Option<Span>) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
 
     // WF001 — dependency cycles. The topological order underpins every
@@ -78,13 +96,23 @@ pub fn analyze_workflow(
         }
     }
 
-    // WF003 — repositories written but never read. An annotator that
-    // fills a repository no enrichment step consults does work nobody
-    // observes (within this view; persistent repositories may serve
-    // later views, which is why this is a warning, not an error).
-    let read: BTreeSet<&str> = repos.reads.iter().map(|(_, r)| r.as_str()).collect();
+    diags
+}
+
+/// WF003 — repositories written but never read. An annotator that
+/// fills a repository no enrichment step consults does work nobody
+/// observes (within this view; persistent repositories may serve
+/// later views, which is why this is a warning, not an error).
+/// `writes`/`reads` pair a node name with a repository name.
+pub fn write_only_repositories(
+    writes: &[(String, String)],
+    reads: &[(String, String)],
+    spec_span: Option<Span>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let read: BTreeSet<&str> = reads.iter().map(|(_, r)| r.as_str()).collect();
     let mut reported: BTreeSet<&str> = BTreeSet::new();
-    for (node, repo) in &repos.writes {
+    for (node, repo) in writes {
         if !read.contains(repo.as_str()) && reported.insert(repo) {
             diags.push(
                 Diagnostic::warning(
@@ -98,29 +126,27 @@ pub fn analyze_workflow(
             );
         }
     }
-
-    // WF004 — wave-width hint: the §6.1 enactor runs each wave's nodes in
-    // parallel, so a wave wider than the worker pool serializes.
-    if let Ok(waves) = workflow.waves() {
-        if let Some((index, width)) =
-            waves.iter().enumerate().map(|(i, w)| (i, w.len())).max_by_key(|(_, w)| *w)
-        {
-            if width >= WIDE_WAVE {
-                diags.push(
-                    Diagnostic::info(
-                        "WF004",
-                        format!(
-                            "wave {index} runs {width} processors in parallel; \
-                             the enactor's thread pool may serialize it"
-                        ),
-                    )
-                    .at(spec_span),
-                );
-            }
-        }
-    }
-
     diags
+}
+
+/// WF004 — wave-width hint: the §6.1 enactor runs each wave's nodes in
+/// parallel, so a wave wider than the worker pool serializes.
+pub fn wave_width_hint(waves: &[Vec<String>], spec_span: Option<Span>) -> Option<Diagnostic> {
+    let (index, width) =
+        waves.iter().enumerate().map(|(i, w)| (i, w.len())).max_by_key(|(_, w)| *w)?;
+    if width < WIDE_WAVE {
+        return None;
+    }
+    Some(
+        Diagnostic::info(
+            "WF004",
+            format!(
+                "wave {index} runs {width} processors in parallel; \
+                 the enactor's thread pool may serialize it"
+            ),
+        )
+        .at(spec_span),
+    )
 }
 
 #[cfg(test)]

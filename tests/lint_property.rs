@@ -181,3 +181,165 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Plan-equivalence property (the optimizer-soundness gate)
+// ---------------------------------------------------------------------------
+
+/// A span-free, order-insensitive projection of one item's decision
+/// trace: evidence (property, value, source), assertions (tag, value,
+/// producing service) and actions (group, outcome, condition). Span ids
+/// differ between runs by construction, so they are dropped; everything
+/// else must agree.
+type TraceProjection = (
+    Vec<(String, String, Option<String>)>,
+    Vec<(String, String, Option<String>)>,
+    Vec<(String, String, Option<String>)>,
+);
+
+fn project_ledger(
+    engine: &QualityEngine,
+    with_sources: bool,
+) -> std::collections::BTreeMap<String, TraceProjection> {
+    engine
+        .ledger()
+        .items()
+        .into_iter()
+        .map(|item| {
+            let trace = engine.why(&item).expect("ledger listed the item");
+            let mut evidence: Vec<_> = trace
+                .evidence
+                .iter()
+                .map(|e| {
+                    let source =
+                        if with_sources { e.source.as_ref().map(|s| s.to_string()) } else { None };
+                    (e.property.to_string(), e.value.clone(), source)
+                })
+                .collect();
+            evidence.sort();
+            let mut assertions: Vec<_> = trace
+                .assertions
+                .iter()
+                .map(|a| {
+                    (
+                        a.property.to_string(),
+                        a.value.clone(),
+                        a.assertion.as_ref().map(|s| s.to_string()),
+                    )
+                })
+                .collect();
+            assertions.sort();
+            let mut actions: Vec<_> = trace
+                .actions
+                .iter()
+                .map(|a| {
+                    (
+                        a.group.to_string(),
+                        a.outcome.to_string(),
+                        a.condition.as_ref().map(|c| c.to_string()),
+                    )
+                })
+                .collect();
+            actions.sort();
+            (item, (evidence, assertions, actions))
+        })
+        .collect()
+}
+
+/// Runs the direct interpreter on a fresh engine under `config`, with the
+/// decision ledger on.
+fn run_interpreted(
+    spec: &QualityViewSpec,
+    config: &qurator_plan::PlanConfig,
+    with_sources: bool,
+) -> (qurator::engine::ActionOutcome, std::collections::BTreeMap<String, TraceProjection>) {
+    let engine = engine();
+    engine.set_provenance_enabled(true);
+    let outcome = engine.execute_view_with(spec, dataset(), config).expect("accepted view runs");
+    let ledger = project_ledger(&engine, with_sources);
+    engine.finish_execution();
+    (outcome, ledger)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// For every view the analyzer accepts, three executions must agree:
+    /// the interpreter over the optimized plan, the interpreter over the
+    /// `--no-opt` baseline plan, and the compiled wave engine. Agreement
+    /// covers the [`ActionOutcome`] (groups, members, maps) and the
+    /// per-item `why(item)` decision ledgers.
+    #[test]
+    fn optimized_baseline_and_compiled_executions_agree(
+        use_score2 in any::<bool>(),
+        use_classifier in any::<bool>(),
+        split in any::<bool>(),
+        ops in proptest::array::uniform3(0u8..4),
+        thresholds in proptest::array::uniform3(-20i8..20),
+        label_mask in 0u8..8,
+    ) {
+        let shape = Shape { use_score2, use_classifier };
+        let mut conditions = vec![numeric_clause("HR", ops[0], thresholds[0])];
+        if shape.use_score2 {
+            conditions.push(numeric_clause("HR_MC", ops[1], thresholds[1]));
+            if shape.use_classifier {
+                conditions.push(class_clause(label_mask));
+            }
+        }
+        conditions.push(numeric_clause("HR", ops[2], thresholds[2]));
+        let spec = build_view(&shape, conditions, split);
+
+        if qurator_qvlint::has_errors(&engine().check(&spec, None)) {
+            continue; // rejected views are covered by the property above
+        }
+
+        let optimize = qurator_plan::PlanConfig { optimize: true };
+        let baseline = qurator_plan::PlanConfig { optimize: false };
+
+        // interpreter, optimized plan vs --no-opt baseline: everything
+        // must match, including evidence sources
+        let (opt_outcome, opt_ledger) = run_interpreted(&spec, &optimize, true);
+        let (raw_outcome, raw_ledger) = run_interpreted(&spec, &baseline, true);
+        prop_assert_eq!(&opt_outcome, &raw_outcome, "optimizer changed the outcome");
+        prop_assert_eq!(&opt_ledger, &raw_ledger, "optimizer changed the decision ledger");
+
+        // compiled wave engine: same outcome; the ledger is reconstructed
+        // from the surviving group maps, so compare the survivors'
+        // records without the interpreter-only source attribution
+        let compiled_engine = engine();
+        compiled_engine.set_provenance_enabled(true);
+        let (compiled_outcome, _report) =
+            compiled_engine.execute_compiled(&spec, dataset()).expect("accepted view enacts");
+        let compiled_ledger = project_ledger(&compiled_engine, false);
+        compiled_engine.finish_execution();
+        prop_assert_eq!(&opt_outcome, &compiled_outcome, "paths disagree on the outcome");
+
+        let (_, sourceless_ledger) = run_interpreted(&spec, &optimize, false);
+        // ledger keys are the bare IRI of the item term
+        let survivors: std::collections::BTreeSet<String> = compiled_outcome
+            .groups
+            .iter()
+            .flat_map(|g| {
+                g.dataset.items().iter().map(|t| {
+                    t.as_iri().map(|i| i.as_str().to_string()).unwrap_or_else(|| t.to_string())
+                })
+            })
+            .collect();
+        prop_assert!(
+            compiled_outcome.groups.iter().all(|g| g.dataset.is_empty())
+                || !survivors.is_disjoint(&compiled_ledger.keys().cloned().collect()),
+            "survivor keys never match ledger keys — projection is vacuous"
+        );
+        for (item, compiled_projection) in &compiled_ledger {
+            let interpreted = sourceless_ledger.get(item);
+            prop_assert!(interpreted.is_some(), "compiled-only ledger item {item}");
+            let interpreted = interpreted.unwrap();
+            // action records exist for every item on both paths
+            prop_assert_eq!(&interpreted.2, &compiled_projection.2, "actions differ for {}", item);
+            // evidence/assertion records are reconstructed for survivors
+            if survivors.contains(item) {
+                prop_assert_eq!(&interpreted.0, &compiled_projection.0, "evidence differs for {}", item);
+                prop_assert_eq!(&interpreted.1, &compiled_projection.1, "assertions differ for {}", item);
+            }
+        }
+    }
+}

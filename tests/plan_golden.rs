@@ -1,0 +1,105 @@
+//! Golden EXPLAIN snapshots: the `qv plan` text rendering of every view
+//! under `samples/` and `examples/` is pinned in `tests/plan_golden/`,
+//! in both optimized (`<stem>.plan.txt`) and `--no-opt` baseline
+//! (`<stem>.noopt.plan.txt`) form. The text renderer is deliberately
+//! duration-free, so the snapshots are stable across machines.
+//!
+//! When a plan change is intentional, regenerate with
+//!
+//! ```text
+//! UPDATE_PLAN_GOLDEN=1 cargo test --test plan_golden
+//! ```
+//!
+//! The JSON rendering of every plan is additionally validated against
+//! the in-tree schema (the same check `qv plan-check` runs in CI).
+
+use qurator::prelude::*;
+use qurator_plan::{render, schema, PlanConfig};
+use std::path::{Path, PathBuf};
+
+/// Every `.xml` quality view under `samples/` and `examples/`.
+fn view_files() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    for dir in ["samples", "examples"] {
+        let Ok(entries) = std::fs::read_dir(root.join(dir)) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "xml") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    assert!(!files.is_empty(), "no sample views found — looked under samples/ and examples/");
+    files
+}
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/plan_golden")
+}
+
+fn check_snapshot(name: &str, rendered: &str, mismatches: &mut Vec<String>) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("UPDATE_PLAN_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    match std::fs::read_to_string(&path) {
+        Err(_) => mismatches.push(format!(
+            "{name}: snapshot missing — run UPDATE_PLAN_GOLDEN=1 cargo test --test plan_golden"
+        )),
+        Ok(expected) if expected != rendered => mismatches.push(format!(
+            "{name}: plan rendering changed.\n--- expected\n{expected}\n--- actual\n{rendered}"
+        )),
+        Ok(_) => {}
+    }
+}
+
+#[test]
+fn every_sample_view_matches_its_golden_plan() {
+    let mut mismatches = Vec::new();
+    for path in view_files() {
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let spec =
+            qurator::xmlio::parse_quality_view(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let engine = QualityEngine::with_proteomics_defaults().unwrap();
+        let optimized = engine.plan(&spec).unwrap();
+        let baseline = engine.plan_with(&spec, &PlanConfig { optimize: false }).unwrap();
+        check_snapshot(
+            &format!("{stem}.plan.txt"),
+            &render::render_text(&optimized),
+            &mut mismatches,
+        );
+        check_snapshot(
+            &format!("{stem}.noopt.plan.txt"),
+            &render::render_text(&baseline),
+            &mut mismatches,
+        );
+        for plan in [&optimized, &baseline] {
+            let json = render::render_json(plan);
+            if let Err(e) = schema::validate_plan_json(&json) {
+                mismatches.push(format!("{stem}: JSON rendering fails schema validation: {e}"));
+            }
+        }
+    }
+    assert!(mismatches.is_empty(), "{}", mismatches.join("\n\n"));
+}
+
+/// The golden directory must not accumulate snapshots for deleted views.
+#[test]
+fn no_orphaned_snapshots() {
+    let stems: Vec<String> = view_files()
+        .iter()
+        .map(|p| p.file_stem().unwrap().to_string_lossy().into_owned())
+        .collect();
+    let Ok(entries) = std::fs::read_dir(golden_dir()) else { return };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let covered = stems
+            .iter()
+            .any(|s| name == format!("{s}.plan.txt") || name == format!("{s}.noopt.plan.txt"));
+        assert!(covered, "orphaned snapshot {name}: no matching view under samples/ or examples/");
+    }
+}
