@@ -1,0 +1,143 @@
+//! Acceptance bench: the cost of the continuous-observability layer
+//! (bounded trace retention + tail sampling + drift monitoring) on the
+//! Figure 7 ISPIDER workload.
+//!
+//! PR 2's telemetry is per-run: every enactment hands its full span trace
+//! to the caller and nothing persists. The observability layer adds, per
+//! finished enactment, one retention decision (error/rejected/slow/
+//! sampled), an id-remapped copy when the trace is kept, and per-window
+//! drift bookkeeping in the QA operators. This bench interleaves the two
+//! variants on identical engines over the same generated world:
+//!
+//! * `baseline` — PR 2 behaviour: no retainer, drift monitor off;
+//! * `observed` — retainer at default capacity, drift monitor on.
+//!
+//! Acceptance: median wallclock overhead ≤ 5% (`overhead_pct` in
+//! `BENCH_obs_retention.json`; the min-of-N delta is reported as a
+//! drift-resistant cross-check).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin obs_retention [seed]
+//! ```
+
+use bench::results::{measure_ms, quantile, BenchResult};
+use qurator::prelude::*;
+use qurator_proteomics::{World, WorldConfig};
+use qurator_repro::ispider::{figure7_view, FIGURE7_GROUP};
+use qurator_repro::IspiderPipeline;
+use qurator_telemetry::TelemetryConfig;
+
+const ITERS: usize = 21;
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let world = World::generate(&WorldConfig::paper_scale(seed)).expect("testbed");
+    let view = figure7_view();
+
+    // two identical engines over the same world: one stays at PR 2
+    // behaviour, one carries the full observability layer
+    let base_engine = QualityEngine::with_proteomics_defaults().expect("engine");
+    let obs_engine = QualityEngine::with_proteomics_defaults().expect("engine");
+    let config = TelemetryConfig::default();
+    let retainer = obs_engine.enable_observability(&config);
+    let base_pipeline = IspiderPipeline::new(&world, &base_engine);
+    let obs_pipeline = IspiderPipeline::new(&world, &obs_engine);
+
+    // warm-up both variants (condition compiler, annotation caches)
+    let drift = qurator_telemetry::drift::global();
+    drift.set_enabled(false);
+    base_pipeline.run_filtered(&view, FIGURE7_GROUP).expect("baseline warm-up");
+    drift.set_enabled(true);
+    obs_pipeline.run_filtered(&view, FIGURE7_GROUP).expect("observed warm-up");
+
+    // interleave so machine drift hits both sample sets equally,
+    // alternating the within-pair order so cache/scheduler effects don't
+    // systematically favour one variant; the drift monitor is
+    // process-global, so it is switched per variant
+    let mut baseline = Vec::with_capacity(ITERS);
+    let mut observed = Vec::with_capacity(ITERS);
+    let run_baseline = |out: &mut Vec<f64>| {
+        drift.set_enabled(false);
+        out.extend(measure_ms(1, || {
+            std::hint::black_box(
+                base_pipeline.run_filtered(&view, FIGURE7_GROUP).expect("baseline run"),
+            );
+        }));
+    };
+    let run_observed = |out: &mut Vec<f64>| {
+        drift.set_enabled(true);
+        out.extend(measure_ms(1, || {
+            std::hint::black_box(
+                obs_pipeline.run_filtered(&view, FIGURE7_GROUP).expect("observed run"),
+            );
+        }));
+    };
+    for i in 0..ITERS {
+        if i % 2 == 0 {
+            run_baseline(&mut baseline);
+            run_observed(&mut observed);
+        } else {
+            run_observed(&mut observed);
+            run_baseline(&mut baseline);
+        }
+    }
+
+    let base_med = quantile(&baseline, 0.5);
+    let obs_med = quantile(&observed, 0.5);
+    // the headline statistic: median of per-pair relative deltas — each
+    // pair ran back-to-back, so slow-machine drift largely cancels
+    let mut paired: Vec<f64> = baseline
+        .iter()
+        .zip(&observed)
+        .filter(|(b, _)| **b > 0.0)
+        .map(|(b, o)| (o - b) / b * 100.0)
+        .collect();
+    paired.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let overhead_pct = quantile(&paired, 0.5);
+    let base_min = baseline.iter().cloned().fold(f64::INFINITY, f64::min);
+    let obs_min = observed.iter().cloned().fold(f64::INFINITY, f64::min);
+    let min_delta_pct = if base_min > 0.0 { (obs_min - base_min) / base_min * 100.0 } else { 0.0 };
+
+    println!("== observability overhead on the Figure 7 workload (seed {seed}) ==\n");
+    println!("spots: {} | iterations: {ITERS}", world.peak_lists().len());
+    println!(
+        "baseline (PR 2):  min {base_min:.3} ms, median {base_med:.3} ms, p95 {:.3} ms",
+        quantile(&baseline, 0.95)
+    );
+    println!(
+        "observed (ring + drift): min {obs_min:.3} ms, median {obs_med:.3} ms, p95 {:.3} ms",
+        quantile(&observed, 0.95)
+    );
+    println!(
+        "overhead: {overhead_pct:+.2}% (median of paired back-to-back deltas; acceptance: <= 5%), {min_delta_pct:+.2}% min-of-N cross-check"
+    );
+    println!(
+        "retention: {} offered, {} resident (capacity {})",
+        retainer.offered(),
+        retainer.resident(),
+        retainer.capacity()
+    );
+    assert!(
+        retainer.resident() <= retainer.capacity(),
+        "ring buffer must stay within its configured bound"
+    );
+
+    let result = BenchResult::new("obs_retention")
+        .config("seed", seed)
+        .config("iters", ITERS)
+        .config("workload", "Figure 7 ISPIDER filtered run")
+        .config("trace_capacity", config.trace_capacity)
+        .metric("baseline_min_ms", base_min)
+        .metric("baseline_median_ms", base_med)
+        .metric("baseline_p95_ms", quantile(&baseline, 0.95))
+        .metric("observed_min_ms", obs_min)
+        .metric("observed_median_ms", obs_med)
+        .metric("observed_p95_ms", quantile(&observed, 0.95))
+        .metric("overhead_pct", overhead_pct)
+        .metric("min_delta_pct", min_delta_pct)
+        .metric("traces_offered", retainer.offered() as f64)
+        .metric("traces_resident", retainer.resident() as f64)
+        .samples_ms(observed);
+    let path = result.write().expect("bench artifact");
+    println!("-> {}", path.display());
+}

@@ -16,6 +16,13 @@
 //! qv explain  <view.xml> --data <hits.tsv>       decision provenance for one item:
 //!             --item <id-or-suffix>              evidence fetched, tags assigned,
 //!             [--spans]                          actions taken (`why(item)`)
+//! qv profile  <view.xml> --data <hits.tsv>       per-plan-node self-time profile;
+//!             [--runs N] [--folded out.txt]      folded stacks for flamegraph tools
+//! qv serve    <view.xml>... --addr HOST:PORT     long-lived engine over HTTP:
+//!             [--trace-capacity N]               GET /healthz /metrics /drift
+//!             [--sample-rate F]                  GET /traces/recent (ring buffer)
+//!             [--drift-window N]                 POST /run/<view> with a TSV body
+//!             [--drift-threshold F]
 //! qv telemetry-check <trace.jsonl> [metrics.txt] validate exported telemetry files
 //! qv library  <catalog.xml> [--search TEXT]      browse a shared view catalog (§7 iv)
 //! ```
@@ -28,6 +35,7 @@
 //! urn:lsid:uniprot.org:uniprot:P30089\t0.82\t31\t9
 //! ```
 
+mod serve;
 mod tsv;
 
 use qurator::library::ViewLibrary;
@@ -59,6 +67,8 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "fmt" => cmd_fmt(args.get(1).ok_or_else(usage)?),
         "run" => cmd_run(args),
         "explain" => cmd_explain(args),
+        "profile" => cmd_profile(args),
+        "serve" => cmd_serve(args),
         "telemetry-check" => cmd_telemetry_check(args),
         "library" => cmd_library(args),
         "--help" | "-h" | "help" => {
@@ -70,7 +80,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  qv validate <view.xml>\n  qv check <view.xml|query.rq> [--format text|json] [--deny warnings]\n  qv compile <view.xml> [--dot]\n  qv plan <view.xml> [--no-opt] [--format text|json]\n  qv plan-check <plan.json>\n  qv fmt <view.xml>\n  qv run <view.xml> --data <hits.tsv> [--group NAME] [--explain] [--trace-out FILE] [--metrics-out FILE]\n  qv explain <view.xml> --data <hits.tsv> --item <id-or-suffix> [--spans]\n  qv telemetry-check <trace.jsonl> [metrics.txt]\n  qv library <catalog.xml> [--search TEXT]"
+    "usage:\n  qv validate <view.xml>\n  qv check <view.xml|query.rq> [--format text|json] [--deny warnings]\n  qv compile <view.xml> [--dot]\n  qv plan <view.xml> [--no-opt] [--format text|json]\n  qv plan-check <plan.json>\n  qv fmt <view.xml>\n  qv run <view.xml> --data <hits.tsv> [--group NAME] [--explain] [--trace-out FILE] [--metrics-out FILE] [--profile-out FILE]\n  qv explain <view.xml> --data <hits.tsv> --item <id-or-suffix> [--spans]\n  qv profile <view.xml> --data <hits.tsv> [--runs N] [--folded out.txt]\n  qv serve <view.xml>... --addr HOST:PORT [--trace-capacity N] [--sample-rate F] [--drift-window N] [--drift-threshold F]\n  qv telemetry-check <trace.jsonl> [metrics.txt]\n  qv library <catalog.xml> [--search TEXT]"
         .to_string()
 }
 
@@ -288,6 +298,143 @@ fn write_telemetry(args: &[String], engine: &QualityEngine) -> Result<(), String
         .map_err(|e| format!("cannot write {path:?}: {e}"))?;
         println!("metrics -> {path}");
     }
+    if let Some(path) = flag_value(args, "--profile-out") {
+        let trace = engine.last_trace().ok_or("no span trace was recorded")?;
+        let profile = qurator_telemetry::Profile::from_traces([&trace]);
+        std::fs::write(path, profile.to_folded())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        println!("profile: {} node(s) -> {path}", profile.nodes().len());
+    }
+    Ok(())
+}
+
+/// `qv profile`: enact the view over the data set (optionally several
+/// times) and fold the span traces into a per-plan-node self-time
+/// profile; `--folded` exports flamegraph-compatible folded stacks.
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let view_path = args.get(1).filter(|a| !a.starts_with("--")).ok_or_else(usage)?;
+    let data_path = flag_value(args, "--data").ok_or_else(usage)?;
+    let runs: u32 = match flag_value(args, "--runs") {
+        None => 1,
+        Some(n) => n.parse().map_err(|_| format!("--runs {n:?} is not a number"))?,
+    };
+    if runs == 0 {
+        return Err("--runs must be at least 1".into());
+    }
+
+    let spec = load_view(view_path)?;
+    let dataset = tsv::read_dataset(&read_file(data_path)?)?;
+    let engine = stock_engine()?;
+    let mut profile = qurator_telemetry::Profile::new();
+    for _ in 0..runs {
+        engine.execute_view(&spec, &dataset).map_err(|e| e.to_string())?;
+        let trace = engine.last_trace().ok_or("no span trace was recorded")?;
+        profile.add_trace(&trace);
+    }
+    println!("{}", profile.render_table());
+    if let Some(path) = flag_value(args, "--folded") {
+        std::fs::write(path, profile.to_folded())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        println!("folded stacks -> {path}");
+    }
+    engine.finish_execution();
+    Ok(())
+}
+
+/// The SIGTERM/SIGINT flag `qv serve`'s accept loop polls.
+static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_signum: i32) {
+    SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Registers the handler via raw libc `signal(2)` — storing to an atomic
+/// is async-signal-safe, and the FFI declaration keeps the CLI free of a
+/// signal-handling dependency.
+#[cfg(unix)]
+fn install_shutdown_handler() {
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_shutdown_signal);
+        signal(SIGINT, on_shutdown_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_handler() {}
+
+/// `qv serve`: publish one or more views behind the HTTP endpoint and
+/// serve until SIGTERM/SIGINT.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut config = qurator_telemetry::TelemetryConfig::default();
+    let mut view_paths: Vec<&str> = Vec::new();
+    let mut addr = "127.0.0.1:7878";
+    let mut i = 1;
+    while i < args.len() {
+        let flag_arg = |name: &str| -> Result<&str, String> {
+            args.get(i + 1).map(String::as_str).ok_or(format!("{name} needs a value"))
+        };
+        match args[i].as_str() {
+            "--addr" => {
+                addr = flag_arg("--addr")?;
+                i += 2;
+            }
+            "--trace-capacity" => {
+                let v = flag_arg("--trace-capacity")?;
+                config.trace_capacity =
+                    v.parse().map_err(|_| format!("--trace-capacity {v:?} is not a number"))?;
+                i += 2;
+            }
+            "--sample-rate" => {
+                let v = flag_arg("--sample-rate")?;
+                config.sample_rate =
+                    v.parse().map_err(|_| format!("--sample-rate {v:?} is not a number"))?;
+                i += 2;
+            }
+            "--drift-window" => {
+                let v = flag_arg("--drift-window")?;
+                config.drift.window =
+                    v.parse().map_err(|_| format!("--drift-window {v:?} is not a number"))?;
+                i += 2;
+            }
+            "--drift-threshold" => {
+                let v = flag_arg("--drift-threshold")?;
+                config.drift.threshold =
+                    v.parse().map_err(|_| format!("--drift-threshold {v:?} is not a number"))?;
+                i += 2;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown serve flag {other:?}\n{}", usage()));
+            }
+            path => {
+                view_paths.push(path);
+                i += 1;
+            }
+        }
+    }
+    if view_paths.is_empty() {
+        return Err(format!("serve needs at least one view\n{}", usage()));
+    }
+
+    let engine = stock_engine()?;
+    let mut views = Vec::new();
+    for path in view_paths {
+        let spec = load_view(path)?;
+        engine.validate(&spec).map_err(|e| format!("{path}: {e}"))?;
+        views.push(spec);
+    }
+    let state = serve::ServeState::new(engine, views, &config);
+    let names = state.view_names().join(", ");
+    let server = serve::Server::bind(addr, state)?;
+    let local = server.local_addr()?;
+    println!("qv serve: listening on http://{local} (views: {names})");
+    install_shutdown_handler();
+    server.run(&SHUTDOWN)?;
+    println!("qv serve: shutdown signal received, exiting");
     Ok(())
 }
 

@@ -1,0 +1,474 @@
+//! `qv serve` — a long-lived engine behind a minimal HTTP endpoint.
+//!
+//! The paper's deployment story (§7) is a *service*: quality views are
+//! published once and exercised continuously as new submissions arrive.
+//! This module gives the CLI that shape without pulling in an HTTP
+//! framework: a hand-rolled `std::net::TcpListener` loop speaking just
+//! enough HTTP/1.1 for `curl` and the CI smoke job.
+//!
+//! Routes:
+//!
+//! | method | path             | body                                     |
+//! |--------|------------------|------------------------------------------|
+//! | GET    | `/`              | JSON index: views + endpoints            |
+//! | GET    | `/healthz`       | `ok`                                     |
+//! | GET    | `/metrics`       | Prometheus text exposition               |
+//! | GET    | `/traces/recent` | JSON-lines from the trace ring buffer    |
+//! | GET    | `/drift`         | drift-monitor state + events, JSON       |
+//! | POST   | `/run/<view>`    | TSV submission in, group summary out     |
+//!
+//! The request handler is a pure function ([`route`]) over a
+//! [`ServeState`], so the routing table is unit-testable without sockets;
+//! [`Server::run`] adds the accept loop (non-blocking, polling a shutdown
+//! flag so SIGTERM produces a clean exit) and the HTTP framing.
+
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qurator::prelude::*;
+use qurator::spec::ActionKind;
+use qurator_telemetry::json::escape;
+use qurator_telemetry::{TelemetryConfig, TraceRetainer};
+
+use crate::tsv;
+
+/// Everything a request handler needs: the engine, its trace retainer
+/// and the views published at startup.
+pub struct ServeState {
+    engine: QualityEngine,
+    retainer: Arc<TraceRetainer>,
+    views: BTreeMap<String, QualityViewSpec>,
+}
+
+impl ServeState {
+    /// Publishes `views` on `engine` and switches the engine to
+    /// continuous observability (bounded trace retention + drift
+    /// monitoring) per `config`.
+    pub fn new(
+        engine: QualityEngine,
+        views: Vec<QualityViewSpec>,
+        config: &TelemetryConfig,
+    ) -> Self {
+        let retainer = engine.enable_observability(config);
+        let views = views.into_iter().map(|v| (v.name.clone(), v)).collect();
+        ServeState { engine, retainer, views }
+    }
+
+    /// Names of the published views, sorted.
+    pub fn view_names(&self) -> Vec<&str> {
+        self.views.keys().map(String::as_str).collect()
+    }
+}
+
+/// A finished HTTP response, pre-framing.
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: String,
+}
+
+impl Response {
+    fn text(status: u16, body: impl Into<String>) -> Self {
+        Response { status, content_type: "text/plain; charset=utf-8", body: body.into() }
+    }
+
+    fn json(status: u16, body: impl Into<String>) -> Self {
+        Response { status, content_type: "application/json", body: body.into() }
+    }
+
+    fn error(status: u16, message: &str) -> Self {
+        Response::json(status, format!("{{\"error\":\"{}\"}}", escape(message)))
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Dispatches one request. Also records the `serve.requests{route,status}`
+/// counter and the `serve.request.latency{route}` histogram (microseconds)
+/// so the endpoint observes itself through the same registry it exports.
+pub fn route(state: &ServeState, method: &str, target: &str, body: &str) -> Response {
+    let started = Instant::now();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let response = route_inner(state, method, path, query, body);
+    let route_label = if path.starts_with("/run/") { "/run" } else { path };
+    let metrics = qurator_telemetry::metrics();
+    metrics
+        .counter_with(
+            "serve.requests",
+            &[("route", route_label), ("status", &response.status.to_string())],
+        )
+        .inc();
+    metrics
+        .histogram_with("serve.request.latency", &[("route", route_label)])
+        .record(started.elapsed().as_micros() as u64);
+    response
+}
+
+fn route_inner(
+    state: &ServeState,
+    method: &str,
+    path: &str,
+    query: Option<&str>,
+    body: &str,
+) -> Response {
+    match (method, path) {
+        ("GET", "/") => Response::json(200, index_json(state)),
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/metrics") => {
+            Response::text(200, qurator_telemetry::metrics().render_prometheus())
+        }
+        ("GET", "/traces/recent") => {
+            let limit = query
+                .and_then(|q| {
+                    q.split('&').find_map(|kv| kv.strip_prefix("limit=")?.parse::<usize>().ok())
+                })
+                .unwrap_or(32);
+            Response {
+                status: 200,
+                content_type: "application/x-ndjson",
+                body: state.retainer.recent_jsonl(limit),
+            }
+        }
+        ("GET", "/drift") => Response::json(200, qurator_telemetry::drift::global().to_json()),
+        ("POST", run) if run.starts_with("/run/") => run_view(state, &run["/run/".len()..], body),
+        (_, "/" | "/healthz" | "/metrics" | "/traces/recent" | "/drift") => {
+            Response::error(405, &format!("{method} not allowed here"))
+        }
+        (_, run) if run.starts_with("/run/") => Response::error(405, "use POST with a TSV body"),
+        _ => Response::error(404, &format!("no route for {path}")),
+    }
+}
+
+fn index_json(state: &ServeState) -> String {
+    let views: Vec<String> =
+        state.view_names().iter().map(|v| format!("\"{}\"", escape(v))).collect();
+    format!(
+        "{{\"service\":\"qv serve\",\"views\":[{}],\"endpoints\":[\"GET /healthz\",\"GET /metrics\",\"GET /traces/recent\",\"GET /drift\",\"POST /run/<view>\"]}}",
+        views.join(",")
+    )
+}
+
+/// `POST /run/<view>`: parse the TSV body, enact the view, summarise the
+/// resulting groups. Rejections (for filter actions) are derived the same
+/// way the engine's retention metadata is: items in minus items out.
+fn run_view(state: &ServeState, view: &str, body: &str) -> Response {
+    let Some(spec) = state.views.get(view) else {
+        return Response::error(
+            404,
+            &format!("unknown view {view:?}; published: {}", state.view_names().join(", ")),
+        );
+    };
+    let dataset = match tsv::read_dataset(body) {
+        Ok(d) => d,
+        Err(e) => return Response::error(400, &e),
+    };
+    let outcome = match state.engine.execute_view(spec, &dataset) {
+        Ok(o) => o,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let mut rejected = 0usize;
+    for action in &spec.actions {
+        if matches!(action.kind, ActionKind::Filter { .. }) {
+            if let Some(group) = outcome.groups.iter().find(|g| g.name == action.name) {
+                rejected += dataset.len().saturating_sub(group.dataset.len());
+            }
+        }
+    }
+    let groups: Vec<String> = outcome
+        .groups
+        .iter()
+        .map(|g| {
+            let items: Vec<String> = g
+                .dataset
+                .items()
+                .iter()
+                .map(|i| format!("\"{}\"", escape(&i.to_string())))
+                .collect();
+            format!(
+                "{{\"name\":\"{}\",\"count\":{},\"items\":[{}]}}",
+                escape(&g.name),
+                g.dataset.len(),
+                items.join(",")
+            )
+        })
+        .collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"view\":\"{}\",\"input\":{},\"rejected\":{},\"groups\":[{}]}}",
+            escape(view),
+            dataset.len(),
+            rejected,
+            groups.join(",")
+        ),
+    )
+}
+
+/// Upper bounds on what we will buffer from one request.
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// Reads one HTTP/1.1 request off the stream: `(method, target, body)`.
+fn read_request(stream: &mut TcpStream) -> Result<(String, String, String), String> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err("request head too large".into());
+        }
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-request".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let target = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || !target.starts_with('/') {
+        return Err(format!("malformed request line {request_line:?}"));
+    }
+    let content_length = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err("body too large".into());
+    }
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| format!("read body: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".into());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok((method, target, String::from_utf8_lossy(&body).into_owned()))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    )?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+fn handle(state: &ServeState, mut stream: TcpStream) {
+    // accepted sockets may inherit the listener's non-blocking mode
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let response = match read_request(&mut stream) {
+        Ok((method, target, body)) => route(state, &method, &target, &body),
+        Err(e) => Response::error(400, &e),
+    };
+    let _ = write_response(&mut stream, &response);
+}
+
+/// The accept loop. Binding to port 0 picks a free port (tests and the
+/// CI smoke job read the real address back via [`Server::local_addr`]).
+pub struct Server {
+    listener: TcpListener,
+    state: ServeState,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`, port 0 for ephemeral).
+    pub fn bind(addr: &str, state: ServeState) -> Result<Server, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener.local_addr().map_err(|e| e.to_string())
+    }
+
+    /// Serves until `shutdown` flips true (the signal handler's job).
+    /// Requests are handled serially on this thread — the engine's own
+    /// enactment parallelism is where the cores go.
+    pub fn run(self, shutdown: &AtomicBool) -> Result<(), String> {
+        self.listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+        loop {
+            if shutdown.load(Ordering::Relaxed) {
+                return Ok(());
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => handle(&self.state, stream),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(format!("accept: {e}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qurator_telemetry::json;
+
+    const VIEW: &str = r#"
+<QualityView name="serve-test">
+  <Annotator serviceName="imprint" serviceType="q:ImprintOutputAnnotation">
+    <variables repositoryRef="cache" persistent="false">
+      <var evidence="q:HitRatio"/>
+      <var evidence="q:MassCoverage"/>
+      <var evidence="q:PeptidesCount"/>
+    </variables>
+  </Annotator>
+  <QualityAssertion serviceName="score" serviceType="q:UniversalPIScore2"
+                    tagName="HR_MC" tagSynType="q:score">
+    <variables repositoryRef="cache">
+      <var variableName="coverage" evidence="q:MassCoverage"/>
+      <var variableName="hitratio" evidence="q:HitRatio"/>
+      <var variableName="peptidescount" evidence="q:PeptidesCount"/>
+    </variables>
+  </QualityAssertion>
+  <action name="keep">
+    <filter><condition>HR_MC &gt; 0</condition></filter>
+  </action>
+</QualityView>"#;
+
+    const DATA: &str = "id\thitRatio\tmassCoverage\tpeptidesCount\n\
+urn:lsid:t:h:good\t0.9\t40\t12\n\
+urn:lsid:t:h:bad\t0.1\t3\t1\n";
+
+    fn state() -> ServeState {
+        let engine = QualityEngine::with_proteomics_defaults().unwrap();
+        let spec = qurator::xmlio::parse_quality_view(VIEW).unwrap();
+        ServeState::new(engine, vec![spec], &TelemetryConfig::default())
+    }
+
+    #[test]
+    fn healthz_and_index_respond() {
+        let state = state();
+        let r = route(&state, "GET", "/healthz", "");
+        assert_eq!((r.status, r.body.as_str()), (200, "ok\n"));
+        let r = route(&state, "GET", "/", "");
+        let value = json::parse(&r.body).unwrap();
+        let views = value.get("views").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(views[0].as_str(), Some("serve-test"));
+    }
+
+    #[test]
+    fn unknown_routes_and_wrong_methods_are_rejected() {
+        let state = state();
+        assert_eq!(route(&state, "GET", "/nope", "").status, 404);
+        assert_eq!(route(&state, "POST", "/metrics", "").status, 405);
+        assert_eq!(route(&state, "GET", "/run/serve-test", "").status, 405);
+        assert_eq!(route(&state, "POST", "/run/missing", DATA).status, 404);
+        assert_eq!(route(&state, "POST", "/run/serve-test", "not a tsv").status, 400);
+    }
+
+    #[test]
+    fn run_endpoint_enacts_and_the_trace_lands_in_the_ring() {
+        let state = state();
+        let r = route(&state, "POST", "/run/serve-test", DATA);
+        assert_eq!(r.status, 200, "{}", r.body);
+        let value = json::parse(&r.body).unwrap();
+        assert_eq!(value.get("input").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(value.get("rejected").and_then(|v| v.as_u64()), Some(1));
+        let groups = value.get("groups").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(groups[0].get("name").and_then(|v| v.as_str()), Some("keep"));
+        assert_eq!(groups[0].get("count").and_then(|v| v.as_u64()), Some(1));
+
+        // the run rejected an item, so retention must have kept its trace
+        let r = route(&state, "GET", "/traces/recent", "");
+        assert_eq!(r.status, 200);
+        assert!(qurator_telemetry::schema::validate_trace_jsonl(&r.body).unwrap() > 0);
+        assert!(r.body.contains("\"reason\":\"rejected\""), "{}", r.body);
+
+        // metrics include the serve-side series this request just recorded
+        let r = route(&state, "GET", "/metrics", "");
+        assert!(r.body.contains("serve.requests{route=\"/run\",status=\"200\"}"), "{}", r.body);
+        assert!(qurator_telemetry::schema::validate_metrics_text(&r.body).unwrap() > 0);
+
+        // drift endpoint is live (enabled by enable_observability)
+        let r = route(&state, "GET", "/drift", "");
+        let value = json::parse(&r.body).unwrap();
+        assert_eq!(value.get("enabled").and_then(|v| v.as_bool()), Some(true));
+    }
+
+    #[test]
+    fn traces_recent_honours_the_limit_parameter() {
+        let state = state();
+        for _ in 0..3 {
+            assert_eq!(route(&state, "POST", "/run/serve-test", DATA).status, 200);
+        }
+        let all = route(&state, "GET", "/traces/recent", "");
+        let one = route(&state, "GET", "/traces/recent?limit=1", "");
+        let headers =
+            |body: &str| body.lines().filter(|l| l.contains("\"type\":\"trace\"")).count();
+        assert!(headers(&all.body) >= 3, "{}", all.body);
+        assert_eq!(headers(&one.body), 1);
+    }
+
+    #[test]
+    fn server_speaks_http_over_a_real_socket() {
+        let server = Server::bind("127.0.0.1:0", state()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let thread = std::thread::spawn(move || server.run(&flag));
+
+        let request = |payload: String| -> String {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(payload.as_bytes()).unwrap();
+            let mut out = String::new();
+            stream.read_to_string(&mut out).unwrap();
+            out
+        };
+        let health = request("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n".into());
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+        assert!(health.ends_with("ok\n"), "{health}");
+
+        let run = request(format!(
+            "POST /run/serve-test HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+            DATA.len(),
+            DATA
+        ));
+        assert!(run.starts_with("HTTP/1.1 200 OK\r\n"), "{run}");
+        assert!(run.contains("\"rejected\":1"), "{run}");
+
+        let bad = request("BROKEN\r\n\r\n".into());
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+
+        shutdown.store(true, Ordering::Relaxed);
+        thread.join().unwrap().unwrap();
+    }
+}

@@ -125,6 +125,122 @@ fn library_lists_and_searches() {
 }
 
 #[test]
+fn profile_prints_a_table_and_round_trips_folded_stacks() {
+    let view = write_temp("prof.xml", VIEW);
+    let data = write_temp("prof.tsv", DATA);
+    let folded = write_temp("prof.folded", "");
+    let (ok, stdout, stderr) = qv(&[
+        "profile",
+        view.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+        "--runs",
+        "3",
+        "--folded",
+        folded.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("3 trace(s) profiled"), "{stdout}");
+    assert!(stdout.contains("view:cli-test"), "{stdout}");
+    // the folded export parses back and every stack roots at the view span
+    let parsed =
+        qurator_telemetry::Profile::parse_folded(&std::fs::read_to_string(&folded).unwrap())
+            .unwrap();
+    assert!(!parsed.is_empty());
+    assert!(parsed.keys().all(|stack| stack.starts_with("view:cli-test")), "{parsed:?}");
+}
+
+#[test]
+fn run_profile_out_writes_parseable_stacks() {
+    let view = write_temp("runprof.xml", VIEW);
+    let data = write_temp("runprof.tsv", DATA);
+    let out = write_temp("runprof.folded", "");
+    let (ok, stdout, stderr) = qv(&[
+        "run",
+        view.to_str().unwrap(),
+        "--data",
+        data.to_str().unwrap(),
+        "--profile-out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("profile:"), "{stdout}");
+    let parsed =
+        qurator_telemetry::Profile::parse_folded(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    assert!(!parsed.is_empty());
+}
+
+/// Full service lifecycle against the real binary: start `qv serve` on an
+/// ephemeral port, exercise every endpoint over TCP, then SIGTERM it and
+/// require a clean (status 0) shutdown.
+#[cfg(unix)]
+#[test]
+fn serve_answers_http_and_shuts_down_cleanly_on_sigterm() {
+    use std::io::{BufRead as _, BufReader, Read as _};
+    use std::net::TcpStream;
+    use std::process::Stdio;
+
+    let view = write_temp("serve.xml", VIEW);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_qv"))
+        .args(["serve", view.to_str().unwrap(), "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn qv serve");
+
+    // the first stdout line announces the resolved address
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("read banner");
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in banner {banner:?}"))
+        .to_string();
+
+    let request = |payload: String| -> String {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        std::io::Write::write_all(&mut stream, payload.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    };
+    let body_of = |response: &str| -> String {
+        response.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default()
+    };
+
+    let health = request("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n".into());
+    assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+    assert_eq!(body_of(&health), "ok\n");
+
+    let run = request(format!(
+        "POST /run/cli-test HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+        DATA.len(),
+        DATA
+    ));
+    assert!(run.starts_with("HTTP/1.1 200 OK"), "{run}");
+    assert!(run.contains("\"rejected\":1"), "{run}");
+
+    let metrics = body_of(&request("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n".into()));
+    assert!(qurator_telemetry::schema::validate_metrics_text(&metrics).unwrap() > 0, "{metrics}");
+
+    let traces = body_of(&request("GET /traces/recent HTTP/1.1\r\nHost: x\r\n\r\n".into()));
+    assert!(qurator_telemetry::schema::validate_trace_jsonl(&traces).unwrap() > 0, "{traces}");
+
+    let drift = body_of(&request("GET /drift HTTP/1.1\r\nHost: x\r\n\r\n".into()));
+    assert!(drift.contains("\"enabled\":true"), "{drift}");
+
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    let status = child.wait().expect("wait for qv serve");
+    assert!(status.success(), "serve exited {status:?} after SIGTERM");
+}
+
+#[test]
 fn usage_on_bad_invocations() {
     let (ok, _, stderr) = qv(&[]);
     assert!(!ok);

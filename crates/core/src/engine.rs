@@ -30,9 +30,10 @@ use qurator_rdf::namespace::q;
 use qurator_rdf::term::Term;
 use qurator_services::stdlib::{FieldCaptureAnnotator, StatClassifierAssertion, ZScoreAssertion};
 use qurator_services::{AnnotationService, AssertionService, DataSet, ServiceRegistry};
-use qurator_telemetry::span::{SpanKind, SpanTrace, TraceSession};
+use qurator_telemetry::span::{SpanId, SpanKind, SpanRecorder, SpanTrace, TraceSession};
 use qurator_telemetry::{
-    ActionRecord, AssertionRecord, DecisionLedger, DecisionTrace, EvidenceRecord,
+    ActionRecord, AssertionRecord, DecisionLedger, DecisionTrace, EvidenceRecord, LedgerEvent,
+    TelemetryConfig, TraceMeta, TraceRetainer,
 };
 use qurator_workflow::{Context, Data, EnactmentReport, Enactor, Workflow};
 use std::collections::{BTreeMap, HashSet};
@@ -66,6 +67,11 @@ pub struct QualityEngine {
     bindings: RwLock<BindingRegistry>,
     ledger: Arc<DecisionLedger>,
     last_trace: RwLock<Option<SpanTrace>>,
+    /// Continuous-observability retention (None until
+    /// [`QualityEngine::enable_observability`]).
+    retainer: RwLock<Option<Arc<TraceRetainer>>>,
+    /// This engine's cursor into the global drift monitor's event log.
+    drift_cursor: RwLock<Option<u64>>,
 }
 
 impl QualityEngine {
@@ -78,6 +84,8 @@ impl QualityEngine {
             bindings: RwLock::new(BindingRegistry::new()),
             ledger: Arc::new(DecisionLedger::new()),
             last_trace: RwLock::new(None),
+            retainer: RwLock::new(None),
+            drift_cursor: RwLock::new(None),
             iq,
         }
     }
@@ -163,6 +171,60 @@ impl QualityEngine {
     /// (either path), if any.
     pub fn last_trace(&self) -> Option<SpanTrace> {
         self.last_trace.read().clone()
+    }
+
+    /// Switches the engine into continuous-observability mode: every
+    /// finished execution's trace is offered to a bounded, tail-sampled
+    /// [`TraceRetainer`], and the process-global drift monitor is
+    /// configured from `config.drift` (the QA operator path feeds it and
+    /// threshold crossings are republished into this engine's ledger).
+    /// Returns the retainer so hosts (`qv serve`) can export
+    /// `/traces/recent`.
+    pub fn enable_observability(&self, config: &TelemetryConfig) -> Arc<TraceRetainer> {
+        let retainer = Arc::new(TraceRetainer::new(config));
+        *self.retainer.write() = Some(retainer.clone());
+        qurator_telemetry::drift::global().configure(config.drift.clone());
+        retainer
+    }
+
+    /// The active trace retainer, if observability is enabled.
+    pub fn retainer(&self) -> Option<Arc<TraceRetainer>> {
+        self.retainer.read().clone()
+    }
+
+    /// Hands a finished trace to the retainer (when observability is
+    /// on), republishes new drift crossings into the ledger, and stores
+    /// the trace as `last_trace`.
+    fn observe_trace(&self, trace: SpanTrace, view: String, error: bool, rejected: u64) {
+        if let Some(retainer) = self.retainer.read().clone() {
+            retainer.offer(trace.clone(), TraceMeta { view, error, rejected });
+        }
+        self.publish_drift_events();
+        *self.last_trace.write() = Some(trace);
+    }
+
+    /// Republishes drift threshold-crossings from the process-global
+    /// monitor into this engine's ledger. Each engine keeps its own
+    /// cursor: the monitor's event log has broadcast semantics, so
+    /// several engines (or tests) consume it independently.
+    fn publish_drift_events(&self) {
+        let monitor = qurator_telemetry::drift::global();
+        if !monitor.enabled() {
+            return;
+        }
+        let mut cursor = self.drift_cursor.write();
+        for event in monitor.events_since(*cursor) {
+            *cursor = Some(event.seq);
+            self.ledger.record_event(LedgerEvent {
+                kind: Arc::from("qa.drift.threshold"),
+                subject: Arc::from(event.assertion.as_str()),
+                detail: format!(
+                    "classification distribution drifted from reference: L1={:.3}, chi2={:.1}",
+                    event.l1, event.chi2
+                ),
+                seq: event.seq,
+            });
+        }
     }
 
     /// Registers an annotation service and binds its concept.
@@ -339,6 +401,11 @@ impl QualityEngine {
     /// and repositories, then runs the nodes in process order. Each plan
     /// node leaves a `node:<name>` span, so the interpreter's trace and
     /// the enactor's events name the same units of work.
+    ///
+    /// The trace is always finished: on an error the `view:` span is
+    /// tagged with the error text, remaining open spans are closed at the
+    /// failure instant, and the trace still reaches the retainer (error
+    /// traces are always kept) and `last_trace`.
     pub fn execute_physical(
         &self,
         plan: &PhysicalPlan,
@@ -355,6 +422,35 @@ impl QualityEngine {
         rec.attr(view_span, "items", dataset.len());
         rec.attr(view_span, "mode", if plan.optimized { "optimized" } else { "baseline" });
 
+        let result = self.run_physical(plan, &bound, dataset, &mut rec, view_span);
+        let (error, rejected) = match &result {
+            Ok((_, rejected)) => (false, *rejected),
+            Err(e) => {
+                rec.attr(view_span, "error", e.to_string());
+                (true, 0)
+            }
+        };
+        rec.attr(view_span, "rejected", rejected as usize);
+        // closes the view span and, on the error path, whichever node or
+        // phase span the failure interrupted
+        rec.end_open();
+        let trace = SpanTrace::from_spans(rec.finish());
+        self.observe_trace(trace, plan.view.clone(), error, rejected);
+        result.map(|(groups, _)| ActionOutcome { groups })
+    }
+
+    /// The walker body: every node of the plan, in process order.
+    /// Returns the action groups plus how many items filter actions
+    /// rejected (a splitter's non-matches land in its default group — an
+    /// output, not a rejection).
+    fn run_physical(
+        &self,
+        plan: &PhysicalPlan,
+        bound: &exec::BoundPlan,
+        dataset: &DataSet,
+        rec: &mut SpanRecorder,
+        view_span: SpanId,
+    ) -> Result<(Vec<GroupResult>, u64)> {
         // Annotate nodes
         for (name, processor) in &bound.annotators {
             let span = rec.start(format!("node:{name}"), SpanKind::Node, Some(view_span));
@@ -411,9 +507,16 @@ impl QualityEngine {
         }
 
         // decision provenance: one pass over the consolidated map, one
-        // complete trace per item (no per-phase re-keying)
+        // complete trace per item (no per-phase re-keying). The span is
+        // recorded unconditionally — `qv explain --spans` and the
+        // retained-trace exports rely on the interpreter's trace shape
+        // being identical across runs, whether or not the ledger captured
+        // records and whether or not any item survived an action; the
+        // `recorded` attribute says which mode this run was in.
+        let prov_span = rec.start("phase:provenance", SpanKind::Phase, Some(view_span));
+        rec.attr(prov_span, "recorded", self.ledger.enabled());
+        rec.attr(prov_span, "items", map.len());
         if self.ledger.enabled() {
-            let prov_span = rec.start("phase:provenance", SpanKind::Phase, Some(view_span));
             // intern every per-run-constant name once; per item only the
             // rendered values and the item key allocate
             let sources: BTreeMap<&str, (Arc<str>, Option<Arc<str>>)> = plan
@@ -536,12 +639,19 @@ impl QualityEngine {
                 batch.push(trace);
             }
             self.ledger.record_traces_bulk(batch);
-            rec.end(prov_span);
         }
+        rec.end(prov_span);
 
-        rec.end(view_span);
-        *self.last_trace.write() = Some(SpanTrace::from_spans(rec.finish()));
-        Ok(ActionOutcome { groups })
+        // rejected tally for the retainer's tail-sampling policy
+        let mut rejected = 0u64;
+        for (act, &(start, _)) in plan.actions.iter().zip(&action_slices) {
+            if matches!(act.node.kind, ActKind::Filter { .. }) {
+                if let Some(group) = groups.get(start) {
+                    rejected += dataset.len().saturating_sub(group.dataset.len()) as u64;
+                }
+            }
+        }
+        Ok((groups, rejected))
     }
 
     /// The full §6 path: compile, enact, decode.
@@ -573,7 +683,14 @@ impl QualityEngine {
         if self.ledger.enabled() {
             self.record_compiled_provenance(spec, dataset, &outcome, &report);
         }
-        *self.last_trace.write() = Some(report.trace().clone());
+        let rejected = spec
+            .actions
+            .iter()
+            .filter(|a| matches!(a.kind, ActionKind::Filter { .. }))
+            .filter_map(|a| outcome.group(&a.name))
+            .map(|g| dataset.len().saturating_sub(g.dataset.len()) as u64)
+            .sum();
+        self.observe_trace(report.trace().clone(), spec.name.clone(), false, rejected);
         Ok((outcome, report))
     }
 
@@ -995,6 +1112,118 @@ mod tests {
             .actions
             .iter()
             .any(|a| a.group.as_ref() == "filter top k score" && a.outcome.as_ref() == "accepted"));
+    }
+
+    #[test]
+    fn provenance_span_is_recorded_even_without_ledger_or_survivors() {
+        use qurator_telemetry::AttrValue;
+        let engine = QualityEngine::with_proteomics_defaults().unwrap();
+        // ledger disabled AND a condition no item satisfies: the
+        // interpreted trace must still carry the phase:provenance span
+        let mut spec = QualityViewSpec::paper_example();
+        spec.actions[0].kind = ActionKind::Filter { condition: "HR_MC > 1000000".into() };
+        let outcome = engine.execute_view(&spec, &imprint_dataset()).unwrap();
+        assert!(outcome.group("filter top k score").unwrap().dataset.is_empty());
+        let trace = engine.last_trace().unwrap();
+        trace.validate().unwrap();
+        let prov = trace
+            .spans()
+            .iter()
+            .find(|s| s.name == "phase:provenance")
+            .expect("provenance span recorded with the ledger off");
+        assert_eq!(prov.attr("recorded"), Some(&AttrValue::Bool(false)));
+
+        // ledger on: same shape, and rejected-everywhere items still get
+        // their action records
+        engine.set_provenance_enabled(true);
+        engine.execute_view(&spec, &imprint_dataset()).unwrap();
+        let trace = engine.last_trace().unwrap();
+        let prov = trace.spans().iter().find(|s| s.name == "phase:provenance").unwrap();
+        assert_eq!(prov.attr("recorded"), Some(&AttrValue::Bool(true)));
+        for n in 1..=5 {
+            let why = engine.why(&format!("urn:lsid:pedro.man.ac.uk:hit:H{n}")).unwrap();
+            assert!(
+                why.actions.iter().any(|a| a.outcome.as_ref() == "rejected"),
+                "item H{n} should carry a rejected action record"
+            );
+        }
+    }
+
+    #[test]
+    fn rejecting_runs_are_always_retained() {
+        use qurator_telemetry::KeepReason;
+        let engine = QualityEngine::with_proteomics_defaults().unwrap();
+        let retainer = engine.enable_observability(&TelemetryConfig {
+            sample_rate: 0.0,
+            ..TelemetryConfig::default()
+        });
+        let mut spec = QualityViewSpec::paper_example();
+        spec.actions[0].kind = ActionKind::Filter { condition: "ScoreClass in q:high".into() };
+        engine.execute_view(&spec, &imprint_dataset()).unwrap();
+        assert_eq!(retainer.resident(), 1);
+        let kept = &retainer.recent(1)[0];
+        assert_eq!(kept.reason, KeepReason::Rejected);
+        assert!(kept.rejected > 0);
+        assert_eq!(kept.view, "ispider-pmf-quality");
+        kept.trace.validate().unwrap();
+        // a run that rejects nothing is dropped at sample_rate 0
+        spec.actions[0].kind =
+            ActionKind::Filter { condition: "ScoreClass in q:high, q:mid, q:low".into() };
+        engine.execute_view(&spec, &imprint_dataset()).unwrap();
+        assert_eq!(retainer.resident(), 1);
+    }
+
+    struct FailingAssertion;
+    impl qurator_services::AssertionService for FailingAssertion {
+        fn service_type(&self) -> qurator_rdf::term::Iri {
+            q::iri("FailingQA")
+        }
+        fn expected_variables(&self) -> Vec<String> {
+            vec!["x".into()]
+        }
+        fn assert_quality(
+            &self,
+            _map: &mut qurator_annotations::AnnotationMap,
+            _bindings: &qurator_services::VariableBindings,
+            _tag: &str,
+        ) -> qurator_services::Result<()> {
+            Err(qurator_services::ServiceError::Internal("injected failure".into()))
+        }
+    }
+
+    #[test]
+    fn failed_execution_leaves_a_closed_error_trace_and_is_retained() {
+        let mut iq = IqModel::with_proteomics_extension().unwrap();
+        iq.register_assertion_type("FailingQA").unwrap();
+        let engine = QualityEngine::new(iq);
+        engine.register_assertion_service(Arc::new(FailingAssertion)).unwrap();
+        let mut spec = QualityViewSpec::new("doomed");
+        spec.assertions.push(crate::spec::AssertionDecl {
+            service_name: "failing".into(),
+            service_type: "q:FailingQA".into(),
+            tag_name: "T".into(),
+            tag_kind: crate::spec::TagKind::Score,
+            tag_sem_type: None,
+            repository_ref: "cache".into(),
+            variables: vec![crate::spec::VarDecl::named("x", "q:HitRatio")],
+        });
+        spec.actions.push(ActionDecl {
+            name: "keep".into(),
+            kind: ActionKind::Filter { condition: "T > 0".into() },
+        });
+        let retainer = engine.enable_observability(&TelemetryConfig {
+            sample_rate: 0.0,
+            ..TelemetryConfig::default()
+        });
+        let err = engine.execute_view(&spec, &imprint_dataset()).unwrap_err();
+        assert!(err.to_string().contains("injected failure"), "{err}");
+        // the interrupted trace is closed, tagged, and always retained
+        let trace = engine.last_trace().expect("trace survives the failure");
+        trace.validate().expect("every span closed on the error path");
+        let root = trace.roots().next().unwrap();
+        assert!(root.attr("error").is_some(), "view span carries the error");
+        assert_eq!(retainer.resident(), 1);
+        assert_eq!(retainer.recent(1)[0].reason, qurator_telemetry::KeepReason::Error);
     }
 
     #[test]

@@ -178,6 +178,22 @@ impl DecisionTrace {
     }
 }
 
+/// A run-level (not per-item) event worth remembering alongside the
+/// decision traces — today: quality-drift threshold crossings republished
+/// from [`crate::drift::DriftMonitor`]. Unlike per-item recording, events
+/// are rare and not gated on the enabled flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEvent {
+    /// Event kind, e.g. `qa.drift.threshold`.
+    pub kind: Arc<str>,
+    /// What the event is about (the assertion name for drift events).
+    pub subject: Arc<str>,
+    /// Human-readable detail.
+    pub detail: String,
+    /// Source sequence number (the drift monitor's, for drift events).
+    pub seq: u64,
+}
+
 /// The ledger itself: item IRI → [`DecisionTrace`], recording gated on an
 /// atomic flag (disabled by default — zero overhead when off beyond one
 /// relaxed load per bulk call).
@@ -185,6 +201,7 @@ impl DecisionTrace {
 pub struct DecisionLedger {
     enabled: AtomicBool,
     traces: RwLock<HashMap<String, DecisionTrace>>,
+    events: RwLock<Vec<LedgerEvent>>,
 }
 
 impl DecisionLedger {
@@ -271,6 +288,23 @@ impl DecisionLedger {
         }
     }
 
+    /// Appends a run-level event (drift crossings etc.). Not gated on
+    /// the enabled flag: events are rare and always worth keeping.
+    /// Bounded (oldest dropped past 1024) so a long-lived serve engine
+    /// can't grow it without limit.
+    pub fn record_event(&self, event: LedgerEvent) {
+        let mut events = self.events.write().unwrap();
+        if events.len() >= 1024 {
+            events.remove(0);
+        }
+        events.push(event);
+    }
+
+    /// All recorded run-level events, in recording order.
+    pub fn events(&self) -> Vec<LedgerEvent> {
+        self.events.read().unwrap().clone()
+    }
+
     /// The decision trace for an exact item id.
     pub fn why(&self, item: &str) -> Option<DecisionTrace> {
         self.traces.read().unwrap().get(item).cloned()
@@ -306,7 +340,9 @@ impl DecisionLedger {
         self.len() == 0
     }
 
-    /// Drops all traces (recording flag unchanged).
+    /// Drops all traces (recording flag and run-level events unchanged —
+    /// a serve engine clears per-run provenance between submissions but
+    /// keeps its drift history).
     pub fn clear(&self) {
         self.traces.write().unwrap().clear();
     }

@@ -20,6 +20,18 @@
 //!   the span that produced it, queryable as `why(item) ->`
 //!   [`ledger::DecisionTrace`].
 //!
+//! On top of the per-run pillars sits the continuous-observability layer
+//! for long-lived engines (`qv serve`):
+//!
+//! * [`retain`] — bounded, tail-sampled retention of finished span trees
+//!   in per-worker ring shards ([`retain::TraceRetainer`], configured by
+//!   [`retain::TelemetryConfig`]);
+//! * [`drift`] — sliding-window QA-classification distributions compared
+//!   (L1 / χ²) against a reference window, with threshold-crossing
+//!   events republished into the ledger;
+//! * [`profile`] — per-plan-node self-time aggregation over retained
+//!   traces and a folded-stack (flamegraph) exporter.
+//!
 //! Exporters ([`export`]) cover a JSON-lines span log, Prometheus-style
 //! text exposition and a human-readable trace renderer; [`schema`]
 //! validates emitted artifacts in-tree (used by the CI smoke job), on top
@@ -29,15 +41,23 @@
 //! the stack — rdf, annotations, workflow, core, cli, bench — can link it
 //! without cycles.
 
+pub mod drift;
 pub mod export;
 pub mod json;
 pub mod ledger;
 pub mod metrics;
+pub mod profile;
+pub mod retain;
 pub mod schema;
 pub mod span;
 
-pub use ledger::{ActionRecord, AssertionRecord, DecisionLedger, DecisionTrace, EvidenceRecord};
+pub use drift::{DriftConfig, DriftEvent, DriftMonitor};
+pub use ledger::{
+    ActionRecord, AssertionRecord, DecisionLedger, DecisionTrace, EvidenceRecord, LedgerEvent,
+};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use profile::Profile;
+pub use retain::{KeepReason, RetainedTrace, TelemetryConfig, TraceMeta, TraceRetainer};
 pub use span::{AttrValue, Span, SpanId, SpanKind, SpanRecorder, SpanTrace, TraceSession};
 
 /// The process-wide metrics registry (see [`metrics::global`]).

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
-const SHARDS: usize = 8;
+pub(crate) const SHARDS: usize = 8;
 
 /// One cache line per shard so increments from different threads don't
 /// false-share.
@@ -26,7 +26,7 @@ thread_local! {
     static SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
 }
 
-fn shard_index() -> usize {
+pub(crate) fn shard_index() -> usize {
     SHARD.with(|s| *s)
 }
 
@@ -212,15 +212,23 @@ impl MetricKey {
     }
 
     fn render(&self) -> String {
-        if self.labels.is_empty() {
-            self.name.clone()
+        self.render_suffixed("", None)
+    }
+
+    /// Renders `<name><suffix>{labels...,extra}`, merging an extra label
+    /// (e.g. `le` for histogram buckets) into the instrument's own label
+    /// set.
+    fn render_suffixed(&self, suffix: &str, extra: Option<(&str, &str)>) -> String {
+        let escape = |v: &str| v.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut labels: Vec<String> =
+            self.labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape(v))).collect();
+        if let Some((k, v)) = extra {
+            labels.push(format!("{k}=\"{}\"", escape(v)));
+        }
+        if labels.is_empty() {
+            format!("{}{}", self.name, suffix)
         } else {
-            let labels: Vec<String> = self
-                .labels
-                .iter()
-                .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
-                .collect();
-            format!("{}{{{}}}", self.name, labels.join(","))
+            format!("{}{}{{{}}}", self.name, suffix, labels.join(","))
         }
     }
 }
@@ -276,9 +284,14 @@ impl MetricsRegistry {
         }
     }
 
-    /// Get-or-create a gauge.
+    /// Get-or-create a gauge with no labels.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let key = MetricKey::new(name, &[]);
+        self.gauge_with(name, &[])
+    }
+
+    /// Get-or-create a gauge with labels.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = MetricKey::new(name, labels);
         if let Some(Instrument::Gauge(g)) = self.instruments.read().unwrap().get(&key) {
             return g.clone();
         }
@@ -289,9 +302,14 @@ impl MetricsRegistry {
         }
     }
 
-    /// Get-or-create a histogram.
+    /// Get-or-create a histogram with no labels.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let key = MetricKey::new(name, &[]);
+        self.histogram_with(name, &[])
+    }
+
+    /// Get-or-create a histogram with labels.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = MetricKey::new(name, labels);
         if let Some(Instrument::Histogram(h)) = self.instruments.read().unwrap().get(&key) {
             return h.clone();
         }
@@ -325,24 +343,51 @@ impl MetricsRegistry {
             .collect()
     }
 
-    /// Prometheus-style text exposition. Histograms are exposed as
-    /// `<name>_count`, `<name>_sum`, `<name>_p50`, `<name>_p95`.
+    /// Prometheus-style text exposition. Histograms are exposed as one
+    /// cumulative `<name>_bucket{le="..."}` series per label set (bucket
+    /// counts merged across the internal write shards *before* rendering,
+    /// so a series is monotone regardless of which threads recorded into
+    /// it), followed by `<name>_count`, `<name>_sum`, `<name>_p50`,
+    /// `<name>_p95`. Only non-empty buckets are emitted, plus the
+    /// mandatory `le="+Inf"` terminator.
     pub fn render_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        for (name, value) in self.snapshot() {
-            match value {
-                MetricValue::Counter(v) => {
-                    let _ = writeln!(out, "{name} {v}");
+        let map = self.instruments.read().unwrap();
+        for (key, inst) in map.iter() {
+            match inst {
+                Instrument::Counter(c) => {
+                    let _ = writeln!(out, "{} {}", key.render(), c.value());
                 }
-                MetricValue::Gauge(v) => {
-                    let _ = writeln!(out, "{name} {v}");
+                Instrument::Gauge(g) => {
+                    let _ = writeln!(out, "{} {}", key.render(), g.value());
                 }
-                MetricValue::Histogram { count, sum, p50, p95 } => {
-                    let _ = writeln!(out, "{name}_count {count}");
-                    let _ = writeln!(out, "{name}_sum {sum}");
-                    let _ = writeln!(out, "{name}_p50 {p50}");
-                    let _ = writeln!(out, "{name}_p95 {p95}");
+                Instrument::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let mut cumulative = 0u64;
+                    for (i, c) in counts.iter().enumerate() {
+                        if *c == 0 {
+                            continue;
+                        }
+                        cumulative += c;
+                        let le = bucket_upper_bound(i).to_string();
+                        let _ = writeln!(
+                            out,
+                            "{} {cumulative}",
+                            key.render_suffixed("_bucket", Some(("le", &le)))
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{} {cumulative}",
+                        key.render_suffixed("_bucket", Some(("le", "+Inf")))
+                    );
+                    let _ = writeln!(out, "{} {}", key.render_suffixed("_count", None), h.count());
+                    let _ = writeln!(out, "{} {}", key.render_suffixed("_sum", None), h.sum());
+                    let _ =
+                        writeln!(out, "{} {}", key.render_suffixed("_p50", None), h.quantile(0.50));
+                    let _ =
+                        writeln!(out, "{} {}", key.render_suffixed("_p95", None), h.quantile(0.95));
                 }
             }
         }
@@ -456,6 +501,46 @@ mod tests {
         // p95 falls in the bucket holding 1000
         assert_eq!(h.quantile(0.95), bucket_upper_bound(bucket_index(1000)));
         assert_eq!(h.quantile(1.0), bucket_upper_bound(bucket_index(1000)));
+    }
+
+    #[test]
+    fn histogram_buckets_merge_across_shards_into_one_monotone_series() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram_with("serve.request.latency", &[("route", "/metrics")]);
+        // Record from more threads than there are shards so every shard's
+        // per-bucket array is populated; a per-shard renderer would emit
+        // duplicate (and individually partial) `_bucket` series.
+        std::thread::scope(|scope| {
+            for t in 0..(SHARDS + 2) {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for v in [1u64, 3, 100, 5000] {
+                        h.record(v + t as u64 % 2);
+                    }
+                });
+            }
+        });
+        let text = registry.render_prometheus();
+        crate::schema::validate_metrics_text(&text).unwrap();
+        // exactly one series per le value for this label set...
+        let bucket_lines: Vec<(&str, u64)> = text
+            .lines()
+            .filter(|l| l.starts_with("serve.request.latency_bucket{"))
+            .map(|l| {
+                let (series, value) = l.rsplit_once(' ').unwrap();
+                (series, value.parse::<u64>().unwrap())
+            })
+            .collect();
+        let mut seen = std::collections::BTreeSet::new();
+        for (series, _) in &bucket_lines {
+            assert!(series.contains("route=\"/metrics\""), "bucket series lost its labels");
+            assert!(seen.insert(*series), "duplicate bucket series {series}");
+        }
+        // ...and the cumulative counts are monotone, ending at the total.
+        let values: Vec<u64> = bucket_lines.iter().map(|(_, v)| *v).collect();
+        assert!(values.windows(2).all(|w| w[0] <= w[1]), "bucket series not monotone: {values:?}");
+        assert_eq!(*values.last().unwrap(), h.count());
+        assert_eq!(h.count(), (SHARDS as u64 + 2) * 4);
     }
 
     #[test]

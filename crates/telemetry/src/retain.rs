@@ -1,0 +1,449 @@
+//! Bounded trace retention with tail-based sampling.
+//!
+//! PR 2's [`crate::span::TraceSession`] accumulates every span of one run
+//! and hands the merged [`SpanTrace`] to the caller — fine for `qv run`,
+//! unbounded for a long-lived engine (`qv serve`) that enacts millions of
+//! submissions. The [`TraceRetainer`] sits behind the engine: every
+//! finished trace is *offered*, the retainer decides **after seeing the
+//! whole trace** (tail-based sampling) whether it is worth keeping, and
+//! retained traces live in fixed-capacity per-worker ring shards so
+//! memory is bounded no matter how long the engine runs.
+//!
+//! Keep policy, in priority order (first match wins):
+//! 1. the trace recorded an error ([`KeepReason::Error`]);
+//! 2. the run rejected at least one item ([`KeepReason::Rejected`]) —
+//!    rejections are the paper's signal of interest, Figure 7's GO-term
+//!    experiment is exactly a study of what gets filtered;
+//! 3. the root span's wallclock is at or beyond the configured quantile
+//!    of all root durations seen so far ([`KeepReason::Slow`]) — the
+//!    quantile is estimated from a log₂ histogram of *offered* (not
+//!    retained) durations, so the threshold adapts as the workload does;
+//! 4. otherwise a probabilistic sample at `sample_rate`
+//!    ([`KeepReason::Sampled`]).
+//!
+//! Span ids are remapped into a retainer-global id space at offer time
+//! (each session numbers its own spans from 1), so the concatenated
+//! JSON-lines of [`TraceRetainer::recent_jsonl`] still satisfies
+//! [`crate::schema::validate_trace_jsonl`]'s unique-id rule.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::drift::DriftConfig;
+use crate::metrics::{Histogram, SHARDS};
+use crate::span::{Span, SpanId, SpanTrace};
+
+/// Configuration for the continuous-observability layer: trace retention
+/// and sampling here, drift detection via the embedded [`DriftConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryConfig {
+    /// Total retained-trace budget across all ring shards. Rounded up to
+    /// a multiple of the shard count; see [`TraceRetainer::capacity`].
+    pub trace_capacity: usize,
+    /// Probability in `[0, 1]` of keeping a trace that matched no
+    /// always-keep rule.
+    pub sample_rate: f64,
+    /// Root-duration quantile in `[0, 1]` beyond which a trace counts as
+    /// slow and is always kept.
+    pub slow_quantile: f64,
+    /// Offers to observe before the slow-quantile rule activates (a
+    /// threshold estimated from three runs is noise).
+    pub slow_min_offers: u64,
+    /// Drift-monitor configuration (see [`crate::drift`]).
+    pub drift: DriftConfig,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            trace_capacity: 256,
+            sample_rate: 0.05,
+            slow_quantile: 0.95,
+            slow_min_offers: 32,
+            drift: DriftConfig::default(),
+        }
+    }
+}
+
+/// Why a trace was retained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeepReason {
+    /// The trace recorded an error.
+    Error,
+    /// The run rejected at least one item.
+    Rejected,
+    /// Root wallclock at/beyond the slow quantile.
+    Slow,
+    /// Probabilistic tail sample.
+    Sampled,
+}
+
+impl KeepReason {
+    /// Stable label used in metrics and exports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            KeepReason::Error => "error",
+            KeepReason::Rejected => "rejected",
+            KeepReason::Slow => "slow",
+            KeepReason::Sampled => "sampled",
+        }
+    }
+}
+
+/// What the engine knows about a finished run, alongside the spans.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceMeta {
+    /// View name the trace belongs to.
+    pub view: String,
+    /// Whether the run failed.
+    pub error: bool,
+    /// How many items the run's actions rejected.
+    pub rejected: u64,
+}
+
+/// One retained trace plus its retention verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetainedTrace {
+    /// Global admission sequence number (monotone across shards).
+    pub seq: u64,
+    pub view: String,
+    pub reason: KeepReason,
+    /// Root span wallclock, nanoseconds.
+    pub root_duration_ns: u64,
+    pub rejected: u64,
+    /// The span tree, ids remapped into the retainer-global space.
+    pub trace: SpanTrace,
+}
+
+#[derive(Default)]
+struct RingShard {
+    ring: VecDeque<RetainedTrace>,
+}
+
+/// Fixed-capacity retention of sampled traces. Offers from different
+/// worker threads land in different ring shards (the same thread-local
+/// shard index the metrics registry uses), so concurrent engines never
+/// contend on one lock; each shard's ring evicts its own oldest entry
+/// when full.
+pub struct TraceRetainer {
+    shards: Vec<Mutex<RingShard>>,
+    per_shard: usize,
+    sample_permille: u64,
+    slow_quantile: f64,
+    slow_min_offers: u64,
+    durations: Histogram,
+    offered: AtomicU64,
+    seq: AtomicU64,
+    /// Global span-id allocator for remapping (see module docs).
+    id_base: AtomicU64,
+    /// splitmix64 state for the sampling decision — deterministic per
+    /// retainer, so tests with `sample_rate` 0 or 1 are exact and others
+    /// reproducible.
+    rng: AtomicU64,
+}
+
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TraceRetainer {
+    /// Builds a retainer from the retention half of a [`TelemetryConfig`].
+    pub fn new(config: &TelemetryConfig) -> Self {
+        let per_shard = config.trace_capacity.div_ceil(SHARDS).max(1);
+        TraceRetainer {
+            shards: (0..SHARDS).map(|_| Mutex::new(RingShard::default())).collect(),
+            per_shard,
+            sample_permille: (config.sample_rate.clamp(0.0, 1.0) * 1000.0).round() as u64,
+            slow_quantile: config.slow_quantile.clamp(0.0, 1.0),
+            slow_min_offers: config.slow_min_offers,
+            durations: Histogram::default(),
+            offered: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            id_base: AtomicU64::new(0),
+            rng: AtomicU64::new(0x5153_5953_4C41_4253), // arbitrary fixed seed
+        }
+    }
+
+    /// Hard upper bound on resident traces: `per_shard × shards`.
+    pub fn capacity(&self) -> usize {
+        self.per_shard * self.shards.len()
+    }
+
+    /// Number of offers so far (kept or not).
+    pub fn offered(&self) -> u64 {
+        self.offered.load(Ordering::Relaxed)
+    }
+
+    /// Number of currently resident traces.
+    pub fn resident(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().ring.len()).sum()
+    }
+
+    /// The current slow threshold in nanoseconds, if active.
+    pub fn slow_threshold_ns(&self) -> Option<u64> {
+        if self.offered() >= self.slow_min_offers {
+            Some(self.durations.quantile(self.slow_quantile))
+        } else {
+            None
+        }
+    }
+
+    fn decide(&self, meta: &TraceMeta, root_duration_ns: u64) -> Option<KeepReason> {
+        if meta.error {
+            return Some(KeepReason::Error);
+        }
+        if meta.rejected > 0 {
+            return Some(KeepReason::Rejected);
+        }
+        if let Some(threshold) = self.slow_threshold_ns() {
+            if root_duration_ns >= threshold {
+                return Some(KeepReason::Slow);
+            }
+        }
+        let roll = splitmix64(self.rng.fetch_add(1, Ordering::Relaxed)) % 1000;
+        (roll < self.sample_permille).then_some(KeepReason::Sampled)
+    }
+
+    /// Offers a finished trace; returns the keep reason when retained.
+    /// The decision sees the complete trace (tail-based): error and
+    /// rejection outcomes are known, and the root duration is compared
+    /// against the adaptive quantile threshold *before* this offer is
+    /// folded into it.
+    pub fn offer(&self, trace: SpanTrace, meta: TraceMeta) -> Option<KeepReason> {
+        let root_duration_ns =
+            trace.roots().filter_map(|s| s.duration_ns()).max().unwrap_or_default();
+        let reason = self.decide(&meta, root_duration_ns);
+        self.offered.fetch_add(1, Ordering::Relaxed);
+        self.durations.record(root_duration_ns);
+        let metrics = crate::metrics::global();
+        metrics.counter("trace.retain.offered").inc();
+        let Some(reason) = reason else {
+            metrics.counter("trace.retain.dropped").inc();
+            return None;
+        };
+        metrics.counter_with("trace.retain.kept", &[("reason", reason.as_str())]).inc();
+
+        let max_id = trace.spans().iter().map(|s| s.id.0).max().unwrap_or(0);
+        let base = self.id_base.fetch_add(max_id, Ordering::Relaxed);
+        let spans: Vec<Span> = trace
+            .spans()
+            .iter()
+            .map(|s| Span {
+                id: SpanId(s.id.0 + base),
+                parent: s.parent.map(|p| SpanId(p.0 + base)),
+                ..s.clone()
+            })
+            .collect();
+        let retained = RetainedTrace {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            view: meta.view,
+            reason,
+            root_duration_ns,
+            rejected: meta.rejected,
+            trace: SpanTrace::from_spans(spans),
+        };
+        let shard = &self.shards[crate::metrics::shard_index() % self.shards.len()];
+        let mut guard = shard.lock().unwrap();
+        if guard.ring.len() >= self.per_shard {
+            guard.ring.pop_front();
+        }
+        guard.ring.push_back(retained);
+        drop(guard);
+        metrics.gauge("trace.retain.resident").set(self.resident() as i64);
+        Some(reason)
+    }
+
+    /// The most recently admitted traces (newest first), at most `limit`.
+    pub fn recent(&self, limit: usize) -> Vec<RetainedTrace> {
+        let mut out: Vec<RetainedTrace> = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().unwrap().ring.iter().cloned());
+        }
+        out.sort_by_key(|r| std::cmp::Reverse(r.seq));
+        out.truncate(limit);
+        out
+    }
+
+    /// JSON-lines export of [`TraceRetainer::recent`]: each retained
+    /// trace contributes one `{"type":"trace",...}` header line followed
+    /// by its span lines. Span ids are globally unique (remapped at offer
+    /// time), so the whole document passes
+    /// [`crate::schema::validate_trace_jsonl`].
+    pub fn recent_jsonl(&self, limit: usize) -> String {
+        use crate::json::escape;
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for retained in self.recent(limit) {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"trace\",\"seq\":{},\"view\":\"{}\",\"reason\":\"{}\",\"root_duration_ns\":{},\"rejected\":{},\"spans\":{}}}",
+                retained.seq,
+                escape(&retained.view),
+                retained.reason.as_str(),
+                retained.root_duration_ns,
+                retained.rejected,
+                retained.trace.len(),
+            );
+            out.push_str(&retained.trace.to_jsonl());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanKind, TraceSession};
+
+    fn sample_trace(name: &str) -> SpanTrace {
+        let session = TraceSession::new();
+        let mut rec = session.recorder();
+        let root = rec.start(format!("view:{name}"), SpanKind::View, None);
+        let phase = rec.start("phase:assertions", SpanKind::Phase, Some(root));
+        rec.end(phase);
+        rec.end(root);
+        SpanTrace::from_spans(rec.finish())
+    }
+
+    fn keep_all_config() -> TelemetryConfig {
+        TelemetryConfig { sample_rate: 1.0, ..TelemetryConfig::default() }
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded_at_ten_times_capacity() {
+        let config = TelemetryConfig { trace_capacity: 16, ..keep_all_config() };
+        let retainer = TraceRetainer::new(&config);
+        let capacity = retainer.capacity();
+        for i in 0..capacity * 10 {
+            retainer.offer(
+                sample_trace("fig1"),
+                TraceMeta { view: format!("v{i}"), ..TraceMeta::default() },
+            );
+            assert!(
+                retainer.resident() <= capacity,
+                "resident {} exceeded capacity {capacity} after {i} offers",
+                retainer.resident()
+            );
+        }
+        assert_eq!(retainer.offered(), capacity as u64 * 10);
+        // newest-first and nothing older than the rings can hold
+        let recent = retainer.recent(usize::MAX);
+        assert!(recent.len() <= capacity);
+        assert!(recent.windows(2).all(|w| w[0].seq > w[1].seq));
+    }
+
+    #[test]
+    fn error_and_rejecting_traces_are_always_kept() {
+        let config = TelemetryConfig { sample_rate: 0.0, ..TelemetryConfig::default() };
+        let retainer = TraceRetainer::new(&config);
+        assert_eq!(
+            retainer
+                .offer(sample_trace("a"), TraceMeta { view: "a".into(), error: true, rejected: 0 }),
+            Some(KeepReason::Error)
+        );
+        assert_eq!(
+            retainer.offer(
+                sample_trace("b"),
+                TraceMeta { view: "b".into(), error: false, rejected: 3 }
+            ),
+            Some(KeepReason::Rejected)
+        );
+        // an unremarkable trace at sample_rate 0 is dropped
+        assert_eq!(retainer.offer(sample_trace("c"), TraceMeta::default()), None);
+        assert_eq!(retainer.resident(), 2);
+    }
+
+    #[test]
+    fn slow_traces_are_kept_once_the_quantile_is_warm() {
+        let config = TelemetryConfig {
+            sample_rate: 0.0,
+            slow_quantile: 0.95,
+            slow_min_offers: 8,
+            ..TelemetryConfig::default()
+        };
+        let retainer = TraceRetainer::new(&config);
+        // warm the duration histogram with fast synthetic traces
+        for _ in 0..16 {
+            retainer.offer(sample_trace("warm"), TraceMeta::default());
+        }
+        let threshold = retainer.slow_threshold_ns().unwrap();
+        // hand-build a trace far beyond the threshold
+        let slow = SpanTrace::from_spans(vec![Span {
+            id: SpanId(1),
+            parent: None,
+            name: "view:slow".into(),
+            kind: SpanKind::View,
+            start_ns: 0,
+            end_ns: Some(threshold.saturating_mul(64).max(1 << 30)),
+            attrs: vec![],
+        }]);
+        assert_eq!(
+            retainer.offer(slow, TraceMeta { view: "slow".into(), ..TraceMeta::default() }),
+            Some(KeepReason::Slow)
+        );
+    }
+
+    #[test]
+    fn sampling_rate_is_respected_roughly() {
+        let config = TelemetryConfig {
+            trace_capacity: 4096,
+            sample_rate: 0.5,
+            ..TelemetryConfig::default()
+        };
+        let retainer = TraceRetainer::new(&config);
+        let mut kept = 0usize;
+        for _ in 0..1000 {
+            if retainer.offer(sample_trace("s"), TraceMeta::default()).is_some() {
+                kept += 1;
+            }
+        }
+        // slow-keeps push this above the raw 50% sample floor; allow slack
+        assert!((300..=900).contains(&kept), "kept {kept} of 1000 at rate 0.5");
+    }
+
+    #[test]
+    fn recent_jsonl_has_globally_unique_span_ids() {
+        let retainer = TraceRetainer::new(&keep_all_config());
+        for i in 0..5 {
+            retainer.offer(
+                sample_trace(&format!("v{i}")),
+                TraceMeta { view: format!("v{i}"), ..TraceMeta::default() },
+            );
+        }
+        let jsonl = retainer.recent_jsonl(5);
+        // 5 traces × 2 spans validate as ONE document: ids were remapped
+        // into the retainer-global space, so no duplicates across traces
+        assert_eq!(crate::schema::validate_trace_jsonl(&jsonl).unwrap(), 10);
+    }
+
+    #[test]
+    fn concurrent_offers_stay_bounded_and_unique() {
+        let config = TelemetryConfig { trace_capacity: 32, ..keep_all_config() };
+        let retainer = TraceRetainer::new(&config);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let retainer = &retainer;
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        retainer.offer(sample_trace("p"), TraceMeta::default());
+                    }
+                });
+            }
+        });
+        assert!(retainer.resident() <= retainer.capacity());
+        let recent = retainer.recent(usize::MAX);
+        let mut seqs: Vec<u64> = recent.iter().map(|r| r.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), recent.len());
+        let mut ids: Vec<u64> =
+            recent.iter().flat_map(|r| r.trace.spans().iter().map(|s| s.id.0)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), recent.iter().map(|r| r.trace.len()).sum::<usize>());
+    }
+}

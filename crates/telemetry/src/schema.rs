@@ -16,6 +16,11 @@ use crate::json::{parse, Value};
 /// `start_ns`/`end_ns` integers with `end_ns >= start_ns` (end may not
 /// be null: exported traces are finished); `attrs` an object.
 /// Whole-file check: every non-null parent id must exist in the file.
+///
+/// Lines with `type == "trace"` — the per-trace header lines emitted by
+/// [`crate::retain::TraceRetainer::recent_jsonl`] — are validated for
+/// shape (integer `seq`/`root_duration_ns`, string `view`, known
+/// `reason`) but not counted in the returned span total.
 pub fn validate_trace_jsonl(input: &str) -> Result<usize, String> {
     let mut ids = std::collections::BTreeSet::new();
     let mut parents: Vec<(usize, u64)> = Vec::new();
@@ -31,8 +36,29 @@ pub fn validate_trace_jsonl(input: &str) -> Result<usize, String> {
         let kind_of = |key: &str| -> Result<&Value, String> {
             obj.get(key).ok_or_else(|| format!("line {n}: missing key {key:?}"))
         };
-        if kind_of("type")?.as_str() != Some("span") {
-            return Err(format!("line {n}: type is not \"span\""));
+        match kind_of("type")?.as_str() {
+            Some("span") => {}
+            // retained-trace header lines (TraceRetainer::recent_jsonl):
+            // validated for shape, not counted as spans
+            Some("trace") => {
+                kind_of("seq")?
+                    .as_u64()
+                    .ok_or_else(|| format!("line {n}: trace seq must be an integer"))?;
+                if kind_of("view")?.as_str().is_none() {
+                    return Err(format!("line {n}: trace view must be a string"));
+                }
+                let reason = kind_of("reason")?
+                    .as_str()
+                    .ok_or_else(|| format!("line {n}: trace reason must be a string"))?;
+                if !matches!(reason, "error" | "rejected" | "slow" | "sampled") {
+                    return Err(format!("line {n}: unknown retention reason {reason:?}"));
+                }
+                kind_of("root_duration_ns")?
+                    .as_u64()
+                    .ok_or_else(|| format!("line {n}: root_duration_ns must be an integer"))?;
+                continue;
+            }
+            _ => return Err(format!("line {n}: type is not \"span\" or \"trace\"")),
         }
         let id = kind_of("id")?
             .as_u64()
@@ -203,6 +229,19 @@ mod tests {
     }
 
     #[test]
+    fn accepts_and_checks_trace_header_lines() {
+        let ok = concat!(
+            "{\"type\":\"trace\",\"seq\":0,\"view\":\"fig1\",\"reason\":\"rejected\",\"root_duration_ns\":42,\"rejected\":1,\"spans\":1}\n",
+            "{\"type\":\"span\",\"id\":1,\"parent\":null,\"name\":\"view:fig1\",\"kind\":\"view\",\"start_ns\":0,\"end_ns\":42,\"attrs\":{}}\n",
+        );
+        assert_eq!(validate_trace_jsonl(ok).unwrap(), 1);
+
+        let bad_reason =
+            "{\"type\":\"trace\",\"seq\":0,\"view\":\"v\",\"reason\":\"vibes\",\"root_duration_ns\":1}\n";
+        assert!(validate_trace_jsonl(bad_reason).unwrap_err().contains("retention reason"));
+    }
+
+    #[test]
     fn accepts_valid_metrics_text() {
         let text = "enrich.bulk.rows 120\nqa.classify.count{class=\"q:high\"} 7\nenrich.lookup.latency_p95 2047\n";
         assert_eq!(validate_metrics_text(text).unwrap(), 3);
@@ -224,7 +263,9 @@ mod tests {
         registry.histogram("enrich.lookup.latency").record(100);
         registry.gauge("enact.wave.width").set(4);
         let text = registry.render_prometheus();
-        // counter + gauge + 4 histogram lines
-        assert_eq!(validate_metrics_text(&text).unwrap(), 6);
+        // counter + gauge + histogram (1 non-empty bucket + +Inf + count/sum/p50/p95)
+        assert_eq!(validate_metrics_text(&text).unwrap(), 8);
+        assert!(text.contains("enrich.lookup.latency_bucket{le=\"127\"} 1"));
+        assert!(text.contains("enrich.lookup.latency_bucket{le=\"+Inf\"} 1"));
     }
 }

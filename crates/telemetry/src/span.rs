@@ -223,6 +223,18 @@ impl SpanRecorder {
         }
     }
 
+    /// Closes every still-open span owned by this recorder at `now` — the
+    /// error-path companion to [`SpanRecorder::end`], so a trace cut short
+    /// by a failure still validates and can be retained.
+    pub fn end_open(&mut self) {
+        let now = self.session.now_ns();
+        for span in self.spans.iter_mut() {
+            if span.end_ns.is_none() {
+                span.end_ns = Some(now);
+            }
+        }
+    }
+
     /// Number of spans recorded so far.
     pub fn len(&self) -> usize {
         self.spans.len()
@@ -520,6 +532,19 @@ mod tests {
             },
         ]);
         assert!(trace.validate().unwrap_err().contains("escapes parent"));
+    }
+
+    #[test]
+    fn end_open_closes_abandoned_spans() {
+        let session = TraceSession::new();
+        let mut rec = session.recorder();
+        let root = rec.start("view:v", SpanKind::View, None);
+        let phase = rec.start("phase:enrichment", SpanKind::Phase, Some(root));
+        let _ = phase; // simulated failure: neither span is ended explicitly
+        rec.end_open();
+        let trace = SpanTrace::from_spans(rec.finish());
+        trace.validate().unwrap();
+        assert!(trace.spans().iter().all(|s| s.end_ns.is_some()));
     }
 
     #[test]
