@@ -32,6 +32,22 @@ pub fn synthetic_hits(n: usize) -> DataSet {
     dataset
 }
 
+/// The [`synthetic_hits`] workload rendered as the TSV wire format the
+/// `POST /run/<view>` endpoint accepts — the serving benches submit the
+/// same gradient the enactment benches measure locally.
+pub fn synthetic_hits_tsv(n: usize) -> String {
+    let mut out = String::from("id\thitRatio\tmassCoverage\tpeptidesCount\n");
+    for index in 0..n {
+        let jitter = lcg(index as u64) % 1000;
+        let quality = (n - index) as f64 / n as f64;
+        let hr = (0.05 + 0.9 * quality + jitter as f64 * 1e-5).min(1.0);
+        let mc = 50.0 * quality + (jitter % 100) as f64 * 0.05;
+        let pc = (1.0 + 14.0 * quality) as i64;
+        out.push_str(&format!("urn:lsid:bench:hit:H{index:06}\t{hr}\t{mc}\t{pc}\n"));
+    }
+    out
+}
+
 /// Minimal multiplicative LCG for jitter.
 pub fn lcg(x: u64) -> u64 {
     x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) >> 33

@@ -19,10 +19,14 @@
 //! qv profile  <view.xml> --data <hits.tsv>       per-plan-node self-time profile;
 //!             [--runs N] [--folded out.txt]      folded stacks for flamegraph tools
 //! qv serve    <view.xml>... --addr HOST:PORT     long-lived engine over HTTP:
-//!             [--trace-capacity N]               GET /healthz /metrics /drift
-//!             [--sample-rate F]                  GET /traces/recent (ring buffer)
-//!             [--drift-window N]                 POST /run/<view> with a TSV body
+//!             [--workers N] [--queue N]          GET /healthz /metrics /drift
+//!             [--keep-alive-max N]               GET /traces/recent (ring buffer)
+//!             [--read-timeout-ms N]              POST /run/<view> with a TSV body
+//!             [--trace-capacity N]               (worker pool + bounded queue;
+//!             [--sample-rate F]                  full queue -> 503 + Retry-After)
+//!             [--drift-window N]
 //!             [--drift-threshold F]
+//! qv bench-check <BENCH_*.json>                  validate a bench result artifact
 //! qv telemetry-check <trace.jsonl> [metrics.txt] validate exported telemetry files
 //! qv library  <catalog.xml> [--search TEXT]      browse a shared view catalog (§7 iv)
 //! ```
@@ -70,6 +74,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "profile" => cmd_profile(args),
         "serve" => cmd_serve(args),
         "telemetry-check" => cmd_telemetry_check(args),
+        "bench-check" => cmd_bench_check(args.get(1).ok_or_else(usage)?),
         "library" => cmd_library(args),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -80,7 +85,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  qv validate <view.xml>\n  qv check <view.xml|query.rq> [--format text|json] [--deny warnings]\n  qv compile <view.xml> [--dot]\n  qv plan <view.xml> [--no-opt] [--format text|json]\n  qv plan-check <plan.json>\n  qv fmt <view.xml>\n  qv run <view.xml> --data <hits.tsv> [--group NAME] [--explain] [--trace-out FILE] [--metrics-out FILE] [--profile-out FILE]\n  qv explain <view.xml> --data <hits.tsv> --item <id-or-suffix> [--spans]\n  qv profile <view.xml> --data <hits.tsv> [--runs N] [--folded out.txt]\n  qv serve <view.xml>... --addr HOST:PORT [--trace-capacity N] [--sample-rate F] [--drift-window N] [--drift-threshold F]\n  qv telemetry-check <trace.jsonl> [metrics.txt]\n  qv library <catalog.xml> [--search TEXT]"
+    "usage:\n  qv validate <view.xml>\n  qv check <view.xml|query.rq> [--format text|json] [--deny warnings]\n  qv compile <view.xml> [--dot]\n  qv plan <view.xml> [--no-opt] [--format text|json]\n  qv plan-check <plan.json>\n  qv fmt <view.xml>\n  qv run <view.xml> --data <hits.tsv> [--group NAME] [--explain] [--trace-out FILE] [--metrics-out FILE] [--profile-out FILE]\n  qv explain <view.xml> --data <hits.tsv> --item <id-or-suffix> [--spans]\n  qv profile <view.xml> --data <hits.tsv> [--runs N] [--folded out.txt]\n  qv serve <view.xml>... --addr HOST:PORT [--workers N] [--queue N] [--keep-alive-max N] [--read-timeout-ms N] [--trace-capacity N] [--sample-rate F] [--drift-window N] [--drift-threshold F]\n  qv telemetry-check <trace.jsonl> [metrics.txt]\n  qv bench-check <BENCH_*.json>\n  qv library <catalog.xml> [--search TEXT]"
         .to_string()
 }
 
@@ -371,6 +376,7 @@ fn install_shutdown_handler() {}
 /// serve until SIGTERM/SIGINT.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut config = qurator_telemetry::TelemetryConfig::default();
+    let mut pool = serve::ServeConfig::default();
     let mut view_paths: Vec<&str> = Vec::new();
     let mut addr = "127.0.0.1:7878";
     let mut i = 1;
@@ -381,6 +387,39 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         match args[i].as_str() {
             "--addr" => {
                 addr = flag_arg("--addr")?;
+                i += 2;
+            }
+            "--workers" => {
+                let v = flag_arg("--workers")?;
+                pool.workers = v.parse().map_err(|_| format!("--workers {v:?} is not a number"))?;
+                if pool.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                i += 2;
+            }
+            "--queue" => {
+                let v = flag_arg("--queue")?;
+                pool.queue_capacity =
+                    v.parse().map_err(|_| format!("--queue {v:?} is not a number"))?;
+                i += 2;
+            }
+            "--keep-alive-max" => {
+                let v = flag_arg("--keep-alive-max")?;
+                pool.keep_alive_max =
+                    v.parse().map_err(|_| format!("--keep-alive-max {v:?} is not a number"))?;
+                if pool.keep_alive_max == 0 {
+                    return Err("--keep-alive-max must be at least 1".into());
+                }
+                i += 2;
+            }
+            "--read-timeout-ms" => {
+                let v = flag_arg("--read-timeout-ms")?;
+                let ms: u64 =
+                    v.parse().map_err(|_| format!("--read-timeout-ms {v:?} is not a number"))?;
+                if ms == 0 {
+                    return Err("--read-timeout-ms must be at least 1".into());
+                }
+                pool.read_timeout = std::time::Duration::from_millis(ms);
                 i += 2;
             }
             "--trace-capacity" => {
@@ -429,12 +468,25 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     let state = serve::ServeState::new(engine, views, &config);
     let names = state.view_names().join(", ");
-    let server = serve::Server::bind(addr, state)?;
+    let server = serve::Server::bind(addr, state, pool)?;
     let local = server.local_addr()?;
-    println!("qv serve: listening on http://{local} (views: {names})");
+    let pool = server.config();
+    println!(
+        "qv serve: listening on http://{local} (views: {names}; {} worker(s), queue {})",
+        pool.workers, pool.queue_capacity
+    );
     install_shutdown_handler();
     server.run(&SHUTDOWN)?;
-    println!("qv serve: shutdown signal received, exiting");
+    println!("qv serve: shutdown signal received, drained in-flight requests, exiting");
+    Ok(())
+}
+
+/// `qv bench-check`: validate a `BENCH_*.json` artifact (as written by
+/// the `bench` crate's experiment binaries) against the in-tree schema.
+fn cmd_bench_check(path: &str) -> Result<(), String> {
+    let samples = qurator_telemetry::schema::validate_bench_json(&read_file(path)?)
+        .map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: ok ({samples} sample(s))");
     Ok(())
 }
 

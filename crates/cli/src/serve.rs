@@ -3,8 +3,9 @@
 //! The paper's deployment story (§7) is a *service*: quality views are
 //! published once and exercised continuously as new submissions arrive.
 //! This module gives the CLI that shape without pulling in an HTTP
-//! framework: a hand-rolled `std::net::TcpListener` loop speaking just
-//! enough HTTP/1.1 for `curl` and the CI smoke job.
+//! framework: a hand-rolled `std::net::TcpListener` front-end speaking
+//! just enough HTTP/1.1 for `curl`, the CI smoke job and the serving
+//! load bench.
 //!
 //! Routes:
 //!
@@ -17,16 +18,47 @@
 //! | GET    | `/drift`         | drift-monitor state + events, JSON       |
 //! | POST   | `/run/<view>`    | TSV submission in, group summary out     |
 //!
+//! ## Concurrency model
+//!
+//! The accept loop used to handle requests serially on its own thread,
+//! so one slow (or half-open) client stalled every other submission.
+//! [`Server::run`] now runs a fixed pool instead:
+//!
+//! * the **accept thread** (the caller of `run`) accepts connections
+//!   non-blockingly, polling the shutdown flag, and pushes each socket
+//!   into a **bounded queue** (`Mutex<VecDeque>` + condvar,
+//!   [`ServeConfig::queue_capacity`] deep, depth exported as the
+//!   `serve.queue.depth` gauge);
+//! * when the queue is full the connection is **shed** right there: the
+//!   accept thread writes `503 Service Unavailable` with a
+//!   `Retry-After` header and closes — load is refused visibly
+//!   (`serve.shed.count`), never queued unboundedly or silently
+//!   dropped;
+//! * [`ServeConfig::workers`] **handler threads** pop connections and
+//!   speak HTTP/1.1 keep-alive on them: up to
+//!   [`ServeConfig::keep_alive_max`] requests per connection, a
+//!   [`ServeConfig::read_timeout`] per read so an idle or stalled peer
+//!   can hold a worker only briefly. A timeout mid-request is answered
+//!   with `408 Request Timeout` (counted in `serve.read.timeout` — a
+//!   slow-loris client is distinguishable from a malformed one); a
+//!   timeout between requests just closes the idle connection.
+//!
+//! On SIGTERM the accept thread stops accepting, the workers finish
+//! their in-flight request (keep-alive connections are told
+//! `Connection: close`), and `run` returns `Ok(())` so the process
+//! exits 0 — the CI `serve-smoke` drain contract.
+//!
 //! The request handler is a pure function ([`route`]) over a
-//! [`ServeState`], so the routing table is unit-testable without sockets;
-//! [`Server::run`] adds the accept loop (non-blocking, polling a shutdown
-//! flag so SIGTERM produces a clean exit) and the HTTP framing.
+//! [`ServeState`], so the routing table is unit-testable without
+//! sockets; the connection layer above it owns framing, keep-alive and
+//! error mapping (400 malformed / 408 timeout / 413 oversized / 503
+//! shed).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{ErrorKind, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use qurator::prelude::*;
@@ -35,6 +67,38 @@ use qurator_telemetry::json::escape;
 use qurator_telemetry::{TelemetryConfig, TraceRetainer};
 
 use crate::tsv;
+
+/// Tuning for the [`Server`] worker pool and HTTP connection handling.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Handler threads popping connections off the queue.
+    pub workers: usize,
+    /// Accepted-but-unhandled connections the queue holds before the
+    /// accept thread sheds with 503.
+    pub queue_capacity: usize,
+    /// Requests served on one keep-alive connection before it is closed.
+    pub keep_alive_max: usize,
+    /// Per-read socket timeout: bounds how long a stalled client can
+    /// hold a worker, and doubles as the keep-alive idle timeout.
+    pub read_timeout: Duration,
+    /// Seconds advertised in the `Retry-After` header of shed responses.
+    pub retry_after_secs: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(2, 16),
+            queue_capacity: 64,
+            keep_alive_max: 100,
+            read_timeout: Duration::from_secs(5),
+            retry_after_secs: 1,
+        }
+    }
+}
 
 /// Everything a request handler needs: the engine, its trace retainer
 /// and the views published at startup.
@@ -69,19 +133,35 @@ pub struct Response {
     pub status: u16,
     pub content_type: &'static str,
     pub body: String,
+    /// `Retry-After` seconds, set on shed (503) responses.
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
     fn text(status: u16, body: impl Into<String>) -> Self {
-        Response { status, content_type: "text/plain; charset=utf-8", body: body.into() }
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            retry_after: None,
+        }
     }
 
     fn json(status: u16, body: impl Into<String>) -> Self {
-        Response { status, content_type: "application/json", body: body.into() }
+        Response { status, content_type: "application/json", body: body.into(), retry_after: None }
     }
 
     fn error(status: u16, message: &str) -> Self {
         Response::json(status, format!("{{\"error\":\"{}\"}}", escape(message)))
+    }
+
+    /// The canned admission-control response: the queue is full, come
+    /// back in `retry_after` seconds.
+    pub fn shed(retry_after: u32) -> Self {
+        let mut response =
+            Response::error(503, "request queue is full; retry after the indicated delay");
+        response.retry_after = Some(retry_after);
+        response
     }
 }
 
@@ -91,7 +171,11 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
@@ -143,6 +227,7 @@ fn route_inner(
                 status: 200,
                 content_type: "application/x-ndjson",
                 body: state.retainer.recent_jsonl(limit),
+                retry_after: None,
             }
         }
         ("GET", "/drift") => Response::json(200, qurator_telemetry::drift::global().to_json()),
@@ -224,92 +309,334 @@ fn run_view(state: &ServeState, view: &str, body: &str) -> Response {
 const MAX_HEAD_BYTES: usize = 64 * 1024;
 const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 
-/// Reads one HTTP/1.1 request off the stream: `(method, target, body)`.
-fn read_request(stream: &mut TcpStream) -> Result<(String, String, String), String> {
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
-        }
-        if buf.len() > MAX_HEAD_BYTES {
-            return Err("request head too large".into());
-        }
-        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
-        if n == 0 {
-            return Err("connection closed mid-request".into());
-        }
-        buf.extend_from_slice(&chunk[..n]);
-    };
-    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().unwrap_or_default();
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or_default().to_string();
-    let target = parts.next().unwrap_or_default().to_string();
-    if method.is_empty() || !target.starts_with('/') {
-        return Err(format!("malformed request line {request_line:?}"));
+/// One parsed request plus the connection disposition it asked for.
+struct Request {
+    method: String,
+    target: String,
+    body: String,
+    /// Client asked to close (or spoke HTTP/1.0 without keep-alive).
+    close: bool,
+}
+
+/// Why reading a request off the connection failed, mapped to the HTTP
+/// status the connection layer answers with before closing.
+enum ReadError {
+    /// Unparseable framing (bad request line, malformed or conflicting
+    /// `Content-Length`, connection torn down mid-request) → 400.
+    Malformed(String),
+    /// The per-read socket timeout fired *mid-request* (bytes were
+    /// already read) → 408; slow-loris, not malformed.
+    Timeout,
+    /// Head or declared body over the buffer bounds → 431 / 413.
+    TooLarge(u16, &'static str),
+    /// Framing we deliberately don't speak (chunked bodies) → 501.
+    Unsupported(&'static str),
+    /// The socket died (reset, broken pipe): nothing to answer.
+    Io(String),
+}
+
+/// A connection with its carry-over read buffer: with keep-alive (and
+/// pipelining) bytes past the current request's body belong to the next
+/// request, so they stay buffered across [`Conn::read_request`] calls.
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn { stream, buf: Vec::with_capacity(1024) }
     }
-    let content_length = lines
-        .filter_map(|l| l.split_once(':'))
-        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
-        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
-        .unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
-        return Err("body too large".into());
-    }
-    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
-    while body.len() < content_length {
-        let n = stream.read(&mut chunk).map_err(|e| format!("read body: {e}"))?;
-        if n == 0 {
-            return Err("connection closed mid-body".into());
+
+    /// Reads one request. `Ok(None)` means the peer closed (or sat idle
+    /// past the read timeout) *between* requests — a clean keep-alive
+    /// close, not an error.
+    fn read_request(&mut self) -> Result<Option<Request>, ReadError> {
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.buf) {
+                break pos;
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(ReadError::TooLarge(431, "request head too large"));
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) if self.buf.is_empty() => return Ok(None),
+                Ok(0) => return Err(ReadError::Malformed("connection closed mid-request".into())),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if is_timeout(&e) && self.buf.is_empty() => return Ok(None),
+                Err(e) if is_timeout(&e) => return Err(ReadError::Timeout),
+                Err(e) => return Err(ReadError::Io(e.to_string())),
+            }
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or_default();
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or_default().to_string();
+        let target = parts.next().unwrap_or_default().to_string();
+        let version = parts.next().unwrap_or("HTTP/1.1");
+        if method.is_empty() || !target.starts_with('/') {
+            return Err(ReadError::Malformed(format!("malformed request line {request_line:?}")));
         }
-        body.extend_from_slice(&chunk[..n]);
+
+        let mut content_length: Option<usize> = None;
+        let mut close = version.eq_ignore_ascii_case("HTTP/1.0");
+        for line in lines {
+            let Some((key, value)) = line.split_once(':') else { continue };
+            let key = key.trim();
+            let value = value.trim();
+            if key.eq_ignore_ascii_case("content-length") {
+                // duplicate headers and folded `a, b` lists are accepted
+                // only when every value agrees; anything non-numeric is a
+                // hard 400 — silently reading 0 would drop the body
+                for part in value.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() || !part.bytes().all(|b| b.is_ascii_digit()) {
+                        return Err(ReadError::Malformed(format!(
+                            "malformed Content-Length {part:?}"
+                        )));
+                    }
+                    let parsed: usize = part
+                        .parse()
+                        .map_err(|_| ReadError::TooLarge(413, "Content-Length overflows usize"))?;
+                    match content_length {
+                        Some(previous) if previous != parsed => {
+                            return Err(ReadError::Malformed(format!(
+                                "conflicting Content-Length values {previous} and {parsed}"
+                            )));
+                        }
+                        _ => content_length = Some(parsed),
+                    }
+                }
+            } else if key.eq_ignore_ascii_case("transfer-encoding") {
+                return Err(ReadError::Unsupported(
+                    "chunked transfer encoding is not supported; send Content-Length",
+                ));
+            } else if key.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    close = true;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    close = false;
+                }
+            }
+        }
+        let content_length = content_length.unwrap_or(0);
+        if content_length > MAX_BODY_BYTES {
+            return Err(ReadError::TooLarge(413, "body too large"));
+        }
+
+        self.buf.drain(..head_end + 4);
+        while self.buf.len() < content_length {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(ReadError::Malformed("connection closed mid-body".into())),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if is_timeout(&e) => return Err(ReadError::Timeout),
+                Err(e) => return Err(ReadError::Io(e.to_string())),
+            }
+        }
+        let rest = self.buf.split_off(content_length);
+        let body = String::from_utf8_lossy(&self.buf).into_owned();
+        self.buf = rest;
+        Ok(Some(Request { method, target, body, close }))
     }
-    body.truncate(content_length);
-    Ok((method, target, String::from_utf8_lossy(&body).into_owned()))
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+fn write_response(stream: &mut TcpStream, response: &Response, close: bool) -> std::io::Result<()> {
+    let retry_after = match response.retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     write!(
         stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
         response.status,
         reason(response.status),
         response.content_type,
-        response.body.len()
+        response.body.len(),
+        retry_after,
+        if close { "close" } else { "keep-alive" },
     )?;
     stream.write_all(response.body.as_bytes())?;
     stream.flush()
 }
 
-fn handle(state: &ServeState, mut stream: TcpStream) {
-    // accepted sockets may inherit the listener's non-blocking mode
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-    let response = match read_request(&mut stream) {
-        Ok((method, target, body)) => route(state, &method, &target, &body),
-        Err(e) => Response::error(400, &e),
-    };
-    let _ = write_response(&mut stream, &response);
+/// `QV_SERVE_LOG=debug` turns on per-connection stderr diagnostics
+/// (peer addresses of failed writes); off by default so the serving hot
+/// path never formats strings.
+fn debug_log_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("QV_SERVE_LOG").map(|v| v.eq_ignore_ascii_case("debug")).unwrap_or(false)
+    })
 }
 
-/// The accept loop. Binding to port 0 picks a free port (tests and the
-/// CI smoke job read the real address back via [`Server::local_addr`]).
+/// Sends `response` and accounts for the outcome: broken-pipe writes are
+/// counted (`serve.write_error`) and logged at debug level with the peer
+/// address instead of vanishing. Returns whether the connection is still
+/// usable.
+fn send_response(stream: &mut TcpStream, response: &Response, close: bool) -> bool {
+    match write_response(stream, response, close) {
+        Ok(()) => !close,
+        Err(e) => {
+            qurator_telemetry::metrics().counter("serve.write_error").inc();
+            if debug_log_enabled() {
+                let peer = stream
+                    .peer_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "<unknown>".into());
+                eprintln!("qv serve: write to {peer} failed: {e}");
+            }
+            false
+        }
+    }
+}
+
+/// Counts a request that failed before routing (parse error, timeout) in
+/// the same `serve.requests` family routed requests use, under the
+/// pseudo-route `-`.
+fn record_early(status: u16) {
+    qurator_telemetry::metrics()
+        .counter_with("serve.requests", &[("route", "-"), ("status", &status.to_string())])
+        .inc();
+}
+
+/// Serves one connection: keep-alive request loop with per-read
+/// timeouts, bounded request count, and error mapping.
+fn handle_connection(
+    state: &ServeState,
+    config: &ServeConfig,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+) {
+    // accepted sockets may inherit the listener's non-blocking mode
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let mut conn = Conn::new(stream);
+    for served in 1..=config.keep_alive_max {
+        if shutdown.load(Ordering::Relaxed) {
+            // draining: no new requests on this connection
+            return;
+        }
+        match conn.read_request() {
+            Ok(None) => return, // idle or closed between requests
+            Ok(Some(request)) => {
+                let response = route(state, &request.method, &request.target, &request.body);
+                let close = request.close
+                    || served == config.keep_alive_max
+                    || shutdown.load(Ordering::Relaxed);
+                if !send_response(&mut conn.stream, &response, close) {
+                    return;
+                }
+            }
+            Err(error) => {
+                let response = match error {
+                    ReadError::Malformed(message) => Response::error(400, &message),
+                    ReadError::Timeout => {
+                        qurator_telemetry::metrics().counter("serve.read.timeout").inc();
+                        Response::error(408, "timed out reading the request")
+                    }
+                    ReadError::TooLarge(status, message) => Response::error(status, message),
+                    ReadError::Unsupported(message) => Response::error(501, message),
+                    ReadError::Io(message) => {
+                        qurator_telemetry::metrics().counter("serve.read.error").inc();
+                        if debug_log_enabled() {
+                            eprintln!("qv serve: read failed: {message}");
+                        }
+                        return; // nothing to answer on a dead socket
+                    }
+                };
+                record_early(response.status);
+                send_response(&mut conn.stream, &response, true);
+                return;
+            }
+        }
+    }
+}
+
+/// The bounded hand-off between the accept thread and the workers.
+/// `try_push` refuses (for shedding) instead of blocking; `pop` blocks
+/// until a connection or shutdown-and-drained.
+struct ConnQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    capacity: usize,
+    depth: Arc<qurator_telemetry::Gauge>,
+}
+
+struct QueueInner {
+    connections: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Self {
+        ConnQueue {
+            inner: Mutex::new(QueueInner { connections: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            depth: qurator_telemetry::metrics().gauge("serve.queue.depth"),
+        }
+    }
+
+    /// Queues an accepted connection, or hands it back when full.
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed || inner.connections.len() >= self.capacity {
+            return Err(stream);
+        }
+        inner.connections.push_back(stream);
+        self.depth.set(inner.connections.len() as i64);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(stream) = inner.connections.pop_front() {
+                self.depth.set(inner.connections.len() as i64);
+                return Some(stream);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Stops the queue: workers drain what is already queued, then exit.
+    fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// The HTTP front-end. Binding to port 0 picks a free port (tests and
+/// the CI smoke job read the real address back via
+/// [`Server::local_addr`]).
 pub struct Server {
     listener: TcpListener,
     state: ServeState,
+    config: ServeConfig,
 }
 
 impl Server {
-    /// Binds `addr` (e.g. `127.0.0.1:7878`, port 0 for ephemeral).
-    pub fn bind(addr: &str, state: ServeState) -> Result<Server, String> {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`, port 0 for ephemeral) with
+    /// the given pool configuration.
+    pub fn bind(addr: &str, state: ServeState, config: ServeConfig) -> Result<Server, String> {
         let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
-        Ok(Server { listener, state })
+        Ok(Server { listener, state, config })
     }
 
     /// The bound address (resolves port 0).
@@ -317,22 +644,61 @@ impl Server {
         self.listener.local_addr().map_err(|e| e.to_string())
     }
 
-    /// Serves until `shutdown` flips true (the signal handler's job).
-    /// Requests are handled serially on this thread — the engine's own
-    /// enactment parallelism is where the cores go.
+    /// The effective pool configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Serves until `shutdown` flips true (the signal handler's job),
+    /// then drains: accepting stops, queued and in-flight requests
+    /// finish, the workers join, and `run` returns cleanly.
     pub fn run(self, shutdown: &AtomicBool) -> Result<(), String> {
-        self.listener.set_nonblocking(true).map_err(|e| e.to_string())?;
-        loop {
-            if shutdown.load(Ordering::Relaxed) {
-                return Ok(());
+        let Server { listener, state, config } = self;
+        listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+        let queue = ConnQueue::new(config.queue_capacity);
+        std::thread::scope(|scope| {
+            for _ in 0..config.workers.max(1) {
+                let (state, config, queue) = (&state, &config, &queue);
+                scope.spawn(move || {
+                    while let Some(stream) = queue.pop() {
+                        handle_connection(state, config, stream, shutdown);
+                    }
+                });
             }
-            match self.listener.accept() {
-                Ok((stream, _)) => handle(&self.state, stream),
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
+            let result = accept_loop(&listener, &queue, &config, shutdown);
+            queue.close();
+            result
+        })
+    }
+}
+
+/// Accepts until shutdown; full-queue connections are shed with 503 +
+/// `Retry-After` right here, so the accept thread never blocks on a
+/// client and admission stays bounded.
+fn accept_loop(
+    listener: &TcpListener,
+    queue: &ConnQueue,
+    config: &ServeConfig,
+    shutdown: &AtomicBool,
+) -> Result<(), String> {
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if let Err(mut refused) = queue.try_push(stream) {
+                    qurator_telemetry::metrics().counter("serve.shed.count").inc();
+                    record_early(503);
+                    let _ = refused.set_nonblocking(false);
+                    let _ = refused.set_write_timeout(Some(Duration::from_secs(1)));
+                    send_response(&mut refused, &Response::shed(config.retry_after_secs), true);
                 }
-                Err(e) => return Err(format!("accept: {e}")),
             }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(format!("accept: {e}")),
         }
     }
 }
@@ -372,6 +738,72 @@ urn:lsid:t:h:bad\t0.1\t3\t1\n";
         let engine = QualityEngine::with_proteomics_defaults().unwrap();
         let spec = qurator::xmlio::parse_quality_view(VIEW).unwrap();
         ServeState::new(engine, vec![spec], &TelemetryConfig::default())
+    }
+
+    /// A server on an ephemeral port running on a background thread.
+    fn spawn(config: ServeConfig) -> (SocketAddr, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+        let server = Server::bind("127.0.0.1:0", state(), config).unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let thread = std::thread::spawn(move || server.run(&flag).unwrap());
+        (addr, shutdown, thread)
+    }
+
+    /// One-shot exchange: write `payload`, read to EOF.
+    fn request(addr: SocketAddr, payload: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(payload.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    /// Reads exactly one framed response off a keep-alive connection:
+    /// `(status, headers, body)`.
+    fn read_response(stream: &mut TcpStream) -> (u16, String, String) {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&buf) {
+                break pos;
+            }
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "connection closed before a full response head");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8(buf[..head_end].to_vec()).unwrap();
+        let status: u16 = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                l.split_once(':').filter(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            })
+            .map(|(_, v)| v.trim().parse().unwrap())
+            .unwrap();
+        let mut body = buf[head_end + 4..].to_vec();
+        while body.len() < content_length {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "connection closed mid-body");
+            body.extend_from_slice(&chunk[..n]);
+        }
+        body.truncate(content_length);
+        (status, head, String::from_utf8(body).unwrap())
+    }
+
+    fn get(path: &str, close: bool) -> String {
+        format!(
+            "GET {path} HTTP/1.1\r\nHost: x\r\n{}\r\n",
+            if close { "Connection: close\r\n" } else { "" }
+        )
+    }
+
+    fn post_run(body: &str, close: bool) -> String {
+        format!(
+            "POST /run/serve-test HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n{}\r\n{body}",
+            body.len(),
+            if close { "Connection: close\r\n" } else { "" }
+        )
     }
 
     #[test]
@@ -440,35 +872,218 @@ urn:lsid:t:h:bad\t0.1\t3\t1\n";
 
     #[test]
     fn server_speaks_http_over_a_real_socket() {
-        let server = Server::bind("127.0.0.1:0", state()).unwrap();
-        let addr = server.local_addr().unwrap();
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let flag = shutdown.clone();
-        let thread = std::thread::spawn(move || server.run(&flag));
+        let (addr, shutdown, thread) = spawn(ServeConfig::default());
 
-        let request = |payload: String| -> String {
-            let mut stream = TcpStream::connect(addr).unwrap();
-            stream.write_all(payload.as_bytes()).unwrap();
-            let mut out = String::new();
-            stream.read_to_string(&mut out).unwrap();
-            out
-        };
-        let health = request("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n".into());
+        let health = request(addr, &get("/healthz", true));
         assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
         assert!(health.ends_with("ok\n"), "{health}");
 
-        let run = request(format!(
-            "POST /run/serve-test HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
-            DATA.len(),
-            DATA
-        ));
+        let run = request(addr, &post_run(DATA, true));
         assert!(run.starts_with("HTTP/1.1 200 OK\r\n"), "{run}");
         assert!(run.contains("\"rejected\":1"), "{run}");
 
-        let bad = request("BROKEN\r\n\r\n".into());
+        let bad = request(addr, "BROKEN\r\n\r\n");
         assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
 
         shutdown.store(true, Ordering::Relaxed);
-        thread.join().unwrap().unwrap();
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests_on_one_socket() {
+        let (addr, shutdown, thread) = spawn(ServeConfig::default());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(get("/healthz", false).as_bytes()).unwrap();
+        let (status, head, body) = read_response(&mut stream);
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+
+        // same socket, second request — including a POST with a body
+        stream.write_all(post_run(DATA, false).as_bytes()).unwrap();
+        let (status, _, body) = read_response(&mut stream);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"rejected\":1"), "{body}");
+
+        // Connection: close is honoured: response, then EOF
+        stream.write_all(get("/healthz", true).as_bytes()).unwrap();
+        let (status, head, _) = read_response(&mut stream);
+        assert_eq!(status, 200);
+        assert!(head.contains("Connection: close"), "{head}");
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "expected EOF after Connection: close");
+
+        shutdown.store(true, Ordering::Relaxed);
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_request_cap_closes_the_connection() {
+        let config = ServeConfig { keep_alive_max: 2, ..ServeConfig::default() };
+        let (addr, shutdown, thread) = spawn(config);
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(get("/healthz", false).as_bytes()).unwrap();
+        let (_, head, _) = read_response(&mut stream);
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+        stream.write_all(get("/healthz", false).as_bytes()).unwrap();
+        let (_, head, _) = read_response(&mut stream);
+        // the cap turns the final response into a close
+        assert!(head.contains("Connection: close"), "{head}");
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
+
+        shutdown.store(true, Ordering::Relaxed);
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_and_conflicting_content_length_get_400() {
+        let (addr, shutdown, thread) = spawn(ServeConfig::default());
+
+        // unparseable: previously read as 0, silently dropping the body
+        let r = request(addr, "POST /run/serve-test HTTP/1.1\r\nContent-Length: abc\r\n\r\n");
+        assert!(r.starts_with("HTTP/1.1 400"), "{r}");
+        assert!(r.contains("malformed Content-Length"), "{r}");
+
+        // two disagreeing values: request smuggling shape, hard reject
+        let r = request(
+            addr,
+            "POST /run/serve-test HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 7\r\n\r\nabcdefg",
+        );
+        assert!(r.starts_with("HTTP/1.1 400"), "{r}");
+        assert!(r.contains("conflicting Content-Length"), "{r}");
+
+        // duplicates that agree are fine
+        let body = DATA;
+        let r = request(
+            addr,
+            &format!(
+                "POST /run/serve-test HTTP/1.1\r\nContent-Length: {0}\r\nContent-Length: {0}\r\nConnection: close\r\n\r\n{1}",
+                body.len(),
+                body
+            ),
+        );
+        assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+
+        // chunked framing is refused, not misread
+        let r = request(
+            addr,
+            "POST /run/serve-test HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+        );
+        assert!(r.starts_with("HTTP/1.1 501"), "{r}");
+
+        shutdown.store(true, Ordering::Relaxed);
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn stalled_mid_request_client_gets_408() {
+        let config =
+            ServeConfig { read_timeout: Duration::from_millis(200), ..ServeConfig::default() };
+        let (addr, shutdown, thread) = spawn(config);
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // half a request line, then silence: a slow-loris shape
+        stream.write_all(b"POST /run/serve-t").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 408"), "{out}");
+
+        shutdown.store(true, Ordering::Relaxed);
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn idle_keep_alive_connections_are_closed_quietly() {
+        let config =
+            ServeConfig { read_timeout: Duration::from_millis(200), ..ServeConfig::default() };
+        let (addr, shutdown, thread) = spawn(config);
+
+        // connect and send nothing: idle, not slow-loris — EOF, no 408
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "");
+
+        shutdown.store(true, Ordering::Relaxed);
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn full_queue_sheds_with_503_and_retry_after() {
+        let config = ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            read_timeout: Duration::from_secs(2),
+            ..ServeConfig::default()
+        };
+        let (addr, shutdown, thread) = spawn(config);
+
+        // occupy the single worker with a stalled request …
+        let mut stalled = TcpStream::connect(addr).unwrap();
+        stalled.write_all(b"POST /run/serve-t").unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        // … fill the queue with a second pending connection …
+        let mut queued = TcpStream::connect(addr).unwrap();
+        queued.write_all(b"GET /h").unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        // … and the third connection must be shed by the accept thread
+        let mut shed = TcpStream::connect(addr).unwrap();
+        let (status, head, body) = read_response(&mut shed);
+        assert_eq!(status, 503, "{body}");
+        assert!(head.contains("Retry-After: 1"), "{head}");
+
+        shutdown.store(true, Ordering::Relaxed);
+        thread.join().unwrap();
+    }
+
+    /// The tentpole regression test: one stalled client must not delay
+    /// healthy clients, which previously queued behind it for the full
+    /// read timeout.
+    #[test]
+    fn stalled_client_does_not_stall_healthy_clients() {
+        let config = ServeConfig {
+            workers: 4,
+            read_timeout: Duration::from_secs(3),
+            ..ServeConfig::default()
+        };
+        let stall_bound = Duration::from_secs(1); // << read_timeout
+        let (addr, shutdown, thread) = spawn(config);
+
+        // the stalled client connects first and holds its worker
+        let mut stalled = TcpStream::connect(addr).unwrap();
+        stalled
+            .write_all(b"POST /run/serve-test HTTP/1.1\r\nContent-Length: 999\r\n\r\npartial")
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+
+        let started = Instant::now();
+        let healthy: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let r = request(addr, &post_run(DATA, true));
+                    assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+                })
+            })
+            .collect();
+        for h in healthy {
+            h.join().unwrap();
+        }
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < stall_bound,
+            "healthy requests took {elapsed:?}, stalled behind the slow client"
+        );
+
+        // the stalled client is eventually told 408, not silently dropped
+        let mut out = String::new();
+        stalled.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 408"), "{out}");
+
+        shutdown.store(true, Ordering::Relaxed);
+        thread.join().unwrap();
     }
 }

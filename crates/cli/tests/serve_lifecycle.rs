@@ -1,0 +1,149 @@
+//! Process-level lifecycle tests for `qv serve`: the real binary, real
+//! sockets, real signals. The in-process HTTP tests live in
+//! `src/serve.rs`; this file pins the contract CI's `serve-smoke` job
+//! relies on — most importantly that SIGTERM *drains*: a request that is
+//! mid-flight when the signal lands is answered before the process exits
+//! 0.
+
+#![cfg(unix)]
+
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn sample(path: &str) -> String {
+    format!("{}/../../samples/{path}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Starts `qv serve` on an ephemeral port, returning the child, the
+/// bound address parsed from the startup line, and the still-open
+/// stdout reader (dropping it would break the server's shutdown print).
+fn spawn_serve(extra: &[&str]) -> (Child, String, BufReader<std::process::ChildStdout>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_qv"))
+        .arg("serve")
+        .arg(sample("paper_view.xml"))
+        .args(["--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn qv serve");
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("startup line");
+    let addr = line
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split([' ', '/']).next())
+        .unwrap_or_else(|| panic!("no address in {line:?}"))
+        .to_string();
+    (child, addr, reader)
+}
+
+fn sigterm(child: &Child) {
+    let status =
+        Command::new("kill").args(["-TERM", &child.id().to_string()]).status().expect("run kill");
+    assert!(status.success());
+}
+
+fn wait_exit(mut child: Child) -> bool {
+    for _ in 0..100 {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status.success();
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let _ = child.kill();
+    panic!("qv serve did not exit within 10s of SIGTERM");
+}
+
+/// Reads one framed HTTP response; returns (status line, body).
+fn read_response(stream: &mut TcpStream) -> (String, String) {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "EOF before response head");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let content_length: usize = head
+        .lines()
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse().ok())
+        .unwrap_or(0);
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "EOF mid-body");
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    (
+        head.lines().next().unwrap_or_default().to_string(),
+        String::from_utf8_lossy(&body).into_owned(),
+    )
+}
+
+#[test]
+fn keep_alive_then_clean_sigterm_exit() {
+    let (child, addr, _stdout) = spawn_serve(&[]);
+
+    // two requests on one keep-alive socket against the live binary
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    for _ in 0..2 {
+        stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let (status, body) = read_response(&mut stream);
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "ok\n");
+    }
+    drop(stream);
+
+    sigterm(&child);
+    assert!(wait_exit(child), "expected exit 0 after SIGTERM");
+}
+
+#[test]
+fn sigterm_drains_the_in_flight_request_before_exiting() {
+    let (child, addr, _stdout) = spawn_serve(&["--read-timeout-ms", "10000"]);
+    let tsv = std::fs::read(sample("hits.tsv")).expect("hits.tsv");
+
+    // start a POST but hold back half the body: in flight, not complete
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let head = format!(
+        "POST /run/ispider-pmf-quality HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+        tsv.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(&tsv[..tsv.len() / 2]).unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(200)); // worker is mid-read
+
+    sigterm(&child);
+    std::thread::sleep(Duration::from_millis(200)); // signal lands mid-flight
+
+    // the drain contract: the held-back half still gets read, the
+    // request is answered, and only then does the process exit 0
+    stream.write_all(&tsv[tsv.len() / 2..]).unwrap();
+    let (status, body) = read_response(&mut stream);
+    assert!(status.contains("200"), "{status}: {body}");
+    assert!(body.contains("\"groups\""), "{body}");
+
+    assert!(wait_exit(child), "expected exit 0 after draining");
+}
+
+#[test]
+fn rejects_bad_serve_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_qv"))
+        .args(["serve", &sample("paper_view.xml"), "--workers", "0"])
+        .output()
+        .expect("run qv");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--workers"), "{out:?}");
+}

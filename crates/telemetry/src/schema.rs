@@ -190,6 +190,49 @@ fn validate_labels(labels: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `BENCH_<name>.json` artifact (as written by the `bench`
+/// crate's `BenchResult::write`). Returns the recorded sample count on
+/// success.
+///
+/// Checks: valid JSON object; `name` and `git_rev` non-empty strings;
+/// `config` an object with string values; `samples` a non-negative
+/// integer; `median_ms` and `p95_ms` numbers with `p95_ms >= median_ms`
+/// when samples were recorded; `metrics` an object with numeric (or
+/// null, for non-finite) values.
+pub fn validate_bench_json(input: &str) -> Result<usize, String> {
+    let value = parse(input).map_err(|e| format!("invalid JSON: {e}"))?;
+    let obj = value.as_object().ok_or("bench artifact is not a JSON object")?;
+    let field = |key: &str| -> Result<&Value, String> {
+        obj.get(key).ok_or_else(|| format!("missing key {key:?}"))
+    };
+    for key in ["name", "git_rev"] {
+        match field(key)?.as_str() {
+            Some(s) if !s.is_empty() => {}
+            _ => return Err(format!("{key} must be a non-empty string")),
+        }
+    }
+    let config = field("config")?.as_object().ok_or("config must be an object")?;
+    for (key, value) in config {
+        if value.as_str().is_none() {
+            return Err(format!("config.{key} must be a string"));
+        }
+    }
+    let samples =
+        field("samples")?.as_u64().ok_or("samples must be a non-negative integer")? as usize;
+    let median = field("median_ms")?.as_f64().ok_or("median_ms must be a number")?;
+    let p95 = field("p95_ms")?.as_f64().ok_or("p95_ms must be a number")?;
+    if samples > 0 && (median < 0.0 || p95 < median) {
+        return Err(format!("implausible quantiles: median_ms {median}, p95_ms {p95}"));
+    }
+    let metrics = field("metrics")?.as_object().ok_or("metrics must be an object")?;
+    for (key, value) in metrics {
+        if value.as_f64().is_none() && !matches!(value, Value::Null) {
+            return Err(format!("metrics.{key} must be a number"));
+        }
+    }
+    Ok(samples)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +244,22 @@ mod tests {
             "{\"type\":\"span\",\"id\":2,\"parent\":1,\"name\":\"wave:0\",\"kind\":\"wave\",\"start_ns\":1,\"end_ns\":9,\"attrs\":{\"width\":2}}\n",
         );
         assert_eq!(validate_trace_jsonl(jsonl).unwrap(), 2);
+    }
+
+    #[test]
+    fn validates_bench_artifacts() {
+        let ok = r#"{"name":"serve_load","git_rev":"abc123","config":{"clients":"8"},
+            "samples":3,"median_ms":2,"p95_ms":3,"metrics":{"rps":120.5,"nan":null}}"#;
+        assert_eq!(validate_bench_json(ok).unwrap(), 3);
+
+        assert!(validate_bench_json("{}").unwrap_err().contains("missing key"));
+        let noname = ok.replace("\"serve_load\"", "\"\"");
+        assert!(validate_bench_json(&noname).unwrap_err().contains("non-empty string"));
+        let backwards = ok.replace("\"p95_ms\":3", "\"p95_ms\":1");
+        assert!(validate_bench_json(&backwards).unwrap_err().contains("implausible"));
+        let badmetric = ok.replace("120.5", "\"fast\"");
+        assert!(validate_bench_json(&badmetric).unwrap_err().contains("must be a number"));
+        assert!(validate_bench_json("not json").unwrap_err().contains("invalid JSON"));
     }
 
     #[test]
