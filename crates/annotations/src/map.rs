@@ -30,6 +30,13 @@ impl ItemAnnotations {
         self.tags.get(tag).cloned().unwrap_or(EvidenceValue::Null)
     }
 
+    /// Borrowed view of a QA tag's value, `None` when absent. Readers
+    /// that only render the value (provenance capture) use this to skip
+    /// the clone [`ItemAnnotations::tag`] pays.
+    pub fn tag_ref(&self, tag: &str) -> Option<&EvidenceValue> {
+        self.tags.get(tag)
+    }
+
     /// Directly sets an evidence value on this row. Bulk writers pair this
     /// with [`AnnotationMap::row_mut`] to pay one row lookup per item
     /// instead of one per `(item, evidence type)` pair.

@@ -19,15 +19,18 @@
 //! qv profile  <view.xml> --data <hits.tsv>       per-plan-node self-time profile;
 //!             [--runs N] [--folded out.txt]      folded stacks for flamegraph tools
 //! qv serve    <view.xml>... --addr HOST:PORT     long-lived engine over HTTP:
-//!             [--workers N] [--queue N]          GET /healthz /metrics /drift
-//!             [--keep-alive-max N]               GET /traces/recent (ring buffer)
-//!             [--read-timeout-ms N]              POST /run/<view> with a TSV body
-//!             [--trace-capacity N]               (worker pool + bounded queue;
-//!             [--sample-rate F]                  full queue -> 503 + Retry-After)
-//!             [--drift-window N]
-//!             [--drift-threshold F]
+//!             [--workers N] [--queue N]          GET /healthz /metrics /drift /slo
+//!             [--keep-alive-max N]               GET /traces/recent /log/recent
+//!             [--read-timeout-ms N]              GET /runs/<id> (correlation bundle)
+//!             [--trace-capacity N]               POST /run/<view> with a TSV body
+//!             [--sample-rate F]                  (worker pool + bounded queue;
+//!             [--drift-window N]                 full queue -> 503 + Retry-After;
+//!             [--drift-threshold F]              every run echoes X-QV-Run-Id)
+//!             [--access-log FILE]
+//!             [--slo-p99-ms N] [--slo-availability F]
 //! qv bench-check <BENCH_*.json>                  validate a bench result artifact
 //! qv telemetry-check <trace.jsonl> [metrics.txt] validate exported telemetry files
+//!             [--access-log access.jsonl]
 //! qv library  <catalog.xml> [--search TEXT]      browse a shared view catalog (§7 iv)
 //! ```
 //!
@@ -85,7 +88,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  qv validate <view.xml>\n  qv check <view.xml|query.rq> [--format text|json] [--deny warnings]\n  qv compile <view.xml> [--dot]\n  qv plan <view.xml> [--no-opt] [--format text|json]\n  qv plan-check <plan.json>\n  qv fmt <view.xml>\n  qv run <view.xml> --data <hits.tsv> [--group NAME] [--explain] [--trace-out FILE] [--metrics-out FILE] [--profile-out FILE]\n  qv explain <view.xml> --data <hits.tsv> --item <id-or-suffix> [--spans]\n  qv profile <view.xml> --data <hits.tsv> [--runs N] [--folded out.txt]\n  qv serve <view.xml>... --addr HOST:PORT [--workers N] [--queue N] [--keep-alive-max N] [--read-timeout-ms N] [--trace-capacity N] [--sample-rate F] [--drift-window N] [--drift-threshold F]\n  qv telemetry-check <trace.jsonl> [metrics.txt]\n  qv bench-check <BENCH_*.json>\n  qv library <catalog.xml> [--search TEXT]"
+    "usage:\n  qv validate <view.xml>\n  qv check <view.xml|query.rq> [--format text|json] [--deny warnings]\n  qv compile <view.xml> [--dot]\n  qv plan <view.xml> [--no-opt] [--format text|json]\n  qv plan-check <plan.json>\n  qv fmt <view.xml>\n  qv run <view.xml> --data <hits.tsv> [--group NAME] [--explain] [--trace-out FILE] [--metrics-out FILE] [--profile-out FILE]\n  qv explain <view.xml> --data <hits.tsv> --item <id-or-suffix> [--spans]\n  qv profile <view.xml> --data <hits.tsv> [--runs N] [--folded out.txt]\n  qv serve <view.xml>... --addr HOST:PORT [--workers N] [--queue N] [--keep-alive-max N] [--read-timeout-ms N] [--trace-capacity N] [--sample-rate F] [--drift-window N] [--drift-threshold F] [--access-log FILE] [--slo-p99-ms N] [--slo-availability F]\n  qv telemetry-check <trace.jsonl> [metrics.txt] [--access-log access.jsonl]\n  qv bench-check <BENCH_*.json>\n  qv library <catalog.xml> [--search TEXT]"
         .to_string()
 }
 
@@ -221,8 +224,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let spec = load_view(view_path)?;
     let dataset = tsv::read_dataset(&read_file(data_path)?)?;
     let engine = stock_engine()?;
-    let outcome = engine.execute_view(&spec, &dataset).map_err(|e| e.to_string())?;
+    let run = qurator_telemetry::RunId::mint();
+    let outcome = engine.execute_view_run(&spec, &dataset, run).map_err(|e| e.to_string())?;
 
+    println!("run id: {run}");
     println!("input items: {}", dataset.len());
     for group in &outcome.groups {
         println!("\ngroup {:?}: {} item(s)", group.name, group.dataset.len());
@@ -330,12 +335,15 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     let spec = load_view(view_path)?;
     let dataset = tsv::read_dataset(&read_file(data_path)?)?;
     let engine = stock_engine()?;
+    // one invocation = one run id, stamped on every iteration's trace
+    let run = qurator_telemetry::RunId::mint();
     let mut profile = qurator_telemetry::Profile::new();
     for _ in 0..runs {
-        engine.execute_view(&spec, &dataset).map_err(|e| e.to_string())?;
+        engine.execute_view_run(&spec, &dataset, run).map_err(|e| e.to_string())?;
         let trace = engine.last_trace().ok_or("no span trace was recorded")?;
         profile.add_trace(&trace);
     }
+    println!("run id: {run}");
     println!("{}", profile.render_table());
     if let Some(path) = flag_value(args, "--folded") {
         std::fs::write(path, profile.to_folded())
@@ -377,6 +385,7 @@ fn install_shutdown_handler() {}
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut config = qurator_telemetry::TelemetryConfig::default();
     let mut pool = serve::ServeConfig::default();
+    let mut options = serve::ServeOptions::default();
     let mut view_paths: Vec<&str> = Vec::new();
     let mut addr = "127.0.0.1:7878";
     let mut i = 1;
@@ -446,6 +455,30 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     v.parse().map_err(|_| format!("--drift-threshold {v:?} is not a number"))?;
                 i += 2;
             }
+            "--access-log" => {
+                options.access_log_path = Some(flag_arg("--access-log")?.into());
+                i += 2;
+            }
+            "--slo-p99-ms" => {
+                let v = flag_arg("--slo-p99-ms")?;
+                let ms: u64 =
+                    v.parse().map_err(|_| format!("--slo-p99-ms {v:?} is not a number"))?;
+                if ms == 0 {
+                    return Err("--slo-p99-ms must be at least 1".into());
+                }
+                options.slo.p99_target_us = ms.saturating_mul(1000);
+                i += 2;
+            }
+            "--slo-availability" => {
+                let v = flag_arg("--slo-availability")?;
+                let objective: f64 =
+                    v.parse().map_err(|_| format!("--slo-availability {v:?} is not a number"))?;
+                if !(0.0..1.0).contains(&objective) {
+                    return Err("--slo-availability must be in [0, 1)".into());
+                }
+                options.slo.availability = objective;
+                i += 2;
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown serve flag {other:?}\n{}", usage()));
             }
@@ -466,7 +499,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         engine.validate(&spec).map_err(|e| format!("{path}: {e}"))?;
         views.push(spec);
     }
-    let state = serve::ServeState::new(engine, views, &config);
+    let state = serve::ServeState::new(engine, views, &config, options)?;
     let names = state.view_names().join(", ");
     let server = serve::Server::bind(addr, state, pool)?;
     let local = server.local_addr()?;
@@ -521,7 +554,7 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
 }
 
 /// `qv telemetry-check`: validate an exported trace (and optionally a
-/// metrics dump) against the in-tree schemas.
+/// metrics dump and/or an access log) against the in-tree schemas.
 fn cmd_telemetry_check(args: &[String]) -> Result<(), String> {
     let trace_path = args.get(1).ok_or_else(usage)?;
     let spans = qurator_telemetry::schema::validate_trace_jsonl(&read_file(trace_path)?)
@@ -531,6 +564,11 @@ fn cmd_telemetry_check(args: &[String]) -> Result<(), String> {
         let series = qurator_telemetry::schema::validate_metrics_text(&read_file(metrics_path)?)
             .map_err(|e| format!("{metrics_path}: {e}"))?;
         println!("{metrics_path}: ok ({series} series)");
+    }
+    if let Some(log_path) = flag_value(args, "--access-log") {
+        let records = qurator_telemetry::schema::validate_access_log_jsonl(&read_file(log_path)?)
+            .map_err(|e| format!("{log_path}: {e}"))?;
+        println!("{log_path}: ok ({records} record(s))");
     }
     Ok(())
 }

@@ -16,7 +16,20 @@
 //! | GET    | `/metrics`       | Prometheus text exposition               |
 //! | GET    | `/traces/recent` | JSON-lines from the trace ring buffer    |
 //! | GET    | `/drift`         | drift-monitor state + events, JSON       |
+//! | GET    | `/runs/<id>`     | correlation bundle for one run id        |
+//! | GET    | `/log/recent`    | JSON-lines from the access-log ring      |
+//! | GET    | `/slo`           | per-route error-budget status, JSON      |
 //! | POST   | `/run/<view>`    | TSV submission in, group summary out     |
+//!
+//! ## Run correlation
+//!
+//! Every `POST /run/<view>` mints a [`RunId`] before the engine runs and
+//! echoes it in the `X-QV-Run-Id` response header (and the JSON body).
+//! The same id is stamped on the root span of the execution trace, the
+//! retained-trace metadata, every decision-ledger record the run wrote,
+//! and any drift threshold-crossing the run tripped — so
+//! `GET /runs/<id>` can reassemble the whole story of one request after
+//! the fact, and an access-log line is enough to start the chase.
 //!
 //! ## Concurrency model
 //!
@@ -57,14 +70,17 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{ErrorKind, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use qurator::prelude::*;
 use qurator::spec::ActionKind;
 use qurator_telemetry::json::escape;
-use qurator_telemetry::{TelemetryConfig, TraceRetainer};
+use qurator_telemetry::{
+    AccessLog, AccessRecord, Profile, RunId, SloConfig, SloTracker, TelemetryConfig, TraceRetainer,
+};
 
 use crate::tsv;
 
@@ -100,32 +116,77 @@ impl Default for ServeConfig {
     }
 }
 
-/// Everything a request handler needs: the engine, its trace retainer
-/// and the views published at startup.
+/// Observability knobs for one serve instance, on top of the
+/// [`TelemetryConfig`] retention settings.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// File the structured access log is appended to (`--access-log`);
+    /// the in-memory ring at `GET /log/recent` is kept either way.
+    pub access_log_path: Option<PathBuf>,
+    /// Records the in-memory access-log ring retains.
+    pub access_log_capacity: usize,
+    /// Latency / availability objectives for `GET /slo` and the
+    /// `slo.*` gauges.
+    pub slo: SloConfig,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { access_log_path: None, access_log_capacity: 1024, slo: SloConfig::default() }
+    }
+}
+
+/// How many per-item decision traces the serving ledger retains before
+/// evicting oldest-first (a long-lived server must not grow without
+/// bound as submissions stream in).
+const SERVE_LEDGER_CAPACITY: usize = 8192;
+
+/// Everything a request handler needs: the engine, its trace retainer,
+/// the access log, the SLO tracker and the views published at startup.
 pub struct ServeState {
     engine: QualityEngine,
     retainer: Arc<TraceRetainer>,
+    access_log: Arc<AccessLog>,
+    slo: SloTracker,
     views: BTreeMap<String, QualityViewSpec>,
 }
 
 impl ServeState {
     /// Publishes `views` on `engine` and switches the engine to
     /// continuous observability (bounded trace retention + drift
-    /// monitoring) per `config`.
+    /// monitoring) per `config`. Decision provenance is always on while
+    /// serving — `GET /runs/<id>` correlates through the ledger — but
+    /// bounded to [`SERVE_LEDGER_CAPACITY`] items. Fails only when the
+    /// `--access-log` sink cannot be opened.
     pub fn new(
         engine: QualityEngine,
         views: Vec<QualityViewSpec>,
         config: &TelemetryConfig,
-    ) -> Self {
+        options: ServeOptions,
+    ) -> Result<Self, String> {
         let retainer = engine.enable_observability(config);
+        engine.set_provenance_enabled(true);
+        engine.ledger().set_trace_capacity(SERVE_LEDGER_CAPACITY);
+        let access_log = Arc::new(match &options.access_log_path {
+            Some(path) => AccessLog::with_sink(options.access_log_capacity, path)
+                .map_err(|e| format!("cannot open access log {}: {e}", path.display()))?,
+            None => AccessLog::new(options.access_log_capacity),
+        });
+        let slo = SloTracker::new(options.slo);
         let views = views.into_iter().map(|v| (v.name.clone(), v)).collect();
-        ServeState { engine, retainer, views }
+        Ok(ServeState { engine, retainer, access_log, slo, views })
     }
 
     /// Names of the published views, sorted.
     pub fn view_names(&self) -> Vec<&str> {
         self.views.keys().map(String::as_str).collect()
     }
+}
+
+/// Milliseconds since the Unix epoch, for access-log timestamps and SLO
+/// window arithmetic.
+fn now_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default().as_millis() as u64
 }
 
 /// A finished HTTP response, pre-framing.
@@ -135,6 +196,9 @@ pub struct Response {
     pub body: String,
     /// `Retry-After` seconds, set on shed (503) responses.
     pub retry_after: Option<u32>,
+    /// The run minted for this request, echoed as `X-QV-Run-Id` and
+    /// copied into the access-log record.
+    pub run_id: Option<RunId>,
 }
 
 impl Response {
@@ -144,11 +208,18 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.into(),
             retry_after: None,
+            run_id: None,
         }
     }
 
     fn json(status: u16, body: impl Into<String>) -> Self {
-        Response { status, content_type: "application/json", body: body.into(), retry_after: None }
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+            retry_after: None,
+            run_id: None,
+        }
     }
 
     fn error(status: u16, message: &str) -> Self {
@@ -180,6 +251,27 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Clamps a request path to the closed set of metric/log route labels:
+/// known endpoints keep their literal path, parameterised families
+/// collapse to their prefix (`/run/<view>` → `/run`, `/runs/<id>` →
+/// `/runs`), and anything else — including 404 probes — lands in
+/// `"other"`, so a port scanner cannot mint unbounded label values in
+/// the metrics registry.
+pub fn route_label(path: &str) -> &'static str {
+    match path {
+        "/" => "/",
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        "/traces/recent" => "/traces/recent",
+        "/drift" => "/drift",
+        "/log/recent" => "/log/recent",
+        "/slo" => "/slo",
+        _ if path.starts_with("/run/") => "/run",
+        _ if path.starts_with("/runs/") => "/runs",
+        _ => "other",
+    }
+}
+
 /// Dispatches one request. Also records the `serve.requests{route,status}`
 /// counter and the `serve.request.latency{route}` histogram (microseconds)
 /// so the endpoint observes itself through the same registry it exports.
@@ -190,18 +282,30 @@ pub fn route(state: &ServeState, method: &str, target: &str, body: &str) -> Resp
         None => (target, None),
     };
     let response = route_inner(state, method, path, query, body);
-    let route_label = if path.starts_with("/run/") { "/run" } else { path };
+    let label = route_label(path);
     let metrics = qurator_telemetry::metrics();
     metrics
         .counter_with(
             "serve.requests",
-            &[("route", route_label), ("status", &response.status.to_string())],
+            &[("route", label), ("status", &response.status.to_string())],
         )
         .inc();
     metrics
-        .histogram_with("serve.request.latency", &[("route", route_label)])
+        .histogram_with("serve.request.latency", &[("route", label)])
         .record(started.elapsed().as_micros() as u64);
     response
+}
+
+/// Parses a `limit=` query parameter with an explicit error channel: a
+/// present-but-non-numeric value is a client mistake worth a 400, not a
+/// silent fallback to the default.
+fn parse_limit(query: Option<&str>, default: usize) -> Result<usize, String> {
+    let Some(raw) = query
+        .and_then(|q| q.split('&').find_map(|kv| kv.strip_prefix("limit=")).map(str::to_string))
+    else {
+        return Ok(default);
+    };
+    raw.parse::<usize>().map_err(|_| format!("limit {raw:?} is not a non-negative integer"))
 }
 
 fn route_inner(
@@ -215,43 +319,138 @@ fn route_inner(
         ("GET", "/") => Response::json(200, index_json(state)),
         ("GET", "/healthz") => Response::text(200, "ok\n"),
         ("GET", "/metrics") => {
+            // lazy SLO tick: budgets are recomputed whenever someone
+            // scrapes, so the hot request path never pays for them
+            state.slo.tick(qurator_telemetry::metrics(), now_ms());
             Response::text(200, qurator_telemetry::metrics().render_prometheus())
         }
-        ("GET", "/traces/recent") => {
-            let limit = query
-                .and_then(|q| {
-                    q.split('&').find_map(|kv| kv.strip_prefix("limit=")?.parse::<usize>().ok())
-                })
-                .unwrap_or(32);
-            Response {
+        ("GET", "/traces/recent") => match parse_limit(query, 32) {
+            Err(message) => Response::error(400, &message),
+            Ok(limit) => Response {
                 status: 200,
                 content_type: "application/x-ndjson",
                 body: state.retainer.recent_jsonl(limit),
                 retry_after: None,
-            }
-        }
+                run_id: None,
+            },
+        },
         ("GET", "/drift") => Response::json(200, qurator_telemetry::drift::global().to_json()),
+        ("GET", "/log/recent") => match parse_limit(query, 32) {
+            Err(message) => Response::error(400, &message),
+            Ok(limit) => Response {
+                status: 200,
+                content_type: "application/x-ndjson",
+                body: state.access_log.recent_jsonl(limit),
+                retry_after: None,
+                run_id: None,
+            },
+        },
+        ("GET", "/slo") => {
+            Response::json(200, state.slo.to_json(qurator_telemetry::metrics(), now_ms()))
+        }
+        ("GET", runs) if runs.starts_with("/runs/") => run_bundle(state, &runs["/runs/".len()..]),
         ("POST", run) if run.starts_with("/run/") => run_view(state, &run["/run/".len()..], body),
-        (_, "/" | "/healthz" | "/metrics" | "/traces/recent" | "/drift") => {
+        (
+            _,
+            "/" | "/healthz" | "/metrics" | "/traces/recent" | "/drift" | "/log/recent" | "/slo",
+        ) => Response::error(405, &format!("{method} not allowed here")),
+        (_, run) if run.starts_with("/run/") => Response::error(405, "use POST with a TSV body"),
+        (_, runs) if runs.starts_with("/runs/") => {
             Response::error(405, &format!("{method} not allowed here"))
         }
-        (_, run) if run.starts_with("/run/") => Response::error(405, "use POST with a TSV body"),
         _ => Response::error(404, &format!("no route for {path}")),
     }
+}
+
+/// `GET /runs/<id>`: the correlation bundle for one run — the retained
+/// span trace (when the sampler kept it), the decision-ledger slice the
+/// run wrote, any ledger events (drift crossings) it tripped, and the
+/// per-node self-time profile of the trace. 404 only when *nothing*
+/// references the id.
+fn run_bundle(state: &ServeState, id: &str) -> Response {
+    let Some(run) = RunId::parse(id) else {
+        return Response::error(400, &format!("run id {id:?} is not 16 hex chars"));
+    };
+    let retained = state.retainer.find_run(run);
+    let traces = state.engine.ledger().for_run(run);
+    let events = state.engine.ledger().events_for_run(run);
+    if retained.is_none() && traces.is_empty() && events.is_empty() {
+        return Response::error(
+            404,
+            &format!("run {run} is not referenced by any retained trace or ledger record"),
+        );
+    }
+    let trace_json = match &retained {
+        None => "null".to_string(),
+        Some(kept) => {
+            let spans: Vec<String> = kept.trace.to_jsonl().lines().map(str::to_string).collect();
+            format!(
+                "{{\"view\":\"{}\",\"reason\":\"{}\",\"root_duration_ns\":{},\"rejected\":{},\"spans\":[{}]}}",
+                escape(&kept.view),
+                kept.reason.as_str(),
+                kept.root_duration_ns,
+                kept.rejected,
+                spans.join(",")
+            )
+        }
+    };
+    let profile_json = match &retained {
+        None => "null".to_string(),
+        Some(kept) => {
+            let profile = Profile::from_traces([&kept.trace]);
+            let nodes: Vec<String> = profile
+                .nodes()
+                .iter()
+                .map(|(name, stat)| {
+                    format!(
+                        "{{\"node\":\"{}\",\"calls\":{},\"self_ns\":{}}}",
+                        escape(name),
+                        stat.calls,
+                        stat.self_ns
+                    )
+                })
+                .collect();
+            format!("[{}]", nodes.join(","))
+        }
+    };
+    let ledger_json: Vec<String> = traces.iter().map(|t| t.to_json()).collect();
+    let events_json: Vec<String> = events
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"kind\":\"{}\",\"subject\":\"{}\",\"detail\":\"{}\",\"seq\":{}}}",
+                escape(&e.kind),
+                escape(&e.subject),
+                escape(&e.detail),
+                e.seq
+            )
+        })
+        .collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"run_id\":\"{run}\",\"trace\":{trace_json},\"ledger\":[{}],\"events\":[{}],\"profile\":{profile_json}}}",
+            ledger_json.join(","),
+            events_json.join(",")
+        ),
+    )
 }
 
 fn index_json(state: &ServeState) -> String {
     let views: Vec<String> =
         state.view_names().iter().map(|v| format!("\"{}\"", escape(v))).collect();
     format!(
-        "{{\"service\":\"qv serve\",\"views\":[{}],\"endpoints\":[\"GET /healthz\",\"GET /metrics\",\"GET /traces/recent\",\"GET /drift\",\"POST /run/<view>\"]}}",
+        "{{\"service\":\"qv serve\",\"views\":[{}],\"endpoints\":[\"GET /healthz\",\"GET /metrics\",\"GET /traces/recent\",\"GET /drift\",\"GET /runs/<id>\",\"GET /log/recent\",\"GET /slo\",\"POST /run/<view>\"]}}",
         views.join(",")
     )
 }
 
-/// `POST /run/<view>`: parse the TSV body, enact the view, summarise the
-/// resulting groups. Rejections (for filter actions) are derived the same
-/// way the engine's retention metadata is: items in minus items out.
+/// `POST /run/<view>`: parse the TSV body, mint a [`RunId`], enact the
+/// view under it, summarise the resulting groups. Rejections (for filter
+/// actions) are derived the same way the engine's retention metadata is:
+/// items in minus items out. The run id is echoed on every response that
+/// reached the engine — including engine errors, whose traces are
+/// retained and correlatable too.
 fn run_view(state: &ServeState, view: &str, body: &str) -> Response {
     let Some(spec) = state.views.get(view) else {
         return Response::error(
@@ -263,9 +462,14 @@ fn run_view(state: &ServeState, view: &str, body: &str) -> Response {
         Ok(d) => d,
         Err(e) => return Response::error(400, &e),
     };
-    let outcome = match state.engine.execute_view(spec, &dataset) {
+    let run = RunId::mint();
+    let outcome = match state.engine.execute_view_run(spec, &dataset, run) {
         Ok(o) => o,
-        Err(e) => return Response::error(400, &e.to_string()),
+        Err(e) => {
+            let mut response = Response::error(400, &e.to_string());
+            response.run_id = Some(run);
+            return response;
+        }
     };
     let mut rejected = 0usize;
     for action in &spec.actions {
@@ -293,16 +497,18 @@ fn run_view(state: &ServeState, view: &str, body: &str) -> Response {
             )
         })
         .collect();
-    Response::json(
+    let mut response = Response::json(
         200,
         format!(
-            "{{\"view\":\"{}\",\"input\":{},\"rejected\":{},\"groups\":[{}]}}",
+            "{{\"view\":\"{}\",\"run_id\":\"{run}\",\"input\":{},\"rejected\":{},\"groups\":[{}]}}",
             escape(view),
             dataset.len(),
             rejected,
             groups.join(",")
         ),
-    )
+    );
+    response.run_id = Some(run);
+    response
 }
 
 /// Upper bounds on what we will buffer from one request.
@@ -455,14 +661,19 @@ fn write_response(stream: &mut TcpStream, response: &Response, close: bool) -> s
         Some(secs) => format!("Retry-After: {secs}\r\n"),
         None => String::new(),
     };
+    let run_id = match response.run_id {
+        Some(run) => format!("X-QV-Run-Id: {run}\r\n"),
+        None => String::new(),
+    };
     write!(
         stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}{}Connection: {}\r\n\r\n",
         response.status,
         reason(response.status),
         response.content_type,
         response.body.len(),
         retry_after,
+        run_id,
         if close { "close" } else { "keep-alive" },
     )?;
     stream.write_all(response.body.as_bytes())?;
@@ -520,6 +731,7 @@ fn handle_connection(
     // accepted sockets may inherit the listener's non-blocking mode
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "-".into());
     let mut conn = Conn::new(stream);
     for served in 1..=config.keep_alive_max {
         if shutdown.load(Ordering::Relaxed) {
@@ -529,7 +741,21 @@ fn handle_connection(
         match conn.read_request() {
             Ok(None) => return, // idle or closed between requests
             Ok(Some(request)) => {
+                let started = Instant::now();
                 let response = route(state, &request.method, &request.target, &request.body);
+                let path = request.target.split('?').next().unwrap_or(&request.target);
+                state.access_log.record(AccessRecord {
+                    seq: 0,
+                    ts_ms: now_ms(),
+                    peer: peer.clone(),
+                    route: route_label(path).to_string(),
+                    status: response.status,
+                    bytes: response.body.len() as u64,
+                    latency_us: started.elapsed().as_micros() as u64,
+                    run_id: response.run_id,
+                    shed: false,
+                    timeout: false,
+                });
                 let close = request.close
                     || served == config.keep_alive_max
                     || shutdown.load(Ordering::Relaxed);
@@ -555,6 +781,18 @@ fn handle_connection(
                     }
                 };
                 record_early(response.status);
+                state.access_log.record(AccessRecord {
+                    seq: 0,
+                    ts_ms: now_ms(),
+                    peer: peer.clone(),
+                    route: "-".to_string(),
+                    status: response.status,
+                    bytes: response.body.len() as u64,
+                    latency_us: 0,
+                    run_id: None,
+                    shed: false,
+                    timeout: response.status == 408,
+                });
                 send_response(&mut conn.stream, &response, true);
                 return;
             }
@@ -665,7 +903,7 @@ impl Server {
                     }
                 });
             }
-            let result = accept_loop(&listener, &queue, &config, shutdown);
+            let result = accept_loop(&listener, &queue, &config, &state, shutdown);
             queue.close();
             result
         })
@@ -679,6 +917,7 @@ fn accept_loop(
     listener: &TcpListener,
     queue: &ConnQueue,
     config: &ServeConfig,
+    state: &ServeState,
     shutdown: &AtomicBool,
 ) -> Result<(), String> {
     loop {
@@ -686,13 +925,26 @@ fn accept_loop(
             return Ok(());
         }
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((stream, peer)) => {
                 if let Err(mut refused) = queue.try_push(stream) {
                     qurator_telemetry::metrics().counter("serve.shed.count").inc();
                     record_early(503);
+                    let response = Response::shed(config.retry_after_secs);
+                    state.access_log.record(AccessRecord {
+                        seq: 0,
+                        ts_ms: now_ms(),
+                        peer: peer.to_string(),
+                        route: "-".to_string(),
+                        status: response.status,
+                        bytes: response.body.len() as u64,
+                        latency_us: 0,
+                        run_id: None,
+                        shed: true,
+                        timeout: false,
+                    });
                     let _ = refused.set_nonblocking(false);
                     let _ = refused.set_write_timeout(Some(Duration::from_secs(1)));
-                    send_response(&mut refused, &Response::shed(config.retry_after_secs), true);
+                    send_response(&mut refused, &response, true);
                 }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -737,7 +989,8 @@ urn:lsid:t:h:bad\t0.1\t3\t1\n";
     fn state() -> ServeState {
         let engine = QualityEngine::with_proteomics_defaults().unwrap();
         let spec = qurator::xmlio::parse_quality_view(VIEW).unwrap();
-        ServeState::new(engine, vec![spec], &TelemetryConfig::default())
+        ServeState::new(engine, vec![spec], &TelemetryConfig::default(), ServeOptions::default())
+            .unwrap()
     }
 
     /// A server on an ephemeral port running on a background thread.
@@ -823,8 +1076,97 @@ urn:lsid:t:h:bad\t0.1\t3\t1\n";
         assert_eq!(route(&state, "GET", "/nope", "").status, 404);
         assert_eq!(route(&state, "POST", "/metrics", "").status, 405);
         assert_eq!(route(&state, "GET", "/run/serve-test", "").status, 405);
+        assert_eq!(route(&state, "POST", "/runs/0011223344556677", "").status, 405);
         assert_eq!(route(&state, "POST", "/run/missing", DATA).status, 404);
         assert_eq!(route(&state, "POST", "/run/serve-test", "not a tsv").status, 400);
+    }
+
+    /// Satellite regression: a scanner probing arbitrary paths must not
+    /// mint one metric series per probe — every unknown path collapses
+    /// into the single `route="other"` label.
+    #[test]
+    fn unknown_paths_share_one_metric_label() {
+        assert_eq!(route_label("/admin/../etc/passwd"), "other");
+        assert_eq!(route_label("/nope"), "other");
+        assert_eq!(route_label("/run/any-view"), "/run");
+        assert_eq!(route_label("/runs/0011223344556677"), "/runs");
+        assert_eq!(route_label("/metrics"), "/metrics");
+
+        let state = state();
+        for path in ["/scan-a", "/scan-b", "/scan-c"] {
+            assert_eq!(route(&state, "GET", path, "").status, 404);
+        }
+        let rendered = qurator_telemetry::metrics().render_prometheus();
+        assert!(rendered.contains("serve.requests{route=\"other\",status=\"404\"}"), "{rendered}");
+        for path in ["/scan-a", "/scan-b", "/scan-c"] {
+            assert!(!rendered.contains(path), "probe path {path} leaked into metrics");
+        }
+    }
+
+    /// Satellite regression: `?limit=` that does not parse is a 400 with
+    /// a JSON error body, not a silent fall-back to the default.
+    #[test]
+    fn non_numeric_limit_is_a_400_json_error() {
+        let state = state();
+        for target in ["/traces/recent?limit=abc", "/log/recent?limit=-3"] {
+            let r = route(&state, "GET", target, "");
+            assert_eq!(r.status, 400, "{target}: {}", r.body);
+            assert_eq!(r.content_type, "application/json");
+            let value = json::parse(&r.body).unwrap();
+            assert!(
+                value.get("error").and_then(|v| v.as_str()).unwrap().contains("limit"),
+                "{}",
+                r.body
+            );
+        }
+        // a well-formed limit still works
+        assert_eq!(route(&state, "GET", "/traces/recent?limit=5", "").status, 200);
+    }
+
+    #[test]
+    fn run_responses_carry_a_run_id_resolvable_at_runs() {
+        let state = state();
+        let r = route(&state, "POST", "/run/serve-test", DATA);
+        assert_eq!(r.status, 200, "{}", r.body);
+        let minted = r.run_id.expect("run id minted for a routed run");
+        let value = json::parse(&r.body).unwrap();
+        assert_eq!(value.get("run_id").and_then(|v| v.as_str()), Some(minted.to_string().as_str()));
+
+        // the bundle endpoint reassembles the run: trace + ledger slice
+        let bundle = route(&state, "GET", &format!("/runs/{minted}"), "");
+        assert_eq!(bundle.status, 200, "{}", bundle.body);
+        let value = json::parse(&bundle.body).unwrap();
+        assert_eq!(value.get("run_id").and_then(|v| v.as_str()), Some(minted.to_string().as_str()));
+        let ledger = value.get("ledger").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(ledger.len(), 2, "one decision trace per submitted item");
+        assert!(ledger.iter().all(|t| {
+            t.get("run_id").and_then(|v| v.as_str()) == Some(minted.to_string().as_str())
+        }));
+        // the run rejected an item, so its trace was retained and profiled
+        let trace = value.get("trace").unwrap();
+        let spans = trace.get("spans").and_then(|v| v.as_array()).unwrap();
+        assert!(!spans.is_empty());
+        assert!(!value.get("profile").and_then(|v| v.as_array()).unwrap().is_empty());
+
+        // malformed and unknown ids are told apart
+        assert_eq!(route(&state, "GET", "/runs/not-hex", "").status, 400);
+        assert_eq!(route(&state, "GET", "/runs/00000000deadbeef", "").status, 404);
+    }
+
+    #[test]
+    fn slo_endpoint_reports_budgets_for_served_routes() {
+        let state = state();
+        assert_eq!(route(&state, "POST", "/run/serve-test", DATA).status, 200);
+        let r = route(&state, "GET", "/slo", "");
+        assert_eq!(r.status, 200);
+        let value = json::parse(&r.body).unwrap();
+        assert!(value.get("availability").and_then(|v| v.as_f64()).unwrap() > 0.9);
+        let routes = value.get("routes").and_then(|v| v.as_array()).unwrap();
+        assert!(
+            routes.iter().any(|r| r.get("route").and_then(|v| v.as_str()) == Some("/run")),
+            "{}",
+            r.body
+        );
     }
 
     #[test]
@@ -913,6 +1255,40 @@ urn:lsid:t:h:bad\t0.1\t3\t1\n";
         let mut rest = Vec::new();
         stream.read_to_end(&mut rest).unwrap();
         assert!(rest.is_empty(), "expected EOF after Connection: close");
+
+        shutdown.store(true, Ordering::Relaxed);
+        thread.join().unwrap();
+    }
+
+    #[test]
+    fn run_id_header_and_access_log_flow_over_a_real_socket() {
+        let (addr, shutdown, thread) = spawn(ServeConfig::default());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(post_run(DATA, false).as_bytes()).unwrap();
+        let (status, head, body) = read_response(&mut stream);
+        assert_eq!(status, 200, "{body}");
+        let echoed = head
+            .lines()
+            .find_map(|l| l.strip_prefix("X-QV-Run-Id: "))
+            .expect("run id header on POST /run responses")
+            .trim()
+            .to_string();
+        assert!(qurator_telemetry::RunId::parse(&echoed).is_some(), "{echoed}");
+        assert!(body.contains(&format!("\"run_id\":\"{echoed}\"")), "{body}");
+
+        // the access log saw the request, tagged with the same run id,
+        // and the ring endpoint serves schema-valid JSONL
+        stream.write_all(get("/log/recent", true).as_bytes()).unwrap();
+        let (status, _, log) = read_response(&mut stream);
+        assert_eq!(status, 200);
+        assert!(qurator_telemetry::schema::validate_access_log_jsonl(&log).unwrap() >= 1, "{log}");
+        let run_line = log
+            .lines()
+            .find(|l| l.contains(&format!("\"run_id\":\"{echoed}\"")))
+            .expect("access-log line for the run");
+        assert!(run_line.contains("\"route\":\"/run\""), "{run_line}");
+        assert!(run_line.contains("\"status\":200"), "{run_line}");
 
         shutdown.store(true, Ordering::Relaxed);
         thread.join().unwrap();

@@ -1,0 +1,142 @@
+//! Observability invariants that only show up under concurrency: the
+//! trace retainer is offered traces from many engine threads at once
+//! while an operator hits `GET /traces/recent`. The export must be
+//! schema-valid at every instant (never a torn header or a span line
+//! from a half-admitted trace) and run ids must stay unique across
+//! everything retained.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use qurator_telemetry::schema::validate_trace_jsonl;
+use qurator_telemetry::span::{SpanKind, SpanTrace, TraceSession};
+use qurator_telemetry::{RunId, TelemetryConfig, TraceMeta, TraceRetainer};
+
+/// A minimal finished trace: one view root with a phase child, the root
+/// stamped with the run id the way the engine stamps it.
+fn finished_trace(view: &str, run: RunId) -> SpanTrace {
+    let session = TraceSession::new();
+    let mut rec = session.recorder();
+    let root = rec.start(format!("view:{view}"), SpanKind::View, None);
+    rec.attr(root, "run_id", run.to_string());
+    let phase = rec.start("phase:assertions", SpanKind::Phase, Some(root));
+    rec.end(phase);
+    rec.end(root);
+    SpanTrace::from_spans(rec.finish())
+}
+
+fn keep_all_retainer(capacity: usize) -> TraceRetainer {
+    TraceRetainer::new(&TelemetryConfig {
+        trace_capacity: capacity,
+        sample_rate: 1.0,
+        ..TelemetryConfig::default()
+    })
+}
+
+#[test]
+fn recent_jsonl_stays_schema_valid_under_concurrent_offer() {
+    const WRITERS: usize = 4;
+    const OFFERS_PER_WRITER: usize = 200;
+
+    let retainer = Arc::new(keep_all_retainer(512));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let retainer = Arc::clone(&retainer);
+            std::thread::spawn(move || {
+                for i in 0..OFFERS_PER_WRITER {
+                    let run = RunId::mint();
+                    let view = format!("view-{w}-{i}");
+                    let meta =
+                        TraceMeta { view: view.clone(), run_id: run, error: false, rejected: 0 };
+                    retainer.offer(finished_trace(&view, run), meta);
+                }
+            })
+        })
+        .collect();
+
+    // the operator thread: export mid-flight, over and over, and insist
+    // every snapshot parses against the trace schema
+    let reader = {
+        let retainer = Arc::clone(&retainer);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut exports = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let jsonl = retainer.recent_jsonl(usize::MAX);
+                if !jsonl.is_empty() {
+                    validate_trace_jsonl(&jsonl).expect("mid-flight export schema-valid");
+                    exports += 1;
+                }
+            }
+            exports
+        })
+    };
+
+    for writer in writers {
+        writer.join().expect("writer thread");
+    }
+    done.store(true, Ordering::Relaxed);
+    let exports = reader.join().expect("reader thread");
+    assert!(exports > 0, "reader never saw a non-empty export");
+
+    assert_eq!(retainer.offered(), (WRITERS * OFFERS_PER_WRITER) as u64);
+    assert!(retainer.resident() <= retainer.capacity());
+
+    // the settled export is schema-valid too, and every retained trace
+    // carries a distinct minted run id
+    let final_jsonl = retainer.recent_jsonl(usize::MAX);
+    validate_trace_jsonl(&final_jsonl).expect("final export schema-valid");
+    let retained = retainer.recent(usize::MAX);
+    let ids: HashSet<u64> = retained.iter().map(|r| r.run_id.as_u64()).collect();
+    assert_eq!(ids.len(), retained.len(), "duplicate run ids among retained traces");
+    assert!(!ids.contains(&0), "unminted (zero) run id retained");
+}
+
+#[test]
+fn find_run_resolves_while_writers_churn_the_rings() {
+    let retainer = Arc::new(keep_all_retainer(64));
+
+    // pin one run we will look up, then churn well past capacity from
+    // other threads so eviction runs concurrently with the lookup
+    let pinned = RunId::mint();
+    let meta = TraceMeta {
+        view: "pinned".into(),
+        run_id: pinned,
+        error: true, // always kept
+        rejected: 0,
+    };
+    retainer.offer(finished_trace("pinned", pinned), meta);
+
+    let churn: Vec<_> = (0..2)
+        .map(|w| {
+            let retainer = Arc::clone(&retainer);
+            std::thread::spawn(move || {
+                for i in 0..100 {
+                    let run = RunId::mint();
+                    let view = format!("churn-{w}-{i}");
+                    let meta =
+                        TraceMeta { view: view.clone(), run_id: run, error: false, rejected: 0 };
+                    retainer.offer(finished_trace(&view, run), meta);
+                    // lookups interleaved with offers must never tear
+                    let found = retainer.find_run(run).expect("just-offered run resolvable");
+                    assert_eq!(found.run_id, run);
+                    assert_eq!(found.view, view);
+                }
+            })
+        })
+        .collect();
+    for handle in churn {
+        handle.join().expect("churn thread");
+    }
+
+    // run ids parse back to themselves — the correlation key round-trips
+    let retained = retainer.recent(usize::MAX);
+    assert!(!retained.is_empty());
+    for r in &retained {
+        let text = r.run_id.to_string();
+        assert_eq!(RunId::parse(&text), Some(r.run_id), "{text}");
+    }
+}

@@ -57,8 +57,8 @@ fn wait_exit(mut child: Child) -> bool {
     panic!("qv serve did not exit within 10s of SIGTERM");
 }
 
-/// Reads one framed HTTP response; returns (status line, body).
-fn read_response(stream: &mut TcpStream) -> (String, String) {
+/// Reads one framed HTTP response; returns (full head, body).
+fn read_response_full(stream: &mut TcpStream) -> (String, String) {
     let mut buf = Vec::new();
     let mut chunk = [0u8; 4096];
     let head_end = loop {
@@ -83,10 +83,13 @@ fn read_response(stream: &mut TcpStream) -> (String, String) {
         body.extend_from_slice(&chunk[..n]);
     }
     body.truncate(content_length);
-    (
-        head.lines().next().unwrap_or_default().to_string(),
-        String::from_utf8_lossy(&body).into_owned(),
-    )
+    (head, String::from_utf8_lossy(&body).into_owned())
+}
+
+/// Reads one framed HTTP response; returns (status line, body).
+fn read_response(stream: &mut TcpStream) -> (String, String) {
+    let (head, body) = read_response_full(stream);
+    (head.lines().next().unwrap_or_default().to_string(), body)
 }
 
 #[test]
@@ -136,6 +139,102 @@ fn sigterm_drains_the_in_flight_request_before_exiting() {
     assert!(body.contains("\"groups\""), "{body}");
 
     assert!(wait_exit(child), "expected exit 0 after draining");
+}
+
+/// The acceptance pin for run correlation against the real binary: a
+/// POSTed run's `X-QV-Run-Id` resolves at `GET /runs/<id>` to a bundle
+/// whose trace spans and ledger records all carry that id, the access
+/// log (ring and `--access-log` file sink) records the request under
+/// the same id, and `GET /slo` reports budgets for the route.
+#[test]
+fn run_id_correlates_request_trace_ledger_and_access_log() {
+    let log_path = std::env::temp_dir()
+        .join(format!("qv-serve-lifecycle-access-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let (child, addr, _stdout) = spawn_serve(&[
+        "--access-log",
+        log_path.to_str().unwrap(),
+        "--slo-p99-ms",
+        "250",
+        "--slo-availability",
+        "0.999",
+    ]);
+    let tsv = std::fs::read_to_string(sample("hits.tsv")).expect("hits.tsv");
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let request = format!(
+        "POST /run/ispider-pmf-quality HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{tsv}",
+        tsv.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    let (head, body) = read_response_full(&mut stream);
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let run_id = head
+        .lines()
+        .find_map(|l| l.strip_prefix("X-QV-Run-Id: "))
+        .expect("X-QV-Run-Id header on POST /run")
+        .trim()
+        .to_string();
+    assert_eq!(run_id.len(), 16, "{run_id}");
+    assert!(run_id.bytes().all(|b| b.is_ascii_hexdigit()), "{run_id}");
+    assert!(body.contains(&format!("\"run_id\":\"{run_id}\"")), "{body}");
+
+    // the bundle endpoint reassembles the run on the same socket
+    stream.write_all(format!("GET /runs/{run_id} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes()).unwrap();
+    let (head, bundle) = read_response_full(&mut stream);
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}: {bundle}");
+    let value = qurator_telemetry::json::parse(&bundle).expect("bundle parses");
+    assert_eq!(value.get("run_id").and_then(|v| v.as_str()), Some(run_id.as_str()));
+    // the retained trace's root span carries the id as an attribute
+    let spans = value
+        .get("trace")
+        .and_then(|t| t.get("spans"))
+        .and_then(|s| s.as_array())
+        .expect("retained trace spans");
+    assert!(
+        spans.iter().any(|s| {
+            s.get("attrs")
+                .and_then(|a| a.get("run_id"))
+                .and_then(|v| v.as_str())
+                .is_some_and(|v| v == run_id)
+        }),
+        "{bundle}"
+    );
+    // every ledger record the run wrote carries the id
+    let ledger = value.get("ledger").and_then(|v| v.as_array()).expect("ledger slice");
+    assert!(!ledger.is_empty(), "{bundle}");
+    assert!(ledger
+        .iter()
+        .all(|t| t.get("run_id").and_then(|v| v.as_str()) == Some(run_id.as_str())));
+
+    // the access-log ring recorded the run under the same id
+    stream.write_all(b"GET /log/recent HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let (head, log) = read_response_full(&mut stream);
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(qurator_telemetry::schema::validate_access_log_jsonl(&log).unwrap() >= 1, "{log}");
+    assert!(log.contains(&format!("\"run_id\":\"{run_id}\"")), "{log}");
+
+    // SLO budgets exist for the /run route
+    stream.write_all(b"GET /slo HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+    let (head, slo) = read_response_full(&mut stream);
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let value = qurator_telemetry::json::parse(&slo).expect("slo parses");
+    let routes = value.get("routes").and_then(|v| v.as_array()).expect("routes");
+    assert!(
+        routes.iter().any(|r| r.get("route").and_then(|v| v.as_str()) == Some("/run")),
+        "{slo}"
+    );
+    drop(stream);
+
+    sigterm(&child);
+    assert!(wait_exit(child), "expected exit 0 after SIGTERM");
+
+    // the --access-log file sink holds the same schema-valid stream
+    let sink = std::fs::read_to_string(&log_path).expect("access log file");
+    assert!(qurator_telemetry::schema::validate_access_log_jsonl(&sink).unwrap() >= 1, "{sink}");
+    assert!(sink.contains(&format!("\"run_id\":\"{run_id}\"")), "{sink}");
+    let _ = std::fs::remove_file(&log_path);
 }
 
 #[test]

@@ -33,10 +33,10 @@ use qurator_services::{AnnotationService, AssertionService, DataSet, ServiceRegi
 use qurator_telemetry::span::{SpanId, SpanKind, SpanRecorder, SpanTrace, TraceSession};
 use qurator_telemetry::{
     ActionRecord, AssertionRecord, DecisionLedger, DecisionTrace, EvidenceRecord, LedgerEvent,
-    TelemetryConfig, TraceMeta, TraceRetainer,
+    LedgerValue, RunId, TelemetryConfig, TraceMeta, TraceRetainer,
 };
 use qurator_workflow::{Context, Data, EnactmentReport, Enactor, Workflow};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// The result of executing a quality view over a data set: one group per
@@ -57,6 +57,20 @@ impl ActionOutcome {
     pub fn group_names(&self) -> Vec<&str> {
         self.groups.iter().map(|g| g.name.as_str()).collect()
     }
+}
+
+/// Correlation context for one finished execution: the [`RunId`] minted
+/// at the entry point (a served request, a CLI invocation) plus the
+/// outcome facts the retainer's tail-sampling policy keys on. Built
+/// internally by the `execute_*` family and handed to the observability
+/// sink so the retained trace, the ledger slice and any drift crossing
+/// all reference the same id.
+#[derive(Debug, Clone)]
+struct RunContext {
+    run_id: RunId,
+    view: String,
+    error: bool,
+    rejected: u64,
 }
 
 /// The engine.
@@ -194,20 +208,30 @@ impl QualityEngine {
 
     /// Hands a finished trace to the retainer (when observability is
     /// on), republishes new drift crossings into the ledger, and stores
-    /// the trace as `last_trace`.
-    fn observe_trace(&self, trace: SpanTrace, view: String, error: bool, rejected: u64) {
+    /// the trace as `last_trace`. Everything downstream of here carries
+    /// the context's run id.
+    fn observe_trace(&self, trace: SpanTrace, ctx: RunContext) {
         if let Some(retainer) = self.retainer.read().clone() {
-            retainer.offer(trace.clone(), TraceMeta { view, error, rejected });
+            retainer.offer(
+                trace.clone(),
+                TraceMeta {
+                    view: ctx.view,
+                    run_id: ctx.run_id,
+                    error: ctx.error,
+                    rejected: ctx.rejected,
+                },
+            );
         }
-        self.publish_drift_events();
+        self.publish_drift_events(ctx.run_id);
         *self.last_trace.write() = Some(trace);
     }
 
     /// Republishes drift threshold-crossings from the process-global
-    /// monitor into this engine's ledger. Each engine keeps its own
-    /// cursor: the monitor's event log has broadcast semantics, so
-    /// several engines (or tests) consume it independently.
-    fn publish_drift_events(&self) {
+    /// monitor into this engine's ledger, stamped with the run that
+    /// tripped them. Each engine keeps its own cursor: the monitor's
+    /// event log has broadcast semantics, so several engines (or tests)
+    /// consume it independently.
+    fn publish_drift_events(&self, run: RunId) {
         let monitor = qurator_telemetry::drift::global();
         if !monitor.enabled() {
             return;
@@ -223,6 +247,7 @@ impl QualityEngine {
                     event.l1, event.chi2
                 ),
                 seq: event.seq,
+                run_id: Some(run),
             });
         }
     }
@@ -360,9 +385,22 @@ impl QualityEngine {
     }
 
     /// Direct interpretation of the quality process (§4's semantics
-    /// without the workflow detour).
+    /// without the workflow detour). Mints a fresh [`RunId`] for the
+    /// execution; hosts that already minted one at their entry point
+    /// (e.g. `qv serve` echoing `X-QV-Run-Id`) use
+    /// [`QualityEngine::execute_view_run`] instead.
     pub fn execute_view(&self, spec: &QualityViewSpec, dataset: &DataSet) -> Result<ActionOutcome> {
         self.execute_view_with(spec, dataset, &PlanConfig::default())
+    }
+
+    /// Direct interpretation under a caller-minted run id.
+    pub fn execute_view_run(
+        &self,
+        spec: &QualityViewSpec,
+        dataset: &DataSet,
+        run: RunId,
+    ) -> Result<ActionOutcome> {
+        self.execute_view_run_with(spec, dataset, &PlanConfig::default(), run)
     }
 
     /// Direct interpretation under an explicit plan configuration.
@@ -372,8 +410,20 @@ impl QualityEngine {
         dataset: &DataSet,
         config: &PlanConfig,
     ) -> Result<ActionOutcome> {
+        self.execute_view_run_with(spec, dataset, config, RunId::mint())
+    }
+
+    /// Direct interpretation under an explicit plan configuration and a
+    /// caller-minted run id.
+    pub fn execute_view_run_with(
+        &self,
+        spec: &QualityViewSpec,
+        dataset: &DataSet,
+        config: &PlanConfig,
+        run: RunId,
+    ) -> Result<ActionOutcome> {
         let view = self.validate(spec)?;
-        self.execute_validated_with(&view, dataset, config)
+        self.execute_validated_run_with(&view, dataset, config, run)
     }
 
     /// Direct interpretation of an already-validated view.
@@ -393,8 +443,20 @@ impl QualityEngine {
         dataset: &DataSet,
         config: &PlanConfig,
     ) -> Result<ActionOutcome> {
+        self.execute_validated_run_with(view, dataset, config, RunId::mint())
+    }
+
+    /// Direct interpretation of an already-validated view under an
+    /// explicit plan configuration and a caller-minted run id.
+    pub fn execute_validated_run_with(
+        &self,
+        view: &ValidatedView,
+        dataset: &DataSet,
+        config: &PlanConfig,
+        run: RunId,
+    ) -> Result<ActionOutcome> {
         let plan = planner::physical_plan(view, &self.iq, config)?;
-        self.execute_physical(&plan, dataset)
+        self.execute_physical_run(&plan, dataset, run)
     }
 
     /// The sequential plan walker: binds the physical plan to services
@@ -411,6 +473,18 @@ impl QualityEngine {
         plan: &PhysicalPlan,
         dataset: &DataSet,
     ) -> Result<ActionOutcome> {
+        self.execute_physical_run(plan, dataset, RunId::mint())
+    }
+
+    /// The sequential plan walker under a caller-minted run id: the root
+    /// `view:` span, the retained trace, the ledger's decision traces and
+    /// any drift crossing this run trips all carry `run`.
+    pub fn execute_physical_run(
+        &self,
+        plan: &PhysicalPlan,
+        dataset: &DataSet,
+        run: RunId,
+    ) -> Result<ActionOutcome> {
         qurator_telemetry::metrics()
             .counter_with("engine.execute.count", &[("path", "interpreted")])
             .inc();
@@ -419,10 +493,11 @@ impl QualityEngine {
         let mut rec = session.recorder();
         let view_span = rec.start(format!("view:{}", plan.view), SpanKind::View, None);
         rec.attr(view_span, "path", "interpreted");
+        rec.attr(view_span, "run_id", run.to_string());
         rec.attr(view_span, "items", dataset.len());
         rec.attr(view_span, "mode", if plan.optimized { "optimized" } else { "baseline" });
 
-        let result = self.run_physical(plan, &bound, dataset, &mut rec, view_span);
+        let result = self.run_physical(plan, &bound, dataset, &mut rec, view_span, run);
         let (error, rejected) = match &result {
             Ok((_, rejected)) => (false, *rejected),
             Err(e) => {
@@ -435,7 +510,10 @@ impl QualityEngine {
         // phase span the failure interrupted
         rec.end_open();
         let trace = SpanTrace::from_spans(rec.finish());
-        self.observe_trace(trace, plan.view.clone(), error, rejected);
+        self.observe_trace(
+            trace,
+            RunContext { run_id: run, view: plan.view.clone(), error, rejected },
+        );
         result.map(|(groups, _)| ActionOutcome { groups })
     }
 
@@ -450,6 +528,7 @@ impl QualityEngine {
         dataset: &DataSet,
         rec: &mut SpanRecorder,
         view_span: SpanId,
+        run: RunId,
     ) -> Result<(Vec<GroupResult>, u64)> {
         // Annotate nodes
         for (name, processor) in &bound.annotators {
@@ -573,8 +652,10 @@ impl QualityEngine {
                 })
                 .collect();
             let mut batch = Vec::with_capacity(map.len());
+            let mut interned: HashMap<&str, Arc<str>> = HashMap::new();
             for (term, row) in map.rows() {
                 let mut trace = DecisionTrace::new(item_key(term));
+                trace.run_id = Some(run);
                 trace.evidence = row
                     .evidence_entries()
                     .map(|(property, value)| {
@@ -584,7 +665,7 @@ impl QualityEngine {
                             .unwrap_or_else(|| (Arc::from(property.local_name()), None));
                         EvidenceRecord {
                             property,
-                            value: value.to_string(),
+                            value: capture_value(&mut interned, value),
                             source,
                             span: Some(enrich_span.0),
                         }
@@ -593,13 +674,10 @@ impl QualityEngine {
                 trace.assertions = tags
                     .iter()
                     .filter_map(|(tag, property, assertion, span)| {
-                        let value = row.tag(tag);
-                        if value.is_null() {
-                            return None;
-                        }
+                        let value = row.tag_ref(tag).filter(|v| !v.is_null())?;
                         Some(AssertionRecord {
                             property: property.clone(),
-                            value: value.to_string(),
+                            value: capture_value(&mut interned, value),
                             assertion: assertion.clone(),
                             span: Some(*span),
                         })
@@ -663,12 +741,34 @@ impl QualityEngine {
         self.execute_compiled_with(spec, dataset, &PlanConfig::default())
     }
 
+    /// The §6 path under a caller-minted run id.
+    pub fn execute_compiled_run(
+        &self,
+        spec: &QualityViewSpec,
+        dataset: &DataSet,
+        run: RunId,
+    ) -> Result<(ActionOutcome, EnactmentReport)> {
+        self.execute_compiled_run_with(spec, dataset, &PlanConfig::default(), run)
+    }
+
     /// The §6 path under an explicit plan configuration.
     pub fn execute_compiled_with(
         &self,
         spec: &QualityViewSpec,
         dataset: &DataSet,
         config: &PlanConfig,
+    ) -> Result<(ActionOutcome, EnactmentReport)> {
+        self.execute_compiled_run_with(spec, dataset, config, RunId::mint())
+    }
+
+    /// The §6 path under an explicit plan configuration and a
+    /// caller-minted run id.
+    pub fn execute_compiled_run_with(
+        &self,
+        spec: &QualityViewSpec,
+        dataset: &DataSet,
+        config: &PlanConfig,
+        run: RunId,
     ) -> Result<(ActionOutcome, EnactmentReport)> {
         qurator_telemetry::metrics()
             .counter_with("engine.execute.count", &[("path", "compiled")])
@@ -678,10 +778,10 @@ impl QualityEngine {
             compile::DATASET_INPUT.to_string(),
             convert::dataset_to_data(dataset),
         )]);
-        let report = Enactor::new().run(&workflow, &inputs, &Context::new())?;
+        let report = Enactor::new().with_run_id(run).run(&workflow, &inputs, &Context::new())?;
         let outcome = decode_outcome(spec, &report.outputs)?;
         if self.ledger.enabled() {
-            self.record_compiled_provenance(spec, dataset, &outcome, &report);
+            self.record_compiled_provenance(spec, dataset, &outcome, &report, run);
         }
         let rejected = spec
             .actions
@@ -690,7 +790,10 @@ impl QualityEngine {
             .filter_map(|a| outcome.group(&a.name))
             .map(|g| dataset.len().saturating_sub(g.dataset.len()) as u64)
             .sum();
-        self.observe_trace(report.trace().clone(), spec.name.clone(), false, rejected);
+        self.observe_trace(
+            report.trace().clone(),
+            RunContext { run_id: run, view: spec.name.clone(), error: false, rejected },
+        );
         Ok((outcome, report))
     }
 
@@ -706,6 +809,7 @@ impl QualityEngine {
         dataset: &DataSet,
         outcome: &ActionOutcome,
         report: &EnactmentReport,
+        run: RunId,
     ) {
         let node_span = |node: &str| report.event(node).and_then(|e| e.span).map(|s| s.0);
         let enrich_span = node_span(compile::DATA_ENRICHMENT);
@@ -719,6 +823,7 @@ impl QualityEngine {
         let mut evidence: Vec<(String, Vec<EvidenceRecord>)> = Vec::new();
         let mut assertions: Vec<(String, Vec<AssertionRecord>)> = Vec::new();
         let mut seen: HashSet<String> = HashSet::new();
+        let mut interned: HashMap<&str, Arc<str>> = HashMap::new();
         for group in &outcome.groups {
             for it in group.map.items() {
                 let key = item_key(it);
@@ -731,7 +836,7 @@ impl QualityEngine {
                     row.evidence_entries()
                         .map(|(property, value)| EvidenceRecord {
                             property: Arc::from(property.local_name()),
-                            value: value.to_string(),
+                            value: capture_value(&mut interned, value),
                             source: None,
                             span: enrich_span,
                         })
@@ -742,7 +847,7 @@ impl QualityEngine {
                     row.tag_entries()
                         .map(|(tag, value)| AssertionRecord {
                             property: Arc::from(tag),
-                            value: value.to_string(),
+                            value: capture_value(&mut interned, value),
                             assertion: tag_service.get(tag).map(|s| Arc::from(*s)),
                             span: tag_service.get(tag).and_then(|service| node_span(service)),
                         })
@@ -750,8 +855,8 @@ impl QualityEngine {
                 ));
             }
         }
-        self.ledger.record_evidence_bulk(evidence);
-        self.ledger.record_assertions_bulk(assertions);
+        self.ledger.record_evidence_bulk(Some(run), evidence);
+        self.ledger.record_assertions_bulk(Some(run), assertions);
         for action in &spec.actions {
             let results: Vec<GroupResult> = outcome
                 .groups
@@ -761,12 +866,10 @@ impl QualityEngine {
                 })
                 .cloned()
                 .collect();
-            self.ledger.record_actions_bulk(action_records(
-                action,
-                &results,
-                dataset,
-                node_span(&action.name),
-            ));
+            self.ledger.record_actions_bulk(
+                Some(run),
+                action_records(action, &results, dataset, node_span(&action.name)),
+            );
         }
     }
 
@@ -780,6 +883,37 @@ impl QualityEngine {
 /// display form.
 fn item_key(term: &Term) -> String {
     term.as_iri().map(|i| i.as_str().to_string()).unwrap_or_else(|| term.to_string())
+}
+
+/// One string interned per distinct value per run — classification
+/// labels and repeated text pay one allocation instead of one per
+/// record.
+fn intern<'a>(cache: &mut HashMap<&'a str, Arc<str>>, s: &'a str) -> Arc<str> {
+    if let Some(shared) = cache.get(s) {
+        return shared.clone();
+    }
+    let shared: Arc<str> = Arc::from(s);
+    cache.insert(s, shared.clone());
+    shared
+}
+
+/// Converts an [`EvidenceValue`] into its captured ledger form without
+/// rendering it: numbers and booleans copy, strings intern through
+/// `cache`. Provenance capture sits on the serve hot path, so this
+/// keeps the formatting machinery out of it (see
+/// [`qurator_telemetry::LedgerValue`]).
+fn capture_value<'a>(
+    cache: &mut HashMap<&'a str, Arc<str>>,
+    value: &'a qurator_annotations::EvidenceValue,
+) -> LedgerValue {
+    use qurator_annotations::EvidenceValue;
+    match value {
+        EvidenceValue::Number(n) => LedgerValue::Num(*n),
+        EvidenceValue::Text(s) => LedgerValue::Text(intern(cache, s)),
+        EvidenceValue::Bool(b) => LedgerValue::Bool(*b),
+        EvidenceValue::Class(c) => LedgerValue::Raw(intern(cache, c.local_name())),
+        EvidenceValue::Null => LedgerValue::Null,
+    }
 }
 
 /// Builds the per-item action records for one action's group results:

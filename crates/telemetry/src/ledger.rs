@@ -6,12 +6,65 @@
 //! Recording is gated on an `AtomicBool` (one relaxed load when
 //! disabled), and the bulk APIs take the write lock once per phase, not
 //! once per item, so a ledger-enabled run stays close to a disabled one.
+//!
+//! Every record carries the [`RunId`] of the run that produced it, so
+//! [`DecisionLedger::for_run`] can slice the ledger by run — the piece
+//! `GET /runs/<id>` serves. A long-lived engine bounds the item map via
+//! [`DecisionLedger::set_trace_capacity`] (insertion-order eviction);
+//! the CLI keeps it unbounded, as one run's items always fit.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 
+use crate::runid::RunId;
 use crate::span::SpanTrace;
+
+/// A captured decision-record value.
+///
+/// Provenance capture sits on the per-request hot path of a serving
+/// engine, so values are stored as captured — numbers raw, strings as
+/// shared `Arc<str>` — and rendered to their display form only when a
+/// reader asks (`qv explain`, `GET /runs/<id>`). The rendering matches
+/// the engine's `EvidenceValue` display: numbers bare, text quoted,
+/// symbols (classification labels) bare.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerValue {
+    /// Numeric value, rendered bare (`0.9`).
+    Num(f64),
+    /// Free-text value, rendered quoted (`"P12345"`).
+    Text(Arc<str>),
+    /// Pre-rendered or symbol-like value (classification labels,
+    /// condition results), rendered bare.
+    Raw(Arc<str>),
+    Bool(bool),
+    Null,
+}
+
+impl fmt::Display for LedgerValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerValue::Num(n) => write!(f, "{n}"),
+            LedgerValue::Text(s) => write!(f, "{s:?}"),
+            LedgerValue::Raw(s) => write!(f, "{s}"),
+            LedgerValue::Bool(b) => write!(f, "{b}"),
+            LedgerValue::Null => write!(f, "null"),
+        }
+    }
+}
+
+impl From<&str> for LedgerValue {
+    fn from(s: &str) -> Self {
+        LedgerValue::Raw(Arc::from(s))
+    }
+}
+
+impl From<String> for LedgerValue {
+    fn from(s: String) -> Self {
+        LedgerValue::Raw(Arc::from(s.as_str()))
+    }
+}
 
 /// One evidence value fetched for an item during Data Enrichment.
 ///
@@ -22,8 +75,8 @@ use crate::span::SpanTrace;
 pub struct EvidenceRecord {
     /// Quality-evidence property name (e.g. `HitRatio`).
     pub property: Arc<str>,
-    /// Rendered value (`Display` of the engine's `EvidenceValue`).
-    pub value: String,
+    /// The captured value (see [`LedgerValue`]).
+    pub value: LedgerValue,
     /// Annotation repository / source the value came from, if known.
     pub source: Option<Arc<str>>,
     /// Id of the span under which the fetch happened.
@@ -35,8 +88,8 @@ pub struct EvidenceRecord {
 pub struct AssertionRecord {
     /// Assertion output property (e.g. `ScoreClass`).
     pub property: Arc<str>,
-    /// Rendered score/class value.
-    pub value: String,
+    /// The captured score/class value (see [`LedgerValue`]).
+    pub value: LedgerValue,
     /// Name of the assertion that produced it, if known.
     pub assertion: Option<Arc<str>>,
     pub span: Option<u64>,
@@ -59,6 +112,8 @@ pub struct ActionRecord {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DecisionTrace {
     pub item: String,
+    /// The run that (last) recorded into this trace.
+    pub run_id: Option<RunId>,
     pub evidence: Vec<EvidenceRecord>,
     pub assertions: Vec<AssertionRecord>,
     pub actions: Vec<ActionRecord>,
@@ -130,8 +185,13 @@ impl DecisionTrace {
         let span = |s: &Option<u64>| -> String {
             s.map(|v| v.to_string()).unwrap_or_else(|| "null".into())
         };
+        let run = match self.run_id {
+            Some(id) => format!("\"{id}\""),
+            None => "null".to_string(),
+        };
         let mut out = String::new();
-        let _ = write!(out, "{{\"item\":\"{}\",\"evidence\":[", escape(&self.item));
+        let _ =
+            write!(out, "{{\"item\":\"{}\",\"run_id\":{},\"evidence\":[", escape(&self.item), run);
         for (i, e) in self.evidence.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -140,7 +200,7 @@ impl DecisionTrace {
                 out,
                 "{{\"property\":\"{}\",\"value\":\"{}\",\"source\":{},\"span\":{}}}",
                 escape(&e.property),
-                escape(&e.value),
+                escape(&e.value.to_string()),
                 opt(&e.source),
                 span(&e.span)
             );
@@ -154,7 +214,7 @@ impl DecisionTrace {
                 out,
                 "{{\"property\":\"{}\",\"value\":\"{}\",\"assertion\":{},\"span\":{}}}",
                 escape(&a.property),
-                escape(&a.value),
+                escape(&a.value.to_string()),
                 opt(&a.assertion),
                 span(&a.span)
             );
@@ -192,6 +252,62 @@ pub struct LedgerEvent {
     pub detail: String,
     /// Source sequence number (the drift monitor's, for drift events).
     pub seq: u64,
+    /// The run whose completion tripped the event, if known.
+    pub run_id: Option<RunId>,
+}
+
+/// Item map plus insertion order, guarded by one lock so bounded
+/// eviction stays consistent with the map.
+#[derive(Default)]
+struct TraceStore {
+    map: HashMap<String, DecisionTrace>,
+    /// Keys in insertion order (each key exactly once; merges into an
+    /// existing trace do not re-add it).
+    order: VecDeque<String>,
+    /// Maximum items before insertion-order eviction; 0 = unbounded.
+    capacity: usize,
+}
+
+impl TraceStore {
+    /// Drops oldest items until one more insert fits the capacity.
+    fn evict_for_insert(&mut self) {
+        if self.capacity == 0 {
+            return;
+        }
+        while self.map.len() >= self.capacity {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Get-or-create the trace for `item`, stamping `run` when given.
+    /// When the existing trace belongs to a *different* run, its records
+    /// are cleared first: a run's bundle must never carry a previous
+    /// run's decisions for the same item, and a long-lived serve engine
+    /// re-running the same items must not accumulate records without
+    /// bound.
+    fn upsert(&mut self, item: String, run: Option<RunId>) -> &mut DecisionTrace {
+        if !self.map.contains_key(&item) {
+            self.evict_for_insert();
+            self.order.push_back(item.clone());
+            self.map.insert(
+                item.clone(),
+                DecisionTrace { item: item.clone(), run_id: run, ..DecisionTrace::default() },
+            );
+        }
+        let trace = self.map.get_mut(&item).expect("present after insert");
+        if run.is_some() && trace.run_id != run {
+            trace.run_id = run;
+            trace.evidence.clear();
+            trace.assertions.clear();
+            trace.actions.clear();
+        }
+        trace
+    }
 }
 
 /// The ledger itself: item IRI → [`DecisionTrace`], recording gated on an
@@ -200,7 +316,7 @@ pub struct LedgerEvent {
 #[derive(Default)]
 pub struct DecisionLedger {
     enabled: AtomicBool,
-    traces: RwLock<HashMap<String, DecisionTrace>>,
+    traces: RwLock<TraceStore>,
     events: RwLock<Vec<LedgerEvent>>,
 }
 
@@ -220,71 +336,96 @@ impl DecisionLedger {
         self.enabled.load(Ordering::Relaxed)
     }
 
-    /// Records complete traces for many items in one lock acquisition —
-    /// the cheapest write path (one map operation per item, no key
-    /// re-hashing per phase). Existing traces for the same item are
-    /// merged (records append).
-    pub fn record_traces_bulk(&self, traces: Vec<DecisionTrace>) {
-        if !self.enabled() || traces.is_empty() {
-            return;
-        }
-        let mut map = self.traces.write().unwrap();
-        map.reserve(traces.len());
-        for trace in traces {
-            match map.entry(trace.item.clone()) {
-                std::collections::hash_map::Entry::Vacant(slot) => {
-                    slot.insert(trace);
-                }
-                std::collections::hash_map::Entry::Occupied(mut slot) => {
-                    let existing = slot.get_mut();
-                    existing.evidence.extend(trace.evidence);
-                    existing.assertions.extend(trace.assertions);
-                    existing.actions.extend(trace.actions);
+    /// Bounds the item map at `capacity` traces, evicting oldest-first
+    /// once full (and immediately, if already over). `0` = unbounded
+    /// (the default). A long-lived `qv serve` engine sets this so
+    /// always-on provenance cannot grow without limit.
+    pub fn set_trace_capacity(&self, capacity: usize) {
+        let mut store = self.traces.write().unwrap();
+        store.capacity = capacity;
+        if capacity > 0 {
+            while store.map.len() > capacity {
+                match store.order.pop_front() {
+                    Some(old) => {
+                        store.map.remove(&old);
+                    }
+                    None => break,
                 }
             }
         }
     }
 
-    /// Records evidence values for many items in one lock acquisition.
-    /// Each entry is `(item, records)`.
-    pub fn record_evidence_bulk(&self, entries: Vec<(String, Vec<EvidenceRecord>)>) {
+    /// Records complete traces for many items in one lock acquisition —
+    /// the cheapest write path (one map operation per item, no key
+    /// re-hashing per phase). An existing trace for the same item is
+    /// merged (records append) when the incoming trace belongs to the
+    /// same run (or carries no run id), and *replaced* when a new run
+    /// produced it — see [`TraceStore::upsert`] for why.
+    pub fn record_traces_bulk(&self, traces: Vec<DecisionTrace>) {
+        if !self.enabled() || traces.is_empty() {
+            return;
+        }
+        let mut store = self.traces.write().unwrap();
+        store.map.reserve(traces.len());
+        for trace in traces {
+            if let Some(existing) = store.map.get_mut(&trace.item) {
+                if trace.run_id.is_some() && existing.run_id != trace.run_id {
+                    *existing = trace;
+                } else {
+                    if trace.run_id.is_some() {
+                        existing.run_id = trace.run_id;
+                    }
+                    existing.evidence.extend(trace.evidence);
+                    existing.assertions.extend(trace.assertions);
+                    existing.actions.extend(trace.actions);
+                }
+                continue;
+            }
+            store.evict_for_insert();
+            store.order.push_back(trace.item.clone());
+            store.map.insert(trace.item.clone(), trace);
+        }
+    }
+
+    /// Records evidence values for many items in one lock acquisition,
+    /// stamped with the producing run. Each entry is `(item, records)`.
+    pub fn record_evidence_bulk(
+        &self,
+        run: Option<RunId>,
+        entries: Vec<(String, Vec<EvidenceRecord>)>,
+    ) {
         if !self.enabled() || entries.is_empty() {
             return;
         }
-        let mut traces = self.traces.write().unwrap();
+        let mut store = self.traces.write().unwrap();
         for (item, records) in entries {
-            let trace = traces
-                .entry(item.clone())
-                .or_insert_with(|| DecisionTrace { item, ..DecisionTrace::default() });
-            trace.evidence.extend(records);
+            store.upsert(item, run).evidence.extend(records);
         }
     }
 
     /// Records assertion outputs for many items in one lock acquisition.
-    pub fn record_assertions_bulk(&self, entries: Vec<(String, Vec<AssertionRecord>)>) {
+    pub fn record_assertions_bulk(
+        &self,
+        run: Option<RunId>,
+        entries: Vec<(String, Vec<AssertionRecord>)>,
+    ) {
         if !self.enabled() || entries.is_empty() {
             return;
         }
-        let mut traces = self.traces.write().unwrap();
+        let mut store = self.traces.write().unwrap();
         for (item, records) in entries {
-            let trace = traces
-                .entry(item.clone())
-                .or_insert_with(|| DecisionTrace { item, ..DecisionTrace::default() });
-            trace.assertions.extend(records);
+            store.upsert(item, run).assertions.extend(records);
         }
     }
 
     /// Records action outcomes for many items in one lock acquisition.
-    pub fn record_actions_bulk(&self, entries: Vec<(String, ActionRecord)>) {
+    pub fn record_actions_bulk(&self, run: Option<RunId>, entries: Vec<(String, ActionRecord)>) {
         if !self.enabled() || entries.is_empty() {
             return;
         }
-        let mut traces = self.traces.write().unwrap();
+        let mut store = self.traces.write().unwrap();
         for (item, record) in entries {
-            let trace = traces
-                .entry(item.clone())
-                .or_insert_with(|| DecisionTrace { item, ..DecisionTrace::default() });
-            trace.actions.push(record);
+            store.upsert(item, run).actions.push(record);
         }
     }
 
@@ -305,16 +446,22 @@ impl DecisionLedger {
         self.events.read().unwrap().clone()
     }
 
+    /// The run-level events stamped with a specific run.
+    pub fn events_for_run(&self, run: RunId) -> Vec<LedgerEvent> {
+        self.events.read().unwrap().iter().filter(|e| e.run_id == Some(run)).cloned().collect()
+    }
+
     /// The decision trace for an exact item id.
     pub fn why(&self, item: &str) -> Option<DecisionTrace> {
-        self.traces.read().unwrap().get(item).cloned()
+        self.traces.read().unwrap().map.get(item).cloned()
     }
 
     /// Finds items whose id equals or ends with `needle` (so a user can
     /// say `explain P1` instead of the full LSID). Results are sorted.
     pub fn find(&self, needle: &str) -> Vec<DecisionTrace> {
-        let traces = self.traces.read().unwrap();
-        let mut out: Vec<DecisionTrace> = traces
+        let store = self.traces.read().unwrap();
+        let mut out: Vec<DecisionTrace> = store
+            .map
             .values()
             .filter(|t| t.item == needle || t.item.ends_with(needle))
             .cloned()
@@ -323,16 +470,26 @@ impl DecisionLedger {
         out
     }
 
+    /// The ledger slice a run produced: every decision trace stamped
+    /// with `run`, sorted by item. This is what `GET /runs/<id>` serves.
+    pub fn for_run(&self, run: RunId) -> Vec<DecisionTrace> {
+        let store = self.traces.read().unwrap();
+        let mut out: Vec<DecisionTrace> =
+            store.map.values().filter(|t| t.run_id == Some(run)).cloned().collect();
+        out.sort_by(|a, b| a.item.cmp(&b.item));
+        out
+    }
+
     /// All item ids with a trace, sorted.
     pub fn items(&self) -> Vec<String> {
-        let mut out: Vec<String> = self.traces.read().unwrap().keys().cloned().collect();
+        let mut out: Vec<String> = self.traces.read().unwrap().map.keys().cloned().collect();
         out.sort();
         out
     }
 
     /// Number of items traced.
     pub fn len(&self) -> usize {
-        self.traces.read().unwrap().len()
+        self.traces.read().unwrap().map.len()
     }
 
     /// True when nothing is recorded.
@@ -344,7 +501,9 @@ impl DecisionLedger {
     /// a serve engine clears per-run provenance between submissions but
     /// keeps its drift history).
     pub fn clear(&self) {
-        self.traces.write().unwrap().clear();
+        let mut store = self.traces.write().unwrap();
+        store.map.clear();
+        store.order.clear();
     }
 }
 
@@ -367,7 +526,7 @@ mod tests {
     #[test]
     fn disabled_ledger_records_nothing() {
         let ledger = DecisionLedger::new();
-        ledger.record_evidence_bulk(sample_evidence());
+        ledger.record_evidence_bulk(None, sample_evidence());
         assert!(ledger.is_empty());
         assert!(ledger.why("urn:lsid:t:h:1").is_none());
     }
@@ -376,28 +535,36 @@ mod tests {
     fn why_round_trip() {
         let ledger = DecisionLedger::new();
         ledger.set_enabled(true);
-        ledger.record_evidence_bulk(sample_evidence());
-        ledger.record_assertions_bulk(vec![(
-            "urn:lsid:t:h:1".to_string(),
-            vec![AssertionRecord {
-                property: "ScoreClass".into(),
-                value: "q:high".into(),
-                assertion: Some("PIScore".into()),
-                span: Some(7),
-            }],
-        )]);
-        ledger.record_actions_bulk(vec![(
-            "urn:lsid:t:h:1".to_string(),
-            ActionRecord {
-                group: "filter top k score".into(),
-                outcome: "accepted".into(),
-                condition: Some("ScoreClass in q:high".into()),
-                span: Some(9),
-            },
-        )]);
+        let run = RunId::mint();
+        ledger.record_evidence_bulk(Some(run), sample_evidence());
+        ledger.record_assertions_bulk(
+            Some(run),
+            vec![(
+                "urn:lsid:t:h:1".to_string(),
+                vec![AssertionRecord {
+                    property: "ScoreClass".into(),
+                    value: "q:high".into(),
+                    assertion: Some("PIScore".into()),
+                    span: Some(7),
+                }],
+            )],
+        );
+        ledger.record_actions_bulk(
+            Some(run),
+            vec![(
+                "urn:lsid:t:h:1".to_string(),
+                ActionRecord {
+                    group: "filter top k score".into(),
+                    outcome: "accepted".into(),
+                    condition: Some("ScoreClass in q:high".into()),
+                    span: Some(9),
+                },
+            )],
+        );
         let trace = ledger.why("urn:lsid:t:h:1").unwrap();
+        assert_eq!(trace.run_id, Some(run));
         assert_eq!(trace.evidence.len(), 1);
-        assert_eq!(trace.assertions[0].value, "q:high");
+        assert_eq!(trace.assertions[0].value.to_string(), "q:high");
         assert_eq!(trace.actions[0].outcome.as_ref(), "accepted");
         let rendered = trace.render_with(None);
         assert!(rendered.contains("HitRatio = 0.9 (from PedroRepo)"));
@@ -414,11 +581,57 @@ mod tests {
     fn json_rendering_parses() {
         let ledger = DecisionLedger::new();
         ledger.set_enabled(true);
-        ledger.record_evidence_bulk(sample_evidence());
+        ledger.record_evidence_bulk(Some(RunId::from_u64(0xFEED)), sample_evidence());
         let json = ledger.why("urn:lsid:t:h:1").unwrap().to_json();
         let value = crate::json::parse(&json).unwrap();
         let obj = value.as_object().unwrap();
         assert_eq!(obj.get("item").and_then(|v| v.as_str()), Some("urn:lsid:t:h:1"));
+        assert_eq!(obj.get("run_id").and_then(|v| v.as_str()), Some("000000000000feed"));
         assert_eq!(obj.get("evidence").and_then(|v| v.as_array()).map(|a| a.len()), Some(1));
+    }
+
+    #[test]
+    fn for_run_slices_the_ledger_by_run() {
+        let ledger = DecisionLedger::new();
+        ledger.set_enabled(true);
+        let first = RunId::mint();
+        let second = RunId::mint();
+        ledger.record_evidence_bulk(Some(first), sample_evidence());
+        ledger.record_evidence_bulk(Some(second), vec![("urn:lsid:t:h:2".to_string(), vec![])]);
+        assert_eq!(ledger.for_run(first).len(), 1);
+        assert_eq!(ledger.for_run(first)[0].item, "urn:lsid:t:h:1");
+        assert_eq!(ledger.for_run(second)[0].item, "urn:lsid:t:h:2");
+        // re-recording the same item under a new run moves it over
+        ledger.record_evidence_bulk(Some(second), sample_evidence());
+        assert!(ledger.for_run(first).is_empty());
+        assert_eq!(ledger.for_run(second).len(), 2);
+        // events slice the same way
+        ledger.record_event(LedgerEvent {
+            kind: "qa.drift.threshold".into(),
+            subject: "S".into(),
+            detail: "drifted".into(),
+            seq: 0,
+            run_id: Some(second),
+        });
+        assert!(ledger.events_for_run(first).is_empty());
+        assert_eq!(ledger.events_for_run(second).len(), 1);
+    }
+
+    #[test]
+    fn bounded_capacity_evicts_oldest_items_first() {
+        let ledger = DecisionLedger::new();
+        ledger.set_enabled(true);
+        ledger.set_trace_capacity(4);
+        for i in 0..10 {
+            ledger.record_traces_bulk(vec![DecisionTrace::new(format!("item:{i}"))]);
+        }
+        assert_eq!(ledger.len(), 4);
+        assert_eq!(ledger.items(), vec!["item:6", "item:7", "item:8", "item:9"]);
+        // merging into a survivor does not evict anything
+        ledger.record_traces_bulk(vec![DecisionTrace::new("item:8")]);
+        assert_eq!(ledger.len(), 4);
+        // shrinking the capacity evicts immediately
+        ledger.set_trace_capacity(2);
+        assert_eq!(ledger.items(), vec!["item:8", "item:9"]);
     }
 }

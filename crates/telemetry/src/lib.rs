@@ -30,7 +30,14 @@
 //!   (L1 / χ²) against a reference window, with threshold-crossing
 //!   events republished into the ledger;
 //! * [`profile`] — per-plan-node self-time aggregation over retained
-//!   traces and a folded-stack (flamegraph) exporter.
+//!   traces and a folded-stack (flamegraph) exporter;
+//! * [`runid`] — the correlation spine: a [`runid::RunId`] minted per
+//!   request/invocation and stamped onto spans, retained traces, ledger
+//!   records and drift-crossing events;
+//! * [`accesslog`] — a bounded, sharded structured access log (one JSON
+//!   line per served request, each carrying its run id);
+//! * [`slo`] — per-route latency/availability error budgets over a
+//!   sliding window of the existing request metrics.
 //!
 //! Exporters ([`export`]) cover a JSON-lines span log, Prometheus-style
 //! text exposition and a human-readable trace renderer; [`schema`]
@@ -41,6 +48,7 @@
 //! the stack — rdf, annotations, workflow, core, cli, bench — can link it
 //! without cycles.
 
+pub mod accesslog;
 pub mod drift;
 pub mod export;
 pub mod json;
@@ -48,16 +56,22 @@ pub mod ledger;
 pub mod metrics;
 pub mod profile;
 pub mod retain;
+pub mod runid;
 pub mod schema;
+pub mod slo;
 pub mod span;
 
+pub use accesslog::{AccessLog, AccessRecord};
 pub use drift::{DriftConfig, DriftEvent, DriftMonitor};
 pub use ledger::{
     ActionRecord, AssertionRecord, DecisionLedger, DecisionTrace, EvidenceRecord, LedgerEvent,
+    LedgerValue,
 };
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use profile::Profile;
 pub use retain::{KeepReason, RetainedTrace, TelemetryConfig, TraceMeta, TraceRetainer};
+pub use runid::RunId;
+pub use slo::{RouteSlo, SloConfig, SloTracker};
 pub use span::{AttrValue, Span, SpanId, SpanKind, SpanRecorder, SpanTrace, TraceSession};
 
 /// The process-wide metrics registry (see [`metrics::global`]).

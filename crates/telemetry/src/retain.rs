@@ -32,6 +32,7 @@ use std::sync::Mutex;
 
 use crate::drift::DriftConfig;
 use crate::metrics::{Histogram, SHARDS};
+use crate::runid::{splitmix64, RunId};
 use crate::span::{Span, SpanId, SpanTrace};
 
 /// Configuration for the continuous-observability layer: trace retention
@@ -96,6 +97,8 @@ impl KeepReason {
 pub struct TraceMeta {
     /// View name the trace belongs to.
     pub view: String,
+    /// The run that produced the trace (see [`crate::runid`]).
+    pub run_id: RunId,
     /// Whether the run failed.
     pub error: bool,
     /// How many items the run's actions rejected.
@@ -108,6 +111,8 @@ pub struct RetainedTrace {
     /// Global admission sequence number (monotone across shards).
     pub seq: u64,
     pub view: String,
+    /// The run that produced the trace.
+    pub run_id: RunId,
     pub reason: KeepReason,
     /// Root span wallclock, nanoseconds.
     pub root_duration_ns: u64,
@@ -141,13 +146,6 @@ pub struct TraceRetainer {
     /// retainer, so tests with `sample_rate` 0 or 1 are exact and others
     /// reproducible.
     rng: AtomicU64,
-}
-
-fn splitmix64(state: u64) -> u64 {
-    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 impl TraceRetainer {
@@ -241,6 +239,7 @@ impl TraceRetainer {
         let retained = RetainedTrace {
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
             view: meta.view,
+            run_id: meta.run_id,
             reason,
             root_duration_ns,
             rejected: meta.rejected,
@@ -268,6 +267,18 @@ impl TraceRetainer {
         out
     }
 
+    /// Finds the retained trace for a run id, if it is still resident.
+    /// (At most one trace per run id: a run finishes exactly once.)
+    pub fn find_run(&self, run: RunId) -> Option<RetainedTrace> {
+        for shard in &self.shards {
+            let guard = shard.lock().unwrap();
+            if let Some(retained) = guard.ring.iter().find(|r| r.run_id == run) {
+                return Some(retained.clone());
+            }
+        }
+        None
+    }
+
     /// JSON-lines export of [`TraceRetainer::recent`]: each retained
     /// trace contributes one `{"type":"trace",...}` header line followed
     /// by its span lines. Span ids are globally unique (remapped at offer
@@ -280,9 +291,10 @@ impl TraceRetainer {
         for retained in self.recent(limit) {
             let _ = writeln!(
                 out,
-                "{{\"type\":\"trace\",\"seq\":{},\"view\":\"{}\",\"reason\":\"{}\",\"root_duration_ns\":{},\"rejected\":{},\"spans\":{}}}",
+                "{{\"type\":\"trace\",\"seq\":{},\"view\":\"{}\",\"run_id\":\"{}\",\"reason\":\"{}\",\"root_duration_ns\":{},\"rejected\":{},\"spans\":{}}}",
                 retained.seq,
                 escape(&retained.view),
+                retained.run_id,
                 retained.reason.as_str(),
                 retained.root_duration_ns,
                 retained.rejected,
@@ -341,14 +353,16 @@ mod tests {
         let config = TelemetryConfig { sample_rate: 0.0, ..TelemetryConfig::default() };
         let retainer = TraceRetainer::new(&config);
         assert_eq!(
-            retainer
-                .offer(sample_trace("a"), TraceMeta { view: "a".into(), error: true, rejected: 0 }),
+            retainer.offer(
+                sample_trace("a"),
+                TraceMeta { view: "a".into(), error: true, ..TraceMeta::default() }
+            ),
             Some(KeepReason::Error)
         );
         assert_eq!(
             retainer.offer(
                 sample_trace("b"),
-                TraceMeta { view: "b".into(), error: false, rejected: 3 }
+                TraceMeta { view: "b".into(), rejected: 3, ..TraceMeta::default() }
             ),
             Some(KeepReason::Rejected)
         );
@@ -418,6 +432,27 @@ mod tests {
         // 5 traces × 2 spans validate as ONE document: ids were remapped
         // into the retainer-global space, so no duplicates across traces
         assert_eq!(crate::schema::validate_trace_jsonl(&jsonl).unwrap(), 10);
+    }
+
+    #[test]
+    fn run_ids_are_retained_and_resolvable() {
+        let retainer = TraceRetainer::new(&keep_all_config());
+        let runs: Vec<RunId> = (0..4).map(|_| RunId::mint()).collect();
+        for (i, run) in runs.iter().enumerate() {
+            retainer.offer(
+                sample_trace(&format!("v{i}")),
+                TraceMeta { view: format!("v{i}"), run_id: *run, ..TraceMeta::default() },
+            );
+        }
+        let found = retainer.find_run(runs[2]).expect("run 2 resident");
+        assert_eq!(found.view, "v2");
+        assert_eq!(found.run_id, runs[2]);
+        assert_eq!(retainer.find_run(RunId::mint()), None);
+        // the export header carries the id in its 16-hex rendering
+        let jsonl = retainer.recent_jsonl(usize::MAX);
+        for run in &runs {
+            assert!(jsonl.contains(&format!("\"run_id\":\"{run}\"")), "{run} missing");
+        }
     }
 
     #[test]

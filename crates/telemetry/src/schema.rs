@@ -20,7 +20,8 @@ use crate::json::{parse, Value};
 /// Lines with `type == "trace"` — the per-trace header lines emitted by
 /// [`crate::retain::TraceRetainer::recent_jsonl`] — are validated for
 /// shape (integer `seq`/`root_duration_ns`, string `view`, known
-/// `reason`) but not counted in the returned span total.
+/// `reason`, 16-hex-char `run_id`) but not counted in the returned span
+/// total.
 pub fn validate_trace_jsonl(input: &str) -> Result<usize, String> {
     let mut ids = std::collections::BTreeSet::new();
     let mut parents: Vec<(usize, u64)> = Vec::new();
@@ -56,6 +57,12 @@ pub fn validate_trace_jsonl(input: &str) -> Result<usize, String> {
                 kind_of("root_duration_ns")?
                     .as_u64()
                     .ok_or_else(|| format!("line {n}: root_duration_ns must be an integer"))?;
+                let run = kind_of("run_id")?
+                    .as_str()
+                    .ok_or_else(|| format!("line {n}: trace run_id must be a string"))?;
+                if crate::runid::RunId::parse(run).is_none() {
+                    return Err(format!("line {n}: run_id {run:?} is not 16 hex chars"));
+                }
                 continue;
             }
             _ => return Err(format!("line {n}: type is not \"span\" or \"trace\"")),
@@ -102,6 +109,72 @@ pub fn validate_trace_jsonl(input: &str) -> Result<usize, String> {
         if !ids.contains(&p) {
             return Err(format!("line {n}: parent {p} does not exist in the trace"));
         }
+    }
+    Ok(count)
+}
+
+/// Validates a structured-access-log JSON-lines document (as produced by
+/// [`crate::accesslog::AccessLog::recent_jsonl`] or the `--access-log`
+/// file sink). Returns the number of records on success.
+///
+/// Checks per line: valid JSON object; `type == "access"`; `seq`,
+/// `ts_ms`, `status`, `bytes` and `latency_us` non-negative integers
+/// with `status` a plausible HTTP code; `peer` and `route` strings;
+/// `run_id` null or a 16-hex-char string; `shed` and `timeout`
+/// booleans; `seq` unique across the file.
+pub fn validate_access_log_jsonl(input: &str) -> Result<usize, String> {
+    let mut seqs = std::collections::BTreeSet::new();
+    let mut count = 0usize;
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let n = lineno + 1;
+        let value = parse(line).map_err(|e| format!("line {n}: invalid JSON: {e}"))?;
+        let obj = value.as_object().ok_or_else(|| format!("line {n}: not an object"))?;
+        let field = |key: &str| -> Result<&Value, String> {
+            obj.get(key).ok_or_else(|| format!("line {n}: missing key {key:?}"))
+        };
+        if field("type")?.as_str() != Some("access") {
+            return Err(format!("line {n}: type is not \"access\""));
+        }
+        let seq =
+            field("seq")?.as_u64().ok_or_else(|| format!("line {n}: seq must be an integer"))?;
+        if !seqs.insert(seq) {
+            return Err(format!("line {n}: duplicate access-log seq {seq}"));
+        }
+        for key in ["ts_ms", "bytes", "latency_us"] {
+            field(key)?.as_u64().ok_or_else(|| format!("line {n}: {key} must be an integer"))?;
+        }
+        let status = field("status")?
+            .as_u64()
+            .ok_or_else(|| format!("line {n}: status must be an integer"))?;
+        if !(100..=599).contains(&status) {
+            return Err(format!("line {n}: implausible HTTP status {status}"));
+        }
+        for key in ["peer", "route"] {
+            if field(key)?.as_str().is_none() {
+                return Err(format!("line {n}: {key} must be a string"));
+            }
+        }
+        match field("run_id")? {
+            Value::Null => {}
+            v => {
+                let run = v
+                    .as_str()
+                    .ok_or_else(|| format!("line {n}: run_id must be null or a string"))?;
+                if crate::runid::RunId::parse(run).is_none() {
+                    return Err(format!("line {n}: run_id {run:?} is not 16 hex chars"));
+                }
+            }
+        }
+        for key in ["shed", "timeout"] {
+            if field(key)?.as_bool().is_none() {
+                return Err(format!("line {n}: {key} must be a boolean"));
+            }
+        }
+        count += 1;
     }
     Ok(count)
 }
@@ -290,14 +363,40 @@ mod tests {
     #[test]
     fn accepts_and_checks_trace_header_lines() {
         let ok = concat!(
-            "{\"type\":\"trace\",\"seq\":0,\"view\":\"fig1\",\"reason\":\"rejected\",\"root_duration_ns\":42,\"rejected\":1,\"spans\":1}\n",
+            "{\"type\":\"trace\",\"seq\":0,\"view\":\"fig1\",\"run_id\":\"00000000deadbeef\",\"reason\":\"rejected\",\"root_duration_ns\":42,\"rejected\":1,\"spans\":1}\n",
             "{\"type\":\"span\",\"id\":1,\"parent\":null,\"name\":\"view:fig1\",\"kind\":\"view\",\"start_ns\":0,\"end_ns\":42,\"attrs\":{}}\n",
         );
         assert_eq!(validate_trace_jsonl(ok).unwrap(), 1);
 
         let bad_reason =
-            "{\"type\":\"trace\",\"seq\":0,\"view\":\"v\",\"reason\":\"vibes\",\"root_duration_ns\":1}\n";
+            "{\"type\":\"trace\",\"seq\":0,\"view\":\"v\",\"run_id\":\"00000000deadbeef\",\"reason\":\"vibes\",\"root_duration_ns\":1}\n";
         assert!(validate_trace_jsonl(bad_reason).unwrap_err().contains("retention reason"));
+
+        let no_run =
+            "{\"type\":\"trace\",\"seq\":0,\"view\":\"v\",\"reason\":\"sampled\",\"root_duration_ns\":1}\n";
+        assert!(validate_trace_jsonl(no_run).unwrap_err().contains("run_id"));
+
+        let bad_run =
+            "{\"type\":\"trace\",\"seq\":0,\"view\":\"v\",\"run_id\":\"xyz\",\"reason\":\"sampled\",\"root_duration_ns\":1}\n";
+        assert!(validate_trace_jsonl(bad_run).unwrap_err().contains("16 hex"));
+    }
+
+    #[test]
+    fn accepts_and_rejects_access_log_lines() {
+        let ok = concat!(
+            "{\"type\":\"access\",\"seq\":0,\"ts_ms\":1700000000000,\"peer\":\"127.0.0.1:9\",\"route\":\"/run\",\"status\":200,\"bytes\":120,\"latency_us\":900,\"run_id\":\"00000000deadbeef\",\"shed\":false,\"timeout\":false}\n",
+            "{\"type\":\"access\",\"seq\":1,\"ts_ms\":1700000000001,\"peer\":\"-\",\"route\":\"-\",\"status\":503,\"bytes\":0,\"latency_us\":0,\"run_id\":null,\"shed\":true,\"timeout\":false}\n",
+        );
+        assert_eq!(validate_access_log_jsonl(ok).unwrap(), 2);
+
+        let dup = ok.replace("\"seq\":1", "\"seq\":0");
+        assert!(validate_access_log_jsonl(&dup).unwrap_err().contains("duplicate"));
+        let bad_status = ok.replace("\"status\":200", "\"status\":9000");
+        assert!(validate_access_log_jsonl(&bad_status).unwrap_err().contains("implausible"));
+        let bad_run = ok.replace("00000000deadbeef", "nope");
+        assert!(validate_access_log_jsonl(&bad_run).unwrap_err().contains("16 hex"));
+        let bad_type = ok.replace("\"type\":\"access\"", "\"type\":\"span\"");
+        assert!(validate_access_log_jsonl(&bad_type).unwrap_err().contains("access"));
     }
 
     #[test]

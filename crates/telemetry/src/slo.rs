@@ -1,0 +1,347 @@
+//! Service-level objectives for `qv serve`: per-route latency targets
+//! and availability error budgets over a sliding window.
+//!
+//! The tracker owns **no instrumentation of its own** — it reads the
+//! request counters (`serve.requests{route,status}`) and latency
+//! histograms (`serve.request.latency{route}`) the server already
+//! records, takes a cumulative snapshot per tick, and differences the
+//! newest snapshot against the newest one older than the window. Ticks
+//! are lazy (the server ticks on `GET /metrics` and `GET /slo`), so the
+//! request hot path pays nothing.
+//!
+//! Two objectives per route, both with the standard error-budget
+//! arithmetic over the window:
+//!
+//! * **latency** — at most 1% of requests may exceed the p99 target
+//!   (`--slo-p99-ms`): `bad` = requests in histogram buckets strictly
+//!   above the target's bucket;
+//! * **availability** — at least `--slo-availability` of requests must
+//!   not fail (status ≥ 500): `bad` = 5xx responses, including sheds.
+//!
+//! For each objective with target fraction `o` over `total` requests of
+//! which `bad` were bad:
+//!
+//! ```text
+//! allowed    = (1 − o) · total            # the error budget
+//! burn_rate  = bad / allowed              # 1.0 = burning exactly at budget
+//! remaining  = 1 − burn_rate              # <0 = budget overdrawn
+//! ```
+//!
+//! Exported as `slo.budget.remaining{route,objective}` and
+//! `slo.burn.rate{route,objective}` gauges in permille, plus the full
+//! JSON at `GET /slo`.
+
+use crate::metrics::{bucket_index, MetricValue, MetricsRegistry};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+/// Objectives and window length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloConfig {
+    /// Per-route p99 latency target, microseconds.
+    pub p99_target_us: u64,
+    /// Availability objective in `(0, 1)`, e.g. `0.999`.
+    pub availability: f64,
+    /// Sliding-window length, seconds.
+    pub window_secs: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig { p99_target_us: 250_000, availability: 0.999, window_secs: 300 }
+    }
+}
+
+/// Cumulative per-route totals at one tick.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct Cumulative {
+    /// Requests answered (all statuses, from the request counters).
+    total: u64,
+    /// Responses with status ≥ 500.
+    failures: u64,
+    /// Requests with a recorded latency.
+    measured: u64,
+    /// Latencies in buckets strictly above the target's bucket.
+    breaching: u64,
+}
+
+#[derive(Debug, Default)]
+struct RouteWindow {
+    snaps: VecDeque<(u64, Cumulative)>,
+}
+
+/// One objective's state over the window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectiveStatus {
+    /// Target fraction of good requests (0.99 for p99 latency).
+    pub objective: f64,
+    /// Requests considered in the window.
+    pub total: u64,
+    /// Requests that violated the objective.
+    pub bad: u64,
+    /// Fraction of the error budget left, `1.0` = untouched.
+    pub budget_remaining: f64,
+    /// `bad / allowed`; `1.0` = burning exactly at budget.
+    pub burn_rate: f64,
+}
+
+fn objective_status(objective: f64, total: u64, bad: u64) -> ObjectiveStatus {
+    let allowed = (1.0 - objective) * total as f64;
+    let burn_rate = if total == 0 || allowed <= 0.0 { 0.0 } else { bad as f64 / allowed };
+    ObjectiveStatus { objective, total, bad, budget_remaining: 1.0 - burn_rate, burn_rate }
+}
+
+/// One route's SLO state over the window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteSlo {
+    pub route: String,
+    pub latency: ObjectiveStatus,
+    pub availability: ObjectiveStatus,
+}
+
+/// Sliding-window SLO tracker over the serve request metrics.
+pub struct SloTracker {
+    config: SloConfig,
+    routes: Mutex<BTreeMap<String, RouteWindow>>,
+}
+
+/// Extracts one label value from a rendered metric key such as
+/// `serve.requests{route="/run",status="200"}`. Good enough for the
+/// server's own low-cardinality label values (no quotes, no commas).
+fn label_value<'a>(rendered: &'a str, label: &str) -> Option<&'a str> {
+    let needle = format!("{label}=\"");
+    let start = rendered.find(&needle)? + needle.len();
+    let end = rendered[start..].find('"')?;
+    Some(&rendered[start..start + end])
+}
+
+impl SloTracker {
+    pub fn new(config: SloConfig) -> SloTracker {
+        SloTracker { config, routes: Mutex::new(BTreeMap::new()) }
+    }
+
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Reads the current cumulative per-route totals out of the
+    /// registry's request counters and latency histograms.
+    fn collect(&self, registry: &MetricsRegistry) -> BTreeMap<String, Cumulative> {
+        let mut routes: BTreeMap<String, Cumulative> = BTreeMap::new();
+        let mut with_latency: Vec<String> = Vec::new();
+        for (rendered, value) in registry.snapshot() {
+            if rendered.starts_with("serve.requests{") {
+                let MetricValue::Counter(count) = value else { continue };
+                let (Some(route), Some(status)) =
+                    (label_value(&rendered, "route"), label_value(&rendered, "status"))
+                else {
+                    continue;
+                };
+                let entry = routes.entry(route.to_string()).or_default();
+                entry.total += count;
+                if status.parse::<u16>().is_ok_and(|s| s >= 500) {
+                    entry.failures += count;
+                }
+            } else if rendered.starts_with("serve.request.latency{") {
+                if let Some(route) = label_value(&rendered, "route") {
+                    with_latency.push(route.to_string());
+                }
+            }
+        }
+        let breach_bucket = bucket_index(self.config.p99_target_us);
+        for route in with_latency {
+            let hist = registry.histogram_with("serve.request.latency", &[("route", &route)]);
+            let counts = hist.bucket_counts();
+            let entry = routes.entry(route).or_default();
+            entry.measured = counts.iter().sum();
+            entry.breaching = counts.iter().skip(breach_bucket + 1).sum();
+        }
+        routes
+    }
+
+    /// Takes a snapshot at `now_ms`, differences it against the window
+    /// baseline, updates the `slo.budget.remaining` / `slo.burn.rate`
+    /// gauges, and returns the per-route status (sorted by route).
+    pub fn tick(&self, registry: &MetricsRegistry, now_ms: u64) -> Vec<RouteSlo> {
+        let window_ms = self.config.window_secs.saturating_mul(1000);
+        // signed: a server younger than one window has a negative
+        // horizon, and nothing (not even a t=0 snapshot) is "old" yet
+        let horizon = now_ms as i64 - window_ms as i64;
+        let current = self.collect(registry);
+        let mut windows = self.routes.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::with_capacity(current.len());
+        for (route, cum) in current {
+            let window = windows.entry(route.clone()).or_default();
+            window.snaps.push_back((now_ms, cum));
+            // Baseline: the newest snapshot at or before the horizon
+            // (zero — i.e. full history — while the server is younger
+            // than one window). Everything older is dropped.
+            let mut baseline = Cumulative::default();
+            while let Some(&(ts, snap)) = window.snaps.front() {
+                if ts as i64 > horizon || window.snaps.len() == 1 {
+                    break;
+                }
+                // only a baseline if the *next* snapshot is also usable
+                if window.snaps.get(1).is_some_and(|&(next_ts, _)| next_ts as i64 <= horizon) {
+                    window.snaps.pop_front();
+                    continue;
+                }
+                baseline = snap;
+                break;
+            }
+            let delta = Cumulative {
+                total: cum.total.saturating_sub(baseline.total),
+                failures: cum.failures.saturating_sub(baseline.failures),
+                measured: cum.measured.saturating_sub(baseline.measured),
+                breaching: cum.breaching.saturating_sub(baseline.breaching),
+            };
+            let latency = objective_status(0.99, delta.measured, delta.breaching);
+            let availability =
+                objective_status(self.config.availability, delta.total, delta.failures);
+            for (objective, status) in [("latency", &latency), ("availability", &availability)] {
+                let labels = &[("route", route.as_str()), ("objective", objective)];
+                let permille =
+                    |x: f64| (x * 1000.0).round().clamp(-1_000_000.0, 1_000_000.0) as i64;
+                registry
+                    .gauge_with("slo.budget.remaining", labels)
+                    .set(permille(status.budget_remaining));
+                registry.gauge_with("slo.burn.rate", labels).set(permille(status.burn_rate));
+            }
+            out.push(RouteSlo { route, latency, availability });
+        }
+        out
+    }
+
+    /// The full SLO state as one JSON document (the `GET /slo` body).
+    pub fn to_json(&self, registry: &MetricsRegistry, now_ms: u64) -> String {
+        use std::fmt::Write as _;
+        let status = self.tick(registry, now_ms);
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"p99_target_us\":{},\"availability\":{},\"window_secs\":{},\"routes\":[",
+            self.config.p99_target_us, self.config.availability, self.config.window_secs
+        );
+        for (i, route) in status.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let objective = |s: &ObjectiveStatus| {
+                format!(
+                    concat!(
+                        "{{\"objective\":{},\"total\":{},\"bad\":{},",
+                        "\"budget_remaining\":{:.6},\"burn_rate\":{:.6}}}"
+                    ),
+                    s.objective, s.total, s.bad, s.budget_remaining, s.burn_rate
+                )
+            };
+            let _ = write!(
+                out,
+                "{{\"route\":\"{}\",\"latency\":{},\"availability\":{}}}",
+                crate::json::escape(&route.route),
+                objective(&route.latency),
+                objective(&route.availability)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::bucket_upper_bound;
+
+    fn drive(registry: &MetricsRegistry, route: &str, status: &str, latency_us: u64, n: u64) {
+        registry.counter_with("serve.requests", &[("route", route), ("status", status)]).add(n);
+        let hist = registry.histogram_with("serve.request.latency", &[("route", route)]);
+        for _ in 0..n {
+            hist.record(latency_us);
+        }
+    }
+
+    #[test]
+    fn full_budget_when_every_request_is_good() {
+        let registry = MetricsRegistry::new();
+        let tracker = SloTracker::new(SloConfig::default());
+        drive(&registry, "/run", "200", 1_000, 100);
+        let status = tracker.tick(&registry, 1_000);
+        assert_eq!(status.len(), 1);
+        let route = &status[0];
+        assert_eq!(route.route, "/run");
+        assert_eq!(route.latency.total, 100);
+        assert_eq!(route.latency.bad, 0);
+        assert_eq!(route.latency.budget_remaining, 1.0);
+        assert_eq!(route.availability.burn_rate, 0.0);
+    }
+
+    #[test]
+    fn breaches_and_failures_burn_their_budgets() {
+        let registry = MetricsRegistry::new();
+        let config = SloConfig { p99_target_us: 10_000, availability: 0.9, window_secs: 300 };
+        let tracker = SloTracker::new(config.clone());
+        // 95 fast + 5 far-above-target slow requests: 5% bad vs 1% allowed
+        drive(&registry, "/run", "200", 1_000, 95);
+        let slow = bucket_upper_bound(bucket_index(config.p99_target_us) + 2);
+        drive(&registry, "/run", "200", slow, 5);
+        // plus 20 shed requests on the early-failure pseudo-route
+        registry.counter_with("serve.requests", &[("route", "-"), ("status", "503")]).add(20);
+        let status = tracker.tick(&registry, 1_000);
+        let run = status.iter().find(|r| r.route == "/run").expect("/run status");
+        assert_eq!(run.latency.bad, 5);
+        assert!((run.latency.burn_rate - 5.0).abs() < 1e-9, "{:?}", run.latency);
+        assert!((run.latency.budget_remaining - -4.0).abs() < 1e-9);
+        // availability for /run untouched; the sheds burn the "-" route
+        assert_eq!(run.availability.bad, 0);
+        let early = status.iter().find(|r| r.route == "-").expect("- status");
+        assert_eq!(early.availability.total, 20);
+        assert_eq!(early.availability.bad, 20);
+        assert!((early.availability.burn_rate - 10.0).abs() < 1e-9);
+        // gauges exported in permille
+        let gauge = registry
+            .gauge_with("slo.burn.rate", &[("route", "/run"), ("objective", "latency")])
+            .value();
+        assert_eq!(gauge, 5000);
+    }
+
+    #[test]
+    fn window_slides_past_old_badness() {
+        let registry = MetricsRegistry::new();
+        let config = SloConfig { p99_target_us: 10_000, availability: 0.99, window_secs: 10 };
+        let tracker = SloTracker::new(config);
+        // t=0s: 50 failures
+        drive(&registry, "/run", "503", 1_000, 50);
+        let status = tracker.tick(&registry, 0);
+        assert_eq!(status[0].availability.bad, 50);
+        // t=5s: nothing new — failures still inside the 10s window
+        let status = tracker.tick(&registry, 5_000);
+        assert_eq!(status[0].availability.bad, 50);
+        // t=20s: 100 fresh good requests; the old badness has aged out
+        drive(&registry, "/run", "200", 1_000, 100);
+        let status = tracker.tick(&registry, 20_000);
+        assert_eq!(status[0].availability.bad, 0, "{:?}", status[0].availability);
+        assert_eq!(status[0].availability.total, 100);
+        assert_eq!(status[0].availability.budget_remaining, 1.0);
+    }
+
+    #[test]
+    fn slo_json_is_parseable_and_complete() {
+        let registry = MetricsRegistry::new();
+        let tracker = SloTracker::new(SloConfig::default());
+        drive(&registry, "/run", "200", 1_000, 10);
+        drive(&registry, "/metrics", "200", 500, 3);
+        let json = tracker.to_json(&registry, 1_000);
+        let value = crate::json::parse(&json).expect("parse /slo body");
+        assert_eq!(value.get("p99_target_us").and_then(|v| v.as_u64()), Some(250_000));
+        let routes = value.get("routes").and_then(|v| v.as_array()).expect("routes");
+        assert_eq!(routes.len(), 2);
+        for route in routes {
+            for objective in ["latency", "availability"] {
+                let o = route.get(objective).expect(objective);
+                assert!(o.get("budget_remaining").and_then(|v| v.as_f64()).is_some());
+                assert!(o.get("burn_rate").and_then(|v| v.as_f64()).is_some());
+            }
+        }
+    }
+}

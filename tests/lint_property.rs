@@ -213,7 +213,7 @@ fn project_ledger(
                 .map(|e| {
                     let source =
                         if with_sources { e.source.as_ref().map(|s| s.to_string()) } else { None };
-                    (e.property.to_string(), e.value.clone(), source)
+                    (e.property.to_string(), e.value.to_string(), source)
                 })
                 .collect();
             evidence.sort();
@@ -223,7 +223,7 @@ fn project_ledger(
                 .map(|a| {
                     (
                         a.property.to_string(),
-                        a.value.clone(),
+                        a.value.to_string(),
                         a.assertion.as_ref().map(|s| s.to_string()),
                     )
                 })

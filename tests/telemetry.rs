@@ -53,7 +53,7 @@ fn why_round_trips_against_the_action_outcome() {
             .iter()
             .find(|a| a.property.as_ref() == "ScoreClass")
             .unwrap_or_else(|| panic!("{key}: ScoreClass assertion recorded"));
-        assert!(!class.value.is_empty());
+        assert!(!class.value.to_string().is_empty());
 
         // action verdict agrees with the outcome the pipeline used
         let action = decision
