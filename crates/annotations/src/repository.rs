@@ -143,6 +143,25 @@ impl AnnotationRepository {
         self.store.read().len()
     }
 
+    /// The distinct evidence types this repository currently holds
+    /// annotations for — the inventory the static analyzer checks
+    /// enrichment fetches against (QV024). Reads the `rdf:type` facts
+    /// [`annotate`](Self::annotate) writes on evidence nodes, filtered
+    /// to registered evidence classes (item-type records don't count).
+    pub fn annotated_evidence_types(&self) -> Vec<Iri> {
+        let store = self.store.read();
+        let mut out: Vec<Iri> = Vec::new();
+        for triple in store.matching(&TriplePattern::new(None, Term::iri(rdf::TYPE), None)) {
+            if let Term::Iri(class) = triple.object {
+                if self.iq.is_evidence_type(&class) && !out.contains(&class) {
+                    out.push(class);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
     /// Writes one annotation: `item --evidence_type--> value`.
     ///
     /// Returns an error when `evidence_type` is not a registered subclass of
@@ -551,6 +570,17 @@ mod tests {
         let r = repo();
         r.annotate(&item(1), &q::iri("HitRatio"), EvidenceValue::Null).unwrap();
         assert_eq!(r.triple_count(), 0);
+    }
+
+    #[test]
+    fn annotated_evidence_types_inventories_the_store() {
+        let r = repo();
+        assert!(r.annotated_evidence_types().is_empty());
+        r.annotate(&item(1), &q::iri("HitRatio"), 0.5.into()).unwrap();
+        r.annotate(&item(2), &q::iri("HitRatio"), 0.7.into()).unwrap();
+        r.annotate(&item(1), &q::iri("MassCoverage"), 31.into()).unwrap();
+        // duplicates collapse; order is the sorted-IRI order QV024 keys on
+        assert_eq!(r.annotated_evidence_types(), vec![q::iri("HitRatio"), q::iri("MassCoverage")]);
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! qv validate <view.xml>                         check a view against the stock IQ model
 //! qv check    <view.xml|query.rq>                static analysis with source-span
 //!             [--format text|json]               diagnostics (lint + bindings +
-//!             [--deny warnings]                  compiled workflow; SPARQL for .rq)
+//!             [--deny warnings]                  compiled workflow + whole-plan
+//!             [--fix [--dry-run]]                dataflow; SPARQL for .rq; --fix
+//!                                                applies machine-applicable
+//!                                                suggestions, --dry-run diffs them
 //! qv compile  <view.xml> [--dot]                 show the compiled workflow (§6.1)
 //! qv plan     <view.xml> [--no-opt]              EXPLAIN: the physical plan both
 //!             [--format text|json]               executors run (passes, waves, nodes)
@@ -88,7 +91,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  qv validate <view.xml>\n  qv check <view.xml|query.rq> [--format text|json] [--deny warnings]\n  qv compile <view.xml> [--dot]\n  qv plan <view.xml> [--no-opt] [--format text|json]\n  qv plan-check <plan.json>\n  qv fmt <view.xml>\n  qv run <view.xml> --data <hits.tsv> [--group NAME] [--explain] [--trace-out FILE] [--metrics-out FILE] [--profile-out FILE]\n  qv explain <view.xml> --data <hits.tsv> --item <id-or-suffix> [--spans]\n  qv profile <view.xml> --data <hits.tsv> [--runs N] [--folded out.txt]\n  qv serve <view.xml>... --addr HOST:PORT [--workers N] [--queue N] [--keep-alive-max N] [--read-timeout-ms N] [--trace-capacity N] [--sample-rate F] [--drift-window N] [--drift-threshold F] [--access-log FILE] [--slo-p99-ms N] [--slo-availability F]\n  qv telemetry-check <trace.jsonl> [metrics.txt] [--access-log access.jsonl]\n  qv bench-check <BENCH_*.json>\n  qv library <catalog.xml> [--search TEXT]"
+    "usage:\n  qv validate <view.xml>\n  qv check <view.xml|query.rq> [--format text|json] [--deny warnings] [--fix [--dry-run]]\n  qv compile <view.xml> [--dot]\n  qv plan <view.xml> [--no-opt] [--format text|json]\n  qv plan-check <plan.json>\n  qv fmt <view.xml>\n  qv run <view.xml> --data <hits.tsv> [--group NAME] [--explain] [--trace-out FILE] [--metrics-out FILE] [--profile-out FILE]\n  qv explain <view.xml> --data <hits.tsv> --item <id-or-suffix> [--spans]\n  qv profile <view.xml> --data <hits.tsv> [--runs N] [--folded out.txt]\n  qv serve <view.xml>... --addr HOST:PORT [--workers N] [--queue N] [--keep-alive-max N] [--read-timeout-ms N] [--trace-capacity N] [--sample-rate F] [--drift-window N] [--drift-threshold F] [--access-log FILE] [--slo-p99-ms N] [--slo-availability F]\n  qv telemetry-check <trace.jsonl> [metrics.txt] [--access-log access.jsonl]\n  qv bench-check <BENCH_*.json>\n  qv library <catalog.xml> [--search TEXT]"
         .to_string()
 }
 
@@ -124,6 +127,12 @@ fn cmd_validate(path: &str) -> Result<(), String> {
 /// QV/WF pass, renders each finding with its source position, and exits
 /// non-zero when errors — or, under `--deny warnings`, warnings — are
 /// present. `.rq`/`.sparql` files get the SQ passes instead.
+///
+/// `--fix` applies every machine-applicable suggestion in place and
+/// re-lints until no more apply (the fixer is convergent); with
+/// `--dry-run` it prints the unified diff instead of writing, and exits
+/// non-zero when fixes would apply — the `cargo fmt --check` shape CI
+/// uses to keep shipped views fix-clean.
 fn cmd_check(args: &[String]) -> Result<(), String> {
     let path = args.get(1).filter(|a| !a.starts_with("--")).ok_or_else(usage)?;
     let format = flag_value(args, "--format").unwrap_or("text");
@@ -135,15 +144,70 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         Some("warnings") => true,
         Some(other) => return Err(format!("unknown --deny {other:?} (expected warnings)")),
     };
+    let fix = args.contains(&"--fix".into());
+    let dry_run = args.contains(&"--dry-run".into());
+    if dry_run && !fix {
+        return Err("--dry-run requires --fix".to_string());
+    }
 
     let source = read_file(path)?;
-    let diags = if path.ends_with(".rq") || path.ends_with(".sparql") {
-        qurator_qvlint::sparql::analyze_sparql(&source)
-    } else {
+    let sparql = path.ends_with(".rq") || path.ends_with(".sparql");
+    if fix && sparql {
+        return Err("--fix applies to quality views, not SPARQL queries".to_string());
+    }
+    let check_view = |text: &str| -> Result<Vec<qurator_qvlint::Diagnostic>, String> {
         let (spec, root) =
-            qurator::xmlio::parse_quality_view_with_source(&source).map_err(|e| e.to_string())?;
-        stock_engine()?.check(&spec, Some(&root))
+            qurator::xmlio::parse_quality_view_with_source(text).map_err(|e| e.to_string())?;
+        Ok(stock_engine()?.check(&spec, Some(&root)))
     };
+
+    if fix {
+        // apply → re-lint → apply … until converged (deleting one dead
+        // group can expose another fix, and spans shift between rounds)
+        let mut fixed = source.clone();
+        let mut applied = Vec::new();
+        for _ in 0..8 {
+            let diags = check_view(&fixed)?;
+            let report = qurator_qvlint::fix::apply_machine_fixes(&fixed, &diags);
+            if !report.changed() {
+                break;
+            }
+            applied.extend(report.applied);
+            fixed = report.fixed;
+        }
+        if dry_run {
+            if fixed == source {
+                println!("{path}: no machine-applicable fixes");
+                return Ok(());
+            }
+            print!("{}", qurator_qvlint::fix::unified_diff(&source, &fixed, path));
+            return Err(format!(
+                "{path}: {} machine-applicable fix{} would apply (run `qv check --fix` to \
+                 write them)",
+                applied.len(),
+                if applied.len() == 1 { "" } else { "es" },
+            ));
+        }
+        if fixed != source {
+            std::fs::write(path, &fixed).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            for f in &applied {
+                println!("fixed [{}] at {}:{}:{} — {}", f.code, path, f.line, f.col, f.message);
+            }
+        }
+        let diags = check_view(&fixed)?;
+        match format {
+            "json" => print!("{}", qurator_qvlint::render::render_json(&diags, path)),
+            _ => print!("{}", qurator_qvlint::render::render_text(&diags, path, &fixed)),
+        }
+        let warnings = diags.iter().any(|d| d.severity == qurator_qvlint::Severity::Warning);
+        if qurator_qvlint::has_errors(&diags) || (deny_warnings && warnings) {
+            return Err(format!("{path}: {}", qurator_qvlint::summary(&diags)));
+        }
+        return Ok(());
+    }
+
+    let diags =
+        if sparql { qurator_qvlint::sparql::analyze_sparql(&source) } else { check_view(&source)? };
 
     match format {
         "json" => print!("{}", qurator_qvlint::render::render_json(&diags, path)),
@@ -710,6 +774,76 @@ mod check_tests {
         run(&["plan", &path, "--format", "json"]).unwrap();
         assert!(run(&["plan", &path, "--format", "yaml"]).is_err());
         assert!(run(&["plan"]).is_err());
+    }
+
+    /// CLEAN_VIEW with a dead splitter branch: the classifier's domain is
+    /// {low, mid, high}, so the second group can never match (QV025).
+    fn dead_branch_view() -> String {
+        CLEAN_VIEW.replace(
+            r#"  <action name="keep">
+    <filter><condition>HR &gt; 0</condition></filter>
+  </action>"#,
+            r#"  <QualityAssertion serviceName="score" serviceType="q:UniversalPIScore2"
+                    tagName="HR_MC" tagSynType="q:score">
+    <variables repositoryRef="cache">
+      <var variableName="coverage" evidence="q:MassCoverage"/>
+      <var variableName="hitratio" evidence="q:HitRatio"/>
+      <var variableName="peptidescount" evidence="q:PeptidesCount"/>
+    </variables>
+  </QualityAssertion>
+  <QualityAssertion serviceName="classify" serviceType="q:PIScoreClassifier"
+                    tagName="ScoreClass" tagSynType="q:class"
+                    tagSemType="q:PIScoreClassification">
+    <variables repositoryRef="cache">
+      <var variableName="score" evidence="tag:HR_MC"/>
+    </variables>
+  </QualityAssertion>
+  <action name="route">
+    <splitter>
+      <group name="live"><condition>HR &gt; 0 and ScoreClass in q:high</condition></group>
+      <group name="dead"><condition>not (ScoreClass in q:low, q:mid, q:high)</condition></group>
+    </splitter>
+  </action>"#,
+        ).replace(
+            "      <var evidence=\"q:HitRatio\"/>",
+            "      <var evidence=\"q:HitRatio\"/>\n      <var evidence=\"q:MassCoverage\"/>\n      <var evidence=\"q:PeptidesCount\"/>",
+        )
+    }
+
+    #[test]
+    fn fix_applies_machine_applicable_suggestions_in_place() {
+        let path = write_temp("fixable.qv", &dead_branch_view());
+        // the dead branch is only a warning, so plain check passes …
+        run(&["check", &path]).unwrap();
+        // … but --deny warnings rejects it until --fix removes it
+        assert!(run(&["check", &path, "--deny", "warnings"]).is_err());
+        run(&["check", &path, "--fix"]).unwrap();
+        let fixed = std::fs::read_to_string(&path).unwrap();
+        assert!(!fixed.contains("name=\"dead\""), "dead group survived --fix:\n{fixed}");
+        assert!(fixed.contains("name=\"live\""), "--fix deleted the live group:\n{fixed}");
+        run(&["check", &path, "--deny", "warnings"]).unwrap();
+    }
+
+    #[test]
+    fn fix_dry_run_reports_without_writing() {
+        let before = dead_branch_view();
+        let path = write_temp("dryrun.qv", &before);
+        // dry-run exits nonzero when fixes would apply, and leaves the file alone
+        assert!(run(&["check", &path, "--fix", "--dry-run"]).is_err());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+        // a clean view sails through
+        let clean = write_temp("dryrun-clean.qv", CLEAN_VIEW);
+        run(&["check", &clean, "--fix", "--dry-run"]).unwrap();
+    }
+
+    #[test]
+    fn fix_flags_are_validated() {
+        let path = write_temp("fixflags.qv", CLEAN_VIEW);
+        // --dry-run without --fix is meaningless
+        assert!(run(&["check", &path, "--dry-run"]).is_err());
+        // --fix is a view-language feature, not a SPARQL one
+        let rq = write_temp("fixflags.rq", "SELECT ?s WHERE { ?s ?p ?o . }\n");
+        assert!(run(&["check", &rq, "--fix"]).is_err());
     }
 
     #[test]

@@ -151,6 +151,26 @@ impl QualityEngine {
         &self.catalog
     }
 
+    /// Projects the repository catalog to the facts the static analyzer
+    /// consumes: name, persistence, and the evidence-type inventory of
+    /// each bound store (drives the QV024 availability domain).
+    pub fn catalog_facts(&self) -> qurator_qvlint::dataflow::CatalogFacts {
+        let mut repositories = Vec::new();
+        for name in self.catalog.names() {
+            let Some(repo) = self.catalog.get(&name) else { continue };
+            repositories.push(qurator_qvlint::dataflow::RepoFacts {
+                name,
+                persistent: repo.is_persistent(),
+                provides: repo
+                    .annotated_evidence_types()
+                    .into_iter()
+                    .map(|e| e.to_string())
+                    .collect(),
+            });
+        }
+        qurator_qvlint::dataflow::CatalogFacts { repositories }
+    }
+
     /// Snapshot of the binding registry (concept → resource locator).
     pub fn bindings(&self) -> Vec<qurator_ontology::binding::Binding> {
         self.bindings.read().iter().collect()
@@ -369,6 +389,16 @@ impl QualityEngine {
                         {
                             diags.extend(qurator_qvlint::plan::analyze_plan(
                                 &logical, &physical, span,
+                            ));
+                            // whole-plan dataflow: availability (QV024),
+                            // path-lifted value domains (QV025/QV026),
+                            // wave write conflicts (WF006)
+                            let spans = crate::lint::span_index(source, spec, &self.iq);
+                            diags.extend(qurator_qvlint::dataflow::analyze_dataflow(
+                                &logical,
+                                &physical,
+                                &self.catalog_facts(),
+                                &spans,
                             ));
                         }
                     }

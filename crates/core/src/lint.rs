@@ -121,6 +121,78 @@ fn local(symbol: &str) -> &str {
     symbol.rsplit(':').next().unwrap_or(symbol)
 }
 
+/// Harvests the spans the whole-plan dataflow pass needs, keyed the way
+/// the plan IR names things. Every lookup degrades gracefully when the
+/// spec was built programmatically (empty index → spanless findings, no
+/// machine fixes).
+pub(crate) fn span_index(
+    source: Option<&Element>,
+    spec: &QualityViewSpec,
+    iq: &IqModel,
+) -> qurator_qvlint::dataflow::SpanIndex {
+    use qurator_qvlint::dataflow::{ConditionSpans, FetchSite};
+    let mut index = qurator_qvlint::dataflow::SpanIndex::default();
+    let Some(root) = source else { return index };
+    index.root = root.span();
+
+    for (decl, el) in spec.annotators.iter().zip(root.children_named("Annotator")) {
+        if let Some(span) = el.span() {
+            index.annotators.entry(decl.service_name.clone()).or_insert(span);
+        }
+    }
+
+    for (decl, el) in spec.assertions.iter().zip(root.children_named("QualityAssertion")) {
+        let Some(variables) = el.child("variables") else { continue };
+        let repo = match variables.attr("repositoryRef") {
+            Some(r) => r.to_string(),
+            None => continue,
+        };
+        let repo_span = variables.attr_span("repositoryRef");
+        for (var, vel) in decl.variables.iter().zip(variables.children_named("var")) {
+            if var.evidence.starts_with("tag:") {
+                continue;
+            }
+            let Ok(evidence) = iq.resolve(&var.evidence) else { continue };
+            index.fetches.entry((evidence.to_string(), repo.clone())).or_insert(FetchSite {
+                site: vel.attr_span("evidence").or_else(|| vel.span()),
+                repository_attr: repo_span,
+            });
+        }
+    }
+
+    for (decl, el) in spec.actions.iter().zip(root.children_named("action")) {
+        match &decl.kind {
+            ActionKind::Filter { .. } => {
+                let condition = el.child("filter").and_then(|f| f.child("condition"));
+                index.conditions.insert(
+                    (decl.name.clone(), decl.name.clone()),
+                    ConditionSpans {
+                        condition: condition.and_then(|c| c.text_span().or_else(|| c.span())),
+                        element: None,
+                    },
+                );
+            }
+            ActionKind::Split { groups } => {
+                let elements: Vec<&Element> = el
+                    .child("splitter")
+                    .map(|s| s.children_named("group").collect())
+                    .unwrap_or_default();
+                for ((group, _), gel) in groups.iter().zip(elements) {
+                    let condition = gel.child("condition");
+                    index.conditions.insert(
+                        (decl.name.clone(), group.clone()),
+                        ConditionSpans {
+                            condition: condition.and_then(|c| c.text_span().or_else(|| c.span())),
+                            element: gel.span(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+    index
+}
+
 /// Collects `(variable, symbol)` pairs where a classification tag is
 /// compared against a label outside its model (QV021).
 fn collect_label_misuse(
@@ -156,6 +228,62 @@ fn collect_label_misuse(
         Expr::Unary(_, a) => collect_label_misuse(a, models, out),
         Expr::Const(_) | Expr::Var(_) => {}
     }
+}
+
+/// Rebuilds the expression with foreign labels dropped from `in` lists
+/// over classified tags. Returns `None` when the prune would empty a
+/// list, when nothing changed, or when misuse survives outside prunable
+/// positions (`=`/`!=` comparisons) — those need a human.
+fn prune_foreign_labels(expr: &Expr, models: &BTreeMap<String, Vec<String>>) -> Option<Expr> {
+    fn walk(e: &Expr, models: &BTreeMap<String, Vec<String>>) -> Option<Expr> {
+        match e {
+            Expr::In(lhs, items) => {
+                if let Expr::Var(var) = &**lhs {
+                    if let Some(labels) = models.get(var) {
+                        let kept: Vec<Expr> = items
+                            .iter()
+                            .filter(|item| match item {
+                                Expr::Const(Value::Symbol(s) | Value::Str(s)) => {
+                                    labels.iter().any(|l| l == local(s))
+                                }
+                                _ => true,
+                            })
+                            .cloned()
+                            .collect();
+                        if kept.is_empty() {
+                            return None;
+                        }
+                        return Some(Expr::In(lhs.clone(), kept));
+                    }
+                }
+                Some(e.clone())
+            }
+            Expr::Unary(op, a) => Some(Expr::Unary(*op, Box::new(walk(a, models)?))),
+            Expr::Binary(op, a, b) => {
+                Some(Expr::Binary(*op, Box::new(walk(a, models)?), Box::new(walk(b, models)?)))
+            }
+            Expr::Const(_) | Expr::Var(_) => Some(e.clone()),
+        }
+    }
+    let pruned = walk(expr, models)?;
+    let mut left_over = Vec::new();
+    collect_label_misuse(&pruned, models, &mut left_over);
+    (left_over.is_empty() && pruned != *expr).then_some(pruned)
+}
+
+/// Escapes a replacement expression for splicing into XML character
+/// data (`qv check --fix` patches source text, not the DOM).
+fn xml_escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Runs every view-level pass over the spec and collects all findings.
@@ -653,23 +781,38 @@ pub fn analyze(
                     }
                 }
             }
-            // QV021 — labels outside the tag's classification model
+            // QV021 — labels outside the tag's classification model. When
+            // every misuse sits in an `in` list that stays non-empty after
+            // dropping the foreign labels, the pruned condition is a
+            // machine-applicable replacement for the whole text run.
             let mut misuse: Vec<(String, String)> = Vec::new();
             collect_label_misuse(&expr, &class_models, &mut misuse);
+            let mut fix = (!misuse.is_empty())
+                .then(|| prune_foreign_labels(&expr, &class_models))
+                .flatten()
+                .zip(c_span.filter(|s| s.byte_range().is_some()));
             for (var, symbol) in misuse {
                 let labels = class_models.get(&var).cloned().unwrap_or_default();
-                d.push(
-                    Diagnostic::error(
-                        "QV021",
-                        format!(
-                            "action {:?}: label {symbol:?} is not in the classification model \
-                             of tag {var:?}",
-                            action.name
-                        ),
-                    )
-                    .at(*c_span)
-                    .help(format!("valid labels: {labels:?}")),
-                );
+                let mut diag = Diagnostic::error(
+                    "QV021",
+                    format!(
+                        "action {:?}: label {symbol:?} is not in the classification model \
+                         of tag {var:?}",
+                        action.name
+                    ),
+                )
+                .at(*c_span)
+                .help(format!("valid labels: {labels:?}"));
+                if let Some((pruned, span)) = fix.take() {
+                    let replacement = pruned.to_source();
+                    diag = diag.suggest(
+                        format!("drop the foreign label(s): {replacement}"),
+                        span,
+                        xml_escape_text(&replacement),
+                        qurator_qvlint::Applicability::MachineApplicable,
+                    );
+                }
+                d.push(diag);
             }
             // QV022 — the condition can never hold
             if intervals::definitely_unsat(&expr) {

@@ -41,6 +41,20 @@ pub fn logical_plan(view: &ValidatedView, iq: &IqModel) -> LogicalPlan {
                 TagKind::Score => qurator_plan::TagKind::Score,
                 TagKind::Class => qurator_plan::TagKind::Class,
             },
+            labels: match decl.tag_kind {
+                TagKind::Score => Vec::new(),
+                TagKind::Class => decl
+                    .tag_sem_type
+                    .as_deref()
+                    .and_then(|sem| iq.resolve(sem).ok())
+                    .map(|model| {
+                        iq.classification_labels(&model)
+                            .iter()
+                            .map(|l| l.local_name().to_string())
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            },
             bindings: view.assertion_bindings[index]
                 .iter()
                 .map(|(variable, target)| {
@@ -156,6 +170,12 @@ mod tests {
         let classifier = plan.assertions().nth(2).unwrap();
         assert_eq!(classifier.bindings, vec![("score".to_string(), Binding::Tag("HR_MC".into()))]);
         assert_eq!(classifier.tag_kind, qurator_plan::TagKind::Class);
+        // the classification domain travels with the node for dataflow
+        let mut labels = classifier.labels.clone();
+        labels.sort();
+        assert_eq!(labels, vec!["high", "low", "mid"]);
+        let score = plan.assertions().next().unwrap();
+        assert!(score.labels.is_empty(), "score assertions have no label domain");
     }
 
     #[test]

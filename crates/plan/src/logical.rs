@@ -82,6 +82,12 @@ pub struct AssertNode {
     pub tag: String,
     /// Score vs classification output.
     pub tag_kind: TagKind,
+    /// For classification assertions: the local names of the bound
+    /// `q:ClassificationModel`'s labels, in model order. This is the
+    /// value domain of the tag — the dataflow analyzer conjoins it onto
+    /// downstream action conditions (QV025/QV026). Empty for scores or
+    /// when the model could not be resolved.
+    pub labels: Vec<String>,
     /// variable name → typed source, in declaration order.
     pub bindings: Vec<(String, Binding)>,
 }

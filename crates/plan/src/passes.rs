@@ -302,6 +302,7 @@ mod tests {
             service_type: iri("QA"),
             tag: tag.into(),
             tag_kind: TagKind::Score,
+            labels: Vec::new(),
             bindings: bindings.into_iter().map(|(v, b)| (v.to_string(), b)).collect(),
         })
     }

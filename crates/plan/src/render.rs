@@ -265,6 +265,7 @@ mod tests {
                     service_type: iri("Score"),
                     tag: "HR".into(),
                     tag_kind: TagKind::Score,
+                    labels: Vec::new(),
                     bindings: vec![("h".into(), Binding::Evidence(iri("HitRatio")))],
                 }),
                 LogicalNode::Consolidate,

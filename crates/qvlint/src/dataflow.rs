@@ -1,0 +1,646 @@
+//! Whole-plan dataflow analysis: forward abstract interpretation over
+//! the typed plan IR (`qurator-plan`).
+//!
+//! Three domains flow through the node graph:
+//!
+//! 1. **Availability** — which `(evidence, repository)` facts can
+//!    possibly exist when the Enrich node runs, seeded from the plan's
+//!    Annotate nodes and the engine's repository catalog. A fetch that
+//!    provably comes back empty is QV024 (the catalog-aware extension of
+//!    the per-node QV007 binding check).
+//! 2. **Value domains** — the interval/set analysis of
+//!    [`crate::intervals`] lifted from single conditions to *paths*: a
+//!    classification assertion constrains its tag to the model's label
+//!    set, and that constraint is conjoined onto every downstream action
+//!    condition. A branch unsatisfiable only under the domain is dead
+//!    (QV025); a splitter group subsumed by a sibling only under the
+//!    domain is shadowed (QV026).
+//! 3. **Wave conflicts** — two Annotate nodes scheduled into the same
+//!    physical wave writing the same evidence to one repository race
+//!    nondeterministically (WF006).
+//!
+//! The pass runs only on views that are otherwise error-free (the engine
+//! gates it on the per-node passes), so it can assume conditions parse
+//! and services resolved.
+
+use crate::{intervals, Applicability, Diagnostic, Span};
+use qurator_expr::{Expr, Value};
+use qurator_plan::{ActKind, LogicalPlan, PhysicalPlan, TagKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What the engine knows about one bound repository at analysis time.
+#[derive(Debug, Clone, Default)]
+pub struct RepoFacts {
+    /// Repository name (the `repositoryRef` views bind against).
+    pub name: String,
+    /// Whether the bound store outlives one process execution.
+    pub persistent: bool,
+    /// Evidence-type IRIs the store currently holds annotations for.
+    pub provides: BTreeSet<String>,
+}
+
+/// The engine's repository catalog, projected to analysis facts.
+#[derive(Debug, Clone, Default)]
+pub struct CatalogFacts {
+    pub repositories: Vec<RepoFacts>,
+}
+
+impl CatalogFacts {
+    fn get(&self, name: &str) -> Option<&RepoFacts> {
+        self.repositories.iter().find(|r| r.name == name)
+    }
+}
+
+/// Source positions of one action condition, for diagnostics and fixes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConditionSpans {
+    /// The condition text run (carries a byte extent when parsed).
+    pub condition: Option<Span>,
+    /// The enclosing `<group>` element — the deletion target for dead
+    /// splitter groups. `None` for filters (deleting a view's only
+    /// action would trade QV025 for QV002).
+    pub element: Option<Span>,
+}
+
+/// Where one enrichment fetch was declared, for diagnostics and fixes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FetchSite {
+    /// The consuming `<var evidence=…>` attribute value.
+    pub site: Option<Span>,
+    /// The `repositoryRef` attribute value of the consuming
+    /// `<variables>` block — the replacement target for cross-repository
+    /// fetches.
+    pub repository_attr: Option<Span>,
+}
+
+/// Spans harvested from the view's XML source, keyed the way the plan
+/// names things. Built by the embedder (which owns the DOM); empty when
+/// the view was constructed programmatically — every finding then
+/// degrades to spanless, and no fix is machine-appliable.
+#[derive(Debug, Clone, Default)]
+pub struct SpanIndex {
+    /// `(action name, group label)` → condition/element spans. Filters
+    /// use the action name as the label (mirroring
+    /// `ActNode::conditions`).
+    pub conditions: BTreeMap<(String, String), ConditionSpans>,
+    /// `(evidence IRI, repository)` → declaration site of the fetch.
+    pub fetches: BTreeMap<(String, String), FetchSite>,
+    /// Annotator name → its `<Annotator>` element span.
+    pub annotators: BTreeMap<String, Span>,
+    /// The root element span (spanless-finding fallback).
+    pub root: Option<Span>,
+}
+
+impl SpanIndex {
+    fn condition(&self, action: &str, label: &str) -> ConditionSpans {
+        self.conditions.get(&(action.to_string(), label.to_string())).copied().unwrap_or_default()
+    }
+
+    fn fetch(&self, evidence: &str, repo: &str) -> FetchSite {
+        self.fetches.get(&(evidence.to_string(), repo.to_string())).copied().unwrap_or_default()
+    }
+}
+
+/// Runs all three dataflow domains over a lowered plan pair.
+pub fn analyze_dataflow(
+    logical: &LogicalPlan,
+    physical: &PhysicalPlan,
+    catalog: &CatalogFacts,
+    spans: &SpanIndex,
+) -> Vec<Diagnostic> {
+    let mut d = Vec::new();
+    availability(logical, physical, catalog, spans, &mut d);
+    value_domains(logical, spans, &mut d);
+    wave_conflicts(physical, spans, &mut d);
+    d
+}
+
+// ---- domain 1: evidence availability ----------------------------------
+
+fn availability(
+    logical: &LogicalPlan,
+    physical: &PhysicalPlan,
+    catalog: &CatalogFacts,
+    spans: &SpanIndex,
+    d: &mut Vec<Diagnostic>,
+) {
+    // evidence IRI → repositories an in-plan annotator writes it to
+    let mut written: BTreeMap<String, BTreeSet<&str>> = BTreeMap::new();
+    for a in logical.annotators() {
+        for e in &a.provides {
+            written.entry(e.to_string()).or_default().insert(a.repository.as_str());
+        }
+    }
+
+    let Some(enrich) = logical.enrich() else { return };
+    for (evidence, repo) in &enrich.fetches {
+        let evidence = evidence.to_string();
+        let site = spans.fetch(&evidence, repo);
+        let at = site.site.or(spans.root);
+        if let Some(writers) = written.get(&evidence) {
+            if writers.contains(repo.as_str()) {
+                continue; // fed by an in-plan annotator
+            }
+            // cross-repository fetch: the evidence exists, but in another
+            // repository — this lookup comes back empty every run.
+            let target = sole_writer_for_repo_fetches(&written, enrich, repo);
+            let mut diag = Diagnostic::warning(
+                "QV024",
+                format!(
+                    "evidence <{evidence}> is fetched from repository {repo:?}, but the view's \
+                     annotator writes it to {writers:?} — the lookup always comes back empty",
+                    writers = writers.iter().collect::<Vec<_>>(),
+                ),
+            )
+            .at(at)
+            .help(format!("change the consuming repositoryRef to {:?}", writers.first().unwrap()));
+            if let (Some(attr), Some(target)) = (site.repository_attr, target) {
+                diag = diag.suggest(
+                    format!("replace the repositoryRef with \"{target}\""),
+                    attr,
+                    target,
+                    Applicability::MachineApplicable,
+                );
+            }
+            d.push(diag);
+            continue;
+        }
+        // not written in-plan: the fetch must be answered by the bound
+        // store. QV018 (view-declared volatile repository) already covers
+        // the in-view declaration; skip to keep findings disjoint.
+        if physical.persistence.iter().any(|(r, p)| r == repo && !p) {
+            continue;
+        }
+        match catalog.get(repo) {
+            Some(facts) if facts.provides.contains(&evidence) => {}
+            Some(facts) => d.push(
+                Diagnostic::warning(
+                    "QV024",
+                    format!(
+                        "evidence <{evidence}> is fetched from {kind} repository {repo:?}, which \
+                         holds no annotations of that type",
+                        kind = if facts.persistent { "persistent" } else { "volatile" },
+                    ),
+                )
+                .at(at)
+                .help("seed the repository, or add an annotator providing the evidence"),
+            ),
+            None => d.push(
+                Diagnostic::warning(
+                    "QV024",
+                    format!(
+                        "evidence <{evidence}> is fetched from repository {repo:?}, which is not \
+                         bound in the engine catalog — a fresh volatile cache answers every \
+                         lookup empty",
+                    ),
+                )
+                .at(at)
+                .help(
+                    "bind the repository in the engine, or add an annotator providing the \
+                       evidence",
+                ),
+            ),
+        }
+    }
+}
+
+/// The unique rewrite target for a `repositoryRef`, if one exists: every
+/// in-plan-written evidence type fetched from `repo` must be written to
+/// the same single other repository. (The attribute is shared by all
+/// `<var>`s of one `<variables>` block, so rewriting it is only
+/// machine-applicable when one target satisfies all of them.)
+fn sole_writer_for_repo_fetches(
+    written: &BTreeMap<String, BTreeSet<&str>>,
+    enrich: &qurator_plan::EnrichNode,
+    repo: &str,
+) -> Option<String> {
+    let mut target: Option<&str> = None;
+    for (e, r) in &enrich.fetches {
+        if r != repo {
+            continue;
+        }
+        let writers = written.get(&e.to_string())?;
+        if writers.contains(repo) || writers.len() != 1 {
+            return None;
+        }
+        let w = writers.iter().next().unwrap();
+        if target.is_some_and(|t| t != *w) {
+            return None;
+        }
+        target = Some(w);
+    }
+    target.map(str::to_string)
+}
+
+// ---- domain 2: value domains along paths ------------------------------
+
+fn value_domains(logical: &LogicalPlan, spans: &SpanIndex, d: &mut Vec<Diagnostic>) {
+    // tag → classification label set, from the Assert nodes
+    let domains: BTreeMap<&str, &[String]> = logical
+        .assertions()
+        .filter(|a| a.tag_kind == TagKind::Class && !a.labels.is_empty())
+        .map(|a| (a.tag.as_str(), a.labels.as_slice()))
+        .collect();
+    if domains.is_empty() {
+        return;
+    }
+
+    for act in logical.actions() {
+        let is_split = matches!(act.kind, ActKind::Split { .. });
+        // (label, expr, domain expr over the condition's class vars)
+        let mut parsed: Vec<(&str, Expr, Option<Expr>, bool)> = Vec::new();
+        for (label, source) in act.conditions() {
+            let Ok(expr) = qurator_expr::parse(source) else { continue };
+            let domain = domain_of(&expr, &domains);
+            let dead = match &domain {
+                Some(dom) => {
+                    !intervals::definitely_unsat(&expr)
+                        && intervals::definitely_unsat_given(dom, &expr)
+                }
+                None => false,
+            };
+            parsed.push((label, expr, domain, dead));
+        }
+
+        for (label, _, domain, dead) in &parsed {
+            if !dead {
+                continue;
+            }
+            let dom = domain.as_ref().unwrap();
+            let cs = spans.condition(&act.name, label);
+            let place = if is_split {
+                format!("group {label:?} of action {:?}", act.name)
+            } else {
+                format!("action {:?}", act.name)
+            };
+            let mut diag = Diagnostic::warning(
+                "QV025",
+                format!(
+                    "{place} is dead: its condition is unsatisfiable under the upstream \
+                     classification domain {}",
+                    dom.to_source(),
+                ),
+            )
+            .at(cs.condition.or(spans.root));
+            diag = if is_split {
+                if let Some(el) = cs.element.filter(|s| s.byte_range().is_some()) {
+                    diag.suggest(
+                        format!("delete the dead group {label:?}"),
+                        el,
+                        "",
+                        Applicability::MachineApplicable,
+                    )
+                } else {
+                    diag.help(
+                        "delete the group, or widen its condition to labels the \
+                               classifier can produce",
+                    )
+                }
+            } else {
+                diag.help(
+                    "widen the condition to labels the classifier can produce, or fix the \
+                     tagSemType model",
+                )
+            };
+            d.push(diag);
+        }
+
+        if !is_split {
+            continue;
+        }
+        // QV026 — shadowing that only appears under the domain. Plain
+        // implication either way is already QV023 (per-node pass); dead
+        // branches are already QV025.
+        for x in 0..parsed.len() {
+            for y in 0..parsed.len() {
+                if x == y {
+                    continue;
+                }
+                let (ga, ea, da, dead_a) = &parsed[x];
+                let (gb, eb, _, dead_b) = &parsed[y];
+                if *dead_a || *dead_b {
+                    continue;
+                }
+                let Some(dom) = da else { continue };
+                if intervals::implies(ea, eb) || intervals::implies(eb, ea) {
+                    continue; // QV023 territory
+                }
+                if intervals::implies_given(dom, ea, eb) {
+                    let cs = spans.condition(&act.name, ga);
+                    let sibling = spans.condition(&act.name, gb);
+                    d.push(
+                        Diagnostic::warning(
+                            "QV026",
+                            format!(
+                                "action {:?}: group {ga:?} is shadowed by group {gb:?} under the \
+                                 classification domain {} — every item it accepts also joins \
+                                 {gb:?}",
+                                act.name,
+                                dom.to_source(),
+                            ),
+                        )
+                        .at(cs.condition.or(spans.root))
+                        .label(sibling.condition, "subsuming sibling group")
+                        .help("tighten one of the conditions, or merge the groups"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The conjunction of `tag in {labels…}` constraints for every
+/// classification tag the expression mentions; `None` when it mentions
+/// none (the analysis then has nothing to add over the per-node passes).
+fn domain_of(expr: &Expr, domains: &BTreeMap<&str, &[String]>) -> Option<Expr> {
+    let mut out: Option<Expr> = None;
+    for var in expr.variables() {
+        let Some(labels) = domains.get(var.as_str()) else { continue };
+        let constraint = Expr::In(
+            Box::new(Expr::Var(var.clone())),
+            labels.iter().map(|l| Expr::Const(Value::symbol(l.clone()))).collect(),
+        );
+        out = Some(match out {
+            None => constraint,
+            Some(prev) => {
+                Expr::Binary(qurator_expr::BinaryOp::And, Box::new(prev), Box::new(constraint))
+            }
+        });
+    }
+    out
+}
+
+// ---- domain 3: wave conflicts -----------------------------------------
+
+fn wave_conflicts(physical: &PhysicalPlan, spans: &SpanIndex, d: &mut Vec<Diagnostic>) {
+    for wave in &physical.waves {
+        // (evidence, repository) → first writer in this wave
+        let mut writers: BTreeMap<(String, &str), &str> = BTreeMap::new();
+        for name in wave {
+            let Some(a) = physical.annotators.iter().find(|a| &a.name == name) else { continue };
+            for e in &a.provides {
+                let key = (e.to_string(), a.repository.as_str());
+                match writers.get(&key) {
+                    None => {
+                        writers.insert(key, a.name.as_str());
+                    }
+                    Some(first) => {
+                        let at = spans.annotators.get(a.name.as_str()).copied().or(spans.root);
+                        let first_span = spans.annotators.get(*first).copied();
+                        let mut diag = Diagnostic::warning(
+                            "WF006",
+                            format!(
+                                "annotators {first:?} and {:?} run in the same execution wave \
+                                 and both write <{e}> to repository {:?} — the surviving value \
+                                 is nondeterministic",
+                                a.name, a.repository,
+                            ),
+                        )
+                        .at(at)
+                        .label(first_span, "first writer in this wave");
+                        if let Some(el) = at.filter(|s| s.byte_range().is_some()) {
+                            diag = diag.suggest(
+                                format!("delete the duplicate annotator {:?}", a.name),
+                                el,
+                                "",
+                                Applicability::MaybeIncorrect,
+                            );
+                        }
+                        d.push(
+                            diag.help("drop one writer, or point them at different repositories"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qurator_plan::{
+        ActNode, AnnotateNode, AssertNode, Binding, EnrichNode, LogicalNode, PlanConfig,
+    };
+    use qurator_rdf::term::Iri;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(format!("http://qurator.org/ont#{s}"))
+    }
+
+    fn annotate(name: &str, repo: &str, provides: &[&str]) -> LogicalNode {
+        LogicalNode::Annotate(AnnotateNode {
+            name: name.into(),
+            service_type: iri("A"),
+            repository: repo.into(),
+            persistent: false,
+            provides: provides.iter().map(|p| iri(p)).collect(),
+        })
+    }
+
+    fn classifier(name: &str, tag: &str, labels: &[&str], on: &str) -> LogicalNode {
+        LogicalNode::Assert(AssertNode {
+            name: name.into(),
+            service_type: iri("QA"),
+            tag: tag.into(),
+            tag_kind: TagKind::Class,
+            labels: labels.iter().map(|l| l.to_string()).collect(),
+            bindings: vec![("v".into(), Binding::Evidence(iri(on)))],
+        })
+    }
+
+    fn split(name: &str, groups: &[(&str, &str)]) -> LogicalNode {
+        LogicalNode::Act(ActNode {
+            name: name.into(),
+            kind: ActKind::Split {
+                groups: groups.iter().map(|(g, c)| (g.to_string(), c.to_string())).collect(),
+            },
+        })
+    }
+
+    fn plan(nodes: Vec<LogicalNode>) -> (LogicalPlan, PhysicalPlan) {
+        let logical = LogicalPlan { view: "t".into(), nodes };
+        let physical =
+            qurator_plan::lower(&logical, &PlanConfig { optimize: false }).expect("lower");
+        (logical, physical)
+    }
+
+    fn run(nodes: Vec<LogicalNode>) -> Vec<Diagnostic> {
+        let (logical, physical) = plan(nodes);
+        analyze_dataflow(&logical, &physical, &CatalogFacts::default(), &SpanIndex::default())
+    }
+
+    fn base(groups: &[(&str, &str)]) -> Vec<LogicalNode> {
+        vec![
+            annotate("ann", "cache", &["X"]),
+            LogicalNode::Enrich(EnrichNode { fetches: vec![(iri("X"), "cache".into())] }),
+            classifier("cls", "C", &["low", "mid", "high"], "X"),
+            LogicalNode::Consolidate,
+            split("triage", groups),
+        ]
+    }
+
+    #[test]
+    fn clean_plan_has_no_findings() {
+        let diags = run(base(&[("lo", "C in q:low"), ("rest", "not (C in q:low)")]));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn qv024_cross_repository_fetch() {
+        let diags = run(vec![
+            annotate("ann", "cache", &["X"]),
+            LogicalNode::Enrich(EnrichNode { fetches: vec![(iri("X"), "archive".into())] }),
+            classifier("cls", "C", &["low"], "X"),
+            LogicalNode::Consolidate,
+            split("t", &[("g", "C in q:low")]),
+        ]);
+        let qv024 = diags.iter().find(|d| d.code == "QV024").expect("QV024");
+        assert!(qv024.message.contains("archive") && qv024.message.contains("cache"));
+        // no span index → no machine fix
+        assert!(qv024.suggestion.is_none());
+    }
+
+    #[test]
+    fn qv024_unknown_catalog_repository() {
+        // repository never written in-plan and absent from the catalog
+        let diags = run(vec![
+            LogicalNode::Enrich(EnrichNode { fetches: vec![(iri("X"), "warehouse".into())] }),
+            classifier("cls", "C", &["low"], "X"),
+            LogicalNode::Consolidate,
+            split("t", &[("g", "C in q:low")]),
+        ]);
+        assert!(diags.iter().any(|d| d.code == "QV024" && d.message.contains("not bound")));
+    }
+
+    #[test]
+    fn qv024_respects_the_catalog() {
+        let nodes = vec![
+            LogicalNode::Enrich(EnrichNode { fetches: vec![(iri("X"), "warehouse".into())] }),
+            classifier("cls", "C", &["low"], "X"),
+            LogicalNode::Consolidate,
+            split("t", &[("g", "C in q:low")]),
+        ];
+        let (logical, physical) = plan(nodes);
+        let stocked = CatalogFacts {
+            repositories: vec![RepoFacts {
+                name: "warehouse".into(),
+                persistent: true,
+                provides: [iri("X").to_string()].into(),
+            }],
+        };
+        let diags = analyze_dataflow(&logical, &physical, &stocked, &SpanIndex::default());
+        assert!(diags.is_empty(), "catalog-provided evidence is available: {diags:?}");
+
+        let empty_store = CatalogFacts {
+            repositories: vec![RepoFacts {
+                name: "warehouse".into(),
+                persistent: true,
+                provides: BTreeSet::new(),
+            }],
+        };
+        let diags = analyze_dataflow(&logical, &physical, &empty_store, &SpanIndex::default());
+        assert!(
+            diags.iter().any(|d| d.code == "QV024" && d.message.contains("holds no annotations")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn qv024_cross_repo_fix_needs_a_unique_target() {
+        let nodes = vec![
+            annotate("ann", "cache", &["X"]),
+            LogicalNode::Enrich(EnrichNode { fetches: vec![(iri("X"), "archive".into())] }),
+            classifier("cls", "C", &["low"], "X"),
+            LogicalNode::Consolidate,
+            split("t", &[("g", "C in q:low")]),
+        ];
+        let (logical, physical) = plan(nodes);
+        let mut spans = SpanIndex::default();
+        spans.fetches.insert(
+            (iri("X").to_string(), "archive".into()),
+            FetchSite {
+                site: Some(Span::with_extent(3, 5, 40, 10)),
+                repository_attr: Some(Span::with_extent(3, 30, 60, 7)),
+            },
+        );
+        let diags = analyze_dataflow(&logical, &physical, &CatalogFacts::default(), &spans);
+        let qv024 = diags.iter().find(|d| d.code == "QV024").unwrap();
+        let s = qv024.suggestion.as_ref().expect("machine fix");
+        assert_eq!(s.replacement, "cache");
+        assert_eq!(s.applicability, Applicability::MachineApplicable);
+    }
+
+    #[test]
+    fn qv025_domain_dead_group_and_filter() {
+        let diags = run(base(&[("lo", "C in q:low"), ("ghost", "C in q:ghost")]));
+        let qv025 = diags.iter().find(|d| d.code == "QV025").expect("QV025");
+        assert!(qv025.message.contains("ghost"));
+        // spanless element → helpful text, no machine fix
+        assert!(qv025.suggestion.is_none() && qv025.help.is_some());
+
+        // a plain-unsat condition is QV022's finding, not QV025's
+        let diags = run(base(&[("dead", "C in q:low and not (C in q:low)")]));
+        assert!(!diags.iter().any(|d| d.code == "QV025"), "{diags:?}");
+    }
+
+    #[test]
+    fn qv025_dead_group_with_spans_gets_a_machine_fix() {
+        let nodes = base(&[("lo", "C in q:low"), ("ghost", "C in q:ghost")]);
+        let (logical, physical) = plan(nodes);
+        let mut spans = SpanIndex::default();
+        spans.conditions.insert(
+            ("triage".into(), "ghost".into()),
+            ConditionSpans {
+                condition: Some(Span::with_extent(9, 7, 200, 13)),
+                element: Some(Span::with_extent(8, 5, 180, 60)),
+            },
+        );
+        let diags = analyze_dataflow(&logical, &physical, &CatalogFacts::default(), &spans);
+        let qv025 = diags.iter().find(|d| d.code == "QV025").unwrap();
+        let s = qv025.suggestion.as_ref().expect("machine fix");
+        assert_eq!(s.applicability, Applicability::MachineApplicable);
+        assert_eq!(s.span.byte_range(), Some(180..240));
+        assert!(s.replacement.is_empty());
+    }
+
+    #[test]
+    fn qv026_domain_shadowing() {
+        // "not low" and "low or mid or high" only relate under the domain:
+        // plain set analysis finds no implication in either direction
+        let diags =
+            run(base(&[("rest", "not (C in q:low)"), ("all", "C in q:low, q:mid, q:high")]));
+        let qv026 = diags.iter().find(|d| d.code == "QV026").expect("QV026");
+        assert!(qv026.message.contains("\"rest\"") && qv026.message.contains("\"all\""));
+        assert_eq!(qv026.labels.len(), 1);
+
+        // plain subsumption stays QV023's finding
+        let diags = run(base(&[("hi", "C in q:high"), ("both", "C in q:mid, q:high")]));
+        assert!(!diags.iter().any(|d| d.code == "QV026"), "{diags:?}");
+    }
+
+    #[test]
+    fn wf006_same_wave_duplicate_writers() {
+        let diags = run(vec![
+            annotate("a1", "cache", &["X"]),
+            annotate("a2", "cache", &["X"]),
+            LogicalNode::Enrich(EnrichNode { fetches: vec![(iri("X"), "cache".into())] }),
+            classifier("cls", "C", &["low"], "X"),
+            LogicalNode::Consolidate,
+            split("t", &[("g", "C in q:low")]),
+        ]);
+        let wf006 = diags.iter().find(|d| d.code == "WF006").expect("WF006");
+        assert!(wf006.message.contains("a1") && wf006.message.contains("a2"));
+
+        // different repositories do not conflict
+        let diags = run(vec![
+            annotate("a1", "cache", &["X"]),
+            annotate("a2", "archive", &["X"]),
+            LogicalNode::Enrich(EnrichNode { fetches: vec![(iri("X"), "cache".into())] }),
+            classifier("cls", "C", &["low"], "X"),
+            LogicalNode::Consolidate,
+            split("t", &[("g", "C in q:low")]),
+        ]);
+        assert!(!diags.iter().any(|d| d.code == "WF006"), "{diags:?}");
+    }
+}

@@ -1,0 +1,350 @@
+//! The `qv check --fix` patcher: applies [`MachineApplicable`]
+//! suggestions to the original source text by byte-range splicing, and
+//! renders a dependency-free unified diff for `--fix --dry-run`.
+//!
+//! The patcher is deliberately dumb: it never re-serializes the DOM.
+//! Replacements are spliced into the exact byte extents the parser
+//! recorded, so everything the author wrote — comments, attribute
+//! order, indentation — survives untouched except for the fixed region.
+//!
+//! [`MachineApplicable`]: crate::Applicability::MachineApplicable
+
+use crate::{Applicability, Diagnostic};
+
+/// One fix the patcher applied, for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedFix {
+    /// The diagnostic code the fix came from.
+    pub code: &'static str,
+    /// The suggestion's human message.
+    pub message: String,
+    /// 1-based position of the replaced region.
+    pub line: u32,
+    /// 1-based column of the replaced region.
+    pub col: u32,
+}
+
+/// The outcome of [`apply_machine_fixes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixReport {
+    /// The patched source (equal to the input when nothing applied).
+    pub fixed: String,
+    /// Fixes applied, in source order.
+    pub applied: Vec<AppliedFix>,
+    /// Machine-applicable suggestions that could *not* be applied:
+    /// missing byte extent, out-of-bounds span, or overlap with an
+    /// earlier fix. These surface as a warning in the CLI.
+    pub skipped: usize,
+}
+
+impl FixReport {
+    /// True when the patcher changed the source.
+    pub fn changed(&self) -> bool {
+        !self.applied.is_empty()
+    }
+}
+
+/// Applies every `MachineApplicable` suggestion to `source`.
+///
+/// Suggestions are applied in ascending span order; a suggestion whose
+/// byte range overlaps an already-accepted one is skipped (the caller
+/// re-lints and re-fixes until convergence). Pure deletions additionally
+/// swallow any whitespace-only line remains around the removed region,
+/// so deleting an element does not leave a blank line behind.
+pub fn apply_machine_fixes(source: &str, diags: &[Diagnostic]) -> FixReport {
+    let mut candidates: Vec<(std::ops::Range<usize>, &Diagnostic)> = Vec::new();
+    let mut skipped = 0usize;
+    for d in diags {
+        let Some(s) = &d.suggestion else { continue };
+        if s.applicability != Applicability::MachineApplicable {
+            continue;
+        }
+        match s.span.byte_range() {
+            Some(r)
+                if r.end <= source.len()
+                    && source.is_char_boundary(r.start)
+                    && source.is_char_boundary(r.end) =>
+            {
+                candidates.push((r, d));
+            }
+            _ => skipped += 1,
+        }
+    }
+    candidates.sort_by_key(|(r, d)| (r.start, r.end, d.code));
+
+    // accept non-overlapping fixes in source order
+    let mut accepted: Vec<(std::ops::Range<usize>, &Diagnostic)> = Vec::new();
+    for (r, d) in candidates {
+        if accepted.last().is_some_and(|(prev, _)| r.start < prev.end) {
+            skipped += 1;
+            continue;
+        }
+        let r = if d.suggestion.as_ref().unwrap().replacement.is_empty() {
+            widen_deletion(source, r)
+        } else {
+            r
+        };
+        accepted.push((r, d));
+    }
+
+    // splice back-to-front so earlier ranges stay valid
+    let mut fixed = source.to_string();
+    for (r, d) in accepted.iter().rev() {
+        let s = d.suggestion.as_ref().unwrap();
+        fixed.replace_range(r.clone(), &s.replacement);
+    }
+
+    let applied = accepted
+        .iter()
+        .map(|(_, d)| {
+            let s = d.suggestion.as_ref().unwrap();
+            AppliedFix {
+                code: d.code,
+                message: s.message.clone(),
+                line: s.span.line,
+                col: s.span.col,
+            }
+        })
+        .collect();
+    FixReport { fixed, applied, skipped }
+}
+
+/// Expands a deletion range over whitespace-only line remains: leading
+/// indentation (back to the line start, if only spaces/tabs precede the
+/// region) and the trailing newline, so removing an element removes its
+/// whole line(s).
+fn widen_deletion(source: &str, r: std::ops::Range<usize>) -> std::ops::Range<usize> {
+    let bytes = source.as_bytes();
+    let mut start = r.start;
+    while start > 0 && matches!(bytes[start - 1], b' ' | b'\t') {
+        start -= 1;
+    }
+    let at_line_start = start == 0 || bytes[start - 1] == b'\n';
+    if !at_line_start {
+        // mid-line deletion: keep the surrounding text intact
+        return r;
+    }
+    let mut end = r.end;
+    while end < bytes.len() && matches!(bytes[end], b' ' | b'\t') {
+        end += 1;
+    }
+    if end < bytes.len() && bytes[end] == b'\r' {
+        end += 1;
+    }
+    if end < bytes.len() && bytes[end] == b'\n' {
+        end += 1;
+    } else if end != r.end {
+        // trailing whitespace but no newline: leave the tail alone
+        end = r.end;
+    }
+    start..end
+}
+
+/// Renders a unified diff (`--- a/name` / `+++ b/name`, 3 lines of
+/// context) between the original and fixed sources. Returns the empty
+/// string when the texts are equal. Line-based LCS, no dependencies.
+pub fn unified_diff(original: &str, fixed: &str, name: &str) -> String {
+    if original == fixed {
+        return String::new();
+    }
+    let a: Vec<&str> = original.lines().collect();
+    let b: Vec<&str> = fixed.lines().collect();
+
+    // classic DP LCS over lines; view sources are small (≪ 10k lines)
+    let (n, m) = (a.len(), b.len());
+    let mut lcs = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] =
+                if a[i] == b[j] { lcs[i + 1][j + 1] + 1 } else { lcs[i + 1][j].max(lcs[i][j + 1]) };
+        }
+    }
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Op {
+        Keep,
+        Del,
+        Add,
+    }
+    let mut ops: Vec<(Op, usize, usize)> = Vec::new(); // (op, a-index, b-index)
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            ops.push((Op::Keep, i, j));
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            ops.push((Op::Del, i, j));
+            i += 1;
+        } else {
+            ops.push((Op::Add, i, j));
+            j += 1;
+        }
+    }
+    while i < n {
+        ops.push((Op::Del, i, j));
+        i += 1;
+    }
+    while j < m {
+        ops.push((Op::Add, i, j));
+        j += 1;
+    }
+
+    const CTX: usize = 3;
+    let mut out = String::new();
+    out.push_str(&format!("--- a/{name}\n+++ b/{name}\n"));
+    let mut k = 0;
+    while k < ops.len() {
+        if ops[k].0 == Op::Keep {
+            k += 1;
+            continue;
+        }
+        // hunk: from CTX lines before this change to CTX lines after the
+        // last change in the run (merging changes closer than 2*CTX)
+        let hunk_start = k.saturating_sub(CTX);
+        let mut hunk_end = k;
+        let mut last_change = k;
+        while hunk_end < ops.len() {
+            if ops[hunk_end].0 != Op::Keep {
+                last_change = hunk_end;
+            } else if hunk_end - last_change >= 2 * CTX {
+                break;
+            }
+            hunk_end += 1;
+        }
+        let hunk_end = (last_change + CTX + 1).min(ops.len());
+
+        let a_start = ops[hunk_start].1;
+        let b_start = ops[hunk_start].2;
+        let (mut a_count, mut b_count) = (0usize, 0usize);
+        for &(op, _, _) in &ops[hunk_start..hunk_end] {
+            match op {
+                Op::Keep => {
+                    a_count += 1;
+                    b_count += 1;
+                }
+                Op::Del => a_count += 1,
+                Op::Add => b_count += 1,
+            }
+        }
+        out.push_str(&format!("@@ -{},{} +{},{} @@\n", a_start + 1, a_count, b_start + 1, b_count));
+        for &(op, ai, bi) in &ops[hunk_start..hunk_end] {
+            match op {
+                Op::Keep => {
+                    out.push(' ');
+                    out.push_str(a[ai]);
+                }
+                Op::Del => {
+                    out.push('-');
+                    out.push_str(a[ai]);
+                }
+                Op::Add => {
+                    out.push('+');
+                    out.push_str(b[bi]);
+                }
+            }
+            out.push('\n');
+        }
+        k = hunk_end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Span;
+
+    fn fixit(code: &'static str, span: Span, replacement: &str) -> Diagnostic {
+        Diagnostic::warning(code, "m").at(Some(span)).suggest(
+            "fix it",
+            span,
+            replacement,
+            Applicability::MachineApplicable,
+        )
+    }
+
+    #[test]
+    fn replacement_splices_in_place() {
+        let src = "<c>HR &gt; 1</c>";
+        let d = fixit("QV021", Span::with_extent(1, 4, 3, 9), "HR &gt; 2");
+        let report = apply_machine_fixes(src, &[d]);
+        assert_eq!(report.fixed, "<c>HR &gt; 2</c>");
+        assert_eq!(report.applied.len(), 1);
+        assert_eq!(report.skipped, 0);
+    }
+
+    #[test]
+    fn deletion_swallows_the_whole_line() {
+        let src = "<a>\n  <dead/>\n  <live/>\n</a>";
+        let start = src.find("<dead/>").unwrap();
+        let d = fixit("QV025", Span::with_extent(2, 3, start as u32, 7), "");
+        let report = apply_machine_fixes(src, &[d]);
+        assert_eq!(report.fixed, "<a>\n  <live/>\n</a>");
+    }
+
+    #[test]
+    fn mid_line_deletion_keeps_neighbors() {
+        let src = "<a><dead/><live/></a>";
+        let start = src.find("<dead/>").unwrap();
+        let d = fixit("QV025", Span::with_extent(1, 4, start as u32, 7), "");
+        let report = apply_machine_fixes(src, &[d]);
+        assert_eq!(report.fixed, "<a><live/></a>");
+    }
+
+    #[test]
+    fn overlapping_and_extentless_fixes_are_skipped() {
+        let src = "0123456789";
+        let keep = fixit("QV025", Span::with_extent(1, 1, 2, 4), "X");
+        let overlap = fixit("QV026", Span::with_extent(1, 4, 4, 4), "Y");
+        let pointspan = fixit("QV021", Span::new(1, 1), "Z");
+        let not_machine = Diagnostic::warning("WF006", "m").suggest(
+            "maybe",
+            Span::with_extent(1, 8, 8, 1),
+            "",
+            Applicability::MaybeIncorrect,
+        );
+        let report = apply_machine_fixes(src, &[keep, overlap, pointspan, not_machine]);
+        assert_eq!(report.fixed, "01X6789");
+        assert_eq!(report.applied.len(), 1);
+        assert_eq!(report.skipped, 2, "overlap + extentless skipped; MaybeIncorrect ignored");
+    }
+
+    #[test]
+    fn multiple_fixes_apply_back_to_front() {
+        let src = "aa bb cc";
+        let d1 = fixit("QV021", Span::with_extent(1, 1, 0, 2), "XX");
+        let d2 = fixit("QV021", Span::with_extent(1, 7, 6, 2), "YY");
+        let report = apply_machine_fixes(src, &[d2, d1]);
+        assert_eq!(report.fixed, "XX bb YY");
+        assert_eq!(report.applied.len(), 2);
+        // applied list comes back in source order regardless of input order
+        assert_eq!(report.applied[0].col, 1);
+    }
+
+    #[test]
+    fn diff_shows_deleted_lines_with_context() {
+        let orig = "l1\nl2\nl3\nl4\nl5\nl6\nl7\nl8\n";
+        let fixed = "l1\nl2\nl3\nl5\nl6\nl7\nl8\n";
+        let diff = unified_diff(orig, fixed, "view.qv");
+        assert!(diff.starts_with("--- a/view.qv\n+++ b/view.qv\n"));
+        assert!(diff.contains("-l4\n"));
+        assert!(diff.contains(" l3\n") && diff.contains(" l7\n"), "3 lines of context");
+        assert!(!diff.contains(" l8\n"), "past the context window");
+        assert!(diff.contains("@@ -1,7 +1,6 @@"));
+    }
+
+    #[test]
+    fn diff_of_identical_texts_is_empty() {
+        assert_eq!(unified_diff("same\n", "same\n", "x"), "");
+    }
+
+    #[test]
+    fn nearby_changes_merge_into_one_hunk() {
+        let orig = "a\nb\nc\nd\ne\nf\ng\n";
+        let fixed = "a\nB\nc\nd\ne\nF\ng\n";
+        let diff = unified_diff(orig, fixed, "x");
+        let hunks = diff.lines().filter(|l| l.starts_with("@@")).count();
+        assert_eq!(hunks, 1, "one merged hunk:\n{diff}");
+    }
+}

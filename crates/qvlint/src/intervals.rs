@@ -348,6 +348,33 @@ pub fn implies(a: &Expr, b: &Expr) -> bool {
     }
 }
 
+/// True when the analyzer can prove `domain ∧ expr` unsatisfiable: under
+/// the value domain established upstream (e.g. an assertion's
+/// classification labels), the condition can never hold. A condition may
+/// be satisfiable in isolation yet dead under the domain — that gap is
+/// exactly what the dataflow pass reports as QV025.
+pub fn definitely_unsat_given(domain: &Expr, expr: &Expr) -> bool {
+    match dnf(domain, false).and_then(|dd| conjoin(dd, dnf(expr, false)?)) {
+        Some(conjuncts) => conjuncts.iter().all(|c| conjunct_verdict(c) == Verdict::Unsat),
+        None => false,
+    }
+}
+
+/// True when the analyzer can prove `a → b` *under* the given domain:
+/// every item satisfying `domain ∧ a` also satisfies `b`. Checked as
+/// unsatisfiability of `domain ∧ a ∧ ¬b`. Splitter-group shadowing that
+/// only appears under the classification domain (QV026) uses this with
+/// the plain [`implies`] check as the "already reported as QV023" guard.
+pub fn implies_given(domain: &Expr, a: &Expr, b: &Expr) -> bool {
+    let formula = dnf(domain, false)
+        .and_then(|dd| conjoin(dd, dnf(a, false)?))
+        .and_then(|dda| conjoin(dda, dnf(b, true)?));
+    match formula {
+        Some(conjuncts) => conjuncts.iter().all(|c| conjunct_verdict(c) == Verdict::Unsat),
+        None => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +386,14 @@ mod tests {
 
     fn imp(a: &str, b: &str) -> bool {
         implies(&parse(a).unwrap(), &parse(b).unwrap())
+    }
+
+    fn unsat_given(domain: &str, e: &str) -> bool {
+        definitely_unsat_given(&parse(domain).unwrap(), &parse(e).unwrap())
+    }
+
+    fn imp_given(domain: &str, a: &str, b: &str) -> bool {
+        implies_given(&parse(domain).unwrap(), &parse(a).unwrap(), &parse(b).unwrap())
     }
 
     #[test]
@@ -427,5 +462,36 @@ mod tests {
     #[test]
     fn paper_condition_is_satisfiable() {
         assert!(!unsat("ScoreClass in q:high, q:mid and HR_MC > 20"));
+    }
+
+    #[test]
+    fn domain_unsat_catches_labels_outside_the_classification() {
+        let domain = "c in q:low, q:mid, q:high";
+        // dead only under the domain: plain analysis keeps it satisfiable
+        assert!(!unsat("c in q:bogus"));
+        assert!(unsat_given(domain, "c in q:bogus"));
+        // a condition satisfiable under the domain is not flagged
+        assert!(!unsat_given(domain, "c in q:low"));
+        // negating the whole domain is unsat under it, sat without it
+        assert!(unsat_given(domain, "not (c in q:low, q:mid, q:high)"));
+        assert!(!unsat("not (c in q:low, q:mid, q:high)"));
+    }
+
+    #[test]
+    fn domain_implication_sees_shadowing_plain_implication_misses() {
+        let domain = "c in q:low, q:mid, q:high";
+        // under the domain, "not low" and "mid or high" coincide
+        assert!(imp_given(domain, "not (c in q:low)", "c in q:mid, q:high"));
+        assert!(!imp("not (c in q:low)", "c in q:mid, q:high"));
+        // and plain implication still works when lifted
+        assert!(imp_given(domain, "c in q:high", "c in q:mid, q:high"));
+        // but no false positives: low does not imply mid-or-high
+        assert!(!imp_given(domain, "c in q:low", "c in q:mid, q:high"));
+    }
+
+    #[test]
+    fn domain_helpers_refuse_opaque_formulas() {
+        assert!(!unsat_given("x > y", "x < y"));
+        assert!(!imp_given("c in q:low", "x > y", "x > y"));
     }
 }

@@ -28,6 +28,8 @@
 //! The view-level passes (QV0xx) live in `qurator::lint`, next to the
 //! spec model they analyze; they produce the same [`Diagnostic`] values.
 
+pub mod dataflow;
+pub mod fix;
 pub mod intervals;
 pub mod plan;
 pub mod render;
@@ -59,6 +61,51 @@ impl fmt::Display for Severity {
     }
 }
 
+/// How confident the analyzer is that a suggested replacement is the
+/// right fix — the same ladder rustc uses. Only `MachineApplicable`
+/// suggestions are applied by `qv check --fix`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Applicability {
+    /// The fix is definitely correct; applying it cannot change the
+    /// meaning of the view beyond removing the flagged defect.
+    MachineApplicable,
+    /// The fix is probably what the author meant, but a human should
+    /// confirm (e.g. deleting one of two same-wave duplicate writers).
+    MaybeIncorrect,
+    /// The replacement contains placeholders the author must fill in.
+    HasPlaceholders,
+}
+
+impl fmt::Display for Applicability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Applicability::MachineApplicable => "machine-applicable",
+            Applicability::MaybeIncorrect => "maybe-incorrect",
+            Applicability::HasPlaceholders => "has-placeholders",
+        })
+    }
+}
+
+/// A structured, machine-readable fix attached to a diagnostic.
+///
+/// `span` must carry a byte extent (see [`Span::byte_range`]) for the
+/// fix to be appliable; the patcher replaces those bytes with
+/// `replacement` (empty string = deletion). `message` is the
+/// human-facing "help: …" line shown by the renderers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suggestion {
+    /// What the fix does, e.g. `replace the condition with "…"`.
+    pub message: String,
+    /// The source region to replace. Needs a byte extent to be
+    /// machine-appliable.
+    pub span: Span,
+    /// Replacement source text (already XML-escaped when it lands in
+    /// character data). Empty means "delete the region".
+    pub replacement: String,
+    /// Whether `--fix` may apply this without a human in the loop.
+    pub applicability: Applicability,
+}
+
 /// A secondary source label attached to a diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Label {
@@ -85,6 +132,8 @@ pub struct Diagnostic {
     pub labels: Vec<Label>,
     /// A fix suggestion.
     pub help: Option<String>,
+    /// A structured fix, when the repair is mechanical.
+    pub suggestion: Option<Suggestion>,
 }
 
 impl Diagnostic {
@@ -97,6 +146,7 @@ impl Diagnostic {
             span: None,
             labels: Vec::new(),
             help: None,
+            suggestion: None,
         }
     }
 
@@ -133,6 +183,23 @@ impl Diagnostic {
         self.help = Some(help.into());
         self
     }
+
+    /// Attaches a structured fix.
+    pub fn suggest(
+        mut self,
+        message: impl Into<String>,
+        span: Span,
+        replacement: impl Into<String>,
+        applicability: Applicability,
+    ) -> Self {
+        self.suggestion = Some(Suggestion {
+            message: message.into(),
+            span,
+            replacement: replacement.into(),
+            applicability,
+        });
+        self
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -151,14 +218,16 @@ pub fn has_errors(diags: &[Diagnostic]) -> bool {
 }
 
 /// Orders diagnostics for stable presentation: by source position
-/// (spanless findings last), then severity, then code.
+/// (spanless findings last), then code, then severity. Keying on the
+/// code before the severity keeps `qv check --format json` byte-stable
+/// across runs and analyzer-pass reorderings.
 pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
     diags.sort_by_key(|d| {
         let (line, col) = match d.span {
             Some(s) => (s.line, s.col),
             None => (u32::MAX, u32::MAX),
         };
-        (line, col, d.severity, d.code, d.message.clone())
+        (line, col, d.code, d.severity, d.message.clone())
     });
 }
 
@@ -225,11 +294,21 @@ pub mod codes {
         ("QV021", "condition references a label outside the tag's classification model"),
         ("QV022", "condition is unsatisfiable — the action can never accept an item"),
         ("QV023", "splitter group condition subsumed by another group"),
+        ("QV024", "evidence fetched from a repository that cannot provide it"),
+        (
+            "QV025",
+            "branch is dead: condition unsatisfiable given the upstream classification domain",
+        ),
+        (
+            "QV026",
+            "branch shadowed: condition subsumed by a sibling under the classification domain",
+        ),
         ("WF001", "compiled workflow contains a dependency cycle"),
         ("WF002", "workflow node is unreachable from any workflow input"),
         ("WF003", "repository is written but never read within the view"),
         ("WF004", "wide execution wave (parallelism hint)"),
         ("WF005", "view failed to compile into a workflow"),
+        ("WF006", "two nodes in the same execution wave write the same evidence to one repository"),
         ("SQ001", "SPARQL syntax error"),
         ("SQ002", "projected variable is not bound by the query pattern"),
         ("SQ003", "query pattern forms a cartesian product"),
@@ -266,6 +345,35 @@ mod tests {
         }
         assert!(codes::describe("QV017").is_some());
         assert!(codes::describe("XX999").is_none());
+    }
+
+    #[test]
+    fn suggestion_builder() {
+        let d = Diagnostic::warning("QV025", "group \"dead\" can never match")
+            .at(Some(Span::new(8, 3)))
+            .suggest(
+                "delete the dead group",
+                Span::with_extent(8, 3, 120, 64),
+                "",
+                Applicability::MachineApplicable,
+            );
+        let s = d.suggestion.as_ref().unwrap();
+        assert_eq!(s.applicability, Applicability::MachineApplicable);
+        assert_eq!(s.span.byte_range(), Some(120..184));
+        assert!(s.replacement.is_empty());
+        assert_eq!(Applicability::MaybeIncorrect.to_string(), "maybe-incorrect");
+    }
+
+    #[test]
+    fn sorting_keys_on_code_before_severity() {
+        // same position: the code decides, not the severity
+        let mut diags = vec![
+            Diagnostic::error("QV022", "b").at(Some(Span::new(3, 1))),
+            Diagnostic::warning("QV019", "a").at(Some(Span::new(3, 1))),
+        ];
+        sort_diagnostics(&mut diags);
+        assert_eq!(diags[0].code, "QV019");
+        assert_eq!(diags[1].code, "QV022");
     }
 
     #[test]

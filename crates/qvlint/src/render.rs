@@ -43,6 +43,12 @@ pub fn render_text(diags: &[Diagnostic], source_name: &str, source: &str) -> Str
         if let Some(help) = &d.help {
             let _ = writeln!(out, "   = help: {help}");
         }
+        if let Some(s) = &d.suggestion {
+            let _ = writeln!(out, "   = help: {} [{}]", s.message, s.applicability);
+            if !s.replacement.is_empty() {
+                let _ = writeln!(out, "   = fix: replace with `{}`", s.replacement);
+            }
+        }
         out.push('\n');
     }
     let _ = writeln!(out, "{}", summary(diags));
@@ -109,6 +115,20 @@ pub fn render_json(diags: &[Diagnostic], source_name: &str) -> String {
         }
         if let Some(help) = &d.help {
             let _ = write!(out, ",\"help\":{}", json_str(help));
+        }
+        if let Some(s) = &d.suggestion {
+            let _ = write!(
+                out,
+                ",\"suggestion\":{{\"message\":{},\"replacement\":{},\"applicability\":{},\
+                 \"line\":{},\"col\":{},\"offset\":{},\"len\":{}}}",
+                json_str(&s.message),
+                json_str(&s.replacement),
+                json_str(&s.applicability.to_string()),
+                s.span.line,
+                s.span.col,
+                s.span.offset,
+                s.span.len,
+            );
         }
         out.push('}');
     }
@@ -187,5 +207,36 @@ mod tests {
     #[test]
     fn json_of_empty_list() {
         assert_eq!(render_json(&[], "x"), "[\n]\n");
+    }
+
+    #[test]
+    fn suggestions_render_in_both_forms() {
+        let diags = vec![Diagnostic::warning("QV025", "group \"dead\" can never match")
+            .at(Some(Span::new(3, 5)))
+            .suggest(
+                "delete the dead group \"dead\"",
+                crate::Span::with_extent(3, 5, 40, 20),
+                "",
+                crate::Applicability::MachineApplicable,
+            )];
+        let text = render_text(&diags, "v.qv", "<a>\n<b>\n  <group/>\n</a>");
+        assert!(text.contains("= help: delete the dead group \"dead\" [machine-applicable]"));
+        assert!(!text.contains("= fix:"), "deletions carry no replacement text");
+        let json = render_json(&diags, "v.qv");
+        assert!(json.contains(
+            "\"suggestion\":{\"message\":\"delete the dead group \\\"dead\\\"\",\
+             \"replacement\":\"\",\"applicability\":\"machine-applicable\",\
+             \"line\":3,\"col\":5,\"offset\":40,\"len\":20}"
+        ));
+
+        let diags =
+            vec![Diagnostic::error("QV021", "foreign label").at(Some(Span::new(1, 1))).suggest(
+                "drop the foreign label(s)",
+                crate::Span::with_extent(1, 1, 0, 3),
+                "(C in {q:low})",
+                crate::Applicability::MachineApplicable,
+            )];
+        let text = render_text(&diags, "v.qv", "<a/>");
+        assert!(text.contains("= fix: replace with `(C in {q:low})`"));
     }
 }

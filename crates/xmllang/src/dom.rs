@@ -6,19 +6,53 @@
 /// compare equal, so programmatically-built DOMs (no spans) still compare
 /// equal to parsed ones. Static analysis uses spans to point diagnostics
 /// into `.qv` sources.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// When produced by the parser, spans additionally carry a byte `offset`
+/// into the source document and, for regions with a known extent (whole
+/// elements, attribute values, text runs), a byte `len` — precise enough
+/// for the `qv check --fix` patcher to splice replacements in place.
+/// Equality and ordering consider only the (line, col) position, so
+/// synthetic spans built with [`Span::new`] keep comparing equal to
+/// parsed ones at the same position.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Span {
     /// 1-based line.
     pub line: u32,
     /// 1-based column (in bytes from the line start, which equals the
     /// character column for ASCII sources).
     pub col: u32,
+    /// Byte offset of the position in the source document (0 when the
+    /// span was built synthetically).
+    pub offset: u32,
+    /// Byte length of the spanned source region; 0 means "point span" /
+    /// unknown extent.
+    pub len: u32,
 }
 
+impl PartialEq for Span {
+    fn eq(&self, other: &Self) -> bool {
+        self.line == other.line && self.col == other.col
+    }
+}
+
+impl Eq for Span {}
+
 impl Span {
-    /// Builds a span.
+    /// Builds a point span (no byte extent).
     pub fn new(line: u32, col: u32) -> Self {
-        Span { line, col }
+        Span { line, col, offset: 0, len: 0 }
+    }
+
+    /// Builds a span with a byte extent (used by the parser).
+    pub fn with_extent(line: u32, col: u32, offset: u32, len: u32) -> Self {
+        Span { line, col, offset, len }
+    }
+
+    /// The byte range this span covers in the source document, when the
+    /// parser recorded an extent. `None` for point/synthetic spans — those
+    /// can locate a finding but cannot anchor a textual patch.
+    pub fn byte_range(&self) -> Option<std::ops::Range<usize>> {
+        (self.len > 0).then(|| self.offset as usize..(self.offset + self.len) as usize)
     }
 }
 

@@ -39,9 +39,23 @@ impl<'a> Parser<'a> {
         }
     }
 
-    /// The current source position as a DOM span.
+    /// The current source position as a DOM span (point span carrying the
+    /// byte offset; callers widen it with [`Parser::widen`] once the end
+    /// of the region is known).
     fn span_here(&self) -> Span {
-        Span::new(self.line as u32, (self.pos.saturating_sub(self.line_start) + 1) as u32)
+        Span::with_extent(
+            self.line as u32,
+            (self.pos.saturating_sub(self.line_start) + 1) as u32,
+            self.pos as u32,
+            0,
+        )
+    }
+
+    /// Extends a span produced by [`Parser::span_here`] to end at byte
+    /// offset `end` (exclusive).
+    fn widen(span: Span, end: usize) -> Span {
+        let len = (end as u32).saturating_sub(span.offset);
+        Span { len, ..span }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -147,6 +161,7 @@ impl<'a> Parser<'a> {
                     self.bump();
                     if self.peek() == Some(b'>') {
                         self.bump();
+                        element.set_span(Self::widen(start_span, self.pos));
                         return Ok(element); // self-closing
                     }
                     return Err(self.err("expected '>' after '/'"));
@@ -164,11 +179,12 @@ impl<'a> Parser<'a> {
                         _ => return Err(self.err("expected quoted attribute value")),
                     };
                     self.bump();
-                    let value_span = self.span_here();
+                    let mut value_span = self.span_here();
                     let mut value = String::new();
                     loop {
                         match self.peek() {
                             Some(c) if c == quote => {
+                                value_span = Self::widen(value_span, self.pos);
                                 self.bump();
                                 break;
                             }
@@ -204,6 +220,7 @@ impl<'a> Parser<'a> {
                     return Err(self.err("expected '>' in end tag"));
                 }
                 self.bump();
+                element.set_span(Self::widen(start_span, self.pos));
                 return Ok(element);
             }
             if self.starts_with("<!--") {
@@ -220,7 +237,7 @@ impl<'a> Parser<'a> {
                 if self.peek().is_none() {
                     return Err(self.err("unterminated CDATA section"));
                 }
-                element.set_text_span(cdata_span);
+                element.set_text_span(Self::widen(cdata_span, self.pos));
                 element.push(Node::Text(self.src[start..self.pos].to_string()));
                 self.skip_n(3);
                 continue;
@@ -237,11 +254,15 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     let mut text = String::new();
                     let mut text_start: Option<Span> = None;
+                    // byte offset just past the last non-whitespace char, so
+                    // the recorded extent matches the trimmed text
+                    let mut text_end = self.pos;
                     while let Some(c) = self.peek() {
                         if c == b'<' {
                             break;
                         }
-                        if text_start.is_none() && !c.is_ascii_whitespace() {
+                        let significant = !c.is_ascii_whitespace();
+                        if text_start.is_none() && significant {
                             text_start = Some(self.span_here());
                         }
                         if c == b'&' {
@@ -250,13 +271,16 @@ impl<'a> Parser<'a> {
                             let (s, e) = self.take_utf8_char();
                             text.push_str(&self.src[s..e]);
                         }
+                        if significant {
+                            text_end = self.pos;
+                        }
                     }
                     // Whitespace around text runs is insignificant in the QV
                     // language; trim it so pretty-printed documents round-trip.
                     let trimmed = text.trim();
                     if !trimmed.is_empty() {
                         if let Some(span) = text_start {
-                            element.set_text_span(span);
+                            element.set_text_span(Self::widen(span, text_end));
                         }
                         element.push(Node::Text(trimmed.to_string()));
                     }
@@ -434,5 +458,28 @@ mod tests {
     fn whitespace_between_elements_is_dropped() {
         let doc = parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
         assert_eq!(doc.nodes().len(), 2);
+    }
+
+    #[test]
+    fn spans_carry_byte_extents() {
+        let src = "<a k=\"vv\">\n  <b/>\n  <c>  hi &amp; bye  </c>\n</a>";
+        let doc = parse(src).unwrap();
+        // whole-document extent covers the full source
+        assert_eq!(doc.span().unwrap().byte_range(), Some(0..src.len()));
+        // attribute-value extent covers exactly the value bytes
+        let kr = doc.attr_span("k").unwrap().byte_range().unwrap();
+        assert_eq!(&src[kr], "vv");
+        // self-closing element extent covers its tag
+        let br = doc.child("b").unwrap().span().unwrap().byte_range().unwrap();
+        assert_eq!(&src[br], "<b/>");
+        // element extent runs from '<' through the end tag
+        let c = doc.child("c").unwrap();
+        let cr = c.span().unwrap().byte_range().unwrap();
+        assert_eq!(&src[cr], "<c>  hi &amp; bye  </c>");
+        // text extent is trimmed to the non-whitespace run (entities kept raw)
+        let tr = c.text_span().unwrap().byte_range().unwrap();
+        assert_eq!(&src[tr], "hi &amp; bye");
+        // synthetic spans stay patch-inert
+        assert_eq!(Span::new(3, 9).byte_range(), None);
     }
 }
