@@ -12,18 +12,26 @@ use crate::{AnnotationError, Result};
 use parking_lot::RwLock;
 use qurator_ontology::iq::IqModel;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// A named collection of annotation repositories.
 pub struct RepositoryCatalog {
     iq: Arc<IqModel>,
     repositories: RwLock<BTreeMap<String, Arc<AnnotationRepository>>>,
+    /// When set, persistent repositories live on disk under
+    /// `<root>/<name>/`; cache repositories stay in memory regardless.
+    store_root: RwLock<Option<PathBuf>>,
 }
 
 impl RepositoryCatalog {
     /// An empty catalog over the given IQ model.
     pub fn new(iq: Arc<IqModel>) -> Self {
-        RepositoryCatalog { iq, repositories: RwLock::new(BTreeMap::new()) }
+        RepositoryCatalog {
+            iq,
+            repositories: RwLock::new(BTreeMap::new()),
+            store_root: RwLock::new(None),
+        }
     }
 
     /// The IQ model shared by all repositories.
@@ -31,15 +39,91 @@ impl RepositoryCatalog {
         &self.iq
     }
 
-    /// Creates a repository; errors if the name is taken.
+    /// Roots persistent repositories at `dir` and eagerly reopens every
+    /// store already present there (one subdirectory per repository), so a
+    /// restarted process sees its annotations again. Fails fast — without
+    /// registering the root — when any existing store is locked or corrupt.
+    /// Returns the names of the reopened repositories.
+    pub fn set_store_root(&self, dir: impl Into<PathBuf>) -> Result<Vec<String>> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            AnnotationError::Rdf(format!("creating store root {}: {e}", dir.display()))
+        })?;
+        let mut names = Vec::new();
+        let entries = std::fs::read_dir(&dir).map_err(|e| {
+            AnnotationError::Rdf(format!("reading store root {}: {e}", dir.display()))
+        })?;
+        for entry in entries {
+            let entry = entry.map_err(|e| {
+                AnnotationError::Rdf(format!("reading store root {}: {e}", dir.display()))
+            })?;
+            if !entry.path().is_dir() {
+                continue;
+            }
+            let Ok(name) = entry.file_name().into_string() else {
+                return Err(AnnotationError::Rdf(format!(
+                    "store root entry {:?} is not valid UTF-8",
+                    entry.file_name()
+                )));
+            };
+            names.push(name);
+        }
+        names.sort();
+        let mut repos = self.repositories.write();
+        for name in &names {
+            if repos.contains_key(name) {
+                return Err(AnnotationError::DuplicateRepository(name.clone()));
+            }
+        }
+        // Open every store before publishing any of them: a locked or
+        // corrupt store must not leave the catalog half-populated.
+        let mut opened = Vec::with_capacity(names.len());
+        for name in &names {
+            opened.push(Arc::new(AnnotationRepository::open_disk(
+                name,
+                true,
+                self.iq.clone(),
+                dir.join(name),
+            )?));
+        }
+        for (name, repo) in names.iter().zip(opened) {
+            repos.insert(name.clone(), repo);
+        }
+        *self.store_root.write() = Some(dir);
+        Ok(names)
+    }
+
+    /// The directory persistent repositories are stored under, if any.
+    pub fn store_root(&self) -> Option<PathBuf> {
+        self.store_root.read().clone()
+    }
+
+    /// Creates a repository; errors if the name is taken. With a store root
+    /// configured, persistent repositories open disk-backed under it.
     pub fn create(&self, name: &str, persistent: bool) -> Result<Arc<AnnotationRepository>> {
         let mut repos = self.repositories.write();
         if repos.contains_key(name) {
             return Err(AnnotationError::DuplicateRepository(name.to_string()));
         }
-        let repo = Arc::new(AnnotationRepository::new(name, persistent, self.iq.clone()));
+        let root = if persistent { self.store_root.read().clone() } else { None };
+        let repo = Arc::new(match root {
+            Some(root) => {
+                AnnotationRepository::open_disk(name, true, self.iq.clone(), root.join(name))?
+            }
+            None => AnnotationRepository::new(name, persistent, self.iq.clone()),
+        });
         repos.insert(name.to_string(), repo.clone());
         Ok(repo)
+    }
+
+    /// Group-commits every repository (disk backends fsync; memory is a
+    /// no-op). `qv serve` calls this before acknowledging a run.
+    pub fn flush_all(&self) -> Result<()> {
+        let repos = self.repositories.read();
+        for repo in repos.values() {
+            repo.flush()?;
+        }
+        Ok(())
     }
 
     /// Gets a repository, creating a cache repository on first reference
@@ -116,6 +200,47 @@ mod tests {
         let b = c.get_or_create_cache("scratch");
         assert!(Arc::ptr_eq(&a, &b));
         assert!(!a.is_persistent());
+    }
+
+    #[test]
+    fn store_root_reopens_persistent_repositories() {
+        let tmp = qurator_rdf::storage::test_support::TempDir::new("catalog");
+        let item = Term::iri("urn:lsid:t:h:1");
+        {
+            let c = catalog();
+            assert_eq!(c.set_store_root(tmp.path()).unwrap(), Vec::<String>::new());
+            let archive = c.create("archive", true).unwrap();
+            let cache = c.create("cache", false).unwrap();
+            assert_eq!(archive.backend_name(), "disk");
+            assert_eq!(cache.backend_name(), "memory", "caches stay in memory");
+            archive.annotate(&item, &q::iri("HitRatio"), 0.9.into()).unwrap();
+            c.flush_all().unwrap();
+        }
+        // A fresh catalog pointed at the same root sees the archive again.
+        let c = catalog();
+        let reopened = c.set_store_root(tmp.path()).unwrap();
+        assert_eq!(reopened, vec!["archive".to_string()]);
+        let archive = c.require("archive").unwrap();
+        assert!(archive.is_persistent());
+        assert_eq!(
+            archive.lookup(&item, &q::iri("HitRatio")).unwrap(),
+            crate::EvidenceValue::Number(0.9)
+        );
+    }
+
+    #[test]
+    fn store_root_fails_fast_on_locked_store() {
+        let tmp = qurator_rdf::storage::test_support::TempDir::new("catalog-lock");
+        let first = catalog();
+        first.set_store_root(tmp.path()).unwrap();
+        let _held = first.create("archive", true).unwrap();
+        // Second catalog (same process, live pid in the lock file) must
+        // refuse the root and register nothing.
+        let c = catalog();
+        let err = c.set_store_root(tmp.path()).unwrap_err();
+        assert!(err.to_string().contains("locked"), "err: {err}");
+        assert!(c.store_root().is_none());
+        assert!(c.names().is_empty());
     }
 
     #[test]

@@ -20,14 +20,20 @@ use parking_lot::RwLock;
 use qurator_ontology::iq::{vocab, IqModel};
 use qurator_rdf::namespace::{rdf, PrefixMap};
 use qurator_rdf::sparql::{self, PreparedQuery};
-use qurator_rdf::store::GraphStore;
+use qurator_rdf::storage::{DiskBackend, MemoryBackend, Storage};
 use qurator_rdf::term::{Iri, Term};
 use qurator_rdf::triple::{Triple, TriplePattern};
 use qurator_telemetry::{Counter, Histogram};
 use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Maps storage-layer failures into the annotation error space.
+fn rdf_err(e: qurator_rdf::RdfError) -> AnnotationError {
+    AnnotationError::Rdf(e.to_string())
+}
 
 fn lookup_count() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
@@ -102,24 +108,86 @@ pub struct AnnotationRepository {
     name: String,
     persistent: bool,
     iq: Arc<IqModel>,
-    store: RwLock<GraphStore>,
+    store: RwLock<Box<dyn Storage>>,
     lookup_mode: LookupMode,
     blank_counter: AtomicU64,
 }
 
 impl AnnotationRepository {
-    /// Creates a repository. `persistent = false` marks a per-execution
-    /// cache whose contents are dropped by
+    /// Creates an in-memory repository. `persistent = false` marks a
+    /// per-execution cache whose contents are dropped by
     /// [`AnnotationRepository::clear`] between process executions (§4).
     pub fn new(name: impl Into<String>, persistent: bool, iq: Arc<IqModel>) -> Self {
         AnnotationRepository {
             name: name.into(),
             persistent,
             iq,
-            store: RwLock::new(GraphStore::new()),
+            store: RwLock::new(Box::new(MemoryBackend::new())),
             lookup_mode: LookupMode::default(),
             blank_counter: AtomicU64::new(0),
         }
+    }
+
+    /// Opens (creating if absent) a disk-backed repository rooted at `dir`.
+    ///
+    /// Because storage ids are stable across reopen, evidence-node blank
+    /// labels minted by earlier process lifetimes are still present; the
+    /// blank counter restarts past the highest `{name}-e<n>` label found so
+    /// a restarted `qv serve` never reuses an evidence node.
+    pub fn open_disk(
+        name: impl Into<String>,
+        persistent: bool,
+        iq: Arc<IqModel>,
+        dir: impl Into<PathBuf>,
+    ) -> Result<Self> {
+        let name = name.into();
+        let store = DiskBackend::open(dir).map_err(rdf_err)?;
+        let prefix = format!("{name}-e");
+        let mut next = 0u64;
+        for id in 0..store.term_count() as u32 {
+            if let Some(Term::Blank(node)) = store.try_term_at(id) {
+                if let Some(n) =
+                    node.label().strip_prefix(&prefix).and_then(|rest| rest.parse::<u64>().ok())
+                {
+                    next = next.max(n + 1);
+                }
+            }
+        }
+        Ok(AnnotationRepository {
+            name,
+            persistent,
+            iq,
+            store: RwLock::new(Box::new(store)),
+            lookup_mode: LookupMode::default(),
+            blank_counter: AtomicU64::new(next),
+        })
+    }
+
+    /// Durability barrier: group-commits everything written so far. A no-op
+    /// for in-memory repositories.
+    pub fn flush(&self) -> Result<()> {
+        self.store.write().flush().map_err(rdf_err)
+    }
+
+    /// Folds the journal into the base segment (disk backends); a no-op in
+    /// memory.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.store.write().checkpoint().map_err(rdf_err)
+    }
+
+    /// Which storage backend answers this repository's lookups.
+    pub fn backend_name(&self) -> &'static str {
+        self.store.read().backend_name()
+    }
+
+    /// The on-disk store directory, if this repository is disk-backed.
+    pub fn store_path(&self) -> Option<PathBuf> {
+        self.store.read().path().map(Path::to_path_buf)
+    }
+
+    /// Number of interned terms (diagnostics).
+    pub fn term_count(&self) -> usize {
+        self.store.read().term_count()
     }
 
     /// Switches the lookup implementation (E3 ablation).
@@ -203,9 +271,11 @@ impl AnnotationRepository {
             self.name,
             self.blank_counter.fetch_add(1, Ordering::Relaxed)
         ));
-        store.insert(Triple::new(item.clone(), contains.clone(), node.clone()));
-        store.insert(Triple::new(node.clone(), a, Term::Iri(evidence_type.clone())));
-        store.insert(Triple::new(node, value_prop, value_term));
+        store.insert(Triple::new(item.clone(), contains.clone(), node.clone())).map_err(rdf_err)?;
+        store
+            .insert(Triple::new(node.clone(), a, Term::Iri(evidence_type.clone())))
+            .map_err(rdf_err)?;
+        store.insert(Triple::new(node, value_prop, value_term)).map_err(rdf_err)?;
         annotate_count().inc();
         Ok(())
     }
@@ -217,11 +287,10 @@ impl AnnotationRepository {
                 "<{entity_type}> is not a DataEntity class"
             )));
         }
-        self.store.write().insert(Triple::new(
-            item.clone(),
-            Term::iri(rdf::TYPE),
-            Term::Iri(entity_type.clone()),
-        ));
+        self.store
+            .write()
+            .insert(Triple::new(item.clone(), Term::iri(rdf::TYPE), Term::Iri(entity_type.clone())))
+            .map_err(rdf_err)?;
         Ok(())
     }
 
@@ -271,7 +340,7 @@ impl AnnotationRepository {
         );
         let store = self.store.read();
         let rows =
-            sparql::select(&store, &query).map_err(|e| AnnotationError::Rdf(e.to_string()))?;
+            sparql::select(&**store, &query).map_err(|e| AnnotationError::Rdf(e.to_string()))?;
         Ok(rows
             .first()
             .and_then(|r| r.get("v"))
@@ -288,7 +357,10 @@ impl AnnotationRepository {
         }
         let store = self.store.read();
         let rows = lookup_query()
-            .select(&store, &[("item", item.clone()), ("etype", Term::Iri(evidence_type.clone()))])
+            .select(
+                &**store,
+                &[("item", item.clone()), ("etype", Term::Iri(evidence_type.clone()))],
+            )
             .map_err(|e| AnnotationError::Rdf(e.to_string()))?;
         Ok(rows
             .first()
@@ -451,7 +523,14 @@ impl AnnotationRepository {
             for (evidence_type, type_id) in evidence_types.iter().zip(&type_ids) {
                 let Some(type_id) = type_id else { continue };
                 if let Some(&value_id) = decided.get(&(*item_id, *type_id)) {
-                    let value = EvidenceValue::from_term(store.term_at(value_id));
+                    // Trust boundary: on a disk backend `value_id` came off a
+                    // segment file, so decode fallibly instead of panicking.
+                    let value_term = store.try_term_at(value_id).ok_or_else(|| {
+                        AnnotationError::Rdf(format!(
+                            "corrupt store: evidence value id {value_id} has no term"
+                        ))
+                    })?;
+                    let value = EvidenceValue::from_term(&value_term);
                     if !value.is_null() {
                         row.insert_evidence(evidence_type.clone(), value);
                     }
@@ -485,7 +564,8 @@ impl AnnotationRepository {
 
     /// Serializes the annotation graph as Turtle (persistence format).
     pub fn export_turtle(&self) -> String {
-        qurator_rdf::turtle::serialize(&self.store.read(), &PrefixMap::with_defaults())
+        let store = self.store.read();
+        qurator_rdf::turtle::serialize(&**store, &PrefixMap::with_defaults())
     }
 
     /// Loads annotations from Turtle produced by [`Self::export_turtle`]
@@ -494,13 +574,13 @@ impl AnnotationRepository {
         let (triples, _) =
             qurator_rdf::turtle::parse(text).map_err(|e| AnnotationError::Rdf(e.to_string()))?;
         let mut store = self.store.write();
-        Ok(store.extend(triples))
+        store.insert_all(&mut triples.into_iter()).map_err(rdf_err)
     }
 
     /// Runs an arbitrary SPARQL SELECT against the annotation graph.
     pub fn query(&self, query: &str) -> Result<Vec<sparql::Row>> {
         let store = self.store.read();
-        sparql::select(&store, query).map_err(|e| AnnotationError::Rdf(e.to_string()))
+        sparql::select(&**store, query).map_err(|e| AnnotationError::Rdf(e.to_string()))
     }
 }
 
@@ -509,6 +589,7 @@ impl std::fmt::Debug for AnnotationRepository {
         f.debug_struct("AnnotationRepository")
             .field("name", &self.name)
             .field("persistent", &self.persistent)
+            .field("backend", &self.backend_name())
             .field("triples", &self.triple_count())
             .finish()
     }
@@ -666,6 +747,38 @@ mod tests {
             r.lookup(&item(307), &q::iri("HitRatio")).unwrap(),
             EvidenceValue::Number(307.0)
         );
+    }
+
+    #[test]
+    fn disk_repository_survives_reopen_without_blank_collision() {
+        let tmp = qurator_rdf::storage::test_support::TempDir::new("annrepo");
+        let iq = Arc::new(IqModel::with_proteomics_extension().unwrap());
+        let r = AnnotationRepository::open_disk("archive", true, iq.clone(), tmp.path()).unwrap();
+        assert_eq!(r.backend_name(), "disk");
+        assert_eq!(r.store_path().as_deref(), Some(tmp.path()));
+        r.annotate(&item(1), &q::iri("HitRatio"), 0.25.into()).unwrap();
+        r.annotate(&item(2), &q::iri("MassCoverage"), 42.into()).unwrap();
+        r.flush().unwrap();
+        drop(r);
+
+        let r = AnnotationRepository::open_disk("archive", true, iq, tmp.path()).unwrap();
+        assert_eq!(r.triple_count(), 6);
+        assert_eq!(r.lookup(&item(1), &q::iri("HitRatio")).unwrap(), EvidenceValue::Number(0.25));
+        // The blank counter restarted past the surviving evidence labels, so
+        // a new annotation must not clobber an old node: overwrite semantics
+        // stay per-(item, type).
+        r.annotate(&item(3), &q::iri("HitRatio"), 0.75.into()).unwrap();
+        assert_eq!(r.triple_count(), 9);
+        assert_eq!(r.lookup(&item(1), &q::iri("HitRatio")).unwrap(), EvidenceValue::Number(0.25));
+        assert_eq!(r.lookup(&item(3), &q::iri("HitRatio")).unwrap(), EvidenceValue::Number(0.75));
+        assert_eq!(
+            r.lookup(&item(2), &q::iri("MassCoverage")).unwrap(),
+            EvidenceValue::Number(42.0)
+        );
+        // Replacement still works across the restart boundary.
+        r.annotate(&item(1), &q::iri("HitRatio"), 0.5.into()).unwrap();
+        assert_eq!(r.triple_count(), 9);
+        assert_eq!(r.lookup(&item(1), &q::iri("HitRatio")).unwrap(), EvidenceValue::Number(0.5));
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Storage bench: bulk-load throughput and disk-vs-memory enrichment.
+//!
+//! The persistent-store PR's acceptance numbers live here. Two phases:
+//!
+//! 1. **Bulk load** — stream a generated Turtle corpus (default 120k
+//!    triples, ≥10⁵ per the acceptance bar) through
+//!    `qurator_rdf::storage::BulkLoader` and record triples/second plus
+//!    the process peak RSS (`VmHWM`), pinning the bounded-memory claim.
+//! 2. **Enrichment** — build the same annotation workload (items × three
+//!    evidence types, three triples per annotation) in an in-memory
+//!    repository and an on-disk repository, then time
+//!    `enrich_bulk` on both. The headline metric is
+//!    `enrich_disk_over_memory`: the acceptance bar is ≤ 2.0.
+//!
+//! Writes `BENCH_store.json` (validated by `qv bench-check`).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin store_bench -- \
+//!     [--triples N] [--items N] [--iters N]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::results::{quantile, BenchResult};
+use qurator_annotations::AnnotationRepository;
+use qurator_ontology::iq::IqModel;
+use qurator_rdf::namespace::q;
+use qurator_rdf::storage::test_support::TempDir;
+use qurator_rdf::storage::BulkLoader;
+use qurator_rdf::term::{Iri, Term};
+
+struct Args {
+    triples: usize,
+    items: usize,
+    iters: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { triples: 120_000, items: 12_000, iters: 5 };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = || -> usize {
+            argv.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{} needs a number", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--triples" => args.triples = value().max(1),
+            "--items" => args.items = value().max(1),
+            "--iters" => args.iters = value().max(1),
+            other => panic!("unknown flag {other:?}"),
+        }
+        i += 2;
+    }
+    args
+}
+
+/// Peak resident set size in MiB from `/proc/self/status` (0 where
+/// unavailable — the metric is advisory off Linux).
+fn peak_rss_mib() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0.0 };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse::<f64>().ok())
+        .map(|kb| kb / 1024.0)
+        .unwrap_or(0.0)
+}
+
+/// A deterministic Turtle corpus of `n` triples: protein hits with
+/// numeric evidence, the same shape `qv load` ingests in CI.
+fn turtle_corpus(n: usize) -> String {
+    let mut out = String::with_capacity(n * 64);
+    out.push_str("@prefix q: <http://qurator.org/iq#> .\n");
+    out.push_str("@prefix hit: <urn:lsid:bench:hit:> .\n");
+    let mut written = 0usize;
+    let mut item = 0usize;
+    while written < n {
+        let jitter = bench::lcg(item as u64);
+        out.push_str(&format!(
+            "hit:H{item:06} q:hitRatio {:.3} .\n",
+            (jitter % 1000) as f64 / 1000.0
+        ));
+        written += 1;
+        if written < n {
+            out.push_str(&format!("hit:H{item:06} q:massCoverage {} .\n", jitter % 60));
+            written += 1;
+        }
+        if written < n {
+            out.push_str(&format!("hit:H{item:06} q:peptidesCount {} .\n", jitter % 20));
+            written += 1;
+        }
+        item += 1;
+    }
+    out
+}
+
+/// Annotates `items` items with three numeric evidence types each
+/// (three triples per annotation — ≥10⁵ triples at the default size).
+fn populate(repo: &AnnotationRepository, items: &[Term], evidence: &[Iri]) {
+    for (index, item) in items.iter().enumerate() {
+        let jitter = bench::lcg(index as u64);
+        repo.annotate(item, &evidence[0], ((jitter % 1000) as f64 / 1000.0).into())
+            .expect("annotate");
+        repo.annotate(item, &evidence[1], ((jitter % 60) as f64).into()).expect("annotate");
+        repo.annotate(item, &evidence[2], ((jitter % 20) as f64).into()).expect("annotate");
+    }
+    repo.flush().expect("flush");
+}
+
+fn time_enrich(
+    repo: &AnnotationRepository,
+    items: &[Term],
+    evidence: &[Iri],
+    iters: usize,
+) -> Vec<f64> {
+    (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            let map = repo.enrich_bulk(items, evidence).expect("enrich_bulk");
+            assert_eq!(map.len(), items.len(), "enrichment dropped items");
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let iq = Arc::new(IqModel::with_proteomics_extension().expect("iq model"));
+
+    // Phase 1: bulk load.
+    let corpus = turtle_corpus(args.triples);
+    let load_dir = TempDir::new("store-bench-load");
+    let start = Instant::now();
+    let stats = BulkLoader::new(load_dir.join("archive")).load_turtle(&corpus).expect("bulk load");
+    let load_secs = start.elapsed().as_secs_f64();
+    let load_rate = stats.triples_read as f64 / load_secs;
+    let load_rss = peak_rss_mib();
+    println!(
+        "bulk load: {} triples in {load_secs:.3}s ({load_rate:.0} triples/s), \
+         {} terms, {} runs, peak RSS {load_rss:.1} MiB",
+        stats.triples_read, stats.terms, stats.runs
+    );
+
+    // Phase 2: enrich_bulk, memory vs disk over the same annotations.
+    let items: Vec<Term> =
+        (0..args.items).map(|i| Term::iri(format!("urn:lsid:bench:hit:H{i:06}"))).collect();
+    let evidence = [q::iri("HitRatio"), q::iri("MassCoverage"), q::iri("PeptidesCount")];
+
+    let memory = AnnotationRepository::new("bench", true, iq.clone());
+    populate(&memory, &items, &evidence);
+    let enrich_dir = TempDir::new("store-bench-enrich");
+    let disk = AnnotationRepository::open_disk("bench", true, iq, enrich_dir.join("bench"))
+        .expect("open disk repository");
+    populate(&disk, &items, &evidence);
+    assert_eq!(memory.triple_count(), disk.triple_count(), "backends diverged while populating");
+    println!(
+        "enrich workload: {} items, {} triples per backend",
+        args.items,
+        memory.triple_count()
+    );
+
+    let memory_ms = time_enrich(&memory, &items, &evidence, args.iters);
+    let disk_ms = time_enrich(&disk, &items, &evidence, args.iters);
+    let memory_median = quantile(&memory_ms, 0.5);
+    let disk_median = quantile(&disk_ms, 0.5);
+    let ratio = disk_median / memory_median;
+    println!(
+        "enrich_bulk: memory {memory_median:.1} ms, disk {disk_median:.1} ms \
+         (disk/memory = {ratio:.2}, acceptance bar 2.00)"
+    );
+
+    let result = BenchResult::new("store")
+        .config("triples", args.triples)
+        .config("items", args.items)
+        .config("iters", args.iters)
+        .metric("bulk_load_triples_per_s", load_rate)
+        .metric("bulk_load_secs", load_secs)
+        .metric("bulk_load_peak_rss_mib", load_rss)
+        .metric("bulk_load_terms", stats.terms as f64)
+        .metric("store_triples", memory.triple_count() as f64)
+        .metric("enrich_memory_median_ms", memory_median)
+        .metric("enrich_disk_median_ms", disk_median)
+        .metric("enrich_disk_over_memory", ratio)
+        .samples_ms(disk_ms);
+    let path = result.write().expect("write BENCH_store.json");
+    println!("wrote {}", path.display());
+    assert!(ratio <= 2.0, "disk enrich_bulk is {ratio:.2}x memory (bar: 2.0)");
+}

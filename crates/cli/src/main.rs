@@ -21,16 +21,20 @@
 //!             [--spans]                          actions taken (`why(item)`)
 //! qv profile  <view.xml> --data <hits.tsv>       per-plan-node self-time profile;
 //!             [--runs N] [--folded out.txt]      folded stacks for flamegraph tools
+//! qv load     <triples.ttl> --store <dir>        stream a Turtle file into an
+//!             [--repo NAME]                      on-disk annotation store without
+//!                                                materializing the graph in RAM
 //! qv serve    <view.xml>... --addr HOST:PORT     long-lived engine over HTTP:
-//!             [--workers N] [--queue N]          GET /healthz /metrics /drift /slo
-//!             [--keep-alive-max N]               GET /traces/recent /log/recent
-//!             [--read-timeout-ms N]              GET /runs/<id> (correlation bundle)
+//!             [--store <dir>]                    GET /healthz /metrics /drift /slo
+//!             [--workers N] [--queue N]          GET /traces/recent /log/recent
+//!             [--keep-alive-max N]               GET /runs/<id> (correlation bundle)
+//!             [--read-timeout-ms N]              GET /store (storage inventory)
 //!             [--trace-capacity N]               POST /run/<view> with a TSV body
 //!             [--sample-rate F]                  (worker pool + bounded queue;
 //!             [--drift-window N]                 full queue -> 503 + Retry-After;
-//!             [--drift-threshold F]              every run echoes X-QV-Run-Id)
-//!             [--access-log FILE]
-//!             [--slo-p99-ms N] [--slo-availability F]
+//!             [--drift-threshold F]              every run echoes X-QV-Run-Id;
+//!             [--access-log FILE]                with --store, persistent repos
+//!             [--slo-p99-ms N] [--slo-availability F]  survive restarts and crashes)
 //! qv bench-check <BENCH_*.json>                  validate a bench result artifact
 //! qv telemetry-check <trace.jsonl> [metrics.txt] validate exported telemetry files
 //!             [--access-log access.jsonl]
@@ -76,6 +80,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "plan-check" => cmd_plan_check(args.get(1).ok_or_else(usage)?),
         "fmt" => cmd_fmt(args.get(1).ok_or_else(usage)?),
         "run" => cmd_run(args),
+        "load" => cmd_load(args),
         "explain" => cmd_explain(args),
         "profile" => cmd_profile(args),
         "serve" => cmd_serve(args),
@@ -91,7 +96,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  qv validate <view.xml>\n  qv check <view.xml|query.rq> [--format text|json] [--deny warnings] [--fix [--dry-run]]\n  qv compile <view.xml> [--dot]\n  qv plan <view.xml> [--no-opt] [--format text|json]\n  qv plan-check <plan.json>\n  qv fmt <view.xml>\n  qv run <view.xml> --data <hits.tsv> [--group NAME] [--explain] [--trace-out FILE] [--metrics-out FILE] [--profile-out FILE]\n  qv explain <view.xml> --data <hits.tsv> --item <id-or-suffix> [--spans]\n  qv profile <view.xml> --data <hits.tsv> [--runs N] [--folded out.txt]\n  qv serve <view.xml>... --addr HOST:PORT [--workers N] [--queue N] [--keep-alive-max N] [--read-timeout-ms N] [--trace-capacity N] [--sample-rate F] [--drift-window N] [--drift-threshold F] [--access-log FILE] [--slo-p99-ms N] [--slo-availability F]\n  qv telemetry-check <trace.jsonl> [metrics.txt] [--access-log access.jsonl]\n  qv bench-check <BENCH_*.json>\n  qv library <catalog.xml> [--search TEXT]"
+    "usage:\n  qv validate <view.xml>\n  qv check <view.xml|query.rq> [--format text|json] [--deny warnings] [--fix [--dry-run]]\n  qv compile <view.xml> [--dot]\n  qv plan <view.xml> [--no-opt] [--format text|json]\n  qv plan-check <plan.json>\n  qv fmt <view.xml>\n  qv run <view.xml> --data <hits.tsv> [--group NAME] [--explain] [--trace-out FILE] [--metrics-out FILE] [--profile-out FILE]\n  qv load <triples.ttl> --store <dir> [--repo NAME]\n  qv explain <view.xml> --data <hits.tsv> --item <id-or-suffix> [--spans]\n  qv profile <view.xml> --data <hits.tsv> [--runs N] [--folded out.txt]\n  qv serve <view.xml>... --addr HOST:PORT [--store DIR] [--workers N] [--queue N] [--keep-alive-max N] [--read-timeout-ms N] [--trace-capacity N] [--sample-rate F] [--drift-window N] [--drift-threshold F] [--access-log FILE] [--slo-p99-ms N] [--slo-availability F]\n  qv telemetry-check <trace.jsonl> [metrics.txt] [--access-log access.jsonl]\n  qv bench-check <BENCH_*.json>\n  qv library <catalog.xml> [--search TEXT]"
         .to_string()
 }
 
@@ -418,6 +423,42 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `qv load`: bulk-load a Turtle file into an on-disk annotation store.
+/// The loader streams — dictionary + sorted runs on disk — so ingest is
+/// bounded-memory regardless of the input size; `qv serve --store`
+/// reopens the result as the repository named by `--repo`.
+fn cmd_load(args: &[String]) -> Result<(), String> {
+    let data_path = args.get(1).filter(|a| !a.starts_with("--")).ok_or_else(usage)?;
+    let store_dir = flag_value(args, "--store").ok_or("load needs --store <dir>")?;
+    let repo = flag_value(args, "--repo").unwrap_or("archive");
+    if repo.is_empty() || repo.contains(['/', '\\']) || repo == "." || repo == ".." {
+        return Err(format!("--repo {repo:?} is not a valid repository name"));
+    }
+
+    let text = read_file(data_path)?;
+    let target = std::path::Path::new(store_dir).join(repo);
+    let started = std::time::Instant::now();
+    let stats = qurator_rdf::storage::BulkLoader::new(&target)
+        .load_turtle(&text)
+        .map_err(|e| format!("loading {data_path:?} into {}: {e}", target.display()))?;
+    let elapsed = started.elapsed();
+    let secs = elapsed.as_secs_f64();
+    println!("loaded {data_path:?} into {} (repository {repo:?})", target.display());
+    println!(
+        "  {} triple(s) read, {} stored ({} duplicate(s) dropped)",
+        stats.triples_read,
+        stats.triples_stored,
+        stats.triples_read - stats.triples_stored
+    );
+    println!("  {} term(s) interned, {} sorted run(s) merged", stats.terms, stats.runs);
+    println!(
+        "  {:.3}s ({:.0} triples/s)",
+        secs,
+        if secs > 0.0 { stats.triples_read as f64 / secs } else { 0.0 }
+    );
+    Ok(())
+}
+
 /// The SIGTERM/SIGINT flag `qv serve`'s accept loop polls.
 static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
@@ -452,6 +493,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut options = serve::ServeOptions::default();
     let mut view_paths: Vec<&str> = Vec::new();
     let mut addr = "127.0.0.1:7878";
+    let mut store_dir: Option<&str> = None;
     let mut i = 1;
     while i < args.len() {
         let flag_arg = |name: &str| -> Result<&str, String> {
@@ -460,6 +502,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         match args[i].as_str() {
             "--addr" => {
                 addr = flag_arg("--addr")?;
+                i += 2;
+            }
+            "--store" => {
+                store_dir = Some(flag_arg("--store")?);
                 i += 2;
             }
             "--workers" => {
@@ -557,6 +603,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
 
     let engine = stock_engine()?;
+    // Fail fast — before binding the socket — when the store directory is
+    // locked by another process or holds a corrupt store: a server that
+    // silently started empty would shadow the persisted annotations.
+    if let Some(dir) = store_dir {
+        let reopened = engine.set_store_root(dir).map_err(|e| e.to_string())?;
+        match reopened.len() {
+            0 => println!("qv serve: store root {dir} (no existing repositories)"),
+            _ => println!("qv serve: store root {dir} (reopened: {})", reopened.join(", ")),
+        }
+    }
     let mut views = Vec::new();
     for path in view_paths {
         let spec = load_view(path)?;

@@ -266,6 +266,7 @@ pub fn route_label(path: &str) -> &'static str {
         "/drift" => "/drift",
         "/log/recent" => "/log/recent",
         "/slo" => "/slo",
+        "/store" => "/store",
         _ if path.starts_with("/run/") => "/run",
         _ if path.starts_with("/runs/") => "/runs",
         _ => "other",
@@ -348,11 +349,13 @@ fn route_inner(
         ("GET", "/slo") => {
             Response::json(200, state.slo.to_json(qurator_telemetry::metrics(), now_ms()))
         }
+        ("GET", "/store") => Response::json(200, store_json(state)),
         ("GET", runs) if runs.starts_with("/runs/") => run_bundle(state, &runs["/runs/".len()..]),
         ("POST", run) if run.starts_with("/run/") => run_view(state, &run["/run/".len()..], body),
         (
             _,
-            "/" | "/healthz" | "/metrics" | "/traces/recent" | "/drift" | "/log/recent" | "/slo",
+            "/" | "/healthz" | "/metrics" | "/traces/recent" | "/drift" | "/log/recent" | "/slo"
+            | "/store",
         ) => Response::error(405, &format!("{method} not allowed here")),
         (_, run) if run.starts_with("/run/") => Response::error(405, "use POST with a TSV body"),
         (_, runs) if runs.starts_with("/runs/") => {
@@ -440,9 +443,36 @@ fn index_json(state: &ServeState) -> String {
     let views: Vec<String> =
         state.view_names().iter().map(|v| format!("\"{}\"", escape(v))).collect();
     format!(
-        "{{\"service\":\"qv serve\",\"views\":[{}],\"endpoints\":[\"GET /healthz\",\"GET /metrics\",\"GET /traces/recent\",\"GET /drift\",\"GET /runs/<id>\",\"GET /log/recent\",\"GET /slo\",\"POST /run/<view>\"]}}",
+        "{{\"service\":\"qv serve\",\"views\":[{}],\"endpoints\":[\"GET /healthz\",\"GET /metrics\",\"GET /traces/recent\",\"GET /drift\",\"GET /runs/<id>\",\"GET /log/recent\",\"GET /slo\",\"GET /store\",\"POST /run/<view>\"]}}",
         views.join(",")
     )
+}
+
+/// `GET /store`: the storage inventory — which backend answers each
+/// repository and how much it holds. The restart-survival CI job diffs
+/// this across a SIGTERM to prove annotations persisted.
+fn store_json(state: &ServeState) -> String {
+    let catalog = state.engine.catalog();
+    let root = match catalog.store_root() {
+        Some(path) => format!("\"{}\"", escape(&path.display().to_string())),
+        None => "null".to_string(),
+    };
+    let repos: Vec<String> = catalog
+        .names()
+        .iter()
+        .filter_map(|name| {
+            let repo = catalog.get(name)?;
+            Some(format!(
+                "{{\"name\":\"{}\",\"persistent\":{},\"backend\":\"{}\",\"triples\":{},\"terms\":{}}}",
+                escape(name),
+                repo.is_persistent(),
+                repo.backend_name(),
+                repo.triple_count(),
+                repo.term_count()
+            ))
+        })
+        .collect();
+    format!("{{\"store_root\":{root},\"repositories\":[{}]}}", repos.join(","))
 }
 
 /// `POST /run/<view>`: parse the TSV body, mint a [`RunId`], enact the
@@ -471,6 +501,15 @@ fn run_view(state: &ServeState, view: &str, body: &str) -> Response {
             return response;
         }
     };
+    // Durability barrier before acknowledging: disk-backed repositories
+    // group-commit their journal here, so a crash right after this
+    // response cannot lose the run's annotations.
+    if let Err(e) = state.engine.flush_stores() {
+        let mut response =
+            Response::error(500, &format!("run executed but the store flush failed: {e}"));
+        response.run_id = Some(run);
+        return response;
+    }
     let mut rejected = 0usize;
     for action in &spec.actions {
         if matches!(action.kind, ActionKind::Filter { .. }) {
@@ -1079,6 +1118,71 @@ urn:lsid:t:h:bad\t0.1\t3\t1\n";
         assert_eq!(route(&state, "POST", "/runs/0011223344556677", "").status, 405);
         assert_eq!(route(&state, "POST", "/run/missing", DATA).status, 404);
         assert_eq!(route(&state, "POST", "/run/serve-test", "not a tsv").status, 400);
+    }
+
+    #[test]
+    fn store_endpoint_reports_backends() {
+        let state = state();
+        assert_eq!(route(&state, "POST", "/store", "").status, 405);
+
+        // Before any run: no store root, no repositories yet.
+        let r = route(&state, "GET", "/store", "");
+        assert_eq!(r.status, 200, "{}", r.body);
+        let value = json::parse(&r.body).unwrap();
+        assert!(value.get("store_root").unwrap().is_null());
+        assert_eq!(value.get("repositories").and_then(|v| v.as_array()).unwrap().len(), 0);
+
+        // A run creates the view's cache repository lazily; it shows up
+        // as a memory backend.
+        assert_eq!(route(&state, "POST", "/run/serve-test", DATA).status, 200);
+        let r = route(&state, "GET", "/store", "");
+        let value = json::parse(&r.body).unwrap();
+        let repos = value.get("repositories").and_then(|v| v.as_array()).unwrap();
+        let cache = repos
+            .iter()
+            .find(|r| r.get("name").and_then(|v| v.as_str()) == Some("cache"))
+            .expect("cache repository listed");
+        assert_eq!(cache.get("backend").and_then(|v| v.as_str()), Some("memory"));
+        assert_eq!(cache.get("persistent").and_then(|v| v.as_bool()), Some(false));
+    }
+
+    #[test]
+    fn store_endpoint_reports_disk_backend_under_a_store_root() {
+        let tmp = qurator_rdf::storage::test_support::TempDir::new("serve-store");
+        let engine = QualityEngine::with_proteomics_defaults().unwrap();
+        engine.set_store_root(tmp.path()).unwrap();
+        let view = VIEW
+            .replace(
+                "repositoryRef=\"cache\" persistent=\"false\"",
+                "repositoryRef=\"archive\" persistent=\"true\"",
+            )
+            .replace("repositoryRef=\"cache\"", "repositoryRef=\"archive\"");
+        let spec = qurator::xmlio::parse_quality_view(&view).unwrap();
+        let state = ServeState::new(
+            engine,
+            vec![spec],
+            &TelemetryConfig::default(),
+            ServeOptions::default(),
+        )
+        .unwrap();
+
+        // The run's annotations land on disk and are flushed before the
+        // 200 is acknowledged.
+        assert_eq!(route(&state, "POST", "/run/serve-test", DATA).status, 200);
+        let r = route(&state, "GET", "/store", "");
+        let value = json::parse(&r.body).unwrap();
+        assert_eq!(
+            value.get("store_root").and_then(|v| v.as_str()),
+            Some(tmp.path().to_str().unwrap())
+        );
+        let repos = value.get("repositories").and_then(|v| v.as_array()).unwrap();
+        let archive = repos
+            .iter()
+            .find(|r| r.get("name").and_then(|v| v.as_str()) == Some("archive"))
+            .expect("archive repository listed");
+        assert_eq!(archive.get("backend").and_then(|v| v.as_str()), Some("disk"));
+        assert_eq!(archive.get("persistent").and_then(|v| v.as_bool()), Some(true));
+        assert!(archive.get("triples").and_then(|v| v.as_f64()).unwrap() > 0.0);
     }
 
     /// Satellite regression: a scanner probing arbitrary paths must not

@@ -240,6 +240,51 @@ fn serve_answers_http_and_shuts_down_cleanly_on_sigterm() {
     assert!(status.success(), "serve exited {status:?} after SIGTERM");
 }
 
+/// `qv load` streams a Turtle file into an on-disk store that the
+/// storage layer can reopen; a second load into the same directory is
+/// refused rather than silently merged.
+#[test]
+fn load_builds_a_reopenable_store() {
+    let turtle = "\
+@prefix ex: <http://example.org/> .\n\
+ex:a ex:p ex:b .\n\
+ex:a ex:p \"dup\" .\n\
+ex:a ex:p \"dup\" .\n\
+ex:b ex:q 42 .\n";
+    let ttl = write_temp("load.ttl", turtle);
+    let store = std::env::temp_dir().join(format!("qv-cli-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let store_dir = store.to_str().unwrap();
+
+    let (ok, stdout, stderr) = qv(&["load", ttl.to_str().unwrap(), "--store", store_dir]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("4 triple(s) read, 3 stored (1 duplicate(s) dropped)"), "{stdout}");
+    assert!(stdout.contains("repository \"archive\""), "{stdout}");
+
+    // The store reopens with exactly the loaded triples.
+    {
+        use qurator_rdf::storage::{DiskBackend, Storage as _};
+        let backend = DiskBackend::open(store.join("archive")).expect("reopen loaded store");
+        assert_eq!(backend.len(), 3);
+    }
+
+    // Refused: the target repository already holds data.
+    let (ok, _, stderr) = qv(&["load", ttl.to_str().unwrap(), "--store", store_dir]);
+    assert!(!ok);
+    assert!(stderr.contains("already exists"), "{stderr}");
+
+    // Flag validation: --store is mandatory, --repo must be a plain name.
+    let (ok, _, stderr) = qv(&["load", ttl.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("--store"), "{stderr}");
+    let (ok, _, stderr) =
+        qv(&["load", ttl.to_str().unwrap(), "--store", store_dir, "--repo", "../evil"]);
+    assert!(!ok);
+    assert!(stderr.contains("repository name"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&store);
+}
+
 #[test]
 fn usage_on_bad_invocations() {
     let (ok, _, stderr) = qv(&[]);

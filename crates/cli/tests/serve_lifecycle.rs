@@ -17,27 +17,35 @@ fn sample(path: &str) -> String {
 }
 
 /// Starts `qv serve` on an ephemeral port, returning the child, the
-/// bound address parsed from the startup line, and the still-open
+/// bound address parsed from the startup banner, and the still-open
 /// stdout reader (dropping it would break the server's shutdown print).
-fn spawn_serve(extra: &[&str]) -> (Child, String, BufReader<std::process::ChildStdout>) {
+/// With `--store` the banner is two lines (store root, then listening),
+/// so this scans until the `http://` line.
+fn spawn_serve_view(
+    view: &str,
+    extra: &[&str],
+) -> (Child, String, BufReader<std::process::ChildStdout>) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_qv"))
         .arg("serve")
-        .arg(sample("paper_view.xml"))
+        .arg(sample(view))
         .args(["--addr", "127.0.0.1:0"])
         .args(extra)
         .stdout(Stdio::piped())
         .spawn()
         .expect("spawn qv serve");
     let mut reader = BufReader::new(child.stdout.take().expect("stdout"));
-    let mut line = String::new();
-    reader.read_line(&mut line).expect("startup line");
-    let addr = line
-        .split("http://")
-        .nth(1)
-        .and_then(|rest| rest.split([' ', '/']).next())
-        .unwrap_or_else(|| panic!("no address in {line:?}"))
-        .to_string();
+    let addr = loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("startup line") > 0, "EOF before banner");
+        if let Some(rest) = line.split("http://").nth(1) {
+            break rest.split([' ', '/']).next().expect("address").to_string();
+        }
+    };
     (child, addr, reader)
+}
+
+fn spawn_serve(extra: &[&str]) -> (Child, String, BufReader<std::process::ChildStdout>) {
+    spawn_serve_view("paper_view.xml", extra)
 }
 
 fn sigterm(child: &Child) {
@@ -235,6 +243,140 @@ fn run_id_correlates_request_trace_ledger_and_access_log() {
     assert!(qurator_telemetry::schema::validate_access_log_jsonl(&sink).unwrap() >= 1, "{sink}");
     assert!(sink.contains(&format!("\"run_id\":\"{run_id}\"")), "{sink}");
     let _ = std::fs::remove_file(&log_path);
+}
+
+/// One HTTP exchange against the live binary; returns (status line, body).
+fn exchange(addr: &str, request: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    read_response(&mut stream)
+}
+
+fn post_archive_run(addr: &str) -> (String, String) {
+    let tsv = std::fs::read_to_string(sample("hits.tsv")).expect("hits.tsv");
+    exchange(
+        addr,
+        &format!(
+            "POST /run/archived-hit-quality HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{tsv}",
+            tsv.len()
+        ),
+    )
+}
+
+/// The archive repository's triple count as reported by `GET /store`.
+fn archive_triples(addr: &str) -> f64 {
+    let (status, body) =
+        exchange(addr, "GET /store HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+    assert!(status.contains("200"), "{status}: {body}");
+    let value = qurator_telemetry::json::parse(&body).expect("store json");
+    let repos = value.get("repositories").and_then(|v| v.as_array()).expect("repositories");
+    let archive = repos
+        .iter()
+        .find(|r| r.get("name").and_then(|v| v.as_str()) == Some("archive"))
+        .unwrap_or_else(|| panic!("no archive repository in {body}"));
+    assert_eq!(archive.get("backend").and_then(|v| v.as_str()), Some("disk"), "{body}");
+    archive.get("triples").and_then(|v| v.as_f64()).expect("triples")
+}
+
+/// The tentpole acceptance pin: annotations written through `qv serve
+/// --store` survive a SIGTERM restart — the reopened store serves the
+/// same triples without re-running the view.
+#[test]
+fn annotations_survive_a_sigterm_restart() {
+    let store = qurator_rdf::storage::test_support::TempDir::new("serve-restart");
+    let store_dir = store.path().to_str().unwrap().to_string();
+
+    let (child, addr, _stdout) =
+        spawn_serve_view("persistent_archive.xml", &["--store", &store_dir]);
+    let (status, body) = post_archive_run(&addr);
+    assert!(status.contains("200"), "{status}: {body}");
+    let triples = archive_triples(&addr);
+    assert!(triples > 0.0, "run stored no annotations");
+    sigterm(&child);
+    assert!(wait_exit(child), "expected exit 0 after SIGTERM");
+
+    // Restart over the same directory: the archive is reopened as-is.
+    let (child, addr, _stdout) =
+        spawn_serve_view("persistent_archive.xml", &["--store", &store_dir]);
+    assert_eq!(archive_triples(&addr), triples, "annotations lost across restart");
+    sigterm(&child);
+    assert!(wait_exit(child));
+}
+
+/// Crash-safety: a run acknowledged with 200 is flushed before the ack,
+/// so even SIGKILL — no drain, no Drop — loses nothing, and the stale
+/// lock left behind by the dead process is stolen on restart.
+#[test]
+fn annotations_survive_a_hard_kill() {
+    let store = qurator_rdf::storage::test_support::TempDir::new("serve-kill");
+    let store_dir = store.path().to_str().unwrap().to_string();
+
+    let (mut child, addr, _stdout) =
+        spawn_serve_view("persistent_archive.xml", &["--store", &store_dir]);
+    let (status, body) = post_archive_run(&addr);
+    assert!(status.contains("200"), "{status}: {body}");
+    let triples = archive_triples(&addr);
+    assert!(triples > 0.0);
+    let status =
+        Command::new("kill").args(["-KILL", &child.id().to_string()]).status().expect("run kill");
+    assert!(status.success());
+    child.wait().expect("reap killed child");
+    assert!(store.path().join("archive").join("LOCK").exists(), "SIGKILL skips Drop");
+
+    let (child, addr, _stdout) =
+        spawn_serve_view("persistent_archive.xml", &["--store", &store_dir]);
+    assert_eq!(archive_triples(&addr), triples, "acknowledged annotations lost by SIGKILL");
+    sigterm(&child);
+    assert!(wait_exit(child));
+}
+
+/// Satellite regression: a second server on the same live store directory
+/// must refuse to start (exit nonzero, "locked" on stderr) rather than
+/// panic or silently serve an empty store.
+#[test]
+fn serve_fails_fast_on_a_locked_store() {
+    let store = qurator_rdf::storage::test_support::TempDir::new("serve-locked");
+    let store_dir = store.path().to_str().unwrap().to_string();
+
+    let (child, addr, _stdout) =
+        spawn_serve_view("persistent_archive.xml", &["--store", &store_dir]);
+    // Materialize the archive on disk so the second server tries to open it.
+    let (status, body) = post_archive_run(&addr);
+    assert!(status.contains("200"), "{status}: {body}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_qv"))
+        .args(["serve", &sample("persistent_archive.xml")])
+        .args(["--addr", "127.0.0.1:0", "--store", &store_dir])
+        .output()
+        .expect("run second qv serve");
+    assert!(!out.status.success(), "second server must not start: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("locked"), "{stderr}");
+
+    sigterm(&child);
+    assert!(wait_exit(child));
+}
+
+/// Satellite regression: a corrupt store directory is a clear startup
+/// error, not a panic and not an empty store shadowing the real one.
+#[test]
+fn serve_fails_fast_on_a_corrupt_store() {
+    let store = qurator_rdf::storage::test_support::TempDir::new("serve-corrupt");
+    let archive = store.path().join("archive");
+    std::fs::create_dir_all(&archive).unwrap();
+    std::fs::write(archive.join("base.seg"), b"this is not a qv segment file").unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_qv"))
+        .args(["serve", &sample("persistent_archive.xml")])
+        .args(["--addr", "127.0.0.1:0", "--store", store.path().to_str().unwrap()])
+        .output()
+        .expect("run qv serve");
+    assert!(!out.status.success(), "corrupt store must abort startup: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("corrupt store"), "{stderr}");
+    assert!(stderr.contains("bad magic"), "{stderr}");
 }
 
 #[test]

@@ -151,6 +151,21 @@ impl QualityEngine {
         &self.catalog
     }
 
+    /// Roots persistent repositories at `dir` and reopens every store
+    /// already present there (one subdirectory per repository). Returns
+    /// the names of the reopened repositories; fails fast when a store is
+    /// locked by a live process or corrupt.
+    pub fn set_store_root(&self, dir: impl Into<std::path::PathBuf>) -> Result<Vec<String>> {
+        self.catalog.set_store_root(dir).map_err(|e| QuratorError::Execution(e.to_string()))
+    }
+
+    /// Group-commits every repository store (disk-backed repositories
+    /// fsync their journal). Hosts call this before acknowledging a run
+    /// so annotations survive a crash immediately after the response.
+    pub fn flush_stores(&self) -> Result<()> {
+        self.catalog.flush_all().map_err(|e| QuratorError::Execution(e.to_string()))
+    }
+
     /// Projects the repository catalog to the facts the static analyzer
     /// consumes: name, persistence, and the evidence-type inventory of
     /// each bound store (drives the QV024 availability domain).

@@ -39,11 +39,13 @@
 pub mod lsid;
 pub mod namespace;
 pub mod sparql;
+pub mod storage;
 pub mod store;
 pub mod term;
 pub mod triple;
 pub mod turtle;
 
+pub use storage::{DiskBackend, MemoryBackend, Storage};
 pub use store::GraphStore;
 pub use term::{BlankNode, Iri, Literal, Term};
 pub use triple::{Triple, TriplePattern};
@@ -63,6 +65,17 @@ pub enum RdfError {
     BadLsid(String),
     /// A prefixed name used an undeclared prefix.
     UnknownPrefix(String),
+    /// An ill-formed triple (literal subject / non-IRI predicate) reached a
+    /// storage boundary fed by external data.
+    IllFormed(String),
+    /// A storage I/O failure (path and OS error, stringified so the error
+    /// stays `Clone + Eq`).
+    Io(String),
+    /// A persistent store failed an integrity check (bad magic, checksum
+    /// mismatch, dangling term id).
+    Corrupt { path: String, detail: String },
+    /// A persistent store directory is locked by another live process.
+    Locked { path: String, holder: String },
 }
 
 impl std::fmt::Display for RdfError {
@@ -80,6 +93,14 @@ impl std::fmt::Display for RdfError {
             RdfError::SparqlEval(m) => write!(f, "sparql evaluation error: {m}"),
             RdfError::BadLsid(s) => write!(f, "malformed LSID: {s:?}"),
             RdfError::UnknownPrefix(p) => write!(f, "unknown namespace prefix {p:?}"),
+            RdfError::IllFormed(detail) => write!(f, "ill-formed triple: {detail}"),
+            RdfError::Io(detail) => write!(f, "storage i/o error: {detail}"),
+            RdfError::Corrupt { path, detail } => {
+                write!(f, "corrupt store at {path}: {detail}")
+            }
+            RdfError::Locked { path, holder } => {
+                write!(f, "store at {path} is locked by {holder}")
+            }
         }
     }
 }

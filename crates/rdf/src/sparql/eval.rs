@@ -1,4 +1,4 @@
-//! Evaluation of the SPARQL subset over a [`GraphStore`].
+//! Evaluation of the SPARQL subset over any [`Storage`] backend.
 //!
 //! Basic graph patterns are solved by backtracking joins; at each step the
 //! evaluator picks the remaining pattern with the most bound positions under
@@ -7,7 +7,7 @@
 //! rather than full scans.
 
 use super::ast::*;
-use crate::store::GraphStore;
+use crate::storage::Storage;
 use crate::term::Term;
 use crate::triple::TriplePattern;
 use crate::{RdfError, Result};
@@ -72,7 +72,7 @@ impl Row {
 }
 
 /// Evaluates a SELECT query.
-pub fn evaluate_select(store: &GraphStore, query: &Query) -> Result<Vec<Row>> {
+pub fn evaluate_select<S: Storage + ?Sized>(store: &S, query: &Query) -> Result<Vec<Row>> {
     evaluate_select_with(store, query, Bindings::new())
 }
 
@@ -81,8 +81,8 @@ pub fn evaluate_select(store: &GraphStore, query: &Query) -> Result<Vec<Row>> {
 /// This is the execution path of prepared queries: parameters arrive as
 /// ordinary solution bindings, so they join against the store exactly like
 /// pattern-derived bindings and never pass through the parser.
-pub fn evaluate_select_with(
-    store: &GraphStore,
+pub fn evaluate_select_with<S: Storage + ?Sized>(
+    store: &S,
     query: &Query,
     initial: Bindings,
 ) -> Result<Vec<Row>> {
@@ -147,12 +147,16 @@ pub fn evaluate_select_with(
 }
 
 /// Evaluates an ASK query.
-pub fn evaluate_ask(store: &GraphStore, query: &Query) -> Result<bool> {
+pub fn evaluate_ask<S: Storage + ?Sized>(store: &S, query: &Query) -> Result<bool> {
     evaluate_ask_with(store, query, Bindings::new())
 }
 
 /// Evaluates an ASK query under seeded initial bindings.
-pub fn evaluate_ask_with(store: &GraphStore, query: &Query, initial: Bindings) -> Result<bool> {
+pub fn evaluate_ask_with<S: Storage + ?Sized>(
+    store: &S,
+    query: &Query,
+    initial: Bindings,
+) -> Result<bool> {
     let started = Instant::now();
     let Query::Ask { pattern } = query else {
         return Err(RdfError::SparqlEval("expected an ASK query".into()));
@@ -164,8 +168,8 @@ pub fn evaluate_ask_with(store: &GraphStore, query: &Query, initial: Bindings) -
 }
 
 /// Solves a group pattern under an initial binding, returning all solutions.
-fn solve_group(
-    store: &GraphStore,
+fn solve_group<S: Storage + ?Sized>(
+    store: &S,
     group: &GroupPattern,
     initial: Bindings,
 ) -> Result<Vec<Bindings>> {
@@ -243,8 +247,8 @@ fn selectivity(p: &TriplePatternQ, bindings: &Bindings) -> i32 {
     score
 }
 
-fn extend_with_pattern(
-    store: &GraphStore,
+fn extend_with_pattern<S: Storage + ?Sized>(
+    store: &S,
     pattern: &TriplePatternQ,
     sol: &Bindings,
     out: &mut Vec<Bindings>,

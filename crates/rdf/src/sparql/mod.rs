@@ -42,7 +42,7 @@ pub use ast::{Expr, Query, QueryTerm, SelectProjection, TriplePatternQ};
 pub use eval::{Bindings, Row};
 pub use prepared::PreparedQuery;
 
-use crate::store::GraphStore;
+use crate::storage::Storage;
 use crate::Result;
 
 /// Parses a query string.
@@ -51,13 +51,13 @@ pub fn parse(query: &str) -> Result<Query> {
 }
 
 /// Parses and evaluates a SELECT query; returns the projected rows.
-pub fn select(store: &GraphStore, query: &str) -> Result<Vec<Row>> {
+pub fn select<S: Storage + ?Sized>(store: &S, query: &str) -> Result<Vec<Row>> {
     let q = parse(query)?;
     eval::evaluate_select(store, &q)
 }
 
 /// Parses and evaluates an ASK query.
-pub fn ask(store: &GraphStore, query: &str) -> Result<bool> {
+pub fn ask<S: Storage + ?Sized>(store: &S, query: &str) -> Result<bool> {
     let q = parse(query)?;
     eval::evaluate_ask(store, &q)
 }
@@ -65,6 +65,7 @@ pub fn ask(store: &GraphStore, query: &str) -> Result<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::GraphStore;
     use crate::term::Term;
     use crate::turtle;
 
@@ -251,6 +252,7 @@ mod tests {
 mod prop_tests {
     use super::ast::{GroupPattern, QueryTerm, TriplePatternQ};
     use super::*;
+    use crate::store::GraphStore;
     use crate::term::Term;
     use crate::triple::Triple;
     use proptest::prelude::*;

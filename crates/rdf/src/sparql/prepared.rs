@@ -35,7 +35,7 @@
 
 use super::ast::Query;
 use super::eval::{self, Bindings, Row};
-use crate::store::GraphStore;
+use crate::storage::Storage;
 use crate::term::Term;
 use crate::{RdfError, Result};
 
@@ -74,12 +74,16 @@ impl PreparedQuery {
 
     /// Executes a prepared SELECT with the given `(variable, term)`
     /// parameters. Unused variables stay free and are solved as usual.
-    pub fn select(&self, store: &GraphStore, params: &[(&str, Term)]) -> Result<Vec<Row>> {
+    pub fn select<S: Storage + ?Sized>(
+        &self,
+        store: &S,
+        params: &[(&str, Term)],
+    ) -> Result<Vec<Row>> {
         eval::evaluate_select_with(store, &self.query, self.seed(params)?)
     }
 
     /// Executes a prepared ASK with the given parameters.
-    pub fn ask(&self, store: &GraphStore, params: &[(&str, Term)]) -> Result<bool> {
+    pub fn ask<S: Storage + ?Sized>(&self, store: &S, params: &[(&str, Term)]) -> Result<bool> {
         eval::evaluate_ask_with(store, &self.query, self.seed(params)?)
     }
 
@@ -105,6 +109,7 @@ impl PreparedQuery {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::GraphStore;
     use crate::turtle;
 
     const Q: &str = "http://qurator.org/iq#";

@@ -1,0 +1,267 @@
+//! Streaming bulk loader: Turtle → a fully-built disk store, without ever
+//! materializing the graph in RAM.
+//!
+//! The loader interns terms straight into the persistent dictionary as
+//! triples stream out of the parser, buffers fixed-width id rows up to a
+//! run capacity, and spills each full buffer as three sorted runs (SPO /
+//! POS / OSP). At the end the runs are k-way merged (with deduplication)
+//! directly into an immutable base segment. Peak memory is the dictionary's
+//! hash index plus one run buffer — far below the three-BTreeSet in-memory
+//! store the same corpus would need.
+
+use crate::store::Key;
+use crate::triple::Triple;
+use crate::turtle;
+use crate::{RdfError, Result};
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use super::dict::DiskDict;
+use super::segment::{sync_dir, Order, SegmentWriter};
+
+/// Rows buffered before spilling a sorted run (12 bytes each → ~3 MiB).
+const DEFAULT_RUN_CAPACITY: usize = 256 * 1024;
+
+/// What a bulk load did, for logs and benches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BulkLoadStats {
+    /// Triples parsed from the input (including duplicates).
+    pub triples_read: usize,
+    /// Distinct triples written to the base segment.
+    pub triples_stored: usize,
+    /// Terms interned into the dictionary.
+    pub terms: usize,
+    /// Sorted runs spilled per ordering.
+    pub runs: usize,
+}
+
+/// Builds a fresh [`super::DiskBackend`] directory from streamed triples.
+pub struct BulkLoader {
+    dir: PathBuf,
+    run_capacity: usize,
+}
+
+impl BulkLoader {
+    pub fn new(dir: impl Into<PathBuf>) -> BulkLoader {
+        BulkLoader { dir: dir.into(), run_capacity: DEFAULT_RUN_CAPACITY }
+    }
+
+    /// Overrides the spill threshold (tests exercise multi-run merges with
+    /// small corpora).
+    pub fn run_capacity(mut self, rows: usize) -> BulkLoader {
+        self.run_capacity = rows.max(16);
+        self
+    }
+
+    /// Loads a Turtle document (as text) into the target directory.
+    /// Parse errors and ill-formed triples carry line/column context.
+    pub fn load_turtle(&self, input: &str) -> Result<BulkLoadStats> {
+        let mut ingest = Ingest::begin(&self.dir, self.run_capacity)?;
+        let mut sink = |t: Triple| ingest.push(t);
+        turtle::parse_each(input, &mut sink)?;
+        ingest.finish()
+    }
+
+    /// Loads triples from any iterator (generated corpora, migrations).
+    pub fn load_triples(&self, triples: impl IntoIterator<Item = Triple>) -> Result<BulkLoadStats> {
+        let mut ingest = Ingest::begin(&self.dir, self.run_capacity)?;
+        for t in triples {
+            ingest.push(t)?;
+        }
+        ingest.finish()
+    }
+}
+
+struct Ingest {
+    dir: PathBuf,
+    _lock: super::disk::LockGuard,
+    dict: DiskDict,
+    buffer: Vec<Key>,
+    run_capacity: usize,
+    runs: usize,
+    stats: BulkLoadStats,
+}
+
+impl Ingest {
+    fn begin(dir: &Path, run_capacity: usize) -> Result<Ingest> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| RdfError::Io(format!("creating store dir {}: {e}", dir.display())))?;
+        for existing in ["base.seg", "wal.log"] {
+            if dir.join(existing).exists() {
+                return Err(RdfError::Io(format!(
+                    "refusing to bulk-load into {}: {existing} already exists \
+                     (bulk load builds a store from scratch)",
+                    dir.display()
+                )));
+            }
+        }
+        // Hold the store lock for the duration of the load.
+        let lock = super::disk::LockGuard::acquire(dir)?;
+        let dict = DiskDict::open(dir)?;
+        Ok(Ingest {
+            dir: dir.to_path_buf(),
+            _lock: lock,
+            dict,
+            buffer: Vec::with_capacity(run_capacity.min(1 << 20)),
+            run_capacity,
+            runs: 0,
+            stats: BulkLoadStats::default(),
+        })
+    }
+
+    fn push(&mut self, t: Triple) -> Result<()> {
+        if !t.is_well_formed() {
+            return Err(RdfError::IllFormed(t.to_string()));
+        }
+        let key = (
+            self.dict.intern(&t.subject)?,
+            self.dict.intern(&t.predicate)?,
+            self.dict.intern(&t.object)?,
+        );
+        self.buffer.push(key);
+        self.stats.triples_read += 1;
+        if self.buffer.len() >= self.run_capacity {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    fn run_path(&self, order: Order, n: usize) -> PathBuf {
+        let tag = match order {
+            Order::Spo => "spo",
+            Order::Pos => "pos",
+            Order::Osp => "osp",
+        };
+        self.dir.join(format!("run-{tag}-{n}.tmp"))
+    }
+
+    /// Sorts the buffer in each ordering and writes three run files.
+    fn spill(&mut self) -> Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        for order in Order::ALL {
+            let mut rows: Vec<Key> = self.buffer.iter().map(|&k| order.to_coords(k)).collect();
+            rows.sort_unstable();
+            rows.dedup();
+            let path = self.run_path(order, self.runs);
+            let file = File::create(&path)
+                .map_err(|e| RdfError::Io(format!("creating run {}: {e}", path.display())))?;
+            let mut w = BufWriter::with_capacity(1 << 16, file);
+            for (a, b, c) in rows {
+                let mut buf = [0u8; 12];
+                buf[0..4].copy_from_slice(&a.to_le_bytes());
+                buf[4..8].copy_from_slice(&b.to_le_bytes());
+                buf[8..12].copy_from_slice(&c.to_le_bytes());
+                w.write_all(&buf)
+                    .map_err(|e| RdfError::Io(format!("writing run {}: {e}", path.display())))?;
+            }
+            w.flush().map_err(|e| RdfError::Io(format!("writing run {}: {e}", path.display())))?;
+        }
+        self.buffer.clear();
+        self.runs += 1;
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<BulkLoadStats> {
+        self.spill()?;
+        self.dict.flush()?;
+        let target = self.dir.join("base.seg");
+        let mut writer = SegmentWriter::create(&target)?;
+        let mut count: Option<u64> = None;
+        for order in Order::ALL {
+            let readers = (0..self.runs)
+                .map(|n| {
+                    let path = self.run_path(order, n);
+                    File::open(&path)
+                        .map(|f| BufReader::with_capacity(1 << 16, f))
+                        .map_err(|e| RdfError::Io(format!("opening run {}: {e}", path.display())))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let mut written = 0u64;
+            let mut merge = KWayMerge::new(readers);
+            while let Some(row) = merge.next_row()? {
+                writer.push(row)?;
+                written += 1;
+            }
+            match count {
+                None => count = Some(written),
+                Some(c) => assert_eq!(c, written, "orderings disagree on triple count"),
+            }
+        }
+        let count = count.unwrap_or(0);
+        writer.finish(count)?;
+        // An empty journal marks the store complete and replay-clean.
+        std::fs::write(self.dir.join("wal.log"), [])
+            .map_err(|e| RdfError::Io(format!("creating journal: {e}")))?;
+        sync_dir(&self.dir)?;
+        for order in Order::ALL {
+            for n in 0..self.runs {
+                let _ = std::fs::remove_file(self.run_path(order, n));
+            }
+        }
+        self.stats.triples_stored = count as usize;
+        self.stats.terms = self.dict.len();
+        self.stats.runs = self.runs;
+        Ok(self.stats)
+    }
+}
+
+/// K-way ascending merge over sorted 12-byte-row run files, deduplicating.
+struct KWayMerge {
+    readers: Vec<BufReader<File>>,
+    heap: BinaryHeap<std::cmp::Reverse<(Key, usize)>>,
+    last: Option<Key>,
+    primed: bool,
+}
+
+impl KWayMerge {
+    fn new(readers: Vec<BufReader<File>>) -> KWayMerge {
+        KWayMerge { readers, heap: BinaryHeap::new(), last: None, primed: false }
+    }
+
+    fn read_row(reader: &mut BufReader<File>) -> Result<Option<Key>> {
+        let mut buf = [0u8; 12];
+        let mut got = 0;
+        while got < 12 {
+            let n = reader
+                .read(&mut buf[got..])
+                .map_err(|e| RdfError::Io(format!("reading run file: {e}")))?;
+            if n == 0 {
+                if got == 0 {
+                    return Ok(None);
+                }
+                return Err(RdfError::Io("run file truncated mid-row".into()));
+            }
+            got += n;
+        }
+        Ok(Some((
+            u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+            u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+            u32::from_le_bytes(buf[8..12].try_into().unwrap()),
+        )))
+    }
+
+    fn next_row(&mut self) -> Result<Option<Key>> {
+        if !self.primed {
+            self.primed = true;
+            for i in 0..self.readers.len() {
+                if let Some(row) = Self::read_row(&mut self.readers[i])? {
+                    self.heap.push(std::cmp::Reverse((row, i)));
+                }
+            }
+        }
+        while let Some(std::cmp::Reverse((row, i))) = self.heap.pop() {
+            if let Some(next) = Self::read_row(&mut self.readers[i])? {
+                self.heap.push(std::cmp::Reverse((next, i)));
+            }
+            if self.last != Some(row) {
+                self.last = Some(row);
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}

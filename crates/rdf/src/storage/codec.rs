@@ -1,0 +1,179 @@
+//! Byte-level encoding shared by the disk backend's files: the term codec
+//! for dictionary records, a streaming CRC-32 (IEEE) for integrity checks,
+//! and FNV-1a for the dictionary's hash→id index.
+
+use crate::term::{Iri, Literal, Term};
+
+const TAG_IRI: u8 = 1;
+const TAG_BLANK: u8 = 2;
+const TAG_LITERAL: u8 = 3;
+
+/// Appends the canonical byte encoding of a term to `out`.
+///
+/// Layout: one tag byte, then length-prefixed (`u32` LE) UTF-8 strings —
+/// IRI/blank carry one string, literals carry lexical + datatype + an
+/// optional language tag behind a presence byte. The encoding is injective,
+/// so byte equality ⇔ term equality (the dictionary dedups on it).
+pub(crate) fn encode_term(term: &Term, out: &mut Vec<u8>) {
+    match term {
+        Term::Iri(iri) => {
+            out.push(TAG_IRI);
+            push_str(out, iri.as_str());
+        }
+        Term::Blank(b) => {
+            out.push(TAG_BLANK);
+            push_str(out, b.label());
+        }
+        Term::Literal(l) => {
+            out.push(TAG_LITERAL);
+            push_str(out, l.lexical());
+            push_str(out, l.datatype().as_str());
+            match l.lang() {
+                Some(lang) => {
+                    out.push(1);
+                    push_str(out, lang);
+                }
+                None => out.push(0),
+            }
+        }
+    }
+}
+
+/// Decodes a term encoded by [`encode_term`]; `None` on any malformed
+/// payload (truncated lengths, bad UTF-8, unknown tag).
+pub(crate) fn decode_term(bytes: &[u8]) -> Option<Term> {
+    let (&tag, mut rest) = bytes.split_first()?;
+    let term = match tag {
+        TAG_IRI => Term::Iri(Iri::new(take_str(&mut rest)?)),
+        TAG_BLANK => Term::blank(take_str(&mut rest)?),
+        TAG_LITERAL => {
+            let lexical = take_str(&mut rest)?;
+            let datatype = take_str(&mut rest)?;
+            let (&has_lang, mut tail) = rest.split_first()?;
+            let term = match has_lang {
+                0 => Term::Literal(Literal::typed(lexical, Iri::new(datatype))),
+                1 => Term::Literal(Literal::lang_string(lexical, take_str(&mut tail)?)),
+                _ => return None,
+            };
+            rest = tail;
+            term
+        }
+        _ => return None,
+    };
+    if !rest.is_empty() {
+        return None;
+    }
+    Some(term)
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn take_str<'a>(rest: &mut &'a [u8]) -> Option<&'a str> {
+    let (len_bytes, tail) = rest.split_at_checked(4)?;
+    let len = u32::from_le_bytes(len_bytes.try_into().ok()?) as usize;
+    let (s, tail) = tail.split_at_checked(len)?;
+    *rest = tail;
+    std::str::from_utf8(s).ok()
+}
+
+/// FNV-1a over the canonical term encoding (the dictionary's bucket key).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// Streaming CRC-32 (IEEE 802.3) used by dictionary/WAL records and segment
+/// payloads.
+#[derive(Debug, Clone)]
+pub(crate) struct Crc32(u32);
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Crc32(0xffff_ffff)
+    }
+
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = CRC_TABLE[((self.0 ^ b as u32) & 0xff) as usize] ^ (self.0 >> 8);
+        }
+    }
+
+    pub fn finish(&self) -> u32 {
+        self.0 ^ 0xffff_ffff
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn term_codec_roundtrips() {
+        let terms = [
+            Term::iri("http://example.org/a"),
+            Term::blank("b0"),
+            Term::string("plain"),
+            Term::integer(42),
+            Term::double(1.5),
+            Term::boolean(true),
+            Term::Literal(Literal::lang_string("bonjour", "fr")),
+            Term::Literal(Literal::typed(
+                "P1Y",
+                Iri::new("http://www.w3.org/2001/XMLSchema#duration"),
+            )),
+        ];
+        for t in &terms {
+            let mut buf = Vec::new();
+            encode_term(t, &mut buf);
+            assert_eq!(decode_term(&buf).as_ref(), Some(t), "roundtrip {t}");
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_decode_to_none() {
+        let mut buf = Vec::new();
+        encode_term(&Term::iri("http://example.org/long-enough"), &mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(decode_term(&buf[..cut]), None, "cut at {cut}");
+        }
+        assert_eq!(decode_term(&[9, 0, 0, 0, 0]), None, "unknown tag");
+    }
+}

@@ -1,0 +1,168 @@
+//! Append-only persistent term dictionary (`dict.seg`).
+//!
+//! Records are `len(u32 LE) · payload · crc32(u32 LE)`, where the payload is
+//! the canonical term encoding ([`super::codec`]). A term's id is its record
+//! ordinal, so ids are assigned in intern order and are **never reassigned
+//! or reused** — the id-stability invariant the whole id-space join API
+//! rests on. RAM holds only the id→offset table and an FNV hash→ids bucket
+//! map; term bytes stay on disk and decode on demand through a bounded
+//! cache.
+
+use crate::term::Term;
+use crate::{RdfError, Result};
+use std::collections::HashMap;
+use std::fs::OpenOptions;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use super::codec::{crc32, decode_term, encode_term, fnv1a};
+use super::segment::{io_err, ReadFile};
+
+/// Decoded terms cached in RAM; the map is dropped wholesale when full so
+/// memory stays bounded without LRU bookkeeping.
+const CACHE_CAP: usize = 1 << 16;
+
+#[derive(Debug)]
+pub(crate) struct DiskDict {
+    file: ReadFile,
+    path: PathBuf,
+    /// id → (payload offset, payload length).
+    offsets: Vec<(u64, u32)>,
+    /// FNV-1a(payload) → candidate ids (collisions resolved by comparing).
+    by_hash: HashMap<u64, Vec<u32>>,
+    cache: Mutex<HashMap<u32, Term>>,
+    end: u64,
+    dirty: bool,
+}
+
+impl DiskDict {
+    /// Opens (creating if absent) the dictionary, scanning all records to
+    /// rebuild the offset table and hash index. An incomplete or
+    /// checksum-failing record truncates the file there: appends are only
+    /// acknowledged after an fsync, so a torn tail is always unacknowledged.
+    pub fn open(dir: &Path) -> Result<DiskDict> {
+        let path = dir.join("dict.seg");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io_err("opening dictionary", &path, e))?;
+        let mut bytes = Vec::new();
+        {
+            use std::io::Read;
+            file.read_to_end(&mut bytes).map_err(|e| io_err("reading dictionary", &path, e))?;
+        }
+        let mut offsets = Vec::new();
+        let mut by_hash: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut at = 0usize;
+        while let Some(len_bytes) = bytes.get(at..at + 4) {
+            let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+            let Some(payload) = bytes.get(at + 4..at + 4 + len) else { break };
+            let Some(crc_bytes) = bytes.get(at + 4 + len..at + 8 + len) else { break };
+            if crc32(payload) != u32::from_le_bytes(crc_bytes.try_into().unwrap()) {
+                break;
+            }
+            let id = offsets.len() as u32;
+            offsets.push(((at + 4) as u64, len as u32));
+            by_hash.entry(fnv1a(payload)).or_default().push(id);
+            at += 8 + len;
+        }
+        if at < bytes.len() {
+            file.set_len(at as u64).map_err(|e| io_err("truncating dictionary", &path, e))?;
+        }
+        file.seek(SeekFrom::Start(at as u64))
+            .map_err(|e| io_err("seeking dictionary", &path, e))?;
+        Ok(DiskDict {
+            file: ReadFile::new(file),
+            path,
+            offsets,
+            by_hash,
+            cache: Mutex::new(HashMap::new()),
+            end: at as u64,
+            dirty: false,
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    fn payload(&self, id: u32) -> Option<Vec<u8>> {
+        let &(off, len) = self.offsets.get(id as usize)?;
+        let mut buf = vec![0u8; len as usize];
+        self.file.read_exact_at(&mut buf, off).ok()?;
+        Some(buf)
+    }
+
+    /// The term behind `id`, or `None` for ids this dictionary never issued
+    /// (the [`crate::Storage::try_term_at`] trust boundary) or whose record
+    /// fails to decode.
+    pub fn term(&self, id: u32) -> Option<Term> {
+        if let Some(t) = self.cache.lock().unwrap_or_else(|p| p.into_inner()).get(&id) {
+            return Some(t.clone());
+        }
+        let term = decode_term(&self.payload(id)?)?;
+        self.remember(id, &term);
+        Some(term)
+    }
+
+    fn remember(&self, id: u32, term: &Term) {
+        let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+        if cache.len() >= CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(id, term.clone());
+    }
+
+    /// The id of `term` if already interned.
+    pub fn lookup(&self, term: &Term) -> Option<u32> {
+        let mut payload = Vec::new();
+        encode_term(term, &mut payload);
+        self.lookup_encoded(&payload)
+    }
+
+    fn lookup_encoded(&self, payload: &[u8]) -> Option<u32> {
+        let candidates = self.by_hash.get(&fnv1a(payload))?;
+        candidates.iter().copied().find(|&id| self.payload(id).as_deref() == Some(payload))
+    }
+
+    /// Interns `term`, appending a new record when unseen. The new record is
+    /// durable only after [`Self::flush`].
+    pub fn intern(&mut self, term: &Term) -> Result<u32> {
+        let mut payload = Vec::new();
+        encode_term(term, &mut payload);
+        if let Some(id) = self.lookup_encoded(&payload) {
+            return Ok(id);
+        }
+        if self.offsets.len() > u32::MAX as usize - 1 {
+            return Err(RdfError::Io("dictionary exhausted the u32 id space".into()));
+        }
+        let mut record = Vec::with_capacity(payload.len() + 8);
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&payload);
+        record.extend_from_slice(&crc32(&payload).to_le_bytes());
+        (&self.file.file)
+            .write_all(&record)
+            .map_err(|e| io_err("appending to dictionary", &self.path, e))?;
+        let id = self.offsets.len() as u32;
+        self.offsets.push((self.end + 4, payload.len() as u32));
+        self.by_hash.entry(fnv1a(&payload)).or_default().push(id);
+        self.end += record.len() as u64;
+        self.dirty = true;
+        self.remember(id, term);
+        Ok(id)
+    }
+
+    /// Durability barrier for appended records. Must run before the journal
+    /// fsync so no durable WAL record references a non-durable term.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.dirty {
+            self.file.file.sync_data().map_err(|e| io_err("syncing dictionary", &self.path, e))?;
+            self.dirty = false;
+        }
+        Ok(())
+    }
+}

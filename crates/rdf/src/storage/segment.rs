@@ -1,0 +1,347 @@
+//! Immutable base segments: the compacted triple file behind [`super::DiskBackend`].
+//!
+//! One `base.seg` holds the full triple set three times, as fixed-width
+//! 12-byte rows (`3 × u32` LE) sorted in SPO, POS and OSP coordinate order —
+//! the on-disk mirror of `GraphStore`'s three BTreeSet indexes. Readers keep
+//! nothing in RAM: point lookups binary-search with `pread`, range scans
+//! stream rows in chunks. The file is written once (bulk load or
+//! compaction), renamed into place, and never mutated.
+
+use crate::store::Key;
+use crate::{RdfError, Result};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use super::codec::Crc32;
+
+/// `base.seg` magic + format version.
+const MAGIC: &[u8; 8] = b"QVBASE1\n";
+/// Header: magic (8) + count (u64 LE) + payload crc32 (u32 LE).
+const HEADER_LEN: u64 = 8 + 8 + 4;
+const ROW_LEN: u64 = 12;
+/// Rows fetched per read during a range scan.
+const SCAN_CHUNK_ROWS: usize = 2048;
+
+/// The three sort orders of a segment. Rows are stored in *coordinate*
+/// order: a POS row is `(p, o, s)`, an OSP row `(o, s, p)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Order {
+    Spo,
+    Pos,
+    Osp,
+}
+
+impl Order {
+    pub const ALL: [Order; 3] = [Order::Spo, Order::Pos, Order::Osp];
+
+    /// Permutes an SPO key into this order's coordinates.
+    pub fn to_coords(self, (s, p, o): Key) -> Key {
+        match self {
+            Order::Spo => (s, p, o),
+            Order::Pos => (p, o, s),
+            Order::Osp => (o, s, p),
+        }
+    }
+
+    /// Recovers the SPO key from this order's coordinates.
+    pub fn spo_from_coords(self, (a, b, c): Key) -> Key {
+        match self {
+            Order::Spo => (a, b, c),
+            Order::Pos => (c, a, b),
+            Order::Osp => (b, c, a),
+        }
+    }
+
+    fn index(self) -> u64 {
+        match self {
+            Order::Spo => 0,
+            Order::Pos => 1,
+            Order::Osp => 2,
+        }
+    }
+}
+
+/// A file handle supporting positioned reads from `&self`.
+#[derive(Debug)]
+pub(crate) struct ReadFile {
+    pub file: File,
+    #[cfg(not(unix))]
+    seek_lock: std::sync::Mutex<()>,
+}
+
+impl ReadFile {
+    pub fn new(file: File) -> Self {
+        ReadFile {
+            file,
+            #[cfg(not(unix))]
+            seek_lock: std::sync::Mutex::new(()),
+        }
+    }
+
+    #[cfg(unix)]
+    pub fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, offset)
+    }
+
+    #[cfg(not(unix))]
+    pub fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        let _guard = self.seek_lock.lock().unwrap_or_else(|p| p.into_inner());
+        let mut f = &self.file;
+        let saved = f.stream_position()?;
+        f.seek(SeekFrom::Start(offset))?;
+        let res = f.read_exact(buf);
+        f.seek(SeekFrom::Start(saved))?;
+        res
+    }
+}
+
+pub(crate) fn io_err(context: &str, path: &Path, e: std::io::Error) -> RdfError {
+    RdfError::Io(format!("{context} {}: {e}", path.display()))
+}
+
+fn corrupt(path: &Path, detail: impl Into<String>) -> RdfError {
+    RdfError::Corrupt { path: path.display().to_string(), detail: detail.into() }
+}
+
+fn decode_row(buf: &[u8]) -> Key {
+    (
+        u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+        u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+        u32::from_le_bytes(buf[8..12].try_into().unwrap()),
+    )
+}
+
+fn encode_row((a, b, c): Key, buf: &mut [u8; 12]) {
+    buf[0..4].copy_from_slice(&a.to_le_bytes());
+    buf[4..8].copy_from_slice(&b.to_le_bytes());
+    buf[8..12].copy_from_slice(&c.to_le_bytes());
+}
+
+/// An opened, integrity-checked base segment.
+#[derive(Debug)]
+pub(crate) struct BaseSegment {
+    file: ReadFile,
+    path: PathBuf,
+    pub count: u64,
+}
+
+impl BaseSegment {
+    /// Opens `path` if it exists, verifying magic, size, payload checksum
+    /// and that every row's term ids resolve inside a dictionary of
+    /// `dict_len` terms. Any mismatch is [`RdfError::Corrupt`]: this is the
+    /// trust boundary where disk bytes re-enter the id space.
+    pub fn open(path: &Path, dict_len: usize) -> Result<Option<BaseSegment>> {
+        let mut file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err("opening segment", path, e)),
+        };
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.read_exact(&mut header).map_err(|_| corrupt(path, "truncated header"))?;
+        if &header[0..8] != MAGIC {
+            return Err(corrupt(path, "bad magic (not a qv base segment)"));
+        }
+        let count = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        let expected_crc = u32::from_le_bytes(header[16..20].try_into().unwrap());
+        let expected_len = HEADER_LEN + count * 3 * ROW_LEN;
+        let actual_len = file.metadata().map_err(|e| io_err("reading metadata of", path, e))?.len();
+        if actual_len != expected_len {
+            return Err(corrupt(
+                path,
+                format!("size {actual_len} does not match header count {count}"),
+            ));
+        }
+        // One sequential pass: checksum the payload and bound-check ids.
+        let mut crc = Crc32::new();
+        let mut buf = vec![0u8; SCAN_CHUNK_ROWS * ROW_LEN as usize];
+        let mut remaining = (count * 3 * ROW_LEN) as usize;
+        while remaining > 0 {
+            let take = remaining.min(buf.len());
+            let chunk = &mut buf[..take];
+            file.read_exact(chunk).map_err(|e| io_err("reading segment", path, e))?;
+            crc.update(chunk);
+            for row in chunk.chunks_exact(ROW_LEN as usize) {
+                let (a, b, c) = decode_row(row);
+                if a as usize >= dict_len || b as usize >= dict_len || c as usize >= dict_len {
+                    return Err(corrupt(
+                        path,
+                        format!("row references term id beyond dictionary ({dict_len} terms)"),
+                    ));
+                }
+            }
+            remaining -= take;
+        }
+        if crc.finish() != expected_crc {
+            return Err(corrupt(path, "payload checksum mismatch"));
+        }
+        Ok(Some(BaseSegment { file: ReadFile::new(file), path: path.to_path_buf(), count }))
+    }
+
+    fn order_offset(&self, order: Order) -> u64 {
+        HEADER_LEN + order.index() * self.count * ROW_LEN
+    }
+
+    /// The `i`-th row of an ordering, in that ordering's coordinates.
+    fn row(&self, order: Order, i: u64) -> Result<Key> {
+        let mut buf = [0u8; ROW_LEN as usize];
+        self.file
+            .read_exact_at(&mut buf, self.order_offset(order) + i * ROW_LEN)
+            .map_err(|e| io_err("reading row from", &self.path, e))?;
+        Ok(decode_row(&buf))
+    }
+
+    /// First row index whose key is `>= probe` (standard partition point).
+    fn lower_bound(&self, order: Order, probe: Key) -> Result<u64> {
+        let (mut lo, mut hi) = (0u64, self.count);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.row(order, mid)? < probe {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+
+    /// Exact-match membership via binary search on the SPO ordering.
+    pub fn contains(&self, key: Key) -> Result<bool> {
+        let at = self.lower_bound(Order::Spo, key)?;
+        Ok(at < self.count && self.row(Order::Spo, at)? == key)
+    }
+
+    /// Streams rows of `order` within the bound-prefix range, in ascending
+    /// coordinate order. `k0..k2` follow the same semantics as
+    /// `GraphStore::scan`: a bound prefix narrows the range, later bound
+    /// positions are filtered by the caller.
+    pub fn scan(&self, order: Order, k0: Option<u32>, k1: Option<u32>) -> SegmentScan<'_> {
+        let (lo, hi) = match (k0, k1) {
+            (Some(a), Some(b)) => ((a, b, u32::MIN), (a, b, u32::MAX)),
+            (Some(a), None) => ((a, u32::MIN, u32::MIN), (a, u32::MAX, u32::MAX)),
+            (None, _) => ((u32::MIN, u32::MIN, u32::MIN), (u32::MAX, u32::MAX, u32::MAX)),
+        };
+        let start = self.lower_bound(order, lo).unwrap_or(self.count);
+        let end = if hi == (u32::MAX, u32::MAX, u32::MAX) {
+            self.count
+        } else {
+            // first row strictly greater than hi
+            let (a, b, _) = hi;
+            match b.checked_add(1) {
+                Some(b1) => self.lower_bound(order, (a, b1, u32::MIN)),
+                None => match a.checked_add(1) {
+                    Some(a1) => self.lower_bound(order, (a1, u32::MIN, u32::MIN)),
+                    None => Ok(self.count),
+                },
+            }
+            .unwrap_or(self.count)
+        };
+        SegmentScan { seg: self, order, next: start, end, buf: Vec::new(), buf_start: 0 }
+    }
+}
+
+/// Chunked streaming scan over one ordering of a base segment.
+pub(crate) struct SegmentScan<'a> {
+    seg: &'a BaseSegment,
+    order: Order,
+    next: u64,
+    end: u64,
+    buf: Vec<u8>,
+    buf_start: u64,
+}
+
+impl Iterator for SegmentScan<'_> {
+    type Item = Key;
+
+    fn next(&mut self) -> Option<Key> {
+        if self.next >= self.end {
+            return None;
+        }
+        let rows_buffered = (self.buf.len() as u64) / ROW_LEN;
+        if self.next < self.buf_start || self.next >= self.buf_start + rows_buffered {
+            let rows = (self.end - self.next).min(SCAN_CHUNK_ROWS as u64) as usize;
+            self.buf.resize(rows * ROW_LEN as usize, 0);
+            let off = self.seg.order_offset(self.order) + self.next * ROW_LEN;
+            if self.seg.file.read_exact_at(&mut self.buf, off).is_err() {
+                // The segment was validated on open; a failing read here is
+                // an environmental I/O error. End the scan rather than
+                // panicking; mutating entry points surface errors properly.
+                self.end = self.next;
+                return None;
+            }
+            self.buf_start = self.next;
+        }
+        let at = ((self.next - self.buf_start) * ROW_LEN) as usize;
+        self.next += 1;
+        Some(decode_row(&self.buf[at..at + ROW_LEN as usize]))
+    }
+}
+
+/// Streaming writer producing a new base segment: push all SPO rows, then
+/// all POS rows, then all OSP rows (each ascending), then [`Self::finish`].
+/// The file is built under a temporary name and renamed into place only
+/// after a successful sync, so readers never observe a partial segment.
+pub(crate) struct SegmentWriter {
+    file: std::io::BufWriter<File>,
+    tmp: PathBuf,
+    target: PathBuf,
+    crc: Crc32,
+    rows: u64,
+}
+
+impl SegmentWriter {
+    pub fn create(target: &Path) -> Result<SegmentWriter> {
+        let tmp = target.with_extension("seg.tmp");
+        let mut file = File::create(&tmp).map_err(|e| io_err("creating", &tmp, e))?;
+        file.write_all(&[0u8; HEADER_LEN as usize]).map_err(|e| io_err("writing", &tmp, e))?;
+        Ok(SegmentWriter {
+            file: std::io::BufWriter::with_capacity(1 << 16, file),
+            tmp,
+            target: target.to_path_buf(),
+            crc: Crc32::new(),
+            rows: 0,
+        })
+    }
+
+    pub fn push(&mut self, row: Key) -> Result<()> {
+        let mut buf = [0u8; 12];
+        encode_row(row, &mut buf);
+        self.crc.update(&buf);
+        self.file.write_all(&buf).map_err(|e| io_err("writing", &self.tmp, e))?;
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Seals the segment: patches the header with `count` and the payload
+    /// checksum, fsyncs, renames over the target, and fsyncs the directory.
+    pub fn finish(mut self, count: u64) -> Result<()> {
+        assert_eq!(self.rows, count * 3, "segment writer: row count mismatch");
+        self.file.flush().map_err(|e| io_err("flushing", &self.tmp, e))?;
+        let mut file = self
+            .file
+            .into_inner()
+            .map_err(|e| RdfError::Io(format!("flushing {}: {}", self.tmp.display(), e.error())))?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        header[0..8].copy_from_slice(MAGIC);
+        header[8..16].copy_from_slice(&count.to_le_bytes());
+        header[16..20].copy_from_slice(&self.crc.finish().to_le_bytes());
+        file.seek(SeekFrom::Start(0)).map_err(|e| io_err("seeking", &self.tmp, e))?;
+        file.write_all(&header).map_err(|e| io_err("writing header of", &self.tmp, e))?;
+        file.sync_data().map_err(|e| io_err("syncing", &self.tmp, e))?;
+        drop(file);
+        std::fs::rename(&self.tmp, &self.target)
+            .map_err(|e| io_err("installing segment at", &self.target, e))?;
+        sync_dir(self.target.parent().unwrap_or(Path::new(".")))
+    }
+}
+
+/// Fsyncs a directory so a just-renamed file inside it is durable.
+pub(crate) fn sync_dir(dir: &Path) -> Result<()> {
+    match File::open(dir) {
+        Ok(d) => d.sync_all().map_err(|e| io_err("syncing directory", dir, e)),
+        // Some platforms refuse to open directories; renames there are
+        // best-effort durable.
+        Err(_) => Ok(()),
+    }
+}

@@ -9,12 +9,13 @@
 
 use crate::term::Term;
 use crate::triple::{PatternTerm, Triple, TriplePattern};
+use crate::{RdfError, Result};
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap};
 use std::ops::Bound;
 
-type Id = u32;
-type Key = (Id, Id, Id);
+pub(crate) type Id = u32;
+pub(crate) type Key = (Id, Id, Id);
 
 /// Which index a pattern was routed to (exposed for the E3 index ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +105,23 @@ impl GraphStore {
         added
     }
 
+    /// Fallible insert for load paths fed by external data: an ill-formed
+    /// triple yields [`RdfError::IllFormed`] instead of aborting the process.
+    pub fn try_insert(&mut self, t: Triple) -> Result<bool> {
+        if !t.is_well_formed() {
+            return Err(RdfError::IllFormed(t.to_string()));
+        }
+        let s = self.dict.intern(&t.subject);
+        let p = self.dict.intern(&t.predicate);
+        let o = self.dict.intern(&t.object);
+        let added = self.spo.insert((s, p, o));
+        if added {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+        }
+        Ok(added)
+    }
+
     /// Removes a triple; returns `true` if it was present.
     pub fn remove(&mut self, t: &Triple) -> bool {
         let (Some(s), Some(p), Some(o)) = (
@@ -183,7 +201,7 @@ impl GraphStore {
     ) -> Box<dyn Iterator<Item = Triple> + 'a> {
         // Resolve bound pattern positions to ids; an unknown term can match
         // nothing.
-        let resolve = |pt: &PatternTerm| -> Result<Option<Id>, ()> {
+        let resolve = |pt: &PatternTerm| -> std::result::Result<Option<Id>, ()> {
             match pt.as_term() {
                 None => Ok(None),
                 Some(t) => self.dict.lookup(t).map(Some).ok_or(()),
@@ -216,8 +234,8 @@ impl GraphStore {
 
     /// Range-scans an index whose key order is `(k0, k1, k2)`, where a bound
     /// prefix narrows the range and any remaining bound positions are
-    /// filtered.
-    fn scan<'a>(
+    /// filtered. Shared with the disk backend's delta overlays.
+    pub(crate) fn scan<'a>(
         index: &'a BTreeSet<Key>,
         k0: Option<Id>,
         k1: Option<Id>,
@@ -250,6 +268,13 @@ impl GraphStore {
     /// scan. Panics on ids the store never issued.
     pub fn term_at(&self, id: u32) -> &Term {
         self.dict.term(id)
+    }
+
+    /// Fallible [`Self::term_at`] for trust boundaries: ids read back from
+    /// disk segments (or any other external source) resolve to `None` rather
+    /// than an out-of-bounds panic when the store never issued them.
+    pub fn try_term_at(&self, id: u32) -> Option<&Term> {
+        self.dict.by_id.get(id as usize)
     }
 
     /// All `(subject, object)` id pairs under a bound predicate, in

@@ -32,20 +32,38 @@ pub fn escape_string(s: &str) -> String {
 
 /// Parses a Turtle document into triples plus the prefix map it declared.
 pub fn parse(input: &str) -> Result<(Vec<Triple>, PrefixMap)> {
-    let mut parser = Parser::new(input);
-    parser.parse_document()?;
-    Ok((parser.triples, parser.prefixes))
+    let mut triples = Vec::new();
+    let mut sink = |t: Triple| {
+        triples.push(t);
+        Ok(())
+    };
+    let prefixes = parse_each(input, &mut sink)?;
+    Ok((triples, prefixes))
 }
 
-/// Parses a Turtle document straight into a [`GraphStore`].
+/// Streaming parse: invokes `sink` for each triple as it is produced, so a
+/// bulk loader can ingest documents without materializing the triple list.
+/// A sink error aborts the parse and is returned as-is.
+pub fn parse_each(input: &str, sink: &mut dyn FnMut(Triple) -> Result<()>) -> Result<PrefixMap> {
+    let mut parser = Parser::new(input, sink);
+    parser.parse_document()?;
+    Ok(parser.prefixes)
+}
+
+/// Parses a Turtle document straight into a [`GraphStore`]. Ill-formed
+/// triples surface as [`crate::RdfError`] values (this path ingests
+/// external data, so it must not abort the process).
 pub fn parse_into_store(input: &str) -> Result<GraphStore> {
-    let (triples, _) = parse(input)?;
-    Ok(triples.into_iter().collect())
+    let mut store = GraphStore::new();
+    let mut sink = |t: Triple| store.try_insert(t).map(|_| ());
+    parse_each(input, &mut sink)?;
+    Ok(store)
 }
 
 /// Serializes a store as Turtle, grouping triples by subject and compacting
-/// IRIs against the given prefix map.
-pub fn serialize(store: &GraphStore, prefixes: &PrefixMap) -> String {
+/// IRIs against the given prefix map. Generic over [`Storage`] so durable
+/// backends export the same way as the in-memory store.
+pub fn serialize<S: crate::storage::Storage + ?Sized>(store: &S, prefixes: &PrefixMap) -> String {
     let mut out = String::new();
     for (p, ns) in prefixes.iter() {
         let _ = writeln!(out, "@prefix {p}: <{ns}> .");
@@ -139,18 +157,18 @@ fn looks_double(s: &str) -> bool {
     (s.contains('.') || s.contains(['e', 'E'])) && s.parse::<f64>().is_ok()
 }
 
-struct Parser<'a> {
+struct Parser<'a, 's> {
     src: &'a str,
     bytes: &'a [u8],
     pos: usize,
     line: usize,
     line_start: usize,
     prefixes: PrefixMap,
-    triples: Vec<Triple>,
+    sink: &'s mut dyn FnMut(Triple) -> Result<()>,
 }
 
-impl<'a> Parser<'a> {
-    fn new(src: &'a str) -> Self {
+impl<'a, 's> Parser<'a, 's> {
+    fn new(src: &'a str, sink: &'s mut dyn FnMut(Triple) -> Result<()>) -> Self {
         Parser {
             src,
             bytes: src.as_bytes(),
@@ -158,7 +176,7 @@ impl<'a> Parser<'a> {
             line: 1,
             line_start: 0,
             prefixes: PrefixMap::new(),
-            triples: Vec::new(),
+            sink,
         }
     }
 
@@ -263,7 +281,15 @@ impl<'a> Parser<'a> {
             let predicate = self.parse_verb()?;
             loop {
                 let object = self.parse_term()?;
-                self.triples.push(Triple::new(subject.clone(), predicate.clone(), object));
+                let triple = Triple::new(subject.clone(), predicate.clone(), object);
+                // The grammar above already restricts subject/predicate
+                // shapes; this guard keeps the invariant local so future
+                // grammar extensions cannot leak an ill-formed triple into
+                // a panicking store insert.
+                if !triple.is_well_formed() {
+                    return Err(self.err(format!("ill-formed triple: {triple}")));
+                }
+                (self.sink)(triple)?;
                 self.skip_ws();
                 if self.peek() == Some(b',') {
                     self.bump();
