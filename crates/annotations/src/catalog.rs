@@ -66,6 +66,11 @@ impl RepositoryCatalog {
                     entry.file_name()
                 )));
             };
+            // `<root>/stats/` holds the engine's per-view stats profiles,
+            // not a repository store
+            if name == "stats" {
+                continue;
+            }
             names.push(name);
         }
         names.sort();
@@ -216,10 +221,15 @@ mod tests {
             archive.annotate(&item, &q::iri("HitRatio"), 0.9.into()).unwrap();
             c.flush_all().unwrap();
         }
+        // The engine writes per-view stats profiles under `<root>/stats/`;
+        // the reopen scan must not mistake that directory for a store.
+        std::fs::create_dir_all(tmp.path().join("stats")).unwrap();
+        std::fs::write(tmp.path().join("stats").join("v.json"), "{}").unwrap();
         // A fresh catalog pointed at the same root sees the archive again.
         let c = catalog();
         let reopened = c.set_store_root(tmp.path()).unwrap();
         assert_eq!(reopened, vec!["archive".to_string()]);
+        assert!(c.require("stats").is_err(), "stats/ reopened as a repository");
         let archive = c.require("archive").unwrap();
         assert!(archive.is_persistent());
         assert_eq!(

@@ -60,6 +60,16 @@ fn bulk_latency() -> &'static Arc<Histogram> {
     H.get_or_init(|| qurator_telemetry::metrics().histogram("enrich.bulk.latency_ns"))
 }
 
+fn bulk_sparse() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| qurator_telemetry::metrics().counter("enrich.bulk.sparse"))
+}
+
+fn bulk_dense() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| qurator_telemetry::metrics().counter("enrich.bulk.dense"))
+}
+
 fn annotate_count() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| qurator_telemetry::metrics().counter("annotations.write.count"))
@@ -188,6 +198,13 @@ impl AnnotationRepository {
     /// Number of interned terms (diagnostics).
     pub fn term_count(&self) -> usize {
         self.store.read().term_count()
+    }
+
+    /// Storage-layer snapshot of the backing store (journal depth, base
+    /// segment size, dictionary size, compaction facts) — the expanded
+    /// `GET /store` surface.
+    pub fn storage_status(&self) -> qurator_rdf::storage::StorageStatus {
+        self.store.read().status()
     }
 
     /// Switches the lookup implementation (E3 ablation).
@@ -463,6 +480,7 @@ impl AnnotationRepository {
         // carries the type and a value — so the choice is invisible in the
         // result.
         if item_set.len() * 8 <= store.len() / 3 {
+            bulk_sparse().inc();
             let mut consider = |item: u32, node: u32| {
                 let Some(value_term) = store.object_ids(node, value_prop).next() else {
                     // Typed but valueless nodes never decide a pair.
@@ -480,6 +498,7 @@ impl AnnotationRepository {
                 }
             }
         } else {
+            bulk_dense().inc();
             // Requested contains-evidence edges as (node, item), already in
             // ascending (node, item) order courtesy of the POS index.
             let edges: Vec<(u32, u32)> = store

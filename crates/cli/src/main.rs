@@ -15,12 +15,16 @@
 //! qv fmt      <view.xml>                         canonical pretty-print
 //! qv run      <view.xml> --data <hits.tsv>       execute over a TSV data set
 //!             [--group NAME] [--explain]
-//!             [--trace-out FILE] [--metrics-out FILE]
+//!             [--analyze [--format text|json]]    EXPLAIN ANALYZE: per-node
+//!             [--store DIR] [--stats-out FILE]    observed statistics; --store
+//!             [--trace-out FILE] [--metrics-out FILE]  persists the stats profile
 //! qv explain  <view.xml> --data <hits.tsv>       decision provenance for one item:
 //!             --item <id-or-suffix>              evidence fetched, tags assigned,
 //!             [--spans]                          actions taken (`why(item)`)
 //! qv profile  <view.xml> --data <hits.tsv>       per-plan-node self-time profile;
-//!             [--runs N] [--folded out.txt]      folded stacks for flamegraph tools
+//!             [--runs N] [--folded out.txt]      folded stacks for flamegraph
+//!             [--analyze]                        tools; --analyze appends the
+//!                                                observed-statistics tree
 //! qv load     <triples.ttl> --store <dir>        stream a Turtle file into an
 //!             [--repo NAME]                      on-disk annotation store without
 //!                                                materializing the graph in RAM
@@ -33,11 +37,17 @@
 //!             [--sample-rate F]                  (worker pool + bounded queue;
 //!             [--drift-window N]                 full queue -> 503 + Retry-After;
 //!             [--drift-threshold F]              every run echoes X-QV-Run-Id;
-//!             [--access-log FILE]                with --store, persistent repos
-//!             [--slo-p99-ms N] [--slo-availability F]  survive restarts and crashes)
-//! qv bench-check <BENCH_*.json>                  validate a bench result artifact
+//!             [--access-log FILE]                GET /stats/<view> (observed
+//!             [--slo-p99-ms N] [--slo-availability F]  profile; with --store,
+//!                                                persistent repos survive
+//!                                                restarts and crashes)
+//! qv bench-check <BENCH_*.json|dir|--all>        validate bench result artifacts
+//!                                                (a directory checks every
+//!                                                BENCH_*.json inside it)
 //! qv telemetry-check <trace.jsonl> [metrics.txt] validate exported telemetry files
-//!             [--access-log access.jsonl]
+//!             [--access-log access.jsonl]        (metrics are also linted against
+//!             [--analyze analyze.json]           the metric-name convention and
+//!             [--stats-profile profile.json]     the committed allowlist)
 //! qv library  <catalog.xml> [--search TEXT]      browse a shared view catalog (§7 iv)
 //! ```
 //!
@@ -85,7 +95,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "profile" => cmd_profile(args),
         "serve" => cmd_serve(args),
         "telemetry-check" => cmd_telemetry_check(args),
-        "bench-check" => cmd_bench_check(args.get(1).ok_or_else(usage)?),
+        "bench-check" => cmd_bench_check(args),
         "library" => cmd_library(args),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -96,7 +106,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  qv validate <view.xml>\n  qv check <view.xml|query.rq> [--format text|json] [--deny warnings] [--fix [--dry-run]]\n  qv compile <view.xml> [--dot]\n  qv plan <view.xml> [--no-opt] [--format text|json]\n  qv plan-check <plan.json>\n  qv fmt <view.xml>\n  qv run <view.xml> --data <hits.tsv> [--group NAME] [--explain] [--trace-out FILE] [--metrics-out FILE] [--profile-out FILE]\n  qv load <triples.ttl> --store <dir> [--repo NAME]\n  qv explain <view.xml> --data <hits.tsv> --item <id-or-suffix> [--spans]\n  qv profile <view.xml> --data <hits.tsv> [--runs N] [--folded out.txt]\n  qv serve <view.xml>... --addr HOST:PORT [--store DIR] [--workers N] [--queue N] [--keep-alive-max N] [--read-timeout-ms N] [--trace-capacity N] [--sample-rate F] [--drift-window N] [--drift-threshold F] [--access-log FILE] [--slo-p99-ms N] [--slo-availability F]\n  qv telemetry-check <trace.jsonl> [metrics.txt] [--access-log access.jsonl]\n  qv bench-check <BENCH_*.json>\n  qv library <catalog.xml> [--search TEXT]"
+    "usage:\n  qv validate <view.xml>\n  qv check <view.xml|query.rq> [--format text|json] [--deny warnings] [--fix [--dry-run]]\n  qv compile <view.xml> [--dot]\n  qv plan <view.xml> [--no-opt] [--format text|json]\n  qv plan-check <plan.json>\n  qv fmt <view.xml>\n  qv run <view.xml> --data <hits.tsv> [--group NAME] [--explain] [--analyze [--format text|json]] [--store DIR] [--stats-out FILE] [--trace-out FILE] [--metrics-out FILE] [--profile-out FILE]\n  qv load <triples.ttl> --store <dir> [--repo NAME]\n  qv explain <view.xml> --data <hits.tsv> --item <id-or-suffix> [--spans]\n  qv profile <view.xml> --data <hits.tsv> [--runs N] [--folded out.txt] [--analyze]\n  qv serve <view.xml>... --addr HOST:PORT [--store DIR] [--workers N] [--queue N] [--keep-alive-max N] [--read-timeout-ms N] [--trace-capacity N] [--sample-rate F] [--drift-window N] [--drift-threshold F] [--access-log FILE] [--slo-p99-ms N] [--slo-availability F]\n  qv telemetry-check <trace.jsonl> [metrics.txt] [--access-log access.jsonl] [--analyze analyze.json] [--stats-profile profile.json]\n  qv bench-check <BENCH_*.json|dir|--all>\n  qv library <catalog.xml> [--search TEXT]"
         .to_string()
 }
 
@@ -289,24 +299,64 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let view_path = args.get(1).ok_or_else(usage)?;
     let data_path = flag_value(args, "--data").ok_or_else(usage)?;
     let explain = args.contains(&"--explain".into());
+    let analyze = args.contains(&"--analyze".into());
+    let format = flag_value(args, "--format").unwrap_or("text");
+    if format != "text" && format != "json" {
+        return Err(format!("unknown --format {format:?} (expected text or json)"));
+    }
+    if format == "json" && !analyze {
+        return Err("--format applies to the --analyze rendering (add --analyze)".into());
+    }
 
     let spec = load_view(view_path)?;
     let dataset = tsv::read_dataset(&read_file(data_path)?)?;
     let engine = stock_engine()?;
+    if let Some(dir) = flag_value(args, "--store") {
+        engine.set_store_root(dir).map_err(|e| e.to_string())?;
+    }
+    // lowered before the run: any `planned ~N rows` annotations come from
+    // the profile a *previous* run persisted, not from this execution
+    let plan = analyze
+        .then(|| engine.plan_with_stats(&spec, &qurator_plan::PlanConfig::default()))
+        .transpose()
+        .map_err(|e| e.to_string())?;
     let run = qurator_telemetry::RunId::mint();
     let outcome = engine.execute_view_run(&spec, &dataset, run).map_err(|e| e.to_string())?;
 
-    println!("run id: {run}");
-    println!("input items: {}", dataset.len());
-    for group in &outcome.groups {
-        println!("\ngroup {:?}: {} item(s)", group.name, group.dataset.len());
-        for item in group.dataset.items() {
-            let tags: Vec<String> = group
-                .map
-                .item(item)
-                .map(|row| row.tag_entries().map(|(t, v)| format!("{t}={v}")).collect())
-                .unwrap_or_default();
-            println!("  {}  [{}]", item, tags.join(", "));
+    // `--analyze --format json` is the machine surface: stdout carries
+    // the analyze document alone, so it can be piped straight into
+    // `qv telemetry-check --analyze`
+    if format == "text" {
+        println!("run id: {run}");
+        println!("input items: {}", dataset.len());
+        for group in &outcome.groups {
+            println!("\ngroup {:?}: {} item(s)", group.name, group.dataset.len());
+            for item in group.dataset.items() {
+                let tags: Vec<String> = group
+                    .map
+                    .item(item)
+                    .map(|row| row.tag_entries().map(|(t, v)| format!("{t}={v}")).collect())
+                    .unwrap_or_default();
+                println!("  {}  [{}]", item, tags.join(", "));
+            }
+        }
+    }
+
+    if let Some(plan) = &plan {
+        let stats = engine.last_run_stats().ok_or("no run statistics were recorded")?;
+        match format {
+            "json" => println!("{}", qurator_plan::render::render_analyze_json(plan, &stats)),
+            _ => print!("\n{}", qurator_plan::render::render_analyze_text(plan, &stats, true)),
+        }
+    }
+    if let Some(path) = flag_value(args, "--stats-out") {
+        let profile = engine
+            .stats_profile(&spec.name)
+            .ok_or("no stats profile was recorded (is stats collection disabled?)")?;
+        std::fs::write(path, profile.to_json())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        if format == "text" {
+            println!("stats profile ({} run(s) observed) -> {path}", profile.runs);
         }
     }
 
@@ -414,6 +464,15 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     }
     println!("run id: {run}");
     println!("{}", profile.render_table());
+    if args.contains(&"--analyze".into()) {
+        // the decayed profile now holds all N iterations, so the plan's
+        // `planned ~N rows` column reflects what this session observed
+        let plan = engine
+            .plan_with_stats(&spec, &qurator_plan::PlanConfig::default())
+            .map_err(|e| e.to_string())?;
+        let stats = engine.last_run_stats().ok_or("no run statistics were recorded")?;
+        print!("\n{}", qurator_plan::render::render_analyze_text(&plan, &stats, true));
+    }
     if let Some(path) = flag_value(args, "--folded") {
         std::fs::write(path, profile.to_folded())
             .map_err(|e| format!("cannot write {path:?}: {e}"))?;
@@ -634,12 +693,48 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `qv bench-check`: validate a `BENCH_*.json` artifact (as written by
+/// `qv bench-check`: validate `BENCH_*.json` artifacts (as written by
 /// the `bench` crate's experiment binaries) against the in-tree schema.
-fn cmd_bench_check(path: &str) -> Result<(), String> {
-    let samples = qurator_telemetry::schema::validate_bench_json(&read_file(path)?)
-        .map_err(|e| format!("{path}: {e}"))?;
-    println!("{path}: ok ({samples} sample(s))");
+/// Accepts a single file, a directory (every `BENCH_*.json` inside it),
+/// or `--all` (the current directory) — the CI gate over the whole
+/// artifact set.
+fn cmd_bench_check(args: &[String]) -> Result<(), String> {
+    let target = args.get(1).ok_or_else(usage)?;
+    let dir = if target == "--all" {
+        std::path::PathBuf::from(".")
+    } else {
+        let path = std::path::PathBuf::from(target);
+        if !path.is_dir() {
+            return check_bench_file(&path);
+        }
+        path
+    };
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("cannot read directory {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no BENCH_*.json artifacts under {}", dir.display()));
+    }
+    for path in &paths {
+        check_bench_file(path)?;
+    }
+    println!("{} artifact(s) ok", paths.len());
+    Ok(())
+}
+
+fn check_bench_file(path: &std::path::Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let samples = qurator_telemetry::schema::validate_bench_json(&text)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("{}: ok ({samples} sample(s))", path.display());
     Ok(())
 }
 
@@ -674,21 +769,38 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
 }
 
 /// `qv telemetry-check`: validate an exported trace (and optionally a
-/// metrics dump and/or an access log) against the in-tree schemas.
+/// metrics dump and/or an access log) against the in-tree schemas. A
+/// metrics dump is additionally linted against the metric-name
+/// convention and the committed allowlist
+/// (`qurator_telemetry::naming::ALLOWLIST`).
 fn cmd_telemetry_check(args: &[String]) -> Result<(), String> {
     let trace_path = args.get(1).ok_or_else(usage)?;
     let spans = qurator_telemetry::schema::validate_trace_jsonl(&read_file(trace_path)?)
         .map_err(|e| format!("{trace_path}: {e}"))?;
     println!("{trace_path}: ok ({spans} span(s))");
     if let Some(metrics_path) = args.get(2).filter(|a| !a.starts_with("--")) {
-        let series = qurator_telemetry::schema::validate_metrics_text(&read_file(metrics_path)?)
+        let text = read_file(metrics_path)?;
+        let series = qurator_telemetry::schema::validate_metrics_text(&text)
             .map_err(|e| format!("{metrics_path}: {e}"))?;
         println!("{metrics_path}: ok ({series} series)");
+        let names = qurator_telemetry::naming::lint_metrics_text(&text)
+            .map_err(|violations| format!("{metrics_path}:\n  {}", violations.join("\n  ")))?;
+        println!("{metrics_path}: naming ok ({names} metric name(s) against the allowlist)");
     }
     if let Some(log_path) = flag_value(args, "--access-log") {
         let records = qurator_telemetry::schema::validate_access_log_jsonl(&read_file(log_path)?)
             .map_err(|e| format!("{log_path}: {e}"))?;
         println!("{log_path}: ok ({records} record(s))");
+    }
+    if let Some(path) = flag_value(args, "--analyze") {
+        let nodes = qurator_telemetry::schema::validate_analyze_json(&read_file(path)?)
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: ok ({nodes} analyzed node(s))");
+    }
+    if let Some(path) = flag_value(args, "--stats-profile") {
+        let nodes = qurator_telemetry::schema::validate_stats_profile_json(&read_file(path)?)
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: ok ({nodes} profiled node(s))");
     }
     Ok(())
 }
@@ -900,6 +1012,55 @@ mod check_tests {
         // --fix is a view-language feature, not a SPARQL one
         let rq = write_temp("fixflags.rq", "SELECT ?s WHERE { ?s ?p ?o . }\n");
         assert!(run(&["check", &rq, "--fix"]).is_err());
+    }
+
+    #[test]
+    fn run_analyze_renders_observed_stats_and_exports_the_profile() {
+        let view = write_temp("analyze.qv", CLEAN_VIEW);
+        let data = write_temp("analyze.tsv", "id\thitRatio\nurn:a\t0.9\nurn:b\t0.1\n");
+        run(&["run", &view, "--data", &data, "--analyze"]).unwrap();
+        run(&["run", &view, "--data", &data, "--analyze", "--format", "json"]).unwrap();
+        // --format gates the analyze rendering, not the run itself
+        assert!(run(&["run", &view, "--data", &data, "--format", "json"]).is_err());
+        assert!(run(&["run", &view, "--data", &data, "--analyze", "--format", "yaml"]).is_err());
+        let out = std::env::temp_dir().join("qv-cli-check-tests").join("profile.json");
+        let out = out.to_string_lossy().into_owned();
+        run(&["run", &view, "--data", &data, "--stats-out", &out]).unwrap();
+        let profile = std::fs::read_to_string(&out).unwrap();
+        let nodes = qurator_telemetry::schema::validate_stats_profile_json(&profile).unwrap();
+        assert!(nodes > 0, "empty stats profile:\n{profile}");
+    }
+
+    #[test]
+    fn bench_check_accepts_a_directory_of_artifacts() {
+        let artifact = r#"{"name":"demo","git_rev":"abc123","config":{"items":"4"},
+            "samples":3,"median_ms":1.0,"p95_ms":2.0,"metrics":{"overhead_pct":1.5}}"#;
+        let dir = std::env::temp_dir().join("qv-cli-bench-check-dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("BENCH_demo.json"), artifact).unwrap();
+        std::fs::write(dir.join("not-a-bench.json"), "{}").unwrap();
+        let dir_arg = dir.to_string_lossy().into_owned();
+        run(&["bench-check", &dir_arg]).unwrap();
+        // a single file still works, and a broken artifact fails the sweep
+        let single = dir.join("BENCH_demo.json").to_string_lossy().into_owned();
+        run(&["bench-check", &single]).unwrap();
+        std::fs::write(dir.join("BENCH_broken.json"), "{}").unwrap();
+        assert!(run(&["bench-check", &dir_arg]).is_err());
+        std::fs::remove_file(dir.join("BENCH_broken.json")).unwrap();
+        // an artifact-free directory is an error, not a silent pass
+        let empty = std::env::temp_dir().join("qv-cli-bench-check-empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(run(&["bench-check", &empty.to_string_lossy()]).is_err());
+    }
+
+    #[test]
+    fn telemetry_check_lints_metric_names() {
+        let trace = write_temp("lint-trace.jsonl", "");
+        let good = write_temp("lint-good.txt", "serve.requests{route=\"/run\"} 3\n");
+        run(&["telemetry-check", &trace, &good]).unwrap();
+        let bad = write_temp("lint-bad.txt", "rogue_metric_total 1\n");
+        let e = run(&["telemetry-check", &trace, &bad]).unwrap_err();
+        assert!(e.contains("allowlist"), "{e}");
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! | GET    | `/runs/<id>`     | correlation bundle for one run id        |
 //! | GET    | `/log/recent`    | JSON-lines from the access-log ring      |
 //! | GET    | `/slo`           | per-route error-budget status, JSON      |
+//! | GET    | `/store`         | storage inventory + journal/compaction   |
+//! | GET    | `/stats/<view>`  | decayed per-view observed-stats profile  |
 //! | POST   | `/run/<view>`    | TSV submission in, group summary out     |
 //!
 //! ## Run correlation
@@ -269,6 +271,7 @@ pub fn route_label(path: &str) -> &'static str {
         "/store" => "/store",
         _ if path.starts_with("/run/") => "/run",
         _ if path.starts_with("/runs/") => "/runs",
+        _ if path.starts_with("/stats/") => "/stats",
         _ => "other",
     }
 }
@@ -351,6 +354,9 @@ fn route_inner(
         }
         ("GET", "/store") => Response::json(200, store_json(state)),
         ("GET", runs) if runs.starts_with("/runs/") => run_bundle(state, &runs["/runs/".len()..]),
+        ("GET", stats) if stats.starts_with("/stats/") => {
+            view_stats(state, &stats["/stats/".len()..])
+        }
         ("POST", run) if run.starts_with("/run/") => run_view(state, &run["/run/".len()..], body),
         (
             _,
@@ -361,15 +367,19 @@ fn route_inner(
         (_, runs) if runs.starts_with("/runs/") => {
             Response::error(405, &format!("{method} not allowed here"))
         }
+        (_, stats) if stats.starts_with("/stats/") => {
+            Response::error(405, &format!("{method} not allowed here"))
+        }
         _ => Response::error(404, &format!("no route for {path}")),
     }
 }
 
 /// `GET /runs/<id>`: the correlation bundle for one run — the retained
 /// span trace (when the sampler kept it), the decision-ledger slice the
-/// run wrote, any ledger events (drift crossings) it tripped, and the
-/// per-node self-time profile of the trace. 404 only when *nothing*
-/// references the id.
+/// run wrote, any ledger events (drift crossings) it tripped, the
+/// per-node self-time profile of the trace, and the run's observed
+/// plan-node statistics (`"stats"`, the EXPLAIN ANALYZE counters). 404
+/// only when *nothing* references the id.
 fn run_bundle(state: &ServeState, id: &str) -> Response {
     let Some(run) = RunId::parse(id) else {
         return Response::error(400, &format!("run id {id:?} is not 16 hex chars"));
@@ -416,6 +426,10 @@ fn run_bundle(state: &ServeState, id: &str) -> Response {
             format!("[{}]", nodes.join(","))
         }
     };
+    let stats_json = match state.engine.run_stats(run) {
+        Some(stats) => stats.to_json(),
+        None => "null".to_string(),
+    };
     let ledger_json: Vec<String> = traces.iter().map(|t| t.to_json()).collect();
     let events_json: Vec<String> = events
         .iter()
@@ -432,7 +446,7 @@ fn run_bundle(state: &ServeState, id: &str) -> Response {
     Response::json(
         200,
         format!(
-            "{{\"run_id\":\"{run}\",\"trace\":{trace_json},\"ledger\":[{}],\"events\":[{}],\"profile\":{profile_json}}}",
+            "{{\"run_id\":\"{run}\",\"trace\":{trace_json},\"ledger\":[{}],\"events\":[{}],\"profile\":{profile_json},\"stats\":{stats_json}}}",
             ledger_json.join(","),
             events_json.join(",")
         ),
@@ -443,9 +457,26 @@ fn index_json(state: &ServeState) -> String {
     let views: Vec<String> =
         state.view_names().iter().map(|v| format!("\"{}\"", escape(v))).collect();
     format!(
-        "{{\"service\":\"qv serve\",\"views\":[{}],\"endpoints\":[\"GET /healthz\",\"GET /metrics\",\"GET /traces/recent\",\"GET /drift\",\"GET /runs/<id>\",\"GET /log/recent\",\"GET /slo\",\"GET /store\",\"POST /run/<view>\"]}}",
+        "{{\"service\":\"qv serve\",\"views\":[{}],\"endpoints\":[\"GET /healthz\",\"GET /metrics\",\"GET /traces/recent\",\"GET /drift\",\"GET /runs/<id>\",\"GET /log/recent\",\"GET /slo\",\"GET /store\",\"GET /stats/<view>\",\"POST /run/<view>\"]}}",
         views.join(",")
     )
+}
+
+/// `GET /stats/<view>`: the decayed per-view observed-statistics profile
+/// (the same document `--stats-out` writes and `lower_with_profile`
+/// reads). 404 distinguishes an unpublished view from a published view
+/// that has not executed yet.
+fn view_stats(state: &ServeState, view: &str) -> Response {
+    if !state.views.contains_key(view) {
+        return Response::error(
+            404,
+            &format!("unknown view {view:?}; published: {}", state.view_names().join(", ")),
+        );
+    }
+    match state.engine.stats_profile(view) {
+        Some(profile) => Response::json(200, profile.to_json()),
+        None => Response::error(404, &format!("view {view:?} has no recorded runs yet")),
+    }
 }
 
 /// `GET /store`: the storage inventory — which backend answers each
@@ -462,13 +493,23 @@ fn store_json(state: &ServeState) -> String {
         .iter()
         .filter_map(|name| {
             let repo = catalog.get(name)?;
+            let status = repo.storage_status();
+            let opt = |v: Option<u64>| v.map_or("null".to_string(), |v| v.to_string());
             Some(format!(
-                "{{\"name\":\"{}\",\"persistent\":{},\"backend\":\"{}\",\"triples\":{},\"terms\":{}}}",
+                "{{\"name\":\"{}\",\"persistent\":{},\"backend\":\"{}\",\"triples\":{},\"terms\":{},\
+                 \"journal_records\":{},\"base_triples\":{},\"dict_bytes\":{},\"compactions\":{},\
+                 \"last_compaction_us\":{},\"last_compaction_folded\":{}}}",
                 escape(name),
                 repo.is_persistent(),
-                repo.backend_name(),
-                repo.triple_count(),
-                repo.term_count()
+                status.backend,
+                status.triples,
+                status.terms,
+                status.journal_records,
+                status.base_triples,
+                status.dict_bytes,
+                status.compactions,
+                opt(status.last_compaction_us),
+                opt(status.last_compaction_folded),
             ))
         })
         .collect();
@@ -1183,6 +1224,50 @@ urn:lsid:t:h:bad\t0.1\t3\t1\n";
         assert_eq!(archive.get("backend").and_then(|v| v.as_str()), Some("disk"));
         assert_eq!(archive.get("persistent").and_then(|v| v.as_bool()), Some(true));
         assert!(archive.get("triples").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        // storage-layer facts: the run's writes are journaled (flushed,
+        // not yet compacted) and the dictionary holds interned terms
+        assert!(archive.get("journal_records").and_then(|v| v.as_u64()).unwrap() > 0);
+        assert!(archive.get("dict_bytes").and_then(|v| v.as_u64()).unwrap() > 0);
+        assert_eq!(archive.get("base_triples").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(archive.get("compactions").and_then(|v| v.as_u64()), Some(0));
+        assert!(archive.get("last_compaction_us").unwrap().is_null());
+    }
+
+    #[test]
+    fn stats_endpoint_serves_the_observed_profile() {
+        let state = state();
+        assert_eq!(route(&state, "POST", "/stats/serve-test", "").status, 405);
+        assert_eq!(route(&state, "GET", "/stats/missing", "").status, 404);
+        // published but never executed: a distinct 404
+        let r = route(&state, "GET", "/stats/serve-test", "");
+        assert_eq!(r.status, 404, "{}", r.body);
+        assert!(r.body.contains("no recorded runs"), "{}", r.body);
+
+        for _ in 0..2 {
+            assert_eq!(route(&state, "POST", "/run/serve-test", DATA).status, 200);
+        }
+        let r = route(&state, "GET", "/stats/serve-test", "");
+        assert_eq!(r.status, 200, "{}", r.body);
+        let nodes = qurator_telemetry::schema::validate_stats_profile_json(&r.body).unwrap();
+        assert!(nodes > 0, "profiled nodes expected: {}", r.body);
+        let value = json::parse(&r.body).unwrap();
+        assert_eq!(value.get("view").and_then(|v| v.as_str()), Some("serve-test"));
+        assert_eq!(value.get("runs").and_then(|v| v.as_u64()), Some(2));
+    }
+
+    #[test]
+    fn run_bundle_joins_the_observed_stats() {
+        let state = state();
+        let r = route(&state, "POST", "/run/serve-test", DATA);
+        assert_eq!(r.status, 200, "{}", r.body);
+        let run = r.run_id.unwrap();
+        let bundle = route(&state, "GET", &format!("/runs/{run}"), "");
+        let value = json::parse(&bundle.body).unwrap();
+        let stats = value.get("stats").expect("stats joined into the bundle");
+        assert_eq!(stats.get("run_id").and_then(|v| v.as_str()), Some(run.to_string().as_str()));
+        assert_eq!(stats.get("items").and_then(|v| v.as_u64()), Some(2));
+        let nodes = stats.get("nodes").and_then(|v| v.as_object()).unwrap();
+        assert!(!nodes.is_empty(), "{}", bundle.body);
     }
 
     /// Satellite regression: a scanner probing arbitrary paths must not

@@ -64,8 +64,24 @@ pub fn compile_with(
     catalog: &RepositoryCatalog,
     config: &PlanConfig,
 ) -> Result<Workflow> {
+    compile_collecting(view, iq, registry, catalog, config).map(|(workflow, _)| workflow)
+}
+
+/// Like [`compile_with`], but also hands back the bound plan's
+/// observed-statistics collector, which the workflow's operators record
+/// into as the enactor runs them. The engine drains it after each run so
+/// EXPLAIN ANALYZE covers the compiled path too.
+pub fn compile_collecting(
+    view: &ValidatedView,
+    iq: &Arc<IqModel>,
+    registry: &ServiceRegistry,
+    catalog: &RepositoryCatalog,
+    config: &PlanConfig,
+) -> Result<(Workflow, Arc<qurator_telemetry::stats::StatsCollector>)> {
     let plan = planner::physical_plan(view, iq, config)?;
-    exec::bind(&plan, iq, registry, catalog)?.into_workflow(&plan)
+    let bound = exec::bind(&plan, iq, registry, catalog)?;
+    let stats = bound.stats.clone();
+    Ok((bound.into_workflow(&plan)?, stats))
 }
 
 #[cfg(test)]

@@ -31,13 +31,18 @@ use qurator_rdf::term::Term;
 use qurator_services::stdlib::{FieldCaptureAnnotator, StatClassifierAssertion, ZScoreAssertion};
 use qurator_services::{AnnotationService, AssertionService, DataSet, ServiceRegistry};
 use qurator_telemetry::span::{SpanId, SpanKind, SpanRecorder, SpanTrace, TraceSession};
+use qurator_telemetry::stats::{profile_file_name, view_key, RunStats, StatsProfile};
 use qurator_telemetry::{
     ActionRecord, AssertionRecord, DecisionLedger, DecisionTrace, EvidenceRecord, LedgerEvent,
     LedgerValue, RunId, TelemetryConfig, TraceMeta, TraceRetainer,
 };
 use qurator_workflow::{Context, Data, EnactmentReport, Enactor, Workflow};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// How many recent per-run stats the engine keeps for `/runs/<id>` joins.
+const RUN_STATS_CAPACITY: usize = 256;
 
 /// The result of executing a quality view over a data set: one group per
 /// action output (a single group for filters; per-group + default for
@@ -86,6 +91,15 @@ pub struct QualityEngine {
     retainer: RwLock<Option<Arc<TraceRetainer>>>,
     /// This engine's cursor into the global drift monitor's event log.
     drift_cursor: RwLock<Option<u64>>,
+    /// Observed-statistics collection switch (on by default; the
+    /// paired-delta bench flips it off to price collection itself).
+    stats_enabled: AtomicBool,
+    /// Recent per-run observed statistics, newest last (bounded ring for
+    /// `/runs/<id>` correlation joins).
+    run_stats: RwLock<VecDeque<RunStats>>,
+    /// Per-view decayed stats profiles, persisted under
+    /// `<store root>/stats/` when a store root is set.
+    stats_profiles: RwLock<BTreeMap<String, StatsProfile>>,
 }
 
 impl QualityEngine {
@@ -100,6 +114,9 @@ impl QualityEngine {
             last_trace: RwLock::new(None),
             retainer: RwLock::new(None),
             drift_cursor: RwLock::new(None),
+            stats_enabled: AtomicBool::new(true),
+            run_stats: RwLock::new(VecDeque::new()),
+            stats_profiles: RwLock::new(BTreeMap::new()),
             iq,
         }
     }
@@ -164,6 +181,89 @@ impl QualityEngine {
     /// so annotations survive a crash immediately after the response.
     pub fn flush_stores(&self) -> Result<()> {
         self.catalog.flush_all().map_err(|e| QuratorError::Execution(e.to_string()))
+    }
+
+    /// Switches observed-statistics collection on or off (on by default).
+    pub fn set_stats_enabled(&self, on: bool) {
+        self.stats_enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether observed-statistics collection is on.
+    pub fn stats_enabled(&self) -> bool {
+        self.stats_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Observed statistics of the most recent run, if any were recorded.
+    pub fn last_run_stats(&self) -> Option<RunStats> {
+        self.run_stats.read().back().cloned()
+    }
+
+    /// Observed statistics of a specific run still in the bounded ring.
+    pub fn run_stats(&self, run: RunId) -> Option<RunStats> {
+        self.run_stats.read().iter().rev().find(|s| s.run_id == Some(run)).cloned()
+    }
+
+    /// The decayed stats profile of a view: the in-memory aggregate when
+    /// this engine has executed the view, else (when a store root is set)
+    /// whatever a previous process persisted under `<root>/stats/`.
+    pub fn stats_profile(&self, view: &str) -> Option<StatsProfile> {
+        if let Some(profile) = self.stats_profiles.read().get(view).cloned() {
+            return Some(profile);
+        }
+        let root = self.catalog.store_root()?;
+        StatsProfile::load(&root.join("stats").join(profile_file_name(view))).ok()
+    }
+
+    /// Writes every in-memory stats profile under `dir` (one JSON file
+    /// per view). Returns the paths written.
+    pub fn save_stats_profiles(&self, dir: &std::path::Path) -> Result<Vec<std::path::PathBuf>> {
+        let mut written = Vec::new();
+        for (view, profile) in self.stats_profiles.read().iter() {
+            let path = dir.join(profile_file_name(view));
+            profile.save(&path).map_err(|e| {
+                QuratorError::Execution(format!("writing stats profile {}: {e}", path.display()))
+            })?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+
+    /// Folds one run's drained statistics into the ring and the view's
+    /// decayed profile (persisting the profile when a store root is set).
+    fn note_run_stats(&self, stats: RunStats) {
+        if stats.nodes.is_empty() {
+            return;
+        }
+        {
+            let mut profiles = self.stats_profiles.write();
+            let profile = profiles.entry(stats.view.clone()).or_insert_with(|| {
+                let key = view_key(&stats.view, stats.nodes.keys().map(|s| s.as_str()));
+                // continue a persisted profile's decay across restarts
+                // (but only when the node set still matches — an edited
+                // view starts a fresh profile under its new key)
+                self.catalog
+                    .store_root()
+                    .and_then(|root| {
+                        StatsProfile::load(
+                            &root.join("stats").join(profile_file_name(&stats.view)),
+                        )
+                        .ok()
+                    })
+                    .filter(|persisted| persisted.key == key)
+                    .unwrap_or_else(|| StatsProfile::new(stats.view.clone(), key))
+            });
+            profile.observe(&stats);
+            if let Some(root) = self.catalog.store_root() {
+                // best-effort persistence: a read-only store directory
+                // must not fail the run itself
+                let _ = profile.save(&root.join("stats").join(profile_file_name(&stats.view)));
+            }
+        }
+        let mut ring = self.run_stats.write();
+        if ring.len() >= RUN_STATS_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(stats);
     }
 
     /// Projects the repository catalog to the facts the static analyzer
@@ -352,6 +452,23 @@ impl QualityEngine {
         planner::physical_plan(&view, &self.iq, config)
     }
 
+    /// The physical plan lowered with the view's observed stats profile
+    /// (when one exists — in memory or persisted under the store root):
+    /// the `stats-profile` pass installs the decayed cardinalities as
+    /// [`PhysicalPlan::observed_rows`], the cost-model input. Without a
+    /// profile this is identical to [`QualityEngine::plan_with`].
+    pub fn plan_with_stats(
+        &self,
+        spec: &QualityViewSpec,
+        config: &PlanConfig,
+    ) -> Result<PhysicalPlan> {
+        let view = self.validate(spec)?;
+        let logical = planner::logical_plan(&view, &self.iq);
+        let profile = self.stats_profile(&spec.name);
+        qurator_plan::lower_with_profile(&logical, config, profile.as_ref())
+            .map_err(|e| QuratorError::Compile(e.to_string()))
+    }
+
     /// Runs the full `qv check` analysis: every view-level lint pass, the
     /// binding layer, and — when the view is otherwise clean — the
     /// compiled-workflow pass. Unlike [`QualityEngine::validate`] this
@@ -534,6 +651,7 @@ impl QualityEngine {
             .counter_with("engine.execute.count", &[("path", "interpreted")])
             .inc();
         let bound = exec::bind(plan, &self.iq, &self.registry, &self.catalog)?;
+        bound.stats.set_enabled(self.stats_enabled());
         let session = TraceSession::new();
         let mut rec = session.recorder();
         let view_span = rec.start(format!("view:{}", plan.view), SpanKind::View, None);
@@ -555,6 +673,7 @@ impl QualityEngine {
         // phase span the failure interrupted
         rec.end_open();
         let trace = SpanTrace::from_spans(rec.finish());
+        self.note_run_stats(bound.stats.drain(&plan.view, Some(run), dataset.len() as u64));
         self.observe_trace(
             trace,
             RunContext { run_id: run, view: plan.view.clone(), error, rejected },
@@ -818,12 +937,16 @@ impl QualityEngine {
         qurator_telemetry::metrics()
             .counter_with("engine.execute.count", &[("path", "compiled")])
             .inc();
-        let workflow = self.compile_with(spec, config)?;
+        let view = self.validate(spec)?;
+        let (workflow, stats) =
+            compile::compile_collecting(&view, &self.iq, &self.registry, &self.catalog, config)?;
+        stats.set_enabled(self.stats_enabled());
         let inputs = BTreeMap::from([(
             compile::DATASET_INPUT.to_string(),
             convert::dataset_to_data(dataset),
         )]);
         let report = Enactor::new().with_run_id(run).run(&workflow, &inputs, &Context::new())?;
+        self.note_run_stats(stats.drain(&spec.name, Some(run), dataset.len() as u64));
         let outcome = decode_outcome(spec, &report.outputs)?;
         if self.ledger.enabled() {
             self.record_compiled_provenance(spec, dataset, &outcome, &report, run);

@@ -14,6 +14,7 @@ use qurator_ontology::IqModel;
 use qurator_plan::{ActKind, PhysicalPlan, ShortCircuit, CONSOLIDATE_NODE, ENRICH_NODE};
 use qurator_rdf::term::Iri;
 use qurator_services::{ServiceRegistry, VariableBindings};
+use qurator_telemetry::stats::StatsCollector;
 use qurator_workflow::{PortRef, Workflow};
 use std::sync::Arc;
 
@@ -32,6 +33,11 @@ pub struct BoundPlan {
     /// Action operators (with plan-time short-circuit hints installed),
     /// in plan order.
     pub actions: Vec<(String, Arc<ActionProcessor>)>,
+    /// The shared observed-statistics sink every operator above records
+    /// into. Both execution engines drain it after a run, so EXPLAIN
+    /// ANALYZE sees identical counters on the interpreted and compiled
+    /// paths.
+    pub stats: Arc<StatsCollector>,
 }
 
 /// One bound Assert node.
@@ -51,6 +57,7 @@ pub fn bind(
     registry: &ServiceRegistry,
     catalog: &RepositoryCatalog,
 ) -> Result<BoundPlan> {
+    let stats = Arc::new(StatsCollector::new());
     let resolve_repo = |name: &str| -> Arc<AnnotationRepository> {
         if let Some(repo) = catalog.get(name) {
             return repo;
@@ -68,7 +75,10 @@ pub fn bind(
         let repo = resolve_repo(&node.repository);
         annotators.push((
             node.name.clone(),
-            Arc::new(AnnotatorProcessor::new(node.name.clone(), service, repo)),
+            Arc::new(
+                AnnotatorProcessor::new(node.name.clone(), service, repo)
+                    .with_stats(stats.clone()),
+            ),
         ));
     }
 
@@ -81,7 +91,8 @@ pub fn bind(
             fetches.push((evidence.clone(), repo.clone()));
         }
     }
-    let enrichment = Arc::new(DataEnrichmentProcessor::new(ENRICH_NODE, fetches));
+    let enrichment =
+        Arc::new(DataEnrichmentProcessor::new(ENRICH_NODE, fetches).with_stats(stats.clone()));
 
     let mut assertions = Vec::with_capacity(plan.assertions.len());
     for assert in &plan.assertions {
@@ -99,12 +110,15 @@ pub fn bind(
         }
         assertions.push(BoundAssert {
             name: assert.node.name.clone(),
-            processor: Arc::new(AssertionProcessor::new(
-                assert.node.name.clone(),
-                service,
-                bindings,
-                assert.node.tag.clone(),
-            )),
+            processor: Arc::new(
+                AssertionProcessor::new(
+                    assert.node.name.clone(),
+                    service,
+                    bindings,
+                    assert.node.tag.clone(),
+                )
+                .with_stats(stats.clone()),
+            ),
             depends_on: assert.depends_on.clone(),
         });
     }
@@ -123,12 +137,13 @@ pub fn bind(
             act.node.name.clone(),
             Arc::new(
                 ActionProcessor::new(act.node.name.clone(), compiled, iq.clone())
-                    .with_short_circuit(hints),
+                    .with_short_circuit(hints)
+                    .with_stats(stats.clone()),
             ),
         ));
     }
 
-    Ok(BoundPlan { annotators, enrichment, assertions, actions })
+    Ok(BoundPlan { annotators, enrichment, assertions, actions, stats })
 }
 
 impl BoundPlan {

@@ -20,6 +20,7 @@ use qurator_expr::{Env, Expr, Value};
 use qurator_ontology::IqModel;
 use qurator_rdf::term::{Iri, Term};
 use qurator_services::{AnnotationService, AssertionService, DataSet, VariableBindings};
+use qurator_telemetry::stats::{NodeStats, StatsCollector};
 use qurator_telemetry::{Counter, Histogram};
 use qurator_workflow::{Context, Data, Processor, WorkflowError};
 use std::collections::BTreeMap;
@@ -52,6 +53,7 @@ pub struct AnnotatorProcessor {
     name: String,
     service: Arc<dyn AnnotationService>,
     repository: Arc<AnnotationRepository>,
+    stats: Option<Arc<StatsCollector>>,
 }
 
 impl AnnotatorProcessor {
@@ -61,16 +63,38 @@ impl AnnotatorProcessor {
         service: Arc<dyn AnnotationService>,
         repository: Arc<AnnotationRepository>,
     ) -> Self {
-        AnnotatorProcessor { name: name.into(), service, repository }
+        AnnotatorProcessor { name: name.into(), service, repository, stats: None }
+    }
+
+    /// Attaches the shared observed-statistics sink.
+    pub fn with_stats(mut self, stats: Arc<StatsCollector>) -> Self {
+        self.stats = Some(stats);
+        self
     }
 
     /// Runs the annotation directly (shared with the interpreter path):
     /// computes evidence for the data set, writes it to the repository,
     /// returns the number of annotations written.
     pub fn annotate(&self, dataset: &DataSet) -> Result<usize> {
-        self.service
+        let started = Instant::now();
+        let written = self
+            .service
             .annotate(dataset, &self.repository)
-            .map_err(|e| QuratorError::Execution(e.to_string()))
+            .map_err(|e| QuratorError::Execution(e.to_string()))?;
+        if let Some(stats) = &self.stats {
+            stats.record(
+                &self.name,
+                NodeStats {
+                    calls: 1,
+                    rows_in: dataset.len() as u64,
+                    rows_out: dataset.len() as u64,
+                    evidence: written as u64,
+                    hits: 0,
+                    wall_ns: started.elapsed().as_nanos() as u64,
+                },
+            );
+        }
+        Ok(written)
     }
 }
 
@@ -110,6 +134,7 @@ pub struct DataEnrichmentProcessor {
     /// Fan enrichment out over scoped threads (repository groups × item
     /// chunks). On by default; disable for the E5 sequential ablation.
     parallel: bool,
+    stats: Option<Arc<StatsCollector>>,
 }
 
 /// Floor on items per parallel enrichment chunk: below this a chunk is not
@@ -119,12 +144,18 @@ const PARALLEL_CHUNK_MIN: usize = 4096;
 impl DataEnrichmentProcessor {
     /// Builds the operator from its fetch plan.
     pub fn new(name: impl Into<String>, plan: Vec<(Iri, Arc<AnnotationRepository>)>) -> Self {
-        DataEnrichmentProcessor { name: name.into(), plan, parallel: true }
+        DataEnrichmentProcessor { name: name.into(), plan, parallel: true, stats: None }
     }
 
     /// Switches parallel fan-out on or off.
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
+        self
+    }
+
+    /// Attaches the shared observed-statistics sink.
+    pub fn with_stats(mut self, stats: Arc<StatsCollector>) -> Self {
+        self.stats = Some(stats);
         self
     }
 
@@ -165,17 +196,49 @@ impl DataEnrichmentProcessor {
     pub fn enrich(&self, items: &[Term]) -> Result<AnnotationMap> {
         let started = Instant::now();
         enrich_op_items().add(items.len() as u64);
+        let map = self.enrich_inner(items)?;
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        enrich_op_latency().record(wall_ns);
+        if let Some(stats) = &self.stats {
+            if stats.enabled() {
+                // Observed evidence cardinality and per-item hit rate: one
+                // pass over the enriched map (rows are item-count sized,
+                // not evidence-count sized, so this stays cheap).
+                let mut evidence = 0u64;
+                let mut hits = 0u64;
+                for item in map.items() {
+                    let n = map.item(item).map_or(0, |row| row.evidence_entries().count());
+                    if n > 0 {
+                        hits += 1;
+                    }
+                    evidence += n as u64;
+                }
+                stats.record(
+                    &self.name,
+                    NodeStats {
+                        calls: 1,
+                        rows_in: items.len() as u64,
+                        rows_out: map.len() as u64,
+                        evidence,
+                        hits,
+                        wall_ns,
+                    },
+                );
+            }
+        }
+        Ok(map)
+    }
+
+    fn enrich_inner(&self, items: &[Term]) -> Result<AnnotationMap> {
         let groups = self.grouped_plan();
 
         // A single-repository plan (the common §6.1 outcome) is exactly one
         // bulk call: the returned map is already seeded with the item set,
         // so there is nothing to fan out or merge.
         if let [(repository, types)] = groups.as_slice() {
-            let map = repository
+            return repository
                 .enrich_bulk(items, types)
                 .map_err(|e| QuratorError::Execution(e.to_string()));
-            enrich_op_latency().record(started.elapsed().as_nanos() as u64);
-            return map;
         }
 
         let mut combined = AnnotationMap::for_items(items.iter().cloned());
@@ -229,7 +292,6 @@ impl DataEnrichmentProcessor {
         for partial in partials {
             combined.merge(&partial?);
         }
-        enrich_op_latency().record(started.elapsed().as_nanos() as u64);
         Ok(combined)
     }
 }
@@ -266,6 +328,7 @@ pub struct AssertionProcessor {
     service: Arc<dyn AssertionService>,
     bindings: VariableBindings,
     tag: String,
+    stats: Option<Arc<StatsCollector>>,
 }
 
 impl AssertionProcessor {
@@ -276,12 +339,19 @@ impl AssertionProcessor {
         bindings: VariableBindings,
         tag: impl Into<String>,
     ) -> Self {
-        AssertionProcessor { name: name.into(), service, bindings, tag: tag.into() }
+        AssertionProcessor { name: name.into(), service, bindings, tag: tag.into(), stats: None }
+    }
+
+    /// Attaches the shared observed-statistics sink.
+    pub fn with_stats(mut self, stats: Arc<StatsCollector>) -> Self {
+        self.stats = Some(stats);
+        self
     }
 
     /// Runs the assertion directly (shared with the interpreter path, so
     /// classification counting covers both execution modes).
     pub fn assert_quality(&self, map: &mut AnnotationMap) -> Result<()> {
+        let started = Instant::now();
         self.service
             .assert_quality(map, &self.bindings, &self.tag)
             .map_err(|e| QuratorError::Execution(e.to_string()))?;
@@ -315,6 +385,19 @@ impl AssertionProcessor {
             let counts: Vec<(&str, u64)> =
                 per_class.iter().map(|(label, count)| (label.as_str(), *count)).collect();
             qurator_telemetry::drift::global().observe_bulk(&self.tag, &counts);
+        }
+        if let Some(stats) = &self.stats {
+            stats.record(
+                &self.name,
+                NodeStats {
+                    calls: 1,
+                    rows_in: map.len() as u64,
+                    rows_out: map.len() as u64,
+                    evidence: 0,
+                    hits: tagged,
+                    wall_ns: started.elapsed().as_nanos() as u64,
+                },
+            );
         }
         Ok(())
     }
@@ -426,6 +509,7 @@ pub struct ActionProcessor {
     /// outcome is identical because the optimizer only hints conditions
     /// that reference no variables.
     short_circuit: Vec<Option<bool>>,
+    stats: Option<Arc<StatsCollector>>,
 }
 
 impl ActionProcessor {
@@ -437,6 +521,7 @@ impl ActionProcessor {
             iq,
             parse_cache: Mutex::new(BTreeMap::new()),
             short_circuit: Vec::new(),
+            stats: None,
         }
     }
 
@@ -444,6 +529,12 @@ impl ActionProcessor {
     /// `None` slots evaluate normally).
     pub fn with_short_circuit(mut self, hints: Vec<Option<bool>>) -> Self {
         self.short_circuit = hints;
+        self
+    }
+
+    /// Attaches the shared observed-statistics sink.
+    pub fn with_stats(mut self, stats: Arc<StatsCollector>) -> Self {
+        self.stats = Some(stats);
         self
     }
 
@@ -472,6 +563,7 @@ impl ActionProcessor {
 
     /// Runs the action directly (shared with the interpreter path).
     pub fn apply(&self, dataset: &DataSet, map: &AnnotationMap) -> Result<Vec<GroupResult>> {
+        let started = Instant::now();
         // A short-circuited slot needs no parse and no per-item evaluation
         enum Cond {
             Eval(Expr),
@@ -538,6 +630,21 @@ impl ActionProcessor {
                 dataset: dataset.restrict(&default_group),
                 map: map.restrict(&default_group),
             });
+        }
+        if let Some(stats) = &self.stats {
+            stats.record(
+                &self.action_name,
+                NodeStats {
+                    calls: 1,
+                    rows_in: dataset.len() as u64,
+                    rows_out: out.iter().map(|g| g.dataset.len() as u64).sum(),
+                    evidence: 0,
+                    // rows some condition accepted (for a filter, the
+                    // default group holds exactly the rejected items)
+                    hits: (dataset.len() - default_group.len()) as u64,
+                    wall_ns: started.elapsed().as_nanos() as u64,
+                },
+            );
         }
         Ok(out)
     }

@@ -32,7 +32,7 @@ pub use logical::{
     ActKind, ActNode, AnnotateNode, AssertNode, Binding, EnrichNode, LogicalNode, LogicalPlan,
     TagKind, CONSOLIDATE_NODE, ENRICH_NODE,
 };
-pub use passes::lower;
+pub use passes::{lower, lower_with_profile};
 pub use physical::{
     EnrichGroup, PassReport, PhysicalAct, PhysicalAssert, PhysicalPlan, PlanConfig, ShortCircuit,
 };

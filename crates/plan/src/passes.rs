@@ -27,12 +27,29 @@ use crate::physical::{
     EnrichGroup, PassReport, PhysicalAct, PhysicalAssert, PhysicalPlan, PlanConfig, ShortCircuit,
 };
 use crate::{PlanError, Result};
+use qurator_telemetry::stats::StatsProfile;
 use std::time::Instant;
 
 /// Lowers a logical plan to a physical plan, running the optimizing
 /// passes unless `config.optimize` is off (wave scheduling always runs —
 /// it is required output, not an optimization).
 pub fn lower(logical: &LogicalPlan, config: &PlanConfig) -> Result<PhysicalPlan> {
+    lower_with_profile(logical, config, None)
+}
+
+/// Like [`lower`], but additionally consults a persisted observed-stats
+/// profile (decayed per-node aggregates from previous runs of the same
+/// view, see [`StatsProfile`]). When a profile is supplied, a
+/// `stats-profile` pass runs after the optimizing passes and installs
+/// the observed output cardinalities on
+/// [`PhysicalPlan::observed_rows`] — the hook through which the cost
+/// model reads real cardinalities instead of guessing. With `None` this
+/// is exactly [`lower`], byte-for-byte.
+pub fn lower_with_profile(
+    logical: &LogicalPlan,
+    config: &PlanConfig,
+    profile: Option<&StatsProfile>,
+) -> Result<PhysicalPlan> {
     let enrich = logical.enrich().cloned().unwrap_or_default();
     let mut plan = PhysicalPlan {
         view: logical.view.clone(),
@@ -59,6 +76,7 @@ pub fn lower(logical: &LogicalPlan, config: &PlanConfig) -> Result<PhysicalPlan>
             .collect(),
         waves: Vec::new(),
         passes: Vec::new(),
+        observed_rows: Vec::new(),
     };
 
     if config.optimize {
@@ -66,6 +84,9 @@ pub fn lower(logical: &LogicalPlan, config: &PlanConfig) -> Result<PhysicalPlan>
         run_pass(&mut plan, "enrich-fusion", enrich_fusion);
         run_pass(&mut plan, "cache-routing", cache_routing);
         run_pass(&mut plan, "action-short-circuit", action_short_circuit);
+    }
+    if let Some(profile) = profile {
+        run_pass(&mut plan, "stats-profile", |plan| stats_profile(plan, profile));
     }
     run_pass(&mut plan, "wave-schedule", wave_schedule);
     Ok(plan)
@@ -103,7 +124,7 @@ fn resolve_dependencies(logical: &LogicalPlan) -> Result<Vec<PhysicalAssert>> {
 fn run_pass(
     plan: &mut PhysicalPlan,
     name: &'static str,
-    pass: fn(&mut PhysicalPlan) -> PassOutcome,
+    pass: impl FnOnce(&mut PhysicalPlan) -> PassOutcome,
 ) {
     let started = Instant::now();
     let outcome = pass(plan);
@@ -231,6 +252,27 @@ fn action_short_circuit(plan: &mut PhysicalPlan) -> PassOutcome {
         }
     }
     PassOutcome { changed: !notes.is_empty(), notes }
+}
+
+/// stats-profile: copy the decayed observed output cardinalities of
+/// previous runs onto the plan, in process order, for nodes the profile
+/// has seen. Purely informational today (EXPLAIN shows the figures);
+/// the cost model reads `observed_rows` when it needs real
+/// cardinalities.
+fn stats_profile(plan: &mut PhysicalPlan, profile: &StatsProfile) -> PassOutcome {
+    let names: Vec<String> = plan.process_order().iter().map(|s| s.to_string()).collect();
+    let mut notes =
+        vec![format!("profile: {} run(s) observed, alpha {}", profile.runs, profile.alpha)];
+    for name in names {
+        let Some(node) = profile.node(&name) else { continue };
+        let rows = node.rows_out.round() as u64;
+        notes.push(format!(
+            "{name}: ~{rows} rows out, ~{} evidence",
+            node.evidence.round() as u64
+        ));
+        plan.observed_rows.push((name, rows));
+    }
+    PassOutcome { changed: !plan.observed_rows.is_empty(), notes }
 }
 
 /// wave-schedule: antichains in dependency order — annotators first (the
@@ -415,6 +457,40 @@ mod tests {
             ]
         );
         assert_eq!(plan.assertions[1].depends_on, vec!["qa1".to_string()]);
+    }
+
+    #[test]
+    fn stats_profile_installs_observed_rows() {
+        use qurator_telemetry::stats::{view_key, NodeStats, RunStats, StatsProfile};
+
+        let logical = base_plan();
+        let baseline = lower(&logical, &PlanConfig::default()).unwrap();
+        assert!(baseline.observed_rows.is_empty(), "no profile, no observed figures");
+
+        let mut run = RunStats { view: "t".into(), run_id: None, items: 5, ..Default::default() };
+        run.nodes.insert(
+            "qa1".into(),
+            NodeStats { calls: 1, rows_in: 5, rows_out: 5, evidence: 0, hits: 5, wall_ns: 10 },
+        );
+        run.nodes.insert(
+            "keep".into(),
+            NodeStats { calls: 1, rows_in: 5, rows_out: 3, evidence: 0, hits: 3, wall_ns: 10 },
+        );
+        let node_names = baseline.process_order();
+        let mut profile = StatsProfile::new("t", view_key("t", node_names.iter().copied()));
+        profile.observe(&run);
+
+        let plan = lower_with_profile(&logical, &PlanConfig::default(), Some(&profile)).unwrap();
+        assert_eq!(plan.observed_rows("qa1"), Some(5));
+        assert_eq!(plan.observed_rows("keep"), Some(3));
+        assert_eq!(plan.observed_rows("ann"), None, "profile never saw it");
+        let pass = plan.passes.iter().find(|p| p.pass == "stats-profile").unwrap();
+        assert!(pass.changed);
+        assert!(pass.notes[0].contains("1 run(s) observed"));
+        // the profile pass never perturbs anything the executors consume
+        assert_eq!(plan.waves, baseline.waves);
+        assert_eq!(plan.enrich, baseline.enrich);
+        assert_eq!(plan.actions, baseline.actions);
     }
 
     #[test]

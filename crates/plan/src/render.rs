@@ -4,10 +4,19 @@
 //! pass *did* (changed flag and notes) but never timings, so the output
 //! is byte-stable across runs and suitable for golden-snapshot tests.
 //! [`render_json`] carries the full plan including pass durations.
+//!
+//! [`render_analyze_text`] / [`render_analyze_json`] are the EXPLAIN
+//! ANALYZE renderers: the plan tree annotated with the *observed*
+//! per-node statistics of one run ([`RunStats`]), plus the planned
+//! cardinalities when the plan was lowered with a stats profile. With
+//! `timing: false` the text form omits run id and wall times, making it
+//! byte-identical across backends and runs — the
+//! `backend_equivalence`-style tests rely on this.
 
-use crate::logical::{ActKind, Binding};
+use crate::logical::{ActKind, Binding, CONSOLIDATE_NODE, ENRICH_NODE};
 use crate::physical::{PhysicalPlan, ShortCircuit};
 use qurator_telemetry::json::escape;
+use qurator_telemetry::stats::RunStats;
 use std::fmt::Write as _;
 
 /// Renders the EXPLAIN text for a physical plan. Byte-deterministic for
@@ -235,6 +244,110 @@ pub fn render_json(plan: &PhysicalPlan) -> String {
     out
 }
 
+/// Every plan node in process order with its analyze `kind` label (the
+/// vocabulary [`qurator_telemetry::schema::validate_analyze_json`]
+/// accepts).
+fn analyze_nodes(plan: &PhysicalPlan) -> Vec<(&str, &'static str)> {
+    let mut out: Vec<(&str, &'static str)> = Vec::new();
+    for a in &plan.annotators {
+        out.push((a.name.as_str(), "annotate"));
+    }
+    out.push((ENRICH_NODE, "enrich"));
+    for a in &plan.assertions {
+        out.push((a.node.name.as_str(), "assert"));
+    }
+    out.push((CONSOLIDATE_NODE, "consolidate"));
+    for a in &plan.actions {
+        out.push((a.node.name.as_str(), "act"));
+    }
+    out
+}
+
+/// Renders the EXPLAIN ANALYZE text: the node tree annotated with one
+/// run's observed counters. Nodes that recorded nothing (today only the
+/// consolidation step, which is uninstrumented by design so the
+/// interpreter and the compiled engine stay comparable) are omitted.
+/// With `timing: false` the output carries no run id and no durations —
+/// byte-identical for equal runs on any backend.
+pub fn render_analyze_text(plan: &PhysicalPlan, stats: &RunStats, timing: bool) -> String {
+    let mut out = String::new();
+    let mode = if plan.optimized { "optimized" } else { "unoptimized" };
+    let _ = writeln!(out, "analyze for view {:?} ({mode})", plan.view);
+    if timing {
+        match &stats.run_id {
+            Some(run) => {
+                let _ = writeln!(out, "run: {run}");
+            }
+            None => {
+                let _ = writeln!(out, "run: -");
+            }
+        }
+        let _ = writeln!(out, "total self time: {:.1} us", stats.total_wall_ns() as f64 / 1000.0);
+    }
+    let _ = writeln!(out, "items: {}", stats.items);
+    let _ = writeln!(out, "nodes:");
+    for (name, kind) in analyze_nodes(plan) {
+        let Some(n) = stats.node(name) else { continue };
+        let _ = write!(
+            out,
+            "  {kind} {name:?}: calls {} | rows {} -> {} | evidence {} | hits {}",
+            n.calls, n.rows_in, n.rows_out, n.evidence, n.hits
+        );
+        if let Some(planned) = plan.observed_rows(name) {
+            let _ = write!(out, " | planned ~{planned} rows");
+        }
+        if timing {
+            let _ = write!(out, " | self {:.1} us", n.wall_ns as f64 / 1000.0);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the machine-readable EXPLAIN ANALYZE document (validated by
+/// [`qurator_telemetry::schema::validate_analyze_json`]).
+/// `planned_rows` is the profile figure when the plan was lowered with
+/// one, else `null`.
+pub fn render_analyze_json(plan: &PhysicalPlan, stats: &RunStats) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"type\": \"analyze\",\n");
+    let _ = writeln!(out, "  \"view\": \"{}\",", escape(&plan.view));
+    let _ = writeln!(out, "  \"optimized\": {},", plan.optimized);
+    match &stats.run_id {
+        Some(run) => {
+            let _ = writeln!(out, "  \"run_id\": \"{run}\",");
+        }
+        None => out.push_str("  \"run_id\": null,\n"),
+    }
+    let _ = writeln!(out, "  \"items\": {},", stats.items);
+    out.push_str("  \"nodes\": [");
+    let mut first = true;
+    for (name, kind) in analyze_nodes(plan) {
+        let Some(n) = stats.node(name) else { continue };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let planned = match plan.observed_rows(name) {
+            Some(rows) => rows.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            out,
+            "\n    {{\"node\": \"{}\", \"kind\": \"{kind}\", \"calls\": {}, \"rows_in\": {}, \"rows_out\": {}, \"evidence\": {}, \"hits\": {}, \"planned_rows\": {planned}, \"wall_us\": {:.3}}}",
+            escape(name),
+            n.calls,
+            n.rows_in,
+            n.rows_out,
+            n.evidence,
+            n.hits,
+            n.wall_ns as f64 / 1000.0
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +412,57 @@ mod tests {
         assert_eq!(value.get("waves").and_then(|v| v.as_array()).map(|w| w.len()), Some(5));
         let passes = value.get("passes").and_then(|v| v.as_array()).unwrap();
         assert!(passes.iter().all(|p| p.get("duration_us").and_then(|d| d.as_u64()).is_some()));
+    }
+
+    fn sample_stats() -> RunStats {
+        use qurator_telemetry::stats::NodeStats;
+        let mut stats = RunStats { view: "sample".into(), run_id: None, items: 4, ..Default::default() };
+        let node = |rows_out, evidence, hits, wall_ns| NodeStats {
+            calls: 1,
+            rows_in: 4,
+            rows_out,
+            evidence,
+            hits,
+            wall_ns,
+        };
+        stats.nodes.insert("ann".into(), node(4, 4, 0, 1500));
+        stats.nodes.insert(ENRICH_NODE.into(), node(4, 4, 4, 2500));
+        stats.nodes.insert("qa".into(), node(4, 0, 4, 500));
+        stats.nodes.insert("keep".into(), node(2, 0, 2, 700));
+        stats
+    }
+
+    #[test]
+    fn analyze_text_without_timing_is_duration_free() {
+        let text = render_analyze_text(&sample(), &sample_stats(), false);
+        assert!(text.contains("analyze for view \"sample\" (optimized)"));
+        assert!(text.contains("items: 4"));
+        assert!(text.contains("annotate \"ann\": calls 1 | rows 4 -> 4 | evidence 4 | hits 0"));
+        assert!(text.contains("enrich \"DataEnrichment\""));
+        assert!(text.contains("act \"keep\": calls 1 | rows 4 -> 2"));
+        assert!(!text.contains("Consolidate"), "uninstrumented node is omitted");
+        assert!(!text.contains(" us"), "timing=false output must be duration-free");
+        assert!(!text.contains("run:"));
+
+        let timed = render_analyze_text(&sample(), &sample_stats(), true);
+        assert!(timed.contains("run: -"));
+        assert!(timed.contains("total self time: 5.2 us"));
+        assert!(timed.contains("self 1.5 us"));
+    }
+
+    #[test]
+    fn analyze_json_passes_the_schema_validator() {
+        let plan = sample();
+        let json = render_analyze_json(&plan, &sample_stats());
+        let nodes = qurator_telemetry::schema::validate_analyze_json(&json).expect("valid analyze");
+        assert_eq!(nodes, 4, "ann, Enrich, qa, keep — consolidate omitted");
+        let value = qurator_telemetry::json::parse(&json).unwrap();
+        let nodes = value.get("nodes").and_then(|v| v.as_array()).unwrap();
+        // no profile on this plan: planned_rows is null everywhere
+        assert!(nodes.iter().all(|n| matches!(
+            n.get("planned_rows"),
+            Some(qurator_telemetry::json::Value::Null)
+        )));
     }
 
     #[test]

@@ -90,6 +90,12 @@ impl DiskDict {
         self.offsets.len()
     }
 
+    /// On-disk size of the dictionary file in bytes (the
+    /// `store.dict.bytes` gauge).
+    pub fn bytes(&self) -> u64 {
+        self.end
+    }
+
     fn payload(&self, id: u32) -> Option<Vec<u8>> {
         let &(off, len) = self.offsets.get(id as usize)?;
         let mut buf = vec![0u8; len as usize];

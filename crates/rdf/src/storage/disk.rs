@@ -20,16 +20,43 @@ use crate::store::{GraphStore, Key};
 use crate::term::Term;
 use crate::triple::{PatternTerm, Triple, TriplePattern};
 use crate::{RdfError, Result};
+use qurator_telemetry::{Counter, Histogram};
 use std::collections::BTreeSet;
 use std::fs::OpenOptions;
 use std::io::Write;
 use std::iter::Peekable;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use super::dict::DiskDict;
 use super::segment::{sync_dir, BaseSegment, Order, SegmentWriter};
 use super::wal::{Wal, OP_ADD, OP_CLEAR, OP_DEL};
-use super::{IndexChoice, Storage};
+use super::{IndexChoice, Storage, StorageStatus};
+
+fn compact_count() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| qurator_telemetry::metrics().counter("store.compact.count"))
+}
+
+fn compact_duration() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| qurator_telemetry::metrics().histogram("store.compact.duration_us"))
+}
+
+fn compact_folded() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| qurator_telemetry::metrics().histogram("store.compact.folded"))
+}
+
+/// Refreshes the storage size gauges (base segment triples, dictionary
+/// terms and bytes) after open and after every compaction.
+fn update_size_gauges(base_triples: u64, dict_terms: u64, dict_bytes: u64) {
+    let metrics = qurator_telemetry::metrics();
+    metrics.gauge("store.base.triples").set(base_triples as i64);
+    metrics.gauge("store.dict.terms").set(dict_terms as i64);
+    metrics.gauge("store.dict.bytes").set(dict_bytes as i64);
+}
 
 /// Journal records accumulated before `flush` folds the delta into the base
 /// segment automatically.
@@ -201,6 +228,12 @@ pub struct DiskBackend {
     next_blank: u64,
     auto_compact_records: usize,
     crashed: bool,
+    /// Compactions performed over this backend's lifetime (including the
+    /// replay-then-compact on open).
+    compactions: u64,
+    last_compaction_us: u64,
+    /// Journal records folded into the base by the last compaction.
+    last_compaction_folded: u64,
 }
 
 impl DiskBackend {
@@ -266,9 +299,18 @@ impl DiskBackend {
                 next_blank: 0,
                 auto_compact_records: AUTO_COMPACT_RECORDS,
                 crashed: false,
+                compactions: 0,
+                last_compaction_us: 0,
+                last_compaction_folded: 0,
             };
             if backend.wal.records > 0 {
                 backend.compact()?;
+            } else {
+                update_size_gauges(
+                    backend.base.as_ref().map_or(0, |b| b.count),
+                    backend.dict.len() as u64,
+                    backend.dict.bytes(),
+                );
             }
             Ok(backend)
         }
@@ -361,6 +403,8 @@ impl DiskBackend {
     /// journal. Durability order: dictionary → new segment → journal reset,
     /// so a crash at any point replays to the same state.
     fn compact(&mut self) -> Result<()> {
+        let started = Instant::now();
+        let folded = self.wal.records as u64;
         self.dict.flush()?;
         self.wal.flush()?;
         let count = self.live as u64;
@@ -378,6 +422,18 @@ impl DiskBackend {
         self.dels.clear();
         self.wal.reset()?;
         sync_dir(&self.dir)?;
+        let duration_us = started.elapsed().as_micros() as u64;
+        self.compactions += 1;
+        self.last_compaction_us = duration_us;
+        self.last_compaction_folded = folded;
+        compact_count().inc();
+        compact_duration().record(duration_us);
+        compact_folded().record(folded);
+        update_size_gauges(
+            self.base.as_ref().map_or(0, |b| b.count),
+            self.dict.len() as u64,
+            self.dict.bytes(),
+        );
         Ok(())
     }
 }
@@ -540,5 +596,23 @@ impl Storage for DiskBackend {
 
     fn path(&self) -> Option<&Path> {
         Some(&self.dir)
+    }
+
+    fn status(&self) -> StorageStatus {
+        StorageStatus {
+            backend: "disk",
+            triples: self.live,
+            terms: self.dict.len(),
+            journal_records: self.wal.records,
+            base_triples: if self.base_cleared {
+                0
+            } else {
+                self.base.as_ref().map_or(0, |b| b.count)
+            },
+            dict_bytes: self.dict.bytes(),
+            compactions: self.compactions,
+            last_compaction_us: (self.compactions > 0).then_some(self.last_compaction_us),
+            last_compaction_folded: (self.compactions > 0).then_some(self.last_compaction_folded),
+        }
     }
 }

@@ -49,6 +49,33 @@ use std::path::Path;
 /// The default in-memory backend: today's [`GraphStore`], unchanged.
 pub type MemoryBackend = GraphStore;
 
+/// A structured snapshot of one backend's storage-layer state — the
+/// expanded `GET /store` surface. Volatile backends report the size
+/// figures only; [`DiskBackend`] fills in journal, base-segment,
+/// dictionary and compaction facts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StorageStatus {
+    /// Backend identifier (`"memory"`, `"disk"`).
+    pub backend: &'static str,
+    /// Live triples.
+    pub triples: usize,
+    /// Distinct interned terms.
+    pub terms: usize,
+    /// Records currently in the write-ahead journal (0 for volatile
+    /// backends).
+    pub journal_records: usize,
+    /// Triples in the compacted base segment.
+    pub base_triples: u64,
+    /// On-disk dictionary size in bytes.
+    pub dict_bytes: u64,
+    /// Compactions performed over this backend's lifetime.
+    pub compactions: u64,
+    /// Duration of the most recent compaction, if one ran.
+    pub last_compaction_us: Option<u64>,
+    /// Journal records folded by the most recent compaction, if one ran.
+    pub last_compaction_folded: Option<u64>,
+}
+
 /// Abstract triple storage. Object-safe: the engine holds repositories as
 /// `Box<dyn Storage>` so one binary serves both backends.
 ///
@@ -126,6 +153,17 @@ pub trait Storage: Send + Sync + std::fmt::Debug {
     /// The directory backing this store, if any.
     fn path(&self) -> Option<&Path> {
         None
+    }
+
+    /// Storage-layer state for operators (`GET /store`). The default
+    /// covers volatile backends: sizes only, everything durable zeroed.
+    fn status(&self) -> StorageStatus {
+        StorageStatus {
+            backend: self.backend_name(),
+            triples: self.len(),
+            terms: self.term_count(),
+            ..StorageStatus::default()
+        }
     }
 
     /// True when the store holds no triples.
@@ -331,6 +369,41 @@ mod tests {
         }
         assert_eq!(a.try_term_at(u32::MAX), None, "foreign id on {}", a.backend_name());
         assert_eq!(b.try_term_at(u32::MAX), None, "foreign id on {}", b.backend_name());
+    }
+
+    #[test]
+    fn status_reports_journal_base_and_compaction_facts() {
+        let dir = TempDir::new("status");
+        let mut d = DiskBackend::open(dir.path()).unwrap();
+        let fresh = d.status();
+        assert_eq!(fresh.backend, "disk");
+        assert_eq!((fresh.triples, fresh.journal_records, fresh.compactions), (0, 0, 0));
+        assert_eq!(fresh.last_compaction_us, None);
+
+        for i in 0..10 {
+            d.insert(tr(i, 1, i + 1)).unwrap();
+        }
+        let dirty = d.status();
+        assert_eq!(dirty.triples, 10);
+        assert_eq!(dirty.journal_records, 10, "all writes still journaled");
+        assert_eq!(dirty.base_triples, 0);
+        assert!(dirty.dict_bytes > 0, "dictionary has interned terms");
+
+        d.checkpoint().unwrap();
+        let compacted = d.status();
+        assert_eq!(compacted.journal_records, 0, "journal truncated");
+        assert_eq!(compacted.base_triples, 10, "delta folded into the base");
+        assert_eq!(compacted.compactions, 1);
+        assert_eq!(compacted.last_compaction_folded, Some(10));
+        assert!(compacted.last_compaction_us.is_some());
+
+        // The volatile backend reports sizes only.
+        let mut m = GraphStore::new();
+        Storage::insert(&mut m, tr(1, 2, 3)).unwrap();
+        let mem = Storage::status(&m);
+        assert_eq!((mem.backend, mem.triples), ("memory", 1));
+        assert_eq!(mem.journal_records, 0);
+        assert_eq!(mem.last_compaction_us, None);
     }
 
     #[test]

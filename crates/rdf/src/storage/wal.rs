@@ -9,12 +9,30 @@
 
 use crate::store::Key;
 use crate::{RdfError, Result};
+use qurator_telemetry::Histogram;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use super::codec::crc32;
 use super::segment::io_err;
+
+fn append_latency() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| qurator_telemetry::metrics().histogram("store.wal.append_ns"))
+}
+
+fn fsync_latency() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| qurator_telemetry::metrics().histogram("store.wal.fsync_ns"))
+}
+
+fn batch_records() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| qurator_telemetry::metrics().histogram("store.wal.batch_records"))
+}
 
 pub(crate) const OP_ADD: u8 = 1;
 pub(crate) const OP_DEL: u8 = 2;
@@ -29,6 +47,9 @@ pub(crate) struct Wal {
     dirty: bool,
     /// Records currently in the journal (drives compaction thresholds).
     pub records: usize,
+    /// Records appended since the last durability barrier — the group-commit
+    /// batch size reported to `store.wal.batch_records` on each fsync.
+    pending: usize,
 }
 
 impl Wal {
@@ -65,23 +86,30 @@ impl Wal {
             file.set_len(good as u64).map_err(|e| io_err("truncating journal", path, e))?;
         }
         file.seek(SeekFrom::Start(good as u64)).map_err(|e| io_err("seeking journal", path, e))?;
-        Ok(Wal { file, path: path.to_path_buf(), dirty: false, records })
+        Ok(Wal { file, path: path.to_path_buf(), dirty: false, records, pending: 0 })
     }
 
     /// Appends one record (not yet durable — see [`Self::flush`]).
     pub fn append(&mut self, op: u8, key: Key) -> Result<()> {
+        let started = Instant::now();
         let buf = encode_record(op, key);
         self.file.write_all(&buf).map_err(|e| io_err("appending to journal", &self.path, e))?;
+        append_latency().record(started.elapsed().as_nanos() as u64);
         self.dirty = true;
         self.records += 1;
+        self.pending += 1;
         Ok(())
     }
 
     /// Durability barrier: fsyncs pending appends.
     pub fn flush(&mut self) -> Result<()> {
         if self.dirty {
+            let started = Instant::now();
             self.file.sync_data().map_err(|e| io_err("syncing journal", &self.path, e))?;
+            fsync_latency().record(started.elapsed().as_nanos() as u64);
+            batch_records().record(self.pending as u64);
             self.dirty = false;
+            self.pending = 0;
         }
         Ok(())
     }
@@ -93,6 +121,7 @@ impl Wal {
         self.file.sync_data().map_err(|e| io_err("syncing journal", &self.path, e))?;
         self.dirty = false;
         self.records = 0;
+        self.pending = 0;
         Ok(())
     }
 }

@@ -37,7 +37,13 @@
 //! * [`accesslog`] — a bounded, sharded structured access log (one JSON
 //!   line per served request, each carrying its run id);
 //! * [`slo`] — per-route latency/availability error budgets over a
-//!   sliding window of the existing request metrics.
+//!   sliding window of the existing request metrics;
+//! * [`stats`] — observed plan-node statistics (EXPLAIN ANALYZE):
+//!   per-run [`stats::RunStats`] merged across workers plus persisted
+//!   per-view [`stats::StatsProfile`] decayed aggregates that feed the
+//!   plan pass pipeline's cost decisions;
+//! * [`naming`] — the metric-name convention lint and committed
+//!   allowlist enforced by `qv telemetry-check`.
 //!
 //! Exporters ([`export`]) cover a JSON-lines span log, Prometheus-style
 //! text exposition and a human-readable trace renderer; [`schema`]
@@ -54,12 +60,14 @@ pub mod export;
 pub mod json;
 pub mod ledger;
 pub mod metrics;
+pub mod naming;
 pub mod profile;
 pub mod retain;
 pub mod runid;
 pub mod schema;
 pub mod slo;
 pub mod span;
+pub mod stats;
 
 pub use accesslog::{AccessLog, AccessRecord};
 pub use drift::{DriftConfig, DriftEvent, DriftMonitor};
@@ -73,6 +81,7 @@ pub use retain::{KeepReason, RetainedTrace, TelemetryConfig, TraceMeta, TraceRet
 pub use runid::RunId;
 pub use slo::{RouteSlo, SloConfig, SloTracker};
 pub use span::{AttrValue, Span, SpanId, SpanKind, SpanRecorder, SpanTrace, TraceSession};
+pub use stats::{NodeStats, RunStats, StatsCollector, StatsProfile};
 
 /// The process-wide metrics registry (see [`metrics::global`]).
 pub fn metrics() -> &'static MetricsRegistry {

@@ -306,6 +306,82 @@ pub fn validate_bench_json(input: &str) -> Result<usize, String> {
     Ok(samples)
 }
 
+/// Validates an EXPLAIN ANALYZE JSON document (as produced by
+/// `qurator_plan::render::render_analyze_json`). Returns the number of
+/// annotated plan nodes on success.
+///
+/// Checks: valid JSON object; `type == "analyze"`; `view` a string;
+/// `optimized` a boolean; `run_id` null or 16 hex chars; `items` a
+/// non-negative integer; `nodes` a non-empty array of objects each
+/// carrying a unique string `node`, a known `kind`, integer `calls` /
+/// `rows_in` / `rows_out` / `evidence` / `hits` counters and a numeric
+/// `wall_us`.
+pub fn validate_analyze_json(input: &str) -> Result<usize, String> {
+    let value = parse(input.trim()).map_err(|e| format!("invalid JSON: {e}"))?;
+    let obj = value.as_object().ok_or("analyze document is not a JSON object")?;
+    let field = |key: &str| -> Result<&Value, String> {
+        obj.get(key).ok_or_else(|| format!("missing key {key:?}"))
+    };
+    if field("type")?.as_str() != Some("analyze") {
+        return Err("type is not \"analyze\"".into());
+    }
+    if field("view")?.as_str().is_none() {
+        return Err("view must be a string".into());
+    }
+    if field("optimized")?.as_bool().is_none() {
+        return Err("optimized must be a boolean".into());
+    }
+    match field("run_id")? {
+        Value::Null => {}
+        v => {
+            let run = v.as_str().ok_or("run_id must be null or a string")?;
+            if crate::runid::RunId::parse(run).is_none() {
+                return Err(format!("run_id {run:?} is not 16 hex chars"));
+            }
+        }
+    }
+    field("items")?.as_u64().ok_or("items must be a non-negative integer")?;
+    let nodes = field("nodes")?.as_array().ok_or("nodes must be an array")?;
+    if nodes.is_empty() {
+        return Err("nodes must not be empty".into());
+    }
+    let mut names = std::collections::BTreeSet::new();
+    for (i, node) in nodes.iter().enumerate() {
+        let obj = node.as_object().ok_or_else(|| format!("nodes[{i}] is not an object"))?;
+        let node_field = |key: &str| -> Result<&Value, String> {
+            obj.get(key).ok_or_else(|| format!("nodes[{i}] missing key {key:?}"))
+        };
+        let name =
+            node_field("node")?.as_str().ok_or_else(|| format!("nodes[{i}].node must be a string"))?;
+        if !names.insert(name.to_string()) {
+            return Err(format!("duplicate node {name:?}"));
+        }
+        let kind =
+            node_field("kind")?.as_str().ok_or_else(|| format!("nodes[{i}].kind must be a string"))?;
+        if !matches!(kind, "annotate" | "enrich" | "assert" | "consolidate" | "act") {
+            return Err(format!("nodes[{i}]: unknown node kind {kind:?}"));
+        }
+        for key in ["calls", "rows_in", "rows_out", "evidence", "hits"] {
+            node_field(key)?
+                .as_u64()
+                .ok_or_else(|| format!("nodes[{i}].{key} must be a non-negative integer"))?;
+        }
+        node_field("wall_us")?
+            .as_f64()
+            .filter(|v| v.is_finite() && *v >= 0.0)
+            .ok_or_else(|| format!("nodes[{i}].wall_us must be a non-negative number"))?;
+    }
+    Ok(nodes.len())
+}
+
+/// Validates a persisted per-view stats profile (as written under
+/// `<store>/stats/` or `--stats-out` and served by `GET /stats/<view>`).
+/// Returns the number of profiled nodes on success.
+pub fn validate_stats_profile_json(input: &str) -> Result<usize, String> {
+    let profile = crate::stats::StatsProfile::parse(input)?;
+    Ok(profile.nodes.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,6 +488,38 @@ mod tests {
         assert!(validate_metrics_text("dup 1\ndup 2\n").unwrap_err().contains("duplicate"));
         assert!(validate_metrics_text("m{class=unquoted} 1\n").is_err());
         assert!(validate_metrics_text("m{class=\"open} 1\n").is_err());
+    }
+
+    #[test]
+    fn accepts_and_rejects_analyze_json() {
+        let ok = concat!(
+            "{\"type\":\"analyze\",\"view\":\"fig1\",\"optimized\":true,\"run_id\":\"00000000deadbeef\",\"items\":5,",
+            "\"nodes\":[",
+            "{\"node\":\"ann\",\"kind\":\"annotate\",\"calls\":1,\"rows_in\":5,\"rows_out\":5,\"evidence\":5,\"hits\":5,\"wall_us\":12.5},",
+            "{\"node\":\"Enrich\",\"kind\":\"enrich\",\"calls\":1,\"rows_in\":5,\"rows_out\":5,\"evidence\":15,\"hits\":5,\"wall_us\":88}",
+            "]}"
+        );
+        assert_eq!(validate_analyze_json(ok).unwrap(), 2);
+
+        let no_run = ok.replace("\"00000000deadbeef\"", "null");
+        assert_eq!(validate_analyze_json(&no_run).unwrap(), 2);
+        let bad_kind = ok.replace("\"enrich\"", "\"teleport\"");
+        assert!(validate_analyze_json(&bad_kind).unwrap_err().contains("unknown node kind"));
+        let dup = ok.replace("\"Enrich\"", "\"ann\"");
+        assert!(validate_analyze_json(&dup).unwrap_err().contains("duplicate node"));
+        let neg = ok.replace("\"wall_us\":88", "\"wall_us\":-1");
+        assert!(validate_analyze_json(&neg).unwrap_err().contains("wall_us"));
+        assert!(validate_analyze_json("{}").unwrap_err().contains("missing key"));
+    }
+
+    #[test]
+    fn accepts_stats_profile_json() {
+        let mut profile = crate::stats::StatsProfile::new("fig1", 42);
+        let mut run = crate::stats::RunStats::default();
+        run.nodes.insert("Enrich".into(), crate::stats::NodeStats { calls: 1, rows_in: 5, rows_out: 5, evidence: 15, hits: 5, wall_ns: 1000 });
+        profile.observe(&run);
+        assert_eq!(validate_stats_profile_json(&profile.to_json()).unwrap(), 1);
+        assert!(validate_stats_profile_json("{}").is_err());
     }
 
     #[test]
